@@ -1,0 +1,239 @@
+//! Local load monitoring.
+//!
+//! §5: "One metric we have used is the average computation time per data
+//! item. Each processor computes this information by dividing the total time
+//! spent on the computation by the number of data elements it owned. This
+//! assumes that the variation in computational cost per data unit is
+//! relatively small."
+//!
+//! The monitor keeps a sliding window of recent measurements so a transient
+//! spike does not trigger a remap on its own, and exposes both the per-item
+//! time (what the controller exchanges) and its reciprocal, the capability
+//! estimate (items per second).
+
+/// How the next phase's per-item time is estimated from the sample window.
+///
+/// The paper's implementation uses the previous phase directly; its
+/// footnote 2 suggests "techniques that would predict the available
+/// computational resources based on more than one previous phase" — the
+/// window average and linear trend implement that suggestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapabilityEstimator {
+    /// The most recent measurement block (the paper's §3.5 behaviour).
+    LastPhase,
+    /// Mean over the window: smooths transient spikes.
+    #[default]
+    WindowAverage,
+    /// Least-squares linear extrapolation over the window: anticipates a
+    /// steadily rising or falling load.
+    LinearTrend,
+}
+
+/// Sliding-window tracker of per-item computation time on one rank.
+#[derive(Debug, Clone)]
+pub struct LoadMonitor {
+    window: usize,
+    samples: std::collections::VecDeque<f64>,
+    estimator: CapabilityEstimator,
+}
+
+impl LoadMonitor {
+    /// Creates a monitor averaging over the last `window` samples.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        Self::with_estimator(window, CapabilityEstimator::default())
+    }
+
+    /// Creates a monitor with an explicit estimator.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn with_estimator(window: usize, estimator: CapabilityEstimator) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        LoadMonitor {
+            window,
+            samples: std::collections::VecDeque::with_capacity(window),
+            estimator,
+        }
+    }
+
+    /// Records one measurement block: `compute_seconds` of virtual time
+    /// spent computing over `iterations` sweeps of `owned_items` items.
+    ///
+    /// Blocks with no work (zero items or iterations) are ignored — an
+    /// empty block tells us nothing about the machine's speed.
+    pub fn record(&mut self, compute_seconds: f64, iterations: usize, owned_items: usize) {
+        if iterations == 0 || owned_items == 0 {
+            return;
+        }
+        let per_item = compute_seconds / (iterations as f64 * owned_items as f64);
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(per_item);
+    }
+
+    /// Whether any samples have been recorded.
+    pub fn has_samples(&self) -> bool {
+        !self.samples.is_empty()
+    }
+
+    /// The estimated computation time per data item for the *next* phase
+    /// (seconds), per the configured [`CapabilityEstimator`], or `None`
+    /// before the first sample.
+    pub fn per_item_time(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let last = *self.samples.back().expect("nonempty");
+        let estimate = match self.estimator {
+            CapabilityEstimator::LastPhase => last,
+            CapabilityEstimator::WindowAverage => {
+                self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            }
+            CapabilityEstimator::LinearTrend => self.linear_trend_prediction(last),
+        };
+        Some(estimate)
+    }
+
+    /// Least-squares fit `s_i = a + b·i` over the window, evaluated one step
+    /// past the newest sample; clamped to stay positive (a per-item time can
+    /// shrink toward zero but never cross it).
+    fn linear_trend_prediction(&self, last: f64) -> f64 {
+        let k = self.samples.len();
+        if k < 2 {
+            return last;
+        }
+        let kf = k as f64;
+        let mean_i = (kf - 1.0) / 2.0;
+        let mean_s = self.samples.iter().sum::<f64>() / kf;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &s) in self.samples.iter().enumerate() {
+            let di = i as f64 - mean_i;
+            num += di * (s - mean_s);
+            den += di * di;
+        }
+        let b = num / den;
+        let a = mean_s - b * mean_i;
+        let predicted = a + b * kf;
+        if predicted > 0.0 {
+            predicted
+        } else {
+            last
+        }
+    }
+
+    /// The capability estimate: items per second (reciprocal of
+    /// [`Self::per_item_time`]).
+    pub fn capability(&self) -> Option<f64> {
+        self.per_item_time().map(|t| {
+            assert!(t > 0.0, "per-item time must be positive");
+            1.0 / t
+        })
+    }
+
+    /// Clears history (after a remap, old measurements describe the old
+    /// block size and are no longer comparable).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_window() {
+        let mut m = LoadMonitor::new(2);
+        assert!(!m.has_samples());
+        assert_eq!(m.per_item_time(), None);
+        m.record(10.0, 1, 10); // 1.0 per item
+        m.record(20.0, 1, 10); // 2.0 per item
+        assert_eq!(m.per_item_time(), Some(1.5));
+        // Window evicts the oldest.
+        m.record(30.0, 1, 10); // 3.0 per item → window = [2, 3]
+        assert_eq!(m.per_item_time(), Some(2.5));
+    }
+
+    #[test]
+    fn capability_is_reciprocal() {
+        let mut m = LoadMonitor::new(4);
+        m.record(4.0, 2, 100); // 0.02 per item
+        assert!((m.capability().unwrap() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_empty_blocks() {
+        let mut m = LoadMonitor::new(4);
+        m.record(5.0, 0, 10);
+        m.record(5.0, 10, 0);
+        assert!(!m.has_samples());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = LoadMonitor::new(4);
+        m.record(1.0, 1, 1);
+        m.reset();
+        assert_eq!(m.per_item_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn zero_window_rejected() {
+        let _ = LoadMonitor::new(0);
+    }
+
+    #[test]
+    fn last_phase_estimator_tracks_newest() {
+        let mut m = LoadMonitor::with_estimator(4, CapabilityEstimator::LastPhase);
+        m.record(10.0, 1, 10);
+        m.record(30.0, 1, 10);
+        assert_eq!(m.per_item_time(), Some(3.0));
+    }
+
+    #[test]
+    fn linear_trend_extrapolates_rising_load() {
+        let mut m = LoadMonitor::with_estimator(4, CapabilityEstimator::LinearTrend);
+        // Per-item times 1, 2, 3: the trend predicts 4 for the next phase.
+        for s in [1.0, 2.0, 3.0] {
+            m.record(s * 10.0, 1, 10);
+        }
+        let p = m.per_item_time().unwrap();
+        assert!((p - 4.0).abs() < 1e-9, "predicted {p}");
+        // The average would have said 2.0; the trend anticipates the rise.
+    }
+
+    #[test]
+    fn linear_trend_constant_load_is_flat() {
+        let mut m = LoadMonitor::with_estimator(4, CapabilityEstimator::LinearTrend);
+        for _ in 0..4 {
+            m.record(20.0, 1, 10);
+        }
+        assert!((m.per_item_time().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_clamps_to_positive() {
+        let mut m = LoadMonitor::with_estimator(4, CapabilityEstimator::LinearTrend);
+        // Falling so fast the extrapolation would go negative: samples are
+        // per-item times 9, 5, 1 (trend predicts −3).
+        for s in [9.0, 5.0, 1.0] {
+            m.record(s * 10.0, 1, 10);
+        }
+        let p = m.per_item_time().unwrap();
+        assert!(p > 0.0, "prediction must stay positive, got {p}");
+        assert_eq!(p, 1.0, "falls back to the last sample");
+    }
+
+    #[test]
+    fn linear_trend_single_sample_uses_last() {
+        let mut m = LoadMonitor::with_estimator(4, CapabilityEstimator::LinearTrend);
+        m.record(10.0, 1, 10);
+        assert_eq!(m.per_item_time(), Some(1.0));
+    }
+}

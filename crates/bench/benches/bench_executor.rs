@@ -1,0 +1,66 @@
+//! Criterion bench for Phase C: wall-clock cost of the relaxation sweep and
+//! of a full gather + sweep iteration on the simulated cluster (backing
+//! Tables 4–5's per-iteration costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stance::executor::{
+    parallel_relaxation_step, sequential_relaxation, ComputeCostModel, GhostedArray, LoopRunner,
+};
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency, ScheduleStrategy};
+use stance::locality::OrderingMethod;
+use stance::onedim::BlockPartition;
+use stance::prelude::*;
+use stance::scenarios;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mesh = scenarios::small_mesh_ordered(OrderingMethod::Rcb, 13);
+    let n = mesh.num_vertices();
+    let part = BlockPartition::uniform(n, 1);
+    let adj = LocalAdjacency::extract(&mesh, &part, 0);
+    let (sched, _) = build_schedule_symmetric(&part, &adj, 0, ScheduleStrategy::Sort2);
+    let tadj = sched.translate_adjacency(&adj);
+    let values = GhostedArray::from_local((0..n).map(|i| i as f64).collect(), 0);
+    let mut out = vec![0.0; n];
+
+    let mut group = c.benchmark_group("kernel");
+    group.throughput(Throughput::Elements(tadj.num_refs() as u64));
+    group.bench_function("parallel_step_3k", |b| {
+        b.iter(|| parallel_relaxation_step(std::hint::black_box(&tadj), &values, &mut out))
+    });
+    let mut y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    group.bench_function("sequential_step_3k", |b| {
+        b.iter(|| sequential_relaxation(std::hint::black_box(&mesh), &mut y, 1))
+    });
+    group.finish();
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    let mesh = scenarios::small_mesh_ordered(OrderingMethod::Rcb, 13);
+    let mut group = c.benchmark_group("cluster_iteration");
+    group.sample_size(10);
+    for p in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("gather_sweep", p), &p, |b, &p| {
+            b.iter(|| {
+                let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+                Cluster::new(spec).run(|env| {
+                    let part = BlockPartition::uniform(mesh.num_vertices(), p);
+                    let adj = LocalAdjacency::extract(&mesh, &part, env.rank());
+                    let (sched, _) = build_schedule_symmetric(
+                        &part,
+                        &adj,
+                        env.rank(),
+                        ScheduleStrategy::Sort2,
+                    );
+                    let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero());
+                    let owned = part.interval_of(env.rank()).len();
+                    let mut values = runner.make_values(vec![1.0; owned]);
+                    runner.run(env, &mut values, 5);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_full_iteration);
+criterion_main!(benches);

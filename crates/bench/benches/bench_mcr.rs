@@ -1,0 +1,37 @@
+//! Criterion bench backing Table 1: wall-clock cost of
+//! `MinimizeCostRedistribution` as the processor count grows (expected
+//! ≈ p³ growth), plus the exhaustive oracle at small p for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stance::onedim::{
+    exhaustive_best_arrangement, minimize_cost_redistribution, Arrangement, BlockPartition,
+    RedistCostModel,
+};
+use stance_bench::{random_capabilities, workload_rng};
+
+fn bench_mcr(c: &mut Criterion) {
+    let model = RedistCostModel::ethernet_f64();
+    let mut group = c.benchmark_group("mcr");
+    for p in [3usize, 5, 10, 15, 20] {
+        let mut rng = workload_rng(100 + p as u64);
+        let old_w = random_capabilities(&mut rng, p);
+        let new_w = random_capabilities(&mut rng, p);
+        let old = BlockPartition::from_weights(100_000, &old_w, Arrangement::identity(p));
+        group.bench_with_input(BenchmarkId::new("greedy", p), &p, |b, _| {
+            b.iter(|| minimize_cost_redistribution(std::hint::black_box(&old), &new_w, &model))
+        });
+    }
+    for p in [3usize, 5, 6] {
+        let mut rng = workload_rng(200 + p as u64);
+        let old_w = random_capabilities(&mut rng, p);
+        let new_w = random_capabilities(&mut rng, p);
+        let old = BlockPartition::from_weights(100_000, &old_w, Arrangement::identity(p));
+        group.bench_with_input(BenchmarkId::new("exhaustive", p), &p, |b, _| {
+            b.iter(|| exhaustive_best_arrangement(std::hint::black_box(&old), &new_w, &model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcr);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Phase A: wall-clock cost of each one-dimensional
+//! indexing method on a mid-size unstructured mesh. RSB (the paper's
+//! choice) is the most expensive; the space-filling curves are the
+//! cheapest — this is the remapping-speed trade-off §3.1 discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stance::locality::{compute_ordering, meshgen, OrderingMethod};
+
+fn bench_orderings(c: &mut Criterion) {
+    let mesh = {
+        let grid = meshgen::triangulated_grid(56, 56, 0.6, 9);
+        meshgen::thin_to_edges(&grid, grid.num_vertices() * 3 / 2, 17)
+    };
+    let mut group = c.benchmark_group("ordering_3k");
+    group.sample_size(20);
+    for method in OrderingMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &m| b.iter(|| compute_ordering(std::hint::black_box(&mesh), m)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_meshgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meshgen");
+    group.sample_size(10);
+    group.bench_function("triangulated_grid_56x56", |b| {
+        b.iter(|| meshgen::triangulated_grid(56, 56, 0.6, std::hint::black_box(9)))
+    });
+    group.bench_function("random_geometric_3k", |b| {
+        b.iter(|| meshgen::random_geometric(3000, 0.02, std::hint::black_box(5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings, bench_meshgen);
+criterion_main!(benches);

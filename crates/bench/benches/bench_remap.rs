@@ -1,0 +1,57 @@
+//! Criterion bench backing Table 2: wall-clock cost of planning and
+//! executing a redistribution (plan computation is the algorithmic cost;
+//! the simulated execution includes real data movement between threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stance::balance::redistribute_values;
+use stance::onedim::{
+    minimize_cost_redistribution, Arrangement, BlockPartition, RedistCostModel,
+    RedistributionPlan,
+};
+use stance::prelude::*;
+use stance_bench::{random_capabilities, workload_rng};
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribution_plan");
+    for p in [5usize, 20] {
+        let mut rng = workload_rng(300 + p as u64);
+        let old_w = random_capabilities(&mut rng, p);
+        let new_w = random_capabilities(&mut rng, p);
+        let old = BlockPartition::from_weights(1 << 20, &old_w, Arrangement::identity(p));
+        let new =
+            minimize_cost_redistribution(&old, &new_w, &RedistCostModel::ethernet_f64()).partition;
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| RedistributionPlan::between(std::hint::black_box(&old), &new))
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribution_execute");
+    group.sample_size(20);
+    for n in [16_384usize, 131_072] {
+        let p = 4;
+        let mut rng = workload_rng(400 + n as u64);
+        let old_w = random_capabilities(&mut rng, p);
+        let new_w = random_capabilities(&mut rng, p);
+        let old = BlockPartition::from_weights(n, &old_w, Arrangement::identity(p));
+        let new =
+            minimize_cost_redistribution(&old, &new_w, &RedistCostModel::ethernet_f64()).partition;
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+                Cluster::new(spec).run(|env| {
+                    let iv = old.interval_of(env.rank());
+                    let local: Vec<f64> = iv.iter().map(|g| g as f64).collect();
+                    std::hint::black_box(redistribute_values(env, &old, &new, &local));
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_execute);
+criterion_main!(benches);

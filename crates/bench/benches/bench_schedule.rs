@@ -1,0 +1,69 @@
+//! Criterion bench backing Table 3: wall-clock cost of the symmetric
+//! schedule builders (sort1 vs sort2) and of the dedup hash they rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stance::inspector::{
+    build_schedule_symmetric, LocalAdjacency, RefHashMap, ScheduleStrategy,
+};
+use stance::locality::OrderingMethod;
+use stance::onedim::BlockPartition;
+use stance::scenarios;
+
+fn bench_symmetric_builders(c: &mut Criterion) {
+    let mesh = scenarios::small_mesh_ordered(OrderingMethod::Rcb, 11);
+    let n = mesh.num_vertices();
+    let mut group = c.benchmark_group("schedule_build");
+    for p in [2usize, 5] {
+        let part = BlockPartition::uniform(n, p);
+        let adj = LocalAdjacency::extract(&mesh, &part, 0);
+        for strategy in [ScheduleStrategy::Sort1, ScheduleStrategy::Sort2] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), p),
+                &p,
+                |b, _| {
+                    b.iter(|| {
+                        build_schedule_symmetric(
+                            std::hint::black_box(&part),
+                            &adj,
+                            0,
+                            strategy,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_refhash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refhash");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut m = RefHashMap::with_capacity(10_000);
+            for i in 0..10_000u32 {
+                m.insert_if_absent(std::hint::black_box(i * 7), i);
+            }
+            m
+        })
+    });
+    let mut filled = RefHashMap::with_capacity(10_000);
+    for i in 0..10_000u32 {
+        filled.insert_if_absent(i * 7, i);
+    }
+    group.bench_function("lookup_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u32 {
+                if let Some(v) = filled.get(std::hint::black_box(i * 7)) {
+                    acc += u64::from(v);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symmetric_builders, bench_refhash);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **Ordering method** (Phase A): what the 1-D indexing choice costs in
+//!   actual execution time, not just cut metrics.
+//! * **Multicast** (§3.6): the paper notes the library "has the ability to
+//!   use multicast to perform all communications" — how much do broadcasts
+//!   and the load-balance protocol gain?
+//! * **Check frequency** (§3.5): the paper calls choosing it "outside the
+//!   scope of this paper"; we sweep it.
+//! * **MCR on/off inside the balancer** (§3.4): end-to-end effect on an
+//!   adaptive run, complementing Table 2's isolated measurement.
+
+use stance::locality::OrderingMethod;
+use stance::prelude::*;
+use stance::scenarios;
+use stance::sim::Cluster;
+
+use crate::fmt::{secs, TableBuilder};
+use crate::iteration_count;
+
+/// Execution time of the full loop under each ordering method, p = 4,
+/// static cluster. Shows Phase A quality translating into wall time.
+pub fn ablation_ordering() -> String {
+    let iters = (iteration_count() / 5).max(20);
+    let mut out = TableBuilder::new(
+        format!("Ablation: 1-D ordering method vs execution time (p=4, {iters} iterations)"),
+        &["Method", "T (s)", "Gather msgs/rank/iter", "Ghosts total"],
+    );
+    for method in OrderingMethod::ALL {
+        let mesh = scenarios::small_mesh_ordered(method, 42);
+        let config = StanceConfig::default().without_load_balancing();
+        let spec = scenarios::static_cluster(4);
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+            let ghosts = s.schedule().num_ghosts();
+            s.run_adaptive(env, iters);
+            (env.stats().messages_sent, ghosts)
+        });
+        let t = report.makespan();
+        let msgs: u64 = report.results().map(|(m, _)| m).sum();
+        let ghosts: u32 = report.results().map(|(_, g)| g).sum();
+        out.row(vec![
+            method.name().to_string(),
+            secs(t),
+            format!("{:.1}", msgs as f64 / 4.0 / iters as f64),
+            ghosts.to_string(),
+        ]);
+    }
+    out.render()
+}
+
+/// Load-balance check cost with and without hardware multicast, across
+/// cluster sizes. Multicast shrinks the controller's broadcast to one
+/// message (§3.6).
+pub fn ablation_multicast() -> String {
+    let mut out = TableBuilder::new(
+        "Ablation: multicast on/off vs load-balance check cost",
+        &["Workstations", "Check (unicast)", "Check (multicast)"],
+    );
+    for p in [2usize, 4, 8, 16] {
+        let costs: Vec<f64> = [false, true]
+            .iter()
+            .map(|&mc| {
+                let mesh = scenarios::small_mesh_ordered(OrderingMethod::Rcb, 7);
+                let spec = scenarios::static_cluster(p)
+                    .with_network(NetworkSpec::ethernet_10mbit().with_multicast(mc));
+                let config = StanceConfig::default().with_check_interval(10);
+                let report = Cluster::new(spec).run(|env| {
+                    let mut s =
+                        AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+                    s.run_block(env, 10);
+                    let t0 = env.now();
+                    s.check_and_rebalance(env, 100);
+                    env.now() - t0
+                });
+                report
+                    .into_results()
+                    .into_iter()
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        out.row(vec![p.to_string(), secs(costs[0]), secs(costs[1])]);
+    }
+    out.render()
+}
+
+/// Sweep of the load-balance check interval on the paper's adaptive
+/// scenario (the parameter §3.5 leaves open): too frequent wastes checks,
+/// too rare reacts slowly.
+pub fn ablation_check_interval() -> String {
+    let iters = (iteration_count() / 2).max(50);
+    let mesh = scenarios::small_mesh_ordered(OrderingMethod::Rcb, 42);
+    let mut out = TableBuilder::new(
+        format!("Ablation: check interval on the adaptive scenario (p=3, {iters} iterations)"),
+        &["Interval", "T (s)", "Checks", "Remaps", "Check cost total"],
+    );
+    for interval in [2usize, 5, 10, 25, 50] {
+        let spec = scenarios::adaptive_cluster(3);
+        let config = StanceConfig::default().with_check_interval(interval);
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+            s.run_adaptive(env, iters)
+        });
+        let t = report.makespan();
+        let rep = &report.ranks[0].result;
+        out.row(vec![
+            interval.to_string(),
+            secs(t),
+            rep.checks.to_string(),
+            rep.remaps.to_string(),
+            secs(rep.check_cost),
+        ]);
+    }
+    out.render()
+}
+
+/// End-to-end effect of MCR inside the balancer on an adaptive run where
+/// the load shifts twice (forcing two remaps).
+pub fn ablation_mcr_end_to_end() -> String {
+    let iters = (iteration_count() / 2).max(50);
+    let mesh = scenarios::small_mesh_ordered(OrderingMethod::Rcb, 42);
+    let mut out = TableBuilder::new(
+        format!("Ablation: MCR in the balancer (p=4, shifting load, {iters} iterations)"),
+        &["MCR", "T (s)", "Remaps", "Rebalance cost total"],
+    );
+    for use_mcr in [true, false] {
+        // The load moves from rank 0 to rank 1 mid-run, forcing a second
+        // remap whose cost depends on the arrangement chosen by the first.
+        let spec = scenarios::static_cluster(4)
+            .with_load(0, LoadTimeline::competing_load(0.0, 2.0, 2))
+            .with_load(1, LoadTimeline::competing_load(2.0, f64::INFINITY, 2));
+        let mut config = StanceConfig::default().with_check_interval(10);
+        config.balancer.use_mcr = use_mcr;
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+            s.run_adaptive(env, iters)
+        });
+        let t = report.makespan();
+        let rep = &report.ranks[0].result;
+        out.row(vec![
+            if use_mcr { "on" } else { "off" }.to_string(),
+            secs(t),
+            rep.remaps.to_string(),
+            secs(rep.rebalance_cost),
+        ]);
+    }
+    out.render()
+}

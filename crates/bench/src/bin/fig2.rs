@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 2 (RCB 1-D mapping, ASCII rendering).
+
+fn main() {
+    stance_bench::emit("fig2", &stance_bench::figures::fig2());
+}

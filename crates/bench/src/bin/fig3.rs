@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 3 (interval translation table).
+
+fn main() {
+    stance_bench::emit("fig3", &stance_bench::figures::fig3());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 4 (schedule_sort1 worked example).
+
+fn main() {
+    stance_bench::emit("fig4", &stance_bench::figures::fig4());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 5 (repartitioning arrangements).
+
+fn main() {
+    stance_bench::emit("fig5", &stance_bench::figures::fig5());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 9 (mesh statistics) plus the Phase A
+//! ordering-quality ablation.
+
+use stance::locality::OrderingMethod;
+use stance::scenarios;
+
+fn main() {
+    // Quality metrics are computed on the raw mesh (orderings are computed
+    // inside fig9 for each method).
+    let mesh = scenarios::paper_mesh_ordered(OrderingMethod::Natural, 42);
+    stance_bench::emit("fig9", &stance_bench::figures::fig9(&mesh));
+}

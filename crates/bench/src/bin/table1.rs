@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1 (MinimizeCostRedistribution runtime).
+
+fn main() {
+    stance_bench::emit("table1", &stance_bench::tables::table1());
+}

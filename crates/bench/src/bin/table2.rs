@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2 (remapping cost with/without MCR).
+
+fn main() {
+    stance_bench::emit("table2", &stance_bench::tables::table2());
+}

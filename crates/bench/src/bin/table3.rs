@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 3 (schedule construction strategies).
+
+fn main() {
+    stance_bench::emit("table3", &stance_bench::tables::table3());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 4 (static environment, 500 iterations).
+
+fn main() {
+    stance_bench::emit("table4", &stance_bench::tables::table4());
+}

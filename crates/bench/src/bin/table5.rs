@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5 (adaptive environment with competing
+//! load, with and without load balancing).
+
+fn main() {
+    stance_bench::emit("table5", &stance_bench::tables::table5());
+}

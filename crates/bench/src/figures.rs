@@ -1,0 +1,214 @@
+//! Reproduction of the paper's figures (the ones that carry data: 2, 3, 4,
+//! 5, 9). Figures 1, 6, 7 and 8 are architecture/pseudocode and live as
+//! code: the phase structure is the crate decomposition, Figs. 6–7 are
+//! `stance::onedim::mcr`, Fig. 8 is `stance::executor::kernel`.
+
+use stance::inspector::{build_schedule_symmetric, IntervalTable, LocalAdjacency, ScheduleStrategy};
+use stance::locality::{
+    compute_ordering, meshgen, metrics, Graph, OrderingMethod,
+};
+use stance::onedim::{
+    mcr::minimize_cost_redistribution, Arrangement, BlockPartition, RedistCostModel,
+    RedistributionPlan,
+};
+
+use crate::fmt::TableBuilder;
+
+/// Figure 2: recursive coordinate bisection maps a 2-D point cloud onto the
+/// one-dimensional list. Rendered as an ASCII grid where each cell shows
+/// which quarter of the 1-D list its vertex landed in — contiguous list
+/// ranges must form spatially compact regions.
+pub fn fig2() -> String {
+    let nx = 16usize;
+    let ny = 8usize;
+    let mesh = meshgen::triangulated_grid(nx, ny, 0.0, 1);
+    let ordering = compute_ordering(&mesh, OrderingMethod::Rcb);
+    let n = mesh.num_vertices();
+    let quarter = |v: usize| 4 * ordering.position_of(v) / n;
+
+    let mut out = String::new();
+    out.push_str("== Figure 2: RCB maps the plane onto the 1-D list ==\n");
+    out.push_str("Each cell = one mesh vertex; digit = quarter of the 1-D list (0..3).\n");
+    out.push_str("Contiguous list ranges form spatially compact regions:\n\n");
+    for y in (0..ny).rev() {
+        for x in 0..nx {
+            let v = y * nx + x;
+            out.push_str(&format!("{}", quarter(v)));
+        }
+        out.push('\n');
+    }
+    // Quantify: average edge span under RCB vs natural.
+    let span_rcb = metrics::average_edge_span(&mesh, &ordering);
+    let natural = stance::locality::Ordering::identity(n);
+    let span_nat = metrics::average_edge_span(&mesh, &natural);
+    out.push_str(&format!(
+        "\naverage |T(u)-T(v)| over edges: rcb = {span_rcb:.2}, row-major = {span_nat:.2}\n"
+    ));
+    out
+}
+
+/// Figure 3: the replicated interval translation table for three processors
+/// holding [0,51), [51,120), [120,200) — the paper's example — plus sample
+/// dereferences.
+pub fn fig3() -> String {
+    let part = BlockPartition::from_sizes(&[51, 69, 80]);
+    let table = IntervalTable::new(part);
+    let mut out = TableBuilder::new(
+        "Figure 3: replicated interval translation table (3 processors, 200 elements)",
+        &["Processor", "First", "Last"],
+    );
+    for proc in 0..3 {
+        let iv = table.partition().interval_of(proc);
+        out.row(vec![
+            format!("P{proc}"),
+            iv.start.to_string(),
+            (iv.end - 1).to_string(),
+        ]);
+    }
+    let mut s = out.render();
+    s.push_str("\nDereference examples (global -> processor, local):\n");
+    for g in [0usize, 50, 51, 119, 120, 199] {
+        let (p, l) = table.locate(g);
+        s.push_str(&format!("  {g:>3} -> (P{p}, {l})\n"));
+    }
+    s.push_str(&format!(
+        "\nreplicated memory: {} bytes (interval table) vs {} bytes (dense table)\n",
+        table.memory_bytes(),
+        200 * 8
+    ));
+    s
+}
+
+/// Figure 4: schedule_sort1 mechanics on a small mesh: the send lists and
+/// permutation (receive) segments per processor, shown sorted as the
+/// algorithm leaves them.
+pub fn fig4() -> String {
+    // A 3×3 triangulated grid over 3 processors gives every rank both sides
+    // of the protocol.
+    let mesh = meshgen::triangulated_grid(3, 3, 0.0, 2);
+    let part = BlockPartition::uniform(9, 3);
+    let mut out = String::new();
+    out.push_str("== Figure 4: schedule_sort1 on a 9-vertex mesh, 3 processors ==\n");
+    for rank in 0..3 {
+        let iv = part.interval_of(rank);
+        let adj = LocalAdjacency::extract(&mesh, &part, rank);
+        let (schedule, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort1);
+        out.push_str(&format!(
+            "\nProcessor {rank} owns globals [{}, {}):\n",
+            iv.start, iv.end
+        ));
+        for (peer, locals) in schedule.sends() {
+            let globals: Vec<usize> = locals.iter().map(|&l| l as usize + iv.start).collect();
+            out.push_str(&format!(
+                "  send list  -> P{peer}: locals {locals:?} (globals {globals:?})\n"
+            ));
+        }
+        for (peer, globals) in schedule.recvs() {
+            let slots: Vec<u32> = globals
+                .iter()
+                .map(|&g| schedule.ghost_slot(g).expect("scheduled"))
+                .collect();
+            out.push_str(&format!(
+                "  perm list  <- P{peer}: globals {globals:?} -> ghost slots {slots:?}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "  local buffer = [{} local | {} off-processor]\n",
+            iv.len(),
+            schedule.num_ghosts()
+        ));
+    }
+    out.push_str(
+        "\nEach segment is sorted by the sender's local reference, so both sides\n\
+         agree on message order without communicating (the §3.2 symmetry trick).\n",
+    );
+    out
+}
+
+/// Figure 5: the repartitioning example — 100 elements, capabilities
+/// (.27,.18,.34,.07,.14) adapting to (.10,.13,.29,.24,.24); the identity
+/// arrangement vs (P0,P3,P1,P2,P4) vs what MCR finds.
+pub fn fig5() -> String {
+    let old = BlockPartition::from_weights(
+        100,
+        &[0.27, 0.18, 0.34, 0.07, 0.14],
+        Arrangement::identity(5),
+    );
+    let new_w = [0.10, 0.13, 0.29, 0.24, 0.24];
+    let same = BlockPartition::from_weights(100, &new_w, Arrangement::identity(5));
+    let rearranged =
+        BlockPartition::from_weights(100, &new_w, Arrangement::new(vec![0, 3, 1, 2, 4]));
+    let mcr = minimize_cost_redistribution(&old, &new_w, &RedistCostModel::ethernet_f64());
+
+    let mut out = TableBuilder::new(
+        "Figure 5: arrangements for repartitioning 100 elements over 5 processors",
+        &["Arrangement", "Overlap", "Moved", "Messages", "Paper"],
+    );
+    for (name, part, paper) in [
+        ("(P0,P1,P2,P3,P4)", &same, "29 overlap, 5 msgs"),
+        ("(P0,P3,P1,P2,P4)", &rearranged, "65 overlap, 3 msgs"),
+        (
+            "MCR result",
+            &mcr.partition,
+            "greedy, Fig. 6",
+        ),
+    ] {
+        let plan = RedistributionPlan::between(&old, part);
+        out.row(vec![
+            name.to_string(),
+            plan.elements_kept().to_string(),
+            plan.elements_moved().to_string(),
+            plan.num_messages().to_string(),
+            paper.to_string(),
+        ]);
+    }
+    let mut s = out.render();
+    s.push_str(&format!("\nMCR chose arrangement {}\n", mcr.arrangement));
+    s.push_str(
+        "(Exact overlaps differ from the paper by a couple of elements because we\n\
+         apportion blocks by largest remainder; the 2x overlap improvement and the\n\
+         message reduction are the reproduced effect.)\n",
+    );
+    s
+}
+
+/// Figure 9: statistics of the substitute mesh, plus ordering-quality
+/// comparison across every Phase A method (this doubles as the Phase A
+/// ablation).
+pub fn fig9(mesh: &Graph) -> String {
+    let mut s = String::new();
+    s.push_str("== Figure 9: the unstructured mesh (synthetic substitute) ==\n");
+    s.push_str(&format!(
+        "vertices = {}, edges = {}, avg degree = {:.2}, connected = {}\n\n",
+        mesh.num_vertices(),
+        mesh.num_edges(),
+        2.0 * mesh.num_edges() as f64 / mesh.num_vertices() as f64,
+        mesh.is_connected()
+    ));
+    let mut table = TableBuilder::new(
+        "Ordering quality at p = 5 (equal blocks)",
+        &[
+            "Method",
+            "Avg edge span",
+            "Bandwidth",
+            "Edge cut",
+            "Boundary verts",
+            "Comm volume",
+        ],
+    );
+    for method in OrderingMethod::ALL {
+        let ordering = compute_ordering(mesh, method);
+        let q = metrics::quality_report(mesh, &ordering, 5);
+        table.row(vec![
+            method.name().to_string(),
+            format!("{:.1}", q.average_edge_span),
+            q.bandwidth.to_string(),
+            q.edge_cut.to_string(),
+            q.boundary_vertices.to_string(),
+            q.total_comm_volume.to_string(),
+        ]);
+    }
+    s.push_str(&table.render());
+    s.push_str("\n(The paper used RSB indexing [19]; lower cut/volume = less gather traffic.)\n");
+    s
+}

@@ -1,0 +1,89 @@
+//! Shared harness code for the table/figure reproduction binaries and the
+//! Criterion benches.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `EXPERIMENTS.md` at the workspace root for the index) and prints a
+//! paper-formatted table with the original numbers alongside, so shape
+//! comparisons are immediate. Sample counts honor the `STANCE_SAMPLES`
+//! environment variable (default = the paper's 100) so quick runs are
+//! possible: `STANCE_SAMPLES=5 cargo run --release -p stance-bench --bin
+//! table2`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod ablations;
+pub mod figures;
+pub mod fmt;
+pub mod tables;
+
+pub use fmt::TableBuilder;
+
+/// Number of random samples for averaged experiments (paper: 100).
+pub fn sample_count() -> usize {
+    std::env::var("STANCE_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Iterations for the big loop experiments (paper: 500). Override with
+/// `STANCE_ITERATIONS` for quick runs.
+pub fn iteration_count() -> usize {
+    std::env::var("STANCE_ITERATIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(stance::scenarios::PAPER_ITERATIONS)
+}
+
+/// A seeded RNG for workload generation; `STANCE_SEED` overrides.
+pub fn workload_rng(stream: u64) -> StdRng {
+    let seed = std::env::var("STANCE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE_u64);
+    StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A random capability vector: `p` weights in `(0.05, 1.05)`, representing
+/// workstations with arbitrary relative power (Table 1/2's "randomly
+/// generated samples").
+pub fn random_capabilities(rng: &mut StdRng, p: usize) -> Vec<f64> {
+    (0..p).map(|_| 0.05 + rng.random::<f64>()).collect()
+}
+
+/// Writes experiment output both to stdout and to `results/<name>.txt`
+/// under the workspace root (best effort — printing still succeeds if the
+/// directory is read-only).
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.txt")), content);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capabilities_positive() {
+        let mut rng = workload_rng(1);
+        let caps = random_capabilities(&mut rng, 20);
+        assert_eq!(caps.len(), 20);
+        assert!(caps.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn rng_streams_differ() {
+        let a: f64 = workload_rng(1).random();
+        let b: f64 = workload_rng(2).random();
+        assert_ne!(a, b);
+    }
+}

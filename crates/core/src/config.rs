@@ -1,0 +1,118 @@
+//! Top-level runtime configuration.
+
+use stance_balance::{BalancerConfig, CapabilityEstimator};
+use stance_executor::ComputeCostModel;
+use stance_inspector::{InspectorCostModel, ScheduleStrategy};
+
+/// Configuration for an [`AdaptiveSession`](crate::session::AdaptiveSession).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StanceConfig {
+    /// How communication schedules are built (Table 3's strategies).
+    pub schedule_strategy: ScheduleStrategy,
+    /// Pricing of kernel work on the reference machine.
+    pub compute_cost: ComputeCostModel,
+    /// Pricing of inspector work on the reference machine.
+    pub inspector_cost: InspectorCostModel,
+    /// Remap policy (profitability, MCR, movement model).
+    pub balancer: BalancerConfig,
+    /// Iterations between load-balance checks. "The frequency of this
+    /// load-balancing check has to be set based on … the overhead of load
+    /// balancing \[and\] the rate at which the underlying computational
+    /// resources adapt" (§3.5). The paper's experiment used 10.
+    pub check_interval: usize,
+    /// Load-monitor window (blocks averaged for the capability estimate).
+    pub monitor_window: usize,
+    /// How the next phase's capability is predicted from the window (the
+    /// paper uses the last phase; footnote 2 suggests multi-phase
+    /// prediction, provided here as window averaging and linear trend).
+    pub estimator: CapabilityEstimator,
+}
+
+impl Default for StanceConfig {
+    fn default() -> Self {
+        StanceConfig {
+            schedule_strategy: ScheduleStrategy::Sort2,
+            compute_cost: ComputeCostModel::sun4(),
+            inspector_cost: InspectorCostModel::sun4(),
+            balancer: BalancerConfig::default(),
+            check_interval: 10,
+            monitor_window: 4,
+            estimator: CapabilityEstimator::default(),
+        }
+    }
+}
+
+impl StanceConfig {
+    /// A configuration with zero-cost models: moves data correctly but
+    /// charges no virtual time for compute or inspection. For structural
+    /// tests.
+    pub fn free() -> Self {
+        StanceConfig {
+            schedule_strategy: ScheduleStrategy::Sort2,
+            compute_cost: ComputeCostModel::zero(),
+            inspector_cost: InspectorCostModel::zero(),
+            balancer: BalancerConfig::default(),
+            check_interval: 10,
+            monitor_window: 4,
+            estimator: CapabilityEstimator::default(),
+        }
+    }
+
+    /// Sets the schedule strategy.
+    pub fn with_strategy(mut self, strategy: ScheduleStrategy) -> Self {
+        self.schedule_strategy = strategy;
+        self
+    }
+
+    /// Sets the check interval.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn with_check_interval(mut self, interval: usize) -> Self {
+        assert!(interval >= 1, "check interval must be at least 1");
+        self.check_interval = interval;
+        self
+    }
+
+    /// Disables load balancing entirely (checks never run). Used for the
+    /// "without load balancing" rows of Table 5.
+    pub fn without_load_balancing(mut self) -> Self {
+        self.check_interval = usize::MAX;
+        self
+    }
+
+    /// Whether load balancing is enabled.
+    pub fn load_balancing_enabled(&self) -> bool {
+        self.check_interval != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let c = StanceConfig::default();
+        assert_eq!(c.check_interval, 10);
+        assert_eq!(c.schedule_strategy, ScheduleStrategy::Sort2);
+        assert!(c.load_balancing_enabled());
+    }
+
+    #[test]
+    fn builders() {
+        let c = StanceConfig::free()
+            .with_strategy(ScheduleStrategy::Sort1)
+            .with_check_interval(25);
+        assert_eq!(c.schedule_strategy, ScheduleStrategy::Sort1);
+        assert_eq!(c.check_interval, 25);
+        let off = StanceConfig::default().without_load_balancing();
+        assert!(!off.load_balancing_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_interval_rejected() {
+        let _ = StanceConfig::default().with_check_interval(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! # STANCE — runtime support for data-parallel applications on adaptive
+//! and nonuniform computational environments
+//!
+//! A from-scratch Rust reproduction of the runtime library described in
+//! Kaddoura & Ranka, *"Runtime Support for Parallelization of Data-Parallel
+//! Applications on Adaptive and Nonuniform Computational Environments"*
+//! (HPDC 1996). The library parallelizes iterative unstructured data-parallel
+//! applications (sparse relaxation over meshes) on clusters whose machines
+//! differ in speed (*nonuniform*) and whose available capacity changes over
+//! time (*adaptive*), through four phases (the paper's Fig. 1):
+//!
+//! | Phase | Component | Crate |
+//! |-------|-----------|-------|
+//! | A — data partitioning | 1-D locality transform + block partitions | [`locality`], [`onedim`] |
+//! | B — inspector | translation tables + communication schedules | [`inspector`] |
+//! | C — executor | gather/scatter + the irregular kernel | [`executor`] |
+//! | D — load balancing | monitor, controller, MCR, redistribution | [`balance`] |
+//!
+//! The cluster itself — heterogeneous workstations on an Ethernet-era
+//! network — is simulated deterministically by [`sim`] (one thread per rank,
+//! real data movement, virtual clocks).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stance::prelude::*;
+//!
+//! // A small unstructured mesh, reordered for locality (Phase A).
+//! let mesh = stance::locality::meshgen::triangulated_grid(16, 16, 0.4, 7);
+//! let (mesh, _ordering) = stance::prepare_mesh(&mesh, OrderingMethod::Rcb);
+//!
+//! // Three equal workstations; run 50 iterations of the Fig. 8 loop.
+//! let spec = ClusterSpec::uniform(3);
+//! let config = StanceConfig::default();
+//! let report = Cluster::new(spec).run(|env| {
+//!     let mut session = AdaptiveSession::setup(env, &mesh, |g| g as f64, &config);
+//!     session.run_adaptive(env, 50)
+//! });
+//! assert!(report.makespan() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod efficiency;
+pub mod scenarios;
+pub mod session;
+
+pub use config::StanceConfig;
+pub use efficiency::{adaptive_efficiency, static_efficiency};
+pub use session::{AdaptiveSession, SessionReport};
+
+/// Re-export: the cluster simulator / messaging substrate.
+pub use stance_sim as sim;
+
+/// Re-export: Phase A (graphs, orderings, mesh generators).
+pub use stance_locality as locality;
+
+/// Re-export: 1-D partitions, arrangements, MCR.
+pub use stance_onedim as onedim;
+
+/// Re-export: Phase B (translation, schedules).
+pub use stance_inspector as inspector;
+
+/// Re-export: Phase C (gather/scatter, kernel).
+pub use stance_executor as executor;
+
+/// Re-export: Phase D (monitoring, controller, redistribution).
+pub use stance_balance as balance;
+
+use stance_locality::{compute_ordering, Graph, Ordering, OrderingMethod};
+
+/// Phase A in one call: computes the 1-D ordering of `graph` with `method`
+/// and relabels the graph along it. Returns the reordered graph and the
+/// ordering (to map results back to original vertex ids).
+pub fn prepare_mesh(graph: &Graph, method: OrderingMethod) -> (Graph, Ordering) {
+    let ordering = compute_ordering(graph, method);
+    (ordering.apply(graph), ordering)
+}
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::config::StanceConfig;
+    pub use crate::efficiency::{adaptive_efficiency, static_efficiency};
+    pub use crate::prepare_mesh;
+    pub use crate::session::{AdaptiveSession, SessionReport};
+    pub use stance_balance::{BalancerConfig, CapabilityEstimator, ControllerMode, Decision};
+    pub use stance_executor::ComputeCostModel;
+    pub use stance_inspector::{InspectorCostModel, ScheduleStrategy};
+    pub use stance_locality::{Graph, Ordering, OrderingMethod};
+    pub use stance_onedim::{Arrangement, BlockPartition, RedistCostModel};
+    pub use stance_sim::{
+        Cluster, ClusterSpec, Env, LoadTimeline, MachineSpec, NetworkSpec, Payload, Tag,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_mesh_round_trip() {
+        let mesh = locality::meshgen::triangulated_grid(6, 6, 0.2, 1);
+        let (ordered, o) = prepare_mesh(&mesh, OrderingMethod::Hilbert);
+        assert_eq!(ordered.num_vertices(), mesh.num_vertices());
+        assert_eq!(ordered.num_edges(), mesh.num_edges());
+        // The ordering maps original vertex v to its new id.
+        for v in 0..mesh.num_vertices() {
+            assert_eq!(ordered.coord(o.position_of(v)), mesh.coord(v));
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The adaptive session: Phases A–D wired together on each rank.
+//!
+//! An [`AdaptiveSession`] owns one rank's share of the computation — its
+//! partition interval, mesh rows, communication schedule, ghosted values and
+//! load monitor — and drives the paper's execution structure: blocks of
+//! executor iterations separated by load-balance checks, with full remaps
+//! (data movement + inspector re-run) when the controller finds one
+//! profitable.
+//!
+//! All methods taking `&mut Env` are collectives: every rank of the cluster
+//! must call them in the same order (the SPMD contract of §2).
+
+use stance_balance::{
+    load_balance_step, redistribute_adjacency, redistribute_values, Decision, LoadMonitor,
+};
+use stance_executor::{GhostedArray, LoopRunner};
+use stance_inspector::{
+    build_schedule_simple, build_schedule_symmetric, CommSchedule, LocalAdjacency,
+    ScheduleStrategy,
+};
+use stance_locality::Graph;
+use stance_onedim::BlockPartition;
+use stance_sim::Env;
+
+use crate::config::StanceConfig;
+
+/// Aggregate timing of an adaptive run on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionReport {
+    /// Executor iterations performed.
+    pub iterations: usize,
+    /// Virtual seconds in the compute sweep.
+    pub compute_time: f64,
+    /// Load-balance checks performed.
+    pub checks: usize,
+    /// Remaps performed.
+    pub remaps: usize,
+    /// Virtual seconds spent in checks (gather + decision + broadcast).
+    pub check_cost: f64,
+    /// Virtual seconds spent remapping (data movement + schedule rebuild).
+    pub rebalance_cost: f64,
+    /// This rank's clock when the run finished.
+    pub total_time: f64,
+}
+
+/// One rank's state for the adaptive computation.
+pub struct AdaptiveSession {
+    partition: BlockPartition,
+    adj: LocalAdjacency,
+    runner: LoopRunner,
+    values: GhostedArray,
+    monitor: LoadMonitor,
+    config: StanceConfig,
+}
+
+impl AdaptiveSession {
+    /// Collective setup with an equal-share initial decomposition (the
+    /// paper's adaptive experiment starts this way: "the graph was
+    /// decomposed assuming all the processors had equal computational
+    /// ratio"). `init(g)` provides the initial value of global element `g`.
+    pub fn setup(
+        env: &mut Env,
+        graph: &Graph,
+        init: impl Fn(usize) -> f64,
+        config: &StanceConfig,
+    ) -> Self {
+        let partition = BlockPartition::uniform(graph.num_vertices(), env.size());
+        Self::setup_with_partition(env, graph, partition, init, config)
+    }
+
+    /// Collective setup with an explicit initial partition (e.g. weighted by
+    /// known machine speeds).
+    pub fn setup_with_partition(
+        env: &mut Env,
+        graph: &Graph,
+        partition: BlockPartition,
+        init: impl Fn(usize) -> f64,
+        config: &StanceConfig,
+    ) -> Self {
+        assert_eq!(
+            partition.num_procs(),
+            env.size(),
+            "partition has {} blocks for {} ranks",
+            partition.num_procs(),
+            env.size()
+        );
+        assert_eq!(
+            partition.n(),
+            graph.num_vertices(),
+            "partition covers {} elements for a {}-vertex graph",
+            partition.n(),
+            graph.num_vertices()
+        );
+        let adj = LocalAdjacency::extract(graph, &partition, env.rank());
+        let schedule = build_schedule(env, &partition, &adj, config);
+        let runner = LoopRunner::new(schedule, &adj, config.compute_cost);
+        let iv = partition.interval_of(env.rank());
+        let local: Vec<f64> = iv.iter().map(&init).collect();
+        let values = runner.make_values(local);
+        AdaptiveSession {
+            partition,
+            adj,
+            runner,
+            values,
+            monitor: LoadMonitor::with_estimator(config.monitor_window, config.estimator),
+            config: config.clone(),
+        }
+    }
+
+    /// The current partition.
+    pub fn partition(&self) -> &BlockPartition {
+        &self.partition
+    }
+
+    /// This rank's owned values (in interval order).
+    pub fn local_values(&self) -> &[f64] {
+        self.values.local()
+    }
+
+    /// The current communication schedule.
+    pub fn schedule(&self) -> &CommSchedule {
+        self.runner.schedule()
+    }
+
+    /// Runs a block of iterations and records the load measurement.
+    /// Collective.
+    pub fn run_block(&mut self, env: &mut Env, iters: usize) -> stance_executor::kernel::LoopStats {
+        let stats = self.runner.run(env, &mut self.values, iters);
+        self.monitor
+            .record(stats.compute_time, stats.iterations, self.values.local_len());
+        stats
+    }
+
+    /// One load-balance check (and remap, if the controller finds it
+    /// profitable). Returns `(remapped, check_cost, rebalance_cost)`.
+    /// Collective.
+    pub fn check_and_rebalance(&mut self, env: &mut Env, remaining_iters: usize) -> (bool, f64, f64) {
+        let per_item = self.monitor.per_item_time().unwrap_or(0.0);
+        let t0 = env.now();
+        let decision = load_balance_step(
+            env,
+            &self.partition,
+            per_item,
+            remaining_iters,
+            &self.config.balancer,
+        );
+        let check_cost = env.now() - t0;
+        match decision {
+            Decision::Keep => (false, check_cost, 0.0),
+            Decision::Remap(new_partition) => {
+                let t1 = env.now();
+                self.apply_remap(env, new_partition);
+                (true, check_cost, env.now() - t1)
+            }
+        }
+    }
+
+    /// Moves data and structure to `new_partition` and rebuilds the
+    /// schedule. Collective.
+    fn apply_remap(&mut self, env: &mut Env, new_partition: BlockPartition) {
+        let new_local =
+            redistribute_values(env, &self.partition, &new_partition, self.values.local());
+        let new_adj = redistribute_adjacency(env, &self.partition, &new_partition, &self.adj);
+        self.partition = new_partition;
+        self.adj = new_adj;
+        let schedule = build_schedule(env, &self.partition, &self.adj, &self.config);
+        self.runner = LoopRunner::new(schedule, &self.adj, self.config.compute_cost);
+        self.values = self.runner.make_values(new_local);
+        self.monitor.reset();
+    }
+
+    /// The paper's full execution structure: blocks of `check_interval`
+    /// iterations separated by load-balance checks, for `total_iters`
+    /// iterations. Collective.
+    pub fn run_adaptive(&mut self, env: &mut Env, total_iters: usize) -> SessionReport {
+        let mut report = SessionReport::default();
+        let mut done = 0;
+        while done < total_iters {
+            let block = self.config.check_interval.min(total_iters - done);
+            let stats = self.run_block(env, block);
+            done += block;
+            report.iterations += stats.iterations;
+            report.compute_time += stats.compute_time;
+            if done < total_iters && self.config.load_balancing_enabled() {
+                let (remapped, check, rebalance) =
+                    self.check_and_rebalance(env, total_iters - done);
+                report.checks += 1;
+                report.check_cost += check;
+                if remapped {
+                    report.remaps += 1;
+                    report.rebalance_cost += rebalance;
+                }
+            }
+        }
+        report.total_time = env.now().as_secs();
+        report
+    }
+}
+
+/// Builds the schedule with the configured strategy, charging inspector
+/// work to the rank's clock. Collective for [`ScheduleStrategy::Simple`].
+fn build_schedule(
+    env: &mut Env,
+    partition: &BlockPartition,
+    adj: &LocalAdjacency,
+    config: &StanceConfig,
+) -> CommSchedule {
+    match config.schedule_strategy {
+        ScheduleStrategy::Sort1 | ScheduleStrategy::Sort2 => {
+            let (schedule, work) = build_schedule_symmetric(
+                partition,
+                adj,
+                env.rank(),
+                config.schedule_strategy,
+            );
+            env.compute(config.inspector_cost.seconds(&work));
+            schedule
+        }
+        ScheduleStrategy::Simple => {
+            build_schedule_simple(env, partition, adj, &config.inspector_cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use stance_executor::sequential_relaxation;
+    use stance_locality::meshgen;
+
+    fn init(g: usize) -> f64 {
+        (g as f64).cos() * 5.0
+    }
+
+    fn mesh() -> Graph {
+        let raw = meshgen::triangulated_grid(12, 10, 0.4, 3);
+        crate::prepare_mesh(&raw, OrderingMethod::Rcb).0
+    }
+
+    /// A balancer scaled to the tiny test mesh: the default hints assume the
+    /// paper's 30k-vertex workload, where remap costs are repaid in a few
+    /// iterations; at 120 vertices they would never be.
+    fn test_balancer() -> BalancerConfig {
+        BalancerConfig {
+            redist_model: RedistCostModel {
+                per_message: 1.0e-4,
+                per_element: 1.0e-7,
+            },
+            rebuild_cost_hint: 1.0e-4,
+            profitability_margin: 1.0,
+            use_mcr: true,
+            mode: ControllerMode::Centralized,
+        }
+    }
+
+    #[test]
+    fn static_run_matches_sequential() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let iters = 20;
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, iters);
+
+        for strategy in ScheduleStrategy::ALL {
+            let m2 = m.clone();
+            let config = StanceConfig::free().with_strategy(strategy);
+            let spec = ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
+            let report = Cluster::new(spec).run(move |env| {
+                let mut s = AdaptiveSession::setup(env, &m2, init, &config);
+                s.run_adaptive(env, iters);
+                s.local_values().to_vec()
+            });
+            let mut got = Vec::with_capacity(n);
+            for r in report.into_results() {
+                got.extend(r);
+            }
+            assert_eq!(got, expected, "{strategy:?} diverged");
+        }
+    }
+
+    #[test]
+    fn adaptive_run_with_remap_matches_sequential() {
+        // Competing load on rank 0 forces a remap; values must still match
+        // the sequential reference bitwise afterwards.
+        let m = mesh();
+        let n = m.num_vertices();
+        let iters = 40;
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, iters);
+
+        let m2 = m.clone();
+        let mut config = StanceConfig::default().with_check_interval(10);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(3)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(move |env| {
+            let mut s = AdaptiveSession::setup(env, &m2, init, &config);
+            let rep = s.run_adaptive(env, iters);
+            let part = s.partition().clone();
+            (rep, s.local_values().to_vec(), part)
+        });
+        let results: Vec<_> = report.into_results();
+        let (rep0, _, final_part) = &results[0];
+        assert!(rep0.remaps >= 1, "expected at least one remap: {rep0:?}");
+        // The loaded rank should own fewer elements after the remap.
+        let sizes = final_part.sizes();
+        assert!(
+            sizes[0] < sizes[1],
+            "loaded rank kept too much: {sizes:?}"
+        );
+        // Reassemble values in global order via each rank's final interval.
+        let mut got = vec![0.0; n];
+        for (rank, (_, values, _)) in results.iter().enumerate() {
+            let iv = final_part.interval_of(rank);
+            got[iv.start..iv.end].copy_from_slice(values);
+        }
+        assert_eq!(got, expected, "adaptive run diverged from sequential");
+    }
+
+    #[test]
+    fn load_balancing_reduces_adaptive_runtime() {
+        let m = mesh();
+        let iters = 50;
+        let run = |lb: bool| {
+            let m = m.clone();
+            let mut config = if lb {
+                StanceConfig::default().with_check_interval(10)
+            } else {
+                StanceConfig::default().without_load_balancing()
+            };
+            config.balancer = test_balancer();
+            // Zero-cost network isolates the load-balancing effect: at 120
+            // vertices, Ethernet message latency would swamp the compute
+            // imbalance (the full-scale effect is measured by the Table 5
+            // harness).
+            let spec = ClusterSpec::uniform(2)
+                .with_network(NetworkSpec::zero_cost())
+                .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+            Cluster::new(spec)
+                .run(move |env| {
+                    let mut s = AdaptiveSession::setup(env, &m, init, &config);
+                    s.run_adaptive(env, iters)
+                })
+                .ranks
+                .iter()
+                .map(|r| r.clock.as_secs())
+                .fold(0.0, f64::max)
+        };
+        let with_lb = run(true);
+        let without_lb = run(false);
+        assert!(
+            with_lb < without_lb * 0.8,
+            "load balancing should help: {with_lb} vs {without_lb}"
+        );
+    }
+
+    #[test]
+    fn no_remap_when_balanced() {
+        let m = mesh();
+        let config = StanceConfig::default();
+        let spec = ClusterSpec::paper_cluster(3);
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, init, &config);
+            s.run_adaptive(env, 30)
+        });
+        for rep in report.results() {
+            assert_eq!(rep.remaps, 0, "balanced cluster must not remap: {rep:?}");
+            assert_eq!(rep.checks, 2);
+            assert!(rep.check_cost > 0.0);
+            assert_eq!(rep.rebalance_cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn report_counters_consistent() {
+        let m = mesh();
+        let config = StanceConfig::free().with_check_interval(7);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, init, &config);
+            s.run_adaptive(env, 21)
+        });
+        for rep in report.results() {
+            assert_eq!(rep.iterations, 21);
+            assert_eq!(rep.checks, 2); // after blocks 1 and 2, none after the last
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition has")]
+    fn setup_rejects_wrong_partition_width() {
+        let m = mesh();
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let bad = BlockPartition::uniform(m.num_vertices(), 3);
+            let _ = AdaptiveSession::setup_with_partition(env, &m, bad, init, &config);
+        });
+    }
+}

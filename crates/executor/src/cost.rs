@@ -1,0 +1,93 @@
+//! Pricing of executor work in reference seconds.
+//!
+//! Calibrated so the paper's headline sequential measurement reproduces: 500
+//! iterations of the Fig. 8 loop on the 30 269-vertex / 44 929-edge mesh took
+//! 97.61 s on one SUN4 workstation (Table 4), i.e. ≈ 195 ms per sweep over
+//! ~90k references — a few microseconds per indirect reference, which is
+//! what mid-90s workstations delivered on pointer-chasing float code.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds of reference-machine time per unit of kernel work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeCostModel {
+    /// Per indirect reference (load via indirection array + add).
+    pub per_reference: f64,
+    /// Per owned vertex (loop overhead + divide + store).
+    pub per_vertex: f64,
+    /// Per element packed into / unpacked from a message buffer.
+    pub per_pack: f64,
+}
+
+impl ComputeCostModel {
+    /// SUN4-class calibration (see module docs): reproduces T(1) ≈ 97.6 s
+    /// for the paper's workload.
+    pub fn sun4() -> Self {
+        ComputeCostModel {
+            per_reference: 1.84e-6,
+            per_vertex: 1.0e-6,
+            per_pack: 0.4e-6,
+        }
+    }
+
+    /// Free model for structure-only tests.
+    pub fn zero() -> Self {
+        ComputeCostModel {
+            per_reference: 0.0,
+            per_vertex: 0.0,
+            per_pack: 0.0,
+        }
+    }
+
+    /// Work (reference seconds) of one relaxation sweep over `vertices`
+    /// owned vertices with `references` total neighbor references.
+    pub fn sweep_work(&self, vertices: usize, references: usize) -> f64 {
+        vertices as f64 * self.per_vertex + references as f64 * self.per_reference
+    }
+
+    /// Work of packing or unpacking `elements` values.
+    pub fn pack_work(&self, elements: usize) -> f64 {
+        elements as f64 * self.per_pack
+    }
+}
+
+impl Default for ComputeCostModel {
+    fn default() -> Self {
+        Self::sun4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sequential_time_reproduced() {
+        // 500 iterations over the Fig. 9 mesh: 30 269 vertices, 2 × 44 929
+        // references.
+        let m = ComputeCostModel::sun4();
+        let per_iter = m.sweep_work(30_269, 2 * 44_929);
+        let total = 500.0 * per_iter;
+        assert!(
+            (total - 97.61).abs() < 3.0,
+            "expected ≈ 97.61 s, got {total:.2} s"
+        );
+    }
+
+    #[test]
+    fn zero_model() {
+        let m = ComputeCostModel::zero();
+        assert_eq!(m.sweep_work(100, 1000), 0.0);
+        assert_eq!(m.pack_work(50), 0.0);
+    }
+
+    #[test]
+    fn pack_work_linear() {
+        let m = ComputeCostModel {
+            per_reference: 0.0,
+            per_vertex: 0.0,
+            per_pack: 2.0,
+        };
+        assert_eq!(m.pack_work(3), 6.0);
+    }
+}

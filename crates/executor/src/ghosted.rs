@@ -1,0 +1,148 @@
+//! The ghosted local buffer: a rank's owned values plus the off-processor
+//! values the gather fetches, in one contiguous allocation.
+//!
+//! Fig. 4 of the paper draws each processor's buffer as "local data"
+//! followed by "off processor data"; the inspector's translated adjacency
+//! indexes directly into this combined layout (owned values at
+//! `0..local_len`, ghost slot `s` at `local_len + s`).
+
+/// A rank's owned block plus ghost region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostedArray {
+    data: Vec<f64>,
+    local_len: usize,
+}
+
+impl GhostedArray {
+    /// Creates a buffer with `local_len` owned slots and `num_ghosts` ghost
+    /// slots, all zero.
+    pub fn zeros(local_len: usize, num_ghosts: usize) -> Self {
+        GhostedArray {
+            data: vec![0.0; local_len + num_ghosts],
+            local_len,
+        }
+    }
+
+    /// Creates a buffer from owned values, appending `num_ghosts` zeroed
+    /// ghost slots.
+    pub fn from_local(local: Vec<f64>, num_ghosts: usize) -> Self {
+        let local_len = local.len();
+        let mut data = local;
+        data.resize(local_len + num_ghosts, 0.0);
+        GhostedArray { data, local_len }
+    }
+
+    /// Number of owned elements.
+    #[inline]
+    pub fn local_len(&self) -> usize {
+        self.local_len
+    }
+
+    /// Number of ghost slots.
+    #[inline]
+    pub fn num_ghosts(&self) -> usize {
+        self.data.len() - self.local_len
+    }
+
+    /// The owned values.
+    #[inline]
+    pub fn local(&self) -> &[f64] {
+        &self.data[..self.local_len]
+    }
+
+    /// Mutable owned values.
+    #[inline]
+    pub fn local_mut(&mut self) -> &mut [f64] {
+        &mut self.data[..self.local_len]
+    }
+
+    /// The ghost region.
+    #[inline]
+    pub fn ghosts(&self) -> &[f64] {
+        &self.data[self.local_len..]
+    }
+
+    /// Mutable ghost region.
+    #[inline]
+    pub fn ghosts_mut(&mut self) -> &mut [f64] {
+        let start = self.local_len;
+        &mut self.data[start..]
+    }
+
+    /// The whole combined buffer (what translated adjacencies index into).
+    #[inline]
+    pub fn combined(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable combined buffer.
+    #[inline]
+    pub fn combined_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Replaces the owned values (length must match).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_local(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.local_len, "local length mismatch");
+        self.data[..self.local_len].copy_from_slice(values);
+    }
+
+    /// Resizes for a new distribution: keeps nothing (used after
+    /// redistribution, when the owner writes a fresh block).
+    pub fn reset(&mut self, local_len: usize, num_ghosts: usize) {
+        self.data.clear();
+        self.data.resize(local_len + num_ghosts, 0.0);
+        self.local_len = local_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout() {
+        let mut a = GhostedArray::zeros(3, 2);
+        assert_eq!(a.local_len(), 3);
+        assert_eq!(a.num_ghosts(), 2);
+        assert_eq!(a.combined().len(), 5);
+        a.local_mut()[1] = 7.0;
+        a.ghosts_mut()[0] = 9.0;
+        assert_eq!(a.combined(), &[0.0, 7.0, 0.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn from_local_appends_ghosts() {
+        let a = GhostedArray::from_local(vec![1.0, 2.0], 3);
+        assert_eq!(a.local(), &[1.0, 2.0]);
+        assert_eq!(a.ghosts(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn set_local_and_reset() {
+        let mut a = GhostedArray::zeros(2, 1);
+        a.set_local(&[4.0, 5.0]);
+        assert_eq!(a.local(), &[4.0, 5.0]);
+        a.reset(4, 0);
+        assert_eq!(a.local_len(), 4);
+        assert_eq!(a.num_ghosts(), 0);
+        assert_eq!(a.local(), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_local_checks_length() {
+        let mut a = GhostedArray::zeros(2, 0);
+        a.set_local(&[1.0]);
+    }
+
+    #[test]
+    fn empty_buffers() {
+        let a = GhostedArray::zeros(0, 0);
+        assert!(a.local().is_empty());
+        assert!(a.ghosts().is_empty());
+    }
+}

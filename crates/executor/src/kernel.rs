@@ -1,0 +1,385 @@
+//! The paper's irregular loop (Fig. 8) and its parallel executor.
+//!
+//! ```text
+//! for 1 ≤ i ≤ number_of_vertices
+//!     t[i] := Σ_k y[ia[k]]          (sum over i's neighbors)
+//! for 1 ≤ i ≤ number_of_vertices
+//!     y[i] := t[i] / degree(i)
+//! ```
+//!
+//! a Jacobi-style relaxation over the unstructured mesh: every vertex
+//! replaces its value by the average of its neighbors. The parallel form
+//! gathers ghost values first, then sweeps owned vertices through the
+//! translated adjacency. Because the translated adjacency preserves the
+//! graph's (ascending-neighbor) CSR order, the parallel computation sums in
+//! exactly the sequential order — results are **bitwise identical** to the
+//! sequential reference, which the integration tests assert.
+
+use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
+use stance_locality::Graph;
+use stance_sim::Env;
+
+use crate::cost::ComputeCostModel;
+use crate::ghosted::GhostedArray;
+use crate::primitives::gather;
+
+/// One relaxation sweep over owned vertices: reads the combined buffer,
+/// writes averaged values into `out` (length = owned vertices). Zero-degree
+/// vertices keep their value.
+pub fn parallel_relaxation_step(
+    tadj: &TranslatedAdjacency,
+    values: &GhostedArray,
+    out: &mut [f64],
+) {
+    assert_eq!(out.len(), tadj.len(), "output length mismatch");
+    let combined = values.combined();
+    for l in 0..tadj.len() {
+        let nbrs = tadj.neighbors_of(l);
+        if nbrs.is_empty() {
+            out[l] = combined[l];
+            continue;
+        }
+        let mut t = 0.0;
+        for &s in nbrs {
+            t += combined[s as usize];
+        }
+        out[l] = t / nbrs.len() as f64;
+    }
+}
+
+/// One local sweep of the shifted graph-Laplacian operator:
+/// `out[i] = (deg(i) + shift) · x[i] − Σ_{j ∈ adj(i)} x[j]`, reading ghost
+/// values from the combined buffer. With `shift > 0` the operator is
+/// symmetric positive definite — the workhorse of iterative solvers (see
+/// the `cg_solver` example).
+pub fn laplacian_matvec_step(
+    tadj: &TranslatedAdjacency,
+    values: &GhostedArray,
+    shift: f64,
+    out: &mut [f64],
+) {
+    assert_eq!(out.len(), tadj.len(), "output length mismatch");
+    let combined = values.combined();
+    for l in 0..tadj.len() {
+        let nbrs = tadj.neighbors_of(l);
+        let mut acc = (nbrs.len() as f64 + shift) * combined[l];
+        for &s in nbrs {
+            acc -= combined[s as usize];
+        }
+        out[l] = acc;
+    }
+}
+
+/// Sequential reference for [`laplacian_matvec_step`] over the whole graph.
+pub fn sequential_laplacian_matvec(graph: &Graph, x: &[f64], shift: f64, out: &mut [f64]) {
+    assert_eq!(x.len(), graph.num_vertices());
+    assert_eq!(out.len(), graph.num_vertices());
+    for (i, o) in out.iter_mut().enumerate() {
+        let nbrs = graph.neighbors(i);
+        let mut acc = (nbrs.len() as f64 + shift) * x[i];
+        for &j in nbrs {
+            acc -= x[j as usize];
+        }
+        *o = acc;
+    }
+}
+
+/// The sequential reference: `iters` sweeps of Fig. 8 over the whole graph.
+pub fn sequential_relaxation(graph: &Graph, y: &mut [f64], iters: usize) {
+    assert_eq!(y.len(), graph.num_vertices(), "value array length mismatch");
+    let n = graph.num_vertices();
+    let mut t = vec![0.0; n];
+    for _ in 0..iters {
+        for (i, ti) in t.iter_mut().enumerate() {
+            let nbrs = graph.neighbors(i);
+            if nbrs.is_empty() {
+                *ti = y[i];
+                continue;
+            }
+            let mut acc = 0.0;
+            for &j in nbrs {
+                acc += y[j as usize];
+            }
+            *ti = acc / nbrs.len() as f64;
+        }
+        y.copy_from_slice(&t);
+    }
+}
+
+/// Timing of a [`LoopRunner`] execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoopStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Virtual seconds spent in the compute sweep (expanded by machine
+    /// speed and external load — this is what the load monitor samples).
+    pub compute_time: f64,
+}
+
+impl LoopStats {
+    /// "Average computation time per data item" (§5): the capability
+    /// estimate the paper's load balancer uses.
+    pub fn avg_time_per_item(&self, owned_items: usize) -> f64 {
+        if owned_items == 0 || self.iterations == 0 {
+            return 0.0;
+        }
+        self.compute_time / (self.iterations as f64 * owned_items as f64)
+    }
+}
+
+/// Drives the gather + sweep iteration on one rank.
+pub struct LoopRunner {
+    schedule: CommSchedule,
+    tadj: TranslatedAdjacency,
+    cost: ComputeCostModel,
+    scratch: Vec<f64>,
+}
+
+impl LoopRunner {
+    /// Builds a runner from a schedule and the rank's adjacency.
+    pub fn new(schedule: CommSchedule, adj: &LocalAdjacency, cost: ComputeCostModel) -> Self {
+        let tadj = schedule.translate_adjacency(adj);
+        let scratch = vec![0.0; tadj.len()];
+        LoopRunner {
+            schedule,
+            tadj,
+            cost,
+            scratch,
+        }
+    }
+
+    /// The schedule in use.
+    pub fn schedule(&self) -> &CommSchedule {
+        &self.schedule
+    }
+
+    /// The translated adjacency.
+    pub fn tadj(&self) -> &TranslatedAdjacency {
+        &self.tadj
+    }
+
+    /// Allocates the ghosted value buffer for this runner with the given
+    /// owned values.
+    pub fn make_values(&self, local: Vec<f64>) -> GhostedArray {
+        assert_eq!(local.len(), self.tadj.len(), "owned value length mismatch");
+        GhostedArray::from_local(local, self.tadj.num_ghosts() as usize)
+    }
+
+    /// Runs `iters` iterations: gather ghosts, charge and perform the sweep,
+    /// commit the new values. Returns measured timing.
+    pub fn run(&mut self, env: &mut Env, values: &mut GhostedArray, iters: usize) -> LoopStats {
+        let mut stats = LoopStats::default();
+        let sweep = self
+            .cost
+            .sweep_work(self.tadj.len(), self.tadj.num_refs());
+        for _ in 0..iters {
+            gather(env, &self.schedule, values, &self.cost);
+            let t0 = env.now();
+            env.compute(sweep);
+            parallel_relaxation_step(&self.tadj, values, &mut self.scratch);
+            values.set_local(&self.scratch);
+            stats.compute_time += env.now() - t0;
+            stats.iterations += 1;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stance_inspector::{build_schedule_symmetric, ScheduleStrategy};
+    use stance_locality::meshgen;
+    use stance_onedim::BlockPartition;
+    use stance_sim::{Cluster, ClusterSpec, NetworkSpec};
+
+    fn initial_values(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64).sin() * 10.0).collect()
+    }
+
+    #[test]
+    fn sequential_step_by_hand() {
+        // Path 0-1-2: after one sweep y = [y1, (y0+y2)/2, y1].
+        let g = Graph::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![[0.0; 3], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0]],
+            2,
+        );
+        let mut y = vec![1.0, 2.0, 5.0];
+        sequential_relaxation(&g, &mut y, 1);
+        assert_eq!(y, vec![2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn sequential_converges_to_mean_on_clique() {
+        // On a complete graph the average of neighbors converges fast.
+        let edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let g = Graph::from_edges(4, &edges, vec![[0.0; 3]; 4], 2);
+        let mut y = vec![0.0, 4.0, 8.0, 12.0];
+        sequential_relaxation(&g, &mut y, 60);
+        let mean = y.iter().sum::<f64>() / 4.0;
+        for v in &y {
+            assert!((v - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_value() {
+        let g = Graph::from_edges(3, &[(0, 1)], vec![[0.0; 3]; 3], 2);
+        let mut y = vec![1.0, 3.0, 7.0];
+        sequential_relaxation(&g, &mut y, 5);
+        assert_eq!(y[2], 7.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let g = meshgen::triangulated_grid(11, 9, 0.4, 6);
+        let n = g.num_vertices();
+        let iters = 12;
+        let mut expected = initial_values(n);
+        sequential_relaxation(&g, &mut expected, iters);
+
+        for p in [2usize, 3, 4] {
+            let part = BlockPartition::uniform(n, p);
+            let g2 = g.clone();
+            let part2 = part.clone();
+            let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+            let report = Cluster::new(spec).run(move |env| {
+                let rank = env.rank();
+                let adj = LocalAdjacency::extract(&g2, &part2, rank);
+                let (sched, _) =
+                    build_schedule_symmetric(&part2, &adj, rank, ScheduleStrategy::Sort1);
+                let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero());
+                let iv = part2.interval_of(rank);
+                let init = initial_values(n);
+                let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
+                runner.run(env, &mut values, iters);
+                values.local().to_vec()
+            });
+            let mut got = Vec::with_capacity(n);
+            for r in report.into_results() {
+                got.extend(r);
+            }
+            assert_eq!(got, expected, "p = {p} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn laplacian_matvec_parallel_matches_sequential() {
+        let g = meshgen::triangulated_grid(9, 8, 0.3, 4);
+        let n = g.num_vertices();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let shift = 1.0;
+        let mut expected = vec![0.0; n];
+        sequential_laplacian_matvec(&g, &x, shift, &mut expected);
+
+        let part = BlockPartition::uniform(n, 3);
+        let x2 = x.clone();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(move |env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let tadj = sched.translate_adjacency(&adj);
+            let iv = part.interval_of(rank);
+            let mut values = GhostedArray::from_local(
+                x2[iv.start..iv.end].to_vec(),
+                tadj.num_ghosts() as usize,
+            );
+            crate::primitives::gather(env, &sched, &mut values, &ComputeCostModel::zero());
+            let mut out = vec![0.0; tadj.len()];
+            laplacian_matvec_step(&tadj, &values, shift, &mut out);
+            out
+        });
+        let mut got = Vec::with_capacity(n);
+        for r in report.into_results() {
+            got.extend(r);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_shift_scaled() {
+        // L·1 = 0, so (L + shift·I)·1 = shift·1.
+        let g = meshgen::triangulated_grid(5, 5, 0.0, 0);
+        let n = g.num_vertices();
+        let x = vec![1.0; n];
+        let mut out = vec![0.0; n];
+        sequential_laplacian_matvec(&g, &x, 2.5, &mut out);
+        for &v in &out {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn loop_stats_measure_compute() {
+        let g = meshgen::triangulated_grid(8, 8, 0.0, 0);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let cost = ComputeCostModel::sun4();
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let refs = adj.num_refs();
+            let owned = adj.len();
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut runner = LoopRunner::new(sched, &adj, cost);
+            let mut values = runner.make_values(vec![0.0; owned]);
+            let stats = runner.run(env, &mut values, 10);
+            (stats, owned, refs)
+        });
+        for (stats, owned, refs) in report.results() {
+            let expected = 10.0 * cost.sweep_work(*owned, *refs);
+            assert!(
+                (stats.compute_time - expected).abs() < 1e-9,
+                "compute time {} != expected {expected}",
+                stats.compute_time
+            );
+            assert!(stats.avg_time_per_item(*owned) > 0.0);
+            assert_eq!(stats.iterations, 10);
+        }
+    }
+
+    #[test]
+    fn loaded_machine_reports_higher_per_item_time() {
+        use stance_sim::LoadTimeline;
+        let g = meshgen::triangulated_grid(8, 8, 0.0, 0);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let spec = ClusterSpec::uniform(2)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let owned = adj.len();
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::sun4());
+            let mut values = runner.make_values(vec![0.0; owned]);
+            let stats = runner.run(env, &mut values, 4);
+            stats.avg_time_per_item(owned)
+        });
+        let per_item: Vec<f64> = report.into_results();
+        // Rank 0 runs at 1/3 availability: ~3× the per-item time.
+        let ratio = per_item[0] / per_item[1];
+        assert!(
+            (ratio - 3.0).abs() < 0.2,
+            "expected ~3× slowdown, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn avg_time_per_item_edge_cases() {
+        let s = LoopStats::default();
+        assert_eq!(s.avg_time_per_item(10), 0.0);
+        let s2 = LoopStats {
+            iterations: 2,
+            compute_time: 4.0,
+        };
+        assert_eq!(s2.avg_time_per_item(0), 0.0);
+        assert_eq!(s2.avg_time_per_item(2), 1.0);
+    }
+}

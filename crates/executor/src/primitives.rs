@@ -1,0 +1,343 @@
+//! The two executor primitives: gather and scatter.
+//!
+//! §3.3: "Gather is used to fetch off-processor elements, while scatter is
+//! used to send off-processor elements." Both walk the communication
+//! schedule; gather moves owner → ghost, scatter-add moves ghost → owner
+//! (accumulating, for symmetric update patterns like residual assembly).
+//!
+//! All ranks must call these collectively with matched schedules (the
+//! inspector guarantees matching; `CommSchedule::validate` checks it).
+
+use stance_inspector::CommSchedule;
+use stance_sim::{Env, Payload, Tag};
+
+use crate::cost::ComputeCostModel;
+use crate::ghosted::GhostedArray;
+
+const TAG_GATHER: Tag = Tag::reserved(32);
+const TAG_SCATTER: Tag = Tag::reserved(33);
+
+/// Fetches all off-processor elements into the ghost region of `values`.
+///
+/// For each send segment: packs the listed local values and sends them to
+/// the peer. For each receive segment: receives the peer's packet and stores
+/// it contiguously in the ghost region (the slots the schedule assigned).
+/// Packing/unpacking work is charged to `env` via `cost`.
+pub fn gather(
+    env: &mut Env,
+    schedule: &CommSchedule,
+    values: &mut GhostedArray,
+    cost: &ComputeCostModel,
+) {
+    debug_assert_eq!(values.local_len(), schedule.interval().len());
+    debug_assert_eq!(values.num_ghosts(), schedule.num_ghosts() as usize);
+
+    // Send my boundary values to every peer that needs them.
+    for (peer, locals) in schedule.sends() {
+        env.compute(cost.pack_work(locals.len()));
+        let packet: Vec<f64> = {
+            let local = values.local();
+            locals.iter().map(|&l| local[l as usize]).collect()
+        };
+        env.send(*peer, TAG_GATHER, Payload::from_f64(packet));
+    }
+    // Receive ghost segments in schedule (peer-ascending) order; slots are
+    // contiguous across segments by construction.
+    let mut slot = 0usize;
+    for (peer, globals) in schedule.recvs() {
+        let packet = env.recv(*peer, TAG_GATHER).into_f64();
+        assert_eq!(
+            packet.len(),
+            globals.len(),
+            "gather packet from rank {peer} has wrong length"
+        );
+        env.compute(cost.pack_work(packet.len()));
+        values.ghosts_mut()[slot..slot + packet.len()].copy_from_slice(&packet);
+        slot += packet.len();
+    }
+}
+
+/// Sends each ghost-region value back to its owner, which **adds** it into
+/// the corresponding owned element. The flow is the exact reverse of
+/// [`gather`]: receive segments become sends and send lists describe where
+/// arriving contributions accumulate.
+pub fn scatter_add(
+    env: &mut Env,
+    schedule: &CommSchedule,
+    values: &mut GhostedArray,
+    cost: &ComputeCostModel,
+) {
+    debug_assert_eq!(values.local_len(), schedule.interval().len());
+    debug_assert_eq!(values.num_ghosts(), schedule.num_ghosts() as usize);
+
+    // Ship my ghost contributions back to their owners.
+    let mut slot = 0usize;
+    for (peer, globals) in schedule.recvs() {
+        let packet: Vec<f64> = values.ghosts()[slot..slot + globals.len()].to_vec();
+        slot += globals.len();
+        env.compute(cost.pack_work(packet.len()));
+        env.send(*peer, TAG_SCATTER, Payload::from_f64(packet));
+    }
+    // Accumulate arriving contributions into my owned elements.
+    for (peer, locals) in schedule.sends() {
+        let packet = env.recv(*peer, TAG_SCATTER).into_f64();
+        assert_eq!(
+            packet.len(),
+            locals.len(),
+            "scatter packet from rank {peer} has wrong length"
+        );
+        env.compute(cost.pack_work(packet.len()));
+        let local = values.local_mut();
+        for (&l, &v) in locals.iter().zip(&packet) {
+            local[l as usize] += v;
+        }
+    }
+}
+
+/// Gathers ghosts for **several arrays at once**, coalescing all of a
+/// peer's values into one message (the paper's §2 "message coalescing"
+/// optimization: for `k` arrays this sends `1/k` of the messages of `k`
+/// separate gathers, paying the per-message setup once).
+///
+/// Wire format per peer: `k` consecutive segments, one per array, each in
+/// send-list order. All ranks must pass the same number of arrays.
+///
+/// # Panics
+/// Panics if any array's shape does not match the schedule.
+pub fn gather_coalesced(
+    env: &mut Env,
+    schedule: &CommSchedule,
+    arrays: &mut [&mut GhostedArray],
+    cost: &ComputeCostModel,
+) {
+    if arrays.is_empty() {
+        return;
+    }
+    let k = arrays.len();
+    for a in arrays.iter() {
+        debug_assert_eq!(a.local_len(), schedule.interval().len());
+        debug_assert_eq!(a.num_ghosts(), schedule.num_ghosts() as usize);
+    }
+    for (peer, locals) in schedule.sends() {
+        env.compute(cost.pack_work(locals.len() * k));
+        let mut packet = Vec::with_capacity(locals.len() * k);
+        for a in arrays.iter() {
+            let local = a.local();
+            packet.extend(locals.iter().map(|&l| local[l as usize]));
+        }
+        env.send(*peer, TAG_GATHER, Payload::from_f64(packet));
+    }
+    let mut slot = 0usize;
+    for (peer, globals) in schedule.recvs() {
+        let seg = globals.len();
+        let packet = env.recv(*peer, TAG_GATHER).into_f64();
+        assert_eq!(
+            packet.len(),
+            seg * k,
+            "coalesced packet from rank {peer} has wrong length"
+        );
+        env.compute(cost.pack_work(packet.len()));
+        for (i, a) in arrays.iter_mut().enumerate() {
+            a.ghosts_mut()[slot..slot + seg].copy_from_slice(&packet[i * seg..(i + 1) * seg]);
+        }
+        slot += seg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stance_inspector::{build_schedule_symmetric, LocalAdjacency, ScheduleStrategy};
+    use stance_locality::meshgen;
+    use stance_onedim::BlockPartition;
+    use stance_sim::{Cluster, ClusterSpec, NetworkSpec};
+
+    /// Runs gather on a mesh where every element's value is its global id;
+    /// every ghost slot must then hold its global id.
+    #[test]
+    fn gather_fetches_correct_values() {
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let part = BlockPartition::from_sizes(&[20, 23, 20]);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let iv = part.interval_of(rank);
+            let local: Vec<f64> = iv.iter().map(|g| g as f64).collect();
+            let mut values = GhostedArray::from_local(local, sched.num_ghosts() as usize);
+            gather(env, &sched, &mut values, &ComputeCostModel::zero());
+            // Every ghost slot holds the value of its global element.
+            for (_, globals) in sched.recvs() {
+                for &gl in globals {
+                    let slot = sched.ghost_slot(gl).unwrap() as usize;
+                    assert_eq!(values.ghosts()[slot], f64::from(gl));
+                }
+            }
+        });
+    }
+
+    /// scatter_add after setting each ghost to 1 must add, per owned vertex,
+    /// the number of remote blocks referencing it.
+    #[test]
+    fn scatter_add_accumulates() {
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut values =
+                GhostedArray::zeros(part.interval_of(rank).len(), sched.num_ghosts() as usize);
+            for x in values.ghosts_mut() {
+                *x = 1.0;
+            }
+            scatter_add(env, &sched, &mut values, &ComputeCostModel::zero());
+            // Expected: each owned vertex receives one contribution per peer
+            // that lists it in the send list (i.e. per remote block that
+            // references it).
+            let mut expected = vec![0.0; values.local_len()];
+            for (_, locals) in sched.sends() {
+                for &l in locals {
+                    expected[l as usize] += 1.0;
+                }
+            }
+            assert_eq!(values.local(), expected.as_slice());
+            values.local().iter().sum::<f64>()
+        });
+        // Total contributions = total ghosts across all ranks.
+        let total: f64 = report.results().sum();
+        assert!(total > 0.0);
+    }
+
+    /// Gather must be deterministic and charge identical virtual time across
+    /// runs.
+    #[test]
+    fn gather_deterministic_timing() {
+        let g = meshgen::triangulated_grid(8, 8, 0.2, 4);
+        let part = BlockPartition::uniform(64, 4);
+        let run = || {
+            let g = g.clone();
+            let part = part.clone();
+            let spec = ClusterSpec::paper_cluster(4);
+            Cluster::new(spec)
+                .run(move |env| {
+                    let rank = env.rank();
+                    let adj = LocalAdjacency::extract(&g, &part, rank);
+                    let (sched, _) =
+                        build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+                    let mut values = GhostedArray::zeros(
+                        part.interval_of(rank).len(),
+                        sched.num_ghosts() as usize,
+                    );
+                    for _ in 0..5 {
+                        gather(env, &sched, &mut values, &ComputeCostModel::sun4());
+                        env.barrier();
+                    }
+                    env.now().as_secs()
+                })
+                .into_results()
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Coalesced gather must deliver exactly what k separate gathers would,
+    /// with 1/k of the messages.
+    #[test]
+    fn coalesced_gather_equivalent_and_cheaper() {
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let iv = part.interval_of(rank);
+            let ghosts = sched.num_ghosts() as usize;
+            // Three arrays with distinct value patterns.
+            let mk = |f: fn(usize) -> f64| {
+                GhostedArray::from_local(iv.iter().map(f).collect(), ghosts)
+            };
+            let mut a = mk(|g| g as f64);
+            let mut b = mk(|g| (g * g) as f64);
+            let mut c = mk(|g| -(g as f64));
+
+            // Reference: separate gathers.
+            let mut a_ref = a.clone();
+            let mut b_ref = b.clone();
+            let mut c_ref = c.clone();
+            gather(env, &sched, &mut a_ref, &ComputeCostModel::zero());
+            gather(env, &sched, &mut b_ref, &ComputeCostModel::zero());
+            gather(env, &sched, &mut c_ref, &ComputeCostModel::zero());
+            let msgs_separate = env.stats().messages_sent;
+
+            gather_coalesced(
+                env,
+                &sched,
+                &mut [&mut a, &mut b, &mut c],
+                &ComputeCostModel::zero(),
+            );
+            let msgs_coalesced = env.stats().messages_sent - msgs_separate;
+
+            assert_eq!(a, a_ref);
+            assert_eq!(b, b_ref);
+            assert_eq!(c, c_ref);
+            (msgs_separate, msgs_coalesced)
+        });
+        for (separate, coalesced) in report.results() {
+            assert_eq!(
+                *separate,
+                3 * coalesced,
+                "coalescing must cut messages 3x ({separate} vs {coalesced})"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesced_gather_empty_array_list_is_noop() {
+        let g = meshgen::triangulated_grid(4, 4, 0.0, 1);
+        let part = BlockPartition::uniform(16, 2);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let adj = LocalAdjacency::extract(&g, &part, env.rank());
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, env.rank(), ScheduleStrategy::Sort2);
+            gather_coalesced(env, &sched, &mut [], &ComputeCostModel::zero());
+            assert_eq!(env.stats().messages_sent, 0);
+        });
+    }
+
+    /// With two ranks and a single cut edge, gather sends exactly one
+    /// element each way.
+    #[test]
+    fn gather_message_volume() {
+        use stance_locality::Graph;
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            vec![[0.0; 3]; 4],
+            2,
+        );
+        let part = BlockPartition::uniform(4, 2);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut values = GhostedArray::zeros(2, sched.num_ghosts() as usize);
+            gather(env, &sched, &mut values, &ComputeCostModel::zero());
+            (env.stats().messages_sent, env.stats().bytes_sent)
+        });
+        for (msgs, bytes) in report.results() {
+            assert_eq!(*msgs, 1);
+            assert_eq!(*bytes, 8);
+        }
+    }
+}

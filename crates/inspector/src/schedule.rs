@@ -1,0 +1,786 @@
+//! Communication-schedule construction: the paper's schedule_sort1,
+//! schedule_sort2 and the general ("simple") strategy.
+//!
+//! A [`CommSchedule`] tells the executor, for one rank:
+//!
+//! * **send lists** — per peer, which of my local elements to ship
+//!   (the paper's Fig. 4 "send list"), and
+//! * **receive segments** — per peer, which global elements arrive and in
+//!   what order; ghost-buffer slots are assigned to them contiguously
+//!   (the paper's "permutation list" — where each received value lands
+//!   in the local buffer, which stores "local data" followed by
+//!   "off processor data", exactly as in Fig. 4).
+//!
+//! ## Symmetric builders (sort1, sort2)
+//!
+//! "For many irregular applications the accesses are symmetric … One can
+//! exploit this symmetry to eliminate the communication required to generate
+//! the communication schedule" (§3.2). If the mesh edge (u, v) crosses ranks
+//! then *u's owner must send u to v's owner and vice versa*, so each side can
+//! derive both directions locally — the only open question is message
+//! *order*, settled by sorting by index:
+//!
+//! * `sort1` builds send lists in reference-stream order, then sorts both
+//!   the send lists and each receive segment;
+//! * `sort2` traverses owned nodes in increasing local order so send lists
+//!   are born sorted; only receive segments are sorted.
+//!
+//! Both produce identical schedules; they differ only in counted work.
+//!
+//! ## Simple strategy
+//!
+//! The general path (no symmetry assumption), as in PARTI/CHAOS \[27\]: the
+//! explicit per-element translation table is block-distributed, so the
+//! inspector (1) queries table owners to dereference its unique off-processor
+//! references, then (2) sends each data owner the list of elements it needs.
+//! Three all-to-all message rounds — which is why Table 3 shows it degrading
+//! as processors are added while the sort strategies get *cheaper*.
+
+use stance_onedim::{BlockPartition, Interval};
+use stance_sim::{Env, Payload, Tag};
+
+use crate::adjacency::LocalAdjacency;
+use crate::cost::{InspectorCostModel, InspectorWork};
+use crate::refhash::RefHashMap;
+use crate::translation::DenseTable;
+
+/// Reserved tags for the simple strategy's protocol rounds.
+const TAG_QUERY: Tag = Tag::reserved(16);
+const TAG_REPLY: Tag = Tag::reserved(17);
+const TAG_REQUEST: Tag = Tag::reserved(18);
+
+/// How to build the communication schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleStrategy {
+    /// Symmetry-exploiting; sorts send lists and receive segments (§3.2).
+    Sort1,
+    /// Symmetry-exploiting; send lists sorted by construction.
+    Sort2,
+    /// General strategy via a distributed explicit translation table
+    /// (requires communication).
+    Simple,
+}
+
+impl ScheduleStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [ScheduleStrategy; 3] = [
+        ScheduleStrategy::Sort1,
+        ScheduleStrategy::Sort2,
+        ScheduleStrategy::Simple,
+    ];
+
+    /// Display name matching the paper's Table 3 rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleStrategy::Sort1 => "Sort1",
+            ScheduleStrategy::Sort2 => "Sort2",
+            ScheduleStrategy::Simple => "Simple Strategy",
+        }
+    }
+}
+
+/// A local or ghost reference after translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalRef {
+    /// Index into the rank's own block.
+    Local(u32),
+    /// Index into the rank's ghost buffer.
+    Ghost(u32),
+}
+
+/// One rank's communication schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSchedule {
+    rank: usize,
+    interval: Interval,
+    /// `(peer, local indices to send)`, peers ascending.
+    sends: Vec<(usize, Vec<u32>)>,
+    /// `(peer, globals received in segment order)`, peers ascending; ghost
+    /// slots are assigned contiguously across segments in this order.
+    recvs: Vec<(usize, Vec<u32>)>,
+    /// global → ghost slot.
+    ghost_of: RefHashMap,
+    num_ghosts: u32,
+}
+
+impl CommSchedule {
+    fn from_parts(
+        rank: usize,
+        interval: Interval,
+        sends: Vec<(usize, Vec<u32>)>,
+        recvs: Vec<(usize, Vec<u32>)>,
+    ) -> Self {
+        let num_ghosts: usize = recvs.iter().map(|(_, g)| g.len()).sum();
+        let mut ghost_of = RefHashMap::with_capacity(num_ghosts);
+        let mut slot = 0u32;
+        for (_, globals) in &recvs {
+            for &g in globals {
+                let prev = ghost_of.insert_if_absent(g, slot);
+                assert!(prev.is_none(), "global {g} received twice");
+                slot += 1;
+            }
+        }
+        CommSchedule {
+            rank,
+            interval,
+            sends,
+            recvs,
+            ghost_of,
+            num_ghosts: slot,
+        }
+    }
+
+    /// The owning rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The rank's owned interval.
+    #[inline]
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// Send lists `(peer, local indices)`, peers ascending.
+    #[inline]
+    pub fn sends(&self) -> &[(usize, Vec<u32>)] {
+        &self.sends
+    }
+
+    /// Receive segments `(peer, globals)`, peers ascending.
+    #[inline]
+    pub fn recvs(&self) -> &[(usize, Vec<u32>)] {
+        &self.recvs
+    }
+
+    /// Number of ghost (off-processor) elements fetched per gather.
+    #[inline]
+    pub fn num_ghosts(&self) -> u32 {
+        self.num_ghosts
+    }
+
+    /// Total elements sent per gather.
+    pub fn total_send_volume(&self) -> usize {
+        self.sends.iter().map(|(_, l)| l.len()).sum()
+    }
+
+    /// The ghost slot holding global `g`, if it is fetched.
+    #[inline]
+    pub fn ghost_slot(&self, g: u32) -> Option<u32> {
+        self.ghost_of.get(g)
+    }
+
+    /// Translates a global reference to a [`LocalRef`].
+    ///
+    /// # Panics
+    /// Panics if `g` is neither owned nor in the ghost set — that means the
+    /// schedule was built from different references than it is used with.
+    pub fn resolve(&self, g: u32) -> LocalRef {
+        if self.interval.contains(g as usize) {
+            LocalRef::Local(g - self.interval.start as u32)
+        } else {
+            match self.ghost_of.get(g) {
+                Some(slot) => LocalRef::Ghost(slot),
+                None => panic!(
+                    "rank {}: global {g} is neither owned ({}) nor scheduled as a ghost",
+                    self.rank, self.interval
+                ),
+            }
+        }
+    }
+
+    /// Translates a whole adjacency into combined-buffer indices: values
+    /// `< local_len` index the block, values `≥ local_len` index ghosts at
+    /// `local_len + slot`. This is the executor-ready indirection array.
+    pub fn translate_adjacency(&self, adj: &LocalAdjacency) -> TranslatedAdjacency {
+        assert_eq!(adj.interval(), self.interval, "adjacency/schedule mismatch");
+        let local_len = self.interval.len() as u32;
+        let mut xadj = Vec::with_capacity(adj.len() + 1);
+        let mut slots = Vec::with_capacity(adj.num_refs());
+        xadj.push(0usize);
+        for l in 0..adj.len() {
+            for &g in adj.neighbors_of(l) {
+                let combined = match self.resolve(g) {
+                    LocalRef::Local(i) => i,
+                    LocalRef::Ghost(s) => local_len + s,
+                };
+                slots.push(combined);
+            }
+            xadj.push(slots.len());
+        }
+        TranslatedAdjacency {
+            local_len,
+            num_ghosts: self.num_ghosts,
+            xadj,
+            slots,
+        }
+    }
+
+    /// Structural sanity checks (used by tests and debug assertions):
+    /// peers sorted and distinct, send locals in range, recv globals owned by
+    /// their peer, no self segments.
+    pub fn validate(&self, partition: &BlockPartition) {
+        for w in self.sends.windows(2) {
+            assert!(w[0].0 < w[1].0, "send peers must be ascending");
+        }
+        for w in self.recvs.windows(2) {
+            assert!(w[0].0 < w[1].0, "recv peers must be ascending");
+        }
+        for (peer, locals) in &self.sends {
+            assert_ne!(*peer, self.rank, "self-send in schedule");
+            for &l in locals {
+                assert!(
+                    (l as usize) < self.interval.len(),
+                    "send local {l} out of block"
+                );
+            }
+        }
+        for (peer, globals) in &self.recvs {
+            assert_ne!(*peer, self.rank, "self-recv in schedule");
+            for &g in globals {
+                assert_eq!(
+                    partition.owner_of(g as usize),
+                    *peer,
+                    "recv global {g} not owned by peer {peer}"
+                );
+                assert!(self.ghost_of.get(g).is_some());
+            }
+        }
+    }
+}
+
+/// Executor-ready indirection: CSR over owned vertices with combined-buffer
+/// indices (block values first, ghosts appended).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslatedAdjacency {
+    local_len: u32,
+    num_ghosts: u32,
+    xadj: Vec<usize>,
+    slots: Vec<u32>,
+}
+
+impl TranslatedAdjacency {
+    /// Number of owned vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Whether there are no owned vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block length (start of the ghost region in the combined buffer).
+    #[inline]
+    pub fn local_len(&self) -> u32 {
+        self.local_len
+    }
+
+    /// Number of ghost slots.
+    #[inline]
+    pub fn num_ghosts(&self) -> u32 {
+        self.num_ghosts
+    }
+
+    /// Required combined-buffer length (`local_len + num_ghosts`).
+    #[inline]
+    pub fn buffer_len(&self) -> usize {
+        (self.local_len + self.num_ghosts) as usize
+    }
+
+    /// Combined-buffer indices of vertex `local`'s neighbors.
+    #[inline]
+    pub fn neighbors_of(&self, local: usize) -> &[u32] {
+        &self.slots[self.xadj[local]..self.xadj[local + 1]]
+    }
+
+    /// Degree of vertex `local`.
+    #[inline]
+    pub fn degree_of(&self, local: usize) -> usize {
+        self.xadj[local + 1] - self.xadj[local]
+    }
+
+    /// Total references.
+    #[inline]
+    pub fn num_refs(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Builds a schedule by exploiting access symmetry — no communication.
+/// Returns the schedule plus counted work (the caller charges it through an
+/// [`InspectorCostModel`]).
+///
+/// # Panics
+/// Panics (in debug) if the reference pattern is not symmetric; the strategy
+/// is only valid for symmetric accesses (§3.2).
+pub fn build_schedule_symmetric(
+    partition: &BlockPartition,
+    adj: &LocalAdjacency,
+    rank: usize,
+    strategy: ScheduleStrategy,
+) -> (CommSchedule, InspectorWork) {
+    assert!(
+        matches!(strategy, ScheduleStrategy::Sort1 | ScheduleStrategy::Sort2),
+        "build_schedule_symmetric only implements Sort1/Sort2"
+    );
+    let mut work = InspectorWork::default();
+    let p = partition.num_procs();
+    let interval = partition.interval_of(rank);
+    debug_assert_eq!(adj.interval(), interval);
+
+    // --- Receive side: unique off-processor globals per owner. -----------
+    // One dedup hash over the reference stream (§3.2 phase 1).
+    let mut ghost_dedup = RefHashMap::with_capacity(adj.num_refs() / 4 + 4);
+    let mut recv_segments: Vec<Vec<u32>> = vec![Vec::new(); p];
+    // --- Send side: boundary locals per destination. ----------------------
+    let mut send_segments: Vec<Vec<u32>> = vec![Vec::new(); p];
+    // Dedup (local, peer) pairs: last-seen peer marker per local vertex is
+    // not enough (a vertex can border several peers), so hash on the packed
+    // pair. Key = local * p + peer (fits u32 for the scales involved).
+    let mut send_dedup = RefHashMap::with_capacity(adj.num_refs() / 4 + 4);
+
+    for l in 0..adj.len() {
+        for &g in adj.neighbors_of(l) {
+            work.translate_ops += 1;
+            if interval.contains(g as usize) {
+                continue;
+            }
+            let owner = partition.owner_of(g as usize);
+            work.hash_ops += 1;
+            if ghost_dedup.insert_if_absent(g, 0).is_none() {
+                recv_segments[owner].push(g);
+                work.scan_ops += 1;
+            }
+            // Symmetric accesses: the owner of g references my vertex l.
+            let pair_key = l as u32 * p as u32 + owner as u32;
+            work.hash_ops += 1;
+            if send_dedup.insert_if_absent(pair_key, 0).is_none() {
+                send_segments[owner].push(l as u32);
+                work.scan_ops += 1;
+            }
+        }
+    }
+
+    // Receive segments: both variants sort by the sender's local reference,
+    // which for an interval block is the same as sorting by global index.
+    for seg in &mut recv_segments {
+        if seg.len() > 1 {
+            work.add_sort(seg.len());
+            seg.sort_unstable();
+        }
+    }
+    // Send lists: sort1 sorts; sort2 relied on the ascending traversal above
+    // (locals were appended in increasing l), so the lists are already
+    // sorted and no work is charged.
+    if strategy == ScheduleStrategy::Sort1 {
+        for seg in &mut send_segments {
+            if seg.len() > 1 {
+                work.add_sort(seg.len());
+                seg.sort_unstable();
+            }
+        }
+    } else {
+        debug_assert!(send_segments
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0] < w[1])));
+    }
+
+    let sends: Vec<(usize, Vec<u32>)> = send_segments
+        .into_iter()
+        .enumerate()
+        .filter(|(peer, seg)| *peer != rank && !seg.is_empty())
+        .collect();
+    let recvs: Vec<(usize, Vec<u32>)> = recv_segments
+        .into_iter()
+        .enumerate()
+        .filter(|(peer, seg)| *peer != rank && !seg.is_empty())
+        .collect();
+
+    (CommSchedule::from_parts(rank, interval, sends, recvs), work)
+}
+
+/// Builds a schedule with the general ("simple") strategy over the cluster:
+/// dereference through the block-distributed explicit translation table,
+/// then exchange request lists. Compute work is charged to `env` as it
+/// happens; message costs follow from the sends themselves.
+///
+/// All ranks must call this collectively.
+pub fn build_schedule_simple(
+    env: &mut Env,
+    partition: &BlockPartition,
+    adj: &LocalAdjacency,
+    cost: &InspectorCostModel,
+) -> CommSchedule {
+    let rank = env.rank();
+    let p = env.size();
+    let n = partition.n();
+    let interval = partition.interval_of(rank);
+    debug_assert_eq!(adj.interval(), interval);
+
+    // Phase 1: dedup references, keeping first-occurrence order, grouped by
+    // *table owner* (we pretend not to know data owners yet — that is what
+    // the explicit table is for). Unlike the symmetric builders, there is no
+    // interval table to pre-filter with, so the dedup hash processes the
+    // whole reference stream [27].
+    let mut work = InspectorWork::default();
+    let mut dedup = RefHashMap::with_capacity(adj.num_refs() / 4 + 4);
+    let mut queries: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for &g in adj.refs() {
+        work.hash_ops += 1;
+        if interval.contains(g as usize) {
+            continue;
+        }
+        if dedup.insert_if_absent(g, 0).is_none() {
+            let table_owner = DenseTable::table_owner_of(g as usize, n, p);
+            queries[table_owner].push(g);
+            work.scan_ops += 1;
+        }
+    }
+    env.compute(cost.seconds(&work));
+
+    // Round 1a: send query lists to table owners (empty messages included:
+    // the receiver cannot otherwise know nobody needs it).
+    for (dst, qs) in queries.iter().enumerate() {
+        if dst != rank {
+            env.send(dst, TAG_QUERY, Payload::from_u32(qs.clone()));
+        }
+    }
+    // Serve queries against my table segment. Each protocol message costs
+    // real servicing CPU (see `InspectorCostModel::per_message_service`).
+    let my_table = DenseTable::from_partition(partition);
+    let mut incoming_queries: Vec<(usize, Vec<u32>)> = Vec::with_capacity(p - 1);
+    for src in 0..p {
+        if src != rank {
+            incoming_queries.push((src, env.recv(src, TAG_QUERY).into_u32()));
+            env.compute(cost.per_message_service);
+        }
+    }
+    for (src, qs) in incoming_queries {
+        let mut reply_work = InspectorWork::default();
+        let reply: Vec<u64> = qs
+            .iter()
+            .map(|&g| {
+                reply_work.translate_ops += 1;
+                let (proc, local) = my_table.locate(g as usize);
+                ((proc as u64) << 32) | local as u64
+            })
+            .collect();
+        env.compute(cost.seconds(&reply_work));
+        env.send(src, TAG_REPLY, Payload::from_u64(reply));
+    }
+
+    // Round 1b: collect replies; now each unique global has (owner, local).
+    let mut located: Vec<(u32, u32, u32)> = Vec::new(); // (global, owner, local)
+    let mut local_queries_work = InspectorWork::default();
+    for (table_owner, qs) in queries.iter().enumerate() {
+        if table_owner == rank {
+            for &g in qs {
+                local_queries_work.translate_ops += 1;
+                let (proc, local) = my_table.locate(g as usize);
+                located.push((g, proc as u32, local as u32));
+            }
+            continue;
+        }
+        let reply = env.recv(table_owner, TAG_REPLY).into_u64();
+        env.compute(cost.per_message_service);
+        for (&g, &packed) in qs.iter().zip(&reply) {
+            located.push((g, (packed >> 32) as u32, (packed & 0xFFFF_FFFF) as u32));
+        }
+    }
+    env.compute(cost.seconds(&local_queries_work));
+
+    // Phase 2: group by data owner (preserving discovery order) and send
+    // request lists; the owner's send list is the request list order.
+    let mut request_globals: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut request_locals: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut group_work = InspectorWork::default();
+    for &(g, owner, local) in &located {
+        group_work.scan_ops += 1;
+        request_globals[owner as usize].push(g);
+        request_locals[owner as usize].push(local);
+    }
+    env.compute(cost.seconds(&group_work));
+    for (dst, locals) in request_locals.iter().enumerate() {
+        if dst != rank {
+            env.send(dst, TAG_REQUEST, Payload::from_u32(locals.clone()));
+        }
+    }
+    let mut sends: Vec<(usize, Vec<u32>)> = Vec::new();
+    for src in 0..p {
+        if src != rank {
+            let locals = env.recv(src, TAG_REQUEST).into_u32();
+            env.compute(cost.per_message_service);
+            if !locals.is_empty() {
+                sends.push((src, locals));
+            }
+        }
+    }
+
+    let recvs: Vec<(usize, Vec<u32>)> = request_globals
+        .into_iter()
+        .enumerate()
+        .filter(|(peer, seg)| *peer != rank && !seg.is_empty())
+        .collect();
+
+    CommSchedule::from_parts(rank, interval, sends, recvs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stance_locality::meshgen;
+    use stance_locality::Graph;
+    use stance_sim::{Cluster, ClusterSpec, NetworkSpec};
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let coords = (0..n).map(|i| [i as f64, 0.0, 0.0]).collect();
+        Graph::from_edges(n, &edges, coords, 2)
+    }
+
+    fn schedules_for(
+        graph: &Graph,
+        partition: &BlockPartition,
+        strategy: ScheduleStrategy,
+    ) -> Vec<CommSchedule> {
+        (0..partition.num_procs())
+            .map(|r| {
+                let adj = LocalAdjacency::extract(graph, partition, r);
+                let (s, _) = build_schedule_symmetric(partition, &adj, r, strategy);
+                s.validate(partition);
+                s
+            })
+            .collect()
+    }
+
+    /// Cross-rank consistency: what q sends to r must be exactly what r
+    /// expects from q, element for element.
+    fn assert_matched(partition: &BlockPartition, schedules: &[CommSchedule]) {
+        let p = partition.num_procs();
+        for q in 0..p {
+            for r in 0..p {
+                if q == r {
+                    continue;
+                }
+                let sent: Vec<u32> = schedules[q]
+                    .sends()
+                    .iter()
+                    .find(|(peer, _)| *peer == r)
+                    .map(|(_, locals)| {
+                        let start = partition.interval_of(q).start as u32;
+                        locals.iter().map(|&l| l + start).collect()
+                    })
+                    .unwrap_or_default();
+                let expected: Vec<u32> = schedules[r]
+                    .recvs()
+                    .iter()
+                    .find(|(peer, _)| *peer == q)
+                    .map(|(_, globals)| globals.clone())
+                    .unwrap_or_default();
+                assert_eq!(sent, expected, "segment {q} → {r} mismatched");
+            }
+        }
+    }
+
+    #[test]
+    fn path_schedule_sort2() {
+        let g = path_graph(9);
+        let part = BlockPartition::uniform(9, 3);
+        let schedules = schedules_for(&g, &part, ScheduleStrategy::Sort2);
+        assert_matched(&part, &schedules);
+        // Middle rank: receives 1 ghost from each side, sends 1 to each.
+        let mid = &schedules[1];
+        assert_eq!(mid.num_ghosts(), 2);
+        assert_eq!(mid.total_send_volume(), 2);
+        assert_eq!(mid.recvs()[0], (0, vec![2]));
+        assert_eq!(mid.recvs()[1], (2, vec![6]));
+        assert_eq!(mid.sends()[0], (0, vec![0]));
+        assert_eq!(mid.sends()[1], (2, vec![2]));
+    }
+
+    #[test]
+    fn sort1_and_sort2_produce_identical_schedules() {
+        let g = meshgen::triangulated_grid(12, 9, 0.4, 7);
+        let part = BlockPartition::from_sizes(&[30, 40, 20, 18]);
+        let s1 = schedules_for(&g, &part, ScheduleStrategy::Sort1);
+        let s2 = schedules_for(&g, &part, ScheduleStrategy::Sort2);
+        assert_eq!(s1, s2);
+        assert_matched(&part, &s1);
+    }
+
+    #[test]
+    fn sort1_charges_more_sort_work() {
+        let g = meshgen::triangulated_grid(12, 12, 0.4, 3);
+        let part = BlockPartition::uniform(144, 4);
+        let adj = LocalAdjacency::extract(&g, &part, 1);
+        let (_, w1) = build_schedule_symmetric(&part, &adj, 1, ScheduleStrategy::Sort1);
+        let (_, w2) = build_schedule_symmetric(&part, &adj, 1, ScheduleStrategy::Sort2);
+        assert!(w1.sort_item_log > w2.sort_item_log);
+        assert_eq!(w1.hash_ops, w2.hash_ops);
+    }
+
+    #[test]
+    fn ghost_slots_contiguous_and_resolvable() {
+        let g = meshgen::triangulated_grid(10, 10, 0.2, 1);
+        let part = BlockPartition::uniform(100, 3);
+        let schedules = schedules_for(&g, &part, ScheduleStrategy::Sort2);
+        for s in &schedules {
+            let mut expected_slot = 0u32;
+            for (_, globals) in s.recvs() {
+                for &gl in globals {
+                    assert_eq!(s.ghost_slot(gl), Some(expected_slot));
+                    assert_eq!(s.resolve(gl), LocalRef::Ghost(expected_slot));
+                    expected_slot += 1;
+                }
+            }
+            assert_eq!(s.num_ghosts(), expected_slot);
+        }
+    }
+
+    #[test]
+    fn resolve_local_references() {
+        let g = path_graph(9);
+        let part = BlockPartition::uniform(9, 3);
+        let schedules = schedules_for(&g, &part, ScheduleStrategy::Sort2);
+        assert_eq!(schedules[1].resolve(4), LocalRef::Local(1));
+        assert_eq!(schedules[0].resolve(0), LocalRef::Local(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "neither owned")]
+    fn resolve_unscheduled_panics() {
+        let g = path_graph(9);
+        let part = BlockPartition::uniform(9, 3);
+        let schedules = schedules_for(&g, &part, ScheduleStrategy::Sort2);
+        // Global 8 is not referenced by rank 0 (path graph).
+        let _ = schedules[0].resolve(8);
+    }
+
+    #[test]
+    fn translated_adjacency_roundtrip() {
+        let g = path_graph(9);
+        let part = BlockPartition::uniform(9, 3);
+        let adj = LocalAdjacency::extract(&g, &part, 1);
+        let (s, _) = build_schedule_symmetric(&part, &adj, 1, ScheduleStrategy::Sort2);
+        let t = s.translate_adjacency(&adj);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.local_len(), 3);
+        assert_eq!(t.num_ghosts(), 2);
+        assert_eq!(t.buffer_len(), 5);
+        // Vertex 3 (local 0): neighbors 2 (ghost slot 0 → 3+0) and 4 (local 1).
+        assert_eq!(t.neighbors_of(0), &[3, 1]);
+        // Vertex 5 (local 2): neighbors 4 (local 1) and 6 (ghost slot 1 → 4).
+        assert_eq!(t.neighbors_of(2), &[1, 4]);
+        assert_eq!(t.num_refs(), 6);
+    }
+
+    #[test]
+    fn single_rank_has_empty_schedule() {
+        let g = path_graph(5);
+        let part = BlockPartition::uniform(5, 1);
+        let adj = LocalAdjacency::extract(&g, &part, 0);
+        let (s, w) = build_schedule_symmetric(&part, &adj, 0, ScheduleStrategy::Sort1);
+        assert_eq!(s.num_ghosts(), 0);
+        assert!(s.sends().is_empty());
+        assert_eq!(w.sort_item_log, 0.0);
+    }
+
+    #[test]
+    fn empty_block_schedule() {
+        let g = path_graph(6);
+        let part = BlockPartition::from_sizes(&[6, 0]);
+        let adj = LocalAdjacency::extract(&g, &part, 1);
+        let (s, _) = build_schedule_symmetric(&part, &adj, 1, ScheduleStrategy::Sort2);
+        assert_eq!(s.num_ghosts(), 0);
+        assert!(s.sends().is_empty());
+    }
+
+    #[test]
+    fn simple_strategy_matches_symmetric_content() {
+        // The simple strategy must fetch exactly the same ghost *sets* and
+        // produce matched segments, even though segment order may differ.
+        let g = meshgen::triangulated_grid(10, 8, 0.3, 5);
+        let n = g.num_vertices();
+        let part = BlockPartition::from_sizes(&[25, 30, 25]);
+        assert_eq!(part.n(), n);
+        let part_for_run = part.clone();
+        let g_for_run = g.clone();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(move |env| {
+            let adj = LocalAdjacency::extract(&g_for_run, &part_for_run, env.rank());
+            let s = build_schedule_simple(
+                env,
+                &part_for_run,
+                &adj,
+                &InspectorCostModel::zero(),
+            );
+            s.validate(&part_for_run);
+            s
+        });
+        let simple: Vec<CommSchedule> = report.into_results();
+        // Cross-rank matched.
+        for q in 0..3 {
+            for r in 0..3 {
+                if q == r {
+                    continue;
+                }
+                let start = part.interval_of(q).start as u32;
+                let sent: Vec<u32> = simple[q]
+                    .sends()
+                    .iter()
+                    .find(|(peer, _)| *peer == r)
+                    .map(|(_, l)| l.iter().map(|&x| x + start).collect())
+                    .unwrap_or_default();
+                let expected: Vec<u32> = simple[r]
+                    .recvs()
+                    .iter()
+                    .find(|(peer, _)| *peer == q)
+                    .map(|(_, g)| g.clone())
+                    .unwrap_or_default();
+                assert_eq!(sent, expected, "simple segment {q} → {r}");
+            }
+        }
+        // Same ghost sets as the symmetric builder.
+        for (r, simple_r) in simple.iter().enumerate() {
+            let adj = LocalAdjacency::extract(&g, &part, r);
+            let (sym, _) = build_schedule_symmetric(&part, &adj, r, ScheduleStrategy::Sort2);
+            let mut a: Vec<u32> = simple_r
+                .recvs()
+                .iter()
+                .flat_map(|(_, g)| g.clone())
+                .collect();
+            let mut b: Vec<u32> = sym.recvs().iter().flat_map(|(_, g)| g.clone()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "rank {r} ghost sets differ");
+        }
+    }
+
+    #[test]
+    fn simple_strategy_sends_more_messages() {
+        let g = meshgen::triangulated_grid(10, 8, 0.3, 5);
+        let part = BlockPartition::uniform(80, 4);
+        let part2 = part.clone();
+        let spec = ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(move |env| {
+            let adj = LocalAdjacency::extract(&g, &part2, env.rank());
+            let _ = build_schedule_simple(env, &part2, &adj, &InspectorCostModel::zero());
+            env.stats().messages_sent
+        });
+        for msgs in report.results() {
+            // Three all-to-all rounds: ≥ 3 × (p − 1) messages per rank.
+            assert!(*msgs >= 9, "expected ≥ 9 messages, got {msgs}");
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(ScheduleStrategy::Sort1.name(), "Sort1");
+        assert_eq!(ScheduleStrategy::Simple.name(), "Simple Strategy");
+        assert_eq!(ScheduleStrategy::ALL.len(), 3);
+    }
+}

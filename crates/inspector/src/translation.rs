@@ -1,0 +1,202 @@
+//! Translation tables: global index → (processor, local index).
+//!
+//! Fig. 3 of the paper. Two implementations:
+//!
+//! * [`IntervalTable`] — the paper's contribution-enabling representation:
+//!   because each processor owns a contiguous interval of the 1-D list,
+//!   storing first/last per processor suffices. Memory is `O(p)`, it is
+//!   replicated everywhere, and dereferencing never communicates.
+//! * [`DenseTable`] — "a simple implementation of a translation table
+//!   stores, for each element, the name of its home processor and its local
+//!   address" \[27\]. Memory is `O(n)`; the paper notes replicating it "is not
+//!   feasible for applications with large data sets", which is why the
+//!   simple schedule strategy distributes it by blocks and pays
+//!   communication to dereference.
+
+use serde::{Deserialize, Serialize};
+use stance_onedim::BlockPartition;
+
+/// The `O(p)` replicated interval translation table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalTable {
+    partition: BlockPartition,
+}
+
+impl IntervalTable {
+    /// Wraps a block partition as a translation table.
+    pub fn new(partition: BlockPartition) -> Self {
+        IntervalTable { partition }
+    }
+
+    /// The underlying partition.
+    #[inline]
+    pub fn partition(&self) -> &BlockPartition {
+        &self.partition
+    }
+
+    /// Total elements.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.partition.n()
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.partition.num_procs()
+    }
+
+    /// Dereferences a global index to `(processor, local index)` with binary
+    /// search over the block bounds.
+    #[inline]
+    pub fn locate(&self, g: usize) -> (usize, usize) {
+        self.partition.locate(g)
+    }
+
+    /// Linear-search dereference, exactly as described in §3.2 ("the list is
+    /// searched until the processor holding the element is found").
+    #[inline]
+    pub fn locate_linear(&self, g: usize) -> (usize, usize) {
+        self.partition.locate_linear(g)
+    }
+
+    /// The home processor of `g`.
+    #[inline]
+    pub fn owner_of(&self, g: usize) -> usize {
+        self.partition.owner_of(g)
+    }
+
+    /// Approximate replicated memory footprint in bytes (two `usize` bounds
+    /// per processor) — the quantity the paper contrasts with the `O(n)`
+    /// dense table.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_procs() * 2 * std::mem::size_of::<usize>()
+    }
+}
+
+/// The explicit per-element table: `entry[g] = (processor, local index)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseTable {
+    entries: Vec<(u32, u32)>,
+}
+
+impl DenseTable {
+    /// Materializes the dense table from a partition.
+    pub fn from_partition(partition: &BlockPartition) -> Self {
+        let mut entries = vec![(0u32, 0u32); partition.n()];
+        for proc in 0..partition.num_procs() {
+            let iv = partition.interval_of(proc);
+            for (local, g) in iv.iter().enumerate() {
+                entries[g] = (proc as u32, local as u32);
+            }
+        }
+        DenseTable { entries }
+    }
+
+    /// Dereferences a global index.
+    #[inline]
+    pub fn locate(&self, g: usize) -> (usize, usize) {
+        let (p, l) = self.entries[g];
+        (p as usize, l as usize)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Memory footprint in bytes if replicated on one processor.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// The block of table entries a given *table owner* holds when the table
+    /// is block-distributed across `p` processors (the simple strategy's
+    /// layout): owner `r` holds entries `[r·⌈n/p⌉, min((r+1)·⌈n/p⌉, n))`.
+    pub fn segment_bounds(n: usize, p: usize, table_owner: usize) -> (usize, usize) {
+        let chunk = n.div_ceil(p);
+        let start = (table_owner * chunk).min(n);
+        let end = ((table_owner + 1) * chunk).min(n);
+        (start, end)
+    }
+
+    /// The table owner of entry `g` under block distribution.
+    #[inline]
+    pub fn table_owner_of(g: usize, n: usize, p: usize) -> usize {
+        let chunk = n.div_ceil(p);
+        g / chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stance_onedim::Arrangement;
+
+    fn partition() -> BlockPartition {
+        BlockPartition::from_weights(
+            20,
+            &[0.3, 0.2, 0.5],
+            Arrangement::new(vec![1, 0, 2]),
+        )
+    }
+
+    #[test]
+    fn interval_and_dense_agree() {
+        let part = partition();
+        let it = IntervalTable::new(part.clone());
+        let dt = DenseTable::from_partition(&part);
+        for g in 0..20 {
+            assert_eq!(it.locate(g), dt.locate(g), "mismatch at {g}");
+            assert_eq!(it.locate(g), it.locate_linear(g), "linear mismatch at {g}");
+        }
+    }
+
+    #[test]
+    fn interval_table_memory_is_o_p() {
+        let it = IntervalTable::new(partition());
+        let dt = DenseTable::from_partition(it.partition());
+        assert!(it.memory_bytes() < dt.memory_bytes());
+        assert_eq!(it.memory_bytes(), 3 * 2 * 8);
+        assert_eq!(dt.memory_bytes(), 20 * 8);
+    }
+
+    #[test]
+    fn locate_matches_paper_description() {
+        // "The local address of a particular element is computed by
+        // subtracting it from the first element that belongs to its home
+        // processor."
+        let part = partition();
+        let it = IntervalTable::new(part.clone());
+        for proc in 0..3 {
+            let iv = part.interval_of(proc);
+            for g in iv.iter() {
+                assert_eq!(it.locate(g), (proc, g - iv.start));
+            }
+        }
+    }
+
+    #[test]
+    fn segment_bounds_cover_everything() {
+        let n = 23;
+        let p = 4;
+        let mut covered = 0;
+        for r in 0..p {
+            let (s, e) = DenseTable::segment_bounds(n, p, r);
+            covered += e - s;
+            for g in s..e {
+                assert_eq!(DenseTable::table_owner_of(g, n, p), r);
+            }
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn segment_bounds_empty_tail() {
+        // n = 4, p = 3 → chunk 2: segments [0,2), [2,4), [4,4).
+        assert_eq!(DenseTable::segment_bounds(4, 3, 0), (0, 2));
+        assert_eq!(DenseTable::segment_bounds(4, 3, 1), (2, 4));
+        assert_eq!(DenseTable::segment_bounds(4, 3, 2), (4, 4));
+    }
+}

@@ -1,0 +1,330 @@
+//! Plain-text graph file I/O.
+//!
+//! The format is Chaco/METIS-flavored, extended with a coordinate section
+//! (geometric partitioners need geometry):
+//!
+//! ```text
+//! % any number of comment lines starting with '%'
+//! <n> <m> <dim>
+//! <x> <y> [<z>]          # n coordinate lines
+//! <v₁> <v₂> …            # n adjacency lines, 1-indexed neighbor ids
+//! ```
+//!
+//! Every undirected edge appears in both endpoints' adjacency lines, as in
+//! METIS. An empty adjacency line is a degree-0 vertex.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::Graph;
+
+/// Errors from reading a graph file.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content: line number (1-based) and description.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphIoError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Writes a graph in the text format.
+pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% stance-locality graph file")?;
+    writeln!(
+        w,
+        "{} {} {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.dim()
+    )?;
+    for v in 0..graph.num_vertices() {
+        let c = graph.coord(v);
+        if graph.dim() == 2 {
+            writeln!(w, "{} {}", c[0], c[1])?;
+        } else {
+            writeln!(w, "{} {} {}", c[0], c[1], c[2])?;
+        }
+    }
+    for v in 0..graph.num_vertices() {
+        let mut first = true;
+        for &u in graph.neighbors(v) {
+            if first {
+                write!(w, "{}", u + 1)?;
+                first = false;
+            } else {
+                write!(w, " {}", u + 1)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from the text format.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+    // Header (skipping comments).
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            None => return Err(parse_err(line_no, "missing header line")),
+            Some(l) => {
+                let l = l?;
+                let trimmed = l.trim();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break trimmed.to_string();
+            }
+        }
+    };
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 3 {
+        return Err(parse_err(
+            line_no,
+            format!("header must be '<n> <m> <dim>', got '{header}'"),
+        ));
+    }
+    let n: usize = parts[0]
+        .parse()
+        .map_err(|_| parse_err(line_no, "bad vertex count"))?;
+    let m: usize = parts[1]
+        .parse()
+        .map_err(|_| parse_err(line_no, "bad edge count"))?;
+    let dim: usize = parts[2]
+        .parse()
+        .map_err(|_| parse_err(line_no, "bad dimension"))?;
+    if dim != 2 && dim != 3 {
+        return Err(parse_err(line_no, format!("dim must be 2 or 3, got {dim}")));
+    }
+
+    let mut next_content = |line_no: &mut usize| -> Result<String, GraphIoError> {
+        loop {
+            *line_no += 1;
+            match lines.next() {
+                None => return Err(parse_err(*line_no, "unexpected end of file")),
+                Some(l) => {
+                    let l = l?;
+                    if l.trim().starts_with('%') {
+                        continue;
+                    }
+                    return Ok(l);
+                }
+            }
+        }
+    };
+
+    let mut coords = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = next_content(&mut line_no)?;
+        let nums: Result<Vec<f64>, _> = l.split_whitespace().map(str::parse).collect();
+        let nums = nums.map_err(|_| parse_err(line_no, "bad coordinate"))?;
+        if nums.len() != dim {
+            return Err(parse_err(
+                line_no,
+                format!("expected {dim} coordinates, got {}", nums.len()),
+            ));
+        }
+        let mut c = [0.0; 3];
+        c[..dim].copy_from_slice(&nums);
+        coords.push(c);
+    }
+
+    let mut edges = Vec::with_capacity(m);
+    for v in 0..n {
+        let l = next_content(&mut line_no)?;
+        for tok in l.split_whitespace() {
+            let u: usize = tok
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad neighbor id '{tok}'")))?;
+            if u == 0 || u > n {
+                return Err(parse_err(
+                    line_no,
+                    format!("neighbor id {u} out of range 1..={n}"),
+                ));
+            }
+            let u = u - 1;
+            if u == v {
+                return Err(parse_err(line_no, format!("self-loop at vertex {}", v + 1)));
+            }
+            // Each edge appears twice; keep the canonical orientation.
+            if (v as u32) < (u as u32) {
+                edges.push((v as u32, u as u32));
+            }
+        }
+    }
+    if edges.len() != m {
+        return Err(parse_err(
+            line_no,
+            format!("header promised {m} edges but adjacency lists give {}", edges.len()),
+        ));
+    }
+    Ok(Graph::from_edges(n, &edges, coords, dim))
+}
+
+/// Saves a graph to a file.
+pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    write_graph(graph, std::fs::File::create(path)?)
+}
+
+/// Loads a graph from a file.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meshgen;
+
+    #[test]
+    fn round_trip_in_memory() {
+        let g = meshgen::triangulated_grid(7, 5, 0.3, 3);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let h = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn round_trip_on_disk() {
+        let g = meshgen::random_geometric(60, 0.2, 5);
+        let path = std::env::temp_dir().join("stance_io_roundtrip.graph");
+        save_graph(&g, &path).unwrap();
+        let h = load_graph(&path).unwrap();
+        assert_eq!(g, h);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored_in_header() {
+        let text = "% comment\n\n% another\n2 1 2\n0 0\n1 0\n2\n1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn degree_zero_vertices() {
+        let text = "3 1 2\n0 0\n1 0\n2 0\n2\n1\n\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn three_dimensional_round_trip() {
+        let g = Graph::from_edges(
+            2,
+            &[(0, 1)],
+            vec![[0.5, 1.5, 2.5], [3.0, 4.0, 5.0]],
+            3,
+        );
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let h = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+        assert_eq!(h.coord(0)[2], 2.5);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        // Neighbor id out of range on the first adjacency line (line 4).
+        let text = "2 1 2\n0 0\n1 0\n5\n1\n";
+        match read_graph(text.as_bytes()) {
+            Err(GraphIoError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            read_graph("1 2\n".as_bytes()),
+            Err(GraphIoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_graph("2 1 7\n".as_bytes()),
+            Err(GraphIoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let text = "2 5 2\n0 0\n1 0\n2\n1\n";
+        match read_graph(text.as_bytes()) {
+            Err(GraphIoError::Parse { message, .. }) => {
+                assert!(message.contains("promised 5 edges"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let text = "2 1 2\n0 0\n1 0\n1\n\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphIoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = "3 2 2\n0 0\n1 0\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphIoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn display_impls() {
+        let e = parse_err(7, "boom");
+        assert_eq!(e.to_string(), "parse error at line 7: boom");
+    }
+}

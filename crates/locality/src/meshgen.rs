@@ -1,0 +1,336 @@
+//! Synthetic unstructured meshes.
+//!
+//! The paper's experiments use an unstructured mesh of 30 269 vertices and
+//! 44 929 edges (Fig. 9) whose origin is not given. We substitute generated
+//! meshes with the same statistics: planar-embedded, irregular, sparse
+//! (average degree ≈ 3) and spatially local — the properties the runtime's
+//! behaviour actually depends on. All generators are seeded and
+//! deterministic, and always return *connected* graphs (the spectral
+//! partitioner and the symmetric-schedule optimizations assume
+//! connectivity-friendly meshes; disconnected inputs are still handled but
+//! make worse test fixtures).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::Graph;
+
+/// Vertex/edge counts of the paper's Fig. 9 mesh.
+pub const PAPER_MESH_VERTICES: usize = 30_269;
+/// Edge count of the paper's Fig. 9 mesh.
+pub const PAPER_MESH_EDGES: usize = 44_929;
+
+/// A triangulated `nx × ny` grid with jittered coordinates: each unit cell
+/// has its horizontal, vertical and one diagonal edge. Jitter displaces
+/// vertex coordinates by up to `jitter/2` in each axis (structure is
+/// unchanged; only geometry becomes irregular).
+///
+/// # Panics
+/// Panics if `nx` or `ny` is zero or `jitter` is negative/non-finite.
+pub fn triangulated_grid(nx: usize, ny: usize, jitter: f64, seed: u64) -> Graph {
+    assert!(nx >= 1 && ny >= 1, "grid must be at least 1×1");
+    assert!(
+        jitter.is_finite() && jitter >= 0.0,
+        "jitter must be finite and non-negative"
+    );
+    let n = nx * ny;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let dx = (rng.random::<f64>() - 0.5) * jitter;
+            let dy = (rng.random::<f64>() - 0.5) * jitter;
+            coords.push([x as f64 + dx, y as f64 + dy, 0.0]);
+        }
+    }
+    let mut edges = Vec::new();
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((idx(x, y), idx(x, y + 1)));
+            }
+            if x + 1 < nx && y + 1 < ny {
+                // Alternate diagonal direction per cell for irregularity.
+                if (x + y) % 2 == 0 {
+                    edges.push((idx(x, y), idx(x + 1, y + 1)));
+                } else {
+                    edges.push((idx(x + 1, y), idx(x, y + 1)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, coords, 2)
+}
+
+/// Removes random non-tree edges until exactly `target_edges` remain,
+/// preserving connectivity (a BFS spanning tree is never touched).
+///
+/// # Panics
+/// Panics if the graph is disconnected, or if `target_edges` is below
+/// `n − 1` (connectivity would be impossible) or above the current count.
+pub fn thin_to_edges(graph: &Graph, target_edges: usize, seed: u64) -> Graph {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    assert!(
+        target_edges <= m,
+        "cannot thin {m} edges up to {target_edges}"
+    );
+    assert!(
+        target_edges + 1 >= n,
+        "target {target_edges} cannot keep {n} vertices connected"
+    );
+    let tree: std::collections::HashSet<(u32, u32)> =
+        graph.spanning_tree_edges().into_iter().collect();
+    let mut non_tree: Vec<(u32, u32)> = graph
+        .edges()
+        .filter(|e| !tree.contains(e))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    non_tree.shuffle(&mut rng);
+    let keep_extra = target_edges - tree.len();
+    let mut edges: Vec<(u32, u32)> = tree.into_iter().collect();
+    edges.sort_unstable(); // deterministic base order
+    edges.extend(non_tree.into_iter().take(keep_extra));
+    let coords = graph.coords().to_vec();
+    Graph::from_edges(n, &edges, coords, graph.dim())
+}
+
+/// Randomly permutes vertex labels (structure and geometry unchanged).
+/// Mesh files rarely number vertices in a spatially coherent order, so a
+/// shuffle makes the "natural ordering" baseline honest.
+pub fn shuffle_labels(graph: &Graph, seed: u64) -> Graph {
+    let n = graph.num_vertices();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    graph.relabel(&perm)
+}
+
+/// The Fig. 9 substitute: a jittered triangulated grid trimmed to exactly
+/// [`PAPER_MESH_VERTICES`] vertices, thinned to [`PAPER_MESH_EDGES`] edges
+/// (average degree ≈ 2.97, matching the paper's mesh), with vertex labels
+/// shuffled as in a real mesh file.
+pub fn paper_mesh(seed: u64) -> Graph {
+    // 174 × 174 = 30 276 vertices; drop the trailing 7 (end of the last
+    // row — removal keeps the grid connected).
+    let full = triangulated_grid(174, 174, 0.6, seed);
+    let keep = PAPER_MESH_VERTICES;
+    let kept_ids: Vec<u32> = (0..keep as u32).collect();
+    let (trimmed, _) = full.induced_subgraph(&kept_ids);
+    debug_assert!(trimmed.is_connected());
+    let g = thin_to_edges(&trimmed, PAPER_MESH_EDGES, seed ^ 0x5EED_CAFE);
+    debug_assert_eq!(g.num_vertices(), PAPER_MESH_VERTICES);
+    debug_assert_eq!(g.num_edges(), PAPER_MESH_EDGES);
+    shuffle_labels(&g, seed ^ 0x0BAD_C0DE)
+}
+
+/// An annulus ("airfoil-like") mesh: `rings` concentric rings of `sectors`
+/// vertices each, radius growing geometrically so cells cluster near the
+/// inner boundary — mimicking meshes refined around a body.
+///
+/// # Panics
+/// Panics unless `rings ≥ 2` and `sectors ≥ 3`.
+pub fn annulus_mesh(rings: usize, sectors: usize, seed: u64) -> Graph {
+    assert!(rings >= 2 && sectors >= 3, "annulus needs rings ≥ 2, sectors ≥ 3");
+    let n = rings * sectors;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n);
+    let growth: f64 = 1.15;
+    for r in 0..rings {
+        let radius = growth.powi(r as i32);
+        for s in 0..sectors {
+            let jitter = (rng.random::<f64>() - 0.5) * 0.05;
+            let theta = (s as f64 + jitter) / sectors as f64 * std::f64::consts::TAU;
+            coords.push([radius * theta.cos(), radius * theta.sin(), 0.0]);
+        }
+    }
+    let idx = |r: usize, s: usize| (r * sectors + s % sectors) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rings {
+        for s in 0..sectors {
+            // Ring edge.
+            let a = idx(r, s);
+            let b = idx(r, s + 1);
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+            // Radial edge + alternating diagonal.
+            if r + 1 < rings {
+                edges.push((idx(r, s), idx(r + 1, s)));
+                if (r + s) % 2 == 0 {
+                    let c = idx(r, s);
+                    let d = idx(r + 1, (s + 1) % sectors);
+                    edges.push((c.min(d), c.max(d)));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges, coords, 2)
+}
+
+/// A random geometric graph: `n` uniform points in the unit square, edges
+/// between pairs closer than `radius`, then augmented with a path through
+/// the points in x-order so the result is always connected.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one vertex");
+    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords: Vec<[f64; 3]> = (0..n)
+        .map(|_| [rng.random::<f64>(), rng.random::<f64>(), 0.0])
+        .collect();
+    // Cell grid for neighbor search.
+    let cell = radius;
+    let cells_per_axis = (1.0 / cell).ceil() as i64 + 1;
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (v, c) in coords.iter().enumerate() {
+        let key = ((c[0] / cell) as i64, (c[1] / cell) as i64);
+        grid.entry(key).or_default().push(v as u32);
+    }
+    let mut edges = Vec::new();
+    let r2 = radius * radius;
+    for (v, c) in coords.iter().enumerate() {
+        let (cx, cy) = ((c[0] / cell) as i64, (c[1] / cell) as i64);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cells_per_axis || ny >= cells_per_axis {
+                    continue;
+                }
+                if let Some(cands) = grid.get(&(nx, ny)) {
+                    for &w in cands {
+                        if (w as usize) > v {
+                            let cw = coords[w as usize];
+                            let d2 = (cw[0] - c[0]).powi(2) + (cw[1] - c[1]).powi(2);
+                            if d2 <= r2 {
+                                edges.push((v as u32, w));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Connectivity backbone: path through x-sorted order.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        coords[a as usize][0]
+            .partial_cmp(&coords[b as usize][0])
+            .expect("coords are finite")
+            .then(a.cmp(&b))
+    });
+    for w in order.windows(2) {
+        let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+        edges.push((a, b));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges, coords, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangulated_grid_counts() {
+        let g = triangulated_grid(4, 3, 0.0, 1);
+        assert_eq!(g.num_vertices(), 12);
+        // Edges: horizontal 3×3=9, vertical 4×2=8, diagonals 3×2=6 → 23.
+        assert_eq!(g.num_edges(), 23);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn triangulated_grid_jitter_moves_coords_not_structure() {
+        let a = triangulated_grid(5, 5, 0.0, 7);
+        let b = triangulated_grid(5, 5, 0.5, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_ne!(a.coords(), b.coords());
+        // Jitter is bounded by 0.25 in each axis.
+        for v in 0..a.num_vertices() {
+            let ca = a.coord(v);
+            let cb = b.coord(v);
+            assert!((ca[0] - cb[0]).abs() <= 0.25 + 1e-12);
+            assert!((ca[1] - cb[1]).abs() <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn thin_preserves_connectivity_and_count() {
+        let g = triangulated_grid(10, 10, 0.3, 3);
+        let target = g.num_vertices() + 20;
+        let thinned = thin_to_edges(&g, target, 9);
+        assert_eq!(thinned.num_edges(), target);
+        assert_eq!(thinned.num_vertices(), g.num_vertices());
+        assert!(thinned.is_connected());
+    }
+
+    #[test]
+    fn thin_to_tree() {
+        let g = triangulated_grid(6, 6, 0.0, 2);
+        let tree = thin_to_edges(&g, g.num_vertices() - 1, 5);
+        assert_eq!(tree.num_edges(), 35);
+        assert!(tree.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep")]
+    fn thin_below_tree_rejected() {
+        let g = triangulated_grid(4, 4, 0.0, 2);
+        let _ = thin_to_edges(&g, 10, 0);
+    }
+
+    #[test]
+    fn paper_mesh_matches_figure9() {
+        let g = paper_mesh(42);
+        assert_eq!(g.num_vertices(), PAPER_MESH_VERTICES);
+        assert_eq!(g.num_edges(), PAPER_MESH_EDGES);
+        assert!(g.is_connected());
+        // Average degree ≈ 2.97 as in the paper.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((avg - 2.97).abs() < 0.01, "average degree {avg}");
+    }
+
+    #[test]
+    fn paper_mesh_deterministic_per_seed() {
+        assert_eq!(paper_mesh(1), paper_mesh(1));
+        assert_ne!(paper_mesh(1), paper_mesh(2));
+    }
+
+    #[test]
+    fn annulus_connected_and_planar_sized() {
+        let g = annulus_mesh(6, 24, 11);
+        assert_eq!(g.num_vertices(), 144);
+        assert!(g.is_connected());
+        // Inner ring is denser in space: radius grows with ring index.
+        let inner = g.coord(0);
+        let outer = g.coord(143);
+        let rin = (inner[0].powi(2) + inner[1].powi(2)).sqrt();
+        let rout = (outer[0].powi(2) + outer[1].powi(2)).sqrt();
+        assert!(rout > rin);
+    }
+
+    #[test]
+    fn random_geometric_connected() {
+        for seed in 0..3 {
+            let g = random_geometric(200, 0.05, seed);
+            assert!(g.is_connected(), "seed {seed} gave a disconnected graph");
+            assert_eq!(g.num_vertices(), 200);
+        }
+    }
+
+    #[test]
+    fn random_geometric_radius_controls_density() {
+        let sparse = random_geometric(300, 0.03, 5);
+        let dense = random_geometric(300, 0.12, 5);
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+}

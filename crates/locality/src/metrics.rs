@@ -1,0 +1,210 @@
+//! Quality metrics for orderings and the block partitions they induce.
+//!
+//! The paper's Phase A goal: "achieve good partitioning for a wide range of
+//! partitions". These metrics quantify that — an ordering is good if, for
+//! any block partition of list positions, few edges cross block boundaries
+//! (edge cut) and few vertices need off-processor data (boundary vertices /
+//! communication volume).
+
+use stance_onedim::BlockPartition;
+
+use crate::graph::Graph;
+use crate::ordering::Ordering;
+
+/// Mean `|position(u) − position(v)|` over all edges: the average stretch of
+/// an edge along the one-dimensional list. Lower = more local.
+pub fn average_edge_span(graph: &Graph, ordering: &Ordering) -> f64 {
+    let m = graph.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    let total: u64 = graph
+        .edges()
+        .map(|(u, v)| {
+            let pu = ordering.position_of(u as usize) as i64;
+            let pv = ordering.position_of(v as usize) as i64;
+            pu.abs_diff(pv)
+        })
+        .sum();
+    total as f64 / m as f64
+}
+
+/// Maximum `|position(u) − position(v)|` over all edges (the matrix
+/// bandwidth of the reordered adjacency).
+pub fn bandwidth(graph: &Graph, ordering: &Ordering) -> usize {
+    graph
+        .edges()
+        .map(|(u, v)| {
+            ordering
+                .position_of(u as usize)
+                .abs_diff(ordering.position_of(v as usize))
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Number of edges whose endpoints land in different blocks of `partition`
+/// (positions are partitioned; vertices map through `ordering`).
+pub fn edge_cut(graph: &Graph, ordering: &Ordering, partition: &BlockPartition) -> usize {
+    assert_eq!(partition.n(), graph.num_vertices());
+    graph
+        .edges()
+        .filter(|&(u, v)| {
+            partition.owner_of(ordering.position_of(u as usize))
+                != partition.owner_of(ordering.position_of(v as usize))
+        })
+        .count()
+}
+
+/// Number of vertices with at least one neighbor in a different block.
+pub fn boundary_vertices(graph: &Graph, ordering: &Ordering, partition: &BlockPartition) -> usize {
+    assert_eq!(partition.n(), graph.num_vertices());
+    (0..graph.num_vertices())
+        .filter(|&v| {
+            let home = partition.owner_of(ordering.position_of(v));
+            graph
+                .neighbors(v)
+                .iter()
+                .any(|&w| partition.owner_of(ordering.position_of(w as usize)) != home)
+        })
+        .count()
+}
+
+/// Per-processor communication volume: the number of *distinct* off-block
+/// vertices each block must gather (after duplicate removal, as the
+/// inspector's hash pass does). Index = processor id.
+pub fn comm_volume(graph: &Graph, ordering: &Ordering, partition: &BlockPartition) -> Vec<usize> {
+    assert_eq!(partition.n(), graph.num_vertices());
+    let p = partition.num_procs();
+    let mut volumes = vec![0usize; p];
+    let mut seen: Vec<std::collections::HashSet<u32>> =
+        (0..p).map(|_| std::collections::HashSet::new()).collect();
+    for v in 0..graph.num_vertices() {
+        let home = partition.owner_of(ordering.position_of(v));
+        for &w in graph.neighbors(v) {
+            let other = partition.owner_of(ordering.position_of(w as usize));
+            if other != home && seen[home].insert(w) {
+                volumes[home] += 1;
+            }
+        }
+    }
+    volumes
+}
+
+/// A bundled quality report for one ordering at one processor count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Blocks in the evaluated partition.
+    pub parts: usize,
+    /// Mean edge stretch along the list.
+    pub average_edge_span: f64,
+    /// Maximum edge stretch.
+    pub bandwidth: usize,
+    /// Edges crossing block boundaries.
+    pub edge_cut: usize,
+    /// Vertices adjacent to another block.
+    pub boundary_vertices: usize,
+    /// Total distinct off-block vertices gathered per iteration.
+    pub total_comm_volume: usize,
+}
+
+/// Evaluates an ordering under an equal-weight partition into `parts`
+/// blocks.
+pub fn quality_report(graph: &Graph, ordering: &Ordering, parts: usize) -> QualityReport {
+    let partition = BlockPartition::uniform(graph.num_vertices(), parts);
+    QualityReport {
+        parts,
+        average_edge_span: average_edge_span(graph, ordering),
+        bandwidth: bandwidth(graph, ordering),
+        edge_cut: edge_cut(graph, ordering, &partition),
+        boundary_vertices: boundary_vertices(graph, ordering, &partition),
+        total_comm_volume: comm_volume(graph, ordering, &partition).iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path 0-1-2-3-4-5.
+    fn path6() -> Graph {
+        let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 1)).collect();
+        let coords = (0..6).map(|i| [f64::from(i), 0.0, 0.0]).collect();
+        Graph::from_edges(6, &edges, coords, 2)
+    }
+
+    #[test]
+    fn span_of_path_natural_is_one() {
+        let g = path6();
+        let o = Ordering::identity(6);
+        assert_eq!(average_edge_span(&g, &o), 1.0);
+        assert_eq!(bandwidth(&g, &o), 1);
+    }
+
+    #[test]
+    fn span_detects_bad_ordering() {
+        let g = path6();
+        // Interleave ends: positions 0,5,1,4,2,3 → spans grow.
+        let o = Ordering::from_positions(vec![0, 5, 1, 4, 2, 3]);
+        assert!(average_edge_span(&g, &o) > 1.0);
+        assert!(bandwidth(&g, &o) > 1);
+    }
+
+    #[test]
+    fn edge_cut_on_path() {
+        let g = path6();
+        let o = Ordering::identity(6);
+        let part = BlockPartition::uniform(6, 2);
+        // Path split in half: exactly one crossing edge (2-3).
+        assert_eq!(edge_cut(&g, &o, &part), 1);
+        assert_eq!(boundary_vertices(&g, &o, &part), 2);
+        let part3 = BlockPartition::uniform(6, 3);
+        assert_eq!(edge_cut(&g, &o, &part3), 2);
+    }
+
+    #[test]
+    fn comm_volume_path() {
+        let g = path6();
+        let o = Ordering::identity(6);
+        let part = BlockPartition::uniform(6, 2);
+        let vol = comm_volume(&g, &o, &part);
+        // Each side needs exactly the one vertex across the cut.
+        assert_eq!(vol, vec![1, 1]);
+    }
+
+    #[test]
+    fn comm_volume_dedups() {
+        // A star: center 0 in block 0, leaves elsewhere. The leaf block
+        // needs vertex 0 once, not once per leaf.
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1), (0, 2), (0, 3)],
+            vec![[0.0; 3]; 4],
+            2,
+        );
+        let o = Ordering::identity(4);
+        let part = BlockPartition::from_sizes(&[1, 3]);
+        let vol = comm_volume(&g, &o, &part);
+        assert_eq!(vol[1], 1, "block 1 gathers the center exactly once");
+        assert_eq!(vol[0], 3, "the center needs all three leaves");
+    }
+
+    #[test]
+    fn quality_report_consistency() {
+        let g = path6();
+        let o = Ordering::identity(6);
+        let r = quality_report(&g, &o, 3);
+        assert_eq!(r.parts, 3);
+        assert_eq!(r.edge_cut, 2);
+        assert_eq!(r.total_comm_volume, 4);
+        assert_eq!(r.bandwidth, 1);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = Graph::from_edges(0, &[], vec![], 2);
+        let o = Ordering::identity(0);
+        assert_eq!(average_edge_span(&g, &o), 0.0);
+        assert_eq!(bandwidth(&g, &o), 0);
+    }
+}

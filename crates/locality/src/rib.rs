@@ -1,0 +1,177 @@
+//! Recursive inertial bisection: split along the principal (inertial) axis.
+//!
+//! Where RCB always cuts perpendicular to a coordinate axis, inertial
+//! bisection computes the axis of maximum spatial variance (the dominant
+//! eigenvector of the coordinate covariance matrix) and splits at the median
+//! projection. It handles meshes whose natural grain is diagonal to the
+//! coordinate system. Listed among the paper's "important heuristics" for
+//! coordinate-based partitioning (§3.1).
+
+use crate::graph::Graph;
+use crate::ordering::Ordering;
+
+/// Computes the recursive inertial bisection ordering.
+pub fn inertial_ordering(graph: &Graph) -> Ordering {
+    let n = graph.num_vertices();
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    rib_recurse(&mut ids, graph.coords(), graph.dim());
+    Ordering::from_sequence(&ids)
+}
+
+fn rib_recurse(ids: &mut [u32], coords: &[[f64; 3]], dim: usize) {
+    if ids.len() <= 2 {
+        ids.sort_unstable();
+        return;
+    }
+    let axis = principal_axis(ids, coords, dim);
+    let centroid = centroid(ids, coords);
+    let mid = ids.len() / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        let pa = project(coords[a as usize], centroid, axis);
+        let pb = project(coords[b as usize], centroid, axis);
+        pa.partial_cmp(&pb)
+            .expect("projections are finite")
+            .then(a.cmp(&b))
+    });
+    let (left, right) = ids.split_at_mut(mid);
+    rib_recurse(left, coords, dim);
+    rib_recurse(right, coords, dim);
+}
+
+fn centroid(ids: &[u32], coords: &[[f64; 3]]) -> [f64; 3] {
+    let mut c = [0.0; 3];
+    for &v in ids {
+        let p = coords[v as usize];
+        for d in 0..3 {
+            c[d] += p[d];
+        }
+    }
+    let inv = 1.0 / ids.len() as f64;
+    [c[0] * inv, c[1] * inv, c[2] * inv]
+}
+
+#[inline]
+fn project(p: [f64; 3], centroid: [f64; 3], axis: [f64; 3]) -> f64 {
+    (p[0] - centroid[0]) * axis[0] + (p[1] - centroid[1]) * axis[1] + (p[2] - centroid[2]) * axis[2]
+}
+
+/// Dominant eigenvector of the 3×3 coordinate covariance matrix, found by
+/// power iteration (deterministic start, ~30 iterations is plenty for a
+/// partitioning axis — exactness is not needed, only a good direction).
+#[allow(clippy::needless_range_loop)] // index pairs over a tiny fixed matrix
+fn principal_axis(ids: &[u32], coords: &[[f64; 3]], dim: usize) -> [f64; 3] {
+    let c = centroid(ids, coords);
+    // Covariance (upper triangle; symmetric).
+    let mut m = [[0.0f64; 3]; 3];
+    for &v in ids {
+        let p = coords[v as usize];
+        let d = [p[0] - c[0], p[1] - c[1], p[2] - c[2]];
+        for i in 0..3 {
+            for j in i..3 {
+                m[i][j] += d[i] * d[j];
+            }
+        }
+    }
+    for i in 0..3 {
+        for j in 0..i {
+            m[i][j] = m[j][i];
+        }
+    }
+    // Power iteration from a deterministic non-axis-aligned start.
+    let mut v = if dim == 2 {
+        [1.0, 0.5, 0.0]
+    } else {
+        [1.0, 0.5, 0.25]
+    };
+    for _ in 0..30 {
+        let mut w = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                w[i] += m[i][j] * v[j];
+            }
+        }
+        let norm = (w[0] * w[0] + w[1] * w[1] + w[2] * w[2]).sqrt();
+        if norm < 1e-30 {
+            // Degenerate cloud (all points coincide): any axis works.
+            return [1.0, 0.0, 0.0];
+        }
+        v = [w[0] / norm, w[1] / norm, w[2] / norm];
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inertial_is_permutation() {
+        let coords: Vec<[f64; 3]> = (0..10).map(|i| [f64::from(i), 0.0, 0.0]).collect();
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(10, &edges, coords, 2);
+        let o = inertial_ordering(&g);
+        let mut seq = o.sequence();
+        seq.sort_unstable();
+        assert_eq!(seq, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn diagonal_strip_split_along_diagonal() {
+        // Points along the line y = x, jittered perpendicular. The inertial
+        // axis is the diagonal, so the first half of the ordering is the
+        // lower-left half of the strip.
+        let mut coords = Vec::new();
+        let mut edges = Vec::new();
+        for i in 0..20u32 {
+            let t = f64::from(i);
+            let off = if i % 2 == 0 { 0.1 } else { -0.1 };
+            coords.push([t + off, t - off, 0.0]);
+            if i > 0 {
+                edges.push((i - 1, i));
+            }
+        }
+        let g = Graph::from_edges(20, &edges, coords, 2);
+        let o = inertial_ordering(&g);
+        let seq = o.sequence();
+        let first: Vec<f64> = seq[..10]
+            .iter()
+            .map(|&v| g.coord(v as usize)[0] + g.coord(v as usize)[1])
+            .collect();
+        let second: Vec<f64> = seq[10..]
+            .iter()
+            .map(|&v| g.coord(v as usize)[0] + g.coord(v as usize)[1])
+            .collect();
+        let max_first = first.iter().cloned().fold(f64::MIN, f64::max);
+        let min_second = second.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max_first < min_second,
+            "split should be along the diagonal: {max_first} vs {min_second}"
+        );
+    }
+
+    #[test]
+    fn degenerate_coincident_points() {
+        let g = Graph::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![[1.0, 1.0, 0.0]; 3],
+            2,
+        );
+        // Must terminate and produce a permutation despite zero variance.
+        let o = inertial_ordering(&g);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let coords: Vec<[f64; 3]> = (0..50)
+            .map(|i| {
+                let x = f64::from(i % 7);
+                let y = f64::from(i / 7);
+                [x, y, 0.0]
+            })
+            .collect();
+        let g = Graph::from_edges(50, &[], coords, 2);
+        assert_eq!(inertial_ordering(&g), inertial_ordering(&g));
+    }
+}

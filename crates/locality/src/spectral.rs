@@ -1,0 +1,614 @@
+//! Recursive spectral bisection (RSB) indexing.
+//!
+//! The paper's experiments transform the mesh "into a one-dimensional array
+//! using Recursive Spectral Bisection-based indexing \[19\]". RSB sorts the
+//! vertices of (each recursive half of) the graph by their component in the
+//! **Fiedler vector** — the eigenvector of the graph Laplacian `L = D − A`
+//! belonging to the second-smallest eigenvalue — which is the classic
+//! smoothest nontrivial embedding of the graph on a line (Pothen, Simon &
+//! Liou \[26\] in the paper's bibliography).
+//!
+//! Everything is self-contained: the Fiedler vector comes from a Lanczos
+//! iteration with full reorthogonalization (deflating the trivial constant
+//! eigenvector), and the small tridiagonal eigenproblem is solved with the
+//! classic implicit-QL (`tql2`) algorithm.
+
+use crate::graph::Graph;
+use crate::ordering::Ordering;
+
+/// Subproblems at or below this size are ordered by BFS instead of another
+/// eigen-solve (Lanczos on tiny graphs is all overhead).
+const SMALL_CUTOFF: usize = 8;
+
+/// Maximum Lanczos steps per bisection level.
+const MAX_LANCZOS_STEPS: usize = 80;
+
+/// Computes the recursive-spectral-bisection ordering.
+pub fn spectral_ordering(graph: &Graph) -> Ordering {
+    let n = graph.num_vertices();
+    let mut seq = Vec::with_capacity(n);
+    let ids: Vec<u32> = (0..n as u32).collect();
+    rsb(graph, ids, &mut seq);
+    Ordering::from_sequence(&seq)
+}
+
+fn rsb(root: &Graph, ids: Vec<u32>, seq: &mut Vec<u32>) {
+    if ids.len() <= SMALL_CUTOFF {
+        order_small(root, &ids, seq);
+        return;
+    }
+    let (sub, back) = root.induced_subgraph(&ids);
+    let (comp, count) = sub.connected_components();
+    if count > 1 {
+        // Recurse per component in component order (components are
+        // discovered in ascending vertex order, so this is deterministic).
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); count];
+        for (v, &c) in comp.iter().enumerate() {
+            groups[c as usize].push(back[v]);
+        }
+        for group in groups {
+            rsb(root, group, seq);
+        }
+        return;
+    }
+    let fiedler = fiedler_vector(&sub);
+    let mut order: Vec<u32> = (0..sub.num_vertices() as u32).collect();
+    order.sort_by(|&a, &b| {
+        fiedler[a as usize]
+            .partial_cmp(&fiedler[b as usize])
+            .expect("Fiedler components are finite")
+            .then(a.cmp(&b))
+    });
+    // Orient to agree with the parent's order: sub id i is the vertex at
+    // parent position i (induced_subgraph preserves the passed order), so
+    // flipping when the rank correlation is negative keeps sibling segments
+    // consistently directed — otherwise the seam edge between two halves can
+    // span a whole segment.
+    orient_to_parent(&mut order);
+    let mid = order.len() / 2;
+    let left: Vec<u32> = order[..mid].iter().map(|&v| back[v as usize]).collect();
+    let right: Vec<u32> = order[mid..].iter().map(|&v| back[v as usize]).collect();
+    rsb(root, left, seq);
+    rsb(root, right, seq);
+}
+
+/// Reverses `order` if it anti-correlates with parent positions (sub ids
+/// equal parent ranks, so the Spearman numerator is enough).
+fn orient_to_parent(order: &mut [u32]) {
+    let n = order.len();
+    if n < 2 {
+        return;
+    }
+    let mean = (n as f64 - 1.0) / 2.0;
+    let corr: f64 = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &v)| (pos as f64 - mean) * (f64::from(v) - mean))
+        .sum();
+    if corr < 0.0 {
+        order.reverse();
+    }
+}
+
+/// Orders a small vertex set by BFS over its induced subgraph, starting from
+/// a pseudo-peripheral vertex (the Cuthill–McKee trick: BFS from an endpoint
+/// keeps chains sequential), oriented to match the parent order.
+fn order_small(root: &Graph, ids: &[u32], seq: &mut Vec<u32>) {
+    if ids.is_empty() {
+        return;
+    }
+    let (sub, back) = root.induced_subgraph(ids);
+    let n = sub.num_vertices();
+    let mut local: Vec<u32> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Double BFS: find the farthest vertex from `start` within this
+        // component, then BFS from there.
+        let far = bfs_farthest(&sub, start, &seen);
+        let mut queue = std::collections::VecDeque::new();
+        seen[far] = true;
+        queue.push_back(far);
+        while let Some(u) = queue.pop_front() {
+            local.push(u as u32);
+            for &v in sub.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+    }
+    orient_to_parent(&mut local);
+    seq.extend(local.into_iter().map(|v| back[v as usize]));
+}
+
+/// The vertex (within the unvisited component containing `start`) farthest
+/// from `start` in BFS hops, ties broken by smallest id.
+fn bfs_farthest(sub: &Graph, start: usize, global_seen: &[bool]) -> usize {
+    let n = sub.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    let mut best = start;
+    while let Some(u) = queue.pop_front() {
+        if dist[u] > dist[best] || (dist[u] == dist[best] && u < best) {
+            best = u;
+        }
+        for &v in sub.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX && !global_seen[v] {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    best
+}
+
+/// Computes (an approximation of) the Fiedler vector of a **connected**
+/// graph: the eigenvector of `L = D − A` for the second-smallest eigenvalue,
+/// normalized to unit length. The sign is fixed so the first nonzero
+/// component is positive (deterministic output).
+///
+/// # Panics
+/// Panics if the graph is empty.
+pub fn fiedler_vector(graph: &Graph) -> Vec<f64> {
+    let n = graph.num_vertices();
+    assert!(n > 0, "Fiedler vector of an empty graph");
+    if n == 1 {
+        return vec![0.0];
+    }
+    if n == 2 {
+        return vec![-std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+    }
+
+    // Two passes: the second restarts from the first estimate, which is
+    // plenty for partitioning accuracy on meshes.
+    let mut start = deterministic_start(n);
+    let mut estimate = lanczos_smallest(graph, &start);
+    start.clone_from(&estimate);
+    estimate = lanczos_smallest(graph, &start);
+
+    // Fix sign.
+    if let Some(&first) = estimate.iter().find(|&&x| x.abs() > 1e-12) {
+        if first < 0.0 {
+            for x in &mut estimate {
+                *x = -*x;
+            }
+        }
+    }
+    estimate
+}
+
+/// A deterministic pseudo-random start vector orthogonal to the constant
+/// vector.
+fn deterministic_start(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            // Weyl sequence: irrational rotation is uniform and cheap.
+            let x = (i as f64 + 1.0) * std::f64::consts::SQRT_2;
+            x.fract() - 0.5
+        })
+        .collect();
+    project_out_ones(&mut v);
+    normalize(&mut v);
+    v
+}
+
+/// One Lanczos run on the Laplacian, deflating the constant vector; returns
+/// the Ritz vector for the smallest remaining eigenvalue (≈ λ₂).
+fn lanczos_smallest(graph: &Graph, start: &[f64]) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let steps = MAX_LANCZOS_STEPS.min(n - 1);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut alphas: Vec<f64> = Vec::with_capacity(steps);
+    let mut betas: Vec<f64> = Vec::with_capacity(steps);
+
+    let mut v = start.to_vec();
+    project_out_ones(&mut v);
+    if normalize(&mut v) < 1e-12 {
+        // Degenerate start (e.g. constant): fall back to the Weyl start.
+        v = deterministic_start(n);
+    }
+    basis.push(v);
+
+    for j in 0..steps {
+        let mut w = laplacian_matvec(graph, &basis[j]);
+        let alpha = dot(&w, &basis[j]);
+        alphas.push(alpha);
+        axpy(&mut w, -alpha, &basis[j]);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            axpy(&mut w, -beta_prev, &basis[j - 1]);
+        }
+        // Full reorthogonalization: against the ones vector and the whole
+        // basis. Keeps the tridiagonal model honest at this problem scale.
+        project_out_ones(&mut w);
+        for b in &basis {
+            let c = dot(&w, b);
+            axpy(&mut w, -c, b);
+        }
+        let beta = norm(&w);
+        if beta < 1e-10 || j + 1 == steps {
+            break;
+        }
+        betas.push(beta);
+        for x in &mut w {
+            *x /= beta;
+        }
+        basis.push(w);
+    }
+
+    let k = alphas.len();
+    let (eigvals, eigvecs) = tridiag_eigen(&alphas, &betas[..k.saturating_sub(1)]);
+    // Smallest Ritz value = first after ascending sort (done inside).
+    let smallest = 0;
+    let _ = eigvals;
+    let s = &eigvecs[smallest];
+    let mut out = vec![0.0; n];
+    for (j, b) in basis.iter().enumerate().take(k) {
+        axpy(&mut out, s[j], b);
+    }
+    normalize(&mut out);
+    out
+}
+
+/// `y = L x` for the combinatorial Laplacian.
+fn laplacian_matvec(graph: &Graph, x: &[f64]) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = graph.degree(i) as f64 * x[i];
+        for &j in graph.neighbors(i) {
+            acc -= x[j as usize];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += c * x`.
+fn axpy(y: &mut [f64], c: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += c * xi;
+    }
+}
+
+/// Removes the mean (projects out the constant eigenvector of `L`).
+fn project_out_ones(v: &mut [f64]) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+/// Normalizes to unit length; returns the original norm.
+fn normalize(v: &mut [f64]) -> f64 {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix via implicit QL
+/// with shifts (the classic `tql2`). `diag` has length `k`; `offdiag` has
+/// length `k − 1` (`offdiag[i]` couples `i` and `i + 1`).
+///
+/// Returns `(eigenvalues ascending, eigenvectors)` with `eigenvectors[j]`
+/// the unit eigenvector for `eigenvalues[j]`.
+pub fn tridiag_eigen(diag: &[f64], offdiag: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = diag.len();
+    assert!(n > 0, "empty tridiagonal matrix");
+    assert_eq!(offdiag.len(), n - 1, "offdiag must have length n - 1");
+    let mut d = diag.to_vec();
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(offdiag);
+    // Row-major; z[r][c]; columns become eigenvectors.
+    let mut z = vec![vec![0.0; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    let eps = f64::EPSILON;
+    let mut f = 0.0;
+    let mut tst1: f64 = 0.0;
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                // Compute implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for item in d.iter_mut().skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0;
+                let mut s2 = 0.0;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g2 = c * e[i];
+                    h = c * p;
+                    r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g2;
+                    d[i + 1] = h + s * (c * g2 + s * d[i]);
+                    for row in z.iter_mut() {
+                        h = row[i + 1];
+                        row[i + 1] = s * row[i] + c * h;
+                        row[i] = c * row[i] - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+                if e[l].abs() <= eps * tst1 || iter >= 50 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+
+    // Sort ascending, carrying eigenvectors (columns of z).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("eigenvalues are finite"));
+    let eigvals: Vec<f64> = order.iter().map(|&j| d[j]).collect();
+    let eigvecs: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&j| (0..n).map(|r| z[r][j]).collect())
+        .collect();
+    (eigvals, eigvecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::average_edge_span;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let coords = (0..n).map(|i| [i as f64, 0.0, 0.0]).collect();
+        Graph::from_edges(n, &edges, coords, 2)
+    }
+
+    fn grid(nx: u32, ny: u32) -> Graph {
+        let n = (nx * ny) as usize;
+        let mut edges = Vec::new();
+        let mut coords = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = y * nx + x;
+                if x + 1 < nx {
+                    edges.push((v, v + 1));
+                }
+                if y + 1 < ny {
+                    edges.push((v, v + nx));
+                }
+                coords.push([f64::from(x), f64::from(y), 0.0]);
+            }
+        }
+        Graph::from_edges(n, &edges, coords, 2)
+    }
+
+    #[test]
+    fn tridiag_2x2() {
+        // [[2, 1], [1, 2]] → eigenvalues 1 and 3.
+        let (vals, vecs) = tridiag_eigen(&[2.0, 2.0], &[1.0]);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+        // Eigenvector for 1 is (1, -1)/√2 up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v[0] + v[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tridiag_diagonal_matrix() {
+        let (vals, vecs) = tridiag_eigen(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+        // Each eigenvector is a standard basis vector.
+        assert!((vecs[0][1].abs() - 1.0).abs() < 1e-12);
+        assert!((vecs[2][0].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tridiag_path_laplacian_eigenvalues() {
+        // Path of 4 vertices: Laplacian eigenvalues are 2 − 2cos(kπ/4)
+        // = 0, 2−√2, 2, 2+√2.
+        let (vals, _) = tridiag_eigen(&[1.0, 2.0, 2.0, 1.0], &[-1.0, -1.0, -1.0]);
+        let expected = [
+            0.0,
+            2.0 - std::f64::consts::SQRT_2,
+            2.0,
+            2.0 + std::f64::consts::SQRT_2,
+        ];
+        for (got, want) in vals.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-10, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn tridiag_eigenvectors_satisfy_equation() {
+        let d = [4.0, 3.0, 2.0, 1.0, 5.0];
+        let e = [1.0, 0.5, 2.0, 0.25];
+        let (vals, vecs) = tridiag_eigen(&d, &e);
+        for (lambda, v) in vals.iter().zip(&vecs) {
+            // Residual of (T − λI)v.
+            for i in 0..5 {
+                let mut r = d[i] * v[i] - lambda * v[i];
+                if i > 0 {
+                    r += e[i - 1] * v[i - 1];
+                }
+                if i < 4 {
+                    r += e[i] * v[i + 1];
+                }
+                assert!(r.abs() < 1e-9, "residual {r} at row {i} for λ = {lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn fiedler_of_path_is_monotone() {
+        let g = path(20);
+        let f = fiedler_vector(&g);
+        // The path's Fiedler vector is cos((i+1/2)π/n): strictly monotone.
+        let increasing = f.windows(2).all(|w| w[1] > w[0]);
+        let decreasing = f.windows(2).all(|w| w[1] < w[0]);
+        assert!(
+            increasing || decreasing,
+            "path Fiedler vector must be monotone: {f:?}"
+        );
+    }
+
+    #[test]
+    fn fiedler_rayleigh_quotient_close_to_lambda2() {
+        // Path of n: λ₂ = 2(1 − cos(π/n)).
+        let n = 16;
+        let g = path(n);
+        let f = fiedler_vector(&g);
+        let lf = laplacian_matvec(&g, &f);
+        let rayleigh = dot(&f, &lf) / dot(&f, &f);
+        let lambda2 = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+        assert!(
+            (rayleigh - lambda2).abs() < 1e-6,
+            "Rayleigh {rayleigh} vs λ₂ {lambda2}"
+        );
+    }
+
+    #[test]
+    fn fiedler_orthogonal_to_ones() {
+        let g = grid(5, 4);
+        let f = fiedler_vector(&g);
+        let sum: f64 = f.iter().sum();
+        assert!(sum.abs() < 1e-8, "Fiedler must be mean-free, sum = {sum}");
+        assert!((norm(&f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fiedler_splits_dumbbell() {
+        // Two 4-cliques joined by one edge: the Fiedler vector separates the
+        // cliques by sign.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+                edges.push((a + 4, b + 4));
+            }
+        }
+        edges.push((3, 4));
+        let g = Graph::from_edges(8, &edges, vec![[0.0; 3]; 8], 2);
+        let f = fiedler_vector(&g);
+        let left_sign = f[0].signum();
+        assert!(f[..4].iter().all(|&x| x.signum() == left_sign));
+        assert!(f[4..].iter().all(|&x| x.signum() == -left_sign));
+    }
+
+    #[test]
+    fn spectral_ordering_recovers_path() {
+        // A shuffled path: spectral ordering must restore span 1.
+        let g = path(24);
+        let perm: Vec<u32> = (0..24u32).map(|v| (v * 7) % 24).collect();
+        let shuffled = g.relabel(&perm);
+        let o = spectral_ordering(&shuffled);
+        let span = average_edge_span(&shuffled, &o);
+        assert!(
+            span <= 1.0 + 1e-9,
+            "spectral ordering of a path must have span 1, got {span}"
+        );
+    }
+
+    #[test]
+    fn spectral_ordering_is_permutation_on_grid() {
+        let g = grid(7, 5);
+        let o = spectral_ordering(&g);
+        let mut seq = o.sequence();
+        seq.sort_unstable();
+        assert_eq!(seq, (0..35).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn spectral_beats_shuffled_natural_on_grid() {
+        let g = grid(8, 8);
+        let perm: Vec<u32> = (0..64u32).map(|v| (v * 37) % 64).collect();
+        let shuffled = g.relabel(&perm);
+        let natural = average_edge_span(&shuffled, &Ordering::identity(64));
+        let spectral = average_edge_span(&shuffled, &spectral_ordering(&shuffled));
+        assert!(
+            spectral < natural / 2.0,
+            "spectral {spectral} should strongly beat shuffled natural {natural}"
+        );
+    }
+
+    #[test]
+    fn spectral_handles_disconnected_graphs() {
+        // Two disjoint paths.
+        let edges = [(0u32, 1u32), (1, 2), (3, 4), (4, 5)];
+        let coords = (0..6).map(|i| [f64::from(i as u32), 0.0, 0.0]).collect();
+        let g = Graph::from_edges(6, &edges, coords, 2);
+        let o = spectral_ordering(&g);
+        assert_eq!(o.len(), 6);
+        let mut seq = o.sequence();
+        seq.sort_unstable();
+        assert_eq!(seq, (0..6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn spectral_tiny_graphs() {
+        let g1 = Graph::from_edges(1, &[], vec![[0.0; 3]], 2);
+        assert_eq!(spectral_ordering(&g1).len(), 1);
+        let g2 = path(2);
+        assert_eq!(spectral_ordering(&g2).len(), 2);
+        let g3 = path(3);
+        assert_eq!(spectral_ordering(&g3).len(), 3);
+    }
+
+    #[test]
+    fn spectral_deterministic() {
+        let g = grid(6, 6);
+        assert_eq!(spectral_ordering(&g), spectral_ordering(&g));
+    }
+}

@@ -1,0 +1,135 @@
+//! Half-open intervals `[start, end)` over the one-dimensional list.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open range `[start, end)` of global indices.
+///
+/// `start == end` denotes the empty interval (a processor can legitimately be
+/// assigned no elements when its capability share rounds to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// First index in the interval.
+    pub start: usize,
+    /// One past the last index.
+    pub end: usize,
+}
+
+impl Interval {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "invalid interval [{start}, {end})");
+        Interval { start, end }
+    }
+
+    /// The empty interval at position 0.
+    pub const EMPTY: Interval = Interval { start: 0, end: 0 };
+
+    /// Number of indices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the interval covers nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `index` lies inside.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.start <= index && index < self.end
+    }
+
+    /// The intersection with another interval (empty if disjoint).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Interval { start, end }
+        } else {
+            Interval::EMPTY
+        }
+    }
+
+    /// Size of the intersection.
+    #[inline]
+    pub fn overlap(&self, other: &Interval) -> usize {
+        self.intersect(other).len()
+    }
+
+    /// Iterator over the global indices in the interval.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.start..self.end
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let i = Interval::new(3, 7);
+        assert_eq!(i.len(), 4);
+        assert!(!i.is_empty());
+        assert!(i.contains(3));
+        assert!(i.contains(6));
+        assert!(!i.contains(7));
+        assert!(!i.contains(2));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty() {
+        let e = Interval::new(5, 5);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(5));
+        assert_eq!(Interval::EMPTY.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_rejected() {
+        let _ = Interval::new(7, 3);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert_eq!(a.overlap(&b), 5);
+        assert_eq!(b.overlap(&a), 5);
+
+        let c = Interval::new(10, 20);
+        assert!(a.intersect(&c).is_empty());
+        assert_eq!(a.overlap(&c), 0);
+
+        let d = Interval::new(2, 4);
+        assert_eq!(a.intersect(&d), d);
+    }
+
+    #[test]
+    fn intersection_with_empty() {
+        let a = Interval::new(0, 10);
+        assert_eq!(a.overlap(&Interval::EMPTY), 0);
+        assert_eq!(Interval::EMPTY.overlap(&a), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(1, 4).to_string(), "[1, 4)");
+    }
+}

@@ -1,0 +1,39 @@
+//! # stance-onedim — block partitions of the one-dimensional list
+//!
+//! After Phase A transforms the computational graph into a locality-preserving
+//! one-dimensional order (§3.1 of the paper), *everything* the runtime does is
+//! expressed in terms of contiguous intervals of that list:
+//!
+//! * partitioning = assigning one contiguous block per processor, sized in
+//!   proportion to the processor's capability;
+//! * the translation "table" = the `O(p)` replicated list of block bounds;
+//! * remapping = choosing new blocks and moving the non-overlapping parts.
+//!
+//! This crate implements that machinery:
+//!
+//! * [`Interval`] — half-open index ranges with overlap arithmetic;
+//! * [`Arrangement`] — an ordering of processors along the list (the paper's
+//!   "arrangements", §3.4: there are `p!` of them);
+//! * [`BlockPartition`] — a concrete assignment of blocks to processors,
+//!   built from capability weights via largest-remainder apportionment;
+//! * [`RedistributionPlan`] — the exact set of (source, destination, range)
+//!   moves between two partitions, plus its cost under a
+//!   [`RedistCostModel`];
+//! * [`mcr::minimize_cost_redistribution`] — the greedy
+//!   `MinimizeCostRedistribution` algorithm of Figure 6 (with Figure 7's
+//!   `MOVE`), and an exhaustive oracle for small `p`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrangement;
+pub mod interval;
+pub mod mcr;
+pub mod partition;
+pub mod redistribution;
+
+pub use arrangement::Arrangement;
+pub use interval::Interval;
+pub use mcr::{exhaustive_best_arrangement, minimize_cost_redistribution};
+pub use partition::BlockPartition;
+pub use redistribution::{Move, RedistCostModel, RedistributionPlan};

@@ -1,0 +1,298 @@
+//! Redistribution plans: exactly which ranges move where when the partition
+//! changes, and what that costs.
+//!
+//! §3.4: "The two factors contributing to data redistribution time are the
+//! amount of data to be transferred and the number of messages generated."
+//! A [`RedistributionPlan`] captures both, and [`RedistCostModel`] turns them
+//! into the scalar that `MinimizeCostRedistribution` optimizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interval::Interval;
+use crate::partition::BlockPartition;
+
+/// One contiguous range moving from one processor to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Move {
+    /// Source processor (owner under the old partition).
+    pub src: usize,
+    /// Destination processor (owner under the new partition).
+    pub dst: usize,
+    /// The global index range that moves.
+    pub range: Interval,
+}
+
+/// The complete set of moves turning an old partition's data placement into
+/// a new one. Ranges owned by the same processor before and after do not
+/// appear.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedistributionPlan {
+    moves: Vec<Move>,
+    n: usize,
+    num_procs: usize,
+}
+
+impl RedistributionPlan {
+    /// Computes the plan between two partitions of the same list.
+    ///
+    /// # Panics
+    /// Panics if the partitions disagree on list length or processor count.
+    pub fn between(old: &BlockPartition, new: &BlockPartition) -> Self {
+        assert_eq!(old.n(), new.n(), "partitions cover different lists");
+        assert_eq!(
+            old.num_procs(),
+            new.num_procs(),
+            "partitions have different processor counts"
+        );
+        let p = old.num_procs();
+        let mut moves = Vec::new();
+        for src in 0..p {
+            let src_iv = old.interval_of(src);
+            if src_iv.is_empty() {
+                continue;
+            }
+            for dst in 0..p {
+                if src == dst {
+                    continue;
+                }
+                let inter = src_iv.intersect(&new.interval_of(dst));
+                if !inter.is_empty() {
+                    moves.push(Move {
+                        src,
+                        dst,
+                        range: inter,
+                    });
+                }
+            }
+        }
+        // Deterministic order: by source, then range start.
+        moves.sort_by_key(|m| (m.src, m.range.start));
+        RedistributionPlan {
+            moves,
+            n: old.n(),
+            num_procs: p,
+        }
+    }
+
+    /// All moves, ordered by `(src, range.start)`.
+    #[inline]
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// Number of point-to-point messages the redistribution needs (one per
+    /// move: each move is a contiguous range between one pair).
+    #[inline]
+    pub fn num_messages(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Total number of elements that change processor.
+    pub fn elements_moved(&self) -> usize {
+        self.moves.iter().map(|m| m.range.len()).sum()
+    }
+
+    /// Elements that stay in place (`n - moved`).
+    pub fn elements_kept(&self) -> usize {
+        self.n - self.elements_moved()
+    }
+
+    /// The moves sent by processor `rank`, in range order.
+    pub fn sends_of(&self, rank: usize) -> impl Iterator<Item = &Move> {
+        self.moves.iter().filter(move |m| m.src == rank)
+    }
+
+    /// The moves received by processor `rank`, in `(src, range)` order.
+    pub fn recvs_of(&self, rank: usize) -> Vec<Move> {
+        let mut v: Vec<Move> = self
+            .moves
+            .iter()
+            .filter(|m| m.dst == rank)
+            .copied()
+            .collect();
+        v.sort_by_key(|m| (m.src, m.range.start));
+        v
+    }
+
+    /// The number of processors in the plan.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+}
+
+/// Scalar cost of a redistribution: `per_message × messages +
+/// per_element × elements_moved` (seconds, under the network model that
+/// motivates the constants).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedistCostModel {
+    /// Cost of each point-to-point message (setup + latency).
+    pub per_message: f64,
+    /// Cost of each element moved (element bytes × byte time).
+    pub per_element: f64,
+}
+
+impl RedistCostModel {
+    /// A model that counts only moved elements (pure overlap maximization,
+    /// the first objective discussed in §3.4).
+    pub fn elements_only() -> Self {
+        RedistCostModel {
+            per_message: 0.0,
+            per_element: 1.0,
+        }
+    }
+
+    /// Ethernet-flavoured constants for 8-byte elements: 2 ms per message
+    /// (send setup + latency) and 8 bytes at ~1.1 MB/s per element. Matches
+    /// [`stance-sim`'s `NetworkSpec::ethernet_10mbit`] defaults.
+    pub fn ethernet_f64() -> Self {
+        RedistCostModel {
+            per_message: 2.0e-3,
+            per_element: 8.0 / 1.1e6,
+        }
+    }
+
+    /// The modeled cost (seconds) of a plan.
+    pub fn cost(&self, plan: &RedistributionPlan) -> f64 {
+        self.per_message * plan.num_messages() as f64
+            + self.per_element * plan.elements_moved() as f64
+    }
+
+    /// Cost of redistributing directly between two partitions.
+    pub fn cost_between(&self, old: &BlockPartition, new: &BlockPartition) -> f64 {
+        self.cost(&RedistributionPlan::between(old, new))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::Arrangement;
+
+    fn fig5_old() -> BlockPartition {
+        BlockPartition::from_weights(
+            100,
+            &[0.27, 0.18, 0.34, 0.07, 0.14],
+            Arrangement::identity(5),
+        )
+    }
+
+    #[test]
+    fn identity_plan_is_empty() {
+        let p = fig5_old();
+        let plan = RedistributionPlan::between(&p, &p);
+        assert_eq!(plan.num_messages(), 0);
+        assert_eq!(plan.elements_moved(), 0);
+        assert_eq!(plan.elements_kept(), 100);
+    }
+
+    #[test]
+    fn fig5_identity_arrangement_plan() {
+        let old = fig5_old();
+        let new = BlockPartition::from_weights(
+            100,
+            &[0.10, 0.13, 0.29, 0.24, 0.24],
+            Arrangement::identity(5),
+        );
+        let plan = RedistributionPlan::between(&old, &new);
+        // Overlap 31 → 69 elements move (paper's rounding gives 71).
+        assert_eq!(plan.elements_moved(), 69);
+        assert_eq!(plan.elements_kept(), 31);
+        // Six pairwise transfers under exact apportionment (paper: 5).
+        assert_eq!(plan.num_messages(), 6);
+    }
+
+    #[test]
+    fn fig5_rearranged_plan_moves_less() {
+        let old = fig5_old();
+        let new = BlockPartition::from_weights(
+            100,
+            &[0.10, 0.13, 0.29, 0.24, 0.24],
+            Arrangement::new(vec![0, 3, 1, 2, 4]),
+        );
+        let plan = RedistributionPlan::between(&old, &new);
+        assert_eq!(plan.elements_kept(), 64);
+        assert_eq!(plan.elements_moved(), 36);
+        // Fewer messages than the identity arrangement (5 vs 6; paper: 3 vs 5).
+        assert_eq!(plan.num_messages(), 5);
+    }
+
+    #[test]
+    fn moves_partition_the_difference() {
+        let old = BlockPartition::from_sizes(&[10, 10]);
+        let new = BlockPartition::from_sizes(&[4, 16]);
+        let plan = RedistributionPlan::between(&old, &new);
+        assert_eq!(plan.moves().len(), 1);
+        let m = plan.moves()[0];
+        assert_eq!(m.src, 0);
+        assert_eq!(m.dst, 1);
+        assert_eq!(m.range, Interval::new(4, 10));
+        assert_eq!(plan.elements_moved(), 6);
+    }
+
+    #[test]
+    fn sends_and_recvs_views() {
+        let old = BlockPartition::from_sizes(&[10, 10, 10]);
+        let new = BlockPartition::from_sizes(&[2, 14, 14]);
+        let plan = RedistributionPlan::between(&old, &new);
+        let sends0: Vec<_> = plan.sends_of(0).collect();
+        assert_eq!(sends0.len(), 1);
+        assert_eq!(sends0[0].dst, 1);
+        assert_eq!(sends0[0].range, Interval::new(2, 10));
+        let recvs2 = plan.recvs_of(2);
+        assert_eq!(recvs2.len(), 1);
+        assert_eq!(recvs2[0].src, 1);
+        assert_eq!(recvs2[0].range, Interval::new(16, 20));
+        assert!(plan.recvs_of(0).is_empty());
+    }
+
+    #[test]
+    fn every_element_accounted_once() {
+        // Moves plus per-processor overlaps must cover [0, n) exactly.
+        let old = BlockPartition::from_weights(
+            53,
+            &[0.4, 0.1, 0.3, 0.2],
+            Arrangement::new(vec![2, 0, 1, 3]),
+        );
+        let new = BlockPartition::from_weights(
+            53,
+            &[0.1, 0.4, 0.2, 0.3],
+            Arrangement::new(vec![3, 1, 0, 2]),
+        );
+        let plan = RedistributionPlan::between(&old, &new);
+        let mut covered = vec![0u8; 53];
+        for m in plan.moves() {
+            for g in m.range.iter() {
+                covered[g] += 1;
+            }
+        }
+        for q in 0..4 {
+            for g in old.interval_of(q).intersect(&new.interval_of(q)).iter() {
+                covered[g] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "coverage: {covered:?}");
+    }
+
+    #[test]
+    fn cost_model() {
+        let old = BlockPartition::from_sizes(&[10, 10]);
+        let new = BlockPartition::from_sizes(&[4, 16]);
+        let plan = RedistributionPlan::between(&old, &new);
+        let m = RedistCostModel {
+            per_message: 10.0,
+            per_element: 1.0,
+        };
+        assert_eq!(m.cost(&plan), 16.0);
+        assert_eq!(m.cost_between(&old, &new), 16.0);
+        assert_eq!(RedistCostModel::elements_only().cost(&plan), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lists")]
+    fn mismatched_lengths_rejected() {
+        let a = BlockPartition::from_sizes(&[10]);
+        let b = BlockPartition::from_sizes(&[11]);
+        let _ = RedistributionPlan::between(&a, &b);
+    }
+}

@@ -1,0 +1,386 @@
+//! Per-rank execution environment: the SPMD process's view of the cluster.
+//!
+//! An [`Env`] is handed to the SPMD closure on each simulated workstation. It
+//! owns that rank's virtual clock and provides point-to-point messaging,
+//! multicast, collectives and compute-charging. All methods take `&mut self`:
+//! a rank is a single sequential process, exactly as in the paper's SPMD
+//! model (§2).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::machine::MachineSpec;
+use crate::network::NetworkState;
+use crate::payload::{Payload, Tag};
+use crate::stats::EnvStats;
+use crate::time::VTime;
+
+/// A message in flight between two ranks.
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub tag: Tag,
+    pub arrival: VTime,
+    pub payload: Payload,
+}
+
+/// Shared state for the clock-synchronizing barrier.
+pub(crate) struct BarrierShared {
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+    size: usize,
+    /// Virtual seconds a barrier adds beyond the max participant clock
+    /// (log-tree latency model).
+    cost: f64,
+}
+
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+    max_clock: VTime,
+    release: VTime,
+}
+
+impl BarrierShared {
+    pub(crate) fn new(size: usize, per_message_latency: f64) -> Arc<Self> {
+        // A dissemination barrier needs ceil(log2(p)) rounds of messages.
+        let rounds = if size <= 1 {
+            0.0
+        } else {
+            (size as f64).log2().ceil()
+        };
+        Arc::new(BarrierShared {
+            inner: Mutex::new(BarrierInner {
+                arrived: 0,
+                generation: 0,
+                max_clock: VTime::ZERO,
+                release: VTime::ZERO,
+            }),
+            cv: Condvar::new(),
+            size,
+            cost: 2.0 * per_message_latency * rounds,
+        })
+    }
+
+    /// Blocks until all ranks arrive; returns the synchronized release time.
+    fn wait(&self, clock: VTime) -> VTime {
+        let mut g = self.inner.lock();
+        g.max_clock = g.max_clock.max(clock);
+        g.arrived += 1;
+        if g.arrived == self.size {
+            g.release = g.max_clock + self.cost;
+            g.generation = g.generation.wrapping_add(1);
+            g.arrived = 0;
+            g.max_clock = VTime::ZERO;
+            self.cv.notify_all();
+            g.release
+        } else {
+            let gen = g.generation;
+            while g.generation == gen {
+                self.cv.wait(&mut g);
+            }
+            g.release
+        }
+    }
+}
+
+/// One rank's handle onto the simulated cluster.
+pub struct Env {
+    rank: usize,
+    size: usize,
+    clock: VTime,
+    machine: MachineSpec,
+    net: Arc<NetworkState>,
+    /// `txs[dst]` sends into `dst`'s mailbox slot for this rank.
+    txs: Vec<Sender<Msg>>,
+    /// `rxs[src]` receives messages sent by `src`.
+    rxs: Vec<Receiver<Msg>>,
+    /// Buffered messages per source whose tag did not match an earlier recv.
+    pending: Vec<VecDeque<Msg>>,
+    barrier: Arc<BarrierShared>,
+    stats: EnvStats,
+}
+
+impl Env {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        machine: MachineSpec,
+        net: Arc<NetworkState>,
+        txs: Vec<Sender<Msg>>,
+        rxs: Vec<Receiver<Msg>>,
+        barrier: Arc<BarrierShared>,
+    ) -> Self {
+        let pending = (0..size).map(|_| VecDeque::new()).collect();
+        Env {
+            rank,
+            size,
+            clock: VTime::ZERO,
+            machine,
+            net,
+            txs,
+            rxs,
+            pending,
+            barrier,
+            stats: EnvStats::default(),
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time on this rank.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.clock
+    }
+
+    /// This rank's machine description.
+    #[inline]
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &EnvStats {
+        &self.stats
+    }
+
+    pub(crate) fn into_parts(self) -> (VTime, EnvStats) {
+        (self.clock, self.stats)
+    }
+
+    /// Charges `work` reference seconds of computation. The clock advances
+    /// according to this machine's speed and external-load timeline, so the
+    /// same work takes longer on a slow or loaded workstation.
+    pub fn compute(&mut self, work: f64) {
+        let end = self.machine.finish_time(self.clock, work);
+        self.stats.compute_time += end - self.clock;
+        self.clock = end;
+    }
+
+    /// Advances the clock to `t` if `t` is in the future (models idle
+    /// waiting for an external event; accounted as wait time).
+    pub fn advance_to(&mut self, t: VTime) {
+        if t > self.clock {
+            self.stats.wait_time += t - self.clock;
+            self.clock = t;
+        }
+    }
+
+    /// Sends `payload` to `dst` with `tag`. Charges this rank the
+    /// per-message setup cost; the message arrives at
+    /// `setup-completion + latency + bytes × byte_time`.
+    ///
+    /// Sending to self is allowed (the message is delivered through the same
+    /// mailbox with zero network cost beyond setup).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    pub fn send(&mut self, dst: usize, tag: Tag, payload: Payload) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let bytes = payload.size_bytes();
+        let spec = self.net.spec();
+        self.clock += spec.send_setup;
+        self.stats.send_time += spec.send_setup;
+        let arrival = if dst == self.rank {
+            self.clock
+        } else {
+            self.net.arrival(self.clock, bytes)
+        };
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.txs[dst]
+            .send(Msg {
+                tag,
+                arrival,
+                payload,
+            })
+            .expect("receiver rank terminated before message was delivered");
+    }
+
+    /// Sends the same payload to several destinations. If the network
+    /// supports multicast (§3.6), one setup and one transmission serve all
+    /// destinations; otherwise this degenerates to a loop of unicast sends.
+    pub fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {
+        if dsts.is_empty() {
+            return;
+        }
+        if dsts.len() == 1 {
+            self.send(dsts[0], tag, payload);
+            return;
+        }
+        if self.net.multicast_supported() {
+            let bytes = payload.size_bytes();
+            let spec = self.net.spec();
+            self.clock += spec.send_setup;
+            self.stats.send_time += spec.send_setup;
+            let arrival = self.net.arrival(self.clock, bytes);
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += bytes as u64;
+            for &dst in dsts {
+                assert!(dst < self.size, "multicast to rank {dst} of {}", self.size);
+                let arrival = if dst == self.rank { self.clock } else { arrival };
+                self.txs[dst]
+                    .send(Msg {
+                        tag,
+                        arrival,
+                        payload: payload.clone(),
+                    })
+                    .expect("receiver rank terminated before message was delivered");
+            }
+        } else {
+            for &dst in dsts {
+                self.send(dst, tag, payload.clone());
+            }
+        }
+    }
+
+    /// Receives the next message from `src` carrying `tag`, blocking until it
+    /// arrives. The clock advances to the message's arrival time (waiting is
+    /// accounted) plus the receive overhead.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range, or if `src` terminates without ever
+    /// sending a matching message (a deadlocked protocol is a bug).
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Payload {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let msg = self.take_matching(src, tag);
+        self.stats.wait_time += msg.arrival.saturating_gap(self.clock);
+        self.clock = self.clock.max(msg.arrival);
+        let overhead = self.net.spec().recv_overhead;
+        self.clock += overhead;
+        self.stats.recv_time += overhead;
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += msg.payload.size_bytes() as u64;
+        msg.payload
+    }
+
+    fn take_matching(&mut self, src: usize, tag: Tag) -> Msg {
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            return self.pending[src]
+                .remove(pos)
+                .expect("position was just found");
+        }
+        loop {
+            let msg = self.rxs[src].recv().unwrap_or_else(|_| {
+                panic!(
+                    "rank {} waiting on tag {:?} from rank {src}, but the sender exited",
+                    self.rank, tag
+                )
+            });
+            if msg.tag == tag {
+                return msg;
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    /// Synchronizes all ranks: every clock advances to the maximum
+    /// participant clock plus the barrier's log-tree latency.
+    pub fn barrier(&mut self) {
+        let entry = self.clock;
+        let release = self.barrier.wait(entry);
+        debug_assert!(release >= entry, "barrier released before entry");
+        self.stats.barrier_time += release - entry;
+        self.clock = release;
+    }
+
+    /// Broadcast from `root`: the root multicasts `payload` to everyone and
+    /// returns it; the others receive it.
+    pub fn bcast_from(&mut self, root: usize, tag: Tag, payload: Payload) -> Payload {
+        if self.rank == root {
+            let others: Vec<usize> = (0..self.size).filter(|&r| r != root).collect();
+            self.multicast(&others, tag, payload.clone());
+            payload
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Gathers every rank's payload at `root` (in rank order). Returns
+    /// `Some(payloads)` at the root and `None` elsewhere.
+    pub fn gather_to(&mut self, root: usize, tag: Tag, payload: Payload) -> Option<Vec<Payload>> {
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, payload);
+            None
+        }
+    }
+
+    /// All-gather: every rank ends up with every rank's payload, in rank
+    /// order. Implemented as gather-to-0 followed by broadcast of the
+    /// concatenation metadata; cost follows from the constituent messages.
+    pub fn allgather(&mut self, tag: Tag, payload: Payload) -> Vec<Payload> {
+        // Each rank multicasts its contribution; everyone receives p-1.
+        let others: Vec<usize> = (0..self.size).filter(|&r| r != self.rank).collect();
+        self.multicast(&others, tag, payload.clone());
+        let mut out = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == self.rank {
+                out.push(payload.clone());
+            } else {
+                out.push(self.recv(src, tag));
+            }
+        }
+        out
+    }
+
+    /// All-reduce of one `f64` per rank with a binary operation. Everyone
+    /// returns the reduction over all ranks, folded in rank order.
+    pub fn allreduce_f64(&mut self, tag: Tag, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        let parts = self.allgather(tag, Payload::from_f64(vec![value]));
+        parts
+            .into_iter()
+            .map(|p| p.into_f64()[0])
+            .reduce(&op)
+            .expect("cluster has at least one rank")
+    }
+
+    /// Personalized all-to-all exchange: sends each `(dst, payload)` pair,
+    /// then receives one payload from each rank listed in `recv_from` (in the
+    /// given order). The caller must know its senders — in STANCE they always
+    /// follow from replicated interval tables or schedules.
+    pub fn exchange(
+        &mut self,
+        sends: Vec<(usize, Payload)>,
+        recv_from: &[usize],
+        tag: Tag,
+    ) -> Vec<(usize, Payload)> {
+        for (dst, payload) in sends {
+            self.send(dst, tag, payload);
+        }
+        recv_from
+            .iter()
+            .map(|&src| (src, self.recv(src, tag)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Env construction needs a full cluster; behavioural tests live in
+    // `cluster.rs` and in the crate-level integration tests.
+}

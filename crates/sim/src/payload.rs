@@ -1,0 +1,281 @@
+//! Message payloads and tags.
+//!
+//! A [`Payload`] is an owned, typed buffer. The executor's hot paths move
+//! `f64` data (the paper's arrays are floating point) and `u32`/`u64` index
+//! lists (inspector requests, schedules, control messages), so those get
+//! first-class variants — no serialization round-trip, and the byte size used
+//! by the network cost model matches what a wire format would carry.
+
+use serde::{Deserialize, Serialize};
+
+/// A small integer message tag, used to match sends with receives.
+///
+/// Tags below [`Tag::RESERVED_BASE`] are free for applications; the runtime
+/// library uses the reserved range for its internal protocols (barrier,
+/// load-balancing control, redistribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// First tag value reserved for the runtime's internal protocols.
+    pub const RESERVED_BASE: u32 = 0xF000_0000;
+
+    /// Whether this tag is in the runtime-reserved range.
+    #[inline]
+    pub fn is_reserved(self) -> bool {
+        self.0 >= Self::RESERVED_BASE
+    }
+
+    /// A reserved tag at `RESERVED_BASE + offset`.
+    #[inline]
+    pub const fn reserved(offset: u32) -> Tag {
+        Tag(Self::RESERVED_BASE + offset)
+    }
+}
+
+/// Typed message payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// No data: pure synchronization / signal.
+    Empty,
+    /// Double-precision data (application arrays).
+    F64(Vec<f64>),
+    /// Single-precision data (the paper's Table 2 arrays are 4-byte
+    /// floats; wire size matters to the cost model).
+    F32(Vec<f32>),
+    /// 32-bit indices (local references, schedule entries).
+    U32(Vec<u32>),
+    /// 64-bit values (global indices, sizes, packed pairs).
+    U64(Vec<u64>),
+    /// Raw bytes (serialized structures).
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Payload of `f64` values.
+    pub fn from_f64(v: Vec<f64>) -> Self {
+        Payload::F64(v)
+    }
+
+    /// Payload of `f32` values.
+    pub fn from_f32(v: Vec<f32>) -> Self {
+        Payload::F32(v)
+    }
+
+    /// Payload of `u32` values.
+    pub fn from_u32(v: Vec<u32>) -> Self {
+        Payload::U32(v)
+    }
+
+    /// Payload of `u64` values.
+    pub fn from_u64(v: Vec<u64>) -> Self {
+        Payload::U64(v)
+    }
+
+    /// Payload of raw bytes.
+    pub fn from_bytes(v: Vec<u8>) -> Self {
+        Payload::Bytes(v)
+    }
+
+    /// Number of wire bytes this payload occupies (what the bandwidth term of
+    /// the network model charges).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64(v) => v.len() * 8,
+            Payload::F32(v) => v.len() * 4,
+            Payload::U32(v) => v.len() * 4,
+            Payload::U64(v) => v.len() * 8,
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Number of elements (0 for `Empty`, bytes for `Bytes`).
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64(v) => v.len(),
+            Payload::F32(v) => v.len(),
+            Payload::U32(v) => v.len(),
+            Payload::U64(v) => v.len(),
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts `f64` data.
+    ///
+    /// # Panics
+    /// Panics if the payload is not `F64`; a type mismatch on a matched tag is
+    /// a protocol bug, not a recoverable condition.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {}", other.kind_name()),
+        }
+    }
+
+    /// Extracts `f32` data.
+    ///
+    /// # Panics
+    /// Panics if the payload is not `F32`.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            other => panic!("expected F32 payload, got {}", other.kind_name()),
+        }
+    }
+
+    /// Extracts `u32` data.
+    ///
+    /// # Panics
+    /// Panics if the payload is not `U32`.
+    pub fn into_u32(self) -> Vec<u32> {
+        match self {
+            Payload::U32(v) => v,
+            other => panic!("expected U32 payload, got {}", other.kind_name()),
+        }
+    }
+
+    /// Extracts `u64` data.
+    ///
+    /// # Panics
+    /// Panics if the payload is not `U64`.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {}", other.kind_name()),
+        }
+    }
+
+    /// Extracts raw bytes.
+    ///
+    /// # Panics
+    /// Panics if the payload is not `Bytes`.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {}", other.kind_name()),
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::Empty => "Empty",
+            Payload::F64(_) => "F64",
+            Payload::F32(_) => "F32",
+            Payload::U32(_) => "U32",
+            Payload::U64(_) => "U64",
+            Payload::Bytes(_) => "Bytes",
+        }
+    }
+}
+
+/// Array element types that can travel in a [`Payload`]. Lets primitives
+/// like redistribution be generic over precision (the paper's arrays are
+/// single-precision; the kernel here uses doubles).
+pub trait PayloadElement: Copy + Send + 'static {
+    /// Wraps a vector of elements.
+    fn wrap(v: Vec<Self>) -> Payload;
+    /// Unwraps a payload of this element type.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch.
+    fn unwrap(p: Payload) -> Vec<Self>;
+}
+
+impl PayloadElement for f64 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::F64(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_f64()
+    }
+}
+
+impl PayloadElement for f32 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::F32(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_f32()
+    }
+}
+
+impl PayloadElement for u32 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::U32(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_u32()
+    }
+}
+
+impl PayloadElement for u64 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::U64(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Payload::Empty.size_bytes(), 0);
+        assert_eq!(Payload::from_f64(vec![0.0; 3]).size_bytes(), 24);
+        assert_eq!(Payload::from_f32(vec![0.0; 3]).size_bytes(), 12);
+        assert_eq!(Payload::from_u32(vec![0; 3]).size_bytes(), 12);
+        assert_eq!(Payload::from_u64(vec![0; 3]).size_bytes(), 24);
+        assert_eq!(Payload::from_bytes(vec![0; 3]).size_bytes(), 3);
+    }
+
+    #[test]
+    fn payload_element_round_trip() {
+        fn rt<T: PayloadElement + PartialEq + std::fmt::Debug>(v: Vec<T>) {
+            let p = T::wrap(v.clone());
+            assert_eq!(T::unwrap(p), v);
+        }
+        rt(vec![1.0f64, 2.0]);
+        rt(vec![1.0f32, 2.0]);
+        rt(vec![1u32, 2]);
+        rt(vec![1u64, 2]);
+    }
+
+    #[test]
+    fn lengths_and_emptiness() {
+        assert!(Payload::Empty.is_empty());
+        assert!(Payload::from_f64(vec![]).is_empty());
+        assert_eq!(Payload::from_u32(vec![1, 2]).len(), 2);
+        assert!(!Payload::from_u64(vec![1]).is_empty());
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(Payload::from_f64(vec![1.5]).into_f64(), vec![1.5]);
+        assert_eq!(Payload::from_u32(vec![7]).into_u32(), vec![7]);
+        assert_eq!(Payload::from_u64(vec![9]).into_u64(), vec![9]);
+        assert_eq!(Payload::from_bytes(vec![3]).into_bytes(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64 payload")]
+    fn wrong_extraction_panics() {
+        let _ = Payload::from_u32(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn reserved_tags() {
+        assert!(!Tag(0).is_reserved());
+        assert!(Tag::reserved(0).is_reserved());
+        assert!(Tag::reserved(5) > Tag::reserved(0));
+    }
+}

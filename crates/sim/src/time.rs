@@ -1,0 +1,164 @@
+//! Virtual time: a thin wrapper over `f64` seconds.
+//!
+//! Virtual timestamps are totally ordered, non-NaN by construction, and only
+//! ever move forward on a given rank. Keeping a newtype (instead of bare
+//! `f64`) prevents accidentally mixing wall-clock measurements into the
+//! simulation's accounting.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in seconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct VTime(f64);
+
+impl VTime {
+    /// Time zero: the start of the simulated run.
+    pub const ZERO: VTime = VTime(0.0);
+
+    /// Creates a timestamp from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative: virtual time is a monotone,
+    /// non-negative quantity.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "virtual time must be finite and non-negative, got {secs}"
+        );
+        VTime(secs)
+    }
+
+    /// The timestamp as seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: VTime) -> VTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// `max(0, self - other)` in seconds: the non-negative gap between two
+    /// timestamps. Used for idle-time accounting.
+    #[inline]
+    pub fn saturating_gap(self, other: VTime) -> f64 {
+        (self.0 - other.0).max(0.0)
+    }
+}
+
+impl Default for VTime {
+    fn default() -> Self {
+        VTime::ZERO
+    }
+}
+
+impl Eq for VTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for VTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Construction forbids NaN, so partial_cmp always succeeds.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("VTime is never NaN by construction")
+    }
+}
+
+impl Add<f64> for VTime {
+    type Output = VTime;
+    fn add(self, dt: f64) -> VTime {
+        VTime::from_secs(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for VTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub<VTime> for VTime {
+    type Output = f64;
+    fn sub(self, rhs: VTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = VTime::from_secs(1.5);
+        assert_eq!(t.as_secs(), 1.5);
+        assert_eq!(VTime::ZERO.as_secs(), 0.0);
+        assert_eq!(VTime::default(), VTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = VTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan() {
+        let _ = VTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = VTime::from_secs(1.0);
+        let b = VTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VTime::from_secs(1.0);
+        let b = a + 0.5;
+        assert!((b.as_secs() - 1.5).abs() < 1e-12);
+        assert!((b - a - 0.5).abs() < 1e-12);
+        let mut c = a;
+        c += 2.0;
+        assert!((c.as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_gap() {
+        let a = VTime::from_secs(1.0);
+        let b = VTime::from_secs(3.0);
+        assert_eq!(b.saturating_gap(a), 2.0);
+        assert_eq!(a.saturating_gap(b), 0.0);
+    }
+}

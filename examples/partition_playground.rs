@@ -1,0 +1,63 @@
+//! Phase A playground: compares every one-dimensional indexing method on
+//! two different mesh families and shows what the ordering quality means
+//! for actual communication volume at several processor counts.
+//!
+//! ```text
+//! cargo run --release --example partition_playground
+//! ```
+
+use stance::locality::{compute_ordering, meshgen, metrics, Graph, OrderingMethod};
+use stance::onedim::BlockPartition;
+
+fn report(name: &str, mesh: &Graph) {
+    println!("--- {name}: {} vertices, {} edges ---", mesh.num_vertices(), mesh.num_edges());
+    println!(
+        "{:<10} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "method", "avg span", "bandwidth", "cut@3", "cut@6", "vol@6"
+    );
+    for method in OrderingMethod::ALL {
+        let ordering = compute_ordering(mesh, method);
+        let span = metrics::average_edge_span(mesh, &ordering);
+        let bw = metrics::bandwidth(mesh, &ordering);
+        let cut3 = metrics::edge_cut(
+            mesh,
+            &ordering,
+            &BlockPartition::uniform(mesh.num_vertices(), 3),
+        );
+        let part6 = BlockPartition::uniform(mesh.num_vertices(), 6);
+        let cut6 = metrics::edge_cut(mesh, &ordering, &part6);
+        let vol6: usize = metrics::comm_volume(mesh, &ordering, &part6).iter().sum();
+        println!(
+            "{:<10} {:>12.2} {:>10} {:>8} {:>8} {:>8}",
+            method.name(),
+            span,
+            bw,
+            cut3,
+            cut6,
+            vol6
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Ordering quality across mesh families.\n");
+    println!("avg span  = mean |T(u)-T(v)| over edges (1-D locality)");
+    println!("cut@p     = edges crossing block boundaries at p equal blocks");
+    println!("vol@p     = distinct off-block vertices gathered per iteration\n");
+
+    let grid = meshgen::triangulated_grid(48, 48, 0.5, 21);
+    report("jittered triangulated grid", &grid);
+
+    let annulus = meshgen::annulus_mesh(24, 96, 22);
+    report("annulus (airfoil-like)", &annulus);
+
+    let rgg = meshgen::random_geometric(2000, 0.035, 23);
+    report("random geometric graph", &rgg);
+
+    println!(
+        "Reading: the spectral ordering (the paper's choice) usually minimizes cut\n\
+         and volume; Hilbert comes close at a fraction of the indexing cost; the\n\
+         natural order is the do-nothing baseline."
+    );
+}

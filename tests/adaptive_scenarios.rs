@@ -1,0 +1,179 @@
+//! Adaptive-environment scenarios beyond the paper's single experiment:
+//! load arriving mid-run, load departing, several machines loaded at once,
+//! and the profitability rule declining unprofitable remaps.
+
+use stance::balance::BalancerConfig;
+use stance::executor::sequential_relaxation;
+use stance::onedim::RedistCostModel;
+use stance::prelude::*;
+use stance_repro::reassemble;
+
+fn init(g: usize) -> f64 {
+    (g as f64 * 0.02).cos() * 4.0
+}
+
+fn mesh() -> Graph {
+    let raw = stance::locality::meshgen::triangulated_grid(20, 15, 0.4, 6);
+    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
+}
+
+/// A balancer scaled for the small test meshes.
+fn test_balancer() -> BalancerConfig {
+    BalancerConfig {
+        redist_model: RedistCostModel {
+            per_message: 1.0e-4,
+            per_element: 1.0e-7,
+        },
+        rebuild_cost_hint: 1.0e-4,
+        profitability_margin: 1.0,
+        use_mcr: true,
+        mode: ControllerMode::Centralized,
+    }
+}
+
+fn adaptive_config() -> StanceConfig {
+    let mut c = StanceConfig::default().with_check_interval(10);
+    c.balancer = test_balancer();
+    c
+}
+
+/// Runs the session and returns (final values reassembled, reports).
+fn run(
+    m: &Graph,
+    spec: ClusterSpec,
+    config: &StanceConfig,
+    iters: usize,
+) -> (Vec<f64>, Vec<SessionReport>) {
+    let report = Cluster::new(spec).run(|env| {
+        let mut s = AdaptiveSession::setup(env, m, init, config);
+        let rep = s.run_adaptive(env, iters);
+        (rep, s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    let partition = results[0].2.clone();
+    let reports: Vec<SessionReport> = results.iter().map(|(r, _, _)| *r).collect();
+    let blocks = results.into_iter().map(|(_, v, _)| v).collect();
+    (reassemble(&partition, blocks), reports)
+}
+
+#[test]
+fn late_arriving_load_triggers_remap_and_stays_correct() {
+    let m = mesh();
+    let iters = 60;
+    let mut expected: Vec<f64> = (0..m.num_vertices()).map(init).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+
+    // Load arrives at t=0.05s, well after the run starts, and stays.
+    let spec = ClusterSpec::uniform(3)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::competing_load(0.05, f64::INFINITY, 3));
+    let (got, reports) = run(&m, spec, &adaptive_config(), iters);
+    assert_eq!(got, expected, "values diverged after mid-run remap");
+    assert!(
+        reports[0].remaps >= 1,
+        "late load should trigger a remap: {:?}",
+        reports[0]
+    );
+}
+
+#[test]
+fn departing_load_rebalances_back() {
+    let m = mesh();
+    let iters = 120;
+    // Loaded only during the first ~0.08s of the run.
+    let spec = ClusterSpec::uniform(2)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::competing_load(0.0, 0.08, 2));
+    let report = Cluster::new(spec).run(|env| {
+        let config = adaptive_config();
+        let mut s = AdaptiveSession::setup(env, &m, init, &config);
+        let rep = s.run_adaptive(env, iters);
+        (rep, s.partition().sizes())
+    });
+    let (rep0, final_sizes) = &report.ranks[0].result;
+    assert!(
+        rep0.remaps >= 2,
+        "expected shrink then regrow remaps, got {:?}",
+        rep0
+    );
+    // After the load departs the blocks should be near-equal again.
+    let ratio = final_sizes[0] as f64 / final_sizes[1] as f64;
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "final blocks should be near-equal, got {final_sizes:?}"
+    );
+}
+
+#[test]
+fn two_loaded_machines_shift_work_to_the_third() {
+    let m = mesh();
+    let iters = 50;
+    let mut expected: Vec<f64> = (0..m.num_vertices()).map(init).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+    let spec = ClusterSpec::uniform(3)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::constant(0.5))
+        .with_load(1, LoadTimeline::constant(0.5));
+    let report = Cluster::new(spec).run(|env| {
+        let config = adaptive_config();
+        let mut s = AdaptiveSession::setup(env, &m, init, &config);
+        s.run_adaptive(env, iters);
+        (s.partition().sizes(), s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    let sizes = results[0].0.clone();
+    assert!(
+        sizes[2] > sizes[0] && sizes[2] > sizes[1],
+        "unloaded rank should own the most: {sizes:?}"
+    );
+    let partition = results[0].2.clone();
+    let blocks = results.into_iter().map(|(_, v, _)| v).collect();
+    assert_eq!(reassemble(&partition, blocks), expected);
+}
+
+#[test]
+fn high_margin_suppresses_remaps() {
+    let m = mesh();
+    let spec = ClusterSpec::uniform(2)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::constant(0.5));
+    let mut config = adaptive_config();
+    config.balancer.profitability_margin = 1.0e9;
+    let (_, reports) = run(&m, spec, &config, 40);
+    assert_eq!(reports[0].remaps, 0, "a huge margin must suppress remaps");
+    assert!(reports[0].checks > 0);
+}
+
+#[test]
+fn check_interval_bounds_check_count() {
+    let m = mesh();
+    for interval in [5usize, 10, 25] {
+        let mut config = adaptive_config().with_check_interval(interval);
+        config.balancer.profitability_margin = 1.0e9; // decisions: always keep
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let (_, reports) = run(&m, spec, &config, 50);
+        let expected_checks = (50 - 1) / interval;
+        assert_eq!(
+            reports[0].checks, expected_checks,
+            "interval {interval} produced wrong check count"
+        );
+    }
+}
+
+#[test]
+fn remap_with_simple_strategy_rebuild() {
+    // The post-remap schedule rebuild must also work with the
+    // communication-based simple strategy (a collective rebuild).
+    let m = mesh();
+    let iters = 40;
+    let mut expected: Vec<f64> = (0..m.num_vertices()).map(init).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+    let mut config = adaptive_config().with_strategy(ScheduleStrategy::Simple);
+    config.inspector_cost = InspectorCostModel::zero();
+    let spec = ClusterSpec::uniform(3)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+    let (got, reports) = run(&m, spec, &config, iters);
+    assert!(reports[0].remaps >= 1, "expected a remap: {:?}", reports[0]);
+    assert_eq!(got, expected, "simple-strategy rebuild diverged");
+}

@@ -1,0 +1,236 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency, RefHashMap, ScheduleStrategy};
+use stance::locality::{compute_ordering, meshgen, OrderingMethod};
+use stance::onedim::{
+    exhaustive_best_arrangement, mcr::keep_arrangement, minimize_cost_redistribution,
+    Arrangement, BlockPartition, RedistCostModel, RedistributionPlan,
+};
+use stance::sim::{LoadPhase, LoadTimeline, VTime};
+
+/// Strategy: a weight vector of `p` positive weights.
+fn weights(p: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..10.0, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Block sizes sum to n and every size is within one element of its
+    /// exact proportional share.
+    #[test]
+    fn partition_respects_weights(n in 0usize..5000, w in weights(6)) {
+        let part = BlockPartition::from_weights(n, &w, Arrangement::identity(6));
+        let sizes = part.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        let total: f64 = w.iter().sum();
+        for (q, &s) in sizes.iter().enumerate() {
+            let exact = n as f64 * w[q] / total;
+            prop_assert!((s as f64 - exact).abs() < 1.0 + 1e-9,
+                "block {} size {} too far from share {}", q, s, exact);
+        }
+    }
+
+    /// locate() is consistent with interval_of(), and the linear scan agrees
+    /// with binary search.
+    #[test]
+    fn locate_consistent(n in 1usize..2000, w in weights(5), order in 0usize..120) {
+        let arrangements = Arrangement::all(5);
+        let arr = arrangements[order % arrangements.len()].clone();
+        let part = BlockPartition::from_weights(n, &w, arr);
+        for g in (0..n).step_by(1 + n / 64) {
+            let (proc, local) = part.locate(g);
+            prop_assert_eq!(part.locate_linear(g), (proc, local));
+            let iv = part.interval_of(proc);
+            prop_assert!(iv.contains(g));
+            prop_assert_eq!(g - iv.start, local);
+        }
+    }
+
+    /// MOVE keeps the arrangement a permutation, and moving to the element's
+    /// own slot is the identity.
+    #[test]
+    fn arrangement_move_preserves_permutation(
+        seed in proptest::collection::vec(0usize..7, 7),
+        c in 0usize..7,
+        l in 0usize..7,
+    ) {
+        // Build an arbitrary permutation from the seed by sorting indices.
+        let mut order: Vec<usize> = (0..7).collect();
+        order.sort_by_key(|&i| (seed[i], i));
+        let mut arr = Arrangement::new(order);
+        let before = arr.clone();
+        let current = arr.slot_of(c);
+        arr.move_to(c, l);
+        let mut sorted = arr.as_slice().to_vec();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        prop_assert_eq!(arr.slot_of(c), l);
+        if l == current {
+            prop_assert_eq!(arr, before);
+        }
+    }
+
+    /// The greedy MCR never does worse than keeping the arrangement, and
+    /// never beats the exhaustive optimum.
+    #[test]
+    fn mcr_bounded_by_baseline_and_oracle(
+        n in 50usize..500,
+        old_w in weights(4),
+        new_w in weights(4),
+    ) {
+        let model = RedistCostModel::elements_only();
+        let old = BlockPartition::from_weights(n, &old_w, Arrangement::identity(4));
+        let greedy = minimize_cost_redistribution(&old, &new_w, &model);
+        let kept = model.cost_between(&old, &keep_arrangement(&old, &new_w));
+        let best = exhaustive_best_arrangement(&old, &new_w, &model);
+        prop_assert!(greedy.cost <= kept + 1e-9,
+            "greedy {} worse than keep {}", greedy.cost, kept);
+        prop_assert!(greedy.cost + 1e-9 >= best.cost,
+            "greedy {} beat the exhaustive optimum {}", greedy.cost, best.cost);
+    }
+
+    /// A redistribution plan accounts for every element exactly once
+    /// (moves + stays partition the list).
+    #[test]
+    fn plan_covers_list(n in 1usize..800, old_w in weights(4), new_w in weights(4)) {
+        let old = BlockPartition::from_weights(n, &old_w, Arrangement::identity(4));
+        let new = BlockPartition::from_weights(n, &new_w, Arrangement::new(vec![2, 0, 3, 1]));
+        let plan = RedistributionPlan::between(&old, &new);
+        let mut covered = vec![0u32; n];
+        for m in plan.moves() {
+            prop_assert_ne!(m.src, m.dst);
+            for g in m.range.iter() {
+                covered[g] += 1;
+                prop_assert_eq!(old.owner_of(g), m.src);
+                prop_assert_eq!(new.owner_of(g), m.dst);
+            }
+        }
+        for q in 0..4 {
+            for g in old.interval_of(q).intersect(&new.interval_of(q)).iter() {
+                covered[g] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+        prop_assert_eq!(plan.elements_moved() + plan.elements_kept(), n);
+    }
+
+    /// Every ordering method returns a permutation on random geometric
+    /// graphs.
+    #[test]
+    fn orderings_are_permutations(n in 5usize..120, seed in 0u64..500) {
+        let mesh = meshgen::random_geometric(n, 0.2, seed);
+        for method in OrderingMethod::ALL {
+            let o = compute_ordering(&mesh, method);
+            let mut seq = o.sequence();
+            seq.sort_unstable();
+            prop_assert_eq!(seq, (0..n as u32).collect::<Vec<_>>(),
+                "{} not a permutation", method);
+        }
+    }
+
+    /// Symmetric schedules are matched pairwise on random meshes with
+    /// random block weights.
+    #[test]
+    fn schedules_matched_pairwise(seed in 0u64..200, w in weights(4)) {
+        let mesh = meshgen::random_geometric(60, 0.15, seed);
+        let part = BlockPartition::from_weights(60, &w, Arrangement::identity(4));
+        let schedules: Vec<_> = (0..4)
+            .map(|r| {
+                let adj = LocalAdjacency::extract(&mesh, &part, r);
+                build_schedule_symmetric(&part, &adj, r, ScheduleStrategy::Sort2).0
+            })
+            .collect();
+        for q in 0..4 {
+            schedules[q].validate(&part);
+            for r in 0..4 {
+                if q == r {
+                    continue;
+                }
+                let start = part.interval_of(q).start as u32;
+                let sent: Vec<u32> = schedules[q]
+                    .sends()
+                    .iter()
+                    .find(|(peer, _)| *peer == r)
+                    .map(|(_, l)| l.iter().map(|&x| x + start).collect())
+                    .unwrap_or_default();
+                let expected: Vec<u32> = schedules[r]
+                    .recvs()
+                    .iter()
+                    .find(|(peer, _)| *peer == q)
+                    .map(|(_, g)| g.clone())
+                    .unwrap_or_default();
+                prop_assert_eq!(sent, expected, "{} -> {} mismatched", q, r);
+            }
+        }
+    }
+
+    /// RefHashMap behaves exactly like a std HashMap model under random
+    /// insert/lookup sequences.
+    #[test]
+    fn refhash_matches_std(ops in proptest::collection::vec((0u32..500, 0u32..1000), 1..300)) {
+        let mut ours = RefHashMap::with_capacity(4);
+        let mut model = std::collections::HashMap::new();
+        for (key, value) in ops {
+            let expected = model.get(&key).copied();
+            let got = ours.insert_if_absent(key, value);
+            prop_assert_eq!(got, expected);
+            model.entry(key).or_insert(value);
+            prop_assert_eq!(ours.get(key), model.get(&key).copied());
+            prop_assert_eq!(ours.len(), model.len());
+        }
+        for (k, v) in ours.iter() {
+            prop_assert_eq!(model.get(&k), Some(&v));
+        }
+    }
+
+    /// Advancing a load timeline is monotone in demand, and the consumed
+    /// capacity equals the demand.
+    #[test]
+    fn load_timeline_advance_consistent(
+        avail1 in 0.1f64..1.0,
+        avail2 in 0.1f64..1.0,
+        switch in 0.5f64..20.0,
+        start in 0.0f64..30.0,
+        demand in 0.0f64..50.0,
+    ) {
+        let tl = LoadTimeline::from_phases(vec![
+            LoadPhase { start: 0.0, available: avail1 },
+            LoadPhase { start: switch, available: avail2 },
+        ]);
+        let t0 = VTime::from_secs(start);
+        let end = tl.advance(t0, demand);
+        prop_assert!(end >= t0);
+        // Larger demand never finishes earlier.
+        let end2 = tl.advance(t0, demand + 1.0);
+        prop_assert!(end2 >= end);
+        // Numerically integrate availability over [t0, end]: must equal the
+        // demand.
+        let steps = 2000;
+        let dt = (end - t0) / steps as f64;
+        if dt > 0.0 {
+            let mut consumed = 0.0;
+            for i in 0..steps {
+                let t = VTime::from_secs(start + (i as f64 + 0.5) * dt);
+                consumed += tl.available_at(t) * dt;
+            }
+            prop_assert!((consumed - demand).abs() < demand.max(1.0) * 1e-2,
+                "integrated {} vs demand {}", consumed, demand);
+        }
+    }
+
+    /// Relabeling a graph preserves degree multiset and edge count.
+    #[test]
+    fn relabel_preserves_structure(n in 2usize..80, seed in 0u64..100) {
+        let mesh = meshgen::random_geometric(n, 0.3, seed);
+        let ordering = compute_ordering(&mesh, OrderingMethod::Hilbert);
+        let relabeled = ordering.apply(&mesh);
+        prop_assert_eq!(relabeled.num_edges(), mesh.num_edges());
+        let mut d1: Vec<usize> = (0..n).map(|v| mesh.degree(v)).collect();
+        let mut d2: Vec<usize> = (0..n).map(|v| relabeled.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+}
