@@ -10,7 +10,6 @@
 //! computational capability in the previous phase. The new intervals are
 //! broadcast to all the processors."
 
-use serde::{Deserialize, Serialize};
 use stance_onedim::{
     mcr::{keep_arrangement, minimize_cost_redistribution},
     Arrangement, BlockPartition, RedistCostModel, RedistributionPlan,
@@ -28,7 +27,7 @@ const TAG_LOAD_ALLGATHER: Tag = Tag::reserved(52);
 pub const CONTROLLER: usize = 0;
 
 /// How the remap decision is coordinated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ControllerMode {
     /// The paper's implementation: loads gathered at a controller rank,
     /// which decides and broadcasts. "Centralized load-balancing algorithms
@@ -44,7 +43,7 @@ pub enum ControllerMode {
 }
 
 /// Remap policy parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BalancerConfig {
     /// Cost model for the data movement a remap would trigger.
     pub redist_model: RedistCostModel,
@@ -255,9 +254,11 @@ fn decode_decision(payload: &Payload, expected_n: usize) -> Decision {
         Some(1) => {
             let p = words[1] as usize;
             let sizes: Vec<usize> = words[2..2 + p].iter().map(|&w| w as usize).collect();
-            let order: Vec<usize> = words[2 + p..2 + 2 * p].iter().map(|&w| w as usize).collect();
-            let part =
-                BlockPartition::from_sizes_with_arrangement(&sizes, Arrangement::new(order));
+            let order: Vec<usize> = words[2 + p..2 + 2 * p]
+                .iter()
+                .map(|&w| w as usize)
+                .collect();
+            let part = BlockPartition::from_sizes_with_arrangement(&sizes, Arrangement::new(order));
             assert_eq!(part.n(), expected_n, "decoded partition has wrong length");
             Decision::Remap(part)
         }
@@ -361,11 +362,8 @@ mod tests {
     fn encode_decode_roundtrip() {
         let keep = Decision::Keep;
         assert_eq!(decode_decision(&encode_decision(&keep), 100), keep);
-        let part = BlockPartition::from_weights(
-            100,
-            &[0.3, 0.5, 0.2],
-            Arrangement::new(vec![2, 0, 1]),
-        );
+        let part =
+            BlockPartition::from_weights(100, &[0.3, 0.5, 0.2], Arrangement::new(vec![2, 0, 1]));
         let remap = Decision::Remap(part.clone());
         match decode_decision(&encode_decision(&remap), 100) {
             Decision::Remap(got) => {
@@ -406,10 +404,7 @@ mod tests {
                 load_balance_step(env, &part, 1e-3, 500, &BalancerConfig::default());
                 env.now() - t0
             });
-            report
-                .into_results()
-                .into_iter()
-                .fold(0.0f64, f64::max)
+            report.into_results().into_iter().fold(0.0f64, f64::max)
         };
         let c2 = cost_for(2);
         let c5 = cost_for(5);

@@ -30,4 +30,6 @@ pub mod redistribute;
 
 pub use controller::{load_balance_step, BalancerConfig, ControllerMode, Decision};
 pub use monitor::{CapabilityEstimator, LoadMonitor};
-pub use redistribute::{redistribute_adjacency, redistribute_values};
+pub use redistribute::{
+    redistribute_adjacency, redistribute_values, redistribute_values_coalesced,
+};

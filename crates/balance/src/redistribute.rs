@@ -9,57 +9,103 @@
 
 use stance_inspector::LocalAdjacency;
 use stance_onedim::{BlockPartition, RedistributionPlan};
-use stance_sim::{Env, Payload, PayloadElement, Tag};
+use stance_sim::{Element, Env, Payload, Tag};
 
 const TAG_VALUES: Tag = Tag::reserved(48);
 const TAG_ADJ: Tag = Tag::reserved(49);
 
 /// Moves owned values from the old distribution to the new one. Returns
 /// this rank's new local block (in new-interval order). Generic over the
-/// element type — the paper's remapping experiments move single-precision
-/// arrays, the relaxation kernel moves doubles.
+/// application's [`Element`] — the paper's remapping experiments move
+/// single-precision arrays, the relaxation kernel moves doubles, a
+/// multi-field application moves `[f64; K]` records; all travel as packed
+/// bytes, so the wire cost scales with the element size.
 ///
 /// A collective: every rank calls it with its current block.
 ///
 /// # Panics
 /// Panics if `local_values` does not match the rank's old interval.
-pub fn redistribute_values<T: PayloadElement + Default>(
+pub fn redistribute_values<E: Element>(
     env: &mut Env,
     old: &BlockPartition,
     new: &BlockPartition,
-    local_values: &[T],
-) -> Vec<T> {
+    local_values: &[E],
+) -> Vec<E> {
+    let mut values = local_values.to_vec();
+    redistribute_values_coalesced(env, old, new, &mut [&mut values]);
+    values
+}
+
+/// Moves **several value arrays at once** to the new distribution,
+/// coalescing all of a destination's segments into one message (the same
+/// §2 message-coalescing optimization the executor's `gather_coalesced`
+/// applies: for `k` arrays, `1/k` of the messages, paying the per-message
+/// setup once). Each array must hold one element per owned vertex of the
+/// old interval and is replaced in place with its new block.
+///
+/// Wire format per move: `k` consecutive segments, one per array, each in
+/// range order. A collective — every rank must pass the same number of
+/// arrays.
+///
+/// # Panics
+/// Panics if any array does not match the rank's old interval.
+pub fn redistribute_values_coalesced<E: Element>(
+    env: &mut Env,
+    old: &BlockPartition,
+    new: &BlockPartition,
+    arrays: &mut [&mut Vec<E>],
+) {
+    if arrays.is_empty() {
+        return;
+    }
+    let k = arrays.len();
     let rank = env.rank();
     let old_iv = old.interval_of(rank);
     let new_iv = new.interval_of(rank);
-    assert_eq!(
-        local_values.len(),
-        old_iv.len(),
-        "value block does not match old interval"
-    );
+    for a in arrays.iter() {
+        assert_eq!(
+            a.len(),
+            old_iv.len(),
+            "value block does not match old interval"
+        );
+    }
     let plan = RedistributionPlan::between(old, new);
 
-    // Send every outgoing range.
+    // Send every outgoing range: one message per destination, all arrays'
+    // segments back to back.
     for m in plan.sends_of(rank) {
         let lo = m.range.start - old_iv.start;
         let hi = m.range.end - old_iv.start;
-        env.send(m.dst, TAG_VALUES, T::wrap(local_values[lo..hi].to_vec()));
+        let mut bytes = Vec::with_capacity((hi - lo) * k * E::SIZE_BYTES);
+        for a in arrays.iter() {
+            for v in &a[lo..hi] {
+                v.write_bytes(&mut bytes);
+            }
+        }
+        env.send(m.dst, TAG_VALUES, Payload::from_bytes(bytes));
     }
 
-    // Assemble the new block: the kept intersection comes from my old
-    // block, the rest arrives in plan order.
-    let mut new_values = vec![T::default(); new_iv.len()];
+    // Assemble the new blocks: the kept intersection comes from my old
+    // blocks, the rest arrives in plan order.
+    let mut new_blocks: Vec<Vec<E>> = (0..k).map(|_| vec![E::zero(); new_iv.len()]).collect();
     let kept = old_iv.intersect(&new_iv);
-    for g in kept.iter() {
-        new_values[g - new_iv.start] = local_values[g - old_iv.start];
+    for (block, a) in new_blocks.iter_mut().zip(arrays.iter()) {
+        for g in kept.iter() {
+            block[g - new_iv.start] = a[g - old_iv.start];
+        }
     }
     for m in plan.recvs_of(rank) {
-        let packet = T::unwrap(env.recv(m.src, TAG_VALUES));
-        assert_eq!(packet.len(), m.range.len(), "redistribution packet length");
+        let seg = m.range.len();
+        let packet = E::unpack(env.recv(m.src, TAG_VALUES));
+        assert_eq!(packet.len(), seg * k, "redistribution packet length");
         let lo = m.range.start - new_iv.start;
-        new_values[lo..lo + packet.len()].copy_from_slice(&packet);
+        for (i, block) in new_blocks.iter_mut().enumerate() {
+            block[lo..lo + seg].copy_from_slice(&packet[i * seg..(i + 1) * seg]);
+        }
     }
-    new_values
+    for (a, block) in arrays.iter_mut().zip(new_blocks) {
+        **a = block;
+    }
 }
 
 /// Moves the distributed mesh rows (each vertex's global neighbor list) to
@@ -76,7 +122,11 @@ pub fn redistribute_adjacency(
     let rank = env.rank();
     let old_iv = old.interval_of(rank);
     let new_iv = new.interval_of(rank);
-    assert_eq!(adj.interval(), old_iv, "adjacency does not match old interval");
+    assert_eq!(
+        adj.interval(),
+        old_iv,
+        "adjacency does not match old interval"
+    );
     let plan = RedistributionPlan::between(old, new);
 
     for m in plan.sends_of(rank) {
@@ -128,11 +178,8 @@ mod tests {
 
     fn old_new_partitions(n: usize) -> (BlockPartition, BlockPartition) {
         let old = BlockPartition::uniform(n, 3);
-        let new = BlockPartition::from_weights(
-            n,
-            &[0.2, 0.5, 0.3],
-            Arrangement::new(vec![1, 0, 2]),
-        );
+        let new =
+            BlockPartition::from_weights(n, &[0.2, 0.5, 0.3], Arrangement::new(vec![1, 0, 2]));
         (old, new)
     }
 
@@ -152,6 +199,40 @@ mod tests {
             let expected: Vec<f64> = new_iv.iter().map(|g| (g * g) as f64).collect();
             assert_eq!(values, expected, "rank {rank} block wrong after move");
         }
+    }
+
+    /// Coalesced redistribution must deliver exactly what k separate
+    /// redistributions would, with 1/k of the messages.
+    #[test]
+    fn coalesced_redistribution_equivalent_and_cheaper() {
+        let n = 91;
+        let (old, new) = old_new_partitions(n);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let old_iv = old.interval_of(env.rank());
+            let mk = |f: fn(usize) -> f64| -> Vec<f64> { old_iv.iter().map(f).collect() };
+            let mut a = mk(|g| g as f64);
+            let mut b = mk(|g| (g * g) as f64);
+            let mut c = mk(|g| -(g as f64));
+
+            // Reference: separate moves.
+            let a_ref = redistribute_values(env, &old, &new, &a);
+            let b_ref = redistribute_values(env, &old, &new, &b);
+            let c_ref = redistribute_values(env, &old, &new, &c);
+            let msgs_separate = env.stats().messages_sent;
+
+            redistribute_values_coalesced(env, &old, &new, &mut [&mut a, &mut b, &mut c]);
+            let msgs_coalesced = env.stats().messages_sent - msgs_separate;
+
+            assert_eq!(a, a_ref);
+            assert_eq!(b, b_ref);
+            assert_eq!(c, c_ref);
+            assert_eq!(
+                msgs_separate,
+                3 * msgs_coalesced,
+                "coalescing must cut messages 3x"
+            );
+        });
     }
 
     #[test]

@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use stance::balance::redistribute_values;
 use stance::onedim::{
-    minimize_cost_redistribution, Arrangement, BlockPartition, RedistCostModel,
-    RedistributionPlan,
+    minimize_cost_redistribution, Arrangement, BlockPartition, RedistCostModel, RedistributionPlan,
 };
 use stance::prelude::*;
 use stance_bench::{random_capabilities, workload_rng};

@@ -2,9 +2,7 @@
 //! schedule builders (sort1 vs sort2) and of the dedup hash they rely on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stance::inspector::{
-    build_schedule_symmetric, LocalAdjacency, RefHashMap, ScheduleStrategy,
-};
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency, RefHashMap, ScheduleStrategy};
 use stance::locality::OrderingMethod;
 use stance::onedim::BlockPartition;
 use stance::scenarios;
@@ -17,20 +15,9 @@ fn bench_symmetric_builders(c: &mut Criterion) {
         let part = BlockPartition::uniform(n, p);
         let adj = LocalAdjacency::extract(&mesh, &part, 0);
         for strategy in [ScheduleStrategy::Sort1, ScheduleStrategy::Sort2] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), p),
-                &p,
-                |b, _| {
-                    b.iter(|| {
-                        build_schedule_symmetric(
-                            std::hint::black_box(&part),
-                            &adj,
-                            0,
-                            strategy,
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), p), &p, |b, _| {
+                b.iter(|| build_schedule_symmetric(std::hint::black_box(&part), &adj, 0, strategy))
+            });
         }
     }
     group.finish();

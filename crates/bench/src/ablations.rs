@@ -31,7 +31,13 @@ pub fn ablation_ordering() -> String {
         let config = StanceConfig::default().without_load_balancing();
         let spec = scenarios::static_cluster(4);
         let report = Cluster::new(spec).run(|env| {
-            let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+            let mut s = AdaptiveSession::setup(
+                env,
+                &mesh,
+                RelaxationKernel,
+                scenarios::initial_value,
+                &config,
+            );
             let ghosts = s.schedule().num_ghosts();
             s.run_adaptive(env, iters);
             (env.stats().messages_sent, ghosts)
@@ -66,17 +72,19 @@ pub fn ablation_multicast() -> String {
                     .with_network(NetworkSpec::ethernet_10mbit().with_multicast(mc));
                 let config = StanceConfig::default().with_check_interval(10);
                 let report = Cluster::new(spec).run(|env| {
-                    let mut s =
-                        AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+                    let mut s = AdaptiveSession::setup(
+                        env,
+                        &mesh,
+                        RelaxationKernel,
+                        scenarios::initial_value,
+                        &config,
+                    );
                     s.run_block(env, 10);
                     let t0 = env.now();
                     s.check_and_rebalance(env, 100);
                     env.now() - t0
                 });
-                report
-                    .into_results()
-                    .into_iter()
-                    .fold(0.0f64, f64::max)
+                report.into_results().into_iter().fold(0.0f64, f64::max)
             })
             .collect();
         out.row(vec![p.to_string(), secs(costs[0]), secs(costs[1])]);
@@ -98,7 +106,13 @@ pub fn ablation_check_interval() -> String {
         let spec = scenarios::adaptive_cluster(3);
         let config = StanceConfig::default().with_check_interval(interval);
         let report = Cluster::new(spec).run(|env| {
-            let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+            let mut s = AdaptiveSession::setup(
+                env,
+                &mesh,
+                RelaxationKernel,
+                scenarios::initial_value,
+                &config,
+            );
             s.run_adaptive(env, iters)
         });
         let t = report.makespan();
@@ -132,7 +146,13 @@ pub fn ablation_mcr_end_to_end() -> String {
         let mut config = StanceConfig::default().with_check_interval(10);
         config.balancer.use_mcr = use_mcr;
         let report = Cluster::new(spec).run(|env| {
-            let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+            let mut s = AdaptiveSession::setup(
+                env,
+                &mesh,
+                RelaxationKernel,
+                scenarios::initial_value,
+                &config,
+            );
             s.run_adaptive(env, iters)
         });
         let t = report.makespan();

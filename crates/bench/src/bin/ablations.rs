@@ -2,8 +2,14 @@
 //! MCR end-to-end). See `stance_bench::ablations` for what each varies.
 
 fn main() {
-    stance_bench::emit("ablation_ordering", &stance_bench::ablations::ablation_ordering());
-    stance_bench::emit("ablation_multicast", &stance_bench::ablations::ablation_multicast());
+    stance_bench::emit(
+        "ablation_ordering",
+        &stance_bench::ablations::ablation_ordering(),
+    );
+    stance_bench::emit(
+        "ablation_multicast",
+        &stance_bench::ablations::ablation_multicast(),
+    );
     stance_bench::emit(
         "ablation_check_interval",
         &stance_bench::ablations::ablation_check_interval(),

@@ -22,10 +22,8 @@ fn main() {
     run("fig4", &stance_bench::figures::fig4);
     run("fig5", &stance_bench::figures::fig5);
     run("fig9", &|| {
-        let mesh = stance::scenarios::paper_mesh_ordered(
-            stance::locality::OrderingMethod::Natural,
-            42,
-        );
+        let mesh =
+            stance::scenarios::paper_mesh_ordered(stance::locality::OrderingMethod::Natural, 42);
         stance_bench::figures::fig9(&mesh)
     });
     run("table1", &stance_bench::tables::table1);

@@ -3,10 +3,10 @@
 //! code: the phase structure is the crate decomposition, Figs. 6–7 are
 //! `stance::onedim::mcr`, Fig. 8 is `stance::executor::kernel`.
 
-use stance::inspector::{build_schedule_symmetric, IntervalTable, LocalAdjacency, ScheduleStrategy};
-use stance::locality::{
-    compute_ordering, meshgen, metrics, Graph, OrderingMethod,
+use stance::inspector::{
+    build_schedule_symmetric, IntervalTable, LocalAdjacency, ScheduleStrategy,
 };
+use stance::locality::{compute_ordering, meshgen, metrics, Graph, OrderingMethod};
 use stance::onedim::{
     mcr::minimize_cost_redistribution, Arrangement, BlockPartition, RedistCostModel,
     RedistributionPlan,
@@ -147,11 +147,7 @@ pub fn fig5() -> String {
     for (name, part, paper) in [
         ("(P0,P1,P2,P3,P4)", &same, "29 overlap, 5 msgs"),
         ("(P0,P3,P1,P2,P4)", &rearranged, "65 overlap, 3 msgs"),
-        (
-            "MCR result",
-            &mcr.partition,
-            "greedy, Fig. 6",
-        ),
+        ("MCR result", &mcr.partition, "greedy, Fig. 6"),
     ] {
         let plan = RedistributionPlan::between(&old, part);
         out.row(vec![

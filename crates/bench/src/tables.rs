@@ -158,9 +158,7 @@ pub fn table3() -> String {
 
     let mut out = TableBuilder::new(
         "Table 3: Time to build communication schedule, simulated seconds",
-        &[
-            "Strategy", "p=2", "p=3", "p=4", "p=5", "paper (2..5)",
-        ],
+        &["Strategy", "p=2", "p=3", "p=4", "p=5", "paper (2..5)"],
     );
     for strategy in ScheduleStrategy::ALL {
         let mut cells = vec![strategy.name().to_string()];
@@ -207,10 +205,7 @@ pub fn measure_schedule_build(mesh: &Graph, p: usize, strategy: ScheduleStrategy
         }
         (env.now() - t0).max(0.0)
     });
-    report
-        .into_results()
-        .into_iter()
-        .fold(0.0f64, f64::max)
+    report.into_results().into_iter().fold(0.0f64, f64::max)
 }
 
 /// Paper Table 4: execution time of the parallel loop (500 iterations) in
@@ -234,7 +229,9 @@ pub fn table4() -> String {
     let seq_time = measure_static_run(&mesh, 1, iters, &config);
 
     let mut out = TableBuilder::new(
-        format!("Table 4: Parallel loop, static environment, {iters} iterations (simulated seconds)"),
+        format!(
+            "Table 4: Parallel loop, static environment, {iters} iterations (simulated seconds)"
+        ),
         &[
             "Workstations",
             "Measured T (s)",
@@ -266,7 +263,13 @@ pub fn table4() -> String {
 pub fn measure_static_run(mesh: &Graph, p: usize, iters: usize, config: &StanceConfig) -> f64 {
     let spec = scenarios::static_cluster(p);
     let report = Cluster::new(spec).run(|env| {
-        let mut session = AdaptiveSession::setup(env, mesh, scenarios::initial_value, config);
+        let mut session = AdaptiveSession::setup(
+            env,
+            mesh,
+            RelaxationKernel,
+            scenarios::initial_value,
+            config,
+        );
         session.run_adaptive(env, iters);
     });
     report.makespan()
@@ -284,7 +287,13 @@ pub fn measure_adaptive_run(mesh: &Graph, p: usize, iters: usize) -> (f64, f64, 
         ..StanceConfig::default()
     };
     let report = Cluster::new(spec.clone()).run(|env| {
-        let mut session = AdaptiveSession::setup(env, mesh, scenarios::initial_value, &lb_config);
+        let mut session = AdaptiveSession::setup(
+            env,
+            mesh,
+            RelaxationKernel,
+            scenarios::initial_value,
+            &lb_config,
+        );
         session.run_adaptive(env, iters)
     });
     let with_lb = report.makespan();
@@ -302,8 +311,13 @@ pub fn measure_adaptive_run(mesh: &Graph, p: usize, iters: usize) -> (f64, f64, 
 
     let nolb_config = StanceConfig::default().without_load_balancing();
     let report = Cluster::new(spec).run(|env| {
-        let mut session =
-            AdaptiveSession::setup(env, mesh, scenarios::initial_value, &nolb_config);
+        let mut session = AdaptiveSession::setup(
+            env,
+            mesh,
+            RelaxationKernel,
+            scenarios::initial_value,
+            &nolb_config,
+        );
         session.run_adaptive(env, iters);
     });
     let without_lb = report.makespan();
@@ -327,7 +341,9 @@ pub fn table5() -> String {
     let mesh = scenarios::paper_mesh_ordered(OrderingMethod::Spectral, 42);
 
     let mut out = TableBuilder::new(
-        format!("Table 5: Parallel loop, adaptive environment, {iters} iterations (simulated seconds)"),
+        format!(
+            "Table 5: Parallel loop, adaptive environment, {iters} iterations (simulated seconds)"
+        ),
         &[
             "Workstations",
             "T with LB",
@@ -342,7 +358,13 @@ pub fn table5() -> String {
             let config = StanceConfig::default().without_load_balancing();
             let spec = scenarios::adaptive_cluster(1);
             let report = Cluster::new(spec).run(|env| {
-                let mut s = AdaptiveSession::setup(env, &mesh, scenarios::initial_value, &config);
+                let mut s = AdaptiveSession::setup(
+                    env,
+                    &mesh,
+                    RelaxationKernel,
+                    scenarios::initial_value,
+                    &config,
+                );
                 s.run_adaptive(env, iters);
             });
             out.row(vec![

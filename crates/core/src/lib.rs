@@ -5,7 +5,7 @@
 //! Kaddoura & Ranka, *"Runtime Support for Parallelization of Data-Parallel
 //! Applications on Adaptive and Nonuniform Computational Environments"*
 //! (HPDC 1996). The library parallelizes iterative unstructured data-parallel
-//! applications (sparse relaxation over meshes) on clusters whose machines
+//! applications (sparse sweeps over meshes) on clusters whose machines
 //! differ in speed (*nonuniform*) and whose available capacity changes over
 //! time (*adaptive*), through four phases (the paper's Fig. 1):
 //!
@@ -13,12 +13,31 @@
 //! |-------|-----------|-------|
 //! | A — data partitioning | 1-D locality transform + block partitions | [`locality`], [`onedim`] |
 //! | B — inspector | translation tables + communication schedules | [`inspector`] |
-//! | C — executor | gather/scatter + the irregular kernel | [`executor`] |
+//! | C — executor | gather/scatter + the application's kernel | [`executor`] |
 //! | D — load balancing | monitor, controller, MCR, redistribution | [`balance`] |
 //!
 //! The cluster itself — heterogeneous workstations on an Ethernet-era
 //! network — is simulated deterministically by [`sim`] (one thread per rank,
 //! real data movement, virtual clocks).
+//!
+//! ## The application API: `Element` + `Kernel`
+//!
+//! The runtime owns partitioning, ghost exchange, scheduling and load
+//! balancing; the *application* supplies exactly two things:
+//!
+//! * an [`Element`](sim::Element) — the fixed-size, `Copy`, byte-serializable
+//!   per-vertex state (`f64` for the paper's arrays, `[f64; K]` for
+//!   multi-field state, or any custom record);
+//! * a [`Kernel`](executor::Kernel) — the sweep that reads the gathered
+//!   (owned ++ ghost) buffer through the translated adjacency and writes one
+//!   output per owned vertex, plus an optional cost hook that keeps
+//!   virtual-time accounting honest for non-default arithmetic.
+//!
+//! Two kernels ship in-tree: [`RelaxationKernel`](executor::RelaxationKernel)
+//! (the paper's Fig. 8 loop) and
+//! [`LaplacianKernel`](executor::LaplacianKernel) (the matvec behind the
+//! `cg_solver` example). Everything else — `GhostedArray`, gather/scatter,
+//! redistribution, [`AdaptiveSession`] — is generic over them.
 //!
 //! ## Quickstart
 //!
@@ -33,10 +52,53 @@
 //! let spec = ClusterSpec::uniform(3);
 //! let config = StanceConfig::default();
 //! let report = Cluster::new(spec).run(|env| {
-//!     let mut session = AdaptiveSession::setup(env, &mesh, |g| g as f64, &config);
+//!     let mut session =
+//!         AdaptiveSession::setup(env, &mesh, RelaxationKernel, |g| g as f64, &config);
 //!     session.run_adaptive(env, 50)
 //! });
 //! assert!(report.makespan() > 0.0);
+//! ```
+//!
+//! ## Writing your own kernel
+//!
+//! A new workload is a type implementing `Kernel<E>` — typically a few
+//! dozen lines, with partitioning, communication and load balancing
+//! inherited from the session:
+//!
+//! ```
+//! use stance::prelude::*;
+//! use stance::inspector::TranslatedAdjacency;
+//!
+//! /// Diffusion with a per-step decay: out = 0.9 · avg(neighbors).
+//! struct DecayKernel;
+//!
+//! impl<E: Field> Kernel<E> for DecayKernel {
+//!     fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
+//!         for (l, o) in out.iter_mut().enumerate() {
+//!             let nbrs = tadj.neighbors_of(l);
+//!             if nbrs.is_empty() {
+//!                 *o = combined[l];
+//!                 continue;
+//!             }
+//!             let mut t = E::zero();
+//!             for &s in nbrs {
+//!                 t = t.add(combined[s as usize]);
+//!             }
+//!             *o = t.div(nbrs.len() as f64).scale(0.9);
+//!         }
+//!     }
+//! }
+//!
+//! let mesh = stance::locality::meshgen::triangulated_grid(8, 8, 0.2, 1);
+//! let config = StanceConfig::free();
+//! // Multi-field state: each vertex carries a [f64; 2].
+//! let report = Cluster::new(ClusterSpec::uniform(2)).run(|env| {
+//!     let mut session =
+//!         AdaptiveSession::setup(env, &mesh, DecayKernel, |g| [g as f64, 1.0], &config);
+//!     session.run_adaptive(env, 10);
+//!     session.local_values().to_vec()
+//! });
+//! assert_eq!(report.ranks.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -63,13 +125,15 @@ pub use stance_onedim as onedim;
 /// Re-export: Phase B (translation, schedules).
 pub use stance_inspector as inspector;
 
-/// Re-export: Phase C (gather/scatter, kernel).
+/// Re-export: Phase C (gather/scatter, kernels).
 pub use stance_executor as executor;
 
 /// Re-export: Phase D (monitoring, controller, redistribution).
 pub use stance_balance as balance;
 
 use stance_locality::{compute_ordering, Graph, Ordering, OrderingMethod};
+use stance_onedim::BlockPartition;
+use stance_sim::Element;
 
 /// Phase A in one call: computes the 1-D ordering of `graph` with `method`
 /// and relabels the graph along it. Returns the reordered graph and the
@@ -79,19 +143,45 @@ pub fn prepare_mesh(graph: &Graph, method: OrderingMethod) -> (Graph, Ordering) 
     (ordering.apply(graph), ordering)
 }
 
+/// Reassembles per-rank local blocks into a single global vector, given the
+/// final partition. Examples and tests use this to compare a distributed
+/// result against a sequential reference.
+///
+/// # Panics
+/// Panics if the number of blocks or any block length does not match the
+/// partition.
+pub fn reassemble<E: Element>(partition: &BlockPartition, blocks: Vec<Vec<E>>) -> Vec<E> {
+    assert_eq!(
+        blocks.len(),
+        partition.num_procs(),
+        "one block per processor"
+    );
+    let mut out = vec![E::zero(); partition.n()];
+    for (rank, block) in blocks.into_iter().enumerate() {
+        let iv = partition.interval_of(rank);
+        assert_eq!(block.len(), iv.len(), "rank {rank} block size mismatch");
+        out[iv.start..iv.end].copy_from_slice(&block);
+    }
+    out
+}
+
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::config::StanceConfig;
     pub use crate::efficiency::{adaptive_efficiency, static_efficiency};
     pub use crate::prepare_mesh;
+    pub use crate::reassemble;
     pub use crate::session::{AdaptiveSession, SessionReport};
     pub use stance_balance::{BalancerConfig, CapabilityEstimator, ControllerMode, Decision};
-    pub use stance_executor::ComputeCostModel;
+    pub use stance_executor::{
+        ComputeCostModel, Field, GhostedArray, Kernel, LaplacianKernel, LoopRunner,
+        RelaxationKernel,
+    };
     pub use stance_inspector::{InspectorCostModel, ScheduleStrategy};
     pub use stance_locality::{Graph, Ordering, OrderingMethod};
     pub use stance_onedim::{Arrangement, BlockPartition, RedistCostModel};
     pub use stance_sim::{
-        Cluster, ClusterSpec, Env, LoadTimeline, MachineSpec, NetworkSpec, Payload, Tag,
+        Cluster, ClusterSpec, Element, Env, LoadTimeline, MachineSpec, NetworkSpec, Payload, Tag,
     };
 }
 
@@ -109,5 +199,26 @@ mod tests {
         for v in 0..mesh.num_vertices() {
             assert_eq!(ordered.coord(o.position_of(v)), mesh.coord(v));
         }
+    }
+
+    #[test]
+    fn reassemble_orders_blocks() {
+        let part = BlockPartition::from_sizes(&[2, 3]);
+        let out = reassemble(&part, vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]]);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn reassemble_is_generic_over_elements() {
+        let part = BlockPartition::from_sizes(&[1, 2]);
+        let out = reassemble(&part, vec![vec![[1.0, 2.0]], vec![[3.0, 4.0], [5.0, 6.0]]]);
+        assert_eq!(out, vec![[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn reassemble_checks_sizes() {
+        let part = BlockPartition::from_sizes(&[2, 2]);
+        let _ = reassemble(&part, vec![vec![1.0], vec![2.0, 3.0]]);
     }
 }

@@ -7,20 +7,26 @@
 //! (data movement + inspector re-run) when the controller finds one
 //! profitable.
 //!
+//! The session is generic over the application: `E` is the per-vertex
+//! [`Element`](stance_sim::Element) and `K` the [`Kernel`] sweeping it. The
+//! paper's relaxation is `AdaptiveSession<f64, RelaxationKernel>` (the
+//! default parameters); the CG example runs
+//! `AdaptiveSession<f64, LaplacianKernel>` and keeps its solver vectors
+//! consistent across remaps with [`AdaptiveSession::check_and_rebalance_with`].
+//!
 //! All methods taking `&mut Env` are collectives: every rank of the cluster
 //! must call them in the same order (the SPMD contract of §2).
 
 use stance_balance::{
-    load_balance_step, redistribute_adjacency, redistribute_values, Decision, LoadMonitor,
+    load_balance_step, redistribute_adjacency, redistribute_values_coalesced, Decision, LoadMonitor,
 };
-use stance_executor::{GhostedArray, LoopRunner};
+use stance_executor::{GhostedArray, Kernel, LoopRunner, LoopStats, RelaxationKernel};
 use stance_inspector::{
-    build_schedule_simple, build_schedule_symmetric, CommSchedule, LocalAdjacency,
-    ScheduleStrategy,
+    build_schedule_simple, build_schedule_symmetric, CommSchedule, LocalAdjacency, ScheduleStrategy,
 };
 use stance_locality::Graph;
 use stance_onedim::BlockPartition;
-use stance_sim::Env;
+use stance_sim::{Element, Env};
 
 use crate::config::StanceConfig;
 
@@ -44,28 +50,30 @@ pub struct SessionReport {
 }
 
 /// One rank's state for the adaptive computation.
-pub struct AdaptiveSession {
+pub struct AdaptiveSession<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     partition: BlockPartition,
     adj: LocalAdjacency,
-    runner: LoopRunner,
-    values: GhostedArray,
+    runner: LoopRunner<E, K>,
+    values: GhostedArray<E>,
     monitor: LoadMonitor,
     config: StanceConfig,
 }
 
-impl AdaptiveSession {
+impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// Collective setup with an equal-share initial decomposition (the
     /// paper's adaptive experiment starts this way: "the graph was
     /// decomposed assuming all the processors had equal computational
-    /// ratio"). `init(g)` provides the initial value of global element `g`.
+    /// ratio"). The application supplies its `kernel` and the initial value
+    /// `init(g)` of every global element `g`.
     pub fn setup(
         env: &mut Env,
         graph: &Graph,
-        init: impl Fn(usize) -> f64,
+        kernel: K,
+        init: impl Fn(usize) -> E,
         config: &StanceConfig,
     ) -> Self {
         let partition = BlockPartition::uniform(graph.num_vertices(), env.size());
-        Self::setup_with_partition(env, graph, partition, init, config)
+        Self::setup_with_partition(env, graph, partition, kernel, init, config)
     }
 
     /// Collective setup with an explicit initial partition (e.g. weighted by
@@ -74,7 +82,8 @@ impl AdaptiveSession {
         env: &mut Env,
         graph: &Graph,
         partition: BlockPartition,
-        init: impl Fn(usize) -> f64,
+        kernel: K,
+        init: impl Fn(usize) -> E,
         config: &StanceConfig,
     ) -> Self {
         assert_eq!(
@@ -93,9 +102,9 @@ impl AdaptiveSession {
         );
         let adj = LocalAdjacency::extract(graph, &partition, env.rank());
         let schedule = build_schedule(env, &partition, &adj, config);
-        let runner = LoopRunner::new(schedule, &adj, config.compute_cost);
+        let runner = LoopRunner::new(schedule, &adj, config.compute_cost, kernel);
         let iv = partition.interval_of(env.rank());
-        let local: Vec<f64> = iv.iter().map(&init).collect();
+        let local: Vec<E> = iv.iter().map(&init).collect();
         let values = runner.make_values(local);
         AdaptiveSession {
             partition,
@@ -113,8 +122,18 @@ impl AdaptiveSession {
     }
 
     /// This rank's owned values (in interval order).
-    pub fn local_values(&self) -> &[f64] {
+    pub fn local_values(&self) -> &[E] {
         self.values.local()
+    }
+
+    /// Replaces this rank's owned values (for workloads that recompute
+    /// their input between kernel applications, like a solver's search
+    /// direction).
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the rank's current interval.
+    pub fn set_local_values(&mut self, values: &[E]) {
+        self.values.set_local(values);
     }
 
     /// The current communication schedule.
@@ -122,19 +141,57 @@ impl AdaptiveSession {
         self.runner.schedule()
     }
 
-    /// Runs a block of iterations and records the load measurement.
-    /// Collective.
-    pub fn run_block(&mut self, env: &mut Env, iters: usize) -> stance_executor::kernel::LoopStats {
+    /// Runs a block of iterations, committing each sweep's output as the
+    /// next sweep's input, and records the load measurement. Collective.
+    pub fn run_block(&mut self, env: &mut Env, iters: usize) -> LoopStats {
         let stats = self.runner.run(env, &mut self.values, iters);
-        self.monitor
-            .record(stats.compute_time, stats.iterations, self.values.local_len());
+        self.monitor.record(
+            stats.compute_time,
+            stats.iterations,
+            self.values.local_len(),
+        );
         stats
+    }
+
+    /// Applies the kernel once *without* committing: gathers ghosts of the
+    /// current values, performs the sweep, records the load measurement,
+    /// and returns the per-owned-vertex output. The session's values are
+    /// unchanged — operator-style workloads (e.g. a matvec inside CG) read
+    /// the result, update their own vectors, and push the next input with
+    /// [`AdaptiveSession::set_local_values`]. Collective.
+    pub fn apply_kernel(&mut self, env: &mut Env) -> &[E] {
+        let stats = self.runner.apply(env, &mut self.values);
+        self.monitor.record(
+            stats.compute_time,
+            stats.iterations,
+            self.values.local_len(),
+        );
+        self.runner.scratch()
     }
 
     /// One load-balance check (and remap, if the controller finds it
     /// profitable). Returns `(remapped, check_cost, rebalance_cost)`.
     /// Collective.
-    pub fn check_and_rebalance(&mut self, env: &mut Env, remaining_iters: usize) -> (bool, f64, f64) {
+    pub fn check_and_rebalance(
+        &mut self,
+        env: &mut Env,
+        remaining_iters: usize,
+    ) -> (bool, f64, f64) {
+        self.check_and_rebalance_with(env, remaining_iters, &mut [])
+    }
+
+    /// Like [`AdaptiveSession::check_and_rebalance`], but also moves the
+    /// caller's auxiliary per-vertex arrays to the new distribution when a
+    /// remap happens. Each array must hold one element per owned vertex (in
+    /// interval order) and is resized/refilled in place, so solver state
+    /// like `x` and `r` stays consistent with the session's partition.
+    /// Collective — every rank must pass the same number of arrays.
+    pub fn check_and_rebalance_with(
+        &mut self,
+        env: &mut Env,
+        remaining_iters: usize,
+        aux: &mut [&mut Vec<E>],
+    ) -> (bool, f64, f64) {
         let per_item = self.monitor.per_item_time().unwrap_or(0.0);
         let t0 = env.now();
         let decision = load_balance_step(
@@ -149,7 +206,7 @@ impl AdaptiveSession {
             Decision::Keep => (false, check_cost, 0.0),
             Decision::Remap(new_partition) => {
                 let t1 = env.now();
-                self.apply_remap(env, new_partition);
+                self.apply_remap(env, new_partition, aux);
                 (true, check_cost, env.now() - t1)
             }
         }
@@ -157,14 +214,26 @@ impl AdaptiveSession {
 
     /// Moves data and structure to `new_partition` and rebuilds the
     /// schedule. Collective.
-    fn apply_remap(&mut self, env: &mut Env, new_partition: BlockPartition) {
-        let new_local =
-            redistribute_values(env, &self.partition, &new_partition, self.values.local());
+    fn apply_remap(
+        &mut self,
+        env: &mut Env,
+        new_partition: BlockPartition,
+        aux: &mut [&mut Vec<E>],
+    ) {
+        // The session's values and every caller aux array move in ONE
+        // coalesced message per destination (§2 message coalescing).
+        let mut new_local = self.values.local().to_vec();
+        {
+            let mut all: Vec<&mut Vec<E>> = Vec::with_capacity(1 + aux.len());
+            all.push(&mut new_local);
+            all.extend(aux.iter_mut().map(|a| &mut **a));
+            redistribute_values_coalesced(env, &self.partition, &new_partition, &mut all);
+        }
         let new_adj = redistribute_adjacency(env, &self.partition, &new_partition, &self.adj);
         self.partition = new_partition;
         self.adj = new_adj;
         let schedule = build_schedule(env, &self.partition, &self.adj, &self.config);
-        self.runner = LoopRunner::new(schedule, &self.adj, self.config.compute_cost);
+        self.runner.rebuild(schedule, &self.adj);
         self.values = self.runner.make_values(new_local);
         self.monitor.reset();
     }
@@ -207,12 +276,8 @@ fn build_schedule(
 ) -> CommSchedule {
     match config.schedule_strategy {
         ScheduleStrategy::Sort1 | ScheduleStrategy::Sort2 => {
-            let (schedule, work) = build_schedule_symmetric(
-                partition,
-                adj,
-                env.rank(),
-                config.schedule_strategy,
-            );
+            let (schedule, work) =
+                build_schedule_symmetric(partition, adj, env.rank(), config.schedule_strategy);
             env.compute(config.inspector_cost.seconds(&work));
             schedule
         }
@@ -267,7 +332,7 @@ mod tests {
             let config = StanceConfig::free().with_strategy(strategy);
             let spec = ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
             let report = Cluster::new(spec).run(move |env| {
-                let mut s = AdaptiveSession::setup(env, &m2, init, &config);
+                let mut s = AdaptiveSession::setup(env, &m2, RelaxationKernel, init, &config);
                 s.run_adaptive(env, iters);
                 s.local_values().to_vec()
             });
@@ -296,7 +361,7 @@ mod tests {
             .with_network(NetworkSpec::zero_cost())
             .with_load(0, LoadTimeline::constant(1.0 / 3.0));
         let report = Cluster::new(spec).run(move |env| {
-            let mut s = AdaptiveSession::setup(env, &m2, init, &config);
+            let mut s = AdaptiveSession::setup(env, &m2, RelaxationKernel, init, &config);
             let rep = s.run_adaptive(env, iters);
             let part = s.partition().clone();
             (rep, s.local_values().to_vec(), part)
@@ -306,10 +371,7 @@ mod tests {
         assert!(rep0.remaps >= 1, "expected at least one remap: {rep0:?}");
         // The loaded rank should own fewer elements after the remap.
         let sizes = final_part.sizes();
-        assert!(
-            sizes[0] < sizes[1],
-            "loaded rank kept too much: {sizes:?}"
-        );
+        assert!(sizes[0] < sizes[1], "loaded rank kept too much: {sizes:?}");
         // Reassemble values in global order via each rank's final interval.
         let mut got = vec![0.0; n];
         for (rank, (_, values, _)) in results.iter().enumerate() {
@@ -340,7 +402,7 @@ mod tests {
                 .with_load(0, LoadTimeline::constant(1.0 / 3.0));
             Cluster::new(spec)
                 .run(move |env| {
-                    let mut s = AdaptiveSession::setup(env, &m, init, &config);
+                    let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
                     s.run_adaptive(env, iters)
                 })
                 .ranks
@@ -362,7 +424,7 @@ mod tests {
         let config = StanceConfig::default();
         let spec = ClusterSpec::paper_cluster(3);
         let report = Cluster::new(spec).run(|env| {
-            let mut s = AdaptiveSession::setup(env, &m, init, &config);
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
             s.run_adaptive(env, 30)
         });
         for rep in report.results() {
@@ -379,13 +441,51 @@ mod tests {
         let config = StanceConfig::free().with_check_interval(7);
         let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
         let report = Cluster::new(spec).run(|env| {
-            let mut s = AdaptiveSession::setup(env, &m, init, &config);
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
             s.run_adaptive(env, 21)
         });
         for rep in report.results() {
             assert_eq!(rep.iterations, 21);
             assert_eq!(rep.checks, 2); // after blocks 1 and 2, none after the last
         }
+    }
+
+    #[test]
+    fn aux_arrays_follow_a_forced_remap() {
+        // An auxiliary per-vertex array passed to check_and_rebalance_with
+        // must land on the same owners as the session's values.
+        let m = mesh();
+        let mut config = StanceConfig::default().with_check_interval(10);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(2)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            // aux[g] = 3g so ownership is trivially checkable.
+            let mut aux: Vec<f64> = s
+                .partition()
+                .interval_of(env.rank())
+                .iter()
+                .map(|g| 3.0 * g as f64)
+                .collect();
+            let mut remapped_once = false;
+            for _ in 0..4 {
+                s.run_block(env, 10);
+                let (remapped, _, _) = s.check_and_rebalance_with(env, 10, &mut [&mut aux]);
+                remapped_once |= remapped;
+            }
+            let iv = s.partition().interval_of(env.rank());
+            assert_eq!(aux.len(), iv.len(), "aux length follows the partition");
+            for (offset, g) in iv.iter().enumerate() {
+                assert_eq!(aux[offset], 3.0 * g as f64, "aux element strayed");
+            }
+            remapped_once
+        });
+        assert!(
+            report.into_results().into_iter().all(|r| r),
+            "the forced load should have remapped at least once"
+        );
     }
 
     #[test]
@@ -396,7 +496,14 @@ mod tests {
         let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
         Cluster::new(spec).run(|env| {
             let bad = BlockPartition::uniform(m.num_vertices(), 3);
-            let _ = AdaptiveSession::setup_with_partition(env, &m, bad, init, &config);
+            let _ = AdaptiveSession::setup_with_partition(
+                env,
+                &m,
+                bad,
+                RelaxationKernel,
+                init,
+                &config,
+            );
         });
     }
 }

@@ -6,10 +6,8 @@
 //! ~90k references — a few microseconds per indirect reference, which is
 //! what mid-90s workstations delivered on pointer-chasing float code.
 
-use serde::{Deserialize, Serialize};
-
 /// Seconds of reference-machine time per unit of kernel work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeCostModel {
     /// Per indirect reference (load via indirection array + add).
     pub per_reference: f64,

@@ -4,31 +4,35 @@
 //! Fig. 4 of the paper draws each processor's buffer as "local data"
 //! followed by "off processor data"; the inspector's translated adjacency
 //! indexes directly into this combined layout (owned values at
-//! `0..local_len`, ghost slot `s` at `local_len + s`).
+//! `0..local_len`, ghost slot `s` at `local_len + s`). The buffer is generic
+//! over the application's [`Element`] type — `GhostedArray<f64>` is the
+//! paper's array, `GhostedArray<[f64; K]>` a multi-field state vector.
+
+use stance_sim::Element;
 
 /// A rank's owned block plus ghost region.
 #[derive(Debug, Clone, PartialEq)]
-pub struct GhostedArray {
-    data: Vec<f64>,
+pub struct GhostedArray<E: Element = f64> {
+    data: Vec<E>,
     local_len: usize,
 }
 
-impl GhostedArray {
+impl<E: Element> GhostedArray<E> {
     /// Creates a buffer with `local_len` owned slots and `num_ghosts` ghost
-    /// slots, all zero.
+    /// slots, all [`Element::zero`].
     pub fn zeros(local_len: usize, num_ghosts: usize) -> Self {
         GhostedArray {
-            data: vec![0.0; local_len + num_ghosts],
+            data: vec![E::zero(); local_len + num_ghosts],
             local_len,
         }
     }
 
     /// Creates a buffer from owned values, appending `num_ghosts` zeroed
     /// ghost slots.
-    pub fn from_local(local: Vec<f64>, num_ghosts: usize) -> Self {
+    pub fn from_local(local: Vec<E>, num_ghosts: usize) -> Self {
         let local_len = local.len();
         let mut data = local;
-        data.resize(local_len + num_ghosts, 0.0);
+        data.resize(local_len + num_ghosts, E::zero());
         GhostedArray { data, local_len }
     }
 
@@ -46,38 +50,38 @@ impl GhostedArray {
 
     /// The owned values.
     #[inline]
-    pub fn local(&self) -> &[f64] {
+    pub fn local(&self) -> &[E] {
         &self.data[..self.local_len]
     }
 
     /// Mutable owned values.
     #[inline]
-    pub fn local_mut(&mut self) -> &mut [f64] {
+    pub fn local_mut(&mut self) -> &mut [E] {
         &mut self.data[..self.local_len]
     }
 
     /// The ghost region.
     #[inline]
-    pub fn ghosts(&self) -> &[f64] {
+    pub fn ghosts(&self) -> &[E] {
         &self.data[self.local_len..]
     }
 
     /// Mutable ghost region.
     #[inline]
-    pub fn ghosts_mut(&mut self) -> &mut [f64] {
+    pub fn ghosts_mut(&mut self) -> &mut [E] {
         let start = self.local_len;
         &mut self.data[start..]
     }
 
     /// The whole combined buffer (what translated adjacencies index into).
     #[inline]
-    pub fn combined(&self) -> &[f64] {
+    pub fn combined(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable combined buffer.
     #[inline]
-    pub fn combined_mut(&mut self) -> &mut [f64] {
+    pub fn combined_mut(&mut self) -> &mut [E] {
         &mut self.data
     }
 
@@ -85,7 +89,7 @@ impl GhostedArray {
     ///
     /// # Panics
     /// Panics on length mismatch.
-    pub fn set_local(&mut self, values: &[f64]) {
+    pub fn set_local(&mut self, values: &[E]) {
         assert_eq!(values.len(), self.local_len, "local length mismatch");
         self.data[..self.local_len].copy_from_slice(values);
     }
@@ -94,7 +98,7 @@ impl GhostedArray {
     /// redistribution, when the owner writes a fresh block).
     pub fn reset(&mut self, local_len: usize, num_ghosts: usize) {
         self.data.clear();
-        self.data.resize(local_len + num_ghosts, 0.0);
+        self.data.resize(local_len + num_ghosts, E::zero());
         self.local_len = local_len;
     }
 }
@@ -105,7 +109,7 @@ mod tests {
 
     #[test]
     fn layout() {
-        let mut a = GhostedArray::zeros(3, 2);
+        let mut a: GhostedArray = GhostedArray::zeros(3, 2);
         assert_eq!(a.local_len(), 3);
         assert_eq!(a.num_ghosts(), 2);
         assert_eq!(a.combined().len(), 5);
@@ -123,7 +127,7 @@ mod tests {
 
     #[test]
     fn set_local_and_reset() {
-        let mut a = GhostedArray::zeros(2, 1);
+        let mut a: GhostedArray = GhostedArray::zeros(2, 1);
         a.set_local(&[4.0, 5.0]);
         assert_eq!(a.local(), &[4.0, 5.0]);
         a.reset(4, 0);
@@ -135,14 +139,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn set_local_checks_length() {
-        let mut a = GhostedArray::zeros(2, 0);
+        let mut a: GhostedArray = GhostedArray::zeros(2, 0);
         a.set_local(&[1.0]);
     }
 
     #[test]
     fn empty_buffers() {
-        let a = GhostedArray::zeros(0, 0);
+        let a: GhostedArray = GhostedArray::zeros(0, 0);
         assert!(a.local().is_empty());
         assert!(a.ghosts().is_empty());
+    }
+
+    #[test]
+    fn multi_field_elements() {
+        let mut a: GhostedArray<[f64; 2]> = GhostedArray::zeros(2, 1);
+        a.set_local(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(a.combined(), &[[1.0, 2.0], [3.0, 4.0], [0.0, 0.0]]);
+        a.ghosts_mut()[0] = [5.0, 6.0];
+        assert_eq!(a.ghosts(), &[[5.0, 6.0]]);
     }
 }

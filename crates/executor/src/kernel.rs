@@ -1,94 +1,252 @@
-//! The paper's irregular loop (Fig. 8) and its parallel executor.
+//! The application-facing kernel API and the generic parallel-loop runner.
 //!
-//! ```text
-//! for 1 ≤ i ≤ number_of_vertices
-//!     t[i] := Σ_k y[ia[k]]          (sum over i's neighbors)
-//! for 1 ≤ i ≤ number_of_vertices
-//!     y[i] := t[i] / degree(i)
-//! ```
+//! The paper pitches the runtime as support for *data-parallel
+//! applications*: the runtime owns partitioning, the inspector,
+//! gather/scatter and load balancing, while the application supplies two
+//! things — the per-vertex state type ([`Element`](stance_sim::Element))
+//! and the sweep over it ([`Kernel`]). A new workload is therefore a type
+//! implementing `Kernel` (usually a few dozen lines), not a fork of the
+//! executor.
 //!
-//! a Jacobi-style relaxation over the unstructured mesh: every vertex
-//! replaces its value by the average of its neighbors. The parallel form
-//! gathers ghost values first, then sweeps owned vertices through the
-//! translated adjacency. Because the translated adjacency preserves the
-//! graph's (ascending-neighbor) CSR order, the parallel computation sums in
+//! Two kernels ship with the runtime:
+//!
+//! * [`RelaxationKernel`] — the paper's Fig. 8 irregular loop,
+//!
+//!   ```text
+//!   for 1 ≤ i ≤ number_of_vertices
+//!       t[i] := Σ_k y[ia[k]]          (sum over i's neighbors)
+//!   for 1 ≤ i ≤ number_of_vertices
+//!       y[i] := t[i] / degree(i)
+//!   ```
+//!
+//!   a Jacobi-style relaxation: every vertex replaces its value by the
+//!   average of its neighbors;
+//! * [`LaplacianKernel`] — the shifted graph-Laplacian operator
+//!   `out[i] = (deg(i) + shift) · x[i] − Σ_{j ∈ adj(i)} x[j]`, the matvec
+//!   of iterative solvers (see the `cg_solver` example).
+//!
+//! Both are generic over any [`Field`] element (`f64`, or `[f64; K]` for
+//! multi-field state). Because the translated adjacency preserves the
+//! graph's (ascending-neighbor) CSR order, a parallel sweep accumulates in
 //! exactly the sequential order — results are **bitwise identical** to the
-//! sequential reference, which the integration tests assert.
+//! sequential references, which the integration tests assert.
 
 use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
 use stance_locality::Graph;
-use stance_sim::Env;
+use stance_sim::{Element, Env};
 
 use crate::cost::ComputeCostModel;
 use crate::ghosted::GhostedArray;
 use crate::primitives::gather;
 
-/// One relaxation sweep over owned vertices: reads the combined buffer,
-/// writes averaged values into `out` (length = owned vertices). Zero-degree
-/// vertices keep their value.
-pub fn parallel_relaxation_step(
-    tadj: &TranslatedAdjacency,
-    values: &GhostedArray,
-    out: &mut [f64],
-) {
-    assert_eq!(out.len(), tadj.len(), "output length mismatch");
-    let combined = values.combined();
-    for l in 0..tadj.len() {
-        let nbrs = tadj.neighbors_of(l);
-        if nbrs.is_empty() {
-            out[l] = combined[l];
-            continue;
-        }
-        let mut t = 0.0;
-        for &s in nbrs {
-            t += combined[s as usize];
-        }
-        out[l] = t / nbrs.len() as f64;
+/// Elements with the componentwise arithmetic the built-in kernels need.
+///
+/// Separate from [`Element`](stance_sim::Element) because the runtime core
+/// (gather, scatter, redistribution) only needs to *move* elements; only
+/// kernels need to compute with them. Operations take `self` by value —
+/// elements are small `Copy` records.
+pub trait Field: Element {
+    /// Number of scalar components per element (`1` for `f64`, `K` for
+    /// `[f64; K]`). The built-in kernels scale their sweep cost by this,
+    /// so a multi-field sweep is charged for the arithmetic it actually
+    /// performs.
+    const FIELDS: usize;
+
+    /// Componentwise sum.
+    fn add(self, rhs: Self) -> Self;
+    /// Componentwise difference.
+    fn sub(self, rhs: Self) -> Self;
+    /// Componentwise product with a scalar.
+    fn scale(self, k: f64) -> Self;
+    /// Componentwise quotient by a scalar. Distinct from
+    /// `scale(1.0 / k)` so generic kernels keep the bitwise behaviour of
+    /// their scalar originals (IEEE division is not multiplication by a
+    /// reciprocal).
+    fn div(self, k: f64) -> Self;
+}
+
+impl Field for f64 {
+    const FIELDS: usize = 1;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline]
+    fn scale(self, k: f64) -> Self {
+        self * k
+    }
+    #[inline]
+    fn div(self, k: f64) -> Self {
+        self / k
     }
 }
 
-/// One local sweep of the shifted graph-Laplacian operator:
-/// `out[i] = (deg(i) + shift) · x[i] − Σ_{j ∈ adj(i)} x[j]`, reading ghost
-/// values from the combined buffer. With `shift > 0` the operator is
-/// symmetric positive definite — the workhorse of iterative solvers (see
-/// the `cg_solver` example).
-pub fn laplacian_matvec_step(
+impl<const K: usize> Field for [f64; K] {
+    const FIELDS: usize = K;
+
+    #[inline]
+    fn add(mut self, rhs: Self) -> Self {
+        for (a, b) in self.iter_mut().zip(rhs) {
+            *a += b;
+        }
+        self
+    }
+    #[inline]
+    fn sub(mut self, rhs: Self) -> Self {
+        for (a, b) in self.iter_mut().zip(rhs) {
+            *a -= b;
+        }
+        self
+    }
+    #[inline]
+    fn scale(mut self, k: f64) -> Self {
+        for a in &mut self {
+            *a *= k;
+        }
+        self
+    }
+    #[inline]
+    fn div(mut self, k: f64) -> Self {
+        for a in &mut self {
+            *a /= k;
+        }
+        self
+    }
+}
+
+/// An application's sweep over its owned vertices.
+///
+/// The runtime guarantees `combined` is the Fig. 4 layout — owned values at
+/// `0..out.len()`, gathered ghost values after them — and that the
+/// translated adjacency's local references index into it. The kernel reads
+/// `combined`, writes one output per owned vertex, and stays oblivious to
+/// partitioning, communication and load balancing.
+///
+/// The [`Kernel::cost`] hook prices one sweep in reference seconds so the
+/// simulator's virtual clock (and therefore the load monitor feeding the
+/// paper's remap controller) stays honest for non-default kernels.
+pub trait Kernel<E: Element> {
+    /// One sweep: reads the combined (owned ++ ghost) buffer through the
+    /// translated adjacency, writes owned outputs.
+    ///
+    /// Implementations must write every slot of `out` and may not assume
+    /// anything about its previous contents.
+    fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]);
+
+    /// Reference-seconds of work one sweep over `vertices` owned vertices
+    /// with `references` total neighbor references performs. The default is
+    /// the paper's relaxation pricing; override it if your kernel does
+    /// substantially more (or less) arithmetic per reference.
+    fn cost(&self, model: &ComputeCostModel, vertices: usize, references: usize) -> f64 {
+        model.sweep_work(vertices, references)
+    }
+}
+
+/// The paper's Fig. 8 relaxation: each vertex becomes the average of its
+/// neighbors (zero-degree vertices keep their value). Works on any
+/// [`Field`] element, componentwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelaxationKernel;
+
+impl<E: Field> Kernel<E> for RelaxationKernel {
+    fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
+        assert_eq!(out.len(), tadj.len(), "output length mismatch");
+        for (l, o) in out.iter_mut().enumerate() {
+            let nbrs = tadj.neighbors_of(l);
+            if nbrs.is_empty() {
+                *o = combined[l];
+                continue;
+            }
+            let mut t = E::zero();
+            for &s in nbrs {
+                t = t.add(combined[s as usize]);
+            }
+            *o = t.div(nbrs.len() as f64);
+        }
+    }
+
+    fn cost(&self, model: &ComputeCostModel, vertices: usize, references: usize) -> f64 {
+        // One add per reference and one divide per vertex — per component.
+        E::FIELDS as f64 * model.sweep_work(vertices, references)
+    }
+}
+
+/// The shifted graph-Laplacian operator
+/// `out[i] = (deg(i) + shift) · x[i] − Σ_{j ∈ adj(i)} x[j]`. With
+/// `shift > 0` the operator is symmetric positive definite — the workhorse
+/// of iterative solvers (see the `cg_solver` example).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplacianKernel {
+    /// The diagonal shift added to every vertex degree.
+    pub shift: f64,
+}
+
+impl<E: Field> Kernel<E> for LaplacianKernel {
+    fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
+        assert_eq!(out.len(), tadj.len(), "output length mismatch");
+        for (l, o) in out.iter_mut().enumerate() {
+            let nbrs = tadj.neighbors_of(l);
+            let mut acc = combined[l].scale(nbrs.len() as f64 + self.shift);
+            for &s in nbrs {
+                acc = acc.sub(combined[s as usize]);
+            }
+            *o = acc;
+        }
+    }
+
+    fn cost(&self, model: &ComputeCostModel, vertices: usize, references: usize) -> f64 {
+        // One subtract per reference and one scale per vertex — per
+        // component.
+        E::FIELDS as f64 * model.sweep_work(vertices, references)
+    }
+}
+
+/// One relaxation sweep over owned vertices, as a free function (a thin
+/// wrapper over [`RelaxationKernel`] for callers that drive the pieces by
+/// hand).
+pub fn parallel_relaxation_step<E: Field>(
     tadj: &TranslatedAdjacency,
-    values: &GhostedArray,
+    values: &GhostedArray<E>,
+    out: &mut [E],
+) {
+    RelaxationKernel.sweep(tadj, values.combined(), out);
+}
+
+/// One local Laplacian matvec sweep, as a free function (a thin wrapper
+/// over [`LaplacianKernel`]).
+pub fn laplacian_matvec_step<E: Field>(
+    tadj: &TranslatedAdjacency,
+    values: &GhostedArray<E>,
     shift: f64,
-    out: &mut [f64],
+    out: &mut [E],
 ) {
-    assert_eq!(out.len(), tadj.len(), "output length mismatch");
-    let combined = values.combined();
-    for l in 0..tadj.len() {
-        let nbrs = tadj.neighbors_of(l);
-        let mut acc = (nbrs.len() as f64 + shift) * combined[l];
-        for &s in nbrs {
-            acc -= combined[s as usize];
-        }
-        out[l] = acc;
-    }
+    LaplacianKernel { shift }.sweep(tadj, values.combined(), out);
 }
 
-/// Sequential reference for [`laplacian_matvec_step`] over the whole graph.
-pub fn sequential_laplacian_matvec(graph: &Graph, x: &[f64], shift: f64, out: &mut [f64]) {
+/// Sequential reference for [`LaplacianKernel`] over the whole graph.
+pub fn sequential_laplacian_matvec<E: Field>(graph: &Graph, x: &[E], shift: f64, out: &mut [E]) {
     assert_eq!(x.len(), graph.num_vertices());
     assert_eq!(out.len(), graph.num_vertices());
     for (i, o) in out.iter_mut().enumerate() {
         let nbrs = graph.neighbors(i);
-        let mut acc = (nbrs.len() as f64 + shift) * x[i];
+        let mut acc = x[i].scale(nbrs.len() as f64 + shift);
         for &j in nbrs {
-            acc -= x[j as usize];
+            acc = acc.sub(x[j as usize]);
         }
         *o = acc;
     }
 }
 
 /// The sequential reference: `iters` sweeps of Fig. 8 over the whole graph.
-pub fn sequential_relaxation(graph: &Graph, y: &mut [f64], iters: usize) {
+pub fn sequential_relaxation<E: Field>(graph: &Graph, y: &mut [E], iters: usize) {
     assert_eq!(y.len(), graph.num_vertices(), "value array length mismatch");
     let n = graph.num_vertices();
-    let mut t = vec![0.0; n];
+    let mut t = vec![E::zero(); n];
     for _ in 0..iters {
         for (i, ti) in t.iter_mut().enumerate() {
             let nbrs = graph.neighbors(i);
@@ -96,11 +254,11 @@ pub fn sequential_relaxation(graph: &Graph, y: &mut [f64], iters: usize) {
                 *ti = y[i];
                 continue;
             }
-            let mut acc = 0.0;
+            let mut acc = E::zero();
             for &j in nbrs {
-                acc += y[j as usize];
+                acc = acc.add(y[j as usize]);
             }
-            *ti = acc / nbrs.len() as f64;
+            *ti = acc.div(nbrs.len() as f64);
         }
         y.copy_from_slice(&t);
     }
@@ -127,23 +285,31 @@ impl LoopStats {
     }
 }
 
-/// Drives the gather + sweep iteration on one rank.
-pub struct LoopRunner {
+/// Drives the gather + sweep iteration of one [`Kernel`] on one rank.
+pub struct LoopRunner<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     schedule: CommSchedule,
     tadj: TranslatedAdjacency,
     cost: ComputeCostModel,
-    scratch: Vec<f64>,
+    kernel: K,
+    scratch: Vec<E>,
 }
 
-impl LoopRunner {
-    /// Builds a runner from a schedule and the rank's adjacency.
-    pub fn new(schedule: CommSchedule, adj: &LocalAdjacency, cost: ComputeCostModel) -> Self {
+impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
+    /// Builds a runner from a schedule, the rank's adjacency, and the
+    /// application's kernel.
+    pub fn new(
+        schedule: CommSchedule,
+        adj: &LocalAdjacency,
+        cost: ComputeCostModel,
+        kernel: K,
+    ) -> Self {
         let tadj = schedule.translate_adjacency(adj);
-        let scratch = vec![0.0; tadj.len()];
+        let scratch = vec![E::zero(); tadj.len()];
         LoopRunner {
             schedule,
             tadj,
             cost,
+            kernel,
             scratch,
         }
     }
@@ -158,27 +324,59 @@ impl LoopRunner {
         &self.tadj
     }
 
+    /// The application kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// Replaces the schedule and adjacency (after a remap) while keeping
+    /// the kernel and cost model.
+    pub fn rebuild(&mut self, schedule: CommSchedule, adj: &LocalAdjacency) {
+        self.tadj = schedule.translate_adjacency(adj);
+        self.schedule = schedule;
+        self.scratch = vec![E::zero(); self.tadj.len()];
+    }
+
     /// Allocates the ghosted value buffer for this runner with the given
     /// owned values.
-    pub fn make_values(&self, local: Vec<f64>) -> GhostedArray {
+    pub fn make_values(&self, local: Vec<E>) -> GhostedArray<E> {
         assert_eq!(local.len(), self.tadj.len(), "owned value length mismatch");
         GhostedArray::from_local(local, self.tadj.num_ghosts() as usize)
     }
 
+    /// One application of the kernel *without* committing: gathers ghosts,
+    /// charges and performs the sweep, and leaves the result in
+    /// [`LoopRunner::scratch`]. The input values are untouched — this is
+    /// what operator-style workloads (matvec inside a solver) use.
+    pub fn apply(&mut self, env: &mut Env, values: &mut GhostedArray<E>) -> LoopStats {
+        let work = self
+            .kernel
+            .cost(&self.cost, self.tadj.len(), self.tadj.num_refs());
+        gather(env, &self.schedule, values, &self.cost);
+        let t0 = env.now();
+        env.compute(work);
+        self.kernel
+            .sweep(&self.tadj, values.combined(), &mut self.scratch);
+        LoopStats {
+            iterations: 1,
+            compute_time: env.now() - t0,
+        }
+    }
+
+    /// The output of the most recent [`LoopRunner::apply`] (one element per
+    /// owned vertex).
+    pub fn scratch(&self) -> &[E] {
+        &self.scratch
+    }
+
     /// Runs `iters` iterations: gather ghosts, charge and perform the sweep,
     /// commit the new values. Returns measured timing.
-    pub fn run(&mut self, env: &mut Env, values: &mut GhostedArray, iters: usize) -> LoopStats {
+    pub fn run(&mut self, env: &mut Env, values: &mut GhostedArray<E>, iters: usize) -> LoopStats {
         let mut stats = LoopStats::default();
-        let sweep = self
-            .cost
-            .sweep_work(self.tadj.len(), self.tadj.num_refs());
         for _ in 0..iters {
-            gather(env, &self.schedule, values, &self.cost);
-            let t0 = env.now();
-            env.compute(sweep);
-            parallel_relaxation_step(&self.tadj, values, &mut self.scratch);
+            let step = self.apply(env, values);
             values.set_local(&self.scratch);
-            stats.compute_time += env.now() - t0;
+            stats.compute_time += step.compute_time;
             stats.iterations += 1;
         }
         stats
@@ -250,7 +448,8 @@ mod tests {
                 let adj = LocalAdjacency::extract(&g2, &part2, rank);
                 let (sched, _) =
                     build_schedule_symmetric(&part2, &adj, rank, ScheduleStrategy::Sort1);
-                let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero());
+                let mut runner =
+                    LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel);
                 let iv = part2.interval_of(rank);
                 let init = initial_values(n);
                 let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
@@ -263,6 +462,23 @@ mod tests {
             }
             assert_eq!(got, expected, "p = {p} diverged from sequential");
         }
+    }
+
+    #[test]
+    fn multi_field_relaxation_matches_two_scalar_runs() {
+        // A [f64; 2] element must evolve exactly like two independent f64
+        // arrays, bit for bit.
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let n = g.num_vertices();
+        let iters = 9;
+        let mut a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos() * 2.0).collect();
+        let mut pair: Vec<[f64; 2]> = a.iter().zip(&b).map(|(&x, &y)| [x, y]).collect();
+        sequential_relaxation(&g, &mut a, iters);
+        sequential_relaxation(&g, &mut b, iters);
+        sequential_relaxation(&g, &mut pair, iters);
+        let expected: Vec<[f64; 2]> = a.iter().zip(&b).map(|(&x, &y)| [x, y]).collect();
+        assert_eq!(pair, expected);
     }
 
     #[test]
@@ -280,24 +496,43 @@ mod tests {
         let report = Cluster::new(spec).run(move |env| {
             let rank = env.rank();
             let adj = LocalAdjacency::extract(&g, &part, rank);
-            let (sched, _) =
-                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-            let tadj = sched.translate_adjacency(&adj);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
             let iv = part.interval_of(rank);
-            let mut values = GhostedArray::from_local(
-                x2[iv.start..iv.end].to_vec(),
-                tadj.num_ghosts() as usize,
+            let mut runner = LoopRunner::new(
+                sched,
+                &adj,
+                ComputeCostModel::zero(),
+                LaplacianKernel { shift },
             );
-            crate::primitives::gather(env, &sched, &mut values, &ComputeCostModel::zero());
-            let mut out = vec![0.0; tadj.len()];
-            laplacian_matvec_step(&tadj, &values, shift, &mut out);
-            out
+            let mut values = runner.make_values(x2[iv.start..iv.end].to_vec());
+            runner.apply(env, &mut values);
+            runner.scratch().to_vec()
         });
         let mut got = Vec::with_capacity(n);
         for r in report.into_results() {
             got.extend(r);
         }
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn apply_leaves_input_untouched() {
+        let g = meshgen::triangulated_grid(6, 6, 0.0, 1);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut runner =
+                LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel);
+            let iv = part.interval_of(rank);
+            let init: Vec<f64> = iv.iter().map(|g| g as f64).collect();
+            let mut values = runner.make_values(init.clone());
+            runner.apply(env, &mut values);
+            assert_eq!(values.local(), init.as_slice(), "apply must not commit");
+        });
     }
 
     #[test]
@@ -310,6 +545,85 @@ mod tests {
         sequential_laplacian_matvec(&g, &x, 2.5, &mut out);
         for &v in &out {
             assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    /// A user-written kernel exercising the custom-cost hook: out[i] =
+    /// max over neighbors (a label-propagation building block).
+    struct MaxNeighborKernel;
+
+    impl Kernel<f64> for MaxNeighborKernel {
+        fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[f64], out: &mut [f64]) {
+            for (l, o) in out.iter_mut().enumerate() {
+                let mut best = combined[l];
+                for &s in tadj.neighbors_of(l) {
+                    best = best.max(combined[s as usize]);
+                }
+                *o = best;
+            }
+        }
+        fn cost(&self, model: &ComputeCostModel, vertices: usize, references: usize) -> f64 {
+            // A compare is cheaper than a multiply-add: charge half.
+            0.5 * model.sweep_work(vertices, references)
+        }
+    }
+
+    #[test]
+    fn custom_kernel_cost_hook_drives_clock() {
+        let g = meshgen::triangulated_grid(8, 8, 0.0, 0);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let cost = ComputeCostModel::sun4();
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let owned = adj.len();
+            let refs = adj.num_refs();
+            let mut runner = LoopRunner::new(sched, &adj, cost, MaxNeighborKernel);
+            let mut values = runner.make_values(vec![0.0; owned]);
+            let stats = runner.run(env, &mut values, 4);
+            (stats, owned, refs)
+        });
+        for (stats, owned, refs) in report.results() {
+            let expected = 4.0 * 0.5 * cost.sweep_work(*owned, *refs);
+            assert!(
+                (stats.compute_time - expected).abs() < 1e-9,
+                "half-priced kernel charged {} vs expected {expected}",
+                stats.compute_time
+            );
+        }
+    }
+
+    #[test]
+    fn multi_field_sweep_charged_per_component() {
+        // A [f64; 2] relaxation does twice the arithmetic of the f64 one
+        // and must be charged twice the virtual time.
+        let g = meshgen::triangulated_grid(8, 8, 0.0, 0);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let cost = ComputeCostModel::sun4();
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let refs = adj.num_refs();
+            let owned = adj.len();
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut runner: LoopRunner<[f64; 2], RelaxationKernel> =
+                LoopRunner::new(sched, &adj, cost, RelaxationKernel);
+            let mut values = runner.make_values(vec![[0.0; 2]; owned]);
+            let stats = runner.run(env, &mut values, 5);
+            (stats, owned, refs)
+        });
+        for (stats, owned, refs) in report.results() {
+            let expected = 5.0 * 2.0 * cost.sweep_work(*owned, *refs);
+            assert!(
+                (stats.compute_time - expected).abs() < 1e-9,
+                "two-field sweep charged {} vs expected {expected}",
+                stats.compute_time
+            );
         }
     }
 
@@ -326,7 +640,7 @@ mod tests {
             let refs = adj.num_refs();
             let owned = adj.len();
             let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-            let mut runner = LoopRunner::new(sched, &adj, cost);
+            let mut runner = LoopRunner::new(sched, &adj, cost, RelaxationKernel);
             let mut values = runner.make_values(vec![0.0; owned]);
             let stats = runner.run(env, &mut values, 10);
             (stats, owned, refs)
@@ -357,7 +671,8 @@ mod tests {
             let adj = LocalAdjacency::extract(&g, &part, rank);
             let owned = adj.len();
             let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-            let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::sun4());
+            let mut runner =
+                LoopRunner::new(sched, &adj, ComputeCostModel::sun4(), RelaxationKernel);
             let mut values = runner.make_values(vec![0.0; owned]);
             let stats = runner.run(env, &mut values, 4);
             stats.avg_time_per_item(owned)

@@ -7,12 +7,19 @@
 //!
 //! All ranks must call these collectively with matched schedules (the
 //! inspector guarantees matching; `CommSchedule::validate` checks it).
+//!
+//! All primitives are generic over the application's
+//! [`Element`](stance_sim::Element): values travel as packed little-endian
+//! bytes, so the wire size the network model charges is
+//! `count × E::SIZE_BYTES` for every element type. Packing work is charged
+//! per *element* (one data item), matching the paper's per-item cost model.
 
 use stance_inspector::CommSchedule;
-use stance_sim::{Env, Payload, Tag};
+use stance_sim::{Element, Env, Payload, Tag};
 
 use crate::cost::ComputeCostModel;
 use crate::ghosted::GhostedArray;
+use crate::kernel::Field;
 
 const TAG_GATHER: Tag = Tag::reserved(32);
 const TAG_SCATTER: Tag = Tag::reserved(33);
@@ -23,10 +30,10 @@ const TAG_SCATTER: Tag = Tag::reserved(33);
 /// the peer. For each receive segment: receives the peer's packet and stores
 /// it contiguously in the ghost region (the slots the schedule assigned).
 /// Packing/unpacking work is charged to `env` via `cost`.
-pub fn gather(
+pub fn gather<E: Element>(
     env: &mut Env,
     schedule: &CommSchedule,
-    values: &mut GhostedArray,
+    values: &mut GhostedArray<E>,
     cost: &ComputeCostModel,
 ) {
     debug_assert_eq!(values.local_len(), schedule.interval().len());
@@ -35,17 +42,20 @@ pub fn gather(
     // Send my boundary values to every peer that needs them.
     for (peer, locals) in schedule.sends() {
         env.compute(cost.pack_work(locals.len()));
-        let packet: Vec<f64> = {
+        let mut bytes = Vec::with_capacity(locals.len() * E::SIZE_BYTES);
+        {
             let local = values.local();
-            locals.iter().map(|&l| local[l as usize]).collect()
-        };
-        env.send(*peer, TAG_GATHER, Payload::from_f64(packet));
+            for &l in locals {
+                local[l as usize].write_bytes(&mut bytes);
+            }
+        }
+        env.send(*peer, TAG_GATHER, Payload::from_bytes(bytes));
     }
     // Receive ghost segments in schedule (peer-ascending) order; slots are
     // contiguous across segments by construction.
     let mut slot = 0usize;
     for (peer, globals) in schedule.recvs() {
-        let packet = env.recv(*peer, TAG_GATHER).into_f64();
+        let packet = E::unpack(env.recv(*peer, TAG_GATHER));
         assert_eq!(
             packet.len(),
             globals.len(),
@@ -60,11 +70,12 @@ pub fn gather(
 /// Sends each ghost-region value back to its owner, which **adds** it into
 /// the corresponding owned element. The flow is the exact reverse of
 /// [`gather`]: receive segments become sends and send lists describe where
-/// arriving contributions accumulate.
-pub fn scatter_add(
+/// arriving contributions accumulate. Requires a [`Field`] element (the
+/// accumulation needs addition).
+pub fn scatter_add<E: Field>(
     env: &mut Env,
     schedule: &CommSchedule,
-    values: &mut GhostedArray,
+    values: &mut GhostedArray<E>,
     cost: &ComputeCostModel,
 ) {
     debug_assert_eq!(values.local_len(), schedule.interval().len());
@@ -73,14 +84,14 @@ pub fn scatter_add(
     // Ship my ghost contributions back to their owners.
     let mut slot = 0usize;
     for (peer, globals) in schedule.recvs() {
-        let packet: Vec<f64> = values.ghosts()[slot..slot + globals.len()].to_vec();
+        let packet = &values.ghosts()[slot..slot + globals.len()];
         slot += globals.len();
         env.compute(cost.pack_work(packet.len()));
-        env.send(*peer, TAG_SCATTER, Payload::from_f64(packet));
+        env.send(*peer, TAG_SCATTER, E::pack(packet));
     }
     // Accumulate arriving contributions into my owned elements.
     for (peer, locals) in schedule.sends() {
-        let packet = env.recv(*peer, TAG_SCATTER).into_f64();
+        let packet = E::unpack(env.recv(*peer, TAG_SCATTER));
         assert_eq!(
             packet.len(),
             locals.len(),
@@ -89,7 +100,7 @@ pub fn scatter_add(
         env.compute(cost.pack_work(packet.len()));
         let local = values.local_mut();
         for (&l, &v) in locals.iter().zip(&packet) {
-            local[l as usize] += v;
+            local[l as usize] = local[l as usize].add(v);
         }
     }
 }
@@ -104,10 +115,10 @@ pub fn scatter_add(
 ///
 /// # Panics
 /// Panics if any array's shape does not match the schedule.
-pub fn gather_coalesced(
+pub fn gather_coalesced<E: Element>(
     env: &mut Env,
     schedule: &CommSchedule,
-    arrays: &mut [&mut GhostedArray],
+    arrays: &mut [&mut GhostedArray<E>],
     cost: &ComputeCostModel,
 ) {
     if arrays.is_empty() {
@@ -120,17 +131,19 @@ pub fn gather_coalesced(
     }
     for (peer, locals) in schedule.sends() {
         env.compute(cost.pack_work(locals.len() * k));
-        let mut packet = Vec::with_capacity(locals.len() * k);
+        let mut bytes = Vec::with_capacity(locals.len() * k * E::SIZE_BYTES);
         for a in arrays.iter() {
             let local = a.local();
-            packet.extend(locals.iter().map(|&l| local[l as usize]));
+            for &l in locals {
+                local[l as usize].write_bytes(&mut bytes);
+            }
         }
-        env.send(*peer, TAG_GATHER, Payload::from_f64(packet));
+        env.send(*peer, TAG_GATHER, Payload::from_bytes(bytes));
     }
     let mut slot = 0usize;
     for (peer, globals) in schedule.recvs() {
         let seg = globals.len();
-        let packet = env.recv(*peer, TAG_GATHER).into_f64();
+        let packet = E::unpack(env.recv(*peer, TAG_GATHER));
         assert_eq!(
             packet.len(),
             seg * k,
@@ -162,8 +175,7 @@ mod tests {
         Cluster::new(spec).run(|env| {
             let rank = env.rank();
             let adj = LocalAdjacency::extract(&g, &part, rank);
-            let (sched, _) =
-                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
             let iv = part.interval_of(rank);
             let local: Vec<f64> = iv.iter().map(|g| g as f64).collect();
             let mut values = GhostedArray::from_local(local, sched.num_ghosts() as usize);
@@ -189,8 +201,7 @@ mod tests {
         let report = Cluster::new(spec).run(|env| {
             let rank = env.rank();
             let adj = LocalAdjacency::extract(&g, &part, rank);
-            let (sched, _) =
-                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
             let mut values =
                 GhostedArray::zeros(part.interval_of(rank).len(), sched.num_ghosts() as usize);
             for x in values.ghosts_mut() {
@@ -230,7 +241,7 @@ mod tests {
                     let adj = LocalAdjacency::extract(&g, &part, rank);
                     let (sched, _) =
                         build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-                    let mut values = GhostedArray::zeros(
+                    let mut values: GhostedArray = GhostedArray::zeros(
                         part.interval_of(rank).len(),
                         sched.num_ghosts() as usize,
                     );
@@ -256,14 +267,12 @@ mod tests {
         let report = Cluster::new(spec).run(|env| {
             let rank = env.rank();
             let adj = LocalAdjacency::extract(&g, &part, rank);
-            let (sched, _) =
-                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
             let iv = part.interval_of(rank);
             let ghosts = sched.num_ghosts() as usize;
             // Three arrays with distinct value patterns.
-            let mk = |f: fn(usize) -> f64| {
-                GhostedArray::from_local(iv.iter().map(f).collect(), ghosts)
-            };
+            let mk =
+                |f: fn(usize) -> f64| GhostedArray::from_local(iv.iter().map(f).collect(), ghosts);
             let mut a = mk(|g| g as f64);
             let mut b = mk(|g| (g * g) as f64);
             let mut c = mk(|g| -(g as f64));
@@ -308,7 +317,7 @@ mod tests {
             let adj = LocalAdjacency::extract(&g, &part, env.rank());
             let (sched, _) =
                 build_schedule_symmetric(&part, &adj, env.rank(), ScheduleStrategy::Sort2);
-            gather_coalesced(env, &sched, &mut [], &ComputeCostModel::zero());
+            gather_coalesced::<f64>(env, &sched, &mut [], &ComputeCostModel::zero());
             assert_eq!(env.stats().messages_sent, 0);
         });
     }
@@ -318,20 +327,14 @@ mod tests {
     #[test]
     fn gather_message_volume() {
         use stance_locality::Graph;
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 3)],
-            vec![[0.0; 3]; 4],
-            2,
-        );
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], vec![[0.0; 3]; 4], 2);
         let part = BlockPartition::uniform(4, 2);
         let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
         let report = Cluster::new(spec).run(|env| {
             let rank = env.rank();
             let adj = LocalAdjacency::extract(&g, &part, rank);
-            let (sched, _) =
-                build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-            let mut values = GhostedArray::zeros(2, sched.num_ghosts() as usize);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut values: GhostedArray = GhostedArray::zeros(2, sched.num_ghosts() as usize);
             gather(env, &sched, &mut values, &ComputeCostModel::zero());
             (env.stats().messages_sent, env.stats().bytes_sent)
         });

@@ -57,7 +57,10 @@ impl LocalAdjacency {
         assert_eq!(xadj.len(), interval.len() + 1, "xadj length mismatch");
         assert_eq!(*xadj.first().expect("nonempty xadj"), 0);
         assert_eq!(*xadj.last().expect("nonempty xadj"), refs.len());
-        assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj must be monotone");
+        assert!(
+            xadj.windows(2).all(|w| w[0] <= w[1]),
+            "xadj must be monotone"
+        );
         LocalAdjacency {
             interval,
             xadj,
@@ -155,7 +158,16 @@ mod tests {
         let pairs: Vec<_> = adj.iter_refs().collect();
         assert_eq!(
             pairs,
-            vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3)]
+            vec![
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 3)
+            ]
         );
     }
 

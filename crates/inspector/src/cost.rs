@@ -12,8 +12,6 @@
 //! counts into seconds. Keeping counting separate from pricing lets tests
 //! assert exact op counts and lets ablations reprice without rebuilding.
 
-use serde::{Deserialize, Serialize};
-
 /// Operation counts accumulated while building a schedule.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InspectorWork {
@@ -45,7 +43,7 @@ impl InspectorWork {
 }
 
 /// Prices [`InspectorWork`] in reference seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InspectorCostModel {
     /// Seconds per hash probe/insert.
     pub per_hash_op: f64,

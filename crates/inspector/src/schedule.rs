@@ -712,12 +712,7 @@ mod tests {
         let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
         let report = Cluster::new(spec).run(move |env| {
             let adj = LocalAdjacency::extract(&g_for_run, &part_for_run, env.rank());
-            let s = build_schedule_simple(
-                env,
-                &part_for_run,
-                &adj,
-                &InspectorCostModel::zero(),
-            );
+            let s = build_schedule_simple(env, &part_for_run, &adj, &InspectorCostModel::zero());
             s.validate(&part_for_run);
             s
         });

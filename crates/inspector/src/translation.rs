@@ -13,11 +13,10 @@
 //!   simple schedule strategy distributes it by blocks and pays
 //!   communication to dereference.
 
-use serde::{Deserialize, Serialize};
 use stance_onedim::BlockPartition;
 
 /// The `O(p)` replicated interval translation table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalTable {
     partition: BlockPartition,
 }
@@ -75,7 +74,7 @@ impl IntervalTable {
 }
 
 /// The explicit per-element table: `entry[g] = (processor, local index)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DenseTable {
     entries: Vec<(u32, u32)>,
 }
@@ -135,11 +134,7 @@ mod tests {
     use stance_onedim::Arrangement;
 
     fn partition() -> BlockPartition {
-        BlockPartition::from_weights(
-            20,
-            &[0.3, 0.2, 0.5],
-            Arrangement::new(vec![1, 0, 2]),
-        )
+        BlockPartition::from_weights(20, &[0.3, 0.2, 0.5], Arrangement::new(vec![1, 0, 2]))
     }
 
     #[test]

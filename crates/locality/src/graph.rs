@@ -7,8 +7,6 @@
 //! partitioners (RCB, inertial, space-filling curves) need them; purely
 //! combinatorial methods (spectral) ignore them.
 
-use serde::{Deserialize, Serialize};
-
 /// An undirected computational graph in CSR form with coordinates.
 ///
 /// Invariants (checked at construction):
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// * no self-loops, no duplicate edges;
 /// * neighbor lists are sorted ascending;
 /// * one coordinate per vertex.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     /// CSR row pointers, length `n + 1`.
     xadj: Vec<usize>,
@@ -37,12 +35,7 @@ impl Graph {
     /// # Panics
     /// Panics if an endpoint is out of range, a self-loop or duplicate edge
     /// is present, `coords.len() != n`, or `dim` is not 2 or 3.
-    pub fn from_edges(
-        n: usize,
-        edges: &[(u32, u32)],
-        coords: Vec<[f64; 3]>,
-        dim: usize,
-    ) -> Self {
+    pub fn from_edges(n: usize, edges: &[(u32, u32)], coords: Vec<[f64; 3]>, dim: usize) -> Self {
         assert!(dim == 2 || dim == 3, "dim must be 2 or 3, got {dim}");
         assert_eq!(coords.len(), n, "need one coordinate per vertex");
         let mut degree = vec![0usize; n];
@@ -231,10 +224,7 @@ impl Graph {
                 }
             }
         }
-        let coords = vertices
-            .iter()
-            .map(|&v| self.coords[v as usize])
-            .collect();
+        let coords = vertices.iter().map(|&v| self.coords[v as usize]).collect();
         (
             Graph::from_edges(vertices.len(), &edges, coords, self.dim),
             vertices.to_vec(),
@@ -342,8 +332,7 @@ mod tests {
     #[test]
     fn connectivity() {
         assert!(square().is_connected());
-        let disconnected =
-            Graph::from_edges(4, &[(0, 1), (2, 3)], vec![[0.0; 3]; 4], 2);
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)], vec![[0.0; 3]; 4], 2);
         assert!(!disconnected.is_connected());
         let (comp, count) = disconnected.connected_components();
         assert_eq!(count, 2);
@@ -404,12 +393,7 @@ mod tests {
 
     #[test]
     fn max_degree() {
-        let star = Graph::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3)],
-            vec![[0.0; 3]; 4],
-            2,
-        );
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], vec![[0.0; 3]; 4], 2);
         assert_eq!(star.max_degree(), 3);
     }
 }

@@ -197,7 +197,10 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphIoError> {
     if edges.len() != m {
         return Err(parse_err(
             line_no,
-            format!("header promised {m} edges but adjacency lists give {}", edges.len()),
+            format!(
+                "header promised {m} edges but adjacency lists give {}",
+                edges.len()
+            ),
         ));
     }
     Ok(Graph::from_edges(n, &edges, coords, dim))
@@ -255,12 +258,7 @@ mod tests {
 
     #[test]
     fn three_dimensional_round_trip() {
-        let g = Graph::from_edges(
-            2,
-            &[(0, 1)],
-            vec![[0.5, 1.5, 2.5], [3.0, 4.0, 5.0]],
-            3,
-        );
+        let g = Graph::from_edges(2, &[(0, 1)], vec![[0.5, 1.5, 2.5], [3.0, 4.0, 5.0]], 3);
         let mut buf = Vec::new();
         write_graph(&g, &mut buf).unwrap();
         let h = read_graph(buf.as_slice()).unwrap();

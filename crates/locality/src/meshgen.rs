@@ -86,10 +86,7 @@ pub fn thin_to_edges(graph: &Graph, target_edges: usize, seed: u64) -> Graph {
     );
     let tree: std::collections::HashSet<(u32, u32)> =
         graph.spanning_tree_edges().into_iter().collect();
-    let mut non_tree: Vec<(u32, u32)> = graph
-        .edges()
-        .filter(|e| !tree.contains(e))
-        .collect();
+    let mut non_tree: Vec<(u32, u32)> = graph.edges().filter(|e| !tree.contains(e)).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     non_tree.shuffle(&mut rng);
     let keep_extra = target_edges - tree.len();
@@ -136,7 +133,10 @@ pub fn paper_mesh(seed: u64) -> Graph {
 /// # Panics
 /// Panics unless `rings ≥ 2` and `sectors ≥ 3`.
 pub fn annulus_mesh(rings: usize, sectors: usize, seed: u64) -> Graph {
-    assert!(rings >= 2 && sectors >= 3, "annulus needs rings ≥ 2, sectors ≥ 3");
+    assert!(
+        rings >= 2 && sectors >= 3,
+        "annulus needs rings ≥ 2, sectors ≥ 3"
+    );
     let n = rings * sectors;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut coords = Vec::with_capacity(n);
@@ -180,7 +180,10 @@ pub fn annulus_mesh(rings: usize, sectors: usize, seed: u64) -> Graph {
 /// the points in x-order so the result is always connected.
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     assert!(n >= 1, "need at least one vertex");
-    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let coords: Vec<[f64; 3]> = (0..n)
         .map(|_| [rng.random::<f64>(), rng.random::<f64>(), 0.0])

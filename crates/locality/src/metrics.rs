@@ -176,12 +176,7 @@ mod tests {
     fn comm_volume_dedups() {
         // A star: center 0 in block 0, leaves elsewhere. The leaf block
         // needs vertex 0 once, not once per leaf.
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3)],
-            vec![[0.0; 3]; 4],
-            2,
-        );
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], vec![[0.0; 3]; 4], 2);
         let o = Ordering::identity(4);
         let part = BlockPartition::from_sizes(&[1, 3]);
         let vol = comm_volume(&g, &o, &part);

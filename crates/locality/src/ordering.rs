@@ -6,8 +6,6 @@
 //! graph along the ordering, every contiguous block partition inherits the
 //! spatial locality the ordering captured.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::Graph;
 use crate::rcb;
 use crate::rcm;
@@ -16,7 +14,7 @@ use crate::sfc;
 use crate::spectral;
 
 /// A bijection `vertex id ↔ position on the 1-D list`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ordering {
     /// `position_of[v]` = position of vertex `v` on the list.
     position_of: Vec<u32>,
@@ -118,7 +116,7 @@ impl Ordering {
 }
 
 /// The available one-dimensional indexing methods.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrderingMethod {
     /// Keep the input numbering (baseline — no locality improvement).
     Natural,

@@ -136,12 +136,7 @@ mod tests {
     fn rcb_tiny_inputs() {
         let g1 = Graph::from_edges(1, &[], vec![[0.0; 3]], 2);
         assert_eq!(rcb_ordering(&g1).len(), 1);
-        let g2 = Graph::from_edges(
-            2,
-            &[(0, 1)],
-            vec![[0.0; 3], [1.0, 0.0, 0.0]],
-            2,
-        );
+        let g2 = Graph::from_edges(2, &[(0, 1)], vec![[0.0; 3], [1.0, 0.0, 0.0]], 2);
         let o = rcb_ordering(&g2);
         assert_eq!(o.len(), 2);
     }

@@ -83,8 +83,7 @@ fn bfs_farthest(graph: &Graph, root: usize) -> (usize, usize) {
     let mut best = root;
     while let Some(u) = queue.pop_front() {
         let better = dist[u] > dist[best]
-            || (dist[u] == dist[best]
-                && (graph.degree(u), u) < (graph.degree(best), best));
+            || (dist[u] == dist[best] && (graph.degree(u), u) < (graph.degree(best), best));
         if better {
             best = u;
         }

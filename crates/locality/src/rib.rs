@@ -151,12 +151,7 @@ mod tests {
 
     #[test]
     fn degenerate_coincident_points() {
-        let g = Graph::from_edges(
-            3,
-            &[(0, 1), (1, 2)],
-            vec![[1.0, 1.0, 0.0]; 3],
-            2,
-        );
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], vec![[1.0, 1.0, 0.0]; 3], 2);
         // Must terminate and produce a permutation despite zero variance.
         let o = inertial_ordering(&g);
         assert_eq!(o.len(), 3);

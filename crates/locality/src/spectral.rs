@@ -163,7 +163,10 @@ pub fn fiedler_vector(graph: &Graph) -> Vec<f64> {
         return vec![0.0];
     }
     if n == 2 {
-        return vec![-std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+        return vec![
+            -std::f64::consts::FRAC_1_SQRT_2,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ];
     }
 
     // Two passes: the second restarts from the first estimate, which is

@@ -5,11 +5,9 @@
 //! second, and so on. Choosing a good arrangement is what lets a remapping
 //! keep most data in place when capabilities change unevenly.
 
-use serde::{Deserialize, Serialize};
-
 /// A permutation of `0..p` giving the left-to-right order of processors
 /// along the one-dimensional list.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Arrangement {
     order: Vec<usize>,
 }
@@ -229,6 +227,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Arrangement::new(vec![0, 3, 1, 2, 4]).to_string(), "(P0, P3, P1, P2, P4)");
+        assert_eq!(
+            Arrangement::new(vec![0, 3, 1, 2, 4]).to_string(),
+            "(P0, P3, P1, P2, P4)"
+        );
     }
 }

@@ -1,12 +1,10 @@
 //! Half-open intervals `[start, end)` over the one-dimensional list.
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open range `[start, end)` of global indices.
 ///
 /// `start == end` denotes the empty interval (a processor can legitimately be
 /// assigned no elements when its capability share rounds to zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// First index in the interval.
     pub start: usize,

@@ -259,8 +259,7 @@ mod tests {
         };
         let res = minimize_cost_redistribution(&old, &new_w, &heavy_msgs);
         let plan = RedistributionPlan::between(&old, &res.partition);
-        let kept_plan =
-            RedistributionPlan::between(&old, &keep_arrangement(&old, &new_w));
+        let kept_plan = RedistributionPlan::between(&old, &keep_arrangement(&old, &new_w));
         assert!(plan.num_messages() <= kept_plan.num_messages());
     }
 

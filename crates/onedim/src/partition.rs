@@ -10,8 +10,6 @@
 //! every block within one element of its exact proportional share and assigns
 //! every element exactly once.
 
-use serde::{Deserialize, Serialize};
-
 use crate::arrangement::Arrangement;
 use crate::interval::Interval;
 
@@ -20,7 +18,7 @@ use crate::interval::Interval;
 ///
 /// This is exactly the information the paper's replicated translation table
 /// stores (Fig. 3): first/last element per processor, `O(p)` memory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockPartition {
     /// Total number of elements.
     n: usize,
@@ -392,8 +390,7 @@ mod tests {
         let imb = part.imbalance(&[1.0, 0.5]);
         assert!((imb - 1.5).abs() < 1e-12);
         // Weighted split fixes it.
-        let balanced =
-            BlockPartition::from_weights(99, &[2.0, 1.0], Arrangement::identity(2));
+        let balanced = BlockPartition::from_weights(99, &[2.0, 1.0], Arrangement::identity(2));
         assert_eq!(balanced.sizes(), vec![66, 33]);
         assert!((balanced.imbalance(&[2.0, 1.0]) - 1.0).abs() < 1e-12);
     }

@@ -6,13 +6,11 @@
 //! A [`RedistributionPlan`] captures both, and [`RedistCostModel`] turns them
 //! into the scalar that `MinimizeCostRedistribution` optimizes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::interval::Interval;
 use crate::partition::BlockPartition;
 
 /// One contiguous range moving from one processor to another.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Move {
     /// Source processor (owner under the old partition).
     pub src: usize,
@@ -25,7 +23,7 @@ pub struct Move {
 /// The complete set of moves turning an old partition's data placement into
 /// a new one. Ranges owned by the same processor before and after do not
 /// appear.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RedistributionPlan {
     moves: Vec<Move>,
     n: usize,
@@ -124,7 +122,7 @@ impl RedistributionPlan {
 /// Scalar cost of a redistribution: `per_message × messages +
 /// per_element × elements_moved` (seconds, under the network model that
 /// motivates the constants).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RedistCostModel {
     /// Cost of each point-to-point message (setup + latency).
     pub per_message: f64,

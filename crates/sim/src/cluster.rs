@@ -6,11 +6,9 @@
 //! returns a [`RunReport`] with every rank's result, final virtual clock and
 //! accounting counters.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
-
-use crossbeam::channel::unbounded;
-use serde::{Deserialize, Serialize};
 
 use crate::env::{BarrierShared, Env, Msg};
 use crate::machine::{LoadTimeline, MachineSpec};
@@ -22,8 +20,8 @@ use crate::time::VTime;
 /// generous — this costs only virtual address space.
 const RANK_STACK_BYTES: usize = 16 * 1024 * 1024;
 
-/// A complete, serializable description of a computational environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A complete, reproducible description of a computational environment.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// One entry per workstation; index = rank.
     pub machines: Vec<MachineSpec>,
@@ -157,7 +155,10 @@ impl Cluster {
     /// # Panics
     /// Panics on an invalid spec (no machines, bad network parameters).
     pub fn new(spec: ClusterSpec) -> Self {
-        assert!(!spec.machines.is_empty(), "a cluster needs at least one machine");
+        assert!(
+            !spec.machines.is_empty(),
+            "a cluster needs at least one machine"
+        );
         spec.network.validate();
         Cluster { spec }
     }
@@ -184,13 +185,13 @@ impl Cluster {
 
         // Channel matrix: matrix[src][dst] is the sender half of the channel
         // that carries src→dst messages; rx_matrix[dst][src] the receiver.
-        let mut tx_rows: Vec<Vec<Option<crossbeam::channel::Sender<Msg>>>> =
+        let mut tx_rows: Vec<Vec<Option<Sender<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut rx_rows: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+        let mut rx_rows: Vec<Vec<Option<Receiver<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for (src, tx_row) in tx_rows.iter_mut().enumerate() {
             for (dst, slot) in tx_row.iter_mut().enumerate() {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 *slot = Some(tx);
                 rx_rows[dst][src] = Some(rx);
             }

@@ -7,10 +7,8 @@
 //! model (§2).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
-
-use crossbeam::channel::{Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::machine::MachineSpec;
 use crate::network::NetworkState;
@@ -66,7 +64,7 @@ impl BarrierShared {
 
     /// Blocks until all ranks arrive; returns the synchronized release time.
     fn wait(&self, clock: VTime) -> VTime {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().expect("barrier lock poisoned");
         g.max_clock = g.max_clock.max(clock);
         g.arrived += 1;
         if g.arrived == self.size {
@@ -79,7 +77,7 @@ impl BarrierShared {
         } else {
             let gen = g.generation;
             while g.generation == gen {
-                self.cv.wait(&mut g);
+                g = self.cv.wait(g).expect("barrier lock poisoned");
             }
             g.release
         }
@@ -233,7 +231,11 @@ impl Env {
             self.stats.bytes_sent += bytes as u64;
             for &dst in dsts {
                 assert!(dst < self.size, "multicast to rank {dst} of {}", self.size);
-                let arrival = if dst == self.rank { self.clock } else { arrival };
+                let arrival = if dst == self.rank {
+                    self.clock
+                } else {
+                    arrival
+                };
                 self.txs[dst]
                     .send(Msg {
                         tag,

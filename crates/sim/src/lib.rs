@@ -82,6 +82,6 @@ pub use cluster::{Cluster, ClusterSpec, RankReport, RunReport};
 pub use env::Env;
 pub use machine::{LoadPhase, LoadTimeline, MachineSpec};
 pub use network::{NetworkKind, NetworkSpec};
-pub use payload::{Payload, PayloadElement, Tag};
+pub use payload::{Element, Payload, Tag};
 pub use stats::EnvStats;
 pub use time::VTime;

@@ -14,12 +14,10 @@
 //! clock to the unique `t' ≥ t` with
 //! `∫ₜ^t' speed · avail(τ) dτ = w`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::VTime;
 
 /// One piece of the piecewise-constant availability function.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadPhase {
     /// Virtual time at which this phase begins.
     pub start: f64,
@@ -30,7 +28,7 @@ pub struct LoadPhase {
 /// Piecewise-constant availability over virtual time.
 ///
 /// An empty timeline means the machine is fully available forever.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadTimeline {
     phases: Vec<LoadPhase>,
 }
@@ -133,10 +131,11 @@ impl LoadTimeline {
     /// empty).
     fn phase_index_at(&self, t: f64) -> Option<usize> {
         // Phases are sorted by start; find the last with start <= t.
-        match self
-            .phases
-            .binary_search_by(|p| p.start.partial_cmp(&t).expect("load phase start is never NaN"))
-        {
+        match self.phases.binary_search_by(|p| {
+            p.start
+                .partial_cmp(&t)
+                .expect("load phase start is never NaN")
+        }) {
             Ok(i) => Some(i),
             Err(0) => None,
             Err(i) => Some(i - 1),
@@ -164,10 +163,7 @@ impl LoadTimeline {
                 None => (1.0, self.phases[0].start),
                 Some(i) => {
                     let avail = self.phases[i].available;
-                    let seg_end = self
-                        .phases
-                        .get(i + 1)
-                        .map_or(f64::INFINITY, |p| p.start);
+                    let seg_end = self.phases.get(i + 1).map_or(f64::INFINITY, |p| p.start);
                     (avail, seg_end)
                 }
             };
@@ -186,7 +182,7 @@ impl LoadTimeline {
 }
 
 /// A simulated workstation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Relative speed: reference seconds of work completed per second of
     /// fully-available machine time. 1.0 is the reference workstation.
@@ -356,11 +352,8 @@ mod tests {
     fn paper_adaptive_scenario_triples_time() {
         // §5: constant competing load on workstation 1 tripled the sequential
         // time (97.61s → 290.93s), i.e. availability ≈ 1/3 (2 competitors).
-        let m = MachineSpec::reference().with_load(LoadTimeline::competing_load(
-            0.0,
-            f64::INFINITY,
-            2,
-        ));
+        let m =
+            MachineSpec::reference().with_load(LoadTimeline::competing_load(0.0, f64::INFINITY, 2));
         let end = m.finish_time(t(0.0), 97.61);
         assert!((end.as_secs() - 292.83).abs() < 1e-9);
     }

@@ -16,13 +16,12 @@
 //! Multicast (§3.6 of the paper) lets one send reach many destinations for a
 //! single setup + transmission cost, as Ethernet broadcast frames do.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::time::VTime;
 
 /// Which wire model to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NetworkKind {
     /// Independent full-bandwidth links between every pair (deterministic).
     #[default]
@@ -32,7 +31,7 @@ pub enum NetworkKind {
 }
 
 /// Parameters of the interconnect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// CPU seconds the sender spends per message (packetization, syscalls).
     /// This is the cost that punishes fine-grained communication.
@@ -154,7 +153,7 @@ impl NetworkState {
         match self.spec.kind {
             NetworkKind::PointToPoint => ready + self.spec.transit_time(bytes),
             NetworkKind::SharedBus => {
-                let mut free = self.bus_free.lock();
+                let mut free = self.bus_free.lock().expect("bus lock poisoned");
                 let start = free.max(ready.as_secs());
                 let done = start + self.spec.transit_time(bytes);
                 *free = done;
@@ -213,7 +212,10 @@ mod tests {
     #[test]
     fn zero_cost_network() {
         let net = NetworkState::new(NetworkSpec::zero_cost());
-        assert_eq!(net.arrival(VTime::from_secs(2.0), 1 << 20), VTime::from_secs(2.0));
+        assert_eq!(
+            net.arrival(VTime::from_secs(2.0), 1 << 20),
+            VTime::from_secs(2.0)
+        );
     }
 
     #[test]

@@ -1,19 +1,18 @@
-//! Message payloads and tags.
+//! Message payloads, tags, and the application [`Element`] type.
 //!
-//! A [`Payload`] is an owned, typed buffer. The executor's hot paths move
-//! `f64` data (the paper's arrays are floating point) and `u32`/`u64` index
-//! lists (inspector requests, schedules, control messages), so those get
-//! first-class variants — no serialization round-trip, and the byte size used
-//! by the network cost model matches what a wire format would carry.
-
-use serde::{Deserialize, Serialize};
+//! A [`Payload`] is an owned, typed buffer. The runtime's control traffic
+//! moves `u32`/`u64` index lists (inspector requests, schedules, load
+//! reports) through the typed variants; application data — whatever
+//! [`Element`] the application chose — travels as packed little-endian
+//! bytes ([`Payload::Bytes`]) so the byte size the network cost model
+//! charges matches what a wire format would carry, for any element type.
 
 /// A small integer message tag, used to match sends with receives.
 ///
 /// Tags below [`Tag::RESERVED_BASE`] are free for applications; the runtime
 /// library uses the reserved range for its internal protocols (barrier,
 /// load-balancing control, redistribution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tag(pub u32);
 
 impl Tag {
@@ -34,15 +33,12 @@ impl Tag {
 }
 
 /// Typed message payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// No data: pure synchronization / signal.
     Empty,
-    /// Double-precision data (application arrays).
+    /// Double-precision data (runtime control values, e.g. load reports).
     F64(Vec<f64>),
-    /// Single-precision data (the paper's Table 2 arrays are 4-byte
-    /// floats; wire size matters to the cost model).
-    F32(Vec<f32>),
     /// 32-bit indices (local references, schedule entries).
     U32(Vec<u32>),
     /// 64-bit values (global indices, sizes, packed pairs).
@@ -55,11 +51,6 @@ impl Payload {
     /// Payload of `f64` values.
     pub fn from_f64(v: Vec<f64>) -> Self {
         Payload::F64(v)
-    }
-
-    /// Payload of `f32` values.
-    pub fn from_f32(v: Vec<f32>) -> Self {
-        Payload::F32(v)
     }
 
     /// Payload of `u32` values.
@@ -83,7 +74,6 @@ impl Payload {
         match self {
             Payload::Empty => 0,
             Payload::F64(v) => v.len() * 8,
-            Payload::F32(v) => v.len() * 4,
             Payload::U32(v) => v.len() * 4,
             Payload::U64(v) => v.len() * 8,
             Payload::Bytes(v) => v.len(),
@@ -95,7 +85,6 @@ impl Payload {
         match self {
             Payload::Empty => 0,
             Payload::F64(v) => v.len(),
-            Payload::F32(v) => v.len(),
             Payload::U32(v) => v.len(),
             Payload::U64(v) => v.len(),
             Payload::Bytes(v) => v.len(),
@@ -116,17 +105,6 @@ impl Payload {
         match self {
             Payload::F64(v) => v,
             other => panic!("expected F64 payload, got {}", other.kind_name()),
-        }
-    }
-
-    /// Extracts `f32` data.
-    ///
-    /// # Panics
-    /// Panics if the payload is not `F32`.
-    pub fn into_f32(self) -> Vec<f32> {
-        match self {
-            Payload::F32(v) => v,
-            other => panic!("expected F32 payload, got {}", other.kind_name()),
         }
     }
 
@@ -167,7 +145,6 @@ impl Payload {
         match self {
             Payload::Empty => "Empty",
             Payload::F64(_) => "F64",
-            Payload::F32(_) => "F32",
             Payload::U32(_) => "U32",
             Payload::U64(_) => "U64",
             Payload::Bytes(_) => "Bytes",
@@ -175,52 +152,147 @@ impl Payload {
     }
 }
 
-/// Array element types that can travel in a [`Payload`]. Lets primitives
-/// like redistribution be generic over precision (the paper's arrays are
-/// single-precision; the kernel here uses doubles).
-pub trait PayloadElement: Copy + Send + 'static {
-    /// Wraps a vector of elements.
-    fn wrap(v: Vec<Self>) -> Payload;
-    /// Unwraps a payload of this element type.
+/// Per-vertex application state that the runtime can move between ranks.
+///
+/// This is the application-facing half of the data model: the runtime owns
+/// partitioning, ghost exchange and redistribution, and stays generic over
+/// *what* a data item is — a plain `f64` (the paper's arrays), a
+/// single-precision `f32`, an index, or a fixed-size multi-field record
+/// like `[f64; K]`. An element is `Copy`, fixed-size, and serializes to a
+/// little-endian byte string; [`Element::pack`]/[`Element::unpack`] move
+/// whole slices through a [`Payload::Bytes`] message, so the wire size the
+/// network cost model charges is exactly `len × SIZE_BYTES`.
+///
+/// Implementations are provided for `f64`, `f32`, `u32`, `u64` and
+/// `[f64; K]`. A custom element only needs the three required items:
+///
+/// ```
+/// use stance_sim::{Element, Payload};
+///
+/// #[derive(Debug, Clone, Copy, PartialEq)]
+/// struct Particle { pos: f64, vel: f64 }
+///
+/// impl Element for Particle {
+///     const SIZE_BYTES: usize = 16;
+///     fn zero() -> Self { Particle { pos: 0.0, vel: 0.0 } }
+///     fn write_bytes(&self, out: &mut Vec<u8>) {
+///         out.extend_from_slice(&self.pos.to_le_bytes());
+///         out.extend_from_slice(&self.vel.to_le_bytes());
+///     }
+///     fn read_bytes(bytes: &[u8]) -> Self {
+///         Particle {
+///             pos: f64::from_le_bytes(bytes[..8].try_into().unwrap()),
+///             vel: f64::from_le_bytes(bytes[8..].try_into().unwrap()),
+///         }
+///     }
+/// }
+///
+/// let sent = vec![Particle { pos: 1.5, vel: -2.0 }; 3];
+/// let payload = Particle::pack(&sent);
+/// assert_eq!(payload.size_bytes(), 48);
+/// assert_eq!(Particle::unpack(payload), sent);
+/// ```
+pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Wire size of one element in bytes. Must be nonzero and must match
+    /// what [`Element::write_bytes`] appends.
+    const SIZE_BYTES: usize;
+
+    /// The additive identity / fill value (used for fresh ghost slots and
+    /// uninitialized blocks during redistribution).
+    fn zero() -> Self;
+
+    /// Appends this element's exactly-`SIZE_BYTES`-long wire form.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+
+    /// Reads one element back from exactly `SIZE_BYTES` bytes.
+    fn read_bytes(bytes: &[u8]) -> Self;
+
+    /// Packs a slice into one wire message.
+    fn pack(values: &[Self]) -> Payload {
+        let mut bytes = Vec::with_capacity(values.len() * Self::SIZE_BYTES);
+        for v in values {
+            v.write_bytes(&mut bytes);
+        }
+        debug_assert_eq!(bytes.len(), values.len() * Self::SIZE_BYTES);
+        Payload::Bytes(bytes)
+    }
+
+    /// Unpacks a message produced by [`Element::pack`].
     ///
     /// # Panics
-    /// Panics on a type mismatch.
-    fn unwrap(p: Payload) -> Vec<Self>;
-}
-
-impl PayloadElement for f64 {
-    fn wrap(v: Vec<Self>) -> Payload {
-        Payload::F64(v)
-    }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_f64()
-    }
-}
-
-impl PayloadElement for f32 {
-    fn wrap(v: Vec<Self>) -> Payload {
-        Payload::F32(v)
-    }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_f32()
+    /// Panics if the payload is not `Bytes` or its length is not a multiple
+    /// of `SIZE_BYTES` — either is a protocol bug.
+    fn unpack(payload: Payload) -> Vec<Self> {
+        assert!(Self::SIZE_BYTES > 0, "zero-size elements cannot travel");
+        let bytes = payload.into_bytes();
+        assert_eq!(
+            bytes.len() % Self::SIZE_BYTES,
+            0,
+            "payload of {} bytes is not a whole number of {}-byte elements",
+            bytes.len(),
+            Self::SIZE_BYTES
+        );
+        bytes
+            .chunks_exact(Self::SIZE_BYTES)
+            .map(Self::read_bytes)
+            .collect()
     }
 }
 
-impl PayloadElement for u32 {
-    fn wrap(v: Vec<Self>) -> Payload {
-        Payload::U32(v)
-    }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_u32()
-    }
+macro_rules! scalar_element {
+    ($($t:ty => $zero:expr, $bytes:expr;)*) => {$(
+        impl Element for $t {
+            const SIZE_BYTES: usize = $bytes;
+            #[inline]
+            fn zero() -> Self {
+                $zero
+            }
+            #[inline]
+            fn write_bytes(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_bytes(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact element chunk"))
+            }
+        }
+    )*};
 }
 
-impl PayloadElement for u64 {
-    fn wrap(v: Vec<Self>) -> Payload {
-        Payload::U64(v)
+scalar_element! {
+    f64 => 0.0, 8;
+    f32 => 0.0, 4;
+    u32 => 0, 4;
+    u64 => 0, 8;
+}
+
+impl<const K: usize> Element for [f64; K] {
+    const SIZE_BYTES: usize = 8 * K;
+
+    #[inline]
+    fn zero() -> Self {
+        [0.0; K]
     }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_u64()
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        for c in self {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            Self::SIZE_BYTES,
+            "array element expects exactly {} bytes, got {}",
+            Self::SIZE_BYTES,
+            bytes.len()
+        );
+        let mut a = [0.0; K];
+        for (c, chunk) in a.iter_mut().zip(bytes.chunks_exact(8)) {
+            *c = f64::from_le_bytes(chunk.try_into().expect("exact component chunk"));
+        }
+        a
     }
 }
 
@@ -232,22 +304,37 @@ mod tests {
     fn sizes() {
         assert_eq!(Payload::Empty.size_bytes(), 0);
         assert_eq!(Payload::from_f64(vec![0.0; 3]).size_bytes(), 24);
-        assert_eq!(Payload::from_f32(vec![0.0; 3]).size_bytes(), 12);
         assert_eq!(Payload::from_u32(vec![0; 3]).size_bytes(), 12);
         assert_eq!(Payload::from_u64(vec![0; 3]).size_bytes(), 24);
         assert_eq!(Payload::from_bytes(vec![0; 3]).size_bytes(), 3);
     }
 
     #[test]
-    fn payload_element_round_trip() {
-        fn rt<T: PayloadElement + PartialEq + std::fmt::Debug>(v: Vec<T>) {
-            let p = T::wrap(v.clone());
-            assert_eq!(T::unwrap(p), v);
+    fn element_round_trip() {
+        fn rt<T: Element>(v: Vec<T>) {
+            let p = T::pack(&v);
+            assert_eq!(p.size_bytes(), v.len() * T::SIZE_BYTES);
+            assert_eq!(T::unpack(p), v);
         }
-        rt(vec![1.0f64, 2.0]);
+        rt(vec![1.0f64, -2.5, f64::MIN_POSITIVE]);
         rt(vec![1.0f32, 2.0]);
         rt(vec![1u32, 2]);
-        rt(vec![1u64, 2]);
+        rt(vec![u64::MAX, 2]);
+        rt(vec![[1.0f64, -4.0], [0.25, 1e-300]]);
+        rt(vec![[7.0f64; 3]; 4]);
+    }
+
+    #[test]
+    fn element_pack_is_bytes_payload() {
+        let p = f64::pack(&[1.5]);
+        assert_eq!(p.size_bytes(), 8);
+        assert_eq!(p, Payload::Bytes(1.5f64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn element_unpack_rejects_ragged_payload() {
+        let _ = f64::unpack(Payload::from_bytes(vec![0; 12]));
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Per-rank accounting: where virtual time went and how much was
 //! communicated.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by one rank over a run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnvStats {
     /// Virtual seconds spent computing (includes slowdown from external load).
     pub compute_time: f64,

@@ -42,8 +42,13 @@ fn main() {
 
     let mesh_ref = &mesh;
     let report = Cluster::new(spec).run(move |env| {
-        let mut session =
-            AdaptiveSession::setup(env, mesh_ref, |g| g as f64 * 1e-3, &config);
+        let mut session = AdaptiveSession::setup(
+            env,
+            mesh_ref,
+            RelaxationKernel,
+            |g| g as f64 * 1e-3,
+            &config,
+        );
         let mut timeline = Vec::new();
         let mut done = 0;
         while done < total_iters {
@@ -53,8 +58,7 @@ fn main() {
                 break;
             }
             let sizes_before = session.partition().sizes();
-            let (remapped, check, rebalance) =
-                session.check_and_rebalance(env, total_iters - done);
+            let (remapped, check, rebalance) = session.check_and_rebalance(env, total_iters - done);
             if env.rank() == 0 {
                 timeline.push((
                     done,
@@ -81,7 +85,10 @@ fn main() {
             println!("  iter {iter:>3} @ t={t:7.3}s  keep  {after:?}  (check {check:.4}s)");
         }
     }
-    println!("\nfinished at t = {finish:.3}s (makespan {:.3}s)", report.makespan());
+    println!(
+        "\nfinished at t = {finish:.3}s (makespan {:.3}s)",
+        report.makespan()
+    );
     println!(
         "expected pattern: remaps soon after t=1s (rank 0 shrinks), another after\n\
          t=2.5s (rank 0 grows back), keeps everywhere else."

@@ -1,55 +1,82 @@
-//! A distributed conjugate-gradient solver on the simulated cluster —
-//! a second application class on the same runtime: instead of the paper's
-//! relaxation loop, each iteration is a Laplacian matvec (gather + local
-//! sweep) plus two global dot products (allreduce).
+//! A distributed conjugate-gradient solver — a second application class on
+//! the same runtime, running *through* the session API: the solver supplies
+//! [`LaplacianKernel`] as its `Kernel`, and the session supplies
+//! partitioning, ghost gathers, and the paper's adaptive load balancing.
+//!
+//! Each CG iteration pushes the search direction `p` into the session,
+//! applies the kernel once (`Ap = (L + I) p` — gather + local sweep), and
+//! combines it with two global dot products (allreduce). Every
+//! `check_interval` iterations the session runs a load-balance check; when
+//! a competing job on workstation 0 makes a remap profitable, the session
+//! moves its own values *and* the solver's `x`/`r`/`p` vectors to the new
+//! distribution (`check_and_rebalance_with`), and the iteration continues
+//! seamlessly.
 //!
 //! Solves `(L + I) x = b` where `L` is the mesh Laplacian and `b` is chosen
-//! so the exact solution is `x*[i] = sin(0.01 i)`; reports convergence and
-//! checks the result.
+//! so the exact solution is `x*[i] = sin(0.01 i)`; reports convergence,
+//! remaps, and checks the result.
 //!
 //! ```text
 //! cargo run --release --example cg_solver
 //! ```
 
-use stance::executor::{
-    gather, laplacian_matvec_step, sequential_laplacian_matvec, ComputeCostModel, GhostedArray,
-};
-use stance::inspector::{build_schedule_symmetric, LocalAdjacency, ScheduleStrategy};
+use stance::balance::BalancerConfig;
+use stance::executor::sequential_laplacian_matvec;
+use stance::onedim::RedistCostModel;
 use stance::prelude::*;
 
 const SHIFT: f64 = 1.0;
+const MAX_ITERS: usize = 200;
 
 fn main() {
     let raw = stance::locality::meshgen::triangulated_grid(40, 40, 0.4, 19);
     let (mesh, _) = stance::prepare_mesh(&raw, OrderingMethod::Spectral);
     let n = mesh.num_vertices();
-    println!("solving (L + I)x = b on a {} vertex mesh, 4 workstations", n);
+    println!("solving (L + I)x = b on a {n} vertex mesh, 4 workstations");
+    println!("competing job on workstation 0 (availability 1/3) — load balancing on\n");
 
     // Manufactured solution and right-hand side.
     let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
     let mut b = vec![0.0; n];
     sequential_laplacian_matvec(&mesh, &x_star, SHIFT, &mut b);
 
-    let part = BlockPartition::uniform(n, 4);
-    let spec = ClusterSpec::uniform(4);
-    let cost = ComputeCostModel::sun4();
+    // An adaptive environment: rank 0 loses 2/3 of its capacity to a
+    // competing job. The balancer is scaled to this 1.6k-vertex mesh (the
+    // defaults assume the paper's 30k workload).
+    let spec = ClusterSpec::uniform(4)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::competing_load(0.0, f64::INFINITY, 2));
+    let config = StanceConfig {
+        check_interval: 10,
+        balancer: BalancerConfig {
+            redist_model: RedistCostModel {
+                per_message: 1.0e-4,
+                per_element: 1.0e-7,
+            },
+            rebuild_cost_hint: 1.0e-4,
+            profitability_margin: 1.0,
+            use_mcr: true,
+            mode: ControllerMode::Centralized,
+        },
+        ..StanceConfig::default()
+    };
 
-    let report = Cluster::new(spec).run(|env| {
-        let rank = env.rank();
-        let iv = part.interval_of(rank);
-        let adj = LocalAdjacency::extract(&mesh, &part, rank);
-        let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-        let tadj = sched.translate_adjacency(&adj);
-        let ghosts = sched.num_ghosts() as usize;
-        let owned = iv.len();
-        let matvec_work = cost.sweep_work(owned, tadj.num_refs());
+    let mesh_ref = &mesh;
+    let b_ref = &b;
+    let report = Cluster::new(spec).run(move |env| {
+        let mut session = AdaptiveSession::setup(
+            env,
+            mesh_ref,
+            LaplacianKernel { shift: SHIFT },
+            |_| 0.0f64,
+            &config,
+        );
 
-        // Distributed CG state (local blocks).
-        let mut x = vec![0.0f64; owned];
-        let mut r: Vec<f64> = iv.iter().map(|g| b[g]).collect(); // r = b - A·0
+        // Distributed CG state (local blocks over the session's partition).
+        let iv = session.partition().interval_of(env.rank());
+        let mut x = vec![0.0f64; iv.len()];
+        let mut r: Vec<f64> = iv.iter().map(|g| b_ref[g]).collect(); // r = b - A·0
         let mut p = r.clone();
-        let mut ap = vec![0.0f64; owned];
-        let mut p_ghosted = GhostedArray::zeros(owned, ghosts);
 
         let dot = |env: &mut Env, a: &[f64], c: &[f64]| -> f64 {
             let local: f64 = a.iter().zip(c).map(|(x, y)| x * y).sum();
@@ -59,51 +86,83 @@ fn main() {
         let mut rho = dot(env, &r, &r);
         let rho0 = rho;
         let mut iterations = 0;
-        for k in 0..200 {
-            // Ap = (L + I) p   (gather ghosts of p, then local sweep).
-            p_ghosted.set_local(&p);
-            gather(env, &sched, &mut p_ghosted, &cost);
-            env.compute(matvec_work);
-            laplacian_matvec_step(&tadj, &p_ghosted, SHIFT, &mut ap);
+        let mut remaps = 0;
+        for k in 0..MAX_ITERS {
+            // Ap = (L + I) p: the session gathers p's ghosts and sweeps.
+            session.set_local_values(&p);
+            let ap = session.apply_kernel(env).to_vec();
 
             let alpha = rho / dot(env, &p, &ap);
-            for i in 0..owned {
+            for i in 0..x.len() {
                 x[i] += alpha * p[i];
                 r[i] -= alpha * ap[i];
             }
             let rho_next = dot(env, &r, &r);
             iterations = k + 1;
-            if env.rank() == 0 && (k % 10 == 0) {
-                println!("  iter {k:>3}: relative residual {:.3e}", (rho_next / rho0).sqrt());
+            if env.rank() == 0 && k % 10 == 0 {
+                println!(
+                    "  iter {k:>3}: relative residual {:.3e}",
+                    (rho_next / rho0).sqrt()
+                );
             }
             if rho_next <= rho0 * 1e-20 {
                 rho = rho_next;
                 break;
             }
             let beta = rho_next / rho;
-            for i in 0..owned {
+            for i in 0..p.len() {
                 p[i] = r[i] + beta * p[i];
             }
             rho = rho_next;
+
+            // Periodic load-balance check (collective; the residual test
+            // above is identical on every rank, so all ranks get here
+            // together). On a remap the session moves x, r and p with it.
+            if (k + 1) % config.check_interval == 0 {
+                let (remapped, _, _) = session.check_and_rebalance_with(
+                    env,
+                    MAX_ITERS - (k + 1),
+                    &mut [&mut x, &mut r, &mut p],
+                );
+                if remapped {
+                    remaps += 1;
+                    if env.rank() == 0 {
+                        println!(
+                            "  iter {:>3}: REMAP -> block sizes {:?}",
+                            k + 1,
+                            session.partition().sizes()
+                        );
+                    }
+                }
+            }
         }
-        (x, iterations, (rho / rho0).sqrt(), env.now().as_secs())
+        let partition = session.partition().clone();
+        (
+            x,
+            iterations,
+            (rho / rho0).sqrt(),
+            remaps,
+            partition,
+            env.now().as_secs(),
+        )
     });
 
-    let ranks = &report.ranks;
-    let (_, iters, rel_res, _) = &ranks[0].result;
+    let (_, iters, rel_res, remaps, _, _) = &report.ranks[0].result;
     println!(
-        "\nconverged in {} iterations, relative residual {:.3e}, makespan {:.3}s",
-        iters,
-        rel_res,
+        "\nconverged in {iters} iterations with {remaps} remap(s), relative residual {rel_res:.3e}, makespan {:.3}s",
         report.makespan()
     );
+    assert!(
+        *remaps >= 1,
+        "the loaded workstation should have triggered at least one remap"
+    );
 
-    // Verify against the manufactured solution.
-    let mut solution = vec![0.0; n];
-    for (rank, outcome) in report.ranks.iter().enumerate() {
-        let iv = part.interval_of(rank);
-        solution[iv.start..iv.end].copy_from_slice(&outcome.result.0);
-    }
+    // Verify against the manufactured solution (reassemble along the FINAL
+    // partition — the remap moved the blocks).
+    let results: Vec<_> = report.into_results();
+    let partition = results[0].4.clone();
+    let blocks: Vec<Vec<f64>> = results.into_iter().map(|(x, ..)| x).collect();
+    let solution = stance::reassemble(&partition, blocks);
     let max_err = solution
         .iter()
         .zip(&x_star)

@@ -31,7 +31,7 @@ fn main() {
         let mesh = mesh.clone();
         Cluster::new(spec)
             .run(move |env| {
-                let mut s = AdaptiveSession::setup(env, &mesh, init, &config);
+                let mut s = AdaptiveSession::setup(env, &mesh, RelaxationKernel, init, &config);
                 s.run_adaptive(env, iterations);
             })
             .makespan()
@@ -49,8 +49,14 @@ fn main() {
         };
         let mesh = mesh.clone();
         let report = Cluster::new(spec).run(move |env| {
-            let mut s =
-                AdaptiveSession::setup_with_partition(env, &mesh, partition.clone(), init, &config);
+            let mut s = AdaptiveSession::setup_with_partition(
+                env,
+                &mesh,
+                partition.clone(),
+                RelaxationKernel,
+                init,
+                &config,
+            );
             s.run_adaptive(env, iterations);
         });
         let t = report.makespan();

@@ -10,7 +10,11 @@ use stance::locality::{compute_ordering, meshgen, metrics, Graph, OrderingMethod
 use stance::onedim::BlockPartition;
 
 fn report(name: &str, mesh: &Graph) {
-    println!("--- {name}: {} vertices, {} edges ---", mesh.num_vertices(), mesh.num_edges());
+    println!(
+        "--- {name}: {} vertices, {} edges ---",
+        mesh.num_vertices(),
+        mesh.num_edges()
+    );
     println!(
         "{:<10} {:>12} {:>10} {:>8} {:>8} {:>8}",
         "method", "avg span", "bandwidth", "cut@3", "cut@6", "vol@6"

@@ -7,7 +7,12 @@
 
 use stance::executor::sequential_relaxation;
 use stance::prelude::*;
-use stance_repro::reassemble;
+use stance::reassemble;
+
+// The application's two inputs: its per-vertex element (here plain `f64`)
+// and its kernel (here the paper's Fig. 8 relaxation, shipped in-tree).
+// Swap `RelaxationKernel` for your own `impl Kernel<E>` to run a different
+// workload on the same runtime — see the crate docs and `cg_solver.rs`.
 
 fn main() {
     // ------------------------------------------------------------------
@@ -38,9 +43,13 @@ fn main() {
     // ------------------------------------------------------------------
     let mesh_ref = &mesh;
     let report = Cluster::new(spec).run(move |env| {
-        let mut session = AdaptiveSession::setup(env, mesh_ref, init, &config);
+        let mut session = AdaptiveSession::setup(env, mesh_ref, RelaxationKernel, init, &config);
         let run = session.run_adaptive(env, iterations);
-        (run, session.local_values().to_vec(), session.partition().clone())
+        (
+            run,
+            session.local_values().to_vec(),
+            session.partition().clone(),
+        )
     });
 
     println!("\nper-rank outcome:");

@@ -4,45 +4,11 @@
 //! (Cargo attaches those to a package, not a workspace). The library itself
 //! re-exports the public API; depend on [`stance`] directly in real use.
 //!
-//! See `README.md` for the project overview, `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for the project overview and migration notes for the
+//! trait-based application API.
 
 pub use stance;
 
-/// Reassembles per-rank local blocks into a single global vector, given the
-/// final partition. Several examples and tests need this to compare a
-/// distributed result against the sequential reference.
-pub fn reassemble(partition: &stance::onedim::BlockPartition, blocks: Vec<Vec<f64>>) -> Vec<f64> {
-    assert_eq!(
-        blocks.len(),
-        partition.num_procs(),
-        "one block per processor"
-    );
-    let mut out = vec![0.0; partition.n()];
-    for (rank, block) in blocks.into_iter().enumerate() {
-        let iv = partition.interval_of(rank);
-        assert_eq!(block.len(), iv.len(), "rank {rank} block size mismatch");
-        out[iv.start..iv.end].copy_from_slice(&block);
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stance::onedim::BlockPartition;
-
-    #[test]
-    fn reassemble_orders_blocks() {
-        let part = BlockPartition::from_sizes(&[2, 3]);
-        let out = reassemble(&part, vec![vec![1.0, 2.0], vec![3.0, 4.0, 5.0]]);
-        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
-    }
-
-    #[test]
-    #[should_panic(expected = "block size mismatch")]
-    fn reassemble_checks_sizes() {
-        let part = BlockPartition::from_sizes(&[2, 2]);
-        let _ = reassemble(&part, vec![vec![1.0], vec![2.0, 3.0]]);
-    }
-}
+/// Re-export of [`stance::reassemble`], kept so older callers of the shim
+/// crate keep working; new code should call it through `stance` directly.
+pub use stance::reassemble;

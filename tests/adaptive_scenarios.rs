@@ -6,7 +6,7 @@ use stance::balance::BalancerConfig;
 use stance::executor::sequential_relaxation;
 use stance::onedim::RedistCostModel;
 use stance::prelude::*;
-use stance_repro::reassemble;
+use stance::reassemble;
 
 fn init(g: usize) -> f64 {
     (g as f64 * 0.02).cos() * 4.0
@@ -45,7 +45,7 @@ fn run(
     iters: usize,
 ) -> (Vec<f64>, Vec<SessionReport>) {
     let report = Cluster::new(spec).run(|env| {
-        let mut s = AdaptiveSession::setup(env, m, init, config);
+        let mut s = AdaptiveSession::setup(env, m, RelaxationKernel, init, config);
         let rep = s.run_adaptive(env, iters);
         (rep, s.local_values().to_vec(), s.partition().clone())
     });
@@ -86,7 +86,7 @@ fn departing_load_rebalances_back() {
         .with_load(0, LoadTimeline::competing_load(0.0, 0.08, 2));
     let report = Cluster::new(spec).run(|env| {
         let config = adaptive_config();
-        let mut s = AdaptiveSession::setup(env, &m, init, &config);
+        let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
         let rep = s.run_adaptive(env, iters);
         (rep, s.partition().sizes())
     });
@@ -116,9 +116,13 @@ fn two_loaded_machines_shift_work_to_the_third() {
         .with_load(1, LoadTimeline::constant(0.5));
     let report = Cluster::new(spec).run(|env| {
         let config = adaptive_config();
-        let mut s = AdaptiveSession::setup(env, &m, init, &config);
+        let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
         s.run_adaptive(env, iters);
-        (s.partition().sizes(), s.local_values().to_vec(), s.partition().clone())
+        (
+            s.partition().sizes(),
+            s.local_values().to_vec(),
+            s.partition().clone(),
+        )
     });
     let results: Vec<_> = report.into_results();
     let sizes = results[0].0.clone();

@@ -8,8 +8,7 @@ fn full_run(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<u64>) {
     // Thinning randomizes the edge structure per seed (grid jitter alone
     // would only move coordinates, which spectral ordering ignores).
     let grid = stance::locality::meshgen::triangulated_grid(15, 13, 0.4, seed);
-    let raw =
-        stance::locality::meshgen::thin_to_edges(&grid, grid.num_vertices() * 3 / 2, seed);
+    let raw = stance::locality::meshgen::thin_to_edges(&grid, grid.num_vertices() * 3 / 2, seed);
     let (mesh, _) = stance::prepare_mesh(&raw, OrderingMethod::Spectral);
     let config = StanceConfig::default().with_check_interval(5);
     let spec = ClusterSpec::uniform(4)
@@ -17,7 +16,7 @@ fn full_run(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<u64>) {
         .with_load(1, LoadTimeline::competing_load(0.05, 1.0, 2));
     let report = Cluster::new(spec).run(|env| {
         let mut session =
-            AdaptiveSession::setup(env, &mesh, |g| (g as f64).sqrt(), &config);
+            AdaptiveSession::setup(env, &mesh, RelaxationKernel, |g| (g as f64).sqrt(), &config);
         session.run_adaptive(env, 30);
         session.local_values().to_vec()
     });
@@ -69,5 +68,8 @@ fn mesh_generators_deterministic() {
         meshgen::random_geometric(200, 0.1, 4),
         meshgen::random_geometric(200, 0.1, 4)
     );
-    assert_eq!(meshgen::annulus_mesh(8, 24, 2), meshgen::annulus_mesh(8, 24, 2));
+    assert_eq!(
+        meshgen::annulus_mesh(8, 24, 2),
+        meshgen::annulus_mesh(8, 24, 2)
+    );
 }

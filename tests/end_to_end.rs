@@ -4,7 +4,7 @@
 
 use stance::executor::sequential_relaxation;
 use stance::prelude::*;
-use stance_repro::reassemble;
+use stance::reassemble;
 
 fn init(g: usize) -> f64 {
     ((g * 37 % 101) as f64) * 0.25 - 12.0
@@ -17,12 +17,9 @@ fn run_parallel(
     iters: usize,
 ) -> (Vec<f64>, f64) {
     let report = Cluster::new(spec).run(|env| {
-        let mut session = AdaptiveSession::setup(env, mesh, init, config);
+        let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, init, config);
         session.run_adaptive(env, iters);
-        (
-            session.local_values().to_vec(),
-            session.partition().clone(),
-        )
+        (session.local_values().to_vec(), session.partition().clone())
     });
     let makespan = report.makespan();
     let results: Vec<_> = report.into_results();
@@ -70,9 +67,13 @@ fn shared_bus_network_correctness() {
     let raw = stance::locality::meshgen::triangulated_grid(12, 12, 0.3, 9);
     let (mesh, _) = stance::prepare_mesh(&raw, OrderingMethod::Hilbert);
     let expected = sequential(&mesh, 10);
-    let spec =
-        ClusterSpec::uniform(3).with_network(NetworkSpec::ethernet_10mbit_shared());
-    let (got, _) = run_parallel(&mesh, spec, &StanceConfig::default().without_load_balancing(), 10);
+    let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::ethernet_10mbit_shared());
+    let (got, _) = run_parallel(
+        &mesh,
+        spec,
+        &StanceConfig::default().without_load_balancing(),
+        10,
+    );
     assert_eq!(got, expected, "shared-bus run diverged");
 }
 
@@ -83,17 +84,15 @@ fn heterogeneous_speeds_with_weighted_partition() {
     let speeds = [1.0, 0.5, 0.25];
     let expected = sequential(&mesh, 20);
     let config = StanceConfig::free();
-    let partition = BlockPartition::from_weights(
-        mesh.num_vertices(),
-        &speeds,
-        Arrangement::identity(3),
-    );
+    let partition =
+        BlockPartition::from_weights(mesh.num_vertices(), &speeds, Arrangement::identity(3));
     let spec = ClusterSpec::heterogeneous(&speeds).with_network(NetworkSpec::zero_cost());
     let report = Cluster::new(spec).run(|env| {
         let mut session = AdaptiveSession::setup_with_partition(
             env,
             &mesh,
             partition.clone(),
+            RelaxationKernel,
             init,
             &config,
         );
@@ -124,6 +123,7 @@ fn weighted_partition_beats_uniform_on_nonuniform_cluster() {
                     env,
                     &mesh,
                     partition.clone(),
+                    RelaxationKernel,
                     init,
                     &config,
                 );

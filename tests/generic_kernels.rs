@@ -1,0 +1,286 @@
+//! Tests for the trait-based application API: `Element` pack/unpack
+//! round-trips through the simulator's `Payload`, and full adaptive runs
+//! (load balancing, forced remaps) with non-`f64` elements and custom
+//! kernels.
+
+use proptest::prelude::*;
+use stance::balance::BalancerConfig;
+use stance::executor::sequential_relaxation;
+use stance::inspector::TranslatedAdjacency;
+use stance::onedim::RedistCostModel;
+use stance::prelude::*;
+use stance::reassemble;
+
+// ---------------------------------------------------------------------------
+// Element pack/unpack round-trips through Payload.
+// ---------------------------------------------------------------------------
+
+/// Bit patterns covering negative zero, subnormals, and infinities
+/// (NaN is excluded at the use sites because the tests compare with `==`).
+fn f64_bits() -> impl Strategy<Value = u64> {
+    0u64..u64::MAX
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn f64_elements_round_trip(bits in proptest::collection::vec(0u64..u64::MAX, 0..40)) {
+        let values: Vec<f64> = bits
+            .into_iter()
+            .map(f64::from_bits)
+            .filter(|v| !v.is_nan())
+            .collect();
+        let payload = f64::pack(&values);
+        prop_assert_eq!(payload.size_bytes(), values.len() * 8);
+        let back = f64::unpack(payload);
+        prop_assert_eq!(&back, &values);
+        // Bitwise, not just numerically, identical.
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pair_elements_round_trip(bits in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..30)) {
+        let values: Vec<[f64; 2]> = bits
+            .into_iter()
+            .map(|(a, b)| [f64::from_bits(a), f64::from_bits(b)])
+            .filter(|v| !v[0].is_nan() && !v[1].is_nan())
+            .collect();
+        let payload = <[f64; 2]>::pack(&values);
+        prop_assert_eq!(payload.size_bytes(), values.len() * 16);
+        prop_assert_eq!(<[f64; 2]>::unpack(payload), values);
+    }
+
+    #[test]
+    fn integer_elements_round_trip(
+        small in proptest::collection::vec(0u32..u32::MAX, 0..50),
+        wide in proptest::collection::vec(0u64..u64::MAX, 0..50),
+    ) {
+        prop_assert_eq!(u32::unpack(u32::pack(&small)), small);
+        prop_assert_eq!(u64::unpack(u64::pack(&wide)), wide);
+    }
+
+    #[test]
+    fn f32_elements_round_trip(bits in proptest::collection::vec(0u32..u32::MAX, 0..50)) {
+        let values: Vec<f32> = bits
+            .into_iter()
+            .map(f32::from_bits)
+            .filter(|v| !v.is_nan())
+            .collect();
+        prop_assert_eq!(f32::unpack(f32::pack(&values)), values);
+    }
+
+    /// Elements survive an actual trip through the simulated network, not
+    /// just through pack/unpack in isolation.
+    #[test]
+    fn elements_survive_the_wire(seed_bits in f64_bits()) {
+        let seed = f64::from_bits(seed_bits);
+        let seed = if seed.is_nan() { 0.5 } else { seed };
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let sent: Vec<[f64; 3]> = (0..5)
+            .map(|i| [seed, seed * i as f64, i as f64])
+            .collect();
+        let sent2 = sent.clone();
+        Cluster::new(spec).run(move |env| {
+            if env.rank() == 0 {
+                env.send(1, Tag(7), <[f64; 3]>::pack(&sent2));
+            } else {
+                let got = <[f64; 3]>::unpack(env.recv(0, Tag(7)));
+                assert_eq!(got, sent2);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-field adaptive runs: a [f64; 2] workload must survive forced remaps
+// bitwise (mirrors session.rs's adaptive_run_with_remap_matches_sequential).
+// ---------------------------------------------------------------------------
+
+fn init_pair(g: usize) -> [f64; 2] {
+    [(g as f64).cos() * 5.0, (g as f64 * 0.11).sin() - 2.0]
+}
+
+fn mesh() -> Graph {
+    let raw = stance::locality::meshgen::triangulated_grid(12, 10, 0.4, 3);
+    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
+}
+
+/// A balancer scaled to the tiny test mesh (see session.rs).
+fn test_balancer() -> BalancerConfig {
+    BalancerConfig {
+        redist_model: RedistCostModel {
+            per_message: 1.0e-4,
+            per_element: 1.0e-7,
+        },
+        rebuild_cost_hint: 1.0e-4,
+        profitability_margin: 1.0,
+        use_mcr: true,
+        mode: ControllerMode::Centralized,
+    }
+}
+
+#[test]
+fn two_field_kernel_survives_forced_remap_bitwise() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let iters = 40;
+    let mut expected: Vec<[f64; 2]> = (0..n).map(init_pair).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+
+    let m2 = m.clone();
+    let mut config = StanceConfig::default().with_check_interval(10);
+    config.balancer = test_balancer();
+    let spec = ClusterSpec::uniform(3)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+    let report = Cluster::new(spec).run(move |env| {
+        let mut s = AdaptiveSession::setup(env, &m2, RelaxationKernel, init_pair, &config);
+        let rep = s.run_adaptive(env, iters);
+        (rep, s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    let (rep0, _, final_part) = &results[0];
+    assert!(
+        rep0.remaps >= 1,
+        "competing load should force a remap: {rep0:?}"
+    );
+    let blocks: Vec<Vec<[f64; 2]>> = results.iter().map(|(_, v, _)| v.clone()).collect();
+    let got = reassemble(final_part, blocks);
+    assert_eq!(got, expected, "multi-field adaptive run diverged bitwise");
+}
+
+#[test]
+fn two_field_run_matches_componentwise_scalar_runs() {
+    // The [f64; 2] session must agree bitwise with two independent f64
+    // sessions, component by component — the element abstraction cannot
+    // perturb arithmetic.
+    let m = mesh();
+    let n = m.num_vertices();
+    let iters = 25;
+    let config = StanceConfig::free();
+
+    let run_scalar = |field: usize| {
+        let m = m.clone();
+        let config = config.clone();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(move |env| {
+            let mut s =
+                AdaptiveSession::setup(env, &m, RelaxationKernel, |g| init_pair(g)[field], &config);
+            s.run_adaptive(env, iters);
+            (s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        let part = results[0].1.clone();
+        reassemble(&part, results.into_iter().map(|(v, _)| v).collect())
+    };
+    let first = run_scalar(0);
+    let second = run_scalar(1);
+
+    let m2 = m.clone();
+    let config2 = config.clone();
+    let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+    let report = Cluster::new(spec).run(move |env| {
+        let mut s = AdaptiveSession::setup(env, &m2, RelaxationKernel, init_pair, &config2);
+        s.run_adaptive(env, iters);
+        (s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    let part = results[0].1.clone();
+    let pairs = reassemble(&part, results.into_iter().map(|(v, _)| v).collect());
+
+    assert_eq!(pairs.len(), n);
+    for (i, pair) in pairs.iter().enumerate() {
+        assert_eq!(pair[0].to_bits(), first[i].to_bits(), "field 0, vertex {i}");
+        assert_eq!(
+            pair[1].to_bits(),
+            second[i].to_bits(),
+            "field 1, vertex {i}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A from-scratch user kernel: the "~30 lines of user code" claim, as a test.
+// ---------------------------------------------------------------------------
+
+/// Damped Jacobi: out = (1 − ω) · y[i] + ω · avg(neighbors).
+struct DampedJacobi {
+    omega: f64,
+}
+
+impl<E: Field> Kernel<E> for DampedJacobi {
+    fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
+        for (l, o) in out.iter_mut().enumerate() {
+            let nbrs = tadj.neighbors_of(l);
+            if nbrs.is_empty() {
+                *o = combined[l];
+                continue;
+            }
+            let mut t = E::zero();
+            for &s in nbrs {
+                t = t.add(combined[s as usize]);
+            }
+            let avg = t.div(nbrs.len() as f64);
+            *o = combined[l]
+                .scale(1.0 - self.omega)
+                .add(avg.scale(self.omega));
+        }
+    }
+}
+
+/// The matching sequential reference.
+fn sequential_damped_jacobi(g: &Graph, y: &mut [f64], omega: f64, iters: usize) {
+    let n = g.num_vertices();
+    let mut t = vec![0.0; n];
+    for _ in 0..iters {
+        for (i, ti) in t.iter_mut().enumerate() {
+            let nbrs = g.neighbors(i);
+            if nbrs.is_empty() {
+                *ti = y[i];
+                continue;
+            }
+            let mut acc = 0.0;
+            for &j in nbrs {
+                acc += y[j as usize];
+            }
+            let avg = acc / nbrs.len() as f64;
+            *ti = y[i] * (1.0 - omega) + avg * omega;
+        }
+        y.copy_from_slice(&t);
+    }
+}
+
+#[test]
+fn user_kernel_runs_adaptively_and_matches_sequential() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let iters = 30;
+    let omega = 0.7;
+    let init = |g: usize| (g as f64 * 0.05).sin() * 3.0;
+    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    sequential_damped_jacobi(&m, &mut expected, omega, iters);
+
+    let mut config = StanceConfig::default().with_check_interval(10);
+    config.balancer = test_balancer();
+    let m2 = m.clone();
+    let spec = ClusterSpec::uniform(3)
+        .with_network(NetworkSpec::zero_cost())
+        .with_load(1, LoadTimeline::constant(0.4));
+    let report = Cluster::new(spec).run(move |env| {
+        let mut s = AdaptiveSession::setup(env, &m2, DampedJacobi { omega }, init, &config);
+        let rep = s.run_adaptive(env, iters);
+        (rep, s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    assert!(
+        results[0].0.remaps >= 1,
+        "loaded rank 1 should trigger a remap: {:?}",
+        results[0].0
+    );
+    let part = results[0].2.clone();
+    let got = reassemble(&part, results.into_iter().map(|(_, v, _)| v).collect());
+    assert_eq!(got, expected, "user kernel diverged from its reference");
+}

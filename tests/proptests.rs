@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use stance::inspector::{build_schedule_symmetric, LocalAdjacency, RefHashMap, ScheduleStrategy};
 use stance::locality::{compute_ordering, meshgen, OrderingMethod};
 use stance::onedim::{
-    exhaustive_best_arrangement, mcr::keep_arrangement, minimize_cost_redistribution,
-    Arrangement, BlockPartition, RedistCostModel, RedistributionPlan,
+    exhaustive_best_arrangement, mcr::keep_arrangement, minimize_cost_redistribution, Arrangement,
+    BlockPartition, RedistCostModel, RedistributionPlan,
 };
 use stance::sim::{LoadPhase, LoadTimeline, VTime};
 

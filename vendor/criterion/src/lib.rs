@@ -1,0 +1,249 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments without access to a crates.io
+//! mirror, so the subset of criterion's surface the benches use is vendored
+//! here: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs `sample_size`
+//! samples after one calibration pass and reports the per-iteration median,
+//! minimum, and mean to stdout. Iteration counts per sample are chosen so a
+//! sample takes roughly [`TARGET_SAMPLE`]. Set `CRITERION_FAST=1` (as the
+//! CI smoke job does) to run every benchmark once, only checking that it
+//! executes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.id
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        if fast_mode() {
+            b.iters_per_sample = 1;
+            f(&mut b);
+            println!("bench {}/{}: ran (CRITERION_FAST)", self.name, id.id);
+            return self;
+        }
+        // Calibration pass: find an iteration count giving ~TARGET_SAMPLE.
+        b.iters_per_sample = 1;
+        f(&mut b);
+        let per_iter = b.last_sample.max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters_per_sample = iters;
+            f(&mut b);
+            samples.push(b.last_sample / iters as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1.0e6)
+            }
+            Throughput::Bytes(n) => format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            ),
+        });
+        println!(
+            "bench {}/{}: median {:?}  min {:?}  mean {:?}  ({} samples × {} iters){}",
+            self.name,
+            id.id,
+            median,
+            min,
+            mean,
+            self.sample_size,
+            iters,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("CRITERION_FAST").is_some_and(|v| v == "1")
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    last_sample: Duration,
+}
+
+impl Bencher {
+    /// Times `iters_per_sample` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.last_sample = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function("noop", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("with", 4), &4u32, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert!(calls >= 1);
+    }
+}
