@@ -31,6 +31,16 @@ pub fn redistribute_values<E: Element>(
     new: &BlockPartition,
     local_values: &[E],
 ) -> Vec<E> {
+    assert_eq!(
+        local_values.len(),
+        old.interval_of(env.rank()).len(),
+        "value block does not match old interval"
+    );
+    // Identity remap: the only cost is the owned copy the return type
+    // demands — no messages, no plan, no reshuffling.
+    if old == new {
+        return local_values.to_vec();
+    }
     let mut values = local_values.to_vec();
     redistribute_values_coalesced(env, old, new, &mut [&mut values]);
     values
@@ -44,8 +54,13 @@ pub fn redistribute_values<E: Element>(
 /// old interval and is replaced in place with its new block.
 ///
 /// Wire format per move: `k` consecutive segments, one per array, each in
-/// range order. A collective — every rank must pass the same number of
-/// arrays.
+/// range order, bulk-packed straight from the source block and decoded
+/// straight into the pre-zeroed destination block (the
+/// [`Element::pack_into`]/[`Element::unpack_into`] codecs — no per-element
+/// calls, no intermediate `Vec<E>`). When the old and new partitions are
+/// identical the call returns immediately: zero messages, zero copies, the
+/// caller's vectors untouched in place. A collective — every rank must
+/// pass the same number of arrays.
 ///
 /// # Panics
 /// Panics if any array does not match the rank's old interval.
@@ -69,38 +84,53 @@ pub fn redistribute_values_coalesced<E: Element>(
             "value block does not match old interval"
         );
     }
+    // Identity remap: every rank keeps exactly its block. Return before
+    // building the plan or touching the arrays — zero messages, zero
+    // copies (the caller's vectors are left untouched in place).
+    if old == new {
+        return;
+    }
     let plan = RedistributionPlan::between(old, new);
 
     // Send every outgoing range: one message per destination, all arrays'
-    // segments back to back.
+    // segments back to back, each bulk-packed straight from the source
+    // block (the range is contiguous in interval order).
     for m in plan.sends_of(rank) {
         let lo = m.range.start - old_iv.start;
         let hi = m.range.end - old_iv.start;
         let mut bytes = Vec::with_capacity((hi - lo) * k * E::SIZE_BYTES);
         for a in arrays.iter() {
-            for v in &a[lo..hi] {
-                v.write_bytes(&mut bytes);
-            }
+            E::pack_into(&a[lo..hi], &mut bytes);
         }
         env.send(m.dst, TAG_VALUES, Payload::from_bytes(bytes));
     }
 
     // Assemble the new blocks: the kept intersection comes from my old
-    // blocks, the rest arrives in plan order.
+    // blocks (one contiguous copy), the rest decodes straight into the
+    // pre-zeroed destination block in plan order.
     let mut new_blocks: Vec<Vec<E>> = (0..k).map(|_| vec![E::zero(); new_iv.len()]).collect();
     let kept = old_iv.intersect(&new_iv);
-    for (block, a) in new_blocks.iter_mut().zip(arrays.iter()) {
-        for g in kept.iter() {
-            block[g - new_iv.start] = a[g - old_iv.start];
+    if !kept.is_empty() {
+        for (block, a) in new_blocks.iter_mut().zip(arrays.iter()) {
+            block[kept.start - new_iv.start..kept.end - new_iv.start]
+                .copy_from_slice(&a[kept.start - old_iv.start..kept.end - old_iv.start]);
         }
     }
     for m in plan.recvs_of(rank) {
         let seg = m.range.len();
-        let packet = E::unpack(env.recv(m.src, TAG_VALUES));
-        assert_eq!(packet.len(), seg * k, "redistribution packet length");
+        let bytes = env.recv(m.src, TAG_VALUES).into_bytes();
+        assert_eq!(
+            bytes.len(),
+            seg * k * E::SIZE_BYTES,
+            "redistribution packet length"
+        );
         let lo = m.range.start - new_iv.start;
+        let seg_bytes = seg * E::SIZE_BYTES;
         for (i, block) in new_blocks.iter_mut().enumerate() {
-            block[lo..lo + seg].copy_from_slice(&packet[i * seg..(i + 1) * seg]);
+            E::unpack_into(
+                &bytes[i * seg_bytes..(i + 1) * seg_bytes],
+                &mut block[lo..lo + seg],
+            );
         }
     }
     for (a, block) in arrays.iter_mut().zip(new_blocks) {
@@ -249,6 +279,32 @@ mod tests {
         for msgs in report.results() {
             assert_eq!(*msgs, 0, "identity remap must move nothing");
         }
+    }
+
+    /// The identity early-return must be copy-free, not just message-free:
+    /// the coalesced call leaves the caller's vectors physically in place
+    /// (same heap allocation, same contents), and no bytes hit the wire.
+    #[test]
+    fn identity_redistribution_zero_copies() {
+        let part = BlockPartition::uniform(30, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let iv = part.interval_of(env.rank());
+            let mut a: Vec<f64> = iv.iter().map(|g| g as f64).collect();
+            let mut b: Vec<f64> = iv.iter().map(|g| (g * 2) as f64).collect();
+            let (ptr_a, ptr_b) = (a.as_ptr(), b.as_ptr());
+            let (copy_a, copy_b) = (a.clone(), b.clone());
+            redistribute_values_coalesced(env, &part, &part, &mut [&mut a, &mut b]);
+            assert_eq!(env.stats().messages_sent, 0);
+            assert_eq!(env.stats().bytes_sent, 0);
+            assert_eq!(
+                (a.as_ptr(), b.as_ptr()),
+                (ptr_a, ptr_b),
+                "identity remap must not reallocate or replace the blocks"
+            );
+            assert_eq!(a, copy_a);
+            assert_eq!(b, copy_b);
+        });
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Criterion bench for the zero-copy transport: gather/scatter wall-clock
+//! at paper scale (30k-vertex matching, 2 ranks — the
+//! communication-dominated regime of Tables 4–5) and raw pack/unpack
+//! codec throughput, each measured for the frozen legacy path and the
+//! shipped bulk path side by side. The precise legacy-vs-bulk medians and
+//! speedups land in `results/BENCH_transport.json` via `repro_all`; this
+//! bench is the interactive/smoke view of the same comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stance::prelude::*;
+use stance_bench::transport::{
+    matching_graph, time_codecs, time_primitive, Path, Primitive, PAPER_N_HALF,
+};
+
+fn bench_gather_paper_scale(c: &mut Criterion) {
+    let g = matching_graph(PAPER_N_HALF);
+    let mut group = c.benchmark_group("gather_paper_scale");
+    group.sample_size(10);
+    // Each iteration is a full 2-rank cluster run of 10 gathers; the
+    // inner per-gather seconds are what BENCH_transport.json reports.
+    group.bench_function("legacy_f64", |b| {
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::Gather, Path::Legacy, |i| i as f64))
+    });
+    group.bench_function("bulk_f64", |b| {
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::Gather, Path::Bulk, |i| i as f64))
+    });
+    group.bench_function("legacy_f64x4", |b| {
+        b.iter(|| {
+            time_primitive::<[f64; 4]>(&g, 10, Primitive::Gather, Path::Legacy, |i| {
+                [i as f64, 1.0, -1.0, 0.5]
+            })
+        })
+    });
+    group.bench_function("bulk_f64x4", |b| {
+        b.iter(|| {
+            time_primitive::<[f64; 4]>(&g, 10, Primitive::Gather, Path::Bulk, |i| {
+                [i as f64, 1.0, -1.0, 0.5]
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_scatter_paper_scale(c: &mut Criterion) {
+    let g = matching_graph(PAPER_N_HALF);
+    let mut group = c.benchmark_group("scatter_paper_scale");
+    group.sample_size(10);
+    group.bench_function("legacy_f64", |b| {
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::ScatterAdd, Path::Legacy, |i| i as f64))
+    });
+    group.bench_function("bulk_f64", |b| {
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::ScatterAdd, Path::Bulk, |i| i as f64))
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let values_f64: Vec<f64> = (0..200_000).map(|i| i as f64).collect();
+    let values_f64x4: Vec<[f64; 4]> = (0..50_000).map(|i| [i as f64, 1.0, -1.0, 0.5]).collect();
+    let bytes = (values_f64.len() * f64::SIZE_BYTES) as u64;
+
+    let mut group = c.benchmark_group("codec_throughput");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("pack_bulk_f64", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            f64::pack_into(&values_f64, &mut out);
+        })
+    });
+    group.bench_function("pack_legacy_f64", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(values_f64.len() * f64::SIZE_BYTES);
+            for v in &values_f64 {
+                v.write_bytes(&mut out);
+            }
+            out
+        })
+    });
+    let mut wire = Vec::new();
+    f64::pack_into(&values_f64, &mut wire);
+    group.bench_function("unpack_bulk_f64", |b| {
+        let mut dst = vec![0.0f64; values_f64.len()];
+        b.iter(|| f64::unpack_into(&wire, &mut dst))
+    });
+    let mut wire4 = Vec::new();
+    <[f64; 4]>::pack_into(&values_f64x4, &mut wire4);
+    group.bench_function("unpack_bulk_f64x4", |b| {
+        let mut dst = vec![[0.0f64; 4]; values_f64x4.len()];
+        b.iter(|| <[f64; 4]>::unpack_into(&wire4, &mut dst))
+    });
+    group.finish();
+
+    // The combined legacy-vs-bulk codec summary (medians).
+    let t = time_codecs(&values_f64x4, 3);
+    println!(
+        "codec summary [f64;4] ({} bytes): pack {:.1}x, unpack {:.1}x",
+        t.bytes,
+        t.legacy_pack / t.bulk_pack,
+        t.legacy_unpack / t.bulk_unpack
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_gather_paper_scale,
+    bench_scatter_paper_scale,
+    bench_codecs
+);
+criterion_main!(benches);

@@ -32,5 +32,20 @@ fn main() {
     run("table4", &stance_bench::tables::table4);
     run("table5", &stance_bench::tables::table5);
 
+    // Perf trajectory: wall-clock measurements (not paper reproductions),
+    // emitted as JSON so future PRs can diff against them.
+    {
+        let start = Instant::now();
+        eprintln!(">> BENCH_transport ...");
+        stance_bench::emit_file(
+            "BENCH_transport.json",
+            &stance_bench::transport::report_json(),
+        );
+        eprintln!(
+            "   BENCH_transport done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
+
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

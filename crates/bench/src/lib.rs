@@ -18,6 +18,7 @@ pub mod ablations;
 pub mod figures;
 pub mod fmt;
 pub mod tables;
+pub mod transport;
 
 pub use fmt::TableBuilder;
 
@@ -58,13 +59,19 @@ pub fn random_capabilities(rng: &mut StdRng, p: usize) -> Vec<f64> {
 /// under the workspace root (best effort — printing still succeeds if the
 /// directory is read-only).
 pub fn emit(name: &str, content: &str) {
+    emit_file(&format!("{name}.txt"), content);
+}
+
+/// Like [`emit`], but `filename` carries its own extension (e.g. the
+/// `BENCH_transport.json` perf-trajectory entry).
+pub fn emit_file(filename: &str, content: &str) {
     println!("{content}");
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..")
         .join("results");
     if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(dir.join(format!("{name}.txt")), content);
+        let _ = std::fs::write(dir.join(filename), content);
     }
 }
 

@@ -1,0 +1,375 @@
+//! Transport micro-harness: the measurements behind `bench_transport` and
+//! the `results/BENCH_transport.json` perf-trajectory entry.
+//!
+//! Two code paths are compared:
+//!
+//! * **legacy** — a frozen copy of the pre-bulk-codec transport: one
+//!   `Vec<u8>` allocated per send, per-element `write_bytes`, receive into
+//!   an intermediate `Vec<E>` (`Element::unpack`) then a second copy into
+//!   the ghost region;
+//! * **bulk** — the shipped path: recycled [`CommBuffers`] staging,
+//!   [`Element::pack_into`] bulk packing, and [`Element::unpack_into`]
+//!   decoding straight into the destination slice.
+//!
+//! Both run on the same **paper-scale** workload: a 30k-vertex perfect
+//! matching split across two ranks, so every vertex is a boundary vertex
+//! and each gather moves one 15k-element segment per direction — the
+//! communication-dominated regime the paper's Tables 4–5 iterate
+//! thousands of times. Wire format and virtual-time charging are identical
+//! between the two paths (only wall clock differs), which
+//! `legacy_path_is_bitwise_identical` pins.
+
+use std::time::Instant;
+
+use stance::executor::{gather, scatter_add, CommBuffers, ComputeCostModel, GhostedArray};
+use stance::inspector::{build_schedule_symmetric, CommSchedule, LocalAdjacency};
+use stance::prelude::*;
+
+/// Half the matching workload: the paper's 30k-vertex scale, split 2 ways.
+pub const PAPER_N_HALF: usize = 15_000;
+
+/// Application-range tag for the legacy replay (distinct from the shipped
+/// primitives' reserved tags).
+const TAG_LEGACY: Tag = Tag(0x7001);
+
+/// A perfect matching between `[0, n_half)` and `[n_half, 2·n_half)`:
+/// under a uniform 2-way block partition every vertex's single neighbor is
+/// remote, so gathers move whole blocks and the transport dominates.
+pub fn matching_graph(n_half: usize) -> Graph {
+    let n = 2 * n_half;
+    let edges: Vec<(u32, u32)> = (0..n_half as u32).map(|i| (i, i + n_half as u32)).collect();
+    let coords = (0..n).map(|i| [i as f64, 0.0, 0.0]).collect();
+    Graph::from_edges(n, &edges, coords, 2)
+}
+
+/// The pre-bulk-codec gather, kept verbatim as the measured baseline: a
+/// fresh staging `Vec` per send, per-element encode, and a received
+/// intermediate `Vec<E>` copied into the ghost region.
+pub fn gather_legacy<E: Element>(
+    env: &mut Env,
+    schedule: &CommSchedule,
+    values: &mut GhostedArray<E>,
+    cost: &ComputeCostModel,
+) {
+    for (peer, locals) in schedule.sends() {
+        env.compute(cost.pack_work(locals.len()));
+        let mut bytes = Vec::with_capacity(locals.len() * E::SIZE_BYTES);
+        {
+            let local = values.local();
+            for &l in locals {
+                local[l as usize].write_bytes(&mut bytes);
+            }
+        }
+        env.send(*peer, TAG_LEGACY, Payload::from_bytes(bytes));
+    }
+    let mut slot = 0usize;
+    for (peer, globals) in schedule.recvs() {
+        let bytes = env.recv(*peer, TAG_LEGACY).into_bytes();
+        // Per-element decode into an intermediate Vec<E> — what
+        // `Element::unpack` did before it grew the bulk override.
+        let packet: Vec<E> = bytes
+            .chunks_exact(E::SIZE_BYTES)
+            .map(E::read_bytes)
+            .collect();
+        assert_eq!(packet.len(), globals.len(), "legacy gather packet length");
+        env.compute(cost.pack_work(packet.len()));
+        values.ghosts_mut()[slot..slot + packet.len()].copy_from_slice(&packet);
+        slot += packet.len();
+    }
+}
+
+/// The pre-bulk-codec scatter-add baseline (fresh `Vec` staging, received
+/// intermediate `Vec<E>`).
+pub fn scatter_add_legacy<E: Field>(
+    env: &mut Env,
+    schedule: &CommSchedule,
+    values: &mut GhostedArray<E>,
+    cost: &ComputeCostModel,
+) {
+    let mut slot = 0usize;
+    for (peer, globals) in schedule.recvs() {
+        let packet = &values.ghosts()[slot..slot + globals.len()];
+        slot += globals.len();
+        env.compute(cost.pack_work(packet.len()));
+        let mut bytes = Vec::with_capacity(packet.len() * E::SIZE_BYTES);
+        for v in packet {
+            v.write_bytes(&mut bytes);
+        }
+        env.send(*peer, TAG_LEGACY, Payload::from_bytes(bytes));
+    }
+    for (peer, locals) in schedule.sends() {
+        let bytes = env.recv(*peer, TAG_LEGACY).into_bytes();
+        let packet: Vec<E> = bytes
+            .chunks_exact(E::SIZE_BYTES)
+            .map(E::read_bytes)
+            .collect();
+        assert_eq!(packet.len(), locals.len(), "legacy scatter packet length");
+        env.compute(cost.pack_work(packet.len()));
+        let local = values.local_mut();
+        for (&l, &v) in locals.iter().zip(&packet) {
+            local[l as usize] = local[l as usize].add(v);
+        }
+    }
+}
+
+/// Which transport implementation a timing run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// The frozen pre-PR baseline.
+    Legacy,
+    /// The shipped zero-copy path.
+    Bulk,
+}
+
+/// Which primitive a timing run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Owner → ghost.
+    Gather,
+    /// Ghost → owner, accumulating.
+    ScatterAdd,
+}
+
+/// Runs `iters` iterations of one primitive over the matching workload on
+/// a 2-rank zero-cost cluster and returns the measured wall-clock seconds
+/// **per iteration** (max over ranks), excluding setup and warm-up.
+pub fn time_primitive<E: Field>(
+    graph: &Graph,
+    iters: usize,
+    primitive: Primitive,
+    path: Path,
+    init: fn(usize) -> E,
+) -> f64 {
+    let n = graph.num_vertices();
+    let part = BlockPartition::uniform(n, 2);
+    let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+    let report = Cluster::new(spec).run(|env| {
+        let rank = env.rank();
+        let adj = LocalAdjacency::extract(graph, &part, rank);
+        let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+        let iv = part.interval_of(rank);
+        let mut values =
+            GhostedArray::from_local(iv.iter().map(init).collect(), sched.num_ghosts() as usize);
+        let mut bufs = CommBuffers::for_schedule(&sched);
+        let cost = ComputeCostModel::zero();
+        let step = |env: &mut Env, values: &mut GhostedArray<E>, bufs: &mut CommBuffers<E>| match (
+            primitive, path,
+        ) {
+            (Primitive::Gather, Path::Legacy) => gather_legacy(env, &sched, values, &cost),
+            (Primitive::Gather, Path::Bulk) => gather(env, &sched, values, &cost, bufs),
+            (Primitive::ScatterAdd, Path::Legacy) => scatter_add_legacy(env, &sched, values, &cost),
+            (Primitive::ScatterAdd, Path::Bulk) => scatter_add(env, &sched, values, &cost, bufs),
+        };
+        // Warm-up: buffer capacities and mailbox deques reach steady state.
+        for _ in 0..4 {
+            step(env, &mut values, &mut bufs);
+        }
+        env.barrier();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            step(env, &mut values, &mut bufs);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        env.barrier();
+        elapsed / iters as f64
+    });
+    report.into_results().into_iter().fold(0.0, f64::max)
+}
+
+/// Times `f` once per repetition and returns the median seconds.
+fn median_secs(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..reps).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Single-threaded codec timings (seconds per op over `values`): legacy
+/// pack = fresh `Vec` + `write_bytes` loop; bulk pack = recycled buffer +
+/// `pack_into`; legacy unpack = `Element::unpack` + copy; bulk unpack =
+/// `unpack_into` straight into the destination.
+pub fn time_codecs<E: Element>(values: &[E], reps: usize) -> CodecTimings {
+    let iters = 32;
+    let mut wire = Vec::new();
+    E::pack_into(values, &mut wire);
+
+    let legacy_pack = median_secs(reps, || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut bytes = Vec::with_capacity(values.len() * E::SIZE_BYTES);
+            for v in values {
+                v.write_bytes(&mut bytes);
+            }
+            std::hint::black_box(&bytes);
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    });
+    let mut reused = Vec::new();
+    let bulk_pack = median_secs(reps, || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            reused.clear();
+            E::pack_into(values, &mut reused);
+            std::hint::black_box(&reused);
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    });
+    let mut dst = vec![E::zero(); values.len()];
+    let legacy_unpack = median_secs(reps, || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            // What `Element::unpack` + `copy_from_slice` did: decode into
+            // a fresh intermediate `Vec<E>`, then copy to the destination.
+            let packet: Vec<E> = wire
+                .chunks_exact(E::SIZE_BYTES)
+                .map(E::read_bytes)
+                .collect();
+            dst.copy_from_slice(&packet);
+            std::hint::black_box(&dst);
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    });
+    let bulk_unpack = median_secs(reps, || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            E::unpack_into(&wire, &mut dst);
+            std::hint::black_box(&dst);
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    });
+    CodecTimings {
+        bytes: wire.len(),
+        legacy_pack,
+        bulk_pack,
+        legacy_unpack,
+        bulk_unpack,
+    }
+}
+
+/// Seconds per pack/unpack of one slice, both paths.
+#[derive(Debug, Clone, Copy)]
+pub struct CodecTimings {
+    /// Wire bytes moved per op.
+    pub bytes: usize,
+    /// Fresh-`Vec` + per-element pack.
+    pub legacy_pack: f64,
+    /// Recycled-buffer bulk pack.
+    pub bulk_pack: f64,
+    /// Intermediate-`Vec` unpack + copy.
+    pub legacy_unpack: f64,
+    /// In-place bulk unpack.
+    pub bulk_unpack: f64,
+}
+
+fn json_pair(name: &str, legacy: f64, bulk: f64) -> String {
+    format!(
+        "  \"{name}\": {{ \"legacy_ns\": {:.0}, \"bulk_ns\": {:.0}, \"speedup\": {:.2} }}",
+        legacy * 1e9,
+        bulk * 1e9,
+        legacy / bulk
+    )
+}
+
+/// Runs the full transport comparison and renders the
+/// `BENCH_transport.json` perf-trajectory entry. The `[f64; 4]` gather
+/// speedup is the PR's headline number (target ≥ 1.5×).
+pub fn report_json() -> String {
+    let reps = crate::sample_count().clamp(3, 9);
+    let iters = 40;
+    let g = matching_graph(PAPER_N_HALF);
+
+    let gather_f64 = |path| time_primitive::<f64>(&g, iters, Primitive::Gather, path, |i| i as f64);
+    let gather_f64x4 = |path| {
+        time_primitive::<[f64; 4]>(&g, iters, Primitive::Gather, path, |i| {
+            [i as f64, -(i as f64), 0.5, 1.0]
+        })
+    };
+    let scatter_f64 =
+        |path| time_primitive::<f64>(&g, iters, Primitive::ScatterAdd, path, |i| i as f64);
+
+    let g_f64_legacy = median_secs(reps, || gather_f64(Path::Legacy));
+    let g_f64_bulk = median_secs(reps, || gather_f64(Path::Bulk));
+    let g_f64x4_legacy = median_secs(reps, || gather_f64x4(Path::Legacy));
+    let g_f64x4_bulk = median_secs(reps, || gather_f64x4(Path::Bulk));
+    let s_f64_legacy = median_secs(reps, || scatter_f64(Path::Legacy));
+    let s_f64_bulk = median_secs(reps, || scatter_f64(Path::Bulk));
+
+    let codec_f64: Vec<f64> = (0..200_000).map(|i| i as f64).collect();
+    let codec_f64x4: Vec<[f64; 4]> = (0..50_000).map(|i| [i as f64, 1.0, -1.0, 0.5]).collect();
+    let c_f64 = time_codecs(&codec_f64, reps);
+    let c_f64x4 = time_codecs(&codec_f64x4, reps);
+
+    let mut lines = vec![
+        "{".to_string(),
+        "  \"bench\": \"transport\",".to_string(),
+        format!(
+            "  \"workload\": {{ \"vertices\": {}, \"ranks\": 2, \"ghosts_per_rank\": {}, \"iters_per_sample\": {iters}, \"samples\": {reps} }},",
+            2 * PAPER_N_HALF,
+            PAPER_N_HALF
+        ),
+    ];
+    let pairs = [
+        json_pair("gather_f64", g_f64_legacy, g_f64_bulk),
+        json_pair("gather_f64x4", g_f64x4_legacy, g_f64x4_bulk),
+        json_pair("scatter_add_f64", s_f64_legacy, s_f64_bulk),
+        json_pair("pack_f64", c_f64.legacy_pack, c_f64.bulk_pack),
+        json_pair("unpack_f64", c_f64.legacy_unpack, c_f64.bulk_unpack),
+        json_pair("pack_f64x4", c_f64x4.legacy_pack, c_f64x4.bulk_pack),
+        json_pair("unpack_f64x4", c_f64x4.legacy_unpack, c_f64x4.bulk_unpack),
+    ];
+    lines.push(pairs.join(",\n"));
+    lines.push("}".to_string());
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The legacy replay and the shipped path must produce identical ghost
+    /// regions and identical virtual clocks — the optimization moves wall
+    /// clock only.
+    #[test]
+    fn legacy_path_is_bitwise_identical() {
+        let g = matching_graph(80);
+        let part = BlockPartition::uniform(160, 2);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let iv = part.interval_of(rank);
+            let init: Vec<[f64; 2]> = iv.iter().map(|i| [(i as f64).sin(), -(i as f64)]).collect();
+            let ghosts = sched.num_ghosts() as usize;
+            let mut a = GhostedArray::from_local(init.clone(), ghosts);
+            let mut b = GhostedArray::from_local(init, ghosts);
+            let mut bufs = CommBuffers::for_schedule(&sched);
+            gather_legacy(env, &sched, &mut a, &ComputeCostModel::sun4());
+            gather(env, &sched, &mut b, &ComputeCostModel::sun4(), &mut bufs);
+            assert_eq!(a, b, "bulk gather diverged from the legacy path");
+            scatter_add_legacy(env, &sched, &mut a, &ComputeCostModel::sun4());
+            scatter_add(env, &sched, &mut b, &ComputeCostModel::sun4(), &mut bufs);
+            assert_eq!(a, b, "bulk scatter diverged from the legacy path");
+            env.now().as_secs()
+        });
+        assert!(report.makespan() > 0.0);
+    }
+
+    #[test]
+    fn matching_graph_is_all_boundary() {
+        let g = matching_graph(10);
+        assert_eq!(g.num_vertices(), 20);
+        for v in 0..10 {
+            assert_eq!(g.neighbors(v), &[(v + 10) as u32]);
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        // Tiny run just to exercise the rendering.
+        let g = matching_graph(50);
+        let t = time_primitive::<f64>(&g, 2, Primitive::Gather, Path::Bulk, |i| i as f64);
+        assert!(t >= 0.0);
+        let line = json_pair("x", 2.0e-6, 1.0e-6);
+        assert!(line.contains("\"speedup\": 2.00"), "{line}");
+    }
+}

@@ -39,6 +39,15 @@
 //! `cg_solver` example). Everything else — `GhostedArray`, gather/scatter,
 //! redistribution, [`AdaptiveSession`] — is generic over them.
 //!
+//! A custom element needs only `zero`/`write_bytes`/`read_bytes`. If it is
+//! a plain fixed-size record *and* ghost exchange shows up in profiles,
+//! also override the bulk codecs
+//! [`pack_into`](sim::Element::pack_into)/[`unpack_into`](sim::Element::unpack_into)
+//! with memcpy-class copies: that is what keeps the runtime's steady-state
+//! communication path allocation-free and at memory-bandwidth speed (the
+//! built-in elements all do; the override must stay byte-identical to the
+//! per-element loop — see the README's *Wire format & transport*).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -174,7 +183,7 @@ pub mod prelude {
     pub use crate::session::{AdaptiveSession, SessionReport};
     pub use stance_balance::{BalancerConfig, CapabilityEstimator, ControllerMode, Decision};
     pub use stance_executor::{
-        ComputeCostModel, Field, GhostedArray, Kernel, LaplacianKernel, LoopRunner,
+        CommBuffers, ComputeCostModel, Field, GhostedArray, Kernel, LaplacianKernel, LoopRunner,
         RelaxationKernel,
     };
     pub use stance_inspector::{InspectorCostModel, ScheduleStrategy};

@@ -8,7 +8,11 @@
 //! profitable.
 //!
 //! The session is generic over the application: `E` is the per-vertex
-//! [`Element`](stance_sim::Element) and `K` the [`Kernel`] sweeping it. The
+//! [`Element`](stance_sim::Element) and `K` the [`Kernel`] sweeping it.
+//! Communication scratch lives in the session's [`LoopRunner`]
+//! (`CommBuffers`, sized from the schedule and rebuilt only on remap), so
+//! blocks of executor iterations between load-balance checks are
+//! allocation-free. The
 //! paper's relaxation is `AdaptiveSession<f64, RelaxationKernel>` (the
 //! default parameters); the CG example runs
 //! `AdaptiveSession<f64, LaplacianKernel>` and keeps its solver vectors
@@ -213,7 +217,9 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     }
 
     /// Moves data and structure to `new_partition` and rebuilds the
-    /// schedule. Collective.
+    /// schedule (and, through [`LoopRunner::rebuild`], the runner's
+    /// transport scratch — the only point in a run where the steady-state
+    /// communication path allocates). Collective.
     fn apply_remap(
         &mut self,
         env: &mut Env,

@@ -35,6 +35,7 @@ use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
 use stance_locality::Graph;
 use stance_sim::{Element, Env};
 
+use crate::buffers::CommBuffers;
 use crate::cost::ComputeCostModel;
 use crate::ghosted::GhostedArray;
 use crate::primitives::gather;
@@ -286,12 +287,18 @@ impl LoopStats {
 }
 
 /// Drives the gather + sweep iteration of one [`Kernel`] on one rank.
+///
+/// The runner owns the transport scratch ([`CommBuffers`]) alongside the
+/// sweep scratch: both are sized from the schedule at construction and
+/// rebuilt only on remap, so steady-state iterations perform zero heap
+/// allocations (see `tests/alloc_free.rs`).
 pub struct LoopRunner<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     schedule: CommSchedule,
     tadj: TranslatedAdjacency,
     cost: ComputeCostModel,
     kernel: K,
     scratch: Vec<E>,
+    bufs: CommBuffers<E>,
 }
 
 impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
@@ -305,12 +312,14 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     ) -> Self {
         let tadj = schedule.translate_adjacency(adj);
         let scratch = vec![E::zero(); tadj.len()];
+        let bufs = CommBuffers::for_schedule(&schedule);
         LoopRunner {
             schedule,
             tadj,
             cost,
             kernel,
             scratch,
+            bufs,
         }
     }
 
@@ -330,9 +339,12 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     }
 
     /// Replaces the schedule and adjacency (after a remap) while keeping
-    /// the kernel and cost model.
+    /// the kernel and cost model. The transport scratch is re-sized here
+    /// and nowhere else — this is the only point in a run where the
+    /// communication path allocates.
     pub fn rebuild(&mut self, schedule: CommSchedule, adj: &LocalAdjacency) {
         self.tadj = schedule.translate_adjacency(adj);
+        self.bufs = CommBuffers::for_schedule(&schedule);
         self.schedule = schedule;
         self.scratch = vec![E::zero(); self.tadj.len()];
     }
@@ -352,7 +364,7 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
         let work = self
             .kernel
             .cost(&self.cost, self.tadj.len(), self.tadj.num_refs());
-        gather(env, &self.schedule, values, &self.cost);
+        gather(env, &self.schedule, values, &self.cost, &mut self.bufs);
         let t0 = env.now();
         env.compute(work);
         self.kernel

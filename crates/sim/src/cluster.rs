@@ -6,12 +6,12 @@
 //! returns a [`RunReport`] with every rank's result, final virtual clock and
 //! accounting counters.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
 
-use crate::env::{BarrierShared, Env, Msg};
+use crate::env::{BarrierShared, Env};
 use crate::machine::{LoadTimeline, MachineSpec};
+use crate::mailbox::{mailbox, MailboxReceiver, MailboxSender};
 use crate::network::{NetworkSpec, NetworkState};
 use crate::stats::EnvStats;
 use crate::time::VTime;
@@ -183,15 +183,15 @@ impl Cluster {
         let net = Arc::new(NetworkState::new(self.spec.network.clone()));
         let barrier = BarrierShared::new(p, self.spec.network.latency);
 
-        // Channel matrix: matrix[src][dst] is the sender half of the channel
+        // Mailbox matrix: matrix[src][dst] is the sender half of the mailbox
         // that carries src→dst messages; rx_matrix[dst][src] the receiver.
-        let mut tx_rows: Vec<Vec<Option<Sender<Msg>>>> =
+        let mut tx_rows: Vec<Vec<Option<MailboxSender>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut rx_rows: Vec<Vec<Option<Receiver<Msg>>>> =
+        let mut rx_rows: Vec<Vec<Option<MailboxReceiver>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for (src, tx_row) in tx_rows.iter_mut().enumerate() {
             for (dst, slot) in tx_row.iter_mut().enumerate() {
-                let (tx, rx) = channel();
+                let (tx, rx) = mailbox();
                 *slot = Some(tx);
                 rx_rows[dst][src] = Some(rx);
             }
@@ -201,11 +201,11 @@ impl Cluster {
         for (rank, (tx_row, rx_row)) in tx_rows.into_iter().zip(rx_rows).enumerate() {
             let txs = tx_row
                 .into_iter()
-                .map(|t| t.expect("channel matrix fully populated"))
+                .map(|t| t.expect("mailbox matrix fully populated"))
                 .collect();
             let rxs = rx_row
                 .into_iter()
-                .map(|r| r.expect("channel matrix fully populated"))
+                .map(|r| r.expect("mailbox matrix fully populated"))
                 .collect();
             envs.push(Env::new(
                 rank,

@@ -7,10 +7,10 @@
 //! model (§2).
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::machine::MachineSpec;
+use crate::mailbox::{MailboxReceiver, MailboxSender};
 use crate::network::NetworkState;
 use crate::payload::{Payload, Tag};
 use crate::stats::EnvStats;
@@ -92,9 +92,9 @@ pub struct Env {
     machine: MachineSpec,
     net: Arc<NetworkState>,
     /// `txs[dst]` sends into `dst`'s mailbox slot for this rank.
-    txs: Vec<Sender<Msg>>,
+    txs: Vec<MailboxSender>,
     /// `rxs[src]` receives messages sent by `src`.
-    rxs: Vec<Receiver<Msg>>,
+    rxs: Vec<MailboxReceiver>,
     /// Buffered messages per source whose tag did not match an earlier recv.
     pending: Vec<VecDeque<Msg>>,
     barrier: Arc<BarrierShared>,
@@ -108,8 +108,8 @@ impl Env {
         size: usize,
         machine: MachineSpec,
         net: Arc<NetworkState>,
-        txs: Vec<Sender<Msg>>,
-        rxs: Vec<Receiver<Msg>>,
+        txs: Vec<MailboxSender>,
+        rxs: Vec<MailboxReceiver>,
         barrier: Arc<BarrierShared>,
     ) -> Self {
         let pending = (0..size).map(|_| VecDeque::new()).collect();
@@ -201,13 +201,16 @@ impl Env {
         };
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
-        self.txs[dst]
+        if self.txs[dst]
             .send(Msg {
                 tag,
                 arrival,
                 payload,
             })
-            .expect("receiver rank terminated before message was delivered");
+            .is_err()
+        {
+            panic!("receiver rank terminated before message was delivered");
+        }
     }
 
     /// Sends the same payload to several destinations. If the network
@@ -236,13 +239,16 @@ impl Env {
                 } else {
                     arrival
                 };
-                self.txs[dst]
+                if self.txs[dst]
                     .send(Msg {
                         tag,
                         arrival,
                         payload: payload.clone(),
                     })
-                    .expect("receiver rank terminated before message was delivered");
+                    .is_err()
+                {
+                    panic!("receiver rank terminated before message was delivered");
+                }
             }
         } else {
             for &dst in dsts {
@@ -278,7 +284,7 @@ impl Env {
                 .expect("position was just found");
         }
         loop {
-            let msg = self.rxs[src].recv().unwrap_or_else(|_| {
+            let msg = self.rxs[src].recv().unwrap_or_else(|_disconnected| {
                 panic!(
                     "rank {} waiting on tag {:?} from rank {src}, but the sender exited",
                     self.rank, tag

@@ -73,6 +73,7 @@
 pub mod cluster;
 pub mod env;
 pub mod machine;
+pub(crate) mod mailbox;
 pub mod network;
 pub mod payload;
 pub mod stats;

@@ -1,0 +1,157 @@
+//! Warm point-to-point mailboxes between ranks.
+//!
+//! The message transport used to ride on `std::sync::mpsc`, which allocates
+//! a heap node for **every** send — invisible in wall-clock terms for the
+//! inspector's occasional protocol rounds, but a per-message allocation on
+//! the executor's hot path, where the paper's loop runs thousands of
+//! gathers between inspector invocations. A mailbox is the minimal
+//! replacement: a mutex-protected ring (`VecDeque`) plus a condvar. The
+//! deque's capacity warms up over the first iterations of a run and is
+//! then reused forever, so steady-state sends and receives perform **zero
+//! heap allocations** (the payload buffers themselves are recycled one
+//! layer up, by the executor's `CommBuffers`).
+//!
+//! Semantics match the mpsc channel it replaces: FIFO per (source,
+//! destination) pair, blocking receive, and disconnection reporting — a
+//! send fails once the receiver is gone, a receive fails once the sender is
+//! gone *and* the queue is drained (buffered messages are still delivered,
+//! exactly as mpsc does).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::env::Msg;
+
+/// The error a [`MailboxReceiver::recv`] returns when the sending rank
+/// terminated without ever sending a matching message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Disconnected;
+
+struct MailboxState {
+    queue: VecDeque<Msg>,
+    /// Set when either endpoint is dropped; each mailbox has exactly one
+    /// sender and one receiver, so one flag serves both directions.
+    closed: bool,
+}
+
+struct Mailbox {
+    state: Mutex<MailboxState>,
+    cv: Condvar,
+}
+
+/// Creates one directed mailbox: the sender half enqueues, the receiver
+/// half dequeues in FIFO order.
+pub(crate) fn mailbox() -> (MailboxSender, MailboxReceiver) {
+    let core = Arc::new(Mailbox {
+        state: Mutex::new(MailboxState {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        cv: Condvar::new(),
+    });
+    (MailboxSender(Arc::clone(&core)), MailboxReceiver(core))
+}
+
+/// The enqueueing half of a mailbox (held by the source rank).
+pub(crate) struct MailboxSender(Arc<Mailbox>);
+
+impl MailboxSender {
+    /// Enqueues a message; returns it back if the receiver hung up.
+    pub(crate) fn send(&self, msg: Msg) -> Result<(), Msg> {
+        let mut g = self.0.state.lock().expect("mailbox lock poisoned");
+        if g.closed {
+            return Err(msg);
+        }
+        g.queue.push_back(msg);
+        drop(g);
+        self.0.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for MailboxSender {
+    fn drop(&mut self) {
+        let mut g = self.0.state.lock().expect("mailbox lock poisoned");
+        g.closed = true;
+        drop(g);
+        self.0.cv.notify_all();
+    }
+}
+
+/// The dequeueing half of a mailbox (held by the destination rank).
+pub(crate) struct MailboxReceiver(Arc<Mailbox>);
+
+impl MailboxReceiver {
+    /// Blocks until a message is available and returns it; already-buffered
+    /// messages are delivered even after the sender hung up.
+    pub(crate) fn recv(&self) -> Result<Msg, Disconnected> {
+        let mut g = self.0.state.lock().expect("mailbox lock poisoned");
+        loop {
+            if let Some(msg) = g.queue.pop_front() {
+                return Ok(msg);
+            }
+            if g.closed {
+                return Err(Disconnected);
+            }
+            g = self.0.cv.wait(g).expect("mailbox lock poisoned");
+        }
+    }
+}
+
+impl Drop for MailboxReceiver {
+    fn drop(&mut self) {
+        let mut g = self.0.state.lock().expect("mailbox lock poisoned");
+        g.closed = true;
+        // No notify needed: only the sender could be waiting, and senders
+        // never block.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{Payload, Tag};
+    use crate::time::VTime;
+
+    fn msg(tag: u32) -> Msg {
+        Msg {
+            tag: Tag(tag),
+            arrival: VTime::ZERO,
+            payload: Payload::Empty,
+        }
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let (tx, rx) = mailbox();
+        tx.send(msg(1)).unwrap();
+        tx.send(msg(2)).unwrap();
+        assert_eq!(rx.recv().unwrap().tag, Tag(1));
+        assert_eq!(rx.recv().unwrap().tag, Tag(2));
+    }
+
+    #[test]
+    fn buffered_messages_survive_sender_drop() {
+        let (tx, rx) = mailbox();
+        tx.send(msg(7)).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap().tag, Tag(7));
+        assert!(matches!(rx.recv(), Err(Disconnected)));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = mailbox();
+        drop(rx);
+        assert!(tx.send(msg(1)).is_err());
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let (tx, rx) = mailbox();
+        let handle = std::thread::spawn(move || rx.recv().unwrap().tag);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(msg(42)).unwrap();
+        assert_eq!(handle.join().unwrap(), Tag(42));
+    }
+}

@@ -80,7 +80,18 @@ impl Payload {
         }
     }
 
-    /// Number of elements (0 for `Empty`, bytes for `Bytes`).
+    /// Number of *entries* in the payload's native unit: elements for the
+    /// typed variants (`F64`/`U32`/`U64`), 0 for `Empty`, and — because an
+    /// untyped byte buffer has no element width — **bytes** for
+    /// [`Payload::Bytes`].
+    ///
+    /// The `Bytes` case is the one to watch: `len()` and
+    /// [`Payload::size_bytes`] coincide there, so an
+    /// `assert_eq!(packet.len(), n)` on a byte payload silently checks a
+    /// *byte* count against whatever `n` is. When you mean wire bytes, call
+    /// `size_bytes`; when you mean elements of a known [`Element`] type,
+    /// divide `size_bytes()` by `Element::SIZE_BYTES` (as the executor's
+    /// packet-length assertions do).
     pub fn len(&self) -> usize {
         match self {
             Payload::Empty => 0,
@@ -163,8 +174,22 @@ impl Payload {
 /// whole slices through a [`Payload::Bytes`] message, so the wire size the
 /// network cost model charges is exactly `len × SIZE_BYTES`.
 ///
+/// On top of the three required per-element items sit the **bulk codecs**
+/// [`Element::pack_into`] and [`Element::unpack_into`]: slice-level
+/// pack/unpack with default implementations that loop over
+/// [`Element::write_bytes`]/[`Element::read_bytes`]. The built-in elements
+/// (`f64`, `f32`, `u32`, `u64`, `[f64; K]`) override them with bulk
+/// little-endian copies, so a whole send segment is one memcpy-class
+/// operation and a received payload decodes straight into its destination
+/// slice — this is what makes the executor's steady-state communication
+/// path allocation-free. An override must be **bitwise identical** to the
+/// default loop (the wire format is the per-element format, concatenated);
+/// `tests/transport_codecs.rs` pins this property for the built-ins.
+///
 /// Implementations are provided for `f64`, `f32`, `u32`, `u64` and
-/// `[f64; K]`. A custom element only needs the three required items:
+/// `[f64; K]`. A custom element only needs the three required items
+/// (override the bulk pair too if your element is a plain fixed-size
+/// record and the transport shows up in profiles):
 ///
 /// ```
 /// use stance_sim::{Element, Payload};
@@ -207,12 +232,46 @@ pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
     /// Reads one element back from exactly `SIZE_BYTES` bytes.
     fn read_bytes(bytes: &[u8]) -> Self;
 
-    /// Packs a slice into one wire message.
-    fn pack(values: &[Self]) -> Payload {
-        let mut bytes = Vec::with_capacity(values.len() * Self::SIZE_BYTES);
+    /// Appends the wire form of a whole slice (`values.len() × SIZE_BYTES`
+    /// bytes) to `out`.
+    ///
+    /// The default loops over [`Element::write_bytes`] after one capacity
+    /// reservation. Overrides must append **byte-for-byte** the same output
+    /// as that loop — the bulk codec changes speed, never the wire format.
+    fn pack_into(values: &[Self], out: &mut Vec<u8>) {
+        out.reserve(values.len() * Self::SIZE_BYTES);
         for v in values {
-            v.write_bytes(&mut bytes);
+            v.write_bytes(out);
         }
+    }
+
+    /// Decodes exactly `out.len()` elements from `bytes` directly into
+    /// `out`, with no intermediate allocation. This is what the executor
+    /// uses to land received payloads straight in the ghost region.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != out.len() × SIZE_BYTES` — a mismatched
+    /// segment is a protocol bug.
+    fn unpack_into(bytes: &[u8], out: &mut [Self]) {
+        assert!(Self::SIZE_BYTES > 0, "zero-size elements cannot travel");
+        assert_eq!(
+            bytes.len(),
+            out.len() * Self::SIZE_BYTES,
+            "bulk unpack of {} bytes into {} {}-byte elements",
+            bytes.len(),
+            out.len(),
+            Self::SIZE_BYTES
+        );
+        for (v, chunk) in out.iter_mut().zip(bytes.chunks_exact(Self::SIZE_BYTES)) {
+            *v = Self::read_bytes(chunk);
+        }
+    }
+
+    /// Packs a slice into one wire message (one [`Element::pack_into`] into
+    /// a fresh buffer).
+    fn pack(values: &[Self]) -> Payload {
+        let mut bytes = Vec::new();
+        Self::pack_into(values, &mut bytes);
         debug_assert_eq!(bytes.len(), values.len() * Self::SIZE_BYTES);
         Payload::Bytes(bytes)
     }
@@ -232,10 +291,9 @@ pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
             bytes.len(),
             Self::SIZE_BYTES
         );
-        bytes
-            .chunks_exact(Self::SIZE_BYTES)
-            .map(Self::read_bytes)
-            .collect()
+        let mut out = vec![Self::zero(); bytes.len() / Self::SIZE_BYTES];
+        Self::unpack_into(&bytes, &mut out);
+        out
     }
 }
 
@@ -254,6 +312,29 @@ macro_rules! scalar_element {
             #[inline]
             fn read_bytes(bytes: &[u8]) -> Self {
                 <$t>::from_le_bytes(bytes.try_into().expect("exact element chunk"))
+            }
+            // Bulk override: one resize, then a fixed-width copy loop the
+            // compiler turns into a straight memcpy on little-endian
+            // targets (no per-element capacity checks).
+            fn pack_into(values: &[Self], out: &mut Vec<u8>) {
+                let start = out.len();
+                out.resize(start + values.len() * $bytes, 0);
+                for (chunk, v) in out[start..].chunks_exact_mut($bytes).zip(values) {
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            fn unpack_into(bytes: &[u8], out: &mut [Self]) {
+                assert_eq!(
+                    bytes.len(),
+                    out.len() * $bytes,
+                    "bulk unpack of {} bytes into {} {}-byte elements",
+                    bytes.len(),
+                    out.len(),
+                    $bytes
+                );
+                for (v, chunk) in out.iter_mut().zip(bytes.chunks_exact($bytes)) {
+                    *v = <$t>::from_le_bytes(chunk.try_into().expect("exact element chunk"));
+                }
             }
         }
     )*};
@@ -293,6 +374,39 @@ impl<const K: usize> Element for [f64; K] {
             *c = f64::from_le_bytes(chunk.try_into().expect("exact component chunk"));
         }
         a
+    }
+
+    // Bulk override: view the array slice as its flat `f64` component
+    // stream and run the exact scalar copy loop — one resize, then a
+    // fixed-width pattern the compiler turns into memcpy on little-endian
+    // targets. (An iterator `flatten` instead of `as_flattened` defeats
+    // the vectorizer and halves throughput.)
+    fn pack_into(values: &[Self], out: &mut Vec<u8>) {
+        if K == 0 {
+            return; // zero-size records append nothing, as write_bytes would
+        }
+        let flat: &[f64] = values.as_flattened();
+        let start = out.len();
+        out.resize(start + flat.len() * 8, 0);
+        for (chunk, c) in out[start..].chunks_exact_mut(8).zip(flat) {
+            chunk.copy_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    fn unpack_into(bytes: &[u8], out: &mut [Self]) {
+        assert!(Self::SIZE_BYTES > 0, "zero-size elements cannot travel");
+        assert_eq!(
+            bytes.len(),
+            out.len() * Self::SIZE_BYTES,
+            "bulk unpack of {} bytes into {} {}-byte elements",
+            bytes.len(),
+            out.len(),
+            Self::SIZE_BYTES
+        );
+        let flat: &mut [f64] = out.as_flattened_mut();
+        for (c, chunk) in flat.iter_mut().zip(bytes.chunks_exact(8)) {
+            *c = f64::from_le_bytes(chunk.try_into().expect("exact component chunk"));
+        }
     }
 }
 
@@ -343,6 +457,62 @@ mod tests {
         assert!(Payload::from_f64(vec![]).is_empty());
         assert_eq!(Payload::from_u32(vec![1, 2]).len(), 2);
         assert!(!Payload::from_u64(vec![1]).is_empty());
+    }
+
+    /// Pins the `len` semantics: typed variants count elements, `Bytes`
+    /// counts bytes (and therefore coincides with `size_bytes`). Anyone
+    /// asserting element counts on a `Bytes` payload must divide by the
+    /// element size — this test exists so the distinction can't silently
+    /// drift.
+    #[test]
+    fn len_is_elements_except_bytes_which_is_bytes() {
+        assert_eq!(Payload::from_f64(vec![0.0; 3]).len(), 3);
+        assert_eq!(Payload::from_f64(vec![0.0; 3]).size_bytes(), 24);
+        assert_eq!(Payload::from_u32(vec![0; 3]).len(), 3);
+        assert_eq!(Payload::from_u64(vec![0; 3]).len(), 3);
+        // Bytes: len == size_bytes == raw byte count, NOT an element count.
+        let p = f64::pack(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.size_bytes(), 24);
+        assert_eq!(p.len(), 24, "Bytes payloads count bytes, not elements");
+        assert_eq!(p.size_bytes() / f64::SIZE_BYTES, 3);
+    }
+
+    #[test]
+    fn bulk_codecs_match_per_element_loop() {
+        fn check<T: Element>(values: &[T]) {
+            // Reference: the per-element loop the defaults are defined by.
+            let mut reference = Vec::new();
+            for v in values {
+                v.write_bytes(&mut reference);
+            }
+            // pack_into appends after existing content.
+            let mut bulk = vec![0xAB, 0xCD];
+            T::pack_into(values, &mut bulk);
+            assert_eq!(&bulk[..2], &[0xAB, 0xCD]);
+            assert_eq!(&bulk[2..], reference.as_slice());
+            // unpack_into decodes in place; round-trip through write_bytes
+            // compares bit patterns (works for NaN too).
+            let mut out = vec![T::zero(); values.len()];
+            T::unpack_into(&reference, &mut out);
+            let mut rebuilt = Vec::new();
+            for v in &out {
+                v.write_bytes(&mut rebuilt);
+            }
+            assert_eq!(rebuilt, reference);
+        }
+        check::<f64>(&[1.5, -0.0, f64::INFINITY, f64::NAN, 1e-310]);
+        check::<f32>(&[1.5, f32::NEG_INFINITY, f32::MIN_POSITIVE]);
+        check::<u32>(&[0, 1, u32::MAX]);
+        check::<u64>(&[7, u64::MAX]);
+        check::<[f64; 3]>(&[[1.0, f64::NAN, -2.5], [0.0, -0.0, 4.0]]);
+        check::<f64>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bulk unpack")]
+    fn unpack_into_rejects_mismatched_lengths() {
+        let mut out = [0.0f64; 2];
+        f64::unpack_into(&[0u8; 8], &mut out);
     }
 
     #[test]

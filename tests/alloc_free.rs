@@ -1,0 +1,131 @@
+//! Pins the transport's allocation-free steady state: after a short
+//! warm-up, `LoopRunner` iterations (gather + sweep + commit) perform
+//! **zero heap allocations** on any rank.
+//!
+//! A counting global allocator wraps the system allocator; counting is
+//! armed between cluster-wide barriers so the measured window contains
+//! nothing but steady-state iterations on every rank (no setup, no
+//! teardown, no thread exit). Warm-up matters: recycled message buffers
+//! circulate through a fixed send/receive cycle across ranks and their
+//! capacities converge within a few laps, after which nothing in the path
+//! allocates — not the codecs (in-place `unpack_into`), not the staging
+//! (`CommBuffers` recycling), not the mailboxes (warm `VecDeque`s).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency};
+use stance::locality::meshgen;
+use stance::prelude::*;
+
+/// Counts allocation events (alloc/realloc/alloc_zeroed) while armed.
+/// Deallocations are free and not counted.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// The counter is process-global, so tests that arm it must not overlap.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn steady_state_allocations<E, K>(kernel: K, init: impl Fn(usize) -> E + Sync) -> u64
+where
+    E: Field,
+    K: Kernel<E> + Copy + Send + Sync,
+{
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
+    let n = g.num_vertices();
+    let p = 3;
+    let part = BlockPartition::uniform(n, p);
+    let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+    let report = Cluster::new(spec).run(|env| {
+        let rank = env.rank();
+        let adj = LocalAdjacency::extract(&g, &part, rank);
+        let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+        let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel);
+        let iv = part.interval_of(rank);
+        let mut values = runner.make_values(iv.iter().map(&init).collect());
+
+        // Warm-up: let mailbox deques and the recycled-buffer cycle reach
+        // their fixed point (buffer capacities converge within a few laps
+        // of the send/receive cycle).
+        runner.run(env, &mut values, 12);
+
+        // Arm the counter with every rank quiescent on both sides.
+        env.barrier();
+        if rank == 0 {
+            ALLOCATIONS.store(0, Ordering::SeqCst);
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        env.barrier();
+
+        runner.run(env, &mut values, 8);
+
+        // Disarm before any rank leaves the closure (thread teardown and
+        // report assembly may allocate; they are not the steady state).
+        env.barrier();
+        let counted = if rank == 0 {
+            let counted = ALLOCATIONS.load(Ordering::SeqCst);
+            ARMED.store(false, Ordering::SeqCst);
+            counted
+        } else {
+            0
+        };
+        env.barrier();
+        counted
+    });
+    report.into_results().into_iter().max().unwrap()
+}
+
+#[test]
+fn steady_state_loop_is_allocation_free_f64() {
+    let allocations = steady_state_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "steady-state f64 iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn steady_state_loop_is_allocation_free_f64x4() {
+    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, |g| {
+        [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
+    });
+    assert_eq!(
+        allocations, 0,
+        "steady-state [f64; 4] iterations performed {allocations} heap allocations"
+    );
+}

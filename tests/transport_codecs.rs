@@ -1,0 +1,145 @@
+//! The bulk transport codecs (`Element::pack_into` / `Element::unpack_into`)
+//! must be **bitwise identical** to the per-element
+//! `write_bytes`/`read_bytes` path for every built-in element type — the
+//! overrides change speed, never the wire format. Values are generated as
+//! raw bit patterns, so NaNs (quiet and signaling payloads alike),
+//! subnormals, negative zero and infinities are all exercised; comparisons
+//! go through the byte encoding, which is injective on bit patterns.
+
+use proptest::prelude::*;
+use stance::prelude::*;
+
+/// Per-element reference encoding: the loop the default `pack_into` is
+/// defined by.
+fn encode_per_element<E: Element>(values: &[E]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in values {
+        v.write_bytes(&mut out);
+    }
+    out
+}
+
+/// Decodes with the per-element path and re-encodes, for bit-level
+/// comparison that tolerates NaN (`E: PartialEq` would not).
+fn decode_reencode_per_element<E: Element>(bytes: &[u8]) -> Vec<u8> {
+    let decoded: Vec<E> = bytes
+        .chunks_exact(E::SIZE_BYTES)
+        .map(E::read_bytes)
+        .collect();
+    encode_per_element(&decoded)
+}
+
+/// Asserts bulk == per-element on both directions for one value slice.
+fn assert_bulk_matches_per_element<E: Element>(values: &[E]) -> Result<(), TestCaseError> {
+    let reference = encode_per_element(values);
+
+    // Bulk pack appends after existing content, byte-for-byte equal.
+    let mut bulk = vec![0x5A; 3];
+    E::pack_into(values, &mut bulk);
+    prop_assert_eq!(&bulk[..3], &[0x5A; 3]);
+    prop_assert_eq!(&bulk[3..], reference.as_slice());
+
+    // `pack` (the Payload-producing entry point) rides on pack_into.
+    prop_assert_eq!(E::pack(values), Payload::from_bytes(reference.clone()));
+
+    // Bulk unpack lands the same bit patterns as the per-element decode.
+    let mut out = vec![E::zero(); values.len()];
+    E::unpack_into(&reference, &mut out);
+    prop_assert_eq!(
+        encode_per_element(&out),
+        decode_reencode_per_element::<E>(&reference)
+    );
+    // And those bit patterns are exactly the wire input (full round trip).
+    prop_assert_eq!(encode_per_element(&out), reference);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn f64_bulk_codec_bitwise(bits in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let values: Vec<f64> = bits.into_iter().map(f64::from_bits).collect();
+        assert_bulk_matches_per_element(&values)?;
+    }
+
+    #[test]
+    fn f32_bulk_codec_bitwise(bits in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let values: Vec<f32> = bits.into_iter().map(|b| f32::from_bits(b as u32)).collect();
+        assert_bulk_matches_per_element(&values)?;
+    }
+
+    #[test]
+    fn u32_bulk_codec_bitwise(bits in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let values: Vec<u32> = bits.into_iter().map(|b| b as u32).collect();
+        assert_bulk_matches_per_element(&values)?;
+    }
+
+    #[test]
+    fn u64_bulk_codec_bitwise(values in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        assert_bulk_matches_per_element(&values)?;
+    }
+
+    #[test]
+    fn f64x2_bulk_codec_bitwise(bits in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40)) {
+        let values: Vec<[f64; 2]> = bits
+            .into_iter()
+            .map(|(a, b)| [f64::from_bits(a), f64::from_bits(b)])
+            .collect();
+        assert_bulk_matches_per_element(&values)?;
+    }
+
+    #[test]
+    fn f64x4_bulk_codec_bitwise(bits in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..24)) {
+        let values: Vec<[f64; 4]> = bits
+            .into_iter()
+            .map(|(a, b)| {
+                [
+                    f64::from_bits(a),
+                    f64::from_bits(b),
+                    f64::from_bits(a.rotate_left(17)),
+                    f64::from_bits(b.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ]
+            })
+            .collect();
+        assert_bulk_matches_per_element(&values)?;
+    }
+}
+
+/// The named special values, deterministically: NaN (both sign bits and a
+/// payload-carrying pattern), subnormals, infinities, signed zeros, and
+/// the extremes.
+#[test]
+fn special_values_bulk_codec_bitwise() {
+    let specials = [
+        f64::NAN,
+        -f64::NAN,
+        f64::from_bits(0x7FF0_0000_0000_0001), // signaling-NaN pattern
+        f64::from_bits(0x0000_0000_0000_0001), // smallest subnormal
+        f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        f64::MAX,
+        f64::MIN,
+        1e-310, // subnormal literal
+    ];
+    assert_bulk_matches_per_element(&specials).unwrap();
+    let pairs: Vec<[f64; 2]> = specials
+        .iter()
+        .zip(specials.iter().rev())
+        .map(|(&a, &b)| [a, b])
+        .collect();
+    assert_bulk_matches_per_element(&pairs).unwrap();
+    let singles: Vec<f32> = [
+        f32::NAN,
+        f32::from_bits(0x0000_0001), // smallest f32 subnormal
+        f32::INFINITY,
+        -0.0f32,
+        f32::MAX,
+    ]
+    .to_vec();
+    assert_bulk_matches_per_element(&singles).unwrap();
+}
