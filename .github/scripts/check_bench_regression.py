@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail if a fresh BENCH_transport.json regresses >20% against the committed
+baseline.
+
+Usage: check_bench_regression.py <baseline.json> <fresh.json>
+
+The gate compares each benchmark's ``speedup`` field (legacy-path time /
+bulk-path time, both measured in the *same* run on the *same* machine)
+rather than absolute nanoseconds: CI runners differ wildly in clock speed
+run to run, but the legacy/bulk ratio is a property of the code, so a drop
+in the ratio means the shipped fast path genuinely lost ground against its
+frozen in-repo baseline. A fresh speedup below 80% of the committed one
+fails the job.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.8  # fresh speedup must be >= 80% of the committed speedup
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <baseline.json> <fresh.json>")
+    baseline, fresh = load(sys.argv[1]), load(sys.argv[2])
+
+    failures = []
+    checked = 0
+    for key, base_entry in baseline.items():
+        if not isinstance(base_entry, dict) or "speedup" not in base_entry:
+            continue
+        fresh_entry = fresh.get(key)
+        if not isinstance(fresh_entry, dict) or "speedup" not in fresh_entry:
+            failures.append(f"{key}: present in baseline but missing from fresh run")
+            continue
+        checked += 1
+        base_s, fresh_s = base_entry["speedup"], fresh_entry["speedup"]
+        verdict = "ok" if fresh_s >= base_s * TOLERANCE else "REGRESSED"
+        print(f"{key}: baseline speedup {base_s:.2f}x, fresh {fresh_s:.2f}x — {verdict}")
+        if verdict == "REGRESSED":
+            failures.append(
+                f"{key}: speedup fell from {base_s:.2f}x to {fresh_s:.2f}x "
+                f"(limit: {base_s * TOLERANCE:.2f}x)"
+            )
+
+    if checked == 0:
+        sys.exit("no comparable benchmark entries found — malformed baseline?")
+    if failures:
+        print("\nPerformance regression detected (>20% vs committed baseline):")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"\nall {checked} benchmarks within 20% of the committed baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,7 @@ use stance_onedim::{
     mcr::{keep_arrangement, minimize_cost_redistribution},
     Arrangement, BlockPartition, RedistCostModel, RedistributionPlan,
 };
-use stance_sim::{Env, Payload, Tag};
+use stance_sim::{Comm, Payload, Tag};
 
 /// Tag for the load gather (workers → controller).
 const TAG_LOAD: Tag = Tag::reserved(50);
@@ -92,8 +92,8 @@ pub enum Decision {
 /// `remaining_iters` is the number of iterations the new partition would
 /// serve ("using information from the current phase, the data should be
 /// redistributed such that the idle time for the next phase is minimized").
-pub fn load_balance_step(
-    env: &mut Env,
+pub fn load_balance_step<C: Comm>(
+    env: &mut C,
     partition: &BlockPartition,
     per_item_time: f64,
     remaining_iters: usize,
@@ -113,8 +113,8 @@ pub fn load_balance_step(
     }
 }
 
-fn centralized_step(
-    env: &mut Env,
+fn centralized_step<C: Comm>(
+    env: &mut C,
     partition: &BlockPartition,
     per_item_time: f64,
     remaining_iters: usize,
@@ -145,8 +145,8 @@ fn centralized_step(
 /// The distributed variant: one all-gather round, then every rank runs the
 /// deterministic decision function on identical inputs — no controller, no
 /// second round, and the decision is provably identical everywhere.
-fn distributed_step(
-    env: &mut Env,
+fn distributed_step<C: Comm>(
+    env: &mut C,
     partition: &BlockPartition,
     per_item_time: f64,
     remaining_iters: usize,

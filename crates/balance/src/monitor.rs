@@ -59,8 +59,9 @@ impl LoadMonitor {
         }
     }
 
-    /// Records one measurement block: `compute_seconds` of virtual time
-    /// spent computing over `iterations` sweeps of `owned_items` items.
+    /// Records one measurement block: `compute_seconds` spent computing
+    /// over `iterations` sweeps of `owned_items` items (virtual seconds on
+    /// the simulator, measured wall-clock seconds on the native backend).
     ///
     /// Blocks with no work (zero items or iterations) are ignored — an
     /// empty block tells us nothing about the machine's speed.

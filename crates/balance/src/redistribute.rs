@@ -9,7 +9,7 @@
 
 use stance_inspector::LocalAdjacency;
 use stance_onedim::{BlockPartition, RedistributionPlan};
-use stance_sim::{Element, Env, Payload, Tag};
+use stance_sim::{Comm, Element, Payload, Tag};
 
 const TAG_VALUES: Tag = Tag::reserved(48);
 const TAG_ADJ: Tag = Tag::reserved(49);
@@ -25,8 +25,8 @@ const TAG_ADJ: Tag = Tag::reserved(49);
 ///
 /// # Panics
 /// Panics if `local_values` does not match the rank's old interval.
-pub fn redistribute_values<E: Element>(
-    env: &mut Env,
+pub fn redistribute_values<E: Element, C: Comm>(
+    env: &mut C,
     old: &BlockPartition,
     new: &BlockPartition,
     local_values: &[E],
@@ -64,8 +64,8 @@ pub fn redistribute_values<E: Element>(
 ///
 /// # Panics
 /// Panics if any array does not match the rank's old interval.
-pub fn redistribute_values_coalesced<E: Element>(
-    env: &mut Env,
+pub fn redistribute_values_coalesced<E: Element, C: Comm>(
+    env: &mut C,
     old: &BlockPartition,
     new: &BlockPartition,
     arrays: &mut [&mut Vec<E>],
@@ -143,8 +143,8 @@ pub fn redistribute_values_coalesced<E: Element>(
 ///
 /// Wire format per moved range: `[deg(v) for v in range] ++ [refs…]` as one
 /// `u32` payload (the receiver knows the range length from the plan).
-pub fn redistribute_adjacency(
-    env: &mut Env,
+pub fn redistribute_adjacency<C: Comm>(
+    env: &mut C,
     old: &BlockPartition,
     new: &BlockPartition,
     adj: &LocalAdjacency,

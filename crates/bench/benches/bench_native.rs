@@ -1,0 +1,28 @@
+//! Criterion bench for the native thread-pool backend: full executor
+//! iterations (ghost gather + relaxation sweep) on real OS threads at
+//! 1/2/4/8 ranks over the paper-scale mesh. The per-thread-count medians
+//! and speedups land in `results/BENCH_native.json` via `repro_all`; this
+//! bench is the interactive/smoke view of the same measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stance_bench::native::{bench_mesh, time_sweep_gather, THREAD_COUNTS};
+
+fn bench_native_sweep_gather(c: &mut Criterion) {
+    let mesh = bench_mesh();
+    let n = mesh.num_vertices() as u64;
+    let mut group = c.benchmark_group("native_sweep_gather");
+    group.sample_size(10);
+    // One bench iteration = a full native cluster run of 5 executor
+    // iterations (spawn + warm-up included; the steady-state per-iteration
+    // seconds are what BENCH_native.json reports).
+    group.throughput(Throughput::Elements(n * 5));
+    for &threads in &THREAD_COUNTS {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| time_sweep_gather(&mesh, threads, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native_sweep_gather);
+criterion_main!(benches);

@@ -46,6 +46,15 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
+    {
+        let start = Instant::now();
+        eprintln!(">> BENCH_native ...");
+        stance_bench::emit_file("BENCH_native.json", &stance_bench::native::report_json());
+        eprintln!(
+            "   BENCH_native done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
 
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

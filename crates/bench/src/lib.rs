@@ -17,6 +17,7 @@ use rand::{RngExt, SeedableRng};
 pub mod ablations;
 pub mod figures;
 pub mod fmt;
+pub mod native;
 pub mod tables;
 pub mod transport;
 
@@ -37,6 +38,14 @@ pub fn iteration_count() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(stance::scenarios::PAPER_ITERATIONS)
+}
+
+/// Times `f` once per repetition and returns the median seconds — the
+/// sampling policy every wall-clock harness in this crate shares.
+pub fn median_secs(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..reps).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
 }
 
 /// A seeded RNG for workload generation; `STANCE_SEED` overrides.

@@ -176,13 +176,6 @@ pub fn time_primitive<E: Field>(
     report.into_results().into_iter().fold(0.0, f64::max)
 }
 
-/// Times `f` once per repetition and returns the median seconds.
-fn median_secs(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
-    let mut samples: Vec<f64> = (0..reps).map(|_| f()).collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
-}
-
 /// Single-threaded codec timings (seconds per op over `values`): legacy
 /// pack = fresh `Vec` + `write_bytes` loop; bulk pack = recycled buffer +
 /// `pack_into`; legacy unpack = `Element::unpack` + copy; bulk unpack =
@@ -192,7 +185,7 @@ pub fn time_codecs<E: Element>(values: &[E], reps: usize) -> CodecTimings {
     let mut wire = Vec::new();
     E::pack_into(values, &mut wire);
 
-    let legacy_pack = median_secs(reps, || {
+    let legacy_pack = crate::median_secs(reps, || {
         let t0 = Instant::now();
         for _ in 0..iters {
             let mut bytes = Vec::with_capacity(values.len() * E::SIZE_BYTES);
@@ -204,7 +197,7 @@ pub fn time_codecs<E: Element>(values: &[E], reps: usize) -> CodecTimings {
         t0.elapsed().as_secs_f64() / iters as f64
     });
     let mut reused = Vec::new();
-    let bulk_pack = median_secs(reps, || {
+    let bulk_pack = crate::median_secs(reps, || {
         let t0 = Instant::now();
         for _ in 0..iters {
             reused.clear();
@@ -214,7 +207,7 @@ pub fn time_codecs<E: Element>(values: &[E], reps: usize) -> CodecTimings {
         t0.elapsed().as_secs_f64() / iters as f64
     });
     let mut dst = vec![E::zero(); values.len()];
-    let legacy_unpack = median_secs(reps, || {
+    let legacy_unpack = crate::median_secs(reps, || {
         let t0 = Instant::now();
         for _ in 0..iters {
             // What `Element::unpack` + `copy_from_slice` did: decode into
@@ -228,7 +221,7 @@ pub fn time_codecs<E: Element>(values: &[E], reps: usize) -> CodecTimings {
         }
         t0.elapsed().as_secs_f64() / iters as f64
     });
-    let bulk_unpack = median_secs(reps, || {
+    let bulk_unpack = crate::median_secs(reps, || {
         let t0 = Instant::now();
         for _ in 0..iters {
             E::unpack_into(&wire, &mut dst);
@@ -286,12 +279,12 @@ pub fn report_json() -> String {
     let scatter_f64 =
         |path| time_primitive::<f64>(&g, iters, Primitive::ScatterAdd, path, |i| i as f64);
 
-    let g_f64_legacy = median_secs(reps, || gather_f64(Path::Legacy));
-    let g_f64_bulk = median_secs(reps, || gather_f64(Path::Bulk));
-    let g_f64x4_legacy = median_secs(reps, || gather_f64x4(Path::Legacy));
-    let g_f64x4_bulk = median_secs(reps, || gather_f64x4(Path::Bulk));
-    let s_f64_legacy = median_secs(reps, || scatter_f64(Path::Legacy));
-    let s_f64_bulk = median_secs(reps, || scatter_f64(Path::Bulk));
+    let g_f64_legacy = crate::median_secs(reps, || gather_f64(Path::Legacy));
+    let g_f64_bulk = crate::median_secs(reps, || gather_f64(Path::Bulk));
+    let g_f64x4_legacy = crate::median_secs(reps, || gather_f64x4(Path::Legacy));
+    let g_f64x4_bulk = crate::median_secs(reps, || gather_f64x4(Path::Bulk));
+    let s_f64_legacy = crate::median_secs(reps, || scatter_f64(Path::Legacy));
+    let s_f64_bulk = crate::median_secs(reps, || scatter_f64(Path::Bulk));
 
     let codec_f64: Vec<f64> = (0..200_000).map(|i| i as f64).collect();
     let codec_f64x4: Vec<[f64; 4]> = (0..50_000).map(|i| [i as f64, 1.0, -1.0, 0.5]).collect();

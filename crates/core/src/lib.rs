@@ -190,7 +190,8 @@ pub mod prelude {
     pub use stance_locality::{Graph, Ordering, OrderingMethod};
     pub use stance_onedim::{Arrangement, BlockPartition, RedistCostModel};
     pub use stance_sim::{
-        Cluster, ClusterSpec, Element, Env, LoadTimeline, MachineSpec, NetworkSpec, Payload, Tag,
+        Cluster, ClusterSpec, Comm, Element, Env, LoadTimeline, MachineSpec, NetworkSpec, Payload,
+        Tag,
     };
 }
 

@@ -18,8 +18,13 @@
 //! `AdaptiveSession<f64, LaplacianKernel>` and keeps its solver vectors
 //! consistent across remaps with [`AdaptiveSession::check_and_rebalance_with`].
 //!
-//! All methods taking `&mut Env` are collectives: every rank of the cluster
-//! must call them in the same order (the SPMD contract of §2).
+//! The session is backend-generic: every method that communicates takes
+//! any [`Comm`] — the virtual-time simulator (`stance_sim::Env`) for
+//! reproducible experiments, or the native thread-pool backend
+//! (`stance-native`) for real-hardware runs, where the load monitor feeds
+//! on measured wall-clock times instead of modelled ones. All such methods
+//! are collectives: every rank of the cluster must call them in the same
+//! order (the SPMD contract of §2).
 
 use stance_balance::{
     load_balance_step, redistribute_adjacency, redistribute_values_coalesced, Decision, LoadMonitor,
@@ -30,7 +35,7 @@ use stance_inspector::{
 };
 use stance_locality::Graph;
 use stance_onedim::BlockPartition;
-use stance_sim::{Element, Env};
+use stance_sim::{Comm, Element};
 
 use crate::config::StanceConfig;
 
@@ -39,15 +44,16 @@ use crate::config::StanceConfig;
 pub struct SessionReport {
     /// Executor iterations performed.
     pub iterations: usize,
-    /// Virtual seconds in the compute sweep.
+    /// Seconds in the compute sweep (virtual on the simulator, wall-clock
+    /// on the native backend).
     pub compute_time: f64,
     /// Load-balance checks performed.
     pub checks: usize,
     /// Remaps performed.
     pub remaps: usize,
-    /// Virtual seconds spent in checks (gather + decision + broadcast).
+    /// Seconds spent in checks (gather + decision + broadcast).
     pub check_cost: f64,
-    /// Virtual seconds spent remapping (data movement + schedule rebuild).
+    /// Seconds spent remapping (data movement + schedule rebuild).
     pub rebalance_cost: f64,
     /// This rank's clock when the run finished.
     pub total_time: f64,
@@ -69,8 +75,8 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// decomposed assuming all the processors had equal computational
     /// ratio"). The application supplies its `kernel` and the initial value
     /// `init(g)` of every global element `g`.
-    pub fn setup(
-        env: &mut Env,
+    pub fn setup<C: Comm>(
+        env: &mut C,
         graph: &Graph,
         kernel: K,
         init: impl Fn(usize) -> E,
@@ -82,8 +88,8 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
 
     /// Collective setup with an explicit initial partition (e.g. weighted by
     /// known machine speeds).
-    pub fn setup_with_partition(
-        env: &mut Env,
+    pub fn setup_with_partition<C: Comm>(
+        env: &mut C,
         graph: &Graph,
         partition: BlockPartition,
         kernel: K,
@@ -147,7 +153,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
 
     /// Runs a block of iterations, committing each sweep's output as the
     /// next sweep's input, and records the load measurement. Collective.
-    pub fn run_block(&mut self, env: &mut Env, iters: usize) -> LoopStats {
+    pub fn run_block<C: Comm>(&mut self, env: &mut C, iters: usize) -> LoopStats {
         let stats = self.runner.run(env, &mut self.values, iters);
         self.monitor.record(
             stats.compute_time,
@@ -163,7 +169,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// unchanged — operator-style workloads (e.g. a matvec inside CG) read
     /// the result, update their own vectors, and push the next input with
     /// [`AdaptiveSession::set_local_values`]. Collective.
-    pub fn apply_kernel(&mut self, env: &mut Env) -> &[E] {
+    pub fn apply_kernel<C: Comm>(&mut self, env: &mut C) -> &[E] {
         let stats = self.runner.apply(env, &mut self.values);
         self.monitor.record(
             stats.compute_time,
@@ -176,9 +182,9 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// One load-balance check (and remap, if the controller finds it
     /// profitable). Returns `(remapped, check_cost, rebalance_cost)`.
     /// Collective.
-    pub fn check_and_rebalance(
+    pub fn check_and_rebalance<C: Comm>(
         &mut self,
-        env: &mut Env,
+        env: &mut C,
         remaining_iters: usize,
     ) -> (bool, f64, f64) {
         self.check_and_rebalance_with(env, remaining_iters, &mut [])
@@ -190,14 +196,14 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// interval order) and is resized/refilled in place, so solver state
     /// like `x` and `r` stays consistent with the session's partition.
     /// Collective — every rank must pass the same number of arrays.
-    pub fn check_and_rebalance_with(
+    pub fn check_and_rebalance_with<C: Comm>(
         &mut self,
-        env: &mut Env,
+        env: &mut C,
         remaining_iters: usize,
         aux: &mut [&mut Vec<E>],
     ) -> (bool, f64, f64) {
         let per_item = self.monitor.per_item_time().unwrap_or(0.0);
-        let t0 = env.now();
+        let t0 = env.now_secs();
         let decision = load_balance_step(
             env,
             &self.partition,
@@ -205,13 +211,13 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             remaining_iters,
             &self.config.balancer,
         );
-        let check_cost = env.now() - t0;
+        let check_cost = env.now_secs() - t0;
         match decision {
             Decision::Keep => (false, check_cost, 0.0),
             Decision::Remap(new_partition) => {
-                let t1 = env.now();
+                let t1 = env.now_secs();
                 self.apply_remap(env, new_partition, aux);
-                (true, check_cost, env.now() - t1)
+                (true, check_cost, env.now_secs() - t1)
             }
         }
     }
@@ -220,9 +226,9 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// schedule (and, through [`LoopRunner::rebuild`], the runner's
     /// transport scratch — the only point in a run where the steady-state
     /// communication path allocates). Collective.
-    fn apply_remap(
+    fn apply_remap<C: Comm>(
         &mut self,
-        env: &mut Env,
+        env: &mut C,
         new_partition: BlockPartition,
         aux: &mut [&mut Vec<E>],
     ) {
@@ -247,7 +253,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// The paper's full execution structure: blocks of `check_interval`
     /// iterations separated by load-balance checks, for `total_iters`
     /// iterations. Collective.
-    pub fn run_adaptive(&mut self, env: &mut Env, total_iters: usize) -> SessionReport {
+    pub fn run_adaptive<C: Comm>(&mut self, env: &mut C, total_iters: usize) -> SessionReport {
         let mut report = SessionReport::default();
         let mut done = 0;
         while done < total_iters {
@@ -267,15 +273,15 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
                 }
             }
         }
-        report.total_time = env.now().as_secs();
+        report.total_time = env.now_secs();
         report
     }
 }
 
 /// Builds the schedule with the configured strategy, charging inspector
 /// work to the rank's clock. Collective for [`ScheduleStrategy::Simple`].
-fn build_schedule(
-    env: &mut Env,
+fn build_schedule<C: Comm>(
+    env: &mut C,
     partition: &BlockPartition,
     adj: &LocalAdjacency,
     config: &StanceConfig,

@@ -33,7 +33,7 @@
 
 use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
 use stance_locality::Graph;
-use stance_sim::{Element, Env};
+use stance_sim::{Comm, Element};
 
 use crate::buffers::CommBuffers;
 use crate::cost::ComputeCostModel;
@@ -270,8 +270,10 @@ pub fn sequential_relaxation<E: Field>(graph: &Graph, y: &mut [E], iters: usize)
 pub struct LoopStats {
     /// Iterations executed.
     pub iterations: usize,
-    /// Virtual seconds spent in the compute sweep (expanded by machine
-    /// speed and external load — this is what the load monitor samples).
+    /// Seconds spent in the compute sweep, in the backend's time: virtual
+    /// seconds on the simulator (expanded by machine speed and external
+    /// load), wall-clock seconds on the native backend. Either way this is
+    /// what the load monitor samples.
     pub compute_time: f64,
 }
 
@@ -360,18 +362,18 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     /// charges and performs the sweep, and leaves the result in
     /// [`LoopRunner::scratch`]. The input values are untouched — this is
     /// what operator-style workloads (matvec inside a solver) use.
-    pub fn apply(&mut self, env: &mut Env, values: &mut GhostedArray<E>) -> LoopStats {
+    pub fn apply<C: Comm>(&mut self, env: &mut C, values: &mut GhostedArray<E>) -> LoopStats {
         let work = self
             .kernel
             .cost(&self.cost, self.tadj.len(), self.tadj.num_refs());
         gather(env, &self.schedule, values, &self.cost, &mut self.bufs);
-        let t0 = env.now();
+        let t0 = env.now_secs();
         env.compute(work);
         self.kernel
             .sweep(&self.tadj, values.combined(), &mut self.scratch);
         LoopStats {
             iterations: 1,
-            compute_time: env.now() - t0,
+            compute_time: env.now_secs() - t0,
         }
     }
 
@@ -383,7 +385,12 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
 
     /// Runs `iters` iterations: gather ghosts, charge and perform the sweep,
     /// commit the new values. Returns measured timing.
-    pub fn run(&mut self, env: &mut Env, values: &mut GhostedArray<E>, iters: usize) -> LoopStats {
+    pub fn run<C: Comm>(
+        &mut self,
+        env: &mut C,
+        values: &mut GhostedArray<E>,
+        iters: usize,
+    ) -> LoopStats {
         let mut stats = LoopStats::default();
         for _ in 0..iters {
             let step = self.apply(env, values);

@@ -25,7 +25,7 @@
 //! [`CommBuffers::for_schedule`].
 
 use stance_inspector::CommSchedule;
-use stance_sim::{Element, Env, Payload, Tag};
+use stance_sim::{Comm, Element, Payload, Tag};
 
 use crate::buffers::CommBuffers;
 use crate::cost::ComputeCostModel;
@@ -66,8 +66,8 @@ fn pack_indexed<E: Element>(local: &[E], locals: &[u32], bytes: &mut Vec<u8>) {
 /// the peer. For each receive segment: receives the peer's packet and stores
 /// it contiguously in the ghost region (the slots the schedule assigned).
 /// Packing/unpacking work is charged to `env` via `cost`.
-pub fn gather<E: Element>(
-    env: &mut Env,
+pub fn gather<E: Element, C: Comm>(
+    env: &mut C,
     schedule: &CommSchedule,
     values: &mut GhostedArray<E>,
     cost: &ComputeCostModel,
@@ -108,8 +108,8 @@ pub fn gather<E: Element>(
 /// [`gather`]: receive segments become sends and send lists describe where
 /// arriving contributions accumulate. Requires a [`Field`] element (the
 /// accumulation needs addition).
-pub fn scatter_add<E: Field>(
-    env: &mut Env,
+pub fn scatter_add<E: Field, C: Comm>(
+    env: &mut C,
     schedule: &CommSchedule,
     values: &mut GhostedArray<E>,
     cost: &ComputeCostModel,
@@ -170,8 +170,8 @@ pub fn scatter_add<E: Field>(
 ///
 /// # Panics
 /// Panics if any array's shape does not match the schedule.
-pub fn gather_coalesced<E: Element>(
-    env: &mut Env,
+pub fn gather_coalesced<E: Element, C: Comm>(
+    env: &mut C,
     schedule: &CommSchedule,
     arrays: &mut [&mut GhostedArray<E>],
     cost: &ComputeCostModel,
@@ -416,7 +416,7 @@ mod tests {
             let adj = LocalAdjacency::extract(&g, &part, env.rank());
             let (sched, _) =
                 build_schedule_symmetric(&part, &adj, env.rank(), ScheduleStrategy::Sort2);
-            gather_coalesced::<f64>(
+            gather_coalesced::<f64, _>(
                 env,
                 &sched,
                 &mut [],

@@ -37,7 +37,7 @@
 //! as processors are added while the sort strategies get *cheaper*.
 
 use stance_onedim::{BlockPartition, Interval};
-use stance_sim::{Env, Payload, Tag};
+use stance_sim::{Comm, Payload, Tag};
 
 use crate::adjacency::LocalAdjacency;
 use crate::cost::{InspectorCostModel, InspectorWork};
@@ -409,8 +409,8 @@ pub fn build_schedule_symmetric(
 /// happens; message costs follow from the sends themselves.
 ///
 /// All ranks must call this collectively.
-pub fn build_schedule_simple(
-    env: &mut Env,
+pub fn build_schedule_simple<C: Comm>(
+    env: &mut C,
     partition: &BlockPartition,
     adj: &LocalAdjacency,
     cost: &InspectorCostModel,

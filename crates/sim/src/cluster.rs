@@ -7,18 +7,14 @@
 //! accounting counters.
 
 use std::sync::Arc;
-use std::thread;
 
-use crate::env::{BarrierShared, Env};
+use crate::env::{Env, Msg};
+use crate::launch::{run_ranks, BarrierShared};
 use crate::machine::{LoadTimeline, MachineSpec};
-use crate::mailbox::{mailbox, MailboxReceiver, MailboxSender};
+use crate::mailbox::mailbox_matrix;
 use crate::network::{NetworkSpec, NetworkState};
 use crate::stats::EnvStats;
 use crate::time::VTime;
-
-/// Stack size for simulated ranks. Partitioners recurse over meshes, so be
-/// generous — this costs only virtual address space.
-const RANK_STACK_BYTES: usize = 16 * 1024 * 1024;
 
 /// A complete, reproducible description of a computational environment.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,8 +168,11 @@ impl Cluster {
     /// OS thread with its own [`Env`]. Returns when every rank has finished.
     ///
     /// # Panics
-    /// If any rank panics, the panic is propagated (after all other ranks are
-    /// given the chance to finish or fail).
+    /// If any rank panics, the whole run fails with the **first** panic's
+    /// original payload (message). A failing rank poisons the barrier and
+    /// closes its mailboxes, so peers blocked in `recv` or `barrier` abort
+    /// instead of deadlocking; their secondary panics are swallowed in
+    /// favour of the original one.
     pub fn run<R, F>(&self, f: F) -> RunReport<R>
     where
         R: Send,
@@ -183,89 +182,46 @@ impl Cluster {
         let net = Arc::new(NetworkState::new(self.spec.network.clone()));
         let barrier = BarrierShared::new(p, self.spec.network.latency);
 
-        // Mailbox matrix: matrix[src][dst] is the sender half of the mailbox
-        // that carries src→dst messages; rx_matrix[dst][src] the receiver.
-        let mut tx_rows: Vec<Vec<Option<MailboxSender>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut rx_rows: Vec<Vec<Option<MailboxReceiver>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        for (src, tx_row) in tx_rows.iter_mut().enumerate() {
-            for (dst, slot) in tx_row.iter_mut().enumerate() {
-                let (tx, rx) = mailbox();
-                *slot = Some(tx);
-                rx_rows[dst][src] = Some(rx);
-            }
-        }
+        let envs: Vec<Env> = mailbox_matrix::<Msg>(p)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (txs, rxs))| {
+                Env::new(
+                    rank,
+                    p,
+                    self.spec.machines[rank].clone(),
+                    Arc::clone(&net),
+                    txs,
+                    rxs,
+                    Arc::clone(&barrier),
+                )
+            })
+            .collect();
 
-        let mut envs: Vec<Env> = Vec::with_capacity(p);
-        for (rank, (tx_row, rx_row)) in tx_rows.into_iter().zip(rx_rows).enumerate() {
-            let txs = tx_row
-                .into_iter()
-                .map(|t| t.expect("mailbox matrix fully populated"))
-                .collect();
-            let rxs = rx_row
-                .into_iter()
-                .map(|r| r.expect("mailbox matrix fully populated"))
-                .collect();
-            envs.push(Env::new(
-                rank,
-                p,
-                self.spec.machines[rank].clone(),
-                Arc::clone(&net),
-                txs,
-                rxs,
-                Arc::clone(&barrier),
-            ));
-        }
-
-        let f = &f;
-        let mut outcomes: Vec<Option<RankReport<R>>> = (0..p).map(|_| None).collect();
-        thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for mut env in envs {
-                let handle = thread::Builder::new()
-                    .name(format!("rank-{}", env.rank()))
-                    .stack_size(RANK_STACK_BYTES)
-                    .spawn_scoped(scope, move || {
-                        let result = f(&mut env);
-                        let (clock, stats) = env.into_parts();
-                        RankReport {
-                            result,
-                            clock,
-                            stats,
-                        }
-                    })
-                    .expect("failed to spawn rank thread");
-                handles.push(handle);
-            }
-            let mut panic_payload = None;
-            for (rank, handle) in handles.into_iter().enumerate() {
-                match handle.join() {
-                    Ok(report) => outcomes[rank] = Some(report),
-                    Err(e) => {
-                        if panic_payload.is_none() {
-                            panic_payload = Some(e);
-                        }
-                    }
+        // The shared launch harness owns the panic protocol (first panic
+        // wins, barrier poisoning, mailbox closure via context drop).
+        let ranks = run_ranks(
+            "rank-",
+            envs,
+            || barrier.poison(),
+            &f,
+            |env, result| {
+                let (clock, stats) = env.into_parts();
+                RankReport {
+                    result,
+                    clock,
+                    stats,
                 }
-            }
-            if let Some(e) = panic_payload {
-                std::panic::resume_unwind(e);
-            }
-        });
-
-        RunReport {
-            ranks: outcomes
-                .into_iter()
-                .map(|o| o.expect("all ranks completed"))
-                .collect(),
-        }
+            },
+        );
+        RunReport { ranks }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::Comm;
     use crate::payload::{Payload, Tag};
 
     #[test]
@@ -560,13 +516,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "boom")]
     fn rank_panic_propagates() {
         let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
         Cluster::new(spec).run(|env| {
             if env.rank() == 1 {
                 panic!("boom");
             }
+        });
+    }
+
+    /// A rank that panics while its peers sit in `barrier` must fail the
+    /// whole run with the *original* panic message — before the poisoning
+    /// fix this deadlocked, and before first-panic recording it could
+    /// surface a secondary "peer rank panicked" message instead.
+    #[test]
+    #[should_panic(expected = "original boom")]
+    fn rank_panic_unblocks_peers_in_barrier() {
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            if env.rank() == 2 {
+                // Give peers time to actually block inside the barrier.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("original boom");
+            }
+            env.barrier();
+        });
+    }
+
+    /// Same for peers blocked in `recv`: the failing rank's mailboxes close
+    /// and the run surfaces the original message, not the receiver's
+    /// secondary "sender exited" panic.
+    #[test]
+    #[should_panic(expected = "original boom")]
+    fn rank_panic_unblocks_peers_in_recv() {
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            if env.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("original boom");
+            }
+            env.recv(1, Tag(1));
         });
     }
 

@@ -1,0 +1,187 @@
+//! The backend-independent communication interface.
+//!
+//! Every layer of the runtime above the transport — the executor's
+//! gather/scatter primitives, the load balancer's redistribution and
+//! controller protocol, the inspector's "simple" strategy, the adaptive
+//! session — is written against this trait instead of a concrete backend.
+//! Two backends implement it:
+//!
+//! * [`Env`](crate::Env) — the deterministic virtual-time simulator in this
+//!   crate (one thread per simulated workstation, cost-modelled clocks);
+//! * `NativeComm` (crate `stance-native`) — one real OS thread per rank with
+//!   wall-clock timing, for running the same SPMD programs on actual
+//!   hardware.
+//!
+//! The trait is the paper's §2 SPMD messaging contract: point-to-point
+//! tagged send/receive with per-(source, destination) FIFO order, a
+//! cluster-wide barrier, and collectives built from those primitives. Two
+//! extra hooks make time portable across backends:
+//!
+//! * [`Comm::compute`] — the *compute-cost charging hook*. The simulator
+//!   advances its virtual clock by the charged work (scaled by machine
+//!   speed and external load); a wall-clock backend does nothing, because
+//!   real work already takes real time.
+//! * [`Comm::now_secs`] — seconds since the start of the run: virtual
+//!   seconds on the simulator, wall-clock seconds on a native backend. The
+//!   load monitor's per-item times are derived from differences of this
+//!   quantity, so the paper's load-balancing loop works unmodified on both
+//!   backends (model-driven in the simulator, measurement-driven on real
+//!   threads).
+//!
+//! Collectives have default implementations in terms of `send`/`recv`,
+//! with **deterministic rank-order data flow**: `allgather` returns
+//! payloads in rank order and `allreduce_f64` folds in rank order, so a
+//! floating-point reduction is bitwise identical on every backend. The
+//! simulator overrides them only to refine *cost* accounting (e.g.
+//! hardware multicast), never the data movement order — the cross-backend
+//! equivalence tests pin this.
+
+use crate::payload::{Payload, Tag};
+
+/// One rank's handle onto its cluster: the SPMD communication interface
+/// every backend provides. See the [module docs](self) for the contract.
+///
+/// All methods take `&mut self`: a rank is a single sequential process,
+/// exactly as in the paper's SPMD model (§2). Methods documented as
+/// *collective* must be called by every rank of the cluster in the same
+/// order.
+pub trait Comm {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the cluster.
+    fn size(&self) -> usize;
+
+    /// Charges `work` reference seconds of computation (the compute-cost
+    /// charging hook). The simulator advances this rank's virtual clock
+    /// according to machine speed and external load; wall-clock backends
+    /// are a no-op — on real hardware the work itself takes the time.
+    fn compute(&mut self, work: f64);
+
+    /// Seconds since the start of the run on this rank: virtual seconds on
+    /// the simulator, wall-clock seconds on a native backend. Monotone
+    /// non-decreasing; differences of this value are what the load monitor
+    /// records.
+    fn now_secs(&self) -> f64;
+
+    /// Sends `payload` to `dst` with `tag`. Sending to self is allowed.
+    /// Messages between one (source, destination) pair are delivered in
+    /// FIFO order per tag match.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    fn send(&mut self, dst: usize, tag: Tag, payload: Payload);
+
+    /// Receives the next message from `src` carrying `tag`, blocking until
+    /// it arrives. Messages with other tags from `src` are buffered and
+    /// returned by later matching receives (tag isolation).
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range, or if `src` terminates without ever
+    /// sending a matching message (a deadlocked protocol is a bug).
+    fn recv(&mut self, src: usize, tag: Tag) -> Payload;
+
+    /// Synchronizes all ranks. Collective.
+    fn barrier(&mut self);
+
+    /// Sends the same payload to several destinations. The default is a
+    /// loop of unicast sends; backends with hardware multicast override it.
+    fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {
+        match dsts {
+            [] => {}
+            [dst] => self.send(*dst, tag, payload),
+            [head @ .., last] => {
+                for &dst in head {
+                    self.send(dst, tag, payload.clone());
+                }
+                self.send(*last, tag, payload);
+            }
+        }
+    }
+
+    /// Broadcast from `root`: the root multicasts `payload` to everyone and
+    /// returns it; the others receive it. Collective.
+    fn bcast_from(&mut self, root: usize, tag: Tag, payload: Payload) -> Payload {
+        if self.rank() == root {
+            let others: Vec<usize> = (0..self.size()).filter(|&r| r != root).collect();
+            self.multicast(&others, tag, payload.clone());
+            payload
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Gathers every rank's payload at `root` (in rank order). Returns
+    /// `Some(payloads)` at the root and `None` elsewhere. Collective.
+    fn gather_to(&mut self, root: usize, tag: Tag, payload: Payload) -> Option<Vec<Payload>> {
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(self.size());
+            for src in 0..self.size() {
+                if src == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, payload);
+            None
+        }
+    }
+
+    /// All-gather: every rank ends up with every rank's payload, in rank
+    /// order. Collective.
+    fn allgather(&mut self, tag: Tag, payload: Payload) -> Vec<Payload> {
+        let others: Vec<usize> = (0..self.size()).filter(|&r| r != self.rank()).collect();
+        self.multicast(&others, tag, payload.clone());
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank() {
+                out.push(payload.clone());
+            } else {
+                out.push(self.recv(src, tag));
+            }
+        }
+        out
+    }
+
+    /// All-reduce of one `f64` per rank with a binary operation. Everyone
+    /// returns the reduction over all ranks, **folded in rank order** — the
+    /// result is bitwise identical on every backend and every rank.
+    /// Collective.
+    fn allreduce_f64(&mut self, tag: Tag, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        let parts = self.allgather(tag, Payload::from_f64(vec![value]));
+        parts
+            .into_iter()
+            .map(|p| p.into_f64()[0])
+            .reduce(&op)
+            .expect("cluster has at least one rank")
+    }
+
+    /// Personalized all-to-all exchange: sends each `(dst, payload)` pair,
+    /// then receives one payload from each rank listed in `recv_from` (in
+    /// the given order). The caller must know its senders — in STANCE they
+    /// always follow from replicated interval tables or schedules.
+    fn exchange(
+        &mut self,
+        sends: Vec<(usize, Payload)>,
+        recv_from: &[usize],
+        tag: Tag,
+    ) -> Vec<(usize, Payload)> {
+        for (dst, payload) in sends {
+            self.send(dst, tag, payload);
+        }
+        recv_from
+            .iter()
+            .map(|&src| (src, self.recv(src, tag)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The trait's default collectives are exercised against both backends
+    // by the workspace-level `tests/comm_conformance.rs` suite; `Env`'s
+    // implementation is covered by `cluster.rs` tests.
+}

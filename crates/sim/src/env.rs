@@ -6,11 +6,12 @@
 //! a rank is a single sequential process, exactly as in the paper's SPMD
 //! model (§2).
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
+use crate::comm::Comm;
+use crate::launch::BarrierShared;
 use crate::machine::MachineSpec;
-use crate::mailbox::{MailboxReceiver, MailboxSender};
+use crate::mailbox::{MailboxReceiver, MailboxSender, TagBuffer, Tagged};
 use crate::network::NetworkState;
 use crate::payload::{Payload, Tag};
 use crate::stats::EnvStats;
@@ -24,63 +25,9 @@ pub(crate) struct Msg {
     pub payload: Payload,
 }
 
-/// Shared state for the clock-synchronizing barrier.
-pub(crate) struct BarrierShared {
-    inner: Mutex<BarrierInner>,
-    cv: Condvar,
-    size: usize,
-    /// Virtual seconds a barrier adds beyond the max participant clock
-    /// (log-tree latency model).
-    cost: f64,
-}
-
-struct BarrierInner {
-    arrived: usize,
-    generation: u64,
-    max_clock: VTime,
-    release: VTime,
-}
-
-impl BarrierShared {
-    pub(crate) fn new(size: usize, per_message_latency: f64) -> Arc<Self> {
-        // A dissemination barrier needs ceil(log2(p)) rounds of messages.
-        let rounds = if size <= 1 {
-            0.0
-        } else {
-            (size as f64).log2().ceil()
-        };
-        Arc::new(BarrierShared {
-            inner: Mutex::new(BarrierInner {
-                arrived: 0,
-                generation: 0,
-                max_clock: VTime::ZERO,
-                release: VTime::ZERO,
-            }),
-            cv: Condvar::new(),
-            size,
-            cost: 2.0 * per_message_latency * rounds,
-        })
-    }
-
-    /// Blocks until all ranks arrive; returns the synchronized release time.
-    fn wait(&self, clock: VTime) -> VTime {
-        let mut g = self.inner.lock().expect("barrier lock poisoned");
-        g.max_clock = g.max_clock.max(clock);
-        g.arrived += 1;
-        if g.arrived == self.size {
-            g.release = g.max_clock + self.cost;
-            g.generation = g.generation.wrapping_add(1);
-            g.arrived = 0;
-            g.max_clock = VTime::ZERO;
-            self.cv.notify_all();
-            g.release
-        } else {
-            let gen = g.generation;
-            while g.generation == gen {
-                g = self.cv.wait(g).expect("barrier lock poisoned");
-            }
-            g.release
-        }
+impl Tagged for Msg {
+    fn tag(&self) -> Tag {
+        self.tag
     }
 }
 
@@ -92,11 +39,12 @@ pub struct Env {
     machine: MachineSpec,
     net: Arc<NetworkState>,
     /// `txs[dst]` sends into `dst`'s mailbox slot for this rank.
-    txs: Vec<MailboxSender>,
+    txs: Vec<MailboxSender<Msg>>,
     /// `rxs[src]` receives messages sent by `src`.
-    rxs: Vec<MailboxReceiver>,
-    /// Buffered messages per source whose tag did not match an earlier recv.
-    pending: Vec<VecDeque<Msg>>,
+    rxs: Vec<MailboxReceiver<Msg>>,
+    /// Tag-matched receive buffering (shared semantics with the native
+    /// backend — see [`TagBuffer`]).
+    pending: TagBuffer<Msg>,
     barrier: Arc<BarrierShared>,
     stats: EnvStats,
 }
@@ -108,11 +56,11 @@ impl Env {
         size: usize,
         machine: MachineSpec,
         net: Arc<NetworkState>,
-        txs: Vec<MailboxSender>,
-        rxs: Vec<MailboxReceiver>,
+        txs: Vec<MailboxSender<Msg>>,
+        rxs: Vec<MailboxReceiver<Msg>>,
         barrier: Arc<BarrierShared>,
     ) -> Self {
-        let pending = (0..size).map(|_| VecDeque::new()).collect();
+        let pending = TagBuffer::new(size);
         Env {
             rank,
             size,
@@ -266,7 +214,9 @@ impl Env {
     /// sending a matching message (a deadlocked protocol is a bug).
     pub fn recv(&mut self, src: usize, tag: Tag) -> Payload {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
-        let msg = self.take_matching(src, tag);
+        let msg = self
+            .pending
+            .recv_matching(&self.rxs[src], self.rank, src, tag);
         self.stats.wait_time += msg.arrival.saturating_gap(self.clock);
         self.clock = self.clock.max(msg.arrival);
         let overhead = self.net.spec().recv_overhead;
@@ -275,26 +225,6 @@ impl Env {
         self.stats.messages_received += 1;
         self.stats.bytes_received += msg.payload.size_bytes() as u64;
         msg.payload
-    }
-
-    fn take_matching(&mut self, src: usize, tag: Tag) -> Msg {
-        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
-            return self.pending[src]
-                .remove(pos)
-                .expect("position was just found");
-        }
-        loop {
-            let msg = self.rxs[src].recv().unwrap_or_else(|_disconnected| {
-                panic!(
-                    "rank {} waiting on tag {:?} from rank {src}, but the sender exited",
-                    self.rank, tag
-                )
-            });
-            if msg.tag == tag {
-                return msg;
-            }
-            self.pending[src].push_back(msg);
-        }
     }
 
     /// Synchronizes all ranks: every clock advances to the maximum
@@ -306,84 +236,52 @@ impl Env {
         self.stats.barrier_time += release - entry;
         self.clock = release;
     }
+}
 
-    /// Broadcast from `root`: the root multicasts `payload` to everyone and
-    /// returns it; the others receive it.
-    pub fn bcast_from(&mut self, root: usize, tag: Tag, payload: Payload) -> Payload {
-        if self.rank == root {
-            let others: Vec<usize> = (0..self.size).filter(|&r| r != root).collect();
-            self.multicast(&others, tag, payload.clone());
-            payload
-        } else {
-            self.recv(root, tag)
-        }
+/// The simulator backend's [`Comm`] implementation. The primitives
+/// (`send`/`recv`/`barrier`/`compute`) delegate to `Env`'s inherent
+/// cost-modelled methods; `multicast` is also overridden because the
+/// network model has a hardware-multicast fast path (§3.6) the trait's
+/// unicast-loop default can't express. The remaining collectives use the
+/// trait defaults, which are built from these overridden primitives — so
+/// they charge virtual time exactly as hand-rolled versions would, and
+/// there is exactly one copy of each collective's data-movement logic for
+/// all backends (see [`crate::comm`]).
+impl Comm for Env {
+    #[inline]
+    fn rank(&self) -> usize {
+        Env::rank(self)
     }
 
-    /// Gathers every rank's payload at `root` (in rank order). Returns
-    /// `Some(payloads)` at the root and `None` elsewhere.
-    pub fn gather_to(&mut self, root: usize, tag: Tag, payload: Payload) -> Option<Vec<Payload>> {
-        if self.rank == root {
-            let mut out = Vec::with_capacity(self.size);
-            for src in 0..self.size {
-                if src == root {
-                    out.push(payload.clone());
-                } else {
-                    out.push(self.recv(src, tag));
-                }
-            }
-            Some(out)
-        } else {
-            self.send(root, tag, payload);
-            None
-        }
+    #[inline]
+    fn size(&self) -> usize {
+        Env::size(self)
     }
 
-    /// All-gather: every rank ends up with every rank's payload, in rank
-    /// order. Implemented as gather-to-0 followed by broadcast of the
-    /// concatenation metadata; cost follows from the constituent messages.
-    pub fn allgather(&mut self, tag: Tag, payload: Payload) -> Vec<Payload> {
-        // Each rank multicasts its contribution; everyone receives p-1.
-        let others: Vec<usize> = (0..self.size).filter(|&r| r != self.rank).collect();
-        self.multicast(&others, tag, payload.clone());
-        let mut out = Vec::with_capacity(self.size);
-        for src in 0..self.size {
-            if src == self.rank {
-                out.push(payload.clone());
-            } else {
-                out.push(self.recv(src, tag));
-            }
-        }
-        out
+    #[inline]
+    fn compute(&mut self, work: f64) {
+        Env::compute(self, work);
     }
 
-    /// All-reduce of one `f64` per rank with a binary operation. Everyone
-    /// returns the reduction over all ranks, folded in rank order.
-    pub fn allreduce_f64(&mut self, tag: Tag, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
-        let parts = self.allgather(tag, Payload::from_f64(vec![value]));
-        parts
-            .into_iter()
-            .map(|p| p.into_f64()[0])
-            .reduce(&op)
-            .expect("cluster has at least one rank")
+    #[inline]
+    fn now_secs(&self) -> f64 {
+        self.now().as_secs()
     }
 
-    /// Personalized all-to-all exchange: sends each `(dst, payload)` pair,
-    /// then receives one payload from each rank listed in `recv_from` (in the
-    /// given order). The caller must know its senders — in STANCE they always
-    /// follow from replicated interval tables or schedules.
-    pub fn exchange(
-        &mut self,
-        sends: Vec<(usize, Payload)>,
-        recv_from: &[usize],
-        tag: Tag,
-    ) -> Vec<(usize, Payload)> {
-        for (dst, payload) in sends {
-            self.send(dst, tag, payload);
-        }
-        recv_from
-            .iter()
-            .map(|&src| (src, self.recv(src, tag)))
-            .collect()
+    fn send(&mut self, dst: usize, tag: Tag, payload: Payload) {
+        Env::send(self, dst, tag, payload);
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Payload {
+        Env::recv(self, src, tag)
+    }
+
+    fn barrier(&mut self) {
+        Env::barrier(self);
+    }
+
+    fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {
+        Env::multicast(self, dsts, tag, payload);
     }
 }
 

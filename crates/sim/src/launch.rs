@@ -1,0 +1,260 @@
+//! The shared SPMD thread-launch harness.
+//!
+//! Both backends launch ranks the same way: one OS thread per rank, a
+//! generous stack (partitioners recurse over meshes), and a
+//! fail-without-deadlock panic protocol. The protocol lives here, once,
+//! so the two backends cannot drift apart on failure semantics:
+//!
+//! 1. every rank body runs under `catch_unwind`;
+//! 2. the **first** panic's payload is recorded (later ones are fallout —
+//!    disconnected mailboxes, poisoned barrier — and are swallowed);
+//! 3. the failing rank calls the backend's `poison` hook (which poisons
+//!    its barrier) and then drops its per-rank context, closing its
+//!    mailboxes — so peers blocked in `barrier` or `recv` abort instead
+//!    of waiting forever;
+//! 4. after every thread has been joined, the original payload is
+//!    resumed, so the caller sees the original panic message.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use crate::time::VTime;
+
+/// Stack size for rank threads: partitioners recurse over meshes, so be
+/// generous — this costs only virtual address space.
+pub const RANK_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// The poisonable, clock-synchronizing barrier both backends share.
+///
+/// The arrive/release protocol is a sense-reversing barrier with a
+/// `poisoned` flag wired into the panic protocol above: a failing rank
+/// calls [`BarrierShared::poison`], and every waiter panics out instead
+/// of waiting for a participant that will never arrive. The virtual-clock
+/// fold (release = max participant clock + log-tree cost) is the
+/// simulator's time model; the native backend constructs the barrier with
+/// zero cost and passes [`VTime::ZERO`], which reduces `wait` to a plain
+/// synchronization barrier — one copy of the protocol for both backends.
+pub struct BarrierShared {
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+    size: usize,
+    /// Virtual seconds a barrier adds beyond the max participant clock
+    /// (log-tree latency model).
+    cost: f64,
+}
+
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+    max_clock: VTime,
+    release: VTime,
+    /// Set when a rank panics: waiters must not keep waiting for a
+    /// participant that will never arrive.
+    poisoned: bool,
+}
+
+impl BarrierShared {
+    /// A barrier for `size` ranks whose release charges the log-tree
+    /// latency model derived from `per_message_latency` (pass `0.0` for a
+    /// pure synchronization barrier).
+    pub fn new(size: usize, per_message_latency: f64) -> Arc<Self> {
+        // A dissemination barrier needs ceil(log2(p)) rounds of messages.
+        let rounds = if size <= 1 {
+            0.0
+        } else {
+            (size as f64).log2().ceil()
+        };
+        Arc::new(BarrierShared {
+            inner: Mutex::new(BarrierInner {
+                arrived: 0,
+                generation: 0,
+                max_clock: VTime::ZERO,
+                release: VTime::ZERO,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            size,
+            cost: 2.0 * per_message_latency * rounds,
+        })
+    }
+
+    /// Blocks until all ranks arrive; returns the synchronized release time.
+    ///
+    /// # Panics
+    /// Panics if the barrier was [poisoned](Self::poison) by a rank that
+    /// failed — the missing participant would otherwise deadlock everyone.
+    pub fn wait(&self, clock: VTime) -> VTime {
+        // `unwrap_or_else(into_inner)`: a waiter that panics out of this
+        // very function (via the poison assert) unwinds while holding the
+        // guard, poisoning the *mutex*; the barrier's own `poisoned` flag
+        // is the real protocol state, so keep going and read it.
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        assert!(!g.poisoned, "barrier poisoned: a peer rank panicked");
+        g.max_clock = g.max_clock.max(clock);
+        g.arrived += 1;
+        if g.arrived == self.size {
+            g.release = g.max_clock + self.cost;
+            g.generation = g.generation.wrapping_add(1);
+            g.arrived = 0;
+            g.max_clock = VTime::ZERO;
+            self.cv.notify_all();
+            g.release
+        } else {
+            let gen = g.generation;
+            while g.generation == gen {
+                g = self
+                    .cv
+                    .wait(g)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                assert!(!g.poisoned, "barrier poisoned: a peer rank panicked");
+            }
+            g.release
+        }
+    }
+
+    /// Marks the barrier unusable and wakes every waiter (which then
+    /// panics out of [`Self::wait`]). Called when a rank fails so peers
+    /// blocked on the barrier don't deadlock waiting for it.
+    pub fn poison(&self) {
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        g.poisoned = true;
+        drop(g);
+        self.cv.notify_all();
+    }
+}
+
+/// Runs one thread per context in `ctxs` (index = rank), executing
+/// `rank_main` on each, and returns the per-rank results in rank order.
+///
+/// The two-phase shape is load-bearing for the panic protocol:
+/// `rank_main` only *borrows* the context, so when it panics the context
+/// is still alive while the payload is recorded — the failing rank's
+/// mailboxes must not close (unblocking peers into their secondary
+/// "sender exited" panics) until the original panic has been recorded as
+/// first. Only then is the context dropped. On success, `finish` consumes
+/// the context to assemble the rank's report (e.g. extracting the final
+/// clock); it runs outside the catch and must not panic in normal
+/// operation.
+///
+/// # Panics
+/// If any rank panics, resumes the **first** panic's original payload
+/// after all threads have been joined.
+pub fn run_ranks<Ctx, T, R>(
+    name_prefix: &str,
+    ctxs: Vec<Ctx>,
+    poison: impl Fn() + Sync,
+    rank_main: impl Fn(&mut Ctx) -> T + Send + Sync,
+    finish: impl Fn(Ctx, T) -> R + Send + Sync,
+) -> Vec<R>
+where
+    Ctx: Send,
+    R: Send,
+{
+    let p = ctxs.len();
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let record_first = |payload: Box<dyn std::any::Any + Send>| {
+        let mut g = first_panic
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if g.is_none() {
+            *g = Some(payload);
+        }
+    };
+    let mut outcomes: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, mut ctx) in ctxs.into_iter().enumerate() {
+            let poison = &poison;
+            let rank_main = &rank_main;
+            let finish = &finish;
+            let record_first = &record_first;
+            let handle = thread::Builder::new()
+                .name(format!("{name_prefix}{rank}"))
+                .stack_size(RANK_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    match catch_unwind(AssertUnwindSafe(|| rank_main(&mut ctx))) {
+                        Ok(result) => Some(finish(ctx, result)),
+                        Err(payload) => {
+                            record_first(payload);
+                            // Only now unblock peers: waiters in `barrier`
+                            // abort via the poison, and dropping `ctx` (on
+                            // return) closes this rank's mailboxes so
+                            // waiters in `recv` abort via `Disconnected` —
+                            // strictly after the original panic was
+                            // recorded, so theirs can never win.
+                            poison();
+                            None
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(outcome) => outcomes[rank] = outcome,
+                // A panic that escaped catch_unwind (can't happen today,
+                // but must not be silently dropped if it ever does).
+                Err(payload) => record_first(payload),
+            }
+        }
+    });
+    if let Some(payload) = first_panic
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all ranks completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_ranks(
+            "t-",
+            vec![0usize, 1, 2],
+            || {},
+            |rank| *rank * 10,
+            |_, result| result,
+        );
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "first boom")]
+    fn first_panic_wins_and_poison_runs() {
+        let poisons = AtomicUsize::new(0);
+        run_ranks(
+            "t-",
+            vec![0usize, 1],
+            || {
+                poisons.fetch_add(1, Ordering::SeqCst);
+            },
+            |rank| {
+                if *rank == 0 {
+                    panic!("first boom");
+                }
+                // Give rank 0 time to record its panic first.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("second boom");
+            },
+            |_, ()| (),
+        );
+    }
+}

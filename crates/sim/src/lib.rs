@@ -23,6 +23,13 @@
 //! communication schedules, gathers, scatters and redistributions) is fully
 //! exercised.
 //!
+//! The messaging contract itself — tagged send/receive, barrier,
+//! collectives, compute charging — is captured by the [`Comm`] trait
+//! (module [`comm`]), which this crate's [`Env`] implements with virtual
+//! time and the `stance-native` crate implements with real threads and
+//! wall-clock time. Runtime layers above the transport are generic over
+//! `Comm`, so the same SPMD program runs on either backend.
+//!
 //! ## Model
 //!
 //! * Each rank `r` owns a monotone virtual clock `C_r` (seconds).
@@ -34,7 +41,7 @@
 //!   byte_time`.
 //! * [`Env::recv`] sets `C_r ← max(C_r, arrival)`, recording the difference as
 //!   idle (wait) time.
-//! * Collectives ([`Env::barrier`], [`Env::bcast_from`], …) are built from the
+//! * Collectives ([`Env::barrier`], [`Comm::bcast_from`], …) are built from the
 //!   same primitives (a shared-memory fast path is used for the barrier; its
 //!   cost model is the usual `O(log p)` latency tree).
 //!
@@ -46,7 +53,7 @@
 //! ## Example
 //!
 //! ```
-//! use stance_sim::{Cluster, ClusterSpec, Payload, Tag};
+//! use stance_sim::{Cluster, ClusterSpec, Comm, Payload, Tag};
 //!
 //! let spec = ClusterSpec::uniform(4);
 //! let report = Cluster::new(spec).run(|env| {
@@ -71,15 +78,18 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod comm;
 pub mod env;
+pub mod launch;
 pub mod machine;
-pub(crate) mod mailbox;
+pub mod mailbox;
 pub mod network;
 pub mod payload;
 pub mod stats;
 pub mod time;
 
 pub use cluster::{Cluster, ClusterSpec, RankReport, RunReport};
+pub use comm::Comm;
 pub use env::Env;
 pub use machine::{LoadPhase, LoadTimeline, MachineSpec};
 pub use network::{NetworkKind, NetworkSpec};

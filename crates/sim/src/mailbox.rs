@@ -16,32 +16,96 @@
 //! send fails once the receiver is gone, a receive fails once the sender is
 //! gone *and* the queue is drained (buffered messages are still delivered,
 //! exactly as mpsc does).
+//!
+//! The mailbox is generic over its message type so both backends share the
+//! same transport: the simulator carries arrival-stamped messages
+//! (`Msg`), the native thread-pool backend (crate `stance-native`) carries
+//! plain `(tag, payload)` records — same deque, same warm-up behaviour,
+//! same zero-allocation steady state on real threads.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::env::Msg;
+use crate::payload::Tag;
 
 /// The error a [`MailboxReceiver::recv`] returns when the sending rank
 /// terminated without ever sending a matching message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Disconnected;
+pub struct Disconnected;
 
-struct MailboxState {
-    queue: VecDeque<Msg>,
+/// Messages that carry a [`Tag`] for receive matching.
+pub trait Tagged {
+    /// The message's tag.
+    fn tag(&self) -> Tag;
+}
+
+/// Per-source tag-matched receive buffering, shared by both backends: a
+/// receive for tag `t` skips (and preserves, in order) earlier messages
+/// with other tags, so per-tag FIFO order survives out-of-order receives.
+/// This is the one copy of the tag-isolation semantics the
+/// `comm_conformance` suite pins.
+#[derive(Debug)]
+pub struct TagBuffer<T> {
+    /// Buffered messages per source whose tag did not match an earlier
+    /// recv.
+    pending: Vec<VecDeque<T>>,
+}
+
+impl<T: Tagged> TagBuffer<T> {
+    /// A buffer for a `size`-rank cluster.
+    pub fn new(size: usize) -> Self {
+        TagBuffer {
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Returns the next message from `src` carrying `tag`: from the pending
+    /// buffer if one matched earlier, otherwise blocking on `rx` and
+    /// buffering mismatches. `rank` is the receiver's id, used in the
+    /// diagnostic when `src` terminates without ever sending a match.
+    ///
+    /// # Panics
+    /// Panics if `src`'s mailbox disconnects before a matching message
+    /// arrives — a deadlocked protocol is a bug.
+    pub fn recv_matching(
+        &mut self,
+        rx: &MailboxReceiver<T>,
+        rank: usize,
+        src: usize,
+        tag: Tag,
+    ) -> T {
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag() == tag) {
+            return self.pending[src]
+                .remove(pos)
+                .expect("position was just found");
+        }
+        loop {
+            let msg = rx.recv().unwrap_or_else(|_disconnected| {
+                panic!("rank {rank} waiting on tag {tag:?} from rank {src}, but the sender exited")
+            });
+            if msg.tag() == tag {
+                return msg;
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+}
+
+struct MailboxState<T> {
+    queue: VecDeque<T>,
     /// Set when either endpoint is dropped; each mailbox has exactly one
     /// sender and one receiver, so one flag serves both directions.
     closed: bool,
 }
 
-struct Mailbox {
-    state: Mutex<MailboxState>,
+struct Mailbox<T> {
+    state: Mutex<MailboxState<T>>,
     cv: Condvar,
 }
 
 /// Creates one directed mailbox: the sender half enqueues, the receiver
 /// half dequeues in FIFO order.
-pub(crate) fn mailbox() -> (MailboxSender, MailboxReceiver) {
+pub fn mailbox<T>() -> (MailboxSender<T>, MailboxReceiver<T>) {
     let core = Arc::new(Mailbox {
         state: Mutex::new(MailboxState {
             queue: VecDeque::new(),
@@ -53,11 +117,11 @@ pub(crate) fn mailbox() -> (MailboxSender, MailboxReceiver) {
 }
 
 /// The enqueueing half of a mailbox (held by the source rank).
-pub(crate) struct MailboxSender(Arc<Mailbox>);
+pub struct MailboxSender<T>(Arc<Mailbox<T>>);
 
-impl MailboxSender {
+impl<T> MailboxSender<T> {
     /// Enqueues a message; returns it back if the receiver hung up.
-    pub(crate) fn send(&self, msg: Msg) -> Result<(), Msg> {
+    pub fn send(&self, msg: T) -> Result<(), T> {
         let mut g = self.0.state.lock().expect("mailbox lock poisoned");
         if g.closed {
             return Err(msg);
@@ -69,7 +133,7 @@ impl MailboxSender {
     }
 }
 
-impl Drop for MailboxSender {
+impl<T> Drop for MailboxSender<T> {
     fn drop(&mut self) {
         let mut g = self.0.state.lock().expect("mailbox lock poisoned");
         g.closed = true;
@@ -78,13 +142,50 @@ impl Drop for MailboxSender {
     }
 }
 
-/// The dequeueing half of a mailbox (held by the destination rank).
-pub(crate) struct MailboxReceiver(Arc<Mailbox>);
+/// One rank's transport endpoints, as built by [`mailbox_matrix`]:
+/// `txs[dst]` sends into `dst`'s slot for this rank, `rxs[src]` receives
+/// messages sent by `src`.
+pub type RankMailboxes<T> = (Vec<MailboxSender<T>>, Vec<MailboxReceiver<T>>);
 
-impl MailboxReceiver {
+/// Builds the full `p × p` mailbox matrix for a cluster: one directed
+/// mailbox per (source, destination) pair, including self-sends. Returns
+/// one [`RankMailboxes`] pair per rank.
+pub fn mailbox_matrix<T>(p: usize) -> Vec<RankMailboxes<T>> {
+    let mut tx_rows: Vec<Vec<Option<MailboxSender<T>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut rx_rows: Vec<Vec<Option<MailboxReceiver<T>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for (src, tx_row) in tx_rows.iter_mut().enumerate() {
+        for (dst, slot) in tx_row.iter_mut().enumerate() {
+            let (tx, rx) = mailbox();
+            *slot = Some(tx);
+            rx_rows[dst][src] = Some(rx);
+        }
+    }
+    tx_rows
+        .into_iter()
+        .zip(rx_rows)
+        .map(|(tx_row, rx_row)| {
+            let txs = tx_row
+                .into_iter()
+                .map(|t| t.expect("mailbox matrix fully populated"))
+                .collect();
+            let rxs = rx_row
+                .into_iter()
+                .map(|r| r.expect("mailbox matrix fully populated"))
+                .collect();
+            (txs, rxs)
+        })
+        .collect()
+}
+
+/// The dequeueing half of a mailbox (held by the destination rank).
+pub struct MailboxReceiver<T>(Arc<Mailbox<T>>);
+
+impl<T> MailboxReceiver<T> {
     /// Blocks until a message is available and returns it; already-buffered
     /// messages are delivered even after the sender hung up.
-    pub(crate) fn recv(&self) -> Result<Msg, Disconnected> {
+    pub fn recv(&self) -> Result<T, Disconnected> {
         let mut g = self.0.state.lock().expect("mailbox lock poisoned");
         loop {
             if let Some(msg) = g.queue.pop_front() {
@@ -98,7 +199,7 @@ impl MailboxReceiver {
     }
 }
 
-impl Drop for MailboxReceiver {
+impl<T> Drop for MailboxReceiver<T> {
     fn drop(&mut self) {
         let mut g = self.0.state.lock().expect("mailbox lock poisoned");
         g.closed = true;
@@ -110,6 +211,7 @@ impl Drop for MailboxReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::Msg;
     use crate::payload::{Payload, Tag};
     use crate::time::VTime;
 
@@ -148,10 +250,20 @@ mod tests {
 
     #[test]
     fn cross_thread_blocking_recv() {
-        let (tx, rx) = mailbox();
+        let (tx, rx) = mailbox::<Msg>();
         let handle = std::thread::spawn(move || rx.recv().unwrap().tag);
         std::thread::sleep(std::time::Duration::from_millis(10));
         tx.send(msg(42)).unwrap();
         assert_eq!(handle.join().unwrap(), Tag(42));
+    }
+
+    #[test]
+    fn generic_over_plain_message_types() {
+        // The native backend's message shape: no arrival stamp.
+        let (tx, rx) = mailbox::<(Tag, Payload)>();
+        tx.send((Tag(9), Payload::from_u32(vec![3]))).unwrap();
+        let (tag, payload) = rx.recv().unwrap();
+        assert_eq!(tag, Tag(9));
+        assert_eq!(payload.into_u32(), vec![3]);
     }
 }

@@ -110,6 +110,55 @@ where
     report.into_results().into_iter().max().unwrap()
 }
 
+/// The same measurement on the native thread-pool backend: the executor's
+/// zero-copy path (`pack_into`/`unpack_into`, recycled `CommBuffers`,
+/// warm mailboxes) is backend-independent, so steady-state iterations on
+/// real OS threads allocate nothing either.
+fn native_steady_state_allocations<E, K>(kernel: K, init: impl Fn(usize) -> E + Sync) -> u64
+where
+    E: Field,
+    K: Kernel<E> + Copy + Send + Sync,
+{
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
+    let n = g.num_vertices();
+    let p = 3;
+    let part = BlockPartition::uniform(n, p);
+    let report = stance_native::NativeCluster::new(p).run(|comm| {
+        let rank = comm.rank();
+        let adj = LocalAdjacency::extract(&g, &part, rank);
+        let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+        let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel);
+        let iv = part.interval_of(rank);
+        let mut values = runner.make_values(iv.iter().map(&init).collect());
+
+        runner.run(comm, &mut values, 12);
+
+        comm.barrier();
+        if rank == 0 {
+            ALLOCATIONS.store(0, Ordering::SeqCst);
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        comm.barrier();
+
+        runner.run(comm, &mut values, 8);
+
+        comm.barrier();
+        let counted = if rank == 0 {
+            let counted = ALLOCATIONS.load(Ordering::SeqCst);
+            ARMED.store(false, Ordering::SeqCst);
+            counted
+        } else {
+            0
+        };
+        comm.barrier();
+        counted
+    });
+    report.into_results().into_iter().max().unwrap()
+}
+
 #[test]
 fn steady_state_loop_is_allocation_free_f64() {
     let allocations = steady_state_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin());
@@ -127,5 +176,26 @@ fn steady_state_loop_is_allocation_free_f64x4() {
     assert_eq!(
         allocations, 0,
         "steady-state [f64; 4] iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_steady_state_loop_is_allocation_free_f64() {
+    let allocations =
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "native steady-state f64 iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_steady_state_loop_is_allocation_free_f64x4() {
+    let allocations = native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, |g| {
+        [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
+    });
+    assert_eq!(
+        allocations, 0,
+        "native steady-state [f64; 4] iterations performed {allocations} heap allocations"
     );
 }

@@ -1,0 +1,199 @@
+//! Cross-backend equivalence: the simulator and the native thread-pool
+//! backend must produce **bitwise-identical numeric results** for the same
+//! SPMD program at every rank count.
+//!
+//! This is the payoff of the `Comm` abstraction's determinism contract:
+//! data flows in rank order on both backends (messages, gathers,
+//! reductions), so the only thing that differs is what a second of time
+//! means. Two workloads are checked, each at 1, 2 and 4 ranks:
+//!
+//! * the quickstart relaxation (the paper's Fig. 8 loop, run through
+//!   `AdaptiveSession` exactly as `examples/quickstart.rs` does);
+//! * a conjugate-gradient solve (the `cg_solver` example's iteration,
+//!   driven by `LoopRunner` + rank-order `allreduce_f64` dot products —
+//!   the numerically touchiest path, since CG compounds every rounding
+//!   decision across iterations).
+//!
+//! Both are also compared against the sequential reference, so "identical"
+//! can never mean "identically wrong".
+
+use stance::executor::{sequential_laplacian_matvec, sequential_relaxation};
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency};
+use stance::prelude::*;
+use stance_native::NativeCluster;
+
+fn mesh() -> Graph {
+    let raw = stance::locality::meshgen::triangulated_grid(14, 11, 0.4, 5);
+    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
+}
+
+fn init(g: usize) -> f64 {
+    (g as f64 * 0.01).sin() * 5.0
+}
+
+// ---------------------------------------------------------------------
+// Workload 1: quickstart relaxation through the session API.
+// ---------------------------------------------------------------------
+
+/// One rank's share of the relaxation, generic over the backend. Load
+/// balancing is disabled so both backends run the identical static
+/// schedule (remaps would not change the numbers — relaxation is
+/// partition-invariant — but a wall-clock-driven remap decision would make
+/// the *communication pattern* differ between runs for no test value).
+fn relaxation_body<C: Comm>(env: &mut C, mesh: &Graph, iters: usize) -> (Vec<f64>, BlockPartition) {
+    let config = StanceConfig::free().without_load_balancing();
+    let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, init, &config);
+    session.run_adaptive(env, iters);
+    (session.local_values().to_vec(), session.partition().clone())
+}
+
+fn relaxation_on_sim(mesh: &Graph, p: usize, iters: usize) -> Vec<f64> {
+    let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+    let report = Cluster::new(spec).run(|env| relaxation_body(env, mesh, iters));
+    let results: Vec<_> = report.into_results();
+    let partition = results[0].1.clone();
+    stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
+}
+
+fn relaxation_on_native(mesh: &Graph, p: usize, iters: usize) -> Vec<f64> {
+    let report = NativeCluster::new(p).run(|comm| relaxation_body(comm, mesh, iters));
+    let results: Vec<_> = report.into_results();
+    let partition = results[0].1.clone();
+    stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
+}
+
+#[test]
+fn relaxation_bitwise_identical_across_backends() {
+    let m = mesh();
+    let iters = 25;
+    let mut reference: Vec<f64> = (0..m.num_vertices()).map(init).collect();
+    sequential_relaxation(&m, &mut reference, iters);
+
+    for p in [1usize, 2, 4] {
+        let sim = relaxation_on_sim(&m, p, iters);
+        let native = relaxation_on_native(&m, p, iters);
+        assert_eq!(sim, reference, "sim diverged from sequential at p = {p}");
+        assert_eq!(
+            bits(&sim),
+            bits(&native),
+            "backends disagree bitwise at p = {p}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 2: conjugate gradient (the cg_solver example's iteration).
+// ---------------------------------------------------------------------
+
+/// One rank's share of a fixed-iteration CG solve of `(L + shift·I)x = b`,
+/// generic over the backend: `LoopRunner` does the gather + matvec,
+/// `allreduce_f64` the dot products. Every branch depends only on
+/// allreduced values, which are bitwise identical everywhere — so all
+/// ranks and both backends walk the same path.
+fn cg_body<C: Comm>(
+    env: &mut C,
+    mesh: &Graph,
+    b: &[f64],
+    shift: f64,
+    max_iters: usize,
+) -> Vec<f64> {
+    let n = mesh.num_vertices();
+    let part = BlockPartition::uniform(n, env.size());
+    let rank = env.rank();
+    let adj = LocalAdjacency::extract(mesh, &part, rank);
+    let (sched, _) = build_schedule_symmetric(
+        &part,
+        &adj,
+        rank,
+        stance::inspector::ScheduleStrategy::Sort2,
+    );
+    let mut runner = LoopRunner::new(
+        sched,
+        &adj,
+        ComputeCostModel::zero(),
+        LaplacianKernel { shift },
+    );
+    let iv = part.interval_of(rank);
+    let mut x = vec![0.0f64; iv.len()];
+    let mut r: Vec<f64> = iv.iter().map(|g| b[g]).collect();
+    let mut p = r.clone();
+    let mut values = runner.make_values(p.clone());
+
+    let mut rho = {
+        let local: f64 = r.iter().map(|v| v * v).sum();
+        env.allreduce_f64(Tag(1), local, |a, b| a + b)
+    };
+    let rho0 = rho;
+    for _ in 0..max_iters {
+        values.set_local(&p);
+        runner.apply(env, &mut values);
+        let ap = runner.scratch().to_vec();
+        let p_dot_ap = {
+            let local: f64 = p.iter().zip(&ap).map(|(a, c)| a * c).sum();
+            env.allreduce_f64(Tag(2), local, |a, b| a + b)
+        };
+        let alpha = rho / p_dot_ap;
+        for i in 0..x.len() {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rho_next = {
+            let local: f64 = r.iter().map(|v| v * v).sum();
+            env.allreduce_f64(Tag(3), local, |a, b| a + b)
+        };
+        if rho_next <= rho0 * 1e-24 {
+            break;
+        }
+        let beta = rho_next / rho;
+        for i in 0..p.len() {
+            p[i] = r[i] + beta * p[i];
+        }
+        rho = rho_next;
+    }
+    x
+}
+
+#[test]
+fn cg_solver_bitwise_identical_across_backends() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let shift = 1.0;
+    // Manufactured solution, like the cg_solver example.
+    let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut b = vec![0.0; n];
+    sequential_laplacian_matvec(&m, &x_star, shift, &mut b);
+
+    for p in [1usize, 2, 4] {
+        let m2 = &m;
+        let b2 = &b;
+        let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+        let sim_blocks: Vec<Vec<f64>> = Cluster::new(spec)
+            .run(|env| cg_body(env, m2, b2, shift, 120))
+            .into_results();
+        let native_blocks: Vec<Vec<f64>> = NativeCluster::new(p)
+            .run(|comm| cg_body(comm, m2, b2, shift, 120))
+            .into_results();
+
+        let part = BlockPartition::uniform(n, p);
+        let sim = stance::reassemble(&part, sim_blocks);
+        let native = stance::reassemble(&part, native_blocks);
+        assert_eq!(
+            bits(&sim),
+            bits(&native),
+            "CG backends disagree bitwise at p = {p}"
+        );
+        // And the answer is actually the solution.
+        let max_err = sim
+            .iter()
+            .zip(&x_star)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-8, "CG did not converge at p = {p}: {max_err}");
+    }
+}
+
+/// f64 slices compared as raw bit patterns (catches -0.0 vs 0.0 and NaN
+/// payload differences that `==` would hide or over-reject).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}

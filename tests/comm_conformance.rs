@@ -1,0 +1,192 @@
+//! Backend-conformance suite for the [`Comm`] trait.
+//!
+//! Every test body is written once, generically over `C: Comm`, and
+//! instantiated against **both** backends — the virtual-time simulator
+//! (`stance_sim::Env` on a zero-cost network) and the native thread pool
+//! (`stance_native::NativeComm`). A backend that buffers, orders, or
+//! folds differently fails here before any application-level test notices.
+//!
+//! Covered contract points: per-(source, tag) FIFO ordering, tag
+//! isolation (mismatched tags are buffered, not dropped or misdelivered),
+//! repeated barriers, rank-order `allreduce_f64` folding, personalized
+//! `exchange`, and the broadcast/gather/allgather collectives.
+
+use stance::prelude::*;
+use stance_native::NativeCluster;
+
+/// The generic test bodies, each written against the `Comm` trait alone.
+mod bodies {
+    use super::*;
+
+    /// Messages between one (source, destination) pair with one tag are
+    /// received in send order, from every source at once.
+    pub fn send_recv_ordering<C: Comm>(c: &mut C) {
+        const MSGS: u32 = 10;
+        let me = c.rank() as u32;
+        for dst in 0..c.size() {
+            if dst != c.rank() {
+                for seq in 0..MSGS {
+                    c.send(dst, Tag(7), Payload::from_u32(vec![me, seq]));
+                }
+            }
+        }
+        for src in 0..c.size() {
+            if src != c.rank() {
+                for seq in 0..MSGS {
+                    let words = c.recv(src, Tag(7)).into_u32();
+                    assert_eq!(words, vec![src as u32, seq], "out-of-order from {src}");
+                }
+            }
+        }
+    }
+
+    /// A receive for tag B must skip (and preserve) earlier tag-A traffic;
+    /// per-tag FIFO order survives the buffering.
+    pub fn tag_isolation<C: Comm>(c: &mut C) {
+        if c.rank() == 0 {
+            // Interleave two tag streams.
+            c.send(1, Tag(1), Payload::from_u32(vec![10]));
+            c.send(1, Tag(2), Payload::from_u32(vec![20]));
+            c.send(1, Tag(1), Payload::from_u32(vec![11]));
+            c.send(1, Tag(2), Payload::from_u32(vec![21]));
+        } else if c.rank() == 1 {
+            // Drain tag 2 first, then tag 1: both streams stay FIFO.
+            assert_eq!(c.recv(0, Tag(2)).into_u32(), vec![20]);
+            assert_eq!(c.recv(0, Tag(2)).into_u32(), vec![21]);
+            assert_eq!(c.recv(0, Tag(1)).into_u32(), vec![10]);
+            assert_eq!(c.recv(0, Tag(1)).into_u32(), vec![11]);
+        }
+    }
+
+    /// Repeated barriers separate communication rounds: a ring exchange
+    /// per round, with the round number as the tag, never cross-talks.
+    pub fn barrier_rounds<C: Comm>(c: &mut C) {
+        let p = c.size();
+        for round in 0..20u32 {
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            c.send(next, Tag(round), Payload::from_u32(vec![round]));
+            let got = c.recv(prev, Tag(round)).into_u32();
+            assert_eq!(got, vec![round]);
+            c.barrier();
+        }
+    }
+
+    /// `allreduce_f64` folds in rank order on every backend, so even
+    /// non-commutative floating-point effects are reproducible.
+    pub fn allreduce_ops<C: Comm>(c: &mut C) {
+        let p = c.size();
+        let sum = c.allreduce_f64(Tag(1), (c.rank() + 1) as f64, |a, b| a + b);
+        assert_eq!(sum, (p * (p + 1)) as f64 / 2.0);
+        let max = c.allreduce_f64(Tag(2), c.rank() as f64, f64::max);
+        assert_eq!(max, (p - 1) as f64);
+        // A deliberately order-sensitive fold: rank-order means every rank
+        // and every backend computes exactly this sequential reference.
+        let folded = c.allreduce_f64(Tag(3), 1.0 + c.rank() as f64 * 0.1, |a, b| a / 3.0 + b);
+        let expected = (0..p)
+            .map(|r| 1.0 + r as f64 * 0.1)
+            .reduce(|a, b| a / 3.0 + b)
+            .unwrap();
+        assert_eq!(folded.to_bits(), expected.to_bits());
+    }
+
+    /// Personalized all-to-all: each rank sends a distinct payload to every
+    /// other rank and receives one from each, in the order it asked for.
+    pub fn exchange_ring<C: Comm>(c: &mut C) {
+        let p = c.size();
+        let me = c.rank();
+        let sends: Vec<(usize, Payload)> = (0..p)
+            .filter(|&dst| dst != me)
+            .map(|dst| (dst, Payload::from_u32(vec![me as u32, dst as u32])))
+            .collect();
+        let recv_from: Vec<usize> = (0..p).filter(|&src| src != me).rev().collect();
+        let got = c.exchange(sends, &recv_from, Tag(4));
+        assert_eq!(got.len(), p - 1);
+        for ((src, payload), &expected_src) in got.into_iter().zip(&recv_from) {
+            assert_eq!(src, expected_src, "exchange must follow recv_from order");
+            assert_eq!(payload.into_u32(), vec![src as u32, me as u32]);
+        }
+    }
+
+    /// Broadcast, rooted gather, and allgather deliver rank-ordered data.
+    pub fn bcast_and_gather<C: Comm>(c: &mut C) {
+        let payload = if c.rank() == 2 {
+            Payload::from_f64(vec![3.25])
+        } else {
+            Payload::Empty
+        };
+        assert_eq!(c.bcast_from(2, Tag(9), payload).into_f64(), vec![3.25]);
+
+        let mine = Payload::from_u32(vec![c.rank() as u32 * 10]);
+        let gathered = c.gather_to(1, Tag(5), mine);
+        if c.rank() == 1 {
+            let ids: Vec<u32> = gathered
+                .expect("root receives the gather")
+                .into_iter()
+                .flat_map(|p| p.into_u32())
+                .collect();
+            let expected: Vec<u32> = (0..c.size() as u32).map(|r| r * 10).collect();
+            assert_eq!(ids, expected);
+        } else {
+            assert!(gathered.is_none());
+        }
+
+        let all = c.allgather(Tag(6), Payload::from_u64(vec![c.rank() as u64]));
+        let ids: Vec<u64> = all.into_iter().flat_map(|p| p.into_u64()).collect();
+        let expected: Vec<u64> = (0..c.size() as u64).collect();
+        assert_eq!(ids, expected);
+    }
+}
+
+/// Launches a generic body on the simulator backend (zero-cost network —
+/// conformance is about data movement, not cost modelling).
+fn run_sim(p: usize, body: impl Fn(&mut Env) + Send + Sync) {
+    let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+    Cluster::new(spec).run(|env| body(env));
+}
+
+/// Launches a generic body on the native thread-pool backend.
+fn run_native(p: usize, body: impl Fn(&mut stance_native::NativeComm) + Send + Sync) {
+    NativeCluster::new(p).run(|comm| body(comm));
+}
+
+macro_rules! conformance_suite {
+    ($backend:ident, $launch:expr) => {
+        mod $backend {
+            use super::*;
+
+            #[test]
+            fn send_recv_ordering() {
+                ($launch)(3, bodies::send_recv_ordering);
+            }
+
+            #[test]
+            fn tag_isolation() {
+                ($launch)(2, bodies::tag_isolation);
+            }
+
+            #[test]
+            fn barrier_rounds() {
+                ($launch)(4, bodies::barrier_rounds);
+            }
+
+            #[test]
+            fn allreduce_ops() {
+                ($launch)(4, bodies::allreduce_ops);
+            }
+
+            #[test]
+            fn exchange_ring() {
+                ($launch)(5, bodies::exchange_ring);
+            }
+
+            #[test]
+            fn bcast_and_gather() {
+                ($launch)(4, bodies::bcast_and_gather);
+            }
+        }
+    };
+}
+
+conformance_suite!(sim_backend, run_sim);
+conformance_suite!(native_backend, run_native);
