@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Sanity-check the freshly regenerated BENCH_native.json on the CI runner.
+
+Usage: check_native_scaling.py <fresh.json>
+
+The committed BENCH_native.json entry was historically produced on a
+1-vCPU container, whose scaling curve is flat *by construction* — useless
+as a scaling baseline. This gate therefore never compares against the
+committed file; it checks the curve the (multi-core) runner just
+produced:
+
+* ``host_threads`` must be recorded (honesty requirement: every entry
+  says which regime produced it);
+* if the runner actually has >= 4 hardware threads, the native backend
+  must show real parallel speedup — ``threads_2`` and ``threads_4`` at or
+  above a conservative 1.15x over ``threads_1``. The sweep is
+  embarrassingly parallel with a working set that fits in cache, so a
+  multi-core host that can't reach 1.15x means the backend (not the
+  host) has a scaling bug.
+
+On hosts with fewer than 4 threads the speedup check is skipped with a
+warning — a flat curve there is the expected artifact, and failing would
+just punish the infrastructure.
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 1.15  # conservative floor for threads_2 / threads_4 on >=4 cores
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <fresh.json>")
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+
+    workload = fresh.get("workload", {})
+    host_threads = workload.get("host_threads")
+    if not isinstance(host_threads, int) or host_threads < 1:
+        sys.exit("BENCH_native.json does not record host_threads — refusing to trust it")
+    print(f"runner host_threads: {host_threads}")
+
+    if host_threads < 4:
+        print(
+            "fewer than 4 hardware threads: scaling check skipped "
+            "(a flat curve here is a property of the host, not the backend)"
+        )
+        return
+
+    failures = []
+    for key in ("threads_2", "threads_4"):
+        entry = fresh.get(key)
+        if not isinstance(entry, dict) or "speedup_vs_1" not in entry:
+            failures.append(f"{key}: missing speedup_vs_1 entry")
+            continue
+        s = entry["speedup_vs_1"]
+        verdict = "ok" if s >= MIN_SPEEDUP else "TOO FLAT"
+        print(f"{key}: speedup_vs_1 = {s:.2f} (floor {MIN_SPEEDUP}) — {verdict}")
+        if verdict == "TOO FLAT":
+            failures.append(
+                f"{key}: speedup_vs_1 = {s:.2f} on a {host_threads}-thread host "
+                f"(floor: {MIN_SPEEDUP})"
+            )
+
+    if failures:
+        print("\nnative backend failed to scale on real parallel hardware:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nnative scaling curve is healthy on this runner")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+//! Criterion bench for the split-phase gather: synchronous vs overlapped
+//! executor iterations on the native backend over the boundary-heavy
+//! paper-scale mesh, at 1/2/4/8 ranks. The per-thread-count medians and
+//! sync/split speedups land in `results/BENCH_overlap.json` via
+//! `repro_all`; this bench is the interactive/smoke view of the same
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stance_bench::overlap::{overlap_mesh, time_sweep_gather, THREAD_COUNTS};
+
+fn bench_overlap_sweep_gather(c: &mut Criterion) {
+    let mesh = overlap_mesh();
+    let n = mesh.num_vertices() as u64;
+    let mut group = c.benchmark_group("overlap_sweep_gather");
+    group.sample_size(10);
+    // One bench iteration = a full native cluster run of 5 executor
+    // iterations (spawn + warm-up included; the steady-state
+    // per-iteration seconds are what BENCH_overlap.json reports).
+    group.throughput(Throughput::Elements(n * 5));
+    for &threads in &THREAD_COUNTS {
+        group.bench_function(format!("sync_threads_{threads}"), |b| {
+            b.iter(|| time_sweep_gather(&mesh, threads, 5, false))
+        });
+        group.bench_function(format!("split_threads_{threads}"), |b| {
+            b.iter(|| time_sweep_gather(&mesh, threads, 5, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap_sweep_gather);
+criterion_main!(benches);

@@ -55,6 +55,15 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
+    {
+        let start = Instant::now();
+        eprintln!(">> BENCH_overlap ...");
+        stance_bench::emit_file("BENCH_overlap.json", &stance_bench::overlap::report_json());
+        eprintln!(
+            "   BENCH_overlap done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
 
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -18,6 +18,7 @@ pub mod ablations;
 pub mod figures;
 pub mod fmt;
 pub mod native;
+pub mod overlap;
 pub mod tables;
 pub mod transport;
 

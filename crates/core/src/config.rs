@@ -26,6 +26,13 @@ pub struct StanceConfig {
     /// paper uses the last phase; footnote 2 suggests multi-phase
     /// prediction, provided here as window averaging and linear trend).
     pub estimator: CapabilityEstimator,
+    /// Whether the executor loop uses the split-phase gather: post the
+    /// ghost exchange, sweep interior vertices while bytes are in flight,
+    /// complete the exchange, sweep the boundary. Results are bitwise
+    /// identical to the synchronous gather on every backend; only timing
+    /// changes. Off by default — the synchronous path is the paper's
+    /// structure and what the reproduction tables model.
+    pub overlap_gather: bool,
 }
 
 impl Default for StanceConfig {
@@ -38,6 +45,7 @@ impl Default for StanceConfig {
             check_interval: 10,
             monitor_window: 4,
             estimator: CapabilityEstimator::default(),
+            overlap_gather: false,
         }
     }
 }
@@ -55,7 +63,16 @@ impl StanceConfig {
             check_interval: 10,
             monitor_window: 4,
             estimator: CapabilityEstimator::default(),
+            overlap_gather: false,
         }
+    }
+
+    /// Enables (or disables) the split-phase gather: the executor
+    /// overlaps the ghost exchange with the interior sweep. Numerically
+    /// free — results are bitwise identical either way.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap_gather = overlap;
+        self
     }
 
     /// Sets the schedule strategy.
@@ -108,6 +125,8 @@ mod tests {
         assert_eq!(c.check_interval, 25);
         let off = StanceConfig::default().without_load_balancing();
         assert!(!off.load_balancing_enabled());
+        assert!(!StanceConfig::default().overlap_gather);
+        assert!(StanceConfig::default().with_overlap(true).overlap_gather);
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! `AdaptiveSession<f64, LaplacianKernel>` and keeps its solver vectors
 //! consistent across remaps with [`AdaptiveSession::check_and_rebalance_with`].
 //!
+//! With `StanceConfig::with_overlap(true)` the session's runner uses the
+//! split-phase gather — the ghost exchange is posted, interior vertices
+//! are swept while bytes are in flight, and boundary vertices after it
+//! completes. The setting is numerically free (bitwise-identical results,
+//! pinned by `tests/backend_equivalence.rs`) and survives remaps: the
+//! rebuilt schedule re-classifies interior/boundary, the runner keeps the
+//! flag.
+//!
 //! The session is backend-generic: every method that communicates takes
 //! any [`Comm`] — the virtual-time simulator (`stance_sim::Env`) for
 //! reproducible experiments, or the native thread-pool backend
@@ -112,7 +120,8 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         );
         let adj = LocalAdjacency::extract(graph, &partition, env.rank());
         let schedule = build_schedule(env, &partition, &adj, config);
-        let runner = LoopRunner::new(schedule, &adj, config.compute_cost, kernel);
+        let runner = LoopRunner::new(schedule, &adj, config.compute_cost, kernel)
+            .with_overlap(config.overlap_gather);
         let iv = partition.interval_of(env.rank());
         let local: Vec<E> = iv.iter().map(&init).collect();
         let values = runner.make_values(local);
@@ -391,6 +400,45 @@ mod tests {
             got[iv.start..iv.end].copy_from_slice(values);
         }
         assert_eq!(got, expected, "adaptive run diverged from sequential");
+    }
+
+    #[test]
+    fn overlapped_adaptive_run_with_remap_matches_sequential() {
+        // The split-phase gather must survive remaps (the rebuilt runner
+        // re-classifies interior/boundary) and still match the sequential
+        // reference bitwise.
+        let m = mesh();
+        let n = m.num_vertices();
+        let iters = 40;
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, iters);
+
+        let m2 = m.clone();
+        let mut config = StanceConfig::default()
+            .with_check_interval(10)
+            .with_overlap(true);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(3)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(move |env| {
+            let mut s = AdaptiveSession::setup(env, &m2, RelaxationKernel, init, &config);
+            let rep = s.run_adaptive(env, iters);
+            (rep, s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        assert!(
+            results[0].0.remaps >= 1,
+            "expected at least one remap: {:?}",
+            results[0].0
+        );
+        let final_part = results[0].2.clone();
+        let mut got = vec![0.0; n];
+        for (rank, (_, values, _)) in results.iter().enumerate() {
+            let iv = final_part.interval_of(rank);
+            got[iv.start..iv.end].copy_from_slice(values);
+        }
+        assert_eq!(got, expected, "overlapped adaptive run diverged");
     }
 
     #[test]

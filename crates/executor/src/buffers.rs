@@ -20,7 +20,7 @@
 //! degrades to the old per-message allocation, never to unbounded memory.
 
 use stance_inspector::CommSchedule;
-use stance_sim::Element;
+use stance_sim::{Element, RecvRequest};
 
 /// Recycled transport scratch owned by one
 /// [`LoopRunner`](crate::LoopRunner) (or built standalone for hand-driven
@@ -35,6 +35,12 @@ pub struct CommBuffers<E: Element> {
     pool_cap: usize,
     /// Element scratch for indexed decodes (scatter contributions).
     elems: Vec<E>,
+    /// Outstanding receive handles of an in-flight split-phase gather
+    /// (`gather_start` fills it, `gather_finish` drains it). Requests are
+    /// plain `Copy` records recycled through this one pool — pre-sized
+    /// from the schedule's receive count, so posting receives in the
+    /// steady state allocates nothing.
+    pub(crate) recv_reqs: Vec<RecvRequest>,
 }
 
 impl<E: Element> CommBuffers<E> {
@@ -44,6 +50,7 @@ impl<E: Element> CommBuffers<E> {
             pool: Vec::new(),
             pool_cap: 8,
             elems: Vec::new(),
+            recv_reqs: Vec::new(),
         }
     }
 
@@ -72,6 +79,7 @@ impl<E: Element> CommBuffers<E> {
             pool,
             pool_cap,
             elems: Vec::with_capacity(max_arriving),
+            recv_reqs: Vec::with_capacity(schedule.recvs().len()),
         }
     }
 

@@ -101,6 +101,23 @@ impl<E: Element> GhostedArray<E> {
         self.data.resize(local_len + num_ghosts, E::zero());
         self.local_len = local_len;
     }
+
+    /// Swaps the whole combined buffer with `buf` — the double-buffered
+    /// commit: a loop that sweeps into a combined-size scratch publishes
+    /// the new owned values by exchanging `Vec` pointers instead of
+    /// copying element by element ([`GhostedArray::set_local`]'s memcpy).
+    /// The Fig. 4 layout is preserved — owned values stay at
+    /// `0..local_len`, ghosts after them — but the ghost region now holds
+    /// whatever `buf` carried there (typically last iteration's ghosts),
+    /// so it is **stale until the next gather**, which overwrites every
+    /// ghost slot.
+    ///
+    /// # Panics
+    /// Panics if `buf`'s length differs from the combined buffer's.
+    pub fn swap_data(&mut self, buf: &mut Vec<E>) {
+        assert_eq!(buf.len(), self.data.len(), "combined length mismatch");
+        std::mem::swap(&mut self.data, buf);
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +165,26 @@ mod tests {
         let a: GhostedArray = GhostedArray::zeros(0, 0);
         assert!(a.local().is_empty());
         assert!(a.ghosts().is_empty());
+    }
+
+    #[test]
+    fn swap_data_exchanges_buffers_without_copying() {
+        let mut a: GhostedArray = GhostedArray::from_local(vec![1.0, 2.0], 1);
+        let mut buf = vec![7.0, 8.0, 9.0];
+        let buf_ptr = buf.as_ptr();
+        a.swap_data(&mut buf);
+        assert_eq!(a.local(), &[7.0, 8.0]);
+        assert_eq!(a.ghosts(), &[9.0]);
+        assert_eq!(buf, vec![1.0, 2.0, 0.0]);
+        // Pointer swap, not a copy.
+        assert_eq!(a.combined().as_ptr(), buf_ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "combined length mismatch")]
+    fn swap_data_checks_length() {
+        let mut a: GhostedArray = GhostedArray::zeros(2, 1);
+        a.swap_data(&mut vec![0.0; 2]);
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! exactly the sequential order — results are **bitwise identical** to the
 //! sequential references, which the integration tests assert.
 
+use std::ops::Range;
+
 use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
 use stance_locality::Graph;
 use stance_sim::{Comm, Element};
@@ -38,7 +40,7 @@ use stance_sim::{Comm, Element};
 use crate::buffers::CommBuffers;
 use crate::cost::ComputeCostModel;
 use crate::ghosted::GhostedArray;
-use crate::primitives::gather;
+use crate::primitives::{gather, gather_finish, gather_start};
 
 /// Elements with the componentwise arithmetic the built-in kernels need.
 ///
@@ -139,12 +141,100 @@ pub trait Kernel<E: Element> {
     /// anything about its previous contents.
     fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]);
 
+    /// Sweeps only the owned vertices in `range` (a contiguous run of
+    /// local indices), writing `out[range]` and leaving the rest of `out`
+    /// untouched. `out` is still the full owned-output slice, so
+    /// implementations index it exactly as in [`Kernel::sweep`].
+    ///
+    /// This is the split-phase hook: the runner sweeps the *interior* runs
+    /// (vertices with no ghost references — see
+    /// [`TranslatedAdjacency::interior_runs`]) while the ghost gather is
+    /// in flight, and the boundary runs after it completes. Per-vertex
+    /// outputs must depend only on `combined` entries the vertex
+    /// references — true for any kernel fitting this trait's model — so
+    /// splitting the sweep cannot change any value.
+    ///
+    /// The default delegates to [`Kernel::sweep`], recomputing **every**
+    /// vertex: existing kernels stay correct without changes (the runner's
+    /// boundary phase rewrites all slots with fully-gathered data, so
+    /// interior-phase values computed from stale ghosts never survive),
+    /// but they forfeit the overlap's work saving and redo the full sweep
+    /// per delegated call — the runner bounds how many such calls a phase
+    /// can make (fragmented classifications collapse to one bounding-range
+    /// call; see `MAX_PRECISE_RUNS` in this module), so a delegating
+    /// kernel never degrades past a small constant factor. Override with
+    /// a real ranged loop — usually the `sweep` body with `range` as the
+    /// loop bounds — to get split-phase performance.
+    fn sweep_range(
+        &self,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        range: Range<usize>,
+    ) {
+        let _ = range;
+        self.sweep(tadj, combined, out);
+    }
+
     /// Reference-seconds of work one sweep over `vertices` owned vertices
     /// with `references` total neighbor references performs. The default is
     /// the paper's relaxation pricing; override it if your kernel does
     /// substantially more (or less) arithmetic per reference.
+    ///
+    /// The split-phase runner charges each phase separately —
+    /// `cost(interior vertices, interior refs)` before the wait and
+    /// `cost(boundary vertices, boundary refs)` after — so keep this hook
+    /// linear in its arguments (as the default is) if you enable overlap;
+    /// a nonlinear hook would charge the split differently than the whole.
     fn cost(&self, model: &ComputeCostModel, vertices: usize, references: usize) -> f64 {
         model.sweep_work(vertices, references)
+    }
+}
+
+/// Phases with at most this many runs are swept run by run; more
+/// fragmented phases collapse to one bounding-range `sweep_range` call.
+/// The cap exists for kernels that keep the *default* `sweep_range`
+/// (which delegates to a full sweep): without it, a pathologically
+/// interleaved interior/boundary classification — e.g. a shuffled vertex
+/// numbering — would issue one full sweep per run, turning an O(N)
+/// iteration into O(runs × N). With the cap, a delegating kernel does at
+/// most `MAX_PRECISE_RUNS` full sweeps per phase, and fragmented meshes
+/// do exactly one.
+const MAX_PRECISE_RUNS: usize = 32;
+
+/// Sweeps one split-phase phase (the interior or the boundary runs).
+///
+/// Precise mode calls `sweep_range` once per run — no redundant work for
+/// range-honoring kernels. Fragmented phases (more than
+/// [`MAX_PRECISE_RUNS`] runs) use one call spanning first-run start to
+/// last-run end instead. The bounding span also sweeps vertices of the
+/// *other* class, which is harmless for any conforming kernel: per-vertex
+/// outputs are pure functions of their referenced inputs, so an interior
+/// vertex recomputes the same value in either phase, and a boundary
+/// vertex swept early (against stale ghosts) is rewritten by the boundary
+/// phase, whose span covers every boundary vertex. Both modes therefore
+/// produce bitwise-identical final outputs; the choice depends only on
+/// the schedule, never on timing.
+fn sweep_phase<E, K>(
+    kernel: &K,
+    tadj: &TranslatedAdjacency,
+    combined: &[E],
+    out: &mut [E],
+    runs: impl Iterator<Item = Range<usize>> + Clone,
+) where
+    E: Element,
+    K: Kernel<E>,
+{
+    if runs.clone().count() <= MAX_PRECISE_RUNS {
+        for run in runs {
+            kernel.sweep_range(tadj, combined, out, run);
+        }
+    } else {
+        // Runs are ascending and disjoint: the bounding span is
+        // first-start .. last-end.
+        let start = runs.clone().next().expect("count > cap > 0").start;
+        let end = runs.last().expect("count > cap > 0").end;
+        kernel.sweep_range(tadj, combined, out, start..end);
     }
 }
 
@@ -156,8 +246,26 @@ pub struct RelaxationKernel;
 
 impl<E: Field> Kernel<E> for RelaxationKernel {
     fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
+        self.sweep_range(tadj, combined, out, 0..tadj.len());
+    }
+
+    // One machine-code copy per element type, shared by the synchronous
+    // full sweep and the split-phase per-run calls: letting each call
+    // site inline its own copy hands the two gather flavours differently
+    // laid-out hot loops, and measured sync-vs-split deltas then track
+    // code placement instead of communication (observed at ±60% on this
+    // ~4 ns/vertex loop).
+    #[inline(never)]
+    fn sweep_range(
+        &self,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        range: std::ops::Range<usize>,
+    ) {
         assert_eq!(out.len(), tadj.len(), "output length mismatch");
-        for (l, o) in out.iter_mut().enumerate() {
+        for (l, o) in out[range.clone()].iter_mut().enumerate() {
+            let l = range.start + l;
             let nbrs = tadj.neighbors_of(l);
             if nbrs.is_empty() {
                 *o = combined[l];
@@ -189,8 +297,22 @@ pub struct LaplacianKernel {
 
 impl<E: Field> Kernel<E> for LaplacianKernel {
     fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
+        self.sweep_range(tadj, combined, out, 0..tadj.len());
+    }
+
+    // See RelaxationKernel::sweep_range: one shared copy keeps the two
+    // gather flavours on identical machine code.
+    #[inline(never)]
+    fn sweep_range(
+        &self,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        range: std::ops::Range<usize>,
+    ) {
         assert_eq!(out.len(), tadj.len(), "output length mismatch");
-        for (l, o) in out.iter_mut().enumerate() {
+        for (l, o) in out[range.clone()].iter_mut().enumerate() {
+            let l = range.start + l;
             let nbrs = tadj.neighbors_of(l);
             let mut acc = combined[l].scale(nbrs.len() as f64 + self.shift);
             for &s in nbrs {
@@ -293,19 +415,37 @@ impl LoopStats {
 /// The runner owns the transport scratch ([`CommBuffers`]) alongside the
 /// sweep scratch: both are sized from the schedule at construction and
 /// rebuilt only on remap, so steady-state iterations perform zero heap
-/// allocations (see `tests/alloc_free.rs`).
+/// allocations (see `tests/alloc_free.rs`). The sweep scratch is a full
+/// combined-size buffer, which lets [`LoopRunner::run`] commit each
+/// iteration by *swapping* it with the value buffer (one pointer exchange)
+/// instead of copying the owned block.
+///
+/// With [`LoopRunner::with_overlap`] the runner uses the **split-phase
+/// gather**: receives and sends are posted, the interior vertices (which
+/// reference no gathered data) are swept while the bytes are in flight,
+/// and the boundary vertices are swept after the gather completes.
+/// Results are bitwise identical to the synchronous path on every backend
+/// — per-vertex outputs depend only on the referenced inputs, which are
+/// the same in both orders (pinned by `tests/backend_equivalence.rs`).
 pub struct LoopRunner<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     schedule: CommSchedule,
     tadj: TranslatedAdjacency,
     cost: ComputeCostModel,
     kernel: K,
+    /// Combined-size sweep scratch: the owned prefix receives sweep
+    /// outputs; the ghost suffix exists so commits can swap whole buffers
+    /// with the value array (its content is stale by construction and
+    /// rewritten by the next gather).
     scratch: Vec<E>,
     bufs: CommBuffers<E>,
+    /// Whether [`LoopRunner::apply`] uses the split-phase gather.
+    overlap: bool,
 }
 
 impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     /// Builds a runner from a schedule, the rank's adjacency, and the
-    /// application's kernel.
+    /// application's kernel. The gather is synchronous by default; enable
+    /// the split-phase path with [`LoopRunner::with_overlap`].
     pub fn new(
         schedule: CommSchedule,
         adj: &LocalAdjacency,
@@ -313,7 +453,7 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
         kernel: K,
     ) -> Self {
         let tadj = schedule.translate_adjacency(adj);
-        let scratch = vec![E::zero(); tadj.len()];
+        let scratch = vec![E::zero(); tadj.buffer_len()];
         let bufs = CommBuffers::for_schedule(&schedule);
         LoopRunner {
             schedule,
@@ -322,7 +462,22 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
             kernel,
             scratch,
             bufs,
+            overlap: false,
         }
+    }
+
+    /// Selects the gather flavour: `true` overlaps the ghost exchange with
+    /// the interior sweep (split-phase), `false` keeps the synchronous
+    /// gather-then-sweep order. The setting survives
+    /// [`LoopRunner::rebuild`].
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Whether this runner overlaps communication with computation.
+    pub fn overlap(&self) -> bool {
+        self.overlap
     }
 
     /// The schedule in use.
@@ -341,14 +496,14 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     }
 
     /// Replaces the schedule and adjacency (after a remap) while keeping
-    /// the kernel and cost model. The transport scratch is re-sized here
-    /// and nowhere else — this is the only point in a run where the
-    /// communication path allocates.
+    /// the kernel, cost model and overlap setting. The transport scratch
+    /// is re-sized here and nowhere else — this is the only point in a run
+    /// where the communication path allocates.
     pub fn rebuild(&mut self, schedule: CommSchedule, adj: &LocalAdjacency) {
         self.tadj = schedule.translate_adjacency(adj);
         self.bufs = CommBuffers::for_schedule(&schedule);
         self.schedule = schedule;
-        self.scratch = vec![E::zero(); self.tadj.len()];
+        self.scratch = vec![E::zero(); self.tadj.buffer_len()];
     }
 
     /// Allocates the ghosted value buffer for this runner with the given
@@ -360,31 +515,107 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
 
     /// One application of the kernel *without* committing: gathers ghosts,
     /// charges and performs the sweep, and leaves the result in
-    /// [`LoopRunner::scratch`]. The input values are untouched — this is
-    /// what operator-style workloads (matvec inside a solver) use.
+    /// [`LoopRunner::scratch`]. The input values' owned block is untouched
+    /// — this is what operator-style workloads (matvec inside a solver)
+    /// use. Which gather runs (synchronous or split-phase) follows the
+    /// [`LoopRunner::with_overlap`] setting; the results are bitwise
+    /// identical either way.
     pub fn apply<C: Comm>(&mut self, env: &mut C, values: &mut GhostedArray<E>) -> LoopStats {
+        if self.overlap {
+            self.apply_overlapped(env, values)
+        } else {
+            self.apply_synchronous(env, values)
+        }
+    }
+
+    /// The synchronous path: complete the whole gather, then sweep.
+    fn apply_synchronous<C: Comm>(
+        &mut self,
+        env: &mut C,
+        values: &mut GhostedArray<E>,
+    ) -> LoopStats {
         let work = self
             .kernel
             .cost(&self.cost, self.tadj.len(), self.tadj.num_refs());
         gather(env, &self.schedule, values, &self.cost, &mut self.bufs);
         let t0 = env.now_secs();
         env.compute(work);
-        self.kernel
-            .sweep(&self.tadj, values.combined(), &mut self.scratch);
+        self.kernel.sweep(
+            &self.tadj,
+            values.combined(),
+            &mut self.scratch[..self.tadj.len()],
+        );
         LoopStats {
             iterations: 1,
             compute_time: env.now_secs() - t0,
         }
     }
 
+    /// The split-phase path: post the gather, sweep the interior runs
+    /// while bytes are in flight, complete the gather, sweep the boundary
+    /// runs. Interior compute is charged *before* the wait, so on the
+    /// simulator the virtual clock advances past the modelled arrivals and
+    /// the wait costs only what the interior sweep could not hide; on the
+    /// native backend the overlap is real wall-clock overlap across
+    /// threads.
+    fn apply_overlapped<C: Comm>(
+        &mut self,
+        env: &mut C,
+        values: &mut GhostedArray<E>,
+    ) -> LoopStats {
+        let interior_work = self.kernel.cost(
+            &self.cost,
+            self.tadj.num_interior(),
+            self.tadj.interior_refs(),
+        );
+        let boundary_work = self.kernel.cost(
+            &self.cost,
+            self.tadj.num_boundary(),
+            self.tadj.boundary_refs(),
+        );
+        let local_len = self.tadj.len();
+
+        gather_start(env, &self.schedule, values, &self.cost, &mut self.bufs);
+
+        let t0 = env.now_secs();
+        env.compute(interior_work);
+        sweep_phase(
+            &self.kernel,
+            &self.tadj,
+            values.combined(),
+            &mut self.scratch[..local_len],
+            self.tadj.interior_runs(),
+        );
+        let interior_time = env.now_secs() - t0;
+
+        gather_finish(env, &self.schedule, values, &self.cost, &mut self.bufs);
+
+        let t1 = env.now_secs();
+        env.compute(boundary_work);
+        sweep_phase(
+            &self.kernel,
+            &self.tadj,
+            values.combined(),
+            &mut self.scratch[..local_len],
+            self.tadj.boundary_runs(),
+        );
+        LoopStats {
+            iterations: 1,
+            compute_time: interior_time + env.now_secs() - t1,
+        }
+    }
+
     /// The output of the most recent [`LoopRunner::apply`] (one element per
     /// owned vertex).
     pub fn scratch(&self) -> &[E] {
-        &self.scratch
+        &self.scratch[..self.tadj.len()]
     }
 
-    /// Runs `iters` iterations: gather ghosts, charge and perform the sweep,
-    /// commit the new values. Returns measured timing.
+    /// Runs `iters` iterations: gather ghosts, charge and perform the
+    /// sweep, commit the new values. The commit is double-buffered — the
+    /// sweep scratch and the value buffer exchange pointers instead of
+    /// copying the owned block, so committing is O(1) regardless of block
+    /// size. Returns measured timing.
     pub fn run<C: Comm>(
         &mut self,
         env: &mut C,
@@ -394,7 +625,13 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
         let mut stats = LoopStats::default();
         for _ in 0..iters {
             let step = self.apply(env, values);
-            values.set_local(&self.scratch);
+            // O(1) commit: the swapped-in ghost region is stale, but the
+            // next iteration's gather rewrites every ghost slot before any
+            // sweep reads it. (After the swap, `scratch()` holds the
+            // *previous* values, not the committed output — callers that
+            // need the output of a non-committing application use
+            // `apply` + `scratch()`.)
+            values.swap_data(&mut self.scratch);
             stats.compute_time += step.compute_time;
             stats.iterations += 1;
         }
@@ -480,6 +717,208 @@ mod tests {
                 got.extend(r);
             }
             assert_eq!(got, expected, "p = {p} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn overlapped_runner_matches_sequential_bitwise() {
+        let g = meshgen::triangulated_grid(11, 9, 0.4, 6);
+        let n = g.num_vertices();
+        let iters = 12;
+        let mut expected = initial_values(n);
+        sequential_relaxation(&g, &mut expected, iters);
+
+        for p in [1usize, 2, 3, 4] {
+            let part = BlockPartition::uniform(n, p);
+            let g2 = g.clone();
+            let part2 = part.clone();
+            let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+            let report = Cluster::new(spec).run(move |env| {
+                let rank = env.rank();
+                let adj = LocalAdjacency::extract(&g2, &part2, rank);
+                let (sched, _) =
+                    build_schedule_symmetric(&part2, &adj, rank, ScheduleStrategy::Sort2);
+                let mut runner =
+                    LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel)
+                        .with_overlap(true);
+                let iv = part2.interval_of(rank);
+                let init = initial_values(n);
+                let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
+                runner.run(env, &mut values, iters);
+                values.local().to_vec()
+            });
+            let mut got = Vec::with_capacity(n);
+            for r in report.into_results() {
+                got.extend(r);
+            }
+            assert_eq!(got, expected, "overlapped p = {p} diverged from sequential");
+        }
+    }
+
+    /// A user kernel that does NOT override `sweep_range`: the default
+    /// delegates to the full sweep, so the split-phase runner must still
+    /// produce bitwise-sequential results (the boundary phase rewrites
+    /// every slot with fully-gathered data).
+    struct DefaultRangeRelaxation;
+
+    impl Kernel<f64> for DefaultRangeRelaxation {
+        fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[f64], out: &mut [f64]) {
+            RelaxationKernel.sweep(tadj, combined, out);
+        }
+    }
+
+    #[test]
+    fn default_sweep_range_kernel_correct_under_overlap() {
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let n = g.num_vertices();
+        let iters = 7;
+        let mut expected = initial_values(n);
+        sequential_relaxation(&g, &mut expected, iters);
+
+        let part = BlockPartition::uniform(n, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let mut runner = LoopRunner::new(
+                sched,
+                &adj,
+                ComputeCostModel::zero(),
+                DefaultRangeRelaxation,
+            )
+            .with_overlap(true);
+            let iv = part.interval_of(rank);
+            let init = initial_values(n);
+            let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
+            runner.run(env, &mut values, iters);
+            values.local().to_vec()
+        });
+        let mut got = Vec::with_capacity(n);
+        for r in report.into_results() {
+            got.extend(r);
+        }
+        assert_eq!(got, expected, "default-range kernel diverged under overlap");
+    }
+
+    /// A pathologically fragmented classification — every other owned
+    /// vertex is boundary, far above `MAX_PRECISE_RUNS` runs — exercises
+    /// the bounding-range arm of `sweep_phase`. Both a range-honoring
+    /// kernel and one relying on the default (delegating) `sweep_range`
+    /// must still match the synchronous path bitwise.
+    #[test]
+    fn fragmented_classification_correct_under_overlap() {
+        // 200 vertices, 2 ranks. Every even vertex of rank 0's block is
+        // wired to a vertex in rank 1's block, so rank 0's classification
+        // alternates boundary/interior — 100 runs.
+        let n = 200;
+        let edges: Vec<(u32, u32)> = (0..50u32).map(|i| (2 * i, 100 + i)).collect();
+        let g = Graph::from_edges(n, &edges, vec![[0.0; 3]; n], 2);
+        let part = BlockPartition::uniform(n, 2);
+        let adj = LocalAdjacency::extract(&g, &part, 0);
+        let (sched, _) = build_schedule_symmetric(&part, &adj, 0, ScheduleStrategy::Sort2);
+        let tadj = sched.translate_adjacency(&adj);
+        assert!(
+            tadj.interior_runs().count() + tadj.boundary_runs().count() > MAX_PRECISE_RUNS,
+            "fixture must exceed the precise-run cap"
+        );
+
+        let iters = 6;
+        let mut expected = initial_values(n);
+        sequential_relaxation(&g, &mut expected, iters);
+
+        let run = |overlap: bool, default_range: bool| {
+            let g = g.clone();
+            let part = part.clone();
+            let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+            let report = Cluster::new(spec).run(move |env| {
+                let rank = env.rank();
+                let adj = LocalAdjacency::extract(&g, &part, rank);
+                let (sched, _) =
+                    build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+                let iv = part.interval_of(rank);
+                let init = initial_values(n);
+                let local = init[iv.start..iv.end].to_vec();
+                let out = if default_range {
+                    let mut runner = LoopRunner::new(
+                        sched,
+                        &adj,
+                        ComputeCostModel::zero(),
+                        DefaultRangeRelaxation,
+                    )
+                    .with_overlap(overlap);
+                    let mut values = runner.make_values(local);
+                    runner.run(env, &mut values, iters);
+                    values.local().to_vec()
+                } else {
+                    let mut runner =
+                        LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel)
+                            .with_overlap(overlap);
+                    let mut values = runner.make_values(local);
+                    runner.run(env, &mut values, iters);
+                    values.local().to_vec()
+                };
+                out
+            });
+            let mut got = Vec::with_capacity(n);
+            for r in report.into_results() {
+                got.extend(r);
+            }
+            got
+        };
+        for default_range in [false, true] {
+            assert_eq!(
+                run(true, default_range),
+                expected,
+                "fragmented overlap diverged (default_range = {default_range})"
+            );
+            assert_eq!(
+                run(false, default_range),
+                expected,
+                "fragmented sync diverged (default_range = {default_range})"
+            );
+        }
+    }
+
+    /// The split-phase runner charges the same total virtual time as the
+    /// synchronous one when the wait is not on the critical path: the cost
+    /// hook is linear, so interior + boundary charges sum to the whole.
+    #[test]
+    fn overlap_never_slows_the_virtual_clock() {
+        let g = meshgen::triangulated_grid(10, 10, 0.2, 1);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 4);
+        let run = |overlap: bool| {
+            let g = g.clone();
+            let part = part.clone();
+            let spec = ClusterSpec::paper_cluster(4);
+            Cluster::new(spec)
+                .run(move |env| {
+                    let rank = env.rank();
+                    let adj = LocalAdjacency::extract(&g, &part, rank);
+                    let (sched, _) =
+                        build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+                    let mut runner =
+                        LoopRunner::new(sched, &adj, ComputeCostModel::sun4(), RelaxationKernel)
+                            .with_overlap(overlap);
+                    let iv = part.interval_of(rank);
+                    let mut values =
+                        runner.make_values(iv.iter().map(|g| (g as f64).cos()).collect());
+                    runner.run(env, &mut values, 10);
+                    (env.now().as_secs(), values.local().to_vec())
+                })
+                .into_results()
+        };
+        let sync = run(false);
+        let split = run(true);
+        for (rank, ((t_sync, v_sync), (t_split, v_split))) in
+            sync.iter().zip(split.iter()).enumerate()
+        {
+            assert_eq!(v_sync, v_split, "rank {rank} values diverged");
+            assert!(
+                t_split <= &(t_sync * (1.0 + 1e-9)),
+                "rank {rank}: split-phase clock {t_split} exceeds synchronous {t_sync}"
+            );
         }
     }
 

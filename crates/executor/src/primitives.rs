@@ -103,6 +103,93 @@ pub fn gather<E: Element, C: Comm>(
     }
 }
 
+/// Starts a split-phase gather: posts one nonblocking receive per receive
+/// segment (handles parked in `bufs`' recycled request pool), then packs
+/// and posts every send. Returns as soon as all traffic is posted — the
+/// caller computes (typically: sweeps the interior vertices, which need no
+/// gathered data) while the bytes are in flight, then calls
+/// [`gather_finish`] to land them.
+///
+/// A `gather_start`/[`gather_finish`] pair moves exactly the bytes a
+/// blocking [`gather`] moves, in the same per-peer order, and leaves the
+/// ghost region bitwise identical — the split changes *when* the transfer
+/// is waited on, never what arrives. Between the two calls the ghost
+/// region still holds its previous contents, so only interior data may be
+/// read from `values.combined()`.
+///
+/// # Panics
+/// Panics (in debug) if `values`' shape does not match the schedule.
+/// Calling `gather_start` twice without an intervening [`gather_finish`]
+/// on the same `bufs` is a protocol bug (the request pool would hold
+/// handles from both).
+pub fn gather_start<E: Element, C: Comm>(
+    env: &mut C,
+    schedule: &CommSchedule,
+    values: &GhostedArray<E>,
+    cost: &ComputeCostModel,
+    bufs: &mut CommBuffers<E>,
+) {
+    debug_assert_eq!(values.local_len(), schedule.interval().len());
+    debug_assert_eq!(values.num_ghosts(), schedule.num_ghosts() as usize);
+    debug_assert!(
+        bufs.recv_reqs.is_empty(),
+        "gather_start while a split-phase gather is already in flight"
+    );
+
+    // Post all receives first (MPI wisdom: a pre-posted receive gives the
+    // transport a landing slot before any matching send can arrive).
+    for (peer, _globals) in schedule.recvs() {
+        let req = env.irecv(*peer, TAG_GATHER);
+        bufs.recv_reqs.push(req);
+    }
+    // Pack and post the sends, staged in recycled buffers; consecutive
+    // send runs bulk-pack straight from the owned block. Sends are
+    // buffered (complete at post time), so no handles need keeping.
+    for (peer, locals) in schedule.sends() {
+        env.compute(cost.pack_work(locals.len()));
+        let mut bytes = bufs.take_bytes(locals.len() * E::SIZE_BYTES);
+        pack_indexed(values.local(), locals, &mut bytes);
+        env.isend(*peer, TAG_GATHER, Payload::from_bytes(bytes));
+    }
+}
+
+/// Completes a split-phase gather started by [`gather_start`]: waits for
+/// each posted receive in schedule (peer-ascending) order and decodes the
+/// payload directly into its ghost-region slice, exactly as the blocking
+/// [`gather`] does. After this returns, `values.combined()` is fully
+/// consistent and the boundary sweep may run.
+///
+/// # Panics
+/// Panics if a packet's length does not match its schedule segment.
+pub fn gather_finish<E: Element, C: Comm>(
+    env: &mut C,
+    schedule: &CommSchedule,
+    values: &mut GhostedArray<E>,
+    cost: &ComputeCostModel,
+    bufs: &mut CommBuffers<E>,
+) {
+    assert_eq!(
+        bufs.recv_reqs.len(),
+        schedule.recvs().len(),
+        "gather_finish without a matching gather_start"
+    );
+    let mut slot = 0usize;
+    for (i, (peer, globals)) in schedule.recvs().iter().enumerate() {
+        let req = bufs.recv_reqs[i];
+        let bytes = env.wait_recv(req).into_bytes();
+        assert_eq!(
+            bytes.len(),
+            globals.len() * E::SIZE_BYTES,
+            "gather packet from rank {peer} has wrong length"
+        );
+        env.compute(cost.pack_work(globals.len()));
+        E::unpack_into(&bytes, &mut values.ghosts_mut()[slot..slot + globals.len()]);
+        bufs.recycle(bytes);
+        slot += globals.len();
+    }
+    bufs.recv_reqs.clear();
+}
+
 /// Sends each ghost-region value back to its owner, which **adds** it into
 /// the corresponding owned element. The flow is the exact reverse of
 /// [`gather`]: receive segments become sends and send lists describe where
@@ -295,6 +382,75 @@ mod tests {
         // Total contributions = total ghosts across all ranks.
         let total: f64 = report.results().sum();
         assert!(total > 0.0);
+    }
+
+    /// A gather_start/gather_finish pair must deliver exactly what the
+    /// blocking gather delivers — same ghost values (bitwise), same
+    /// message count — with compute legal between the phases.
+    #[test]
+    fn split_phase_gather_equivalent_to_blocking() {
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let part = BlockPartition::from_sizes(&[20, 23, 20]);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let iv = part.interval_of(rank);
+            let local: Vec<f64> = iv.iter().map(|g| (g as f64).sin()).collect();
+            let ghosts = sched.num_ghosts() as usize;
+            let mut blocking = GhostedArray::from_local(local.clone(), ghosts);
+            let mut split = GhostedArray::from_local(local, ghosts);
+            let mut bufs = CommBuffers::for_schedule(&sched);
+
+            gather(
+                env,
+                &sched,
+                &mut blocking,
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+            let msgs_blocking = env.stats().messages_sent;
+
+            gather_start(env, &sched, &split, &ComputeCostModel::zero(), &mut bufs);
+            // Anything may run here; the ghost region is still stale.
+            env.compute(0.0);
+            gather_finish(
+                env,
+                &sched,
+                &mut split,
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+            let msgs_split = env.stats().messages_sent - msgs_blocking;
+
+            assert_eq!(split, blocking, "split-phase ghosts differ");
+            assert_eq!(
+                msgs_split, msgs_blocking,
+                "split-phase message count differs"
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching gather_start")]
+    fn gather_finish_requires_start() {
+        let g = meshgen::triangulated_grid(4, 4, 0.0, 1);
+        let part = BlockPartition::uniform(16, 2);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let adj = LocalAdjacency::extract(&g, &part, env.rank());
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, env.rank(), ScheduleStrategy::Sort2);
+            let mut values: GhostedArray = GhostedArray::zeros(8, sched.num_ghosts() as usize);
+            gather_finish(
+                env,
+                &sched,
+                &mut values,
+                &ComputeCostModel::zero(),
+                &mut CommBuffers::new(),
+            );
+        });
     }
 
     /// Gather must be deterministic and charge identical virtual time across

@@ -193,27 +193,58 @@ impl CommSchedule {
     /// Translates a whole adjacency into combined-buffer indices: values
     /// `< local_len` index the block, values `≥ local_len` index ghosts at
     /// `local_len + slot`. This is the executor-ready indirection array.
+    ///
+    /// Translation also classifies every owned vertex as *interior* (all
+    /// neighbor references point into the owned block) or *boundary* (at
+    /// least one reference lands in the ghost region) and records the
+    /// maximal runs of consecutive same-class vertices — the structure the
+    /// executor's split-phase gather sweeps interior vertices from while
+    /// ghost bytes are still in flight.
     pub fn translate_adjacency(&self, adj: &LocalAdjacency) -> TranslatedAdjacency {
         assert_eq!(adj.interval(), self.interval, "adjacency/schedule mismatch");
         let local_len = self.interval.len() as u32;
         let mut xadj = Vec::with_capacity(adj.len() + 1);
         let mut slots = Vec::with_capacity(adj.num_refs());
+        let mut interior_runs: Vec<(u32, u32)> = Vec::new();
+        let mut boundary_runs: Vec<(u32, u32)> = Vec::new();
+        let mut interior_vertices = 0usize;
+        let mut interior_refs = 0usize;
         xadj.push(0usize);
         for l in 0..adj.len() {
+            let mut references_ghost = false;
             for &g in adj.neighbors_of(l) {
                 let combined = match self.resolve(g) {
                     LocalRef::Local(i) => i,
-                    LocalRef::Ghost(s) => local_len + s,
+                    LocalRef::Ghost(s) => {
+                        references_ghost = true;
+                        local_len + s
+                    }
                 };
                 slots.push(combined);
             }
+            let degree = slots.len() - xadj[l];
             xadj.push(slots.len());
+            let runs = if references_ghost {
+                &mut boundary_runs
+            } else {
+                interior_vertices += 1;
+                interior_refs += degree;
+                &mut interior_runs
+            };
+            match runs.last_mut() {
+                Some((_, end)) if *end == l as u32 => *end = l as u32 + 1,
+                _ => runs.push((l as u32, l as u32 + 1)),
+            }
         }
         TranslatedAdjacency {
             local_len,
             num_ghosts: self.num_ghosts,
             xadj,
             slots,
+            interior_runs,
+            boundary_runs,
+            interior_vertices,
+            interior_refs,
         }
     }
 
@@ -252,12 +283,33 @@ impl CommSchedule {
 
 /// Executor-ready indirection: CSR over owned vertices with combined-buffer
 /// indices (block values first, ghosts appended).
+///
+/// Owned vertices are additionally classified into **interior** (every
+/// neighbor reference indexes the owned block — the sweep over them needs
+/// no gathered data) and **boundary** (at least one reference indexes the
+/// ghost region). The classification is stored as maximal runs of
+/// consecutive same-class local indices, so a split-phase executor sweeps
+/// the interior as a handful of contiguous ranges (cache-friendly, and one
+/// `Kernel::sweep_range` call each) while the ghost exchange is in flight,
+/// then the boundary runs once it completes. On a locality-ordered mesh
+/// the interior is typically one long run with short boundary runs at the
+/// block edges.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TranslatedAdjacency {
     local_len: u32,
     num_ghosts: u32,
     xadj: Vec<usize>,
     slots: Vec<u32>,
+    /// Maximal `[start, end)` runs of consecutive interior vertices,
+    /// ascending and disjoint.
+    interior_runs: Vec<(u32, u32)>,
+    /// Maximal `[start, end)` runs of consecutive boundary vertices —
+    /// exactly the complement of `interior_runs` within `0..len()`.
+    boundary_runs: Vec<(u32, u32)>,
+    /// Total interior vertices (Σ run lengths).
+    interior_vertices: usize,
+    /// Total neighbor references made by interior vertices.
+    interior_refs: usize,
 }
 
 impl TranslatedAdjacency {
@@ -307,6 +359,47 @@ impl TranslatedAdjacency {
     #[inline]
     pub fn num_refs(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Maximal runs of consecutive *interior* vertices (no ghost
+    /// references), as `start..end` local-index ranges, ascending. A sweep
+    /// over exactly these ranges touches no gathered data.
+    pub fn interior_runs(&self) -> impl Iterator<Item = std::ops::Range<usize>> + Clone + '_ {
+        self.interior_runs
+            .iter()
+            .map(|&(s, e)| s as usize..e as usize)
+    }
+
+    /// Maximal runs of consecutive *boundary* vertices (at least one ghost
+    /// reference), the complement of [`TranslatedAdjacency::interior_runs`].
+    pub fn boundary_runs(&self) -> impl Iterator<Item = std::ops::Range<usize>> + Clone + '_ {
+        self.boundary_runs
+            .iter()
+            .map(|&(s, e)| s as usize..e as usize)
+    }
+
+    /// Number of interior vertices.
+    #[inline]
+    pub fn num_interior(&self) -> usize {
+        self.interior_vertices
+    }
+
+    /// Number of boundary vertices.
+    #[inline]
+    pub fn num_boundary(&self) -> usize {
+        self.len() - self.interior_vertices
+    }
+
+    /// Total neighbor references made by interior vertices.
+    #[inline]
+    pub fn interior_refs(&self) -> usize {
+        self.interior_refs
+    }
+
+    /// Total neighbor references made by boundary vertices.
+    #[inline]
+    pub fn boundary_refs(&self) -> usize {
+        self.num_refs() - self.interior_refs
     }
 }
 
@@ -676,6 +769,80 @@ mod tests {
         // Vertex 5 (local 2): neighbors 4 (local 1) and 6 (ghost slot 1 → 4).
         assert_eq!(t.neighbors_of(2), &[1, 4]);
         assert_eq!(t.num_refs(), 6);
+    }
+
+    #[test]
+    fn interior_boundary_classification_on_path() {
+        // Rank 1 of the 9-path owns {3, 4, 5}: 3 and 5 each reference a
+        // ghost (2 and 6), 4 references only owned vertices.
+        let g = path_graph(9);
+        let part = BlockPartition::uniform(9, 3);
+        let adj = LocalAdjacency::extract(&g, &part, 1);
+        let (s, _) = build_schedule_symmetric(&part, &adj, 1, ScheduleStrategy::Sort2);
+        let t = s.translate_adjacency(&adj);
+        assert_eq!(t.num_interior(), 1);
+        assert_eq!(t.num_boundary(), 2);
+        assert_eq!(t.interior_runs().collect::<Vec<_>>(), vec![1..2]);
+        assert_eq!(t.boundary_runs().collect::<Vec<_>>(), vec![0..1, 2..3]);
+        // Vertex 4's two references (to 3 and 5) are the interior refs.
+        assert_eq!(t.interior_refs(), 2);
+        assert_eq!(t.boundary_refs(), t.num_refs() - 2);
+    }
+
+    /// The runs are a disjoint ascending cover of `0..len()`, every
+    /// interior vertex references only owned slots, every boundary vertex
+    /// references at least one ghost slot, and the counted refs match.
+    #[test]
+    fn classification_invariants_on_meshes() {
+        let g = meshgen::triangulated_grid(13, 9, 0.4, 8);
+        let part = BlockPartition::from_sizes(&[30, 40, 27, 20]);
+        for r in 0..4 {
+            let adj = LocalAdjacency::extract(&g, &part, r);
+            let (s, _) = build_schedule_symmetric(&part, &adj, r, ScheduleStrategy::Sort2);
+            let t = s.translate_adjacency(&adj);
+            let local_len = t.local_len();
+            let mut covered = vec![false; t.len()];
+            let mut interior_refs = 0usize;
+            for run in t.interior_runs() {
+                for l in run {
+                    assert!(!covered[l], "vertex {l} covered twice");
+                    covered[l] = true;
+                    assert!(
+                        t.neighbors_of(l).iter().all(|&s| s < local_len),
+                        "interior vertex {l} references a ghost"
+                    );
+                    interior_refs += t.degree_of(l);
+                }
+            }
+            for run in t.boundary_runs() {
+                for l in run {
+                    assert!(!covered[l], "vertex {l} covered twice");
+                    covered[l] = true;
+                    assert!(
+                        t.neighbors_of(l).iter().any(|&s| s >= local_len),
+                        "boundary vertex {l} references no ghost"
+                    );
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "runs must cover every vertex");
+            assert_eq!(t.interior_refs(), interior_refs);
+            assert_eq!(t.num_interior() + t.num_boundary(), t.len());
+        }
+    }
+
+    #[test]
+    fn single_rank_is_all_interior() {
+        let g = path_graph(5);
+        let part = BlockPartition::uniform(5, 1);
+        let adj = LocalAdjacency::extract(&g, &part, 0);
+        let (s, _) = build_schedule_symmetric(&part, &adj, 0, ScheduleStrategy::Sort2);
+        let t = s.translate_adjacency(&adj);
+        assert_eq!(t.num_interior(), 5);
+        assert_eq!(t.num_boundary(), 0);
+        assert_eq!(t.interior_runs().collect::<Vec<_>>(), vec![0..5]);
+        assert_eq!(t.boundary_runs().count(), 0);
+        assert_eq!(t.interior_refs(), t.num_refs());
+        assert_eq!(t.boundary_refs(), 0);
     }
 
     #[test]

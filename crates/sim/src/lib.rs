@@ -89,7 +89,7 @@ pub mod stats;
 pub mod time;
 
 pub use cluster::{Cluster, ClusterSpec, RankReport, RunReport};
-pub use comm::Comm;
+pub use comm::{Comm, RecvRequest, SendRequest};
 pub use env::Env;
 pub use machine::{LoadPhase, LoadTimeline, MachineSpec};
 pub use network::{NetworkKind, NetworkSpec};

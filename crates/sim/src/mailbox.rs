@@ -89,6 +89,62 @@ impl<T: Tagged> TagBuffer<T> {
             self.pending[src].push_back(msg);
         }
     }
+
+    /// Like [`TagBuffer::recv_matching`] but **leaves the message in the
+    /// buffer**: blocks (in host time) until a message from `src` carrying
+    /// `tag` is physically available, then returns a reference to it. The
+    /// next matching `recv_matching` will deliver exactly this message
+    /// (per-tag FIFO order is preserved — mismatches pulled in while
+    /// waiting are buffered in arrival order).
+    ///
+    /// This is what the simulator's `Comm::test_recv` builds on: the
+    /// *virtual-time* readiness decision needs the message's modelled
+    /// arrival stamp, which requires the message to be physically present —
+    /// blocking for it keeps the probe deterministic (see
+    /// `Env`'s `test_recv`).
+    ///
+    /// # Panics
+    /// Panics if `src`'s mailbox disconnects before a matching message
+    /// arrives — probing for a message that can never come is a protocol
+    /// bug, exactly as with a blocking receive.
+    pub fn peek_matching(
+        &mut self,
+        rx: &MailboxReceiver<T>,
+        rank: usize,
+        src: usize,
+        tag: Tag,
+    ) -> &T {
+        if self.pending[src].iter().all(|m| m.tag() != tag) {
+            loop {
+                let msg = rx.recv().unwrap_or_else(|_disconnected| {
+                    panic!(
+                        "rank {rank} probing for tag {tag:?} from rank {src}, but the sender exited"
+                    )
+                });
+                let matched = msg.tag() == tag;
+                self.pending[src].push_back(msg);
+                if matched {
+                    break;
+                }
+            }
+        }
+        self.pending[src]
+            .iter()
+            .find(|m| m.tag() == tag)
+            .expect("a matching message was just ensured")
+    }
+
+    /// Nonblocking probe: drains every message currently sitting in `rx`
+    /// into the pending buffer (preserving arrival order), then reports
+    /// whether one from `src` carrying `tag` is available. Never blocks and
+    /// never consumes — a following `recv_matching` delivers the message.
+    /// This is the wall-clock backend's `Comm::test_recv`.
+    pub fn poll_matching(&mut self, rx: &MailboxReceiver<T>, src: usize, tag: Tag) -> bool {
+        while let Some(msg) = rx.try_recv() {
+            self.pending[src].push_back(msg);
+        }
+        self.pending[src].iter().any(|m| m.tag() == tag)
+    }
 }
 
 struct MailboxState<T> {
@@ -197,6 +253,16 @@ impl<T> MailboxReceiver<T> {
             g = self.0.cv.wait(g).expect("mailbox lock poisoned");
         }
     }
+
+    /// Nonblocking receive: returns the next buffered message if one is
+    /// available right now, `None` otherwise (including after the sender
+    /// hung up with the queue drained — a *probe* treats "gone" and "not
+    /// yet" alike; a blocking [`MailboxReceiver::recv`] is where
+    /// disconnection is an error).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut g = self.0.state.lock().expect("mailbox lock poisoned");
+        g.queue.pop_front()
+    }
 }
 
 impl<T> Drop for MailboxReceiver<T> {
@@ -255,6 +321,50 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         tx.send(msg(42)).unwrap();
         assert_eq!(handle.join().unwrap(), Tag(42));
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (tx, rx) = mailbox::<Msg>();
+        assert!(rx.try_recv().is_none());
+        tx.send(msg(3)).unwrap();
+        assert_eq!(rx.try_recv().unwrap().tag, Tag(3));
+        assert!(rx.try_recv().is_none());
+        drop(tx);
+        // After disconnect with an empty queue, a probe still reports
+        // "nothing available" rather than erroring.
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn peek_matching_does_not_consume() {
+        let (tx, rx) = mailbox::<Msg>();
+        let mut buf = TagBuffer::new(1);
+        tx.send(msg(9)).unwrap();
+        tx.send(msg(5)).unwrap();
+        // Peeking for tag 5 buffers the tag-9 message ahead of it.
+        assert_eq!(buf.peek_matching(&rx, 0, 0, Tag(5)).tag, Tag(5));
+        assert_eq!(buf.peek_matching(&rx, 0, 0, Tag(5)).tag, Tag(5));
+        // Both messages are still deliverable, in per-tag FIFO order.
+        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(5)).tag, Tag(5));
+        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(9)).tag, Tag(9));
+    }
+
+    #[test]
+    fn poll_matching_probes_without_blocking() {
+        let (tx, rx) = mailbox::<Msg>();
+        let mut buf = TagBuffer::new(1);
+        assert!(!buf.poll_matching(&rx, 0, Tag(4)));
+        tx.send(msg(8)).unwrap();
+        assert!(
+            !buf.poll_matching(&rx, 0, Tag(4)),
+            "wrong tag is not a match"
+        );
+        tx.send(msg(4)).unwrap();
+        assert!(buf.poll_matching(&rx, 0, Tag(4)));
+        // The probe buffered, not consumed: both still arrive in order.
+        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(8)).tag, Tag(8));
+        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(4)).tag, Tag(4));
     }
 
     #[test]

@@ -130,3 +130,98 @@ proptest! {
         }
     }
 }
+
+/// Deterministic (non-randomized) checks of the nonblocking primitives'
+/// virtual-time semantics: a posted receive completes at
+/// `max(now, modelled arrival)`, so compute between the post and the wait
+/// hides the transfer.
+mod split_phase_virtual_time {
+    use super::*;
+
+    /// Network with a pure 10 ms wire latency and no CPU costs, so clock
+    /// arithmetic is exact.
+    fn latency_net() -> NetworkSpec {
+        let mut net = NetworkSpec::zero_cost();
+        net.latency = 10.0e-3;
+        net
+    }
+
+    /// Receiver A does recv-then-compute (no overlap): latency + work.
+    /// Receiver B does irecv / compute / wait (split phase): max(latency,
+    /// work). Same messages, same work — the overlap is purely a property
+    /// of the posting order, and the simulator's clock shows it.
+    #[test]
+    fn compute_between_post_and_wait_hides_the_transfer() {
+        let work = 4.0e-3; // less than the 10 ms latency: fully hidden
+        let run = |overlap: bool| {
+            let spec = ClusterSpec::uniform(2).with_network(latency_net());
+            let report = Cluster::new(spec).run(move |env| {
+                if env.rank() == 0 {
+                    env.send(1, Tag(1), Payload::from_u32(vec![7]));
+                    0.0
+                } else {
+                    if overlap {
+                        let req = env.irecv(0, Tag(1));
+                        env.compute(work);
+                        assert_eq!(env.wait_recv(req).into_u32(), vec![7]);
+                    } else {
+                        assert_eq!(env.recv(0, Tag(1)).into_u32(), vec![7]);
+                        env.compute(work);
+                    }
+                    env.now_secs()
+                }
+            });
+            report.into_results()[1]
+        };
+        let sync = run(false);
+        let split = run(true);
+        assert!((sync - (10.0e-3 + work)).abs() < 1e-12, "sync clock {sync}");
+        // Work shorter than the latency is hidden entirely: the wait
+        // completes at the arrival stamp.
+        assert!((split - 10.0e-3).abs() < 1e-12, "split clock {split}");
+    }
+
+    /// When the compute is longer than the transfer, the wait is free: the
+    /// clock is compute-bound and communication costs nothing.
+    #[test]
+    fn long_compute_makes_the_wait_free() {
+        let work = 50.0e-3; // dwarfs the 10 ms latency
+        let spec = ClusterSpec::uniform(2).with_network(latency_net());
+        let report = Cluster::new(spec).run(move |env| {
+            if env.rank() == 0 {
+                env.send(1, Tag(2), Payload::from_u32(vec![9]));
+                0.0
+            } else {
+                let req = env.irecv(0, Tag(2));
+                env.compute(work);
+                assert!(env.test_recv(&req), "message arrived during compute");
+                let t_before_wait = env.now_secs();
+                assert_eq!(env.wait_recv(req).into_u32(), vec![9]);
+                assert_eq!(env.now_secs(), t_before_wait, "wait must cost nothing");
+                env.now_secs()
+            }
+        });
+        assert!((report.into_results()[1] - work).abs() < 1e-12);
+    }
+
+    /// `test_recv` reports virtual-time readiness: false while the clock
+    /// trails the modelled arrival, true once compute has advanced past
+    /// it — and it never consumes the message or moves the clock.
+    #[test]
+    fn test_recv_tracks_the_virtual_clock() {
+        let spec = ClusterSpec::uniform(2).with_network(latency_net());
+        Cluster::new(spec).run(|env| {
+            if env.rank() == 0 {
+                env.send(1, Tag(3), Payload::from_u32(vec![1]));
+            } else {
+                let req = env.irecv(0, Tag(3));
+                assert!(!env.test_recv(&req), "arrival is 10 ms in the future");
+                let t = env.now_secs();
+                assert_eq!(env.now_secs(), t, "probe must not advance the clock");
+                env.compute(20.0e-3);
+                assert!(env.test_recv(&req), "clock has passed the arrival");
+                assert_eq!(env.wait_recv(req).into_u32(), vec![1]);
+            }
+        });
+    }
+}

@@ -1,6 +1,12 @@
 //! Pins the transport's allocation-free steady state: after a short
 //! warm-up, `LoopRunner` iterations (gather + sweep + commit) perform
-//! **zero heap allocations** on any rank.
+//! **zero heap allocations** on any rank — on the synchronous gather path
+//! and on the split-phase (overlapped) path alike. The split-phase state
+//! that must not allocate per iteration: receive-request handles come
+//! from the recycled pool in `CommBuffers` (plain `Copy` records, pool
+//! pre-sized from the schedule), send staging rides the same recycled
+//! byte buffers as the synchronous path, and the double-buffered commit
+//! swaps `Vec` pointers instead of copying.
 //!
 //! A counting global allocator wraps the system allocator; counting is
 //! armed between cluster-wide barriers so the measured window contains
@@ -58,7 +64,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 /// The counter is process-global, so tests that arm it must not overlap.
 static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-fn steady_state_allocations<E, K>(kernel: K, init: impl Fn(usize) -> E + Sync) -> u64
+fn steady_state_allocations<E, K>(kernel: K, overlap: bool, init: impl Fn(usize) -> E + Sync) -> u64
 where
     E: Field,
     K: Kernel<E> + Copy + Send + Sync,
@@ -75,7 +81,8 @@ where
         let rank = env.rank();
         let adj = LocalAdjacency::extract(&g, &part, rank);
         let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-        let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel);
+        let mut runner =
+            LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel).with_overlap(overlap);
         let iv = part.interval_of(rank);
         let mut values = runner.make_values(iv.iter().map(&init).collect());
 
@@ -114,7 +121,11 @@ where
 /// zero-copy path (`pack_into`/`unpack_into`, recycled `CommBuffers`,
 /// warm mailboxes) is backend-independent, so steady-state iterations on
 /// real OS threads allocate nothing either.
-fn native_steady_state_allocations<E, K>(kernel: K, init: impl Fn(usize) -> E + Sync) -> u64
+fn native_steady_state_allocations<E, K>(
+    kernel: K,
+    overlap: bool,
+    init: impl Fn(usize) -> E + Sync,
+) -> u64
 where
     E: Field,
     K: Kernel<E> + Copy + Send + Sync,
@@ -130,7 +141,8 @@ where
         let rank = comm.rank();
         let adj = LocalAdjacency::extract(&g, &part, rank);
         let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-        let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel);
+        let mut runner =
+            LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel).with_overlap(overlap);
         let iv = part.interval_of(rank);
         let mut values = runner.make_values(iv.iter().map(&init).collect());
 
@@ -161,7 +173,8 @@ where
 
 #[test]
 fn steady_state_loop_is_allocation_free_f64() {
-    let allocations = steady_state_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin());
+    let allocations =
+        steady_state_allocations::<f64, _>(RelaxationKernel, false, |g| (g as f64).sin());
     assert_eq!(
         allocations, 0,
         "steady-state f64 iterations performed {allocations} heap allocations"
@@ -170,7 +183,7 @@ fn steady_state_loop_is_allocation_free_f64() {
 
 #[test]
 fn steady_state_loop_is_allocation_free_f64x4() {
-    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, |g| {
+    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, false, |g| {
         [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
     });
     assert_eq!(
@@ -182,7 +195,7 @@ fn steady_state_loop_is_allocation_free_f64x4() {
 #[test]
 fn native_steady_state_loop_is_allocation_free_f64() {
     let allocations =
-        native_steady_state_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin());
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, false, |g| (g as f64).sin());
     assert_eq!(
         allocations, 0,
         "native steady-state f64 iterations performed {allocations} heap allocations"
@@ -191,11 +204,54 @@ fn native_steady_state_loop_is_allocation_free_f64() {
 
 #[test]
 fn native_steady_state_loop_is_allocation_free_f64x4() {
-    let allocations = native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, |g| {
+    let allocations =
+        native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, false, |g| {
+            [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
+        });
+    assert_eq!(
+        allocations, 0,
+        "native steady-state [f64; 4] iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn overlapped_steady_state_loop_is_allocation_free_f64() {
+    let allocations =
+        steady_state_allocations::<f64, _>(RelaxationKernel, true, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "overlapped steady-state f64 iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn overlapped_steady_state_loop_is_allocation_free_f64x4() {
+    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, true, |g| {
         [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
     });
     assert_eq!(
         allocations, 0,
-        "native steady-state [f64; 4] iterations performed {allocations} heap allocations"
+        "overlapped steady-state [f64; 4] iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_overlapped_steady_state_loop_is_allocation_free_f64() {
+    let allocations =
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, true, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "native overlapped steady-state f64 iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_overlapped_steady_state_loop_is_allocation_free_f64x4() {
+    let allocations = native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, true, |g| {
+        [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
+    });
+    assert_eq!(
+        allocations, 0,
+        "native overlapped steady-state [f64; 4] iterations performed {allocations} heap allocations"
     );
 }

@@ -16,6 +16,14 @@
 //!
 //! Both are also compared against the sequential reference, so "identical"
 //! can never mean "identically wrong".
+//!
+//! Each workload additionally runs with the **split-phase gather**
+//! (`overlap = true`): posting the ghost exchange and sweeping interior
+//! vertices while bytes are in flight must be bitwise identical to the
+//! synchronous path — per-vertex outputs depend only on the referenced
+//! inputs, which both orders deliver unchanged — on both backends, at
+//! every rank count. This is the cross-path half of the equivalence
+//! story: backend × gather-flavour, all four combinations, one answer.
 
 use stance::executor::{sequential_laplacian_matvec, sequential_relaxation};
 use stance::inspector::{build_schedule_symmetric, LocalAdjacency};
@@ -40,43 +48,64 @@ fn init(g: usize) -> f64 {
 /// schedule (remaps would not change the numbers — relaxation is
 /// partition-invariant — but a wall-clock-driven remap decision would make
 /// the *communication pattern* differ between runs for no test value).
-fn relaxation_body<C: Comm>(env: &mut C, mesh: &Graph, iters: usize) -> (Vec<f64>, BlockPartition) {
-    let config = StanceConfig::free().without_load_balancing();
+fn relaxation_body<C: Comm>(
+    env: &mut C,
+    mesh: &Graph,
+    iters: usize,
+    overlap: bool,
+) -> (Vec<f64>, BlockPartition) {
+    let config = StanceConfig::free()
+        .without_load_balancing()
+        .with_overlap(overlap);
     let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, init, &config);
     session.run_adaptive(env, iters);
     (session.local_values().to_vec(), session.partition().clone())
 }
 
-fn relaxation_on_sim(mesh: &Graph, p: usize, iters: usize) -> Vec<f64> {
+fn relaxation_on_sim(mesh: &Graph, p: usize, iters: usize, overlap: bool) -> Vec<f64> {
     let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
-    let report = Cluster::new(spec).run(|env| relaxation_body(env, mesh, iters));
+    let report = Cluster::new(spec).run(|env| relaxation_body(env, mesh, iters, overlap));
     let results: Vec<_> = report.into_results();
     let partition = results[0].1.clone();
     stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
 }
 
-fn relaxation_on_native(mesh: &Graph, p: usize, iters: usize) -> Vec<f64> {
-    let report = NativeCluster::new(p).run(|comm| relaxation_body(comm, mesh, iters));
+fn relaxation_on_native(mesh: &Graph, p: usize, iters: usize, overlap: bool) -> Vec<f64> {
+    let report = NativeCluster::new(p).run(|comm| relaxation_body(comm, mesh, iters, overlap));
     let results: Vec<_> = report.into_results();
     let partition = results[0].1.clone();
     stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
 }
 
 #[test]
-fn relaxation_bitwise_identical_across_backends() {
+fn relaxation_bitwise_identical_across_backends_and_paths() {
     let m = mesh();
     let iters = 25;
     let mut reference: Vec<f64> = (0..m.num_vertices()).map(init).collect();
     sequential_relaxation(&m, &mut reference, iters);
 
     for p in [1usize, 2, 4] {
-        let sim = relaxation_on_sim(&m, p, iters);
-        let native = relaxation_on_native(&m, p, iters);
+        let sim = relaxation_on_sim(&m, p, iters, false);
+        let native = relaxation_on_native(&m, p, iters, false);
         assert_eq!(sim, reference, "sim diverged from sequential at p = {p}");
         assert_eq!(
             bits(&sim),
             bits(&native),
             "backends disagree bitwise at p = {p}"
+        );
+        // The split-phase gather is numerically free: bitwise identical to
+        // the synchronous path on both backends.
+        let sim_split = relaxation_on_sim(&m, p, iters, true);
+        let native_split = relaxation_on_native(&m, p, iters, true);
+        assert_eq!(
+            bits(&sim),
+            bits(&sim_split),
+            "sim split-phase diverged from synchronous at p = {p}"
+        );
+        assert_eq!(
+            bits(&native),
+            bits(&native_split),
+            "native split-phase diverged from synchronous at p = {p}"
         );
     }
 }
@@ -96,6 +125,7 @@ fn cg_body<C: Comm>(
     b: &[f64],
     shift: f64,
     max_iters: usize,
+    overlap: bool,
 ) -> Vec<f64> {
     let n = mesh.num_vertices();
     let part = BlockPartition::uniform(n, env.size());
@@ -112,7 +142,8 @@ fn cg_body<C: Comm>(
         &adj,
         ComputeCostModel::zero(),
         LaplacianKernel { shift },
-    );
+    )
+    .with_overlap(overlap);
     let iv = part.interval_of(rank);
     let mut x = vec![0.0f64; iv.len()];
     let mut r: Vec<f64> = iv.iter().map(|g| b[g]).collect();
@@ -166,21 +197,38 @@ fn cg_solver_bitwise_identical_across_backends() {
     for p in [1usize, 2, 4] {
         let m2 = &m;
         let b2 = &b;
-        let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
-        let sim_blocks: Vec<Vec<f64>> = Cluster::new(spec)
-            .run(|env| cg_body(env, m2, b2, shift, 120))
-            .into_results();
-        let native_blocks: Vec<Vec<f64>> = NativeCluster::new(p)
-            .run(|comm| cg_body(comm, m2, b2, shift, 120))
-            .into_results();
-
         let part = BlockPartition::uniform(n, p);
-        let sim = stance::reassemble(&part, sim_blocks);
-        let native = stance::reassemble(&part, native_blocks);
+        let run_sim = |overlap: bool| {
+            let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+            let blocks: Vec<Vec<f64>> = Cluster::new(spec)
+                .run(|env| cg_body(env, m2, b2, shift, 120, overlap))
+                .into_results();
+            stance::reassemble(&part, blocks)
+        };
+        let run_native = |overlap: bool| {
+            let blocks: Vec<Vec<f64>> = NativeCluster::new(p)
+                .run(|comm| cg_body(comm, m2, b2, shift, 120, overlap))
+                .into_results();
+            stance::reassemble(&part, blocks)
+        };
+        let sim = run_sim(false);
+        let native = run_native(false);
         assert_eq!(
             bits(&sim),
             bits(&native),
             "CG backends disagree bitwise at p = {p}"
+        );
+        // Split-phase matvec inside CG — the touchiest consumer, since CG
+        // compounds every rounding decision — must not change one bit.
+        assert_eq!(
+            bits(&sim),
+            bits(&run_sim(true)),
+            "sim split-phase CG diverged at p = {p}"
+        );
+        assert_eq!(
+            bits(&native),
+            bits(&run_native(true)),
+            "native split-phase CG diverged at p = {p}"
         );
         // And the answer is actually the solution.
         let max_err = sim

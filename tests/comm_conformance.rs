@@ -9,7 +9,11 @@
 //! Covered contract points: per-(source, tag) FIFO ordering, tag
 //! isolation (mismatched tags are buffered, not dropped or misdelivered),
 //! repeated barriers, rank-order `allreduce_f64` folding, personalized
-//! `exchange`, and the broadcast/gather/allgather collectives.
+//! `exchange`, and the broadcast/gather/allgather collectives — plus the
+//! nonblocking request API: a receive posted before the matching send
+//! exists, FIFO order across interleaved blocking and nonblocking sends
+//! on one (source, destination, tag) stream, tag isolation across
+//! outstanding requests, and `wait`/`test` long after the peer completed.
 
 use stance::prelude::*;
 use stance_native::NativeCluster;
@@ -108,6 +112,92 @@ mod bodies {
         }
     }
 
+    /// A receive posted before the matching send even exists must
+    /// complete once the send lands: the barrier guarantees rank 0 has
+    /// not sent when rank 1 posts.
+    pub fn irecv_posted_before_send<C: Comm>(c: &mut C) {
+        if c.rank() == 1 {
+            let req = c.irecv(0, Tag(3));
+            c.barrier();
+            assert_eq!(c.wait_recv(req).into_u32(), vec![99]);
+        } else {
+            c.barrier();
+            if c.rank() == 0 {
+                let req = c.isend(1, Tag(3), Payload::from_u32(vec![99]));
+                c.wait_send(req);
+            }
+        }
+    }
+
+    /// Blocking and nonblocking sends interleaved on one (source,
+    /// destination, tag) stream form a single FIFO stream, however the
+    /// receiver mixes blocking receives and posted requests.
+    pub fn mixed_blocking_nonblocking_fifo<C: Comm>(c: &mut C) {
+        const MSGS: u32 = 12;
+        if c.rank() == 0 {
+            for seq in 0..MSGS {
+                if seq % 2 == 0 {
+                    c.send(1, Tag(5), Payload::from_u32(vec![seq]));
+                } else {
+                    let _ = c.isend(1, Tag(5), Payload::from_u32(vec![seq]));
+                }
+            }
+        } else if c.rank() == 1 {
+            for seq in 0..MSGS {
+                let got = if seq % 3 == 0 {
+                    c.recv(0, Tag(5))
+                } else {
+                    let req = c.irecv(0, Tag(5));
+                    c.wait_recv(req)
+                };
+                assert_eq!(got.into_u32(), vec![seq], "stream broke FIFO at {seq}");
+            }
+        }
+    }
+
+    /// Outstanding requests on different tags are isolated: waits may
+    /// complete in any order relative to arrival order, each draining its
+    /// own tag's FIFO stream.
+    pub fn outstanding_request_tag_isolation<C: Comm>(c: &mut C) {
+        if c.rank() == 0 {
+            // Tag-2 traffic brackets the tag-1 message.
+            c.send(1, Tag(2), Payload::from_u32(vec![22]));
+            let _ = c.isend(1, Tag(1), Payload::from_u32(vec![11]));
+            c.send(1, Tag(2), Payload::from_u32(vec![23]));
+        } else if c.rank() == 1 {
+            let a = c.irecv(0, Tag(1));
+            let b1 = c.irecv(0, Tag(2));
+            let b2 = c.irecv(0, Tag(2));
+            // Wait in an order unrelated to the send order.
+            assert_eq!(c.wait_recv(a).into_u32(), vec![11]);
+            assert_eq!(c.wait_recv(b1).into_u32(), vec![22]);
+            assert_eq!(c.wait_recv(b2).into_u32(), vec![23]);
+        }
+    }
+
+    /// `wait` (and `test`) long after the peer finished sending: the
+    /// message is buffered, the probe reports ready, and the wait returns
+    /// without a peer in sight. Run with 2 ranks.
+    pub fn wait_after_peer_completion<C: Comm>(c: &mut C) {
+        if c.rank() == 0 {
+            let req = c.isend(1, Tag(8), Payload::from_u64(vec![77]));
+            c.wait_send(req);
+            c.barrier();
+            c.barrier();
+        } else {
+            let req = c.irecv(0, Tag(8));
+            // Two barriers: the sender completed its send strictly before
+            // the first, and has nothing left to do by the second.
+            c.barrier();
+            c.barrier();
+            assert!(
+                c.test_recv(&req),
+                "probe must report ready after the peer completed"
+            );
+            assert_eq!(c.wait_recv(req).into_u64(), vec![77]);
+        }
+    }
+
     /// Broadcast, rooted gather, and allgather deliver rank-ordered data.
     pub fn bcast_and_gather<C: Comm>(c: &mut C) {
         let payload = if c.rank() == 2 {
@@ -183,6 +273,26 @@ macro_rules! conformance_suite {
             #[test]
             fn bcast_and_gather() {
                 ($launch)(4, bodies::bcast_and_gather);
+            }
+
+            #[test]
+            fn irecv_posted_before_send() {
+                ($launch)(3, bodies::irecv_posted_before_send);
+            }
+
+            #[test]
+            fn mixed_blocking_nonblocking_fifo() {
+                ($launch)(2, bodies::mixed_blocking_nonblocking_fifo);
+            }
+
+            #[test]
+            fn outstanding_request_tag_isolation() {
+                ($launch)(2, bodies::outstanding_request_tag_isolation);
+            }
+
+            #[test]
+            fn wait_after_peer_completion() {
+                ($launch)(2, bodies::wait_after_peer_completion);
             }
         }
     };
