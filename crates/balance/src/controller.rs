@@ -99,17 +99,59 @@ pub fn load_balance_step<C: Comm>(
     remaining_iters: usize,
     config: &BalancerConfig,
 ) -> Decision {
+    load_balance_step_calibrated(env, partition, per_item_time, remaining_iters, config, None)
+}
+
+/// [`load_balance_step`] with an optional **measured** rebuild cost
+/// (seconds) replacing the static `rebuild_cost_hint` in the
+/// profitability rule — the controller's calibration feedback loop.
+///
+/// In centralized mode only the deciding rank's measurement matters (the
+/// decision is broadcast), so no extra communication is spent. In
+/// distributed mode the measurement **piggybacks on the existing load
+/// allgather** (the payload grows from one `f64` to two — still a single
+/// round) and every rank decides with the max over ranks: remaps are
+/// collective, so the slowest rank's rebuild is the cost the cluster
+/// actually pays. Collective-consistency requirement: every rank must
+/// pass `Some`/`None` uniformly (remaps are collective, so measured
+/// costs appear on all ranks together).
+pub fn load_balance_step_calibrated<C: Comm>(
+    env: &mut C,
+    partition: &BlockPartition,
+    per_item_time: f64,
+    remaining_iters: usize,
+    config: &BalancerConfig,
+    measured_rebuild_cost: Option<f64>,
+) -> Decision {
     assert!(
         per_item_time.is_finite() && per_item_time >= 0.0,
         "per-item time must be finite and non-negative, got {per_item_time}"
     );
     match config.mode {
         ControllerMode::Centralized => {
+            // Only the controller's `decide` runs; overriding the hint
+            // locally is enough (workers' configs never enter a decision).
+            let storage;
+            let config = match measured_rebuild_cost {
+                Some(cost) => {
+                    storage = BalancerConfig {
+                        rebuild_cost_hint: cost,
+                        ..config.clone()
+                    };
+                    &storage
+                }
+                None => config,
+            };
             centralized_step(env, partition, per_item_time, remaining_iters, config)
         }
-        ControllerMode::Distributed => {
-            distributed_step(env, partition, per_item_time, remaining_iters, config)
-        }
+        ControllerMode::Distributed => distributed_step(
+            env,
+            partition,
+            per_item_time,
+            remaining_iters,
+            config,
+            measured_rebuild_cost,
+        ),
     }
 }
 
@@ -144,17 +186,44 @@ fn centralized_step<C: Comm>(
 
 /// The distributed variant: one all-gather round, then every rank runs the
 /// deterministic decision function on identical inputs — no controller, no
-/// second round, and the decision is provably identical everywhere.
+/// second round, and the decision is provably identical everywhere. A
+/// calibrated rebuild cost rides in the same round (payload of two `f64`s
+/// instead of one); every rank folds the max, so the overridden hint — and
+/// therefore the decision — is identical everywhere.
 fn distributed_step<C: Comm>(
     env: &mut C,
     partition: &BlockPartition,
     per_item_time: f64,
     remaining_iters: usize,
     config: &BalancerConfig,
+    measured_rebuild_cost: Option<f64>,
 ) -> Decision {
-    let parts = env.allgather(TAG_LOAD_ALLGATHER, Payload::from_f64(vec![per_item_time]));
-    let times: Vec<f64> = parts.into_iter().map(|p| p.into_f64()[0]).collect();
+    let payload = match measured_rebuild_cost {
+        Some(cost) => vec![per_item_time, cost],
+        None => vec![per_item_time],
+    };
+    let parts = env.allgather(TAG_LOAD_ALLGATHER, Payload::from_f64(payload));
+    let mut times = Vec::with_capacity(parts.len());
+    let mut max_cost: Option<f64> = None;
+    for p in parts {
+        let v = p.into_f64();
+        times.push(v[0]);
+        if let Some(&c) = v.get(1) {
+            max_cost = Some(max_cost.unwrap_or(0.0).max(c));
+        }
+    }
     env.compute(1.0e-5 * times.len() as f64);
+    let storage;
+    let config = match max_cost {
+        Some(cost) => {
+            storage = BalancerConfig {
+                rebuild_cost_hint: cost,
+                ..config.clone()
+            };
+            &storage
+        }
+        None => config,
+    };
     decide(partition, &times, remaining_iters, config)
 }
 

@@ -28,8 +28,10 @@ pub mod controller;
 pub mod monitor;
 pub mod redistribute;
 
-pub use controller::{load_balance_step, BalancerConfig, ControllerMode, Decision};
+pub use controller::{
+    load_balance_step, load_balance_step_calibrated, BalancerConfig, ControllerMode, Decision,
+};
 pub use monitor::{CapabilityEstimator, LoadMonitor};
 pub use redistribute::{
-    redistribute_adjacency, redistribute_values, redistribute_values_coalesced,
+    redistribute_adjacency, redistribute_values, redistribute_values_coalesced, RemapScratch,
 };

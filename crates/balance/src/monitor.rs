@@ -29,12 +29,43 @@ pub enum CapabilityEstimator {
     LinearTrend,
 }
 
-/// Sliding-window tracker of per-item computation time on one rank.
+/// Smoothing factor of the remap-cost EWMAs: new measurements count half,
+/// history the other half — responsive to genuine cost shifts (e.g. the
+/// environment got slower) without letting one outlier remap dominate.
+const COST_EWMA_ALPHA: f64 = 0.5;
+
+/// How many consecutive checks a carried estimate may answer while the
+/// window stays empty ([`LoadMonitor::per_item_for_check`]). A rank whose
+/// block is empty cannot observe its own speed, so its carried estimate
+/// can never be refuted by measurement; without an expiry, a rank that
+/// was *transiently* slow at remap time would be starved forever. After
+/// the budget, the monitor reports `None` again and the controller's
+/// average-capability fallback probes the silent rank with work — if it
+/// is still slow the very next check measures that and moves the work
+/// away again; if it recovered, the cluster gets its capacity back.
+const CARRY_CHECK_BUDGET: u32 = 3;
+
+/// Sliding-window tracker of per-item computation time on one rank, plus
+/// the rank's **measured remap-cost calibration** (an EWMA over observed
+/// rebuild costs that can replace the controller's static
+/// `rebuild_cost_hint` once at least one remap has been seen).
 #[derive(Debug, Clone)]
 pub struct LoadMonitor {
     window: usize,
     samples: std::collections::VecDeque<f64>,
     estimator: CapabilityEstimator,
+    /// Per-item estimate carried across a remap ([`LoadMonitor::rollover`]):
+    /// used only while the window is empty, so a check that lands before
+    /// any post-remap measurement is still informed.
+    carry: Option<f64>,
+    /// Checks the carry may still answer before it expires
+    /// ([`CARRY_CHECK_BUDGET`], decremented by
+    /// [`LoadMonitor::per_item_for_check`]).
+    carry_checks_left: u32,
+    /// EWMA of the measured schedule-rebuild share of remap cost (seconds).
+    rebuild_cost_ewma: Option<f64>,
+    /// EWMA of the measured total remap cost (movement + rebuild, seconds).
+    remap_cost_ewma: Option<f64>,
 }
 
 impl LoadMonitor {
@@ -56,6 +87,10 @@ impl LoadMonitor {
             window,
             samples: std::collections::VecDeque::with_capacity(window),
             estimator,
+            carry: None,
+            carry_checks_left: 0,
+            rebuild_cost_ewma: None,
+            remap_cost_ewma: None,
         }
     }
 
@@ -83,20 +118,51 @@ impl LoadMonitor {
 
     /// The estimated computation time per data item for the *next* phase
     /// (seconds), per the configured [`CapabilityEstimator`], or `None`
-    /// before the first sample.
+    /// before the first sample. While the window is empty after a
+    /// [`LoadMonitor::rollover`], the estimate carried across the remap is
+    /// returned — the metric is *per element*, so it survives a block
+    /// resize, and a check landing before any post-remap measurement (e.g.
+    /// on a rank whose new block is empty) still reports real information
+    /// instead of flying blind.
     pub fn per_item_time(&self) -> Option<f64> {
         if self.samples.is_empty() {
-            return None;
+            return self.carry;
         }
+        Some(self.windowed_estimate())
+    }
+
+    /// [`LoadMonitor::per_item_time`] as consumed by a load-balance
+    /// *check*: identical while the window has samples, but a carried
+    /// estimate answers at most [`CARRY_CHECK_BUDGET`] consecutive
+    /// checks before expiring to `None`. An empty-block rank cannot
+    /// refresh its estimate by measurement, so the expiry is what lets
+    /// the controller eventually probe it with work again instead of
+    /// starving a once-slow machine forever.
+    pub fn per_item_for_check(&mut self) -> Option<f64> {
+        if !self.samples.is_empty() {
+            return Some(self.windowed_estimate());
+        }
+        if self.carry.is_some() {
+            if self.carry_checks_left == 0 {
+                self.carry = None;
+                return None;
+            }
+            self.carry_checks_left -= 1;
+        }
+        self.carry
+    }
+
+    /// The window estimate per the configured [`CapabilityEstimator`].
+    /// Callers guarantee the window is nonempty.
+    fn windowed_estimate(&self) -> f64 {
         let last = *self.samples.back().expect("nonempty");
-        let estimate = match self.estimator {
+        match self.estimator {
             CapabilityEstimator::LastPhase => last,
             CapabilityEstimator::WindowAverage => {
                 self.samples.iter().sum::<f64>() / self.samples.len() as f64
             }
             CapabilityEstimator::LinearTrend => self.linear_trend_prediction(last),
-        };
-        Some(estimate)
+        }
     }
 
     /// Least-squares fit `s_i = a + b·i` over the window, evaluated one step
@@ -137,9 +203,61 @@ impl LoadMonitor {
     }
 
     /// Clears history (after a remap, old measurements describe the old
-    /// block size and are no longer comparable).
+    /// block size and are no longer comparable). Also discards any carried
+    /// estimate; the remap-cost calibration is kept (it describes the
+    /// machine and pipeline, not the block). Prefer
+    /// [`LoadMonitor::rollover`] across remaps — the per-item metric *is*
+    /// comparable across block sizes, and dropping it blinds the first
+    /// post-remap check on ranks that record nothing (e.g. an empty block).
     pub fn reset(&mut self) {
         self.samples.clear();
+        self.carry = None;
+    }
+
+    /// Rolls the monitor across a remap: the window is cleared (its
+    /// *timing composition* — which blocks contributed — restarts), but
+    /// the current per-item estimate is carried and keeps answering
+    /// [`LoadMonitor::per_item_time`] until the first post-remap sample
+    /// arrives. Per-item time is per element, so the estimate survives the
+    /// block resize unchanged.
+    pub fn rollover(&mut self) {
+        self.carry = self.per_item_time();
+        self.carry_checks_left = CARRY_CHECK_BUDGET;
+        self.samples.clear();
+    }
+
+    /// Records the measured cost of one remap: `rebuild_seconds` is the
+    /// schedule-rebuild share (inspector + runner + value-buffer rebuild),
+    /// `total_seconds` the whole remap (data movement included). Both feed
+    /// EWMAs ([`COST_EWMA_ALPHA`]); the first observation seeds them
+    /// directly — the caller's static hint serves as the prior *until*
+    /// this first call, after which measurement replaces it.
+    pub fn record_remap_cost(&mut self, rebuild_seconds: f64, total_seconds: f64) {
+        let fold = |ewma: &mut Option<f64>, x: f64| {
+            *ewma = Some(match *ewma {
+                None => x,
+                Some(e) => (1.0 - COST_EWMA_ALPHA) * e + COST_EWMA_ALPHA * x,
+            });
+        };
+        fold(&mut self.rebuild_cost_ewma, rebuild_seconds);
+        fold(&mut self.remap_cost_ewma, total_seconds);
+    }
+
+    /// The calibrated schedule-rebuild cost (seconds): an EWMA of measured
+    /// rebuild shares, or `None` before the first observed remap. This is
+    /// what replaces the controller's static `rebuild_cost_hint` when
+    /// calibration is enabled — modelled seconds on the simulator, wall
+    /// clock on the native backend, either way the cost the profitability
+    /// rule should actually be charging.
+    pub fn rebuild_cost(&self) -> Option<f64> {
+        self.rebuild_cost_ewma
+    }
+
+    /// The calibrated total remap cost (seconds; movement + rebuild), or
+    /// `None` before the first observed remap. Observability companion to
+    /// [`LoadMonitor::rebuild_cost`].
+    pub fn remap_cost(&self) -> Option<f64> {
+        self.remap_cost_ewma
     }
 }
 
@@ -181,6 +299,86 @@ mod tests {
         m.record(1.0, 1, 1);
         m.reset();
         assert_eq!(m.per_item_time(), None);
+    }
+
+    #[test]
+    fn rollover_carries_estimate_until_next_sample() {
+        let mut m = LoadMonitor::new(3);
+        m.record(10.0, 1, 10); // 1.0
+        m.record(20.0, 1, 10); // 2.0
+        assert_eq!(m.per_item_time(), Some(1.5));
+        m.rollover();
+        // Window is empty, but the pre-remap estimate still answers.
+        assert!(!m.has_samples());
+        assert_eq!(m.per_item_time(), Some(1.5));
+        assert_eq!(m.capability(), Some(1.0 / 1.5));
+        // The first fresh sample supersedes the carried value entirely.
+        m.record(40.0, 1, 10); // 4.0
+        assert_eq!(m.per_item_time(), Some(4.0));
+        // A second rollover carries the *new* estimate.
+        m.rollover();
+        assert_eq!(m.per_item_time(), Some(4.0));
+    }
+
+    #[test]
+    fn carried_estimate_expires_after_check_budget() {
+        let mut m = LoadMonitor::new(3);
+        m.record(10.0, 1, 10); // 1.0
+        m.rollover();
+        // Reads don't consume the budget; checks do.
+        assert_eq!(m.per_item_time(), Some(1.0));
+        assert_eq!(m.per_item_time(), Some(1.0));
+        // The carry answers a bounded number of checks with an empty
+        // window, then expires so the controller can probe the rank again.
+        assert_eq!(m.per_item_for_check(), Some(1.0));
+        assert_eq!(m.per_item_for_check(), Some(1.0));
+        assert_eq!(m.per_item_for_check(), Some(1.0));
+        assert_eq!(m.per_item_for_check(), None, "budget must expire");
+        assert_eq!(m.per_item_time(), None, "expired carry is gone");
+        // A fresh sample ends the blackout; a new rollover gets a new budget.
+        m.record(20.0, 1, 10);
+        assert_eq!(m.per_item_for_check(), Some(2.0));
+        m.rollover();
+        assert_eq!(m.per_item_for_check(), Some(2.0));
+    }
+
+    #[test]
+    fn check_with_samples_does_not_consume_budget() {
+        let mut m = LoadMonitor::new(3);
+        m.record(10.0, 1, 10);
+        m.rollover();
+        m.record(30.0, 1, 10); // window nonempty again
+        for _ in 0..10 {
+            assert_eq!(m.per_item_for_check(), Some(3.0));
+        }
+    }
+
+    #[test]
+    fn reset_discards_carry() {
+        let mut m = LoadMonitor::new(2);
+        m.record(10.0, 1, 10);
+        m.rollover();
+        assert!(m.per_item_time().is_some());
+        m.reset();
+        assert_eq!(m.per_item_time(), None);
+    }
+
+    #[test]
+    fn remap_cost_ewma_seeds_then_smooths() {
+        let mut m = LoadMonitor::new(2);
+        assert_eq!(m.rebuild_cost(), None);
+        assert_eq!(m.remap_cost(), None);
+        m.record_remap_cost(0.1, 0.4);
+        // First observation seeds directly (the static hint was the prior).
+        assert_eq!(m.rebuild_cost(), Some(0.1));
+        assert_eq!(m.remap_cost(), Some(0.4));
+        m.record_remap_cost(0.3, 0.8);
+        assert!((m.rebuild_cost().unwrap() - 0.2).abs() < 1e-12);
+        assert!((m.remap_cost().unwrap() - 0.6).abs() < 1e-12);
+        // Calibration survives window resets and rollovers.
+        m.reset();
+        m.rollover();
+        assert!((m.rebuild_cost().unwrap() - 0.2).abs() < 1e-12);
     }
 
     #[test]

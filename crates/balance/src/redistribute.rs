@@ -6,13 +6,372 @@
 //! the two `O(p)` partitions, so no coordination messages are needed beyond
 //! the data itself. Receives follow the plan's deterministic
 //! `(source, range-start)` order.
+//!
+//! ## Allocation-lean remaps: [`RemapScratch`]
+//!
+//! The paper's value proposition is *cheap adaptation*: the MCR controller
+//! can only afford frequent remaps if a remap itself is cheap. The hot
+//! steady-state loop got its recycled scratch in the executor
+//! (`CommBuffers`); [`RemapScratch`] is the same idea for the remap path.
+//! One scratch, owned by the session and recycled across remaps, carries:
+//!
+//! * the [`RedistributionPlan`] (recomputed in place, computed **once** per
+//!   remap and shared by the value move and the adjacency move);
+//! * pooled byte buffers for value-message staging and pooled `u32`
+//!   buffers for adjacency-message staging (received payloads are recycled
+//!   back into the pools, so buffers circulate through the cluster);
+//! * the destination value blocks (swapped with the caller's aux vectors,
+//!   so retired aux storage becomes next remap's scratch);
+//! * CSR assembly storage for the new [`LocalAdjacency`] (a retired
+//!   adjacency donates its vectors back via
+//!   [`RemapScratch::recycle_adjacency`]);
+//! * a [`ScheduleScratch`] for the inspector rebuild that follows.
+//!
+//! The destination blocks are **not pre-zeroed**: the kept intersection
+//! plus the plan's receive ranges provably tile the new interval (the plan
+//! moves exactly `new ∖ old` per rank), so every slot is overwritten; a
+//! hard assertion (the tile counter is free) checks this on every remap,
+//! so a mismatched plan panics instead of leaving stale elements behind.
+//! Wire format, message order and virtual-time charging are identical to
+//! the allocating path, so simulated results and clocks are bitwise
+//! unchanged.
 
-use stance_inspector::LocalAdjacency;
+use stance_inspector::{LocalAdjacency, ScheduleScratch};
 use stance_onedim::{BlockPartition, RedistributionPlan};
 use stance_sim::{Comm, Element, Payload, Tag};
 
 const TAG_VALUES: Tag = Tag::reserved(48);
 const TAG_ADJ: Tag = Tag::reserved(49);
+
+/// Bound on pooled staging buffers (bytes and words): enough for any
+/// realistic per-remap fan-out, small enough to cap retained memory.
+const POOL_CAP: usize = 16;
+
+/// Sentinel in the assembly segment list: the segment comes from the kept
+/// intersection of the old adjacency rather than a received packet.
+const SEG_KEPT: usize = usize::MAX;
+
+/// Recycled scratch for the adaptive remap pipeline. See the module docs.
+#[derive(Debug)]
+pub struct RemapScratch<E: Element> {
+    /// The shared plan, recomputed in place each remap.
+    plan: Option<RedistributionPlan>,
+    /// Byte staging for value messages (recycled through send/receive).
+    bytes_pool: Vec<Vec<u8>>,
+    /// Destination value blocks, one per moved array; `blocks[0]` is the
+    /// session's primary block, the rest swap with the caller's aux
+    /// vectors.
+    blocks: Vec<Vec<E>>,
+    /// `u32` staging for adjacency messages.
+    words_pool: Vec<Vec<u32>>,
+    /// Received adjacency packets held between the receive phase and the
+    /// in-order CSR assembly.
+    packets: Vec<Vec<u32>>,
+    /// Assembly segment descriptors: `(global range start, row count,
+    /// packet index or `SEG_KEPT`)`.
+    segs: Vec<(usize, usize, usize)>,
+    /// Recycled CSR storage for the next adjacency build.
+    adj_parts: Option<(Vec<usize>, Vec<u32>)>,
+    /// Scratch for the inspector's schedule rebuild.
+    pub schedule: ScheduleScratch,
+}
+
+impl<E: Element> RemapScratch<E> {
+    /// An empty scratch; pools warm up over the first remap (plus its
+    /// recycle calls) and stay warm from then on.
+    pub fn new() -> Self {
+        RemapScratch {
+            plan: None,
+            bytes_pool: Vec::new(),
+            blocks: Vec::new(),
+            words_pool: Vec::new(),
+            packets: Vec::new(),
+            segs: Vec::new(),
+            adj_parts: None,
+            schedule: ScheduleScratch::new(),
+        }
+    }
+
+    /// The redistribution plan for `old → new`, recomputed into recycled
+    /// storage. Compute it once per remap, pass it to both
+    /// [`RemapScratch::redistribute`] and
+    /// [`RemapScratch::redistribute_adjacency`], and hand it back with
+    /// [`RemapScratch::put_plan`].
+    pub fn take_plan(&mut self, old: &BlockPartition, new: &BlockPartition) -> RedistributionPlan {
+        match self.plan.take() {
+            Some(mut plan) => {
+                plan.recompute(old, new);
+                plan
+            }
+            None => RedistributionPlan::between(old, new),
+        }
+    }
+
+    /// Returns a plan (from [`RemapScratch::take_plan`]) for reuse by the
+    /// next remap.
+    pub fn put_plan(&mut self, plan: RedistributionPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Donates a retired adjacency's CSR storage to the next
+    /// [`RemapScratch::redistribute_adjacency`].
+    pub fn recycle_adjacency(&mut self, adj: LocalAdjacency) {
+        let (_, xadj, refs) = adj.into_parts();
+        self.adj_parts = Some((xadj, refs));
+    }
+
+    /// The new primary value block produced by the last
+    /// [`RemapScratch::redistribute`] (in new-interval order).
+    pub fn primary_block(&self) -> &[E] {
+        &self.blocks[0]
+    }
+
+    /// Moves the primary value slice plus the caller's aux arrays to the
+    /// new distribution, coalescing all of a destination's segments into
+    /// one message per destination (§2 message coalescing) and drawing all
+    /// staging and destination storage from the scratch.
+    ///
+    /// The primary source is a *slice* so the session can redistribute
+    /// straight out of the `GhostedArray`'s storage — no upfront copy of
+    /// the owned block. The new primary block lands in
+    /// [`RemapScratch::primary_block`]; each aux vector is **swapped**
+    /// with its destination block, so the retired aux storage becomes the
+    /// next remap's scratch and nothing is copied or freed.
+    ///
+    /// Wire format and message order are identical to
+    /// [`redistribute_values_coalesced`]: `1 + aux.len()` segments per
+    /// message, primary first, receives in the plan's `(src, range)`
+    /// order. A collective — every rank must pass the same number of
+    /// arrays.
+    ///
+    /// # Panics
+    /// Panics if `primary` or any aux array does not match the rank's old
+    /// interval, or if `plan` was not computed for `old → new`.
+    pub fn redistribute<C: Comm>(
+        &mut self,
+        env: &mut C,
+        old: &BlockPartition,
+        new: &BlockPartition,
+        plan: &RedistributionPlan,
+        primary: &[E],
+        aux: &mut [&mut Vec<E>],
+    ) {
+        let k = 1 + aux.len();
+        let rank = env.rank();
+        let old_iv = old.interval_of(rank);
+        let new_iv = new.interval_of(rank);
+        assert_eq!(
+            primary.len(),
+            old_iv.len(),
+            "value block does not match old interval"
+        );
+        for a in aux.iter() {
+            assert_eq!(
+                a.len(),
+                old_iv.len(),
+                "value block does not match old interval"
+            );
+        }
+
+        // Send every outgoing range: one message per destination, all
+        // arrays' segments back to back, each bulk-packed straight from
+        // the source block (the range is contiguous in interval order).
+        for m in plan.sends_of(rank) {
+            let lo = m.range.start - old_iv.start;
+            let hi = m.range.end - old_iv.start;
+            let mut bytes = pool_take(&mut self.bytes_pool, (hi - lo) * k * E::SIZE_BYTES);
+            E::pack_into(&primary[lo..hi], &mut bytes);
+            for a in aux.iter() {
+                E::pack_into(&a[lo..hi], &mut bytes);
+            }
+            env.send(m.dst, TAG_VALUES, Payload::from_bytes(bytes));
+        }
+
+        // Size the destination blocks WITHOUT pre-zeroing: `resize` only
+        // touches a grown tail, and every slot is overwritten below
+        // because the kept intersection plus the plan's receive ranges
+        // tile the new interval exactly (hard-asserted below).
+        while self.blocks.len() < k {
+            self.blocks.push(Vec::new());
+        }
+        for block in self.blocks.iter_mut().take(k) {
+            block.resize(new_iv.len(), E::zero());
+        }
+
+        let kept = old_iv.intersect(&new_iv);
+        let mut covered = kept.len();
+        if !kept.is_empty() {
+            let dst = kept.start - new_iv.start..kept.end - new_iv.start;
+            let src = kept.start - old_iv.start..kept.end - old_iv.start;
+            self.blocks[0][dst.clone()].copy_from_slice(&primary[src.clone()]);
+            for (block, a) in self.blocks[1..k].iter_mut().zip(aux.iter()) {
+                block[dst.clone()].copy_from_slice(&a[src.clone()]);
+            }
+        }
+        for m in plan.recvs_of(rank) {
+            let seg = m.range.len();
+            let bytes = env.recv(m.src, TAG_VALUES).into_bytes();
+            assert_eq!(
+                bytes.len(),
+                seg * k * E::SIZE_BYTES,
+                "redistribution packet length"
+            );
+            let lo = m.range.start - new_iv.start;
+            let seg_bytes = seg * E::SIZE_BYTES;
+            for (i, block) in self.blocks.iter_mut().take(k).enumerate() {
+                E::unpack_into(
+                    &bytes[i * seg_bytes..(i + 1) * seg_bytes],
+                    &mut block[lo..lo + seg],
+                );
+            }
+            pool_put(&mut self.bytes_pool, bytes);
+            covered += seg;
+        }
+        // Hard assert (the counter is free): the blocks are not pre-zeroed,
+        // so a plan that does not tile the new interval — e.g. one computed
+        // for a different partition pair — must fail loudly rather than
+        // leave stale elements in the uncovered slots.
+        assert_eq!(
+            covered,
+            new_iv.len(),
+            "kept intersection + plan receives must tile the new interval \
+             (was the plan computed for these partitions?)"
+        );
+
+        // Hand each aux its new block; its old storage joins the scratch.
+        for (block, a) in self.blocks[1..k].iter_mut().zip(aux.iter_mut()) {
+            std::mem::swap(*a, block);
+        }
+    }
+
+    /// Moves the distributed mesh rows (each vertex's global neighbor
+    /// list) to the new owners, returning this rank's new
+    /// [`LocalAdjacency`] — assembled **directly in CSR form** from the
+    /// kept rows and the received packets. Compared to the fresh-build
+    /// path ([`redistribute_adjacency`]'s historic implementation used one
+    /// heap `Vec` per received row), this performs no per-row allocations:
+    /// staging words come from a recycled pool and the CSR arrays reuse
+    /// the storage a previous remap retired
+    /// ([`RemapScratch::recycle_adjacency`]).
+    ///
+    /// Wire format per moved range: `[deg(v) for v in range] ++ [refs…]`
+    /// as one `u32` payload, receives in the plan's deterministic
+    /// `(src, range)` order — identical messages and ordering to the
+    /// allocating path, so virtual time is unchanged.
+    pub fn redistribute_adjacency<C: Comm>(
+        &mut self,
+        env: &mut C,
+        old: &BlockPartition,
+        new: &BlockPartition,
+        plan: &RedistributionPlan,
+        adj: &LocalAdjacency,
+    ) -> LocalAdjacency {
+        let rank = env.rank();
+        let old_iv = old.interval_of(rank);
+        let new_iv = new.interval_of(rank);
+        assert_eq!(
+            adj.interval(),
+            old_iv,
+            "adjacency does not match old interval"
+        );
+
+        for m in plan.sends_of(rank) {
+            let lo = m.range.start - old_iv.start;
+            let hi = m.range.end - old_iv.start;
+            let refs = adj.refs_in(lo, hi);
+            let mut words = pool_take(&mut self.words_pool, m.range.len() + refs.len());
+            for l in lo..hi {
+                words.push(adj.degree_of(l) as u32);
+            }
+            // Rows are CSR-adjacent: the whole range's refs are one slice.
+            words.extend_from_slice(refs);
+            env.send(m.dst, TAG_ADJ, Payload::from_u32(words));
+        }
+
+        // Receive packets in the plan's deterministic (src, range) order,
+        // then assemble the CSR in ascending-interval order.
+        self.segs.clear();
+        let kept = old_iv.intersect(&new_iv);
+        if !kept.is_empty() {
+            self.segs.push((kept.start, kept.len(), SEG_KEPT));
+        }
+        self.packets.clear();
+        for m in plan.recvs_of(rank) {
+            self.segs
+                .push((m.range.start, m.range.len(), self.packets.len()));
+            self.packets.push(env.recv(m.src, TAG_ADJ).into_u32());
+        }
+        self.segs.sort_unstable();
+
+        let (mut xadj, mut refs) = self.adj_parts.take().unwrap_or_default();
+        xadj.clear();
+        refs.clear();
+        xadj.reserve(new_iv.len() + 1);
+        xadj.push(0);
+        let mut expected_start = new_iv.start;
+        for &(start, count, source) in &self.segs {
+            // Hard asserts (O(p) total): a plan/partition mismatch must not
+            // silently assemble a wrong CSR.
+            assert_eq!(start, expected_start, "segments must tile the interval");
+            if source == SEG_KEPT {
+                let lo = kept.start - old_iv.start;
+                let hi = kept.end - old_iv.start;
+                for l in lo..hi {
+                    xadj.push(xadj.last().expect("nonempty xadj") + adj.degree_of(l));
+                }
+                refs.extend_from_slice(adj.refs_in(lo, hi));
+            } else {
+                let words = &self.packets[source];
+                let degrees = &words[..count];
+                for &d in degrees {
+                    xadj.push(xadj.last().expect("nonempty xadj") + d as usize);
+                }
+                refs.extend_from_slice(&words[count..]);
+                assert_eq!(
+                    *xadj.last().expect("nonempty xadj"),
+                    refs.len(),
+                    "adjacency packet fully consumed"
+                );
+            }
+            expected_start = start + count;
+        }
+        assert_eq!(
+            expected_start, new_iv.end,
+            "segments must cover the interval"
+        );
+        while let Some(packet) = self.packets.pop() {
+            pool_put(&mut self.words_pool, packet);
+        }
+        LocalAdjacency::from_parts(new_iv, xadj, refs)
+    }
+}
+
+/// Pops a cleared buffer with at least `capacity` reserved from `pool`,
+/// or allocates one on a pool miss. One implementation serves the byte
+/// and word pools alike.
+fn pool_take<T>(pool: &mut Vec<Vec<T>>, capacity: usize) -> Vec<T> {
+    match pool.pop() {
+        Some(mut buf) => {
+            buf.clear();
+            buf.reserve(capacity);
+            buf
+        }
+        None => Vec::with_capacity(capacity),
+    }
+}
+
+/// Returns a spent buffer to `pool`, bounded by [`POOL_CAP`].
+fn pool_put<T>(pool: &mut Vec<Vec<T>>, buf: Vec<T>) {
+    if pool.len() < POOL_CAP {
+        pool.push(buf);
+    }
+}
+
+impl<E: Element> Default for RemapScratch<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Moves owned values from the old distribution to the new one. Returns
 /// this rank's new local block (in new-interval order). Generic over the
@@ -22,6 +381,12 @@ const TAG_ADJ: Tag = Tag::reserved(49);
 /// bytes, so the wire cost scales with the element size.
 ///
 /// A collective: every rank calls it with its current block.
+///
+/// On an identity remap (`old == new`) no messages are sent and no
+/// elements are reshuffled; the only remaining cost is the one owned-block
+/// copy this function's *return type* demands. Callers that can accept
+/// in-place movement should use [`redistribute_values_coalesced`] (or a
+/// [`RemapScratch`]), which on identity touches nothing at all.
 ///
 /// # Panics
 /// Panics if `local_values` does not match the rank's old interval.
@@ -55,12 +420,17 @@ pub fn redistribute_values<E: Element, C: Comm>(
 ///
 /// Wire format per move: `k` consecutive segments, one per array, each in
 /// range order, bulk-packed straight from the source block and decoded
-/// straight into the pre-zeroed destination block (the
+/// straight into the destination block (the
 /// [`Element::pack_into`]/[`Element::unpack_into`] codecs — no per-element
 /// calls, no intermediate `Vec<E>`). When the old and new partitions are
 /// identical the call returns immediately: zero messages, zero copies, the
 /// caller's vectors untouched in place. A collective — every rank must
 /// pass the same number of arrays.
+///
+/// This is the convenience entry point; a long-lived adaptive runtime
+/// holds a [`RemapScratch`] and calls [`RemapScratch::redistribute`]
+/// instead, which is the same movement with every allocation recycled
+/// across remaps.
 ///
 /// # Panics
 /// Panics if any array does not match the rank's old interval.
@@ -73,69 +443,30 @@ pub fn redistribute_values_coalesced<E: Element, C: Comm>(
     if arrays.is_empty() {
         return;
     }
-    let k = arrays.len();
-    let rank = env.rank();
-    let old_iv = old.interval_of(rank);
-    let new_iv = new.interval_of(rank);
-    for a in arrays.iter() {
-        assert_eq!(
-            a.len(),
-            old_iv.len(),
-            "value block does not match old interval"
-        );
-    }
     // Identity remap: every rank keeps exactly its block. Return before
     // building the plan or touching the arrays — zero messages, zero
     // copies (the caller's vectors are left untouched in place).
     if old == new {
-        return;
-    }
-    let plan = RedistributionPlan::between(old, new);
-
-    // Send every outgoing range: one message per destination, all arrays'
-    // segments back to back, each bulk-packed straight from the source
-    // block (the range is contiguous in interval order).
-    for m in plan.sends_of(rank) {
-        let lo = m.range.start - old_iv.start;
-        let hi = m.range.end - old_iv.start;
-        let mut bytes = Vec::with_capacity((hi - lo) * k * E::SIZE_BYTES);
+        let rank = env.rank();
+        let old_iv = old.interval_of(rank);
         for a in arrays.iter() {
-            E::pack_into(&a[lo..hi], &mut bytes);
-        }
-        env.send(m.dst, TAG_VALUES, Payload::from_bytes(bytes));
-    }
-
-    // Assemble the new blocks: the kept intersection comes from my old
-    // blocks (one contiguous copy), the rest decodes straight into the
-    // pre-zeroed destination block in plan order.
-    let mut new_blocks: Vec<Vec<E>> = (0..k).map(|_| vec![E::zero(); new_iv.len()]).collect();
-    let kept = old_iv.intersect(&new_iv);
-    if !kept.is_empty() {
-        for (block, a) in new_blocks.iter_mut().zip(arrays.iter()) {
-            block[kept.start - new_iv.start..kept.end - new_iv.start]
-                .copy_from_slice(&a[kept.start - old_iv.start..kept.end - old_iv.start]);
-        }
-    }
-    for m in plan.recvs_of(rank) {
-        let seg = m.range.len();
-        let bytes = env.recv(m.src, TAG_VALUES).into_bytes();
-        assert_eq!(
-            bytes.len(),
-            seg * k * E::SIZE_BYTES,
-            "redistribution packet length"
-        );
-        let lo = m.range.start - new_iv.start;
-        let seg_bytes = seg * E::SIZE_BYTES;
-        for (i, block) in new_blocks.iter_mut().enumerate() {
-            E::unpack_into(
-                &bytes[i * seg_bytes..(i + 1) * seg_bytes],
-                &mut block[lo..lo + seg],
+            assert_eq!(
+                a.len(),
+                old_iv.len(),
+                "value block does not match old interval"
             );
         }
+        return;
     }
-    for (a, block) in arrays.iter_mut().zip(new_blocks) {
-        **a = block;
-    }
+    let mut scratch = RemapScratch::new();
+    let plan = scratch.take_plan(old, new);
+    let (first, rest) = arrays.split_first_mut().expect("nonempty");
+    // The first array is the primary source; swap its new block in
+    // afterwards (the scratch is transient here, so the swap just moves
+    // ownership of the freshly built block).
+    let primary: Vec<E> = std::mem::take(*first);
+    scratch.redistribute(env, old, new, &plan, &primary, rest);
+    **first = std::mem::replace(&mut scratch.blocks[0], primary);
 }
 
 /// Moves the distributed mesh rows (each vertex's global neighbor list) to
@@ -143,60 +474,17 @@ pub fn redistribute_values_coalesced<E: Element, C: Comm>(
 ///
 /// Wire format per moved range: `[deg(v) for v in range] ++ [refs…]` as one
 /// `u32` payload (the receiver knows the range length from the plan).
+/// Convenience wrapper over [`RemapScratch::redistribute_adjacency`] with
+/// a transient scratch.
 pub fn redistribute_adjacency<C: Comm>(
     env: &mut C,
     old: &BlockPartition,
     new: &BlockPartition,
     adj: &LocalAdjacency,
 ) -> LocalAdjacency {
-    let rank = env.rank();
-    let old_iv = old.interval_of(rank);
-    let new_iv = new.interval_of(rank);
-    assert_eq!(
-        adj.interval(),
-        old_iv,
-        "adjacency does not match old interval"
-    );
-    let plan = RedistributionPlan::between(old, new);
-
-    for m in plan.sends_of(rank) {
-        let mut words = Vec::new();
-        for g in m.range.iter() {
-            words.push(adj.degree_of(g - old_iv.start) as u32);
-        }
-        for g in m.range.iter() {
-            words.extend_from_slice(adj.neighbors_of(g - old_iv.start));
-        }
-        env.send(m.dst, TAG_ADJ, Payload::from_u32(words));
-    }
-
-    // New rows, indexed by position within the new interval.
-    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); new_iv.len()];
-    let kept = old_iv.intersect(&new_iv);
-    for g in kept.iter() {
-        rows[g - new_iv.start] = adj.neighbors_of(g - old_iv.start).to_vec();
-    }
-    for m in plan.recvs_of(rank) {
-        let words = env.recv(m.src, TAG_ADJ).into_u32();
-        let count = m.range.len();
-        let degrees = &words[..count];
-        let mut cursor = count;
-        for (offset, g) in m.range.iter().enumerate() {
-            let d = degrees[offset] as usize;
-            rows[g - new_iv.start] = words[cursor..cursor + d].to_vec();
-            cursor += d;
-        }
-        assert_eq!(cursor, words.len(), "adjacency packet fully consumed");
-    }
-
-    let mut xadj = Vec::with_capacity(new_iv.len() + 1);
-    let mut refs = Vec::new();
-    xadj.push(0);
-    for row in rows {
-        refs.extend(row);
-        xadj.push(refs.len());
-    }
-    LocalAdjacency::from_parts(new_iv, xadj, refs)
+    let mut scratch: RemapScratch<f64> = RemapScratch::new();
+    let plan = scratch.take_plan(old, new);
+    scratch.redistribute_adjacency(env, old, new, &plan, adj)
 }
 
 #[cfg(test)]
@@ -265,6 +553,43 @@ mod tests {
         });
     }
 
+    /// A recycled [`RemapScratch`] driven through a chain of remaps must
+    /// deliver exactly what the convenience path delivers, for the primary
+    /// slice and the aux vectors alike.
+    #[test]
+    fn scratch_redistribute_matches_coalesced_across_remaps() {
+        let n = 91;
+        let parts = [
+            BlockPartition::uniform(n, 3),
+            BlockPartition::from_weights(n, &[0.2, 0.5, 0.3], Arrangement::new(vec![1, 0, 2])),
+            BlockPartition::from_weights(n, &[0.6, 0.2, 0.2], Arrangement::identity(3)),
+            BlockPartition::uniform(n, 3),
+        ];
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let mut scratch: RemapScratch<f64> = RemapScratch::new();
+            let iv0 = parts[0].interval_of(rank);
+            let mut primary: Vec<f64> = iv0.iter().map(|g| (g as f64).sin()).collect();
+            let mut aux: Vec<f64> = iv0.iter().map(|g| 3.0 * g as f64).collect();
+            let mut primary_ref = primary.clone();
+            let mut aux_ref = aux.clone();
+            for w in parts.windows(2) {
+                let (old, new) = (&w[0], &w[1]);
+                // Reference path: the convenience function.
+                redistribute_values_coalesced(env, old, new, &mut [&mut primary_ref, &mut aux_ref]);
+                // Scratch path, recycled across iterations.
+                let plan = scratch.take_plan(old, new);
+                scratch.redistribute(env, old, new, &plan, &primary, &mut [&mut aux]);
+                scratch.put_plan(plan);
+                primary.clear();
+                primary.extend_from_slice(scratch.primary_block());
+                assert_eq!(primary, primary_ref, "primary diverged");
+                assert_eq!(aux, aux_ref, "aux diverged");
+            }
+        });
+    }
+
     #[test]
     fn identity_redistribution_no_messages() {
         let part = BlockPartition::uniform(30, 3);
@@ -321,6 +646,39 @@ mod tests {
             let expected = LocalAdjacency::extract(&g, &new, rank);
             assert_eq!(got, expected, "rank {rank} adjacency wrong after move");
         }
+    }
+
+    /// The recycled adjacency path, chained remap over remap with retired
+    /// structures donated back, must match fresh extraction at every step.
+    #[test]
+    fn scratch_adjacency_matches_fresh_across_remaps() {
+        let g = meshgen::triangulated_grid(13, 7, 0.3, 9);
+        let n = g.num_vertices();
+        let parts = [
+            BlockPartition::uniform(n, 3),
+            BlockPartition::from_weights(n, &[0.2, 0.5, 0.3], Arrangement::new(vec![1, 0, 2])),
+            BlockPartition::from_weights(n, &[0.5, 0.2, 0.3], Arrangement::identity(3)),
+            BlockPartition::uniform(n, 3),
+        ];
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let mut scratch: RemapScratch<f64> = RemapScratch::new();
+            let mut adj = LocalAdjacency::extract(&g, &parts[0], rank);
+            for w in parts.windows(2) {
+                let (old, new) = (&w[0], &w[1]);
+                let plan = scratch.take_plan(old, new);
+                let next = scratch.redistribute_adjacency(env, old, new, &plan, &adj);
+                scratch.put_plan(plan);
+                scratch.recycle_adjacency(adj);
+                assert_eq!(
+                    next,
+                    LocalAdjacency::extract(&g, new, rank),
+                    "adjacency diverged from fresh extraction"
+                );
+                adj = next;
+            }
+        });
     }
 
     #[test]

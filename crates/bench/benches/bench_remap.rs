@@ -1,6 +1,8 @@
-//! Criterion bench backing Table 2: wall-clock cost of planning and
-//! executing a redistribution (plan computation is the algorithmic cost;
-//! the simulated execution includes real data movement between threads).
+//! Criterion bench backing Table 2 and the fast-remap work: wall-clock
+//! cost of planning and executing a redistribution, plus the end-to-end
+//! remap pipeline (legacy frozen baseline vs the shipped allocation-lean
+//! `RemapScratch` path — the full BENCH_remap.json sweep lives in
+//! `stance_bench::remap`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use stance::balance::redistribute_values;
@@ -8,6 +10,7 @@ use stance::onedim::{
     minimize_cost_redistribution, Arrangement, BlockPartition, RedistCostModel, RedistributionPlan,
 };
 use stance::prelude::*;
+use stance_bench::remap::{time_remap, Path, Shift};
 use stance_bench::{random_capabilities, workload_rng};
 
 fn bench_plan(c: &mut Criterion) {
@@ -52,5 +55,30 @@ fn bench_execute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_plan, bench_execute);
+fn bench_remap_pipeline(c: &mut Criterion) {
+    // End-to-end remap latency, legacy vs lean, at a reduced scale (the
+    // paper-scale sweep is the repro_all harness). Each sample drives a
+    // fresh 3-rank cluster through 2 timed remaps.
+    let mesh = stance::scenarios::small_mesh_ordered(OrderingMethod::Rcb, 7);
+    let mut group = c.benchmark_group("remap_pipeline");
+    group.sample_size(10);
+    for (name, path) in [("legacy", Path::Legacy), ("lean", Path::Lean)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &path, |b, &path| {
+            b.iter(|| {
+                std::hint::black_box(time_remap::<f64>(
+                    &mesh,
+                    3,
+                    Shift::Large,
+                    2,
+                    path,
+                    false,
+                    |i| i as f64,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_execute, bench_remap_pipeline);
 criterion_main!(benches);

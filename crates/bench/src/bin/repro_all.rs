@@ -64,6 +64,15 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
+    {
+        let start = Instant::now();
+        eprintln!(">> BENCH_remap ...");
+        stance_bench::emit_file("BENCH_remap.json", &stance_bench::remap::report_json());
+        eprintln!(
+            "   BENCH_remap done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
 
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -19,6 +19,7 @@ pub mod figures;
 pub mod fmt;
 pub mod native;
 pub mod overlap;
+pub mod remap;
 pub mod tables;
 pub mod transport;
 

@@ -33,6 +33,17 @@ pub struct StanceConfig {
     /// changes. Off by default — the synchronous path is the paper's
     /// structure and what the reproduction tables model.
     pub overlap_gather: bool,
+    /// Whether the controller's profitability rule uses the **measured**
+    /// schedule-rebuild cost instead of the static
+    /// `BalancerConfig::rebuild_cost_hint`. Each remap brackets its
+    /// rebuild with the backend clock (modelled seconds on the simulator,
+    /// wall clock on the native backend) and feeds an EWMA; once at least
+    /// one remap has been observed, checks charge that EWMA — the static
+    /// hint remains the prior until then. Off by default so the paper's
+    /// reproduction tables keep their modelled decision inputs
+    /// byte-for-byte; turn it on for long-running adaptive workloads where
+    /// the hint would drift from reality.
+    pub calibrate_rebuild_cost: bool,
 }
 
 impl Default for StanceConfig {
@@ -46,6 +57,7 @@ impl Default for StanceConfig {
             monitor_window: 4,
             estimator: CapabilityEstimator::default(),
             overlap_gather: false,
+            calibrate_rebuild_cost: false,
         }
     }
 }
@@ -64,6 +76,7 @@ impl StanceConfig {
             monitor_window: 4,
             estimator: CapabilityEstimator::default(),
             overlap_gather: false,
+            calibrate_rebuild_cost: false,
         }
     }
 
@@ -72,6 +85,16 @@ impl StanceConfig {
     /// free — results are bitwise identical either way.
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap_gather = overlap;
+        self
+    }
+
+    /// Enables (or disables) remap-cost calibration: once a remap has
+    /// been observed, the profitability rule charges the measured
+    /// schedule-rebuild EWMA instead of the static
+    /// `BalancerConfig::rebuild_cost_hint` (which remains the prior until
+    /// the first observation).
+    pub fn with_calibration(mut self, calibrate: bool) -> Self {
+        self.calibrate_rebuild_cost = calibrate;
         self
     }
 
@@ -127,6 +150,15 @@ mod tests {
         assert!(!off.load_balancing_enabled());
         assert!(!StanceConfig::default().overlap_gather);
         assert!(StanceConfig::default().with_overlap(true).overlap_gather);
+        // Calibration is strictly opt-in: the default (and the free test
+        // config) must keep the tables' static-hint decision inputs.
+        assert!(!StanceConfig::default().calibrate_rebuild_cost);
+        assert!(!StanceConfig::free().calibrate_rebuild_cost);
+        assert!(
+            StanceConfig::default()
+                .with_calibration(true)
+                .calibrate_rebuild_cost
+        );
     }
 
     #[test]

@@ -34,12 +34,11 @@
 //! are collectives: every rank of the cluster must call them in the same
 //! order (the SPMD contract of §2).
 
-use stance_balance::{
-    load_balance_step, redistribute_adjacency, redistribute_values_coalesced, Decision, LoadMonitor,
-};
+use stance_balance::{load_balance_step_calibrated, Decision, LoadMonitor, RemapScratch};
 use stance_executor::{GhostedArray, Kernel, LoopRunner, LoopStats, RelaxationKernel};
 use stance_inspector::{
-    build_schedule_simple, build_schedule_symmetric, CommSchedule, LocalAdjacency, ScheduleStrategy,
+    build_schedule_simple, build_schedule_symmetric_with, CommSchedule, LocalAdjacency,
+    ScheduleScratch, ScheduleStrategy,
 };
 use stance_locality::Graph;
 use stance_onedim::BlockPartition;
@@ -75,6 +74,13 @@ pub struct AdaptiveSession<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     values: GhostedArray<E>,
     monitor: LoadMonitor,
     config: StanceConfig,
+    /// Recycled storage for the whole remap pipeline (plan, message
+    /// staging, destination blocks, adjacency CSR assembly, schedule
+    /// rebuild) — the remap-path counterpart of the runner's
+    /// `CommBuffers`: after the first remap has warmed it up, a remap's
+    /// allocation count is bounded and independent of how many remaps the
+    /// run has already performed.
+    scratch: RemapScratch<E>,
 }
 
 impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
@@ -119,7 +125,8 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             graph.num_vertices()
         );
         let adj = LocalAdjacency::extract(graph, &partition, env.rank());
-        let schedule = build_schedule(env, &partition, &adj, config);
+        let mut scratch = RemapScratch::new();
+        let schedule = build_schedule(env, &partition, &adj, config, &mut scratch.schedule);
         let runner = LoopRunner::new(schedule, &adj, config.compute_cost, kernel)
             .with_overlap(config.overlap_gather);
         let iv = partition.interval_of(env.rank());
@@ -132,6 +139,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             values,
             monitor: LoadMonitor::with_estimator(config.monitor_window, config.estimator),
             config: config.clone(),
+            scratch,
         }
     }
 
@@ -211,14 +219,20 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         remaining_iters: usize,
         aux: &mut [&mut Vec<E>],
     ) -> (bool, f64, f64) {
-        let per_item = self.monitor.per_item_time().unwrap_or(0.0);
+        let per_item = self.monitor.per_item_for_check().unwrap_or(0.0);
+        let measured = if self.config.calibrate_rebuild_cost {
+            self.monitor.rebuild_cost()
+        } else {
+            None
+        };
         let t0 = env.now_secs();
-        let decision = load_balance_step(
+        let decision = load_balance_step_calibrated(
             env,
             &self.partition,
             per_item,
             remaining_iters,
             &self.config.balancer,
+            measured,
         );
         let check_cost = env.now_secs() - t0;
         match decision {
@@ -231,32 +245,131 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         }
     }
 
+    /// The monitor's current per-item time estimate (seconds per element
+    /// per sweep), if any measurement or carried estimate exists. Exposed
+    /// for observability: after a remap the estimate is *carried* (it is
+    /// per element, so it survives the block resize), keeping the first
+    /// post-remap check informed even on ranks whose new block records
+    /// nothing.
+    pub fn per_item_estimate(&self) -> Option<f64> {
+        self.monitor.per_item_time()
+    }
+
+    /// The calibrated schedule-rebuild cost (EWMA of measured rebuild
+    /// shares, seconds), or `None` before the first remap. This is what
+    /// replaces `rebuild_cost_hint` in checks when
+    /// `StanceConfig::calibrate_rebuild_cost` is enabled.
+    pub fn calibrated_rebuild_cost(&self) -> Option<f64> {
+        self.monitor.rebuild_cost()
+    }
+
+    /// The calibrated total remap cost (EWMA over measured remaps:
+    /// data movement + rebuild, seconds), or `None` before the first
+    /// remap.
+    pub fn calibrated_remap_cost(&self) -> Option<f64> {
+        self.monitor.remap_cost()
+    }
+
+    /// Forces a remap to an explicitly chosen partition, moving the
+    /// session's values (and the caller's aux arrays) and rebuilding the
+    /// schedule, without consulting the controller. Collective — every
+    /// rank must pass the same `new_partition` and the same number of aux
+    /// arrays. An identity remap (the current partition) is a no-op.
+    ///
+    /// This is the deterministic repartitioning entry point: benchmarks
+    /// use it to measure remap latency, tests to force churn, and
+    /// applications with out-of-band knowledge (e.g. a scheduler that
+    /// *knows* a machine is about to be withdrawn) to act without waiting
+    /// for the load monitor to notice.
+    ///
+    /// # Panics
+    /// Panics if `new_partition` does not cover the same list with the
+    /// same number of ranks.
+    pub fn remap_to<C: Comm>(
+        &mut self,
+        env: &mut C,
+        new_partition: BlockPartition,
+        aux: &mut [&mut Vec<E>],
+    ) {
+        assert_eq!(
+            new_partition.num_procs(),
+            self.partition.num_procs(),
+            "partition rank count changed"
+        );
+        assert_eq!(new_partition.n(), self.partition.n(), "list length changed");
+        self.apply_remap(env, new_partition, aux);
+    }
+
     /// Moves data and structure to `new_partition` and rebuilds the
-    /// schedule (and, through [`LoopRunner::rebuild`], the runner's
-    /// transport scratch — the only point in a run where the steady-state
-    /// communication path allocates). Collective.
+    /// schedule and the runner's transport scratch. Collective.
+    ///
+    /// The whole pipeline draws on the session's [`RemapScratch`]: the
+    /// redistribution plan is computed once and shared, values move
+    /// straight out of the `GhostedArray`'s storage (no upfront copy),
+    /// the new adjacency assembles into recycled CSR arrays, and the
+    /// schedule/runner rebuild reuses the retired schedule's vectors — so
+    /// after the first remap has warmed the scratch, a remap's allocation
+    /// count is bounded (pinned by `tests/alloc_free.rs`).
+    ///
+    /// The measured cost is fed back to the monitor: the schedule-rebuild
+    /// share and the total, both in backend seconds (modelled on the
+    /// simulator, wall clock on native). With
+    /// `StanceConfig::calibrate_rebuild_cost` the next check's
+    /// profitability rule charges the measured rebuild EWMA instead of
+    /// the static hint.
     fn apply_remap<C: Comm>(
         &mut self,
         env: &mut C,
         new_partition: BlockPartition,
         aux: &mut [&mut Vec<E>],
     ) {
-        // The session's values and every caller aux array move in ONE
-        // coalesced message per destination (§2 message coalescing).
-        let mut new_local = self.values.local().to_vec();
-        {
-            let mut all: Vec<&mut Vec<E>> = Vec::with_capacity(1 + aux.len());
-            all.push(&mut new_local);
-            all.extend(aux.iter_mut().map(|a| &mut **a));
-            redistribute_values_coalesced(env, &self.partition, &new_partition, &mut all);
+        if new_partition == self.partition {
+            // Identity: nothing moves, nothing rebuilds. The controller
+            // never issues identity remaps (zero saving); this guards the
+            // explicit `remap_to` entry point.
+            return;
         }
-        let new_adj = redistribute_adjacency(env, &self.partition, &new_partition, &self.adj);
+        let t0 = env.now_secs();
+        let plan = self.scratch.take_plan(&self.partition, &new_partition);
+        // The session's values and every caller aux array move in ONE
+        // coalesced message per destination (§2 message coalescing),
+        // packed straight from the ghosted array's owned block.
+        self.scratch.redistribute(
+            env,
+            &self.partition,
+            &new_partition,
+            &plan,
+            self.values.local(),
+            aux,
+        );
+        let new_adj = self.scratch.redistribute_adjacency(
+            env,
+            &self.partition,
+            &new_partition,
+            &plan,
+            &self.adj,
+        );
+        self.scratch.put_plan(plan);
+        let old_adj = std::mem::replace(&mut self.adj, new_adj);
+        self.scratch.recycle_adjacency(old_adj);
         self.partition = new_partition;
-        self.adj = new_adj;
-        let schedule = build_schedule(env, &self.partition, &self.adj, &self.config);
-        self.runner.rebuild(schedule, &self.adj);
-        self.values = self.runner.make_values(new_local);
-        self.monitor.reset();
+
+        // The schedule-rebuild share: inspector + runner + value buffers.
+        let t_rebuild = env.now_secs();
+        let schedule = build_schedule(
+            env,
+            &self.partition,
+            &self.adj,
+            &self.config,
+            &mut self.scratch.schedule,
+        );
+        let retired = self.runner.rebuild(schedule, &self.adj);
+        self.scratch.schedule.recycle(retired);
+        self.runner
+            .reset_values(&mut self.values, self.scratch.primary_block());
+        let now = env.now_secs();
+        self.monitor.record_remap_cost(now - t_rebuild, now - t0);
+        self.monitor.rollover();
     }
 
     /// The paper's full execution structure: blocks of `check_interval`
@@ -289,16 +402,26 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
 
 /// Builds the schedule with the configured strategy, charging inspector
 /// work to the rank's clock. Collective for [`ScheduleStrategy::Simple`].
+/// The symmetric builders draw their working storage from `scratch`
+/// (recycled across remaps); the simple strategy's three communication
+/// rounds allocate as they always did — its cost is dominated by the
+/// messages, not the allocator.
 fn build_schedule<C: Comm>(
     env: &mut C,
     partition: &BlockPartition,
     adj: &LocalAdjacency,
     config: &StanceConfig,
+    scratch: &mut ScheduleScratch,
 ) -> CommSchedule {
     match config.schedule_strategy {
         ScheduleStrategy::Sort1 | ScheduleStrategy::Sort2 => {
-            let (schedule, work) =
-                build_schedule_symmetric(partition, adj, env.rank(), config.schedule_strategy);
+            let (schedule, work) = build_schedule_symmetric_with(
+                partition,
+                adj,
+                env.rank(),
+                config.schedule_strategy,
+                scratch,
+            );
             env.compute(config.inspector_cost.seconds(&work));
             schedule
         }
@@ -545,6 +668,234 @@ mod tests {
         assert!(
             report.into_results().into_iter().all(|r| r),
             "the forced load should have remapped at least once"
+        );
+    }
+
+    /// Regression (monitor continuity): `apply_remap` used to reset the
+    /// monitor outright, so a rank that records nothing after the remap
+    /// (here: its new block is empty) reported `per_item = 0.0` at the
+    /// next check. The controller's fallback then treats the silent rank
+    /// as average-speed and thrashes work straight back onto a machine
+    /// that is 1000x slower. With the carried estimate, the first
+    /// post-remap check is informed and keeps the work where it belongs.
+    #[test]
+    fn first_post_remap_check_is_informed_on_empty_blocks() {
+        let m = mesh();
+        let mut config = StanceConfig::default().with_check_interval(10);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(2)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0e-3));
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            s.run_block(env, 10);
+            let (first, _, _) = s.check_and_rebalance(env, 10_000);
+            let sizes = s.partition().sizes();
+            // Post-remap block: an empty block records no sample on the
+            // loaded rank …
+            s.run_block(env, 10);
+            // … yet the per-item estimate is carried across the remap.
+            let informed = s.per_item_estimate().is_some();
+            let (second, _, _) = s.check_and_rebalance(env, 10_000);
+            (first, sizes, informed, second)
+        });
+        for (first, sizes, informed, second) in report.results() {
+            assert!(*first, "the 1000x load must trigger the first remap");
+            assert_eq!(sizes[0], 0, "the loaded rank should own nothing: {sizes:?}");
+            assert!(*informed, "the estimate must survive the remap");
+            assert!(
+                !*second,
+                "an informed post-remap check must not thrash work back"
+            );
+        }
+    }
+
+    /// Anti-starvation companion to the carried-estimate fix: a silenced
+    /// rank (empty block, so no measurements can refute its carried
+    /// estimate) answers a bounded number of checks from the carry, after
+    /// which the estimate expires and the controller's average-capability
+    /// fallback probes the rank with work again. If the machine is still
+    /// slow, the very next check measures that and moves the work away; if
+    /// the transient load is gone, the probe is what hands the cluster its
+    /// capacity back — either way the rank is never starved forever.
+    #[test]
+    fn carry_expiry_probes_a_silenced_rank() {
+        let m = mesh();
+        let mut config = StanceConfig::default().with_check_interval(10);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(2)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0e-3));
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            s.run_block(env, 10);
+            let (first, _, _) = s.check_and_rebalance(env, 10_000);
+            let emptied = s.partition().sizes()[0] == 0;
+            // Carried-estimate checks: informed Keeps, no thrash.
+            let mut kept = 0;
+            for _ in 0..3 {
+                s.run_block(env, 10);
+                let (remapped, _, _) = s.check_and_rebalance(env, 10_000);
+                kept += usize::from(!remapped);
+            }
+            // Budget exhausted: the next check probes the silent rank.
+            s.run_block(env, 10);
+            let (probed, _, _) = s.check_and_rebalance(env, 10_000);
+            let probe_sizes = s.partition().sizes();
+            // The probe hands the rank real work, it measures (still slow),
+            // and the following check moves the work away again.
+            s.run_block(env, 10);
+            let (corrected, _, _) = s.check_and_rebalance(env, 10_000);
+            let final_sizes = s.partition().sizes();
+            (
+                first,
+                emptied,
+                kept,
+                probed,
+                probe_sizes,
+                corrected,
+                final_sizes,
+            )
+        });
+        for (first, emptied, kept, probed, probe_sizes, corrected, final_sizes) in report.results()
+        {
+            assert!(*first && *emptied, "setup: loaded rank should be emptied");
+            assert_eq!(*kept, 3, "carried checks must keep the assignment");
+            assert!(*probed, "expired carry must trigger a probe remap");
+            assert!(
+                probe_sizes[0] > 0,
+                "the probe should hand the silent rank work: {probe_sizes:?}"
+            );
+            assert!(*corrected, "fresh slow measurements must move work away");
+            assert!(
+                final_sizes[0] < probe_sizes[0],
+                "correction should shrink the slow rank again: {final_sizes:?} vs {probe_sizes:?}"
+            );
+        }
+    }
+
+    /// Calibration closes the controller's feedback loop: an absurdly
+    /// wrong static `rebuild_cost_hint` blocks every remap, but once one
+    /// (forced) remap has been *measured*, a calibrated session charges
+    /// the observed cost and adapts again — while an uncalibrated session
+    /// stays stuck with the hint. Calibration is opt-in; with the flag off
+    /// the decision inputs are untouched.
+    #[test]
+    fn calibration_replaces_static_hint_after_first_remap() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let run = |calibrate: bool| {
+            let m = m.clone();
+            let mut config = StanceConfig::default()
+                .with_check_interval(10)
+                .with_calibration(calibrate);
+            config.balancer = test_balancer();
+            config.balancer.rebuild_cost_hint = 1.0e9; // absurdly wrong
+            let spec = ClusterSpec::uniform(2)
+                .with_network(NetworkSpec::zero_cost())
+                .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+            let report = Cluster::new(spec).run(move |env| {
+                let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+                s.run_block(env, 10);
+                let (pre, _, _) = s.check_and_rebalance(env, 100_000);
+                // Force (and thereby measure) one remap out-of-band.
+                s.remap_to(
+                    env,
+                    BlockPartition::from_sizes(&[n / 2 - 10, n / 2 + 10]),
+                    &mut [],
+                );
+                let measured = s.calibrated_rebuild_cost();
+                s.run_block(env, 10);
+                let (post, _, _) = s.check_and_rebalance(env, 100_000);
+                (pre, measured, post)
+            });
+            report.into_results()
+        };
+        for (pre, measured, post) in run(false) {
+            assert!(!pre, "the absurd hint must block the first check");
+            let m = measured.expect("the forced remap was measured");
+            assert!(m > 0.0 && m < 1.0, "measured rebuild cost looks wrong: {m}");
+            assert!(!post, "without calibration the hint still blocks remaps");
+        }
+        for (pre, _, post) in run(true) {
+            assert!(!pre, "no measurement yet: the hint is the prior");
+            assert!(
+                post,
+                "calibrated check must charge the measured cost and remap"
+            );
+        }
+    }
+
+    /// Distributed-mode calibration agrees collectively (max over ranks),
+    /// so every rank reaches the same decision and the run completes with
+    /// identical reports.
+    #[test]
+    fn calibration_agrees_in_distributed_mode() {
+        let m = mesh();
+        let mut config = StanceConfig::default()
+            .with_check_interval(10)
+            .with_calibration(true);
+        config.balancer = test_balancer();
+        config.balancer.mode = ControllerMode::Distributed;
+        let spec = ClusterSpec::uniform(3)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            let rep = s.run_adaptive(env, 60);
+            (rep.remaps, rep.checks, s.partition().sizes())
+        });
+        let results: Vec<_> = report.into_results();
+        assert!(results[0].0 >= 1, "the load should trigger a remap");
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "ranks disagreed under distributed calibration: {results:?}"
+        );
+    }
+
+    /// `remap_to` is the deterministic repartitioning entry point: an
+    /// explicit chain of forced remaps must keep values bitwise equal to
+    /// the sequential reference, and an identity remap must be free.
+    #[test]
+    fn forced_remap_chain_matches_sequential() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let iters = 30;
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, iters);
+
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            let phases = [
+                BlockPartition::from_sizes(&[20, 40, 60]),
+                BlockPartition::from_sizes(&[60, 40, 20]),
+                BlockPartition::uniform(n, 3),
+            ];
+            for part in phases {
+                s.run_block(env, iters / 6);
+                s.remap_to(env, part, &mut []);
+                s.run_block(env, iters / 6);
+            }
+            // Identity remap: a no-op — no messages, same partition.
+            let msgs_before = env.stats().messages_sent;
+            let ident = s.partition().clone();
+            s.remap_to(env, ident, &mut []);
+            assert_eq!(
+                env.stats().messages_sent,
+                msgs_before,
+                "identity must be free"
+            );
+            (s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        let partition = results[0].1.clone();
+        let blocks = results.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(
+            crate::reassemble(&partition, blocks),
+            expected,
+            "forced remap chain diverged from sequential"
         );
     }
 

@@ -83,6 +83,29 @@ impl<E: Element> CommBuffers<E> {
         }
     }
 
+    /// Re-targets recycled buffers at a new schedule (after a remap):
+    /// pooled byte buffers, the element scratch and the request pool are
+    /// all kept — only the pool cap and reservations are adjusted, so a
+    /// rebuild allocates nothing once capacities have warmed up (compare
+    /// [`CommBuffers::for_schedule`], which starts from scratch). Any
+    /// buffer that turns out undersized for the new schedule grows lazily
+    /// in `take_bytes`/`decode_into_scratch`, exactly as during warm-up.
+    ///
+    /// # Panics
+    /// Panics if a split-phase gather is still in flight (the request pool
+    /// must be drained by `gather_finish` before the schedule changes).
+    pub fn rebuild(&mut self, schedule: &CommSchedule) {
+        assert!(
+            self.recv_reqs.is_empty(),
+            "CommBuffers::rebuild with a split-phase gather in flight"
+        );
+        self.pool_cap = schedule.sends().len().max(schedule.recvs().len()).max(8);
+        self.pool.truncate(self.pool_cap);
+        // The request pool is empty here, so this ensures capacity for the
+        // new schedule's receive count (no-op once warm).
+        self.recv_reqs.reserve(schedule.recvs().len());
+    }
+
     /// A cleared byte buffer with at least `capacity` bytes reserved —
     /// recycled if one is pooled, freshly allocated otherwise.
     pub(crate) fn take_bytes(&mut self, capacity: usize) -> Vec<u8> {

@@ -102,6 +102,19 @@ impl<E: Element> GhostedArray<E> {
         self.local_len = local_len;
     }
 
+    /// Rebuilds the buffer **in place** for a new distribution: the owned
+    /// block becomes a copy of `local`, followed by `num_ghosts` zeroed
+    /// ghost slots. Capacity is reused whenever the new combined size fits
+    /// (and never shrinks), so a remap whose blocks stay in the same size
+    /// class performs no allocation here — unlike dropping the array and
+    /// building a fresh one from [`GhostedArray::from_local`].
+    pub fn rebuild_from(&mut self, local: &[E], num_ghosts: usize) {
+        self.data.clear();
+        self.data.extend_from_slice(local);
+        self.data.resize(local.len() + num_ghosts, E::zero());
+        self.local_len = local.len();
+    }
+
     /// Swaps the whole combined buffer with `buf` — the double-buffered
     /// commit: a loop that sweeps into a combined-size scratch publishes
     /// the new owned values by exchanging `Vec` pointers instead of
@@ -165,6 +178,21 @@ mod tests {
         let a: GhostedArray = GhostedArray::zeros(0, 0);
         assert!(a.local().is_empty());
         assert!(a.ghosts().is_empty());
+    }
+
+    #[test]
+    fn rebuild_from_reuses_capacity() {
+        let mut a: GhostedArray = GhostedArray::from_local(vec![1.0, 2.0, 3.0, 4.0], 2);
+        let ptr = a.combined().as_ptr();
+        // Shrinking rebuild: same storage, new layout, ghosts zeroed.
+        a.rebuild_from(&[7.0, 8.0], 3);
+        assert_eq!(a.local(), &[7.0, 8.0]);
+        assert_eq!(a.ghosts(), &[0.0, 0.0, 0.0]);
+        assert_eq!(a.combined().as_ptr(), ptr, "rebuild must reuse capacity");
+        // Growing past capacity is allowed (reallocates once).
+        a.rebuild_from(&[1.0; 64], 8);
+        assert_eq!(a.local_len(), 64);
+        assert_eq!(a.num_ghosts(), 8);
     }
 
     #[test]

@@ -496,14 +496,23 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     }
 
     /// Replaces the schedule and adjacency (after a remap) while keeping
-    /// the kernel, cost model and overlap setting. The transport scratch
-    /// is re-sized here and nowhere else — this is the only point in a run
-    /// where the communication path allocates.
-    pub fn rebuild(&mut self, schedule: CommSchedule, adj: &LocalAdjacency) {
-        self.tadj = schedule.translate_adjacency(adj);
-        self.bufs = CommBuffers::for_schedule(&schedule);
-        self.schedule = schedule;
-        self.scratch = vec![E::zero(); self.tadj.buffer_len()];
+    /// the kernel, cost model and overlap setting — **in place**: the
+    /// translated adjacency, the transport scratch ([`CommBuffers`]) and
+    /// the sweep scratch are all rebuilt into their existing storage
+    /// (capacity never shrinks), so a rebuild's allocation count is
+    /// bounded and does not grow with how many remaps preceded it.
+    ///
+    /// Returns the retired schedule so the caller can recycle its storage
+    /// (e.g. via `ScheduleScratch::recycle`) instead of dropping it.
+    pub fn rebuild(&mut self, schedule: CommSchedule, adj: &LocalAdjacency) -> CommSchedule {
+        schedule.translate_adjacency_into(adj, &mut self.tadj);
+        self.bufs.rebuild(&schedule);
+        let retired = std::mem::replace(&mut self.schedule, schedule);
+        // Stale content is fine: `apply` rewrites the owned prefix every
+        // sweep and the ghost suffix is rewritten by every gather before
+        // any read (the same argument as `GhostedArray::swap_data`).
+        self.scratch.resize(self.tadj.buffer_len(), E::zero());
+        retired
     }
 
     /// Allocates the ghosted value buffer for this runner with the given
@@ -511,6 +520,18 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     pub fn make_values(&self, local: Vec<E>) -> GhostedArray<E> {
         assert_eq!(local.len(), self.tadj.len(), "owned value length mismatch");
         GhostedArray::from_local(local, self.tadj.num_ghosts() as usize)
+    }
+
+    /// Rebuilds an existing ghosted value buffer **in place** for this
+    /// runner's (post-remap) shape: owned block = a copy of `local`,
+    /// ghost region zeroed, capacity reused where it fits. The in-place
+    /// counterpart of [`LoopRunner::make_values`].
+    ///
+    /// # Panics
+    /// Panics if `local` does not match the runner's owned length.
+    pub fn reset_values(&self, values: &mut GhostedArray<E>, local: &[E]) {
+        assert_eq!(local.len(), self.tadj.len(), "owned value length mismatch");
+        values.rebuild_from(local, self.tadj.num_ghosts() as usize);
     }
 
     /// One application of the kernel *without* committing: gathers ghosts,
@@ -645,7 +666,7 @@ mod tests {
     use stance_inspector::{build_schedule_symmetric, ScheduleStrategy};
     use stance_locality::meshgen;
     use stance_onedim::BlockPartition;
-    use stance_sim::{Cluster, ClusterSpec, NetworkSpec};
+    use stance_sim::{Cluster, ClusterSpec, Env, NetworkSpec};
 
     fn initial_values(n: usize) -> Vec<f64> {
         (0..n).map(|i| (i as f64).sin() * 10.0).collect()
@@ -920,6 +941,95 @@ mod tests {
                 "rank {rank}: split-phase clock {t_split} exceeds synchronous {t_sync}"
             );
         }
+    }
+
+    /// `rebuild` must leave the runner exactly as a freshly constructed one:
+    /// run the same phase sequence through one recycled runner and through
+    /// fresh runners, on both gather flavours, and compare bitwise.
+    #[test]
+    fn rebuilt_runner_matches_fresh_runner_bitwise() {
+        let g = meshgen::triangulated_grid(11, 9, 0.4, 6);
+        let n = g.num_vertices();
+        let phases = [
+            BlockPartition::from_sizes(&[40, 30, 29]),
+            BlockPartition::from_sizes(&[20, 50, 29]),
+            BlockPartition::from_sizes(&[33, 33, 33]),
+        ];
+        let iters = 5;
+        for overlap in [false, true] {
+            let run_recycled = |env: &mut Env| {
+                let rank = env.rank();
+                let init = initial_values(n);
+                let mut runner: Option<LoopRunner<f64, RelaxationKernel>> = None;
+                let mut out = Vec::new();
+                for part in &phases {
+                    let adj = LocalAdjacency::extract(&g, part, rank);
+                    let (sched, _) =
+                        build_schedule_symmetric(part, &adj, rank, ScheduleStrategy::Sort2);
+                    match &mut runner {
+                        None => {
+                            runner = Some(
+                                LoopRunner::new(
+                                    sched,
+                                    &adj,
+                                    ComputeCostModel::zero(),
+                                    RelaxationKernel,
+                                )
+                                .with_overlap(overlap),
+                            )
+                        }
+                        Some(r) => {
+                            let _retired = r.rebuild(sched, &adj);
+                        }
+                    }
+                    let r = runner.as_mut().expect("runner built");
+                    let iv = part.interval_of(rank);
+                    let mut values = r.make_values(init[iv.start..iv.end].to_vec());
+                    r.run(env, &mut values, iters);
+                    out.push(values.local().to_vec());
+                }
+                out
+            };
+            let run_fresh = |env: &mut Env| {
+                let rank = env.rank();
+                let init = initial_values(n);
+                let mut out = Vec::new();
+                for part in &phases {
+                    let adj = LocalAdjacency::extract(&g, part, rank);
+                    let (sched, _) =
+                        build_schedule_symmetric(part, &adj, rank, ScheduleStrategy::Sort2);
+                    let mut runner =
+                        LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel)
+                            .with_overlap(overlap);
+                    let iv = part.interval_of(rank);
+                    let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
+                    runner.run(env, &mut values, iters);
+                    out.push(values.local().to_vec());
+                }
+                out
+            };
+            let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+            let recycled = Cluster::new(spec.clone()).run(run_recycled).into_results();
+            let fresh = Cluster::new(spec).run(run_fresh).into_results();
+            assert_eq!(recycled, fresh, "overlap = {overlap} diverged");
+        }
+    }
+
+    #[test]
+    fn reset_values_matches_make_values() {
+        let g = meshgen::triangulated_grid(8, 8, 0.2, 4);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let adj = LocalAdjacency::extract(&g, &part, 0);
+        let (sched, _) = build_schedule_symmetric(&part, &adj, 0, ScheduleStrategy::Sort2);
+        let runner: LoopRunner =
+            LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel);
+        let local: Vec<f64> = (0..adj.len()).map(|i| i as f64).collect();
+        let fresh = runner.make_values(local.clone());
+        // An arbitrarily shaped pre-owned buffer is rebuilt to the same state.
+        let mut reused: GhostedArray = GhostedArray::from_local(vec![9.0; 200], 7);
+        runner.reset_values(&mut reused, &local);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

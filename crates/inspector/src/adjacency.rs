@@ -114,6 +114,20 @@ impl LocalAdjacency {
     pub fn iter_refs(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
         (0..self.len()).flat_map(move |l| self.neighbors_of(l).iter().map(move |&g| (l, g)))
     }
+
+    /// All references of the contiguous local-vertex range `lo..hi`, as one
+    /// slice (rows are CSR-adjacent, so a whole range of rows bulk-copies
+    /// with a single `extend_from_slice` instead of one call per row).
+    #[inline]
+    pub fn refs_in(&self, lo: usize, hi: usize) -> &[u32] {
+        &self.refs[self.xadj[lo]..self.xadj[hi]]
+    }
+
+    /// Dismantles the structure into `(interval, xadj, refs)` so a retired
+    /// adjacency's storage can be recycled into the next rebuild.
+    pub fn into_parts(self) -> (Interval, Vec<usize>, Vec<u32>) {
+        (self.interval, self.xadj, self.refs)
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,7 @@ pub use adjacency::LocalAdjacency;
 pub use cost::InspectorCostModel;
 pub use refhash::RefHashMap;
 pub use schedule::{
-    build_schedule_simple, build_schedule_symmetric, CommSchedule, LocalRef, ScheduleStrategy,
-    TranslatedAdjacency,
+    build_schedule_simple, build_schedule_symmetric, build_schedule_symmetric_with, CommSchedule,
+    LocalRef, ScheduleScratch, ScheduleStrategy, TranslatedAdjacency,
 };
 pub use translation::{DenseTable, IntervalTable};

@@ -107,6 +107,15 @@ impl RefHashMap {
         self.get(key).is_some()
     }
 
+    /// Removes every entry while keeping the allocated capacity, so a map
+    /// recycled across inspector runs stops paying its allocation after the
+    /// first use. O(capacity) (two memsets), which is cheaper than the
+    /// insert pass that follows any reuse.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
     /// Iterates over `(key, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.keys
@@ -228,6 +237,22 @@ mod tests {
     fn sentinel_key_rejected() {
         let mut m = RefHashMap::with_capacity(4);
         m.insert_if_absent(u32::MAX, 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = RefHashMap::with_capacity(4);
+        for i in 0..100u32 {
+            m.insert_if_absent(i, i);
+        }
+        let cap = m.keys.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.keys.len(), cap, "clear must not release storage");
+        m.insert_if_absent(7, 70);
+        assert_eq!(m.get(7), Some(70));
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -111,7 +111,21 @@ impl CommSchedule {
         recvs: Vec<(usize, Vec<u32>)>,
     ) -> Self {
         let num_ghosts: usize = recvs.iter().map(|(_, g)| g.len()).sum();
-        let mut ghost_of = RefHashMap::with_capacity(num_ghosts);
+        let ghost_of = RefHashMap::with_capacity(num_ghosts);
+        Self::from_parts_with(rank, interval, sends, recvs, ghost_of)
+    }
+
+    /// Like `from_parts`, but refills a recycled ghost map instead of
+    /// allocating a fresh one (the map is cleared first; it grows in place
+    /// if undersized).
+    fn from_parts_with(
+        rank: usize,
+        interval: Interval,
+        sends: Vec<(usize, Vec<u32>)>,
+        recvs: Vec<(usize, Vec<u32>)>,
+        mut ghost_of: RefHashMap,
+    ) -> Self {
+        ghost_of.clear();
         let mut slot = 0u32;
         for (_, globals) in &recvs {
             for &g in globals {
@@ -201,15 +215,36 @@ impl CommSchedule {
     /// executor's split-phase gather sweeps interior vertices from while
     /// ghost bytes are still in flight.
     pub fn translate_adjacency(&self, adj: &LocalAdjacency) -> TranslatedAdjacency {
+        let mut out = TranslatedAdjacency {
+            local_len: 0,
+            num_ghosts: 0,
+            xadj: Vec::with_capacity(adj.len() + 1),
+            slots: Vec::with_capacity(adj.num_refs()),
+            interior_runs: Vec::new(),
+            boundary_runs: Vec::new(),
+            interior_vertices: 0,
+            interior_refs: 0,
+        };
+        self.translate_adjacency_into(adj, &mut out);
+        out
+    }
+
+    /// [`CommSchedule::translate_adjacency`] into recycled storage: clears
+    /// and refills `out`'s vectors in place (capacity never shrinks), so a
+    /// remap's re-translation stops allocating once the runner's scratch
+    /// has warmed up. The result is identical to a fresh translation.
+    pub fn translate_adjacency_into(&self, adj: &LocalAdjacency, out: &mut TranslatedAdjacency) {
         assert_eq!(adj.interval(), self.interval, "adjacency/schedule mismatch");
         let local_len = self.interval.len() as u32;
-        let mut xadj = Vec::with_capacity(adj.len() + 1);
-        let mut slots = Vec::with_capacity(adj.num_refs());
-        let mut interior_runs: Vec<(u32, u32)> = Vec::new();
-        let mut boundary_runs: Vec<(u32, u32)> = Vec::new();
+        out.xadj.clear();
+        out.xadj.reserve(adj.len() + 1);
+        out.slots.clear();
+        out.slots.reserve(adj.num_refs());
+        out.interior_runs.clear();
+        out.boundary_runs.clear();
         let mut interior_vertices = 0usize;
         let mut interior_refs = 0usize;
-        xadj.push(0usize);
+        out.xadj.push(0usize);
         for l in 0..adj.len() {
             let mut references_ghost = false;
             for &g in adj.neighbors_of(l) {
@@ -220,32 +255,26 @@ impl CommSchedule {
                         local_len + s
                     }
                 };
-                slots.push(combined);
+                out.slots.push(combined);
             }
-            let degree = slots.len() - xadj[l];
-            xadj.push(slots.len());
+            let degree = out.slots.len() - out.xadj[l];
+            out.xadj.push(out.slots.len());
             let runs = if references_ghost {
-                &mut boundary_runs
+                &mut out.boundary_runs
             } else {
                 interior_vertices += 1;
                 interior_refs += degree;
-                &mut interior_runs
+                &mut out.interior_runs
             };
             match runs.last_mut() {
                 Some((_, end)) if *end == l as u32 => *end = l as u32 + 1,
                 _ => runs.push((l as u32, l as u32 + 1)),
             }
         }
-        TranslatedAdjacency {
-            local_len,
-            num_ghosts: self.num_ghosts,
-            xadj,
-            slots,
-            interior_runs,
-            boundary_runs,
-            interior_vertices,
-            interior_refs,
-        }
+        out.local_len = local_len;
+        out.num_ghosts = self.num_ghosts;
+        out.interior_vertices = interior_vertices;
+        out.interior_refs = interior_refs;
     }
 
     /// Structural sanity checks (used by tests and debug assertions):
@@ -403,6 +432,104 @@ impl TranslatedAdjacency {
     }
 }
 
+/// Bound on pooled segment vectors in a [`ScheduleScratch`] — generous for
+/// any realistic peer count, small enough that a pathological schedule
+/// cannot hoard memory.
+const SEG_POOL_CAP: usize = 64;
+
+/// Recycled storage for repeated symmetric schedule builds (one per rank,
+/// owned by whoever rebuilds schedules on remap — the session keeps one
+/// inside its `RemapScratch`).
+///
+/// A fresh build allocates two dedup hash maps, two per-peer segment
+/// tables, the send/receive lists and the ghost map; with a scratch, all
+/// of that storage is recycled remap over remap (capacity never shrinks),
+/// and a retired schedule's vectors are donated back via
+/// [`ScheduleScratch::recycle`]. [`build_schedule_symmetric_with`]
+/// produces schedules and counted work identical to
+/// [`build_schedule_symmetric`].
+#[derive(Debug)]
+pub struct ScheduleScratch {
+    ghost_dedup: RefHashMap,
+    send_dedup: RefHashMap,
+    recv_segments: Vec<Vec<u32>>,
+    send_segments: Vec<Vec<u32>>,
+    seg_pool: Vec<Vec<u32>>,
+    outer_pool: Vec<Vec<(usize, Vec<u32>)>>,
+    map_pool: Vec<RefHashMap>,
+}
+
+impl ScheduleScratch {
+    /// An empty scratch; capacities warm up over the first build.
+    pub fn new() -> Self {
+        ScheduleScratch {
+            ghost_dedup: RefHashMap::with_capacity(16),
+            send_dedup: RefHashMap::with_capacity(16),
+            recv_segments: Vec::new(),
+            send_segments: Vec::new(),
+            seg_pool: Vec::new(),
+            outer_pool: Vec::new(),
+            map_pool: Vec::new(),
+        }
+    }
+
+    /// Ensures both segment tables have `p` cleared slots, refilling
+    /// capacity-less slots from the pool of donated vectors.
+    fn prepare_segments(&mut self, p: usize) {
+        let ScheduleScratch {
+            recv_segments,
+            send_segments,
+            seg_pool,
+            ..
+        } = self;
+        for segs in [recv_segments, send_segments] {
+            if segs.len() < p {
+                segs.resize_with(p, Vec::new);
+            }
+            for s in segs.iter_mut().take(p) {
+                s.clear();
+                if s.capacity() == 0 {
+                    if let Some(mut spare) = seg_pool.pop() {
+                        spare.clear();
+                        *s = spare;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Donates a retired schedule's storage (segment vectors, outer lists,
+    /// ghost map) back to the pools, so the next build draws on it instead
+    /// of the allocator. Call this with the schedule a remap replaced.
+    pub fn recycle(&mut self, schedule: CommSchedule) {
+        let CommSchedule {
+            sends,
+            recvs,
+            ghost_of,
+            ..
+        } = schedule;
+        for mut outer in [sends, recvs] {
+            for (_, seg) in outer.drain(..) {
+                if self.seg_pool.len() < SEG_POOL_CAP {
+                    self.seg_pool.push(seg);
+                }
+            }
+            if self.outer_pool.len() < 2 {
+                self.outer_pool.push(outer);
+            }
+        }
+        if self.map_pool.is_empty() {
+            self.map_pool.push(ghost_of);
+        }
+    }
+}
+
+impl Default for ScheduleScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Builds a schedule by exploiting access symmetry — no communication.
 /// Returns the schedule plus counted work (the caller charges it through an
 /// [`InspectorCostModel`]).
@@ -416,6 +543,25 @@ pub fn build_schedule_symmetric(
     rank: usize,
     strategy: ScheduleStrategy,
 ) -> (CommSchedule, InspectorWork) {
+    build_schedule_symmetric_with(partition, adj, rank, strategy, &mut ScheduleScratch::new())
+}
+
+/// [`build_schedule_symmetric`] drawing all working storage from a recycled
+/// [`ScheduleScratch`]: after the scratch has warmed up (one build plus one
+/// [`ScheduleScratch::recycle`] of the schedule it replaced), a rebuild's
+/// allocation count is bounded and independent of how many rebuilds came
+/// before. Output (schedule and counted work) is identical to the fresh
+/// builder's.
+///
+/// # Panics
+/// Panics (in debug) if the reference pattern is not symmetric.
+pub fn build_schedule_symmetric_with(
+    partition: &BlockPartition,
+    adj: &LocalAdjacency,
+    rank: usize,
+    strategy: ScheduleStrategy,
+    scratch: &mut ScheduleScratch,
+) -> (CommSchedule, InspectorWork) {
     assert!(
         matches!(strategy, ScheduleStrategy::Sort1 | ScheduleStrategy::Sort2),
         "build_schedule_symmetric only implements Sort1/Sort2"
@@ -425,16 +571,24 @@ pub fn build_schedule_symmetric(
     let interval = partition.interval_of(rank);
     debug_assert_eq!(adj.interval(), interval);
 
+    scratch.prepare_segments(p);
+    let ScheduleScratch {
+        ghost_dedup,
+        send_dedup,
+        recv_segments,
+        send_segments,
+        outer_pool,
+        map_pool,
+        ..
+    } = scratch;
     // --- Receive side: unique off-processor globals per owner. -----------
     // One dedup hash over the reference stream (§3.2 phase 1).
-    let mut ghost_dedup = RefHashMap::with_capacity(adj.num_refs() / 4 + 4);
-    let mut recv_segments: Vec<Vec<u32>> = vec![Vec::new(); p];
+    ghost_dedup.clear();
     // --- Send side: boundary locals per destination. ----------------------
-    let mut send_segments: Vec<Vec<u32>> = vec![Vec::new(); p];
     // Dedup (local, peer) pairs: last-seen peer marker per local vertex is
     // not enough (a vertex can border several peers), so hash on the packed
     // pair. Key = local * p + peer (fits u32 for the scales involved).
-    let mut send_dedup = RefHashMap::with_capacity(adj.num_refs() / 4 + 4);
+    send_dedup.clear();
 
     for l in 0..adj.len() {
         for &g in adj.neighbors_of(l) {
@@ -460,7 +614,7 @@ pub fn build_schedule_symmetric(
 
     // Receive segments: both variants sort by the sender's local reference,
     // which for an interval block is the same as sorting by global index.
-    for seg in &mut recv_segments {
+    for seg in recv_segments.iter_mut().take(p) {
         if seg.len() > 1 {
             work.add_sort(seg.len());
             seg.sort_unstable();
@@ -470,7 +624,7 @@ pub fn build_schedule_symmetric(
     // (locals were appended in increasing l), so the lists are already
     // sorted and no work is charged.
     if strategy == ScheduleStrategy::Sort1 {
-        for seg in &mut send_segments {
+        for seg in send_segments.iter_mut().take(p) {
             if seg.len() > 1 {
                 work.add_sort(seg.len());
                 seg.sort_unstable();
@@ -482,18 +636,31 @@ pub fn build_schedule_symmetric(
             .all(|s| s.windows(2).all(|w| w[0] < w[1])));
     }
 
-    let sends: Vec<(usize, Vec<u32>)> = send_segments
-        .into_iter()
-        .enumerate()
-        .filter(|(peer, seg)| *peer != rank && !seg.is_empty())
-        .collect();
-    let recvs: Vec<(usize, Vec<u32>)> = recv_segments
-        .into_iter()
-        .enumerate()
-        .filter(|(peer, seg)| *peer != rank && !seg.is_empty())
-        .collect();
+    // Move the non-empty segments into the schedule's lists (the vacated
+    // slots are refilled from the pool on the next build).
+    let mut sends = outer_pool.pop().unwrap_or_default();
+    sends.clear();
+    for (peer, seg) in send_segments.iter_mut().enumerate().take(p) {
+        if peer != rank && !seg.is_empty() {
+            sends.push((peer, std::mem::take(seg)));
+        }
+    }
+    let mut recvs = outer_pool.pop().unwrap_or_default();
+    recvs.clear();
+    for (peer, seg) in recv_segments.iter_mut().enumerate().take(p) {
+        if peer != rank && !seg.is_empty() {
+            recvs.push((peer, std::mem::take(seg)));
+        }
+    }
 
-    (CommSchedule::from_parts(rank, interval, sends, recvs), work)
+    let num_ghosts: usize = recvs.iter().map(|(_, g)| g.len()).sum();
+    let ghost_of = map_pool
+        .pop()
+        .unwrap_or_else(|| RefHashMap::with_capacity(num_ghosts));
+    (
+        CommSchedule::from_parts_with(rank, interval, sends, recvs, ghost_of),
+        work,
+    )
 }
 
 /// Builds a schedule with the general ("simple") strategy over the cluster:
@@ -864,6 +1031,94 @@ mod tests {
         let (s, _) = build_schedule_symmetric(&part, &adj, 1, ScheduleStrategy::Sort2);
         assert_eq!(s.num_ghosts(), 0);
         assert!(s.sends().is_empty());
+    }
+
+    /// The scratch-backed builder must produce schedules and counted work
+    /// identical to the fresh builder, on its first use and on every reuse
+    /// (including after recycling the schedule it replaced).
+    #[test]
+    fn scratch_builder_matches_fresh_across_rebuilds() {
+        let g = meshgen::triangulated_grid(12, 9, 0.4, 7);
+        let parts = [
+            BlockPartition::from_sizes(&[30, 40, 20, 18]),
+            BlockPartition::from_sizes(&[10, 50, 28, 20]),
+            BlockPartition::from_sizes(&[30, 40, 20, 18]),
+            BlockPartition::from_sizes(&[40, 20, 28, 20]),
+        ];
+        for strategy in [ScheduleStrategy::Sort1, ScheduleStrategy::Sort2] {
+            for rank in 0..4 {
+                let mut scratch = ScheduleScratch::new();
+                let mut previous: Option<CommSchedule> = None;
+                for part in &parts {
+                    let adj = LocalAdjacency::extract(&g, part, rank);
+                    let (fresh, fresh_work) = build_schedule_symmetric(part, &adj, rank, strategy);
+                    let (reused, reused_work) =
+                        build_schedule_symmetric_with(part, &adj, rank, strategy, &mut scratch);
+                    assert_eq!(fresh, reused, "schedules diverged under reuse");
+                    assert_eq!(fresh_work, reused_work, "counted work diverged");
+                    if let Some(old) = previous.replace(reused) {
+                        scratch.recycle(old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// After one build + recycle cycle the scratch's pools are populated,
+    /// so a rebuild of the same shape draws its segment storage from the
+    /// pool rather than the allocator (observable through pointer reuse).
+    #[test]
+    fn recycle_feeds_the_next_build() {
+        let g = meshgen::triangulated_grid(10, 10, 0.2, 1);
+        let part = BlockPartition::uniform(100, 3);
+        let adj = LocalAdjacency::extract(&g, &part, 1);
+        let mut scratch = ScheduleScratch::new();
+        let (first, _) =
+            build_schedule_symmetric_with(&part, &adj, 1, ScheduleStrategy::Sort2, &mut scratch);
+        let donated: Vec<*const u32> = first
+            .sends()
+            .iter()
+            .chain(first.recvs())
+            .map(|(_, seg)| seg.as_ptr())
+            .collect();
+        scratch.recycle(first);
+        let (second, _) =
+            build_schedule_symmetric_with(&part, &adj, 1, ScheduleStrategy::Sort2, &mut scratch);
+        let reused = second
+            .sends()
+            .iter()
+            .chain(second.recvs())
+            .filter(|(_, seg)| donated.contains(&seg.as_ptr()))
+            .count();
+        assert!(
+            reused > 0,
+            "no donated segment storage was reused by the rebuild"
+        );
+    }
+
+    #[test]
+    fn translate_adjacency_into_matches_fresh_and_reuses_storage() {
+        let g = meshgen::triangulated_grid(13, 9, 0.4, 8);
+        let parts = [
+            BlockPartition::from_sizes(&[30, 40, 27, 20]),
+            BlockPartition::from_sizes(&[50, 30, 17, 20]),
+        ];
+        let mut out = {
+            let adj = LocalAdjacency::extract(&g, &parts[0], 2);
+            let (s, _) = build_schedule_symmetric(&parts[0], &adj, 2, ScheduleStrategy::Sort2);
+            s.translate_adjacency(&adj)
+        };
+        let slots_ptr = {
+            // Shrinking rebuild: recycled storage must be reused in place.
+            let adj = LocalAdjacency::extract(&g, &parts[1], 2);
+            let (s, _) = build_schedule_symmetric(&parts[1], &adj, 2, ScheduleStrategy::Sort2);
+            let fresh = s.translate_adjacency(&adj);
+            let before = out.slots.as_ptr();
+            s.translate_adjacency_into(&adj, &mut out);
+            assert_eq!(out, fresh, "reused translation diverged");
+            (before, out.slots.as_ptr())
+        };
+        assert_eq!(slots_ptr.0, slots_ptr.1, "slot storage was reallocated");
     }
 
     #[test]

@@ -36,6 +36,24 @@ impl RedistributionPlan {
     /// # Panics
     /// Panics if the partitions disagree on list length or processor count.
     pub fn between(old: &BlockPartition, new: &BlockPartition) -> Self {
+        let mut plan = RedistributionPlan {
+            moves: Vec::new(),
+            n: old.n(),
+            num_procs: old.num_procs(),
+        };
+        plan.recompute(old, new);
+        plan
+    }
+
+    /// Recomputes this plan in place for a new pair of partitions, reusing
+    /// the move storage (capacity never shrinks). An adaptive runtime that
+    /// remaps repeatedly keeps one plan around instead of allocating a
+    /// fresh one per remap; the result is identical to
+    /// [`RedistributionPlan::between`].
+    ///
+    /// # Panics
+    /// Panics if the partitions disagree on list length or processor count.
+    pub fn recompute(&mut self, old: &BlockPartition, new: &BlockPartition) {
         assert_eq!(old.n(), new.n(), "partitions cover different lists");
         assert_eq!(
             old.num_procs(),
@@ -43,7 +61,7 @@ impl RedistributionPlan {
             "partitions have different processor counts"
         );
         let p = old.num_procs();
-        let mut moves = Vec::new();
+        self.moves.clear();
         for src in 0..p {
             let src_iv = old.interval_of(src);
             if src_iv.is_empty() {
@@ -55,7 +73,7 @@ impl RedistributionPlan {
                 }
                 let inter = src_iv.intersect(&new.interval_of(dst));
                 if !inter.is_empty() {
-                    moves.push(Move {
+                    self.moves.push(Move {
                         src,
                         dst,
                         range: inter,
@@ -64,12 +82,9 @@ impl RedistributionPlan {
             }
         }
         // Deterministic order: by source, then range start.
-        moves.sort_by_key(|m| (m.src, m.range.start));
-        RedistributionPlan {
-            moves,
-            n: old.n(),
-            num_procs: p,
-        }
+        self.moves.sort_by_key(|m| (m.src, m.range.start));
+        self.n = old.n();
+        self.num_procs = p;
     }
 
     /// All moves, ordered by `(src, range.start)`.
@@ -101,15 +116,11 @@ impl RedistributionPlan {
     }
 
     /// The moves received by processor `rank`, in `(src, range)` order.
-    pub fn recvs_of(&self, rank: usize) -> Vec<Move> {
-        let mut v: Vec<Move> = self
-            .moves
-            .iter()
-            .filter(|m| m.dst == rank)
-            .copied()
-            .collect();
-        v.sort_by_key(|m| (m.src, m.range.start));
-        v
+    /// Allocation-free: the master move list is already sorted by
+    /// `(src, range.start)`, so filtering preserves exactly the order the
+    /// receive protocol requires.
+    pub fn recvs_of(&self, rank: usize) -> impl Iterator<Item = &Move> {
+        self.moves.iter().filter(move |m| m.dst == rank)
     }
 
     /// The number of processors in the plan.
@@ -237,11 +248,11 @@ mod tests {
         assert_eq!(sends0.len(), 1);
         assert_eq!(sends0[0].dst, 1);
         assert_eq!(sends0[0].range, Interval::new(2, 10));
-        let recvs2 = plan.recvs_of(2);
+        let recvs2: Vec<_> = plan.recvs_of(2).collect();
         assert_eq!(recvs2.len(), 1);
         assert_eq!(recvs2[0].src, 1);
         assert_eq!(recvs2[0].range, Interval::new(16, 20));
-        assert!(plan.recvs_of(0).is_empty());
+        assert_eq!(plan.recvs_of(0).count(), 0);
     }
 
     #[test]
@@ -284,6 +295,29 @@ mod tests {
         assert_eq!(m.cost(&plan), 16.0);
         assert_eq!(m.cost_between(&old, &new), 16.0);
         assert_eq!(RedistCostModel::elements_only().cost(&plan), 6.0);
+    }
+
+    #[test]
+    fn recompute_reuses_storage_and_matches_between() {
+        let old = fig5_old();
+        let a = BlockPartition::from_weights(
+            100,
+            &[0.10, 0.13, 0.29, 0.24, 0.24],
+            Arrangement::identity(5),
+        );
+        let b = BlockPartition::from_weights(
+            100,
+            &[0.30, 0.10, 0.20, 0.25, 0.15],
+            Arrangement::new(vec![4, 1, 2, 0, 3]),
+        );
+        let mut plan = RedistributionPlan::between(&old, &a);
+        let cap = plan.moves.capacity();
+        plan.recompute(&a, &b);
+        assert_eq!(plan, RedistributionPlan::between(&a, &b));
+        // Same-or-larger pair recomputed in place must not shrink capacity.
+        plan.recompute(&old, &a);
+        assert_eq!(plan, RedistributionPlan::between(&old, &a));
+        assert!(plan.moves.capacity() >= cap);
     }
 
     #[test]

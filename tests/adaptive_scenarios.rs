@@ -7,6 +7,7 @@ use stance::executor::sequential_relaxation;
 use stance::onedim::RedistCostModel;
 use stance::prelude::*;
 use stance::reassemble;
+use stance::sim::LoadPhase;
 
 fn init(g: usize) -> f64 {
     (g as f64 * 0.02).cos() * 4.0
@@ -160,6 +161,138 @@ fn check_interval_bounds_check_count() {
         assert_eq!(
             reports[0].checks, expected_checks,
             "interval {interval} produced wrong check count"
+        );
+    }
+}
+
+/// Churn: an oscillating load timeline (rank 0 repeatedly loses and
+/// regains most of its capacity) must force at least 4 controller-driven
+/// remaps in one run, with aux arrays attached at every check — and the
+/// final values must still match the sequential reference bitwise, on the
+/// synchronous and the overlapped gather alike. This exercises the
+/// recycled remap pipeline (`RemapScratch`, schedule/runner rebuild
+/// reuse) through repeated shrink/grow cycles rather than a single remap.
+#[test]
+fn oscillating_load_churn_stays_bitwise_correct() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let blocks = 16;
+    let per_block = 10;
+    let iters = blocks * per_block;
+    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+
+    // Availability flips between full speed and 1/5 every 40 ms of
+    // virtual time — several flips over the run's horizon, each making
+    // the current partition wrong again.
+    let phases: Vec<LoadPhase> = (0..40)
+        .map(|i| LoadPhase {
+            start: 0.040 * i as f64,
+            available: if i % 2 == 0 { 1.0 } else { 0.2 },
+        })
+        .collect();
+    for overlap in [false, true] {
+        let mut config = adaptive_config().with_overlap(overlap);
+        // React on the freshest measurement so every flip is seen.
+        config.estimator = CapabilityEstimator::LastPhase;
+        let spec = ClusterSpec::uniform(2)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::from_phases(phases.clone()));
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            // aux[g] = 3g rides along through every remap.
+            let mut aux: Vec<f64> = s
+                .partition()
+                .interval_of(env.rank())
+                .iter()
+                .map(|g| 3.0 * g as f64)
+                .collect();
+            let mut remaps = 0;
+            for b in 0..blocks {
+                s.run_block(env, per_block);
+                if b + 1 < blocks {
+                    let remaining = iters - (b + 1) * per_block;
+                    let (remapped, _, _) =
+                        s.check_and_rebalance_with(env, remaining, &mut [&mut aux]);
+                    remaps += usize::from(remapped);
+                }
+            }
+            // Aux ownership must match the final partition exactly.
+            let iv = s.partition().interval_of(env.rank());
+            assert_eq!(aux.len(), iv.len(), "aux length follows the partition");
+            for (offset, g) in iv.iter().enumerate() {
+                assert_eq!(aux[offset], 3.0 * g as f64, "aux element strayed");
+            }
+            (remaps, s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        assert!(
+            results[0].0 >= 4,
+            "oscillating load should force >= 4 remaps (overlap = {overlap}), got {}",
+            results[0].0
+        );
+        let partition = results[0].2.clone();
+        let blocks_out = results.into_iter().map(|(_, v, _)| v).collect();
+        assert_eq!(
+            reassemble(&partition, blocks_out),
+            expected,
+            "churn run diverged from sequential (overlap = {overlap})"
+        );
+    }
+}
+
+/// The same churn on the **native** backend, where load cannot be
+/// injected: remaps are forced deterministically through
+/// `AdaptiveSession::remap_to` oscillating between skewed partitions,
+/// with an aux array attached — wall-clock scheduling must never affect
+/// the values (bitwise-identical to the sequential reference, both gather
+/// flavours).
+#[test]
+fn native_forced_churn_stays_bitwise_correct() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let cycles = 4;
+    let per_phase = 5;
+    let iters = cycles * 2 * per_phase;
+    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+
+    let skew_a = BlockPartition::from_sizes(&[n / 5, n / 2, n - n / 5 - n / 2]);
+    let skew_b = BlockPartition::from_sizes(&[n / 2, n / 5, n - n / 5 - n / 2]);
+    for overlap in [false, true] {
+        let config = StanceConfig::free().with_overlap(overlap);
+        let report = stance_native::NativeCluster::new(3).run(|comm| {
+            let mut s = AdaptiveSession::setup(comm, &m, RelaxationKernel, init, &config);
+            let mut aux: Vec<f64> = s
+                .partition()
+                .interval_of(comm.rank())
+                .iter()
+                .map(|g| 3.0 * g as f64)
+                .collect();
+            for c in 0..cycles {
+                s.run_block(comm, per_phase);
+                s.remap_to(comm, skew_a.clone(), &mut [&mut aux]);
+                s.run_block(comm, per_phase);
+                let back = if c + 1 == cycles {
+                    BlockPartition::uniform(n, 3)
+                } else {
+                    skew_b.clone()
+                };
+                s.remap_to(comm, back, &mut [&mut aux]);
+            }
+            let iv = s.partition().interval_of(comm.rank());
+            for (offset, g) in iv.iter().enumerate() {
+                assert_eq!(aux[offset], 3.0 * g as f64, "aux element strayed");
+            }
+            (s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        let partition = results[0].1.clone();
+        let blocks_out = results.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(
+            reassemble(&partition, blocks_out),
+            expected,
+            "native forced churn diverged (overlap = {overlap})"
         );
     }
 }

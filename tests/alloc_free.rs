@@ -16,6 +16,15 @@
 //! capacities converge within a few laps, after which nothing in the path
 //! allocates — not the codecs (in-place `unpack_into`), not the staging
 //! (`CommBuffers` recycling), not the mailboxes (warm `VecDeque`s).
+//!
+//! The same discipline now covers the **remap path**: the session's
+//! `RemapScratch` recycles the redistribution plan, message staging,
+//! destination blocks, adjacency CSR storage and the schedule-builder
+//! scratch across remaps, and the runner/value buffers rebuild in place.
+//! The `remap_allocations_*` tests drive N forced remaps oscillating
+//! between two partitions and pin that per-remap allocation counts
+//! converge to **zero** on both backends (the first pairs warm the pools;
+//! everything after is allocation-free).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -169,6 +178,165 @@ where
         counted
     });
     report.into_results().into_iter().max().unwrap()
+}
+
+/// Per-remap allocation counts for `n_remaps` forced remaps oscillating
+/// between two partitions, on the simulator backend. Counting is armed
+/// around each `remap_to` only (between cluster-wide barriers), so each
+/// entry is the whole cluster's allocation count for exactly one remap —
+/// redistribution, adjacency move, schedule rebuild, runner rebuild and
+/// value-buffer rebuild included.
+fn remap_allocation_body<E, K, C>(
+    comm: &mut C,
+    g: &Graph,
+    kernel: K,
+    init: &(impl Fn(usize) -> E + Sync),
+    n_remaps: usize,
+) -> Vec<u64>
+where
+    E: Field,
+    K: Kernel<E> + Copy + Send + Sync,
+    C: Comm,
+{
+    let n = g.num_vertices();
+    let part_a = BlockPartition::from_sizes(&[n / 2, n / 4, n - n / 2 - n / 4]);
+    let part_b = BlockPartition::from_sizes(&[n / 4, n - n / 2 - n / 4, n / 2]);
+    let config = StanceConfig::free();
+    let rank = comm.rank();
+    let mut s = AdaptiveSession::setup(comm, g, kernel, init, &config);
+    let mut counts = Vec::with_capacity(n_remaps);
+    for i in 0..n_remaps {
+        // Clone the target outside the armed window.
+        let target = if i % 2 == 0 {
+            part_a.clone()
+        } else {
+            part_b.clone()
+        };
+        // A couple of steady-state iterations between remaps keep the
+        // transport in its realistic warm state.
+        s.run_block(comm, 2);
+
+        comm.barrier();
+        if rank == 0 {
+            ALLOCATIONS.store(0, Ordering::SeqCst);
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        comm.barrier();
+
+        s.remap_to(comm, target, &mut []);
+
+        comm.barrier();
+        let counted = if rank == 0 {
+            let counted = ALLOCATIONS.load(Ordering::SeqCst);
+            ARMED.store(false, Ordering::SeqCst);
+            counted
+        } else {
+            0
+        };
+        comm.barrier();
+        counts.push(counted);
+    }
+    counts
+}
+
+fn remap_allocations<E, K>(kernel: K, init: impl Fn(usize) -> E + Sync, n_remaps: usize) -> Vec<u64>
+where
+    E: Field,
+    K: Kernel<E> + Copy + Send + Sync,
+{
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
+    let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+    let report =
+        Cluster::new(spec).run(|env| remap_allocation_body(env, &g, kernel, &init, n_remaps));
+    let per_rank: Vec<Vec<u64>> = report.into_results();
+    (0..n_remaps)
+        .map(|i| per_rank.iter().map(|c| c[i]).max().unwrap())
+        .collect()
+}
+
+/// The same measurement (same body) on the native thread-pool backend.
+fn native_remap_allocations<E, K>(
+    kernel: K,
+    init: impl Fn(usize) -> E + Sync,
+    n_remaps: usize,
+) -> Vec<u64>
+where
+    E: Field,
+    K: Kernel<E> + Copy + Send + Sync,
+{
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
+    let report = stance_native::NativeCluster::new(3)
+        .run(|comm| remap_allocation_body(comm, &g, kernel, &init, n_remaps));
+    let per_rank: Vec<Vec<u64>> = report.into_results();
+    (0..n_remaps)
+        .map(|i| per_rank.iter().map(|c| c[i]).max().unwrap())
+        .collect()
+}
+
+/// Remap allocations must be *bounded and converge to zero*: the first
+/// oscillation pairs warm the `RemapScratch` (pools, plan, CSR storage,
+/// schedule scratch, runner storage) with a strictly shrinking allocation
+/// count, and from the third pair on a forced remap performs **no heap
+/// allocations at all** — the remap path has joined the steady-state loop
+/// in being allocation-free, and its cost cannot grow with how many
+/// remaps the run has already done. (Measured on both backends:
+/// `[82, 23, 9, 6, 0, 0, …]` for this workload.)
+fn assert_remap_allocations_bounded(counts: &[u64], what: &str) {
+    let warmup = counts[..2].iter().copied().max().unwrap();
+    for (i, &c) in counts.iter().enumerate().skip(2) {
+        assert!(
+            c <= warmup,
+            "{what}: remap {i} allocated {c} > warm-up bound {warmup} (all: {counts:?})"
+        );
+    }
+    assert!(
+        counts.len() >= 6,
+        "need at least 6 remaps to check steadiness"
+    );
+    for (i, &c) in counts.iter().enumerate().skip(4) {
+        assert_eq!(
+            c, 0,
+            "{what}: remap {i} still allocated after warm-up (all: {counts:?})"
+        );
+    }
+}
+
+#[test]
+fn remap_allocations_bounded_f64() {
+    let counts = remap_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin(), 8);
+    assert_remap_allocations_bounded(&counts, "sim f64");
+}
+
+#[test]
+fn remap_allocations_bounded_f64x4() {
+    let counts = remap_allocations::<[f64; 4], _>(
+        RelaxationKernel,
+        |g| [g as f64, -(g as f64), 0.5 * g as f64, 1.0],
+        8,
+    );
+    assert_remap_allocations_bounded(&counts, "sim [f64; 4]");
+}
+
+#[test]
+fn native_remap_allocations_bounded_f64() {
+    let counts = native_remap_allocations::<f64, _>(RelaxationKernel, |g| (g as f64).sin(), 8);
+    assert_remap_allocations_bounded(&counts, "native f64");
+}
+
+#[test]
+fn native_remap_allocations_bounded_f64x4() {
+    let counts = native_remap_allocations::<[f64; 4], _>(
+        RelaxationKernel,
+        |g| [g as f64, -(g as f64), 0.5 * g as f64, 1.0],
+        8,
+    );
+    assert_remap_allocations_bounded(&counts, "native [f64; 4]");
 }
 
 #[test]
