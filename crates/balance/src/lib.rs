@@ -22,7 +22,6 @@
 //! of the paper's Table 5.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod controller;
 pub mod monitor;

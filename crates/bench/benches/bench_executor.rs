@@ -49,8 +49,8 @@ fn bench_sweep(c: &mut Criterion) {
     group.throughput(Throughput::Elements(tadj.num_refs() as u64));
     group.bench_function("hardcoded_f64_3k", |b| {
         b.iter(|| {
-            hardcoded_relaxation_step(std::hint::black_box(&tadj), values.combined(), &mut out)
-        })
+            hardcoded_relaxation_step(std::hint::black_box(&tadj), values.combined(), &mut out);
+        });
     });
     group.bench_function("generic_kernel_f64_3k", |b| {
         b.iter(|| {
@@ -59,8 +59,8 @@ fn bench_sweep(c: &mut Criterion) {
                 std::hint::black_box(&tadj),
                 values.combined(),
                 &mut out,
-            )
-        })
+            );
+        });
     });
     let pair_values: GhostedArray<[f64; 2]> =
         GhostedArray::from_local((0..n).map(|i| [i as f64, -(i as f64)]).collect(), 0);
@@ -72,12 +72,12 @@ fn bench_sweep(c: &mut Criterion) {
                 std::hint::black_box(&tadj),
                 pair_values.combined(),
                 &mut pair_out,
-            )
-        })
+            );
+        });
     });
     let mut y: Vec<f64> = (0..n).map(|i| i as f64).collect();
     group.bench_function("sequential_step_3k", |b| {
-        b.iter(|| sequential_relaxation(std::hint::black_box(&mesh), &mut y, 1))
+        b.iter(|| sequential_relaxation(std::hint::black_box(&mesh), &mut y, 1));
     });
     group.finish();
 }
@@ -101,7 +101,7 @@ fn bench_full_iteration(c: &mut Criterion) {
                     let mut values = runner.make_values(vec![1.0; owned]);
                     runner.run(env, &mut values, 5);
                 })
-            })
+            });
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_mcr(c: &mut Criterion) {
         let new_w = random_capabilities(&mut rng, p);
         let old = BlockPartition::from_weights(100_000, &old_w, Arrangement::identity(p));
         group.bench_with_input(BenchmarkId::new("greedy", p), &p, |b, _| {
-            b.iter(|| minimize_cost_redistribution(std::hint::black_box(&old), &new_w, &model))
+            b.iter(|| minimize_cost_redistribution(std::hint::black_box(&old), &new_w, &model));
         });
     }
     for p in [3usize, 5, 6] {
@@ -27,7 +27,7 @@ fn bench_mcr(c: &mut Criterion) {
         let new_w = random_capabilities(&mut rng, p);
         let old = BlockPartition::from_weights(100_000, &old_w, Arrangement::identity(p));
         group.bench_with_input(BenchmarkId::new("exhaustive", p), &p, |b, _| {
-            b.iter(|| exhaustive_best_arrangement(std::hint::black_box(&old), &new_w, &model))
+            b.iter(|| exhaustive_best_arrangement(std::hint::black_box(&old), &new_w, &model));
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_native_sweep_gather(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n * 5));
     for &threads in &THREAD_COUNTS {
         group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| time_sweep_gather(&mesh, threads, 5))
+            b.iter(|| time_sweep_gather(&mesh, threads, 5));
         });
     }
     group.finish();

@@ -27,10 +27,10 @@ fn bench_meshgen(c: &mut Criterion) {
     let mut group = c.benchmark_group("meshgen");
     group.sample_size(10);
     group.bench_function("triangulated_grid_56x56", |b| {
-        b.iter(|| meshgen::triangulated_grid(56, 56, 0.6, std::hint::black_box(9)))
+        b.iter(|| meshgen::triangulated_grid(56, 56, 0.6, std::hint::black_box(9)));
     });
     group.bench_function("random_geometric_3k", |b| {
-        b.iter(|| meshgen::random_geometric(3000, 0.02, std::hint::black_box(5)))
+        b.iter(|| meshgen::random_geometric(3000, 0.02, std::hint::black_box(5)));
     });
     group.finish();
 }

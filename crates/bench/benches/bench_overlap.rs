@@ -19,10 +19,10 @@ fn bench_overlap_sweep_gather(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n * 5));
     for &threads in &THREAD_COUNTS {
         group.bench_function(format!("sync_threads_{threads}"), |b| {
-            b.iter(|| time_sweep_gather(&mesh, threads, 5, false))
+            b.iter(|| time_sweep_gather(&mesh, threads, 5, false));
         });
         group.bench_function(format!("split_threads_{threads}"), |b| {
-            b.iter(|| time_sweep_gather(&mesh, threads, 5, true))
+            b.iter(|| time_sweep_gather(&mesh, threads, 5, true));
         });
     }
     group.finish();

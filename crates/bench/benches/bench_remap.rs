@@ -23,7 +23,7 @@ fn bench_plan(c: &mut Criterion) {
         let new =
             minimize_cost_redistribution(&old, &new_w, &RedistCostModel::ethernet_f64()).partition;
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| RedistributionPlan::between(std::hint::black_box(&old), &new))
+            b.iter(|| RedistributionPlan::between(std::hint::black_box(&old), &new));
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_execute(c: &mut Criterion) {
                     let local: Vec<f64> = iv.iter().map(|g| g as f64).collect();
                     std::hint::black_box(redistribute_values(env, &old, &new, &local));
                 })
-            })
+            });
         });
     }
     group.finish();
@@ -74,7 +74,7 @@ fn bench_remap_pipeline(c: &mut Criterion) {
                     false,
                     |i| i as f64,
                 ))
-            })
+            });
         });
     }
     group.finish();

@@ -16,7 +16,7 @@ fn bench_symmetric_builders(c: &mut Criterion) {
         let adj = LocalAdjacency::extract(&mesh, &part, 0);
         for strategy in [ScheduleStrategy::Sort1, ScheduleStrategy::Sort2] {
             group.bench_with_input(BenchmarkId::new(strategy.name(), p), &p, |b, _| {
-                b.iter(|| build_schedule_symmetric(std::hint::black_box(&part), &adj, 0, strategy))
+                b.iter(|| build_schedule_symmetric(std::hint::black_box(&part), &adj, 0, strategy));
             });
         }
     }
@@ -32,7 +32,7 @@ fn bench_refhash(c: &mut Criterion) {
                 m.insert_if_absent(std::hint::black_box(i * 7), i);
             }
             m
-        })
+        });
     });
     let mut filled = RefHashMap::with_capacity(10_000);
     for i in 0..10_000u32 {
@@ -47,7 +47,7 @@ fn bench_refhash(c: &mut Criterion) {
                 }
             }
             acc
-        })
+        });
     });
     group.finish();
 }

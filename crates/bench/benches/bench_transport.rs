@@ -19,24 +19,24 @@ fn bench_gather_paper_scale(c: &mut Criterion) {
     // Each iteration is a full 2-rank cluster run of 10 gathers; the
     // inner per-gather seconds are what BENCH_transport.json reports.
     group.bench_function("legacy_f64", |b| {
-        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::Gather, Path::Legacy, |i| i as f64))
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::Gather, Path::Legacy, |i| i as f64));
     });
     group.bench_function("bulk_f64", |b| {
-        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::Gather, Path::Bulk, |i| i as f64))
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::Gather, Path::Bulk, |i| i as f64));
     });
     group.bench_function("legacy_f64x4", |b| {
         b.iter(|| {
             time_primitive::<[f64; 4]>(&g, 10, Primitive::Gather, Path::Legacy, |i| {
                 [i as f64, 1.0, -1.0, 0.5]
             })
-        })
+        });
     });
     group.bench_function("bulk_f64x4", |b| {
         b.iter(|| {
             time_primitive::<[f64; 4]>(&g, 10, Primitive::Gather, Path::Bulk, |i| {
                 [i as f64, 1.0, -1.0, 0.5]
             })
-        })
+        });
     });
     group.finish();
 }
@@ -46,10 +46,10 @@ fn bench_scatter_paper_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("scatter_paper_scale");
     group.sample_size(10);
     group.bench_function("legacy_f64", |b| {
-        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::ScatterAdd, Path::Legacy, |i| i as f64))
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::ScatterAdd, Path::Legacy, |i| i as f64));
     });
     group.bench_function("bulk_f64", |b| {
-        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::ScatterAdd, Path::Bulk, |i| i as f64))
+        b.iter(|| time_primitive::<f64>(&g, 10, Primitive::ScatterAdd, Path::Bulk, |i| i as f64));
     });
     group.finish();
 }
@@ -66,7 +66,7 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| {
             out.clear();
             f64::pack_into(&values_f64, &mut out);
-        })
+        });
     });
     group.bench_function("pack_legacy_f64", |b| {
         b.iter(|| {
@@ -75,19 +75,19 @@ fn bench_codecs(c: &mut Criterion) {
                 v.write_bytes(&mut out);
             }
             out
-        })
+        });
     });
     let mut wire = Vec::new();
     f64::pack_into(&values_f64, &mut wire);
     group.bench_function("unpack_bulk_f64", |b| {
         let mut dst = vec![0.0f64; values_f64.len()];
-        b.iter(|| f64::unpack_into(&wire, &mut dst))
+        b.iter(|| f64::unpack_into(&wire, &mut dst));
     });
     let mut wire4 = Vec::new();
     <[f64; 4]>::pack_into(&values_f64x4, &mut wire4);
     group.bench_function("unpack_bulk_f64x4", |b| {
         let mut dst = vec![[0.0f64; 4]; values_f64x4.len()];
-        b.iter(|| <[f64; 4]>::unpack_into(&wire4, &mut dst))
+        b.iter(|| <[f64; 4]>::unpack_into(&wire4, &mut dst));
     });
     group.finish();
 

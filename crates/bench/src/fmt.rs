@@ -13,7 +13,7 @@ impl TableBuilder {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         TableBuilder {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(|&s| s.to_string()).collect(),
             rows: Vec::new(),
         }
     }
@@ -33,7 +33,7 @@ impl TableBuilder {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -47,7 +47,7 @@ impl TableBuilder {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                line.push_str(&format!("{cell:>w$}", w = w));
+                line.push_str(&format!("{cell:>w$}"));
             }
             line
         };

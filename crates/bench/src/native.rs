@@ -74,9 +74,7 @@ pub fn report_json() -> String {
         .collect();
     let base = secs[0];
 
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut lines = vec![
         "{".to_string(),
         "  \"bench\": \"native\",".to_string(),

@@ -115,9 +115,7 @@ pub fn report_json() -> String {
     let mesh = overlap_mesh();
     let n = mesh.num_vertices();
 
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut lines = vec![
         "{".to_string(),
         "  \"bench\": \"overlap\",".to_string(),

@@ -356,9 +356,7 @@ pub fn report_json() -> String {
     let iters = 6;
     let mesh = remap_mesh();
     let n = mesh.num_vertices();
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let mut lines = vec![
         "{".to_string(),
@@ -372,7 +370,7 @@ pub fn report_json() -> String {
     let mut cells: Vec<String> = Vec::new();
     for native in [false, true] {
         let backend = if native { "native" } else { "sim" };
-        for &ranks in RANK_COUNTS.iter() {
+        for &ranks in &RANK_COUNTS {
             for shift in Shift::ALL {
                 for elem in ["f64", "f64x4"] {
                     let time = |path| match elem {

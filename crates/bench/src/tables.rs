@@ -96,7 +96,7 @@ pub fn table2() -> String {
         headers.push(format!("p={p} no-MCR"));
         headers.push(format!("p={p} paper"));
     }
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut out = TableBuilder::new(
         format!("Table 2: Average cost of data remapping, simulated seconds ({samples} samples)"),
         &header_refs,

@@ -44,6 +44,19 @@ pub struct StanceConfig {
     /// byte-for-byte; turn it on for long-running adaptive workloads where
     /// the hint would drift from reality.
     pub calibrate_rebuild_cost: bool,
+    /// Whether the session verifies the SPMD contract as it runs: every
+    /// schedule build and remap is followed by a collective audit of the
+    /// global schedule invariants (see `stance_verify::audit_schedules`),
+    /// the redistribution plan of every remap is audited against the old
+    /// and new partitions, and all session communication runs through a
+    /// recording `CheckedComm` whose trace
+    /// [`AdaptiveSession::verify_protocol`](crate::session::AdaptiveSession::verify_protocol)
+    /// analyzes collectively. A violated invariant panics with the full
+    /// diagnostic report. Verification never changes what is
+    /// communicated — results stay bitwise identical — but costs audit
+    /// messages and trace memory, so it is off by default; with it off,
+    /// no verification machinery is even constructed.
+    pub verify: bool,
 }
 
 impl Default for StanceConfig {
@@ -58,6 +71,7 @@ impl Default for StanceConfig {
             estimator: CapabilityEstimator::default(),
             overlap_gather: false,
             calibrate_rebuild_cost: false,
+            verify: false,
         }
     }
 }
@@ -77,7 +91,19 @@ impl StanceConfig {
             estimator: CapabilityEstimator::default(),
             overlap_gather: false,
             calibrate_rebuild_cost: false,
+            verify: false,
         }
+    }
+
+    /// Enables (or disables) runtime verification of the SPMD contract:
+    /// schedule audits after every build/remap, redistribution-plan
+    /// audits, and protocol tracing through `CheckedComm` (analyzed by
+    /// [`AdaptiveSession::verify_protocol`](crate::session::AdaptiveSession::verify_protocol)).
+    /// Results are bitwise identical either way; a violated invariant
+    /// panics with the diagnostic report.
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// Enables (or disables) the split-phase gather: the executor
@@ -159,6 +185,11 @@ mod tests {
                 .with_calibration(true)
                 .calibrate_rebuild_cost
         );
+        // Verification is strictly opt-in: the default and free configs
+        // must construct no checking machinery at all.
+        assert!(!StanceConfig::default().verify);
+        assert!(!StanceConfig::free().verify);
+        assert!(StanceConfig::free().with_verification(true).verify);
     }
 
     #[test]

@@ -111,7 +111,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod config;
 pub mod efficiency;
@@ -139,6 +138,10 @@ pub use stance_executor as executor;
 
 /// Re-export: Phase D (monitoring, controller, redistribution).
 pub use stance_balance as balance;
+
+/// Re-export: the SPMD-contract verifier (schedule audit + protocol
+/// checker), driven by `StanceConfig::with_verification`.
+pub use stance_verify as verify;
 
 use stance_locality::{compute_ordering, Graph, Ordering, OrderingMethod};
 use stance_onedim::BlockPartition;

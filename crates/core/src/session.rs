@@ -33,6 +33,19 @@
 //! on measured wall-clock times instead of modelled ones. All such methods
 //! are collectives: every rank of the cluster must call them in the same
 //! order (the SPMD contract of §2).
+//!
+//! With `StanceConfig::with_verification(true)` the session *checks* that
+//! contract as it runs: every schedule build and remap is followed by a
+//! collective audit of the global invariants (intervals tile, ghosts
+//! resolve to owners, send/recv lists pairwise symmetric, derived
+//! orderings deadlock-free — see [`stance_verify`]), each remap's
+//! redistribution plan is audited against the old and new partitions, and
+//! all point-to-point traffic is recorded through a
+//! [`CheckedComm`](stance_verify::CheckedComm) whose trace
+//! [`AdaptiveSession::verify_protocol`] analyzes collectively. A violated
+//! invariant panics with the full diagnostic report; results stay bitwise
+//! identical either way, and with verification off none of the machinery
+//! is constructed.
 
 use stance_balance::{load_balance_step_calibrated, Decision, LoadMonitor, RemapScratch};
 use stance_executor::{GhostedArray, Kernel, LoopRunner, LoopStats, RelaxationKernel};
@@ -43,6 +56,10 @@ use stance_inspector::{
 use stance_locality::Graph;
 use stance_onedim::BlockPartition;
 use stance_sim::{Comm, Element};
+use stance_verify::{
+    analyze_collective, audit_collective, audit_redistribution, expect_clean, Diagnostic,
+    MaybeChecked, RankTrace,
+};
 
 use crate::config::StanceConfig;
 
@@ -81,6 +98,11 @@ pub struct AdaptiveSession<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     /// allocation count is bounded and independent of how many remaps the
     /// run has already performed.
     scratch: RemapScratch<E>,
+    /// The protocol trace, recording every point-to-point event the
+    /// session's communication performs — `Some` iff
+    /// `StanceConfig::verify` (boxed so the disabled case costs one
+    /// pointer). Analyzed by [`AdaptiveSession::verify_protocol`].
+    verify: Option<Box<RankTrace>>,
 }
 
 impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
@@ -126,9 +148,20 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         );
         let adj = LocalAdjacency::extract(graph, &partition, env.rank());
         let mut scratch = RemapScratch::new();
-        let schedule = build_schedule(env, &partition, &adj, config, &mut scratch.schedule);
+        let mut verify = config
+            .verify
+            .then(|| Box::new(RankTrace::new(env.rank(), env.size())));
+        let schedule = {
+            let mut env = MaybeChecked::new(env, verify.as_deref_mut());
+            build_schedule(&mut env, &partition, &adj, config, &mut scratch.schedule)
+        };
         let runner = LoopRunner::new(schedule, &adj, config.compute_cost, kernel)
             .with_overlap(config.overlap_gather);
+        if verify.is_some() {
+            let diags =
+                audit_collective(env, partition.n(), runner.schedule(), &adj, runner.tadj());
+            expect_clean("post-setup schedule audit", &diags);
+        }
         let iv = partition.interval_of(env.rank());
         let local: Vec<E> = iv.iter().map(&init).collect();
         let values = runner.make_values(local);
@@ -140,6 +173,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             monitor: LoadMonitor::with_estimator(config.monitor_window, config.estimator),
             config: config.clone(),
             scratch,
+            verify,
         }
     }
 
@@ -171,12 +205,16 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// Runs a block of iterations, committing each sweep's output as the
     /// next sweep's input, and records the load measurement. Collective.
     pub fn run_block<C: Comm>(&mut self, env: &mut C, iters: usize) -> LoopStats {
-        let stats = self.runner.run(env, &mut self.values, iters);
-        self.monitor.record(
-            stats.compute_time,
-            stats.iterations,
-            self.values.local_len(),
-        );
+        let AdaptiveSession {
+            runner,
+            values,
+            monitor,
+            verify,
+            ..
+        } = self;
+        let mut env = MaybeChecked::new(env, verify.as_deref_mut());
+        let stats = runner.run(&mut env, values, iters);
+        monitor.record(stats.compute_time, stats.iterations, values.local_len());
         stats
     }
 
@@ -187,13 +225,17 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     /// the result, update their own vectors, and push the next input with
     /// [`AdaptiveSession::set_local_values`]. Collective.
     pub fn apply_kernel<C: Comm>(&mut self, env: &mut C) -> &[E] {
-        let stats = self.runner.apply(env, &mut self.values);
-        self.monitor.record(
-            stats.compute_time,
-            stats.iterations,
-            self.values.local_len(),
-        );
-        self.runner.scratch()
+        let AdaptiveSession {
+            runner,
+            values,
+            monitor,
+            verify,
+            ..
+        } = self;
+        let mut env = MaybeChecked::new(env, verify.as_deref_mut());
+        let stats = runner.apply(&mut env, values);
+        monitor.record(stats.compute_time, stats.iterations, values.local_len());
+        runner.scratch()
     }
 
     /// One load-balance check (and remap, if the controller finds it
@@ -226,14 +268,17 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             None
         };
         let t0 = env.now_secs();
-        let decision = load_balance_step_calibrated(
-            env,
-            &self.partition,
-            per_item,
-            remaining_iters,
-            &self.config.balancer,
-            measured,
-        );
+        let decision = {
+            let mut env = MaybeChecked::new(env, self.verify.as_deref_mut());
+            load_balance_step_calibrated(
+                &mut env,
+                &self.partition,
+                per_item,
+                remaining_iters,
+                &self.config.balancer,
+                measured,
+            )
+        };
         let check_cost = env.now_secs() - t0;
         match decision {
             Decision::Keep => (false, check_cost, 0.0),
@@ -331,45 +376,95 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         }
         let t0 = env.now_secs();
         let plan = self.scratch.take_plan(&self.partition, &new_partition);
-        // The session's values and every caller aux array move in ONE
-        // coalesced message per destination (§2 message coalescing),
-        // packed straight from the ghosted array's owned block.
-        self.scratch.redistribute(
-            env,
-            &self.partition,
-            &new_partition,
-            &plan,
-            self.values.local(),
-            aux,
-        );
-        let new_adj = self.scratch.redistribute_adjacency(
-            env,
-            &self.partition,
-            &new_partition,
-            &plan,
-            &self.adj,
-        );
-        self.scratch.put_plan(plan);
-        let old_adj = std::mem::replace(&mut self.adj, new_adj);
-        self.scratch.recycle_adjacency(old_adj);
+        // The trace is taken for the duration so the redistribution and
+        // rebuild below can wrap `env` while `self` stays borrowable.
+        let mut trace = self.verify.take();
+        if trace.is_some() {
+            let diags = audit_redistribution(&self.partition, &new_partition, &plan);
+            expect_clean("redistribution-plan audit", &diags);
+        }
+        {
+            let mut env = MaybeChecked::new(env, trace.as_deref_mut());
+            // The session's values and every caller aux array move in ONE
+            // coalesced message per destination (§2 message coalescing),
+            // packed straight from the ghosted array's owned block.
+            self.scratch.redistribute(
+                &mut env,
+                &self.partition,
+                &new_partition,
+                &plan,
+                self.values.local(),
+                aux,
+            );
+            let new_adj = self.scratch.redistribute_adjacency(
+                &mut env,
+                &self.partition,
+                &new_partition,
+                &plan,
+                &self.adj,
+            );
+            self.scratch.put_plan(plan);
+            let old_adj = std::mem::replace(&mut self.adj, new_adj);
+            self.scratch.recycle_adjacency(old_adj);
+        }
         self.partition = new_partition;
 
         // The schedule-rebuild share: inspector + runner + value buffers.
         let t_rebuild = env.now_secs();
-        let schedule = build_schedule(
-            env,
-            &self.partition,
-            &self.adj,
-            &self.config,
-            &mut self.scratch.schedule,
-        );
+        let schedule = {
+            let mut env = MaybeChecked::new(env, trace.as_deref_mut());
+            build_schedule(
+                &mut env,
+                &self.partition,
+                &self.adj,
+                &self.config,
+                &mut self.scratch.schedule,
+            )
+        };
         let retired = self.runner.rebuild(schedule, &self.adj);
         self.scratch.schedule.recycle(retired);
         self.runner
             .reset_values(&mut self.values, self.scratch.primary_block());
         let now = env.now_secs();
         self.monitor.record_remap_cost(now - t_rebuild, now - t0);
+        self.verify = trace;
+        if self.verify.is_some() {
+            // The rebuilt schedule must satisfy the same global contract
+            // the setup schedule did (audit messages are charged after the
+            // remap cost is recorded, so calibration stays unpolluted).
+            let diags = audit_collective(
+                env,
+                self.partition.n(),
+                self.runner.schedule(),
+                &self.adj,
+                self.runner.tadj(),
+            );
+            expect_clean("post-remap schedule audit", &diags);
+        }
         self.monitor.rollover();
+    }
+
+    /// Analyzes the protocol traces recorded so far: allgathers every
+    /// rank's [`RankTrace`] and runs the offline analyzer over the full
+    /// set (unmatched sends, phantom receives, payload-shape mismatches,
+    /// leaked requests, barrier-arity mismatches, epoch-crossing
+    /// messages — see [`stance_verify::analyze_traces`]). Every rank
+    /// returns the same diagnostics; an empty vector means the traffic
+    /// obeyed the protocol. Collective when verification is enabled;
+    /// with it disabled there is nothing recorded and nothing to agree
+    /// on, so this returns empty without communicating (the config is
+    /// replicated, so all ranks skip together).
+    pub fn verify_protocol<C: Comm>(&mut self, env: &mut C) -> Vec<Diagnostic> {
+        match self.verify.as_deref() {
+            None => Vec::new(),
+            Some(trace) => analyze_collective(env, trace),
+        }
+    }
+
+    /// The protocol trace recorded so far — `Some` iff the session was
+    /// set up with `StanceConfig::with_verification(true)`.
+    pub fn trace(&self) -> Option<&RankTrace> {
+        self.verify.as_deref()
     }
 
     /// The paper's full execution structure: blocks of `check_interval`
@@ -897,6 +992,84 @@ mod tests {
             expected,
             "forced remap chain diverged from sequential"
         );
+    }
+
+    /// Verification is numerically free: a verified adaptive run (audits
+    /// after setup and every remap, all p2p traffic traced) produces
+    /// bitwise the same values as the sequential reference, and the
+    /// collected traces analyze clean.
+    #[test]
+    fn verified_adaptive_run_is_clean_and_bitwise_identical() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let iters = 40;
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, iters);
+
+        let m2 = m.clone();
+        let mut config = StanceConfig::default()
+            .with_check_interval(10)
+            .with_verification(true);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(3)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(move |env| {
+            let mut s = AdaptiveSession::setup(env, &m2, RelaxationKernel, init, &config);
+            let rep = s.run_adaptive(env, iters);
+            let diags = s.verify_protocol(env);
+            let events = s.trace().map_or(0, |t| t.events.len());
+            (
+                rep,
+                s.local_values().to_vec(),
+                s.partition().clone(),
+                diags,
+                events,
+            )
+        });
+        let results: Vec<_> = report.into_results();
+        assert!(
+            results[0].0.remaps >= 1,
+            "the forced load should remap under verification too: {:?}",
+            results[0].0
+        );
+        for (rank, (_, _, _, diags, events)) in results.iter().enumerate() {
+            assert!(
+                diags.is_empty(),
+                "rank {rank} protocol diagnostics: {diags:?}"
+            );
+            assert!(*events > 0, "rank {rank} recorded no events");
+        }
+        let final_part = results[0].2.clone();
+        let mut got = vec![0.0; n];
+        for (rank, (_, values, _, _, _)) in results.iter().enumerate() {
+            let iv = final_part.interval_of(rank);
+            got[iv.start..iv.end].copy_from_slice(values);
+        }
+        assert_eq!(got, expected, "verified adaptive run diverged");
+    }
+
+    /// With verification off the protocol check is a local no-op: no
+    /// trace exists, no messages move, the returned report is empty.
+    #[test]
+    fn verify_protocol_is_free_when_disabled() {
+        let m = mesh();
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            s.run_block(env, 5);
+            let msgs = env.stats().messages_sent;
+            let diags = s.verify_protocol(env);
+            (
+                diags.is_empty(),
+                s.trace().is_none(),
+                env.stats().messages_sent == msgs,
+            )
+        });
+        for (empty, no_trace, no_msgs) in report.results() {
+            assert!(*empty && *no_trace && *no_msgs);
+        }
     }
 
     #[test]

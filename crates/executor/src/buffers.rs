@@ -20,7 +20,7 @@
 //! degrades to the old per-message allocation, never to unbounded memory.
 
 use stance_inspector::CommSchedule;
-use stance_sim::{Element, RecvRequest};
+use stance_sim::{Element, RecvRequest, SendRequest};
 
 /// Recycled transport scratch owned by one
 /// [`LoopRunner`](crate::LoopRunner) (or built standalone for hand-driven
@@ -41,6 +41,12 @@ pub struct CommBuffers<E: Element> {
     /// from the schedule's receive count, so posting receives in the
     /// steady state allocates nothing.
     pub(crate) recv_reqs: Vec<RecvRequest>,
+    /// Outstanding send handles of an in-flight split-phase gather,
+    /// mirrored on `recv_reqs`: `gather_start` parks every `isend`
+    /// handle here and `gather_finish` waits and drains them, so no
+    /// request is ever dropped unwaited (the protocol-checker contract)
+    /// — pre-sized from the schedule's send count.
+    pub(crate) send_reqs: Vec<SendRequest>,
 }
 
 impl<E: Element> CommBuffers<E> {
@@ -51,6 +57,7 @@ impl<E: Element> CommBuffers<E> {
             pool_cap: 8,
             elems: Vec::new(),
             recv_reqs: Vec::new(),
+            send_reqs: Vec::new(),
         }
     }
 
@@ -80,6 +87,7 @@ impl<E: Element> CommBuffers<E> {
             pool_cap,
             elems: Vec::with_capacity(max_arriving),
             recv_reqs: Vec::with_capacity(schedule.recvs().len()),
+            send_reqs: Vec::with_capacity(schedule.sends().len()),
         }
     }
 
@@ -96,14 +104,15 @@ impl<E: Element> CommBuffers<E> {
     /// must be drained by `gather_finish` before the schedule changes).
     pub fn rebuild(&mut self, schedule: &CommSchedule) {
         assert!(
-            self.recv_reqs.is_empty(),
+            self.recv_reqs.is_empty() && self.send_reqs.is_empty(),
             "CommBuffers::rebuild with a split-phase gather in flight"
         );
         self.pool_cap = schedule.sends().len().max(schedule.recvs().len()).max(8);
         self.pool.truncate(self.pool_cap);
-        // The request pool is empty here, so this ensures capacity for the
-        // new schedule's receive count (no-op once warm).
+        // The request pools are empty here, so this ensures capacity for
+        // the new schedule's segment counts (no-op once warm).
         self.recv_reqs.reserve(schedule.recvs().len());
+        self.send_reqs.reserve(schedule.sends().len());
     }
 
     /// A cleared byte buffer with at least `capacity` bytes reserved —

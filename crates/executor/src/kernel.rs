@@ -976,7 +976,7 @@ mod tests {
                                     RelaxationKernel,
                                 )
                                 .with_overlap(overlap),
-                            )
+                            );
                         }
                         Some(r) => {
                             let _retired = r.rebuild(sched, &adj);

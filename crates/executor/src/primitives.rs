@@ -143,13 +143,18 @@ pub fn gather_start<E: Element, C: Comm>(
         bufs.recv_reqs.push(req);
     }
     // Pack and post the sends, staged in recycled buffers; consecutive
-    // send runs bulk-pack straight from the owned block. Sends are
-    // buffered (complete at post time), so no handles need keeping.
+    // send runs bulk-pack straight from the owned block. Send handles
+    // are parked in the recycled request pool and waited by
+    // `gather_finish` — sends are buffered (the waits never block), but
+    // every posted request must be completed so the protocol checker can
+    // account for handles, and so a future backend with genuine send
+    // completion works unchanged.
     for (peer, locals) in schedule.sends() {
         env.compute(cost.pack_work(locals.len()));
         let mut bytes = bufs.take_bytes(locals.len() * E::SIZE_BYTES);
         pack_indexed(values.local(), locals, &mut bytes);
-        env.isend(*peer, TAG_GATHER, Payload::from_bytes(bytes));
+        let req = env.isend(*peer, TAG_GATHER, Payload::from_bytes(bytes));
+        bufs.send_reqs.push(req);
     }
 }
 
@@ -188,6 +193,12 @@ pub fn gather_finish<E: Element, C: Comm>(
         slot += globals.len();
     }
     bufs.recv_reqs.clear();
+    // Complete the posted sends (never blocks — sends are buffered) so
+    // no request handle outlives the gather it belongs to.
+    for i in 0..bufs.send_reqs.len() {
+        env.wait_send(bufs.send_reqs[i]);
+    }
+    bufs.send_reqs.clear();
 }
 
 /// Sends each ghost-region value back to its owner, which **adds** it into

@@ -33,7 +33,6 @@
 //! than once".
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod adjacency;
 pub mod cost;

@@ -23,7 +23,6 @@
 //!   locality, bandwidth.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod graph;
 pub mod io;

@@ -110,8 +110,8 @@ mod tests {
         let seq = o.sequence();
         let first_half: Vec<f64> = seq[..8].iter().map(|&v| g.coord(v as usize)[0]).collect();
         let second_half: Vec<f64> = seq[8..].iter().map(|&v| g.coord(v as usize)[0]).collect();
-        let max_first = first_half.iter().cloned().fold(f64::MIN, f64::max);
-        let min_second = second_half.iter().cloned().fold(f64::MAX, f64::min);
+        let max_first = first_half.iter().copied().fold(f64::MIN, f64::max);
+        let min_second = second_half.iter().copied().fold(f64::MAX, f64::min);
         assert!(
             max_first <= min_second,
             "first half (x ≤ {max_first}) should precede second (x ≥ {min_second})"

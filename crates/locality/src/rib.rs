@@ -141,8 +141,8 @@ mod tests {
             .iter()
             .map(|&v| g.coord(v as usize)[0] + g.coord(v as usize)[1])
             .collect();
-        let max_first = first.iter().cloned().fold(f64::MIN, f64::max);
-        let min_second = second.iter().cloned().fold(f64::MAX, f64::min);
+        let max_first = first.iter().copied().fold(f64::MIN, f64::max);
+        let min_second = second.iter().copied().fold(f64::MAX, f64::min);
         assert!(
             max_first < min_second,
             "split should be along the diagonal: {max_first} vs {min_second}"

@@ -378,7 +378,7 @@ pub fn tridiag_eigen(diag: &[f64], offdiag: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>)
                     c = p / r;
                     p = c * d[i] - s * g2;
                     d[i + 1] = h + s * (c * g2 + s * d[i]);
-                    for row in z.iter_mut() {
+                    for row in &mut z {
                         h = row[i + 1];
                         row[i + 1] = s * row[i] + c * h;
                         row[i] = c * row[i] - s * h;

@@ -150,7 +150,10 @@ mod tests {
     fn collectives_agree_with_rank_order() {
         let report = NativeCluster::new(4).run(|comm| {
             let all = comm.allgather(Tag(5), Payload::from_u32(vec![comm.rank() as u32]));
-            let ids: Vec<u32> = all.into_iter().flat_map(|p| p.into_u32()).collect();
+            let ids: Vec<u32> = all
+                .into_iter()
+                .flat_map(stance_sim::Payload::into_u32)
+                .collect();
             assert_eq!(ids, vec![0, 1, 2, 3]);
             comm.allreduce_f64(Tag(6), (comm.rank() + 1) as f64, |a, b| a + b)
         });

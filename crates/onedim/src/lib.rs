@@ -24,7 +24,6 @@
 //!   `MOVE`), and an exhaustive oracle for small `p`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod arrangement;
 pub mod interval;

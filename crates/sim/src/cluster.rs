@@ -367,8 +367,11 @@ mod tests {
         let spec = ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
         let report = Cluster::new(spec).run(|env| {
             let mine = Payload::from_u32(vec![env.rank() as u32 * 10]);
-            env.gather_to(0, Tag(4), mine)
-                .map(|v| v.into_iter().flat_map(|p| p.into_u32()).collect::<Vec<_>>())
+            env.gather_to(0, Tag(4), mine).map(|v| {
+                v.into_iter()
+                    .flat_map(super::super::payload::Payload::into_u32)
+                    .collect::<Vec<_>>()
+            })
         });
         let results: Vec<_> = report.into_results();
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
@@ -380,7 +383,10 @@ mod tests {
         let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
         let report = Cluster::new(spec).run(|env| {
             let all = env.allgather(Tag(5), Payload::from_u32(vec![env.rank() as u32]));
-            let ids: Vec<u32> = all.into_iter().flat_map(|p| p.into_u32()).collect();
+            let ids: Vec<u32> = all
+                .into_iter()
+                .flat_map(super::super::payload::Payload::into_u32)
+                .collect();
             assert_eq!(ids, vec![0, 1, 2]);
             env.allreduce_f64(Tag(6), (env.rank() + 1) as f64, |a, b| a + b)
         });

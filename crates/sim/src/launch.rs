@@ -92,7 +92,7 @@ impl BarrierShared {
         let mut g = self
             .inner
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         assert!(!g.poisoned, "barrier poisoned: a peer rank panicked");
         g.max_clock = g.max_clock.max(clock);
         g.arrived += 1;
@@ -109,7 +109,7 @@ impl BarrierShared {
                 g = self
                     .cv
                     .wait(g)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 assert!(!g.poisoned, "barrier poisoned: a peer rank panicked");
             }
             g.release
@@ -123,7 +123,7 @@ impl BarrierShared {
         let mut g = self
             .inner
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         g.poisoned = true;
         drop(g);
         self.cv.notify_all();
@@ -162,7 +162,7 @@ where
     let record_first = |payload: Box<dyn std::any::Any + Send>| {
         let mut g = first_panic
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if g.is_none() {
             *g = Some(payload);
         }
@@ -208,7 +208,7 @@ where
     });
     if let Some(payload) = first_panic
         .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .take()
     {
         resume_unwind(payload);

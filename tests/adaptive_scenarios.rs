@@ -94,8 +94,7 @@ fn departing_load_rebalances_back() {
     let (rep0, final_sizes) = &report.ranks[0].result;
     assert!(
         rep0.remaps >= 2,
-        "expected shrink then regrow remaps, got {:?}",
-        rep0
+        "expected shrink then regrow remaps, got {rep0:?}"
     );
     // After the load departs the blocks should be near-equal again.
     let ratio = final_sizes[0] as f64 / final_sizes[1] as f64;
@@ -295,6 +294,77 @@ fn native_forced_churn_stays_bitwise_correct() {
             "native forced churn diverged (overlap = {overlap})"
         );
     }
+}
+
+/// The full adaptive churn scenario under `with_verification(true)`, on
+/// both backends: every schedule build is audited collectively, every
+/// remap's redistribution plan is checked, all point-to-point traffic is
+/// traced, the final protocol analysis is clean — and the values stay
+/// bitwise identical to the sequential reference. The simulator leg runs
+/// controller-driven remaps for both schedule strategies (Sort2's local
+/// build and Simple's collective three-round build both execute traced);
+/// the native leg forces deterministic churn through `remap_to`.
+#[test]
+fn verified_adaptive_churn_is_clean_on_both_backends() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let iters = 60;
+    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    sequential_relaxation(&m, &mut expected, iters);
+
+    for strategy in [ScheduleStrategy::Sort2, ScheduleStrategy::Simple] {
+        let mut config = adaptive_config()
+            .with_strategy(strategy)
+            .with_verification(true);
+        config.inspector_cost = InspectorCostModel::zero();
+        let spec = ClusterSpec::uniform(3)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            let rep = s.run_adaptive(env, iters);
+            let diags = s.verify_protocol(env);
+            assert!(
+                diags.is_empty(),
+                "sim protocol diagnostics ({strategy:?}): {diags:?}"
+            );
+            (rep.remaps, s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        assert!(
+            results[0].0 >= 1,
+            "expected a verified remap ({strategy:?})"
+        );
+        let partition = results[0].2.clone();
+        let blocks = results.into_iter().map(|(_, v, _)| v).collect();
+        assert_eq!(
+            reassemble(&partition, blocks),
+            expected,
+            "verified sim churn diverged ({strategy:?})"
+        );
+    }
+
+    let skew = BlockPartition::from_sizes(&[n / 5, n / 2, n - n / 5 - n / 2]);
+    let config = StanceConfig::free().with_verification(true);
+    let report = stance_native::NativeCluster::new(3).run(|comm| {
+        let mut s = AdaptiveSession::setup(comm, &m, RelaxationKernel, init, &config);
+        s.run_block(comm, iters / 3);
+        s.remap_to(comm, skew.clone(), &mut []);
+        s.run_block(comm, iters / 3);
+        s.remap_to(comm, BlockPartition::uniform(n, 3), &mut []);
+        s.run_block(comm, iters - 2 * (iters / 3));
+        let diags = s.verify_protocol(comm);
+        assert!(diags.is_empty(), "native protocol diagnostics: {diags:?}");
+        (s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    let partition = results[0].1.clone();
+    let blocks = results.into_iter().map(|(v, _)| v).collect();
+    assert_eq!(
+        reassemble(&partition, blocks),
+        expected,
+        "verified native churn diverged"
+    );
 }
 
 #[test]

@@ -49,7 +49,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
@@ -80,7 +80,7 @@ where
 {
     let _serial = SERIAL
         .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
     let n = g.num_vertices();
     let p = 3;
@@ -141,7 +141,7 @@ where
 {
     let _serial = SERIAL
         .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
     let n = g.num_vertices();
     let p = 3;
@@ -246,7 +246,7 @@ where
 {
     let _serial = SERIAL
         .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
     let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
     let report =
@@ -269,7 +269,7 @@ where
 {
     let _serial = SERIAL
         .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
     let report = stance_native::NativeCluster::new(3)
         .run(|comm| remap_allocation_body(comm, &g, kernel, &init, n_remaps));
@@ -305,6 +305,41 @@ fn assert_remap_allocations_bounded(counts: &[u64], what: &str) {
             "{what}: remap {i} still allocated after warm-up (all: {counts:?})"
         );
     }
+}
+
+/// "Disabled" verification must mean *absent*, not "present but quiet":
+/// with `StanceConfig::free()` (verification off, the default) a full
+/// session lifecycle — setup, steady-state iterations, a forced remap —
+/// must never even **construct** a `CheckedComm`. The verify crate keeps a
+/// process-global construction counter precisely so this file can pin the
+/// zero-overhead claim structurally, alongside the allocation counts that
+/// pin it behaviourally.
+#[test]
+fn disabled_verification_never_constructs_checked_comm() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let before = stance_verify::checked_comm_constructions();
+    let g = meshgen::triangulated_grid(12, 9, 0.3, 5);
+    let n = g.num_vertices();
+    let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+    Cluster::new(spec).run(|env| {
+        let config = StanceConfig::free();
+        let mut s =
+            AdaptiveSession::setup(env, &g, RelaxationKernel, |g| (g as f64).sin(), &config);
+        s.run_block(env, 6);
+        s.remap_to(
+            env,
+            BlockPartition::from_sizes(&[n / 4, n / 4, n - 2 * (n / 4)]),
+            &mut [],
+        );
+        s.run_block(env, 6);
+    });
+    let after = stance_verify::checked_comm_constructions();
+    assert_eq!(
+        before, after,
+        "a CheckedComm was constructed during a verification-off run"
+    );
 }
 
 #[test]

@@ -25,10 +25,18 @@
 //! every rank count. This is the cross-path half of the equivalence
 //! story: backend × gather-flavour, all four combinations, one answer.
 
+//! Both workloads run **fully verified**: the session enables
+//! `StanceConfig::with_verification(true)` (schedule audits + protocol
+//! trace), the hand-driven CG wraps its backend in
+//! [`CheckedComm`](stance_verify::CheckedComm) directly, and every run's
+//! traces must analyze clean — so this file also pins that verification
+//! never costs a bit of numeric equivalence.
+
 use stance::executor::{sequential_laplacian_matvec, sequential_relaxation};
 use stance::inspector::{build_schedule_symmetric, LocalAdjacency};
 use stance::prelude::*;
 use stance_native::NativeCluster;
+use stance_verify::{analyze_traces, CheckedComm, RankTrace};
 
 fn mesh() -> Graph {
     let raw = stance::locality::meshgen::triangulated_grid(14, 11, 0.4, 5);
@@ -56,9 +64,12 @@ fn relaxation_body<C: Comm>(
 ) -> (Vec<f64>, BlockPartition) {
     let config = StanceConfig::free()
         .without_load_balancing()
-        .with_overlap(overlap);
+        .with_overlap(overlap)
+        .with_verification(true);
     let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, init, &config);
     session.run_adaptive(env, iters);
+    let diags = session.verify_protocol(env);
+    assert!(diags.is_empty(), "protocol diagnostics: {diags:?}");
     (session.local_values().to_vec(), session.partition().clone())
 }
 
@@ -126,7 +137,13 @@ fn cg_body<C: Comm>(
     shift: f64,
     max_iters: usize,
     overlap: bool,
-) -> Vec<f64> {
+) -> (Vec<f64>, RankTrace) {
+    // Hand-driven (no session), so the protocol checker is attached
+    // directly; the recorded trace rides back with the result for the
+    // cross-rank analysis in the launcher.
+    let mut trace = RankTrace::new(env.rank(), env.size());
+    let mut checked = CheckedComm::attach(env, &mut trace);
+    let env = &mut checked;
     let n = mesh.num_vertices();
     let part = BlockPartition::uniform(n, env.size());
     let rank = env.rank();
@@ -181,7 +198,7 @@ fn cg_body<C: Comm>(
         }
         rho = rho_next;
     }
-    x
+    (x, trace)
 }
 
 #[test]
@@ -198,18 +215,26 @@ fn cg_solver_bitwise_identical_across_backends() {
         let m2 = &m;
         let b2 = &b;
         let part = BlockPartition::uniform(n, p);
-        let run_sim = |overlap: bool| {
-            let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
-            let blocks: Vec<Vec<f64>> = Cluster::new(spec)
-                .run(|env| cg_body(env, m2, b2, shift, 120, overlap))
-                .into_results();
+        let check = |results: Vec<(Vec<f64>, RankTrace)>| {
+            let (blocks, traces): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            let diags = analyze_traces(&traces);
+            assert!(diags.is_empty(), "CG protocol diagnostics: {diags:?}");
             stance::reassemble(&part, blocks)
         };
+        let run_sim = |overlap: bool| {
+            let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+            check(
+                Cluster::new(spec)
+                    .run(|env| cg_body(env, m2, b2, shift, 120, overlap))
+                    .into_results(),
+            )
+        };
         let run_native = |overlap: bool| {
-            let blocks: Vec<Vec<f64>> = NativeCluster::new(p)
-                .run(|comm| cg_body(comm, m2, b2, shift, 120, overlap))
-                .into_results();
-            stance::reassemble(&part, blocks)
+            check(
+                NativeCluster::new(p)
+                    .run(|comm| cg_body(comm, m2, b2, shift, 120, overlap))
+                    .into_results(),
+            )
         };
         let sim = run_sim(false);
         let native = run_native(false);

@@ -17,6 +17,7 @@
 
 use stance::prelude::*;
 use stance_native::NativeCluster;
+use stance_verify::{analyze_traces, CheckedComm, RankTrace};
 
 /// The generic test bodies, each written against the `Comm` trait alone.
 mod bodies {
@@ -135,12 +136,16 @@ mod bodies {
     pub fn mixed_blocking_nonblocking_fifo<C: Comm>(c: &mut C) {
         const MSGS: u32 = 12;
         if c.rank() == 0 {
+            let mut pending = Vec::new();
             for seq in 0..MSGS {
                 if seq % 2 == 0 {
                     c.send(1, Tag(5), Payload::from_u32(vec![seq]));
                 } else {
-                    let _ = c.isend(1, Tag(5), Payload::from_u32(vec![seq]));
+                    pending.push(c.isend(1, Tag(5), Payload::from_u32(vec![seq])));
                 }
+            }
+            for req in pending {
+                c.wait_send(req);
             }
         } else if c.rank() == 1 {
             for seq in 0..MSGS {
@@ -162,8 +167,9 @@ mod bodies {
         if c.rank() == 0 {
             // Tag-2 traffic brackets the tag-1 message.
             c.send(1, Tag(2), Payload::from_u32(vec![22]));
-            let _ = c.isend(1, Tag(1), Payload::from_u32(vec![11]));
+            let req = c.isend(1, Tag(1), Payload::from_u32(vec![11]));
             c.send(1, Tag(2), Payload::from_u32(vec![23]));
+            c.wait_send(req);
         } else if c.rank() == 1 {
             let a = c.irecv(0, Tag(1));
             let b1 = c.irecv(0, Tag(2));
@@ -213,7 +219,7 @@ mod bodies {
             let ids: Vec<u32> = gathered
                 .expect("root receives the gather")
                 .into_iter()
-                .flat_map(|p| p.into_u32())
+                .flat_map(stance_native::Payload::into_u32)
                 .collect();
             let expected: Vec<u32> = (0..c.size() as u32).map(|r| r * 10).collect();
             assert_eq!(ids, expected);
@@ -222,24 +228,59 @@ mod bodies {
         }
 
         let all = c.allgather(Tag(6), Payload::from_u64(vec![c.rank() as u64]));
-        let ids: Vec<u64> = all.into_iter().flat_map(|p| p.into_u64()).collect();
+        let ids: Vec<u64> = all
+            .into_iter()
+            .flat_map(stance_native::Payload::into_u64)
+            .collect();
         let expected: Vec<u64> = (0..c.size() as u64).collect();
         assert_eq!(ids, expected);
     }
 }
 
+/// Analyzer gate shared by both launchers: a conformance body must not
+/// only produce the right data, its recorded traffic must satisfy the
+/// protocol checker — matched sends, no leaked requests, agreeing
+/// barrier counts.
+fn expect_protocol_clean(backend: &str, traces: &[RankTrace]) {
+    let diags = analyze_traces(traces);
+    assert!(
+        diags.is_empty(),
+        "{backend} conformance traffic violated the protocol: {diags:?}"
+    );
+}
+
 /// Launches a generic body on the simulator backend (zero-cost network —
-/// conformance is about data movement, not cost modelling).
-fn run_sim(p: usize, body: impl Fn(&mut Env) + Send + Sync) {
+/// conformance is about data movement, not cost modelling), with every
+/// point-to-point event recorded through [`CheckedComm`] and the traces
+/// analyzed after the run.
+fn run_sim(p: usize, body: impl Fn(&mut CheckedComm<'_, Env>) + Send + Sync) {
     let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
-    Cluster::new(spec).run(|env| body(env));
+    let report = Cluster::new(spec).run(|env| {
+        let mut trace = RankTrace::new(env.rank(), env.size());
+        body(&mut CheckedComm::attach(env, &mut trace));
+        trace
+    });
+    expect_protocol_clean("sim", &report.into_results());
 }
 
-/// Launches a generic body on the native thread-pool backend.
-fn run_native(p: usize, body: impl Fn(&mut stance_native::NativeComm) + Send + Sync) {
-    NativeCluster::new(p).run(|comm| body(comm));
+/// Launches a generic body on the native thread-pool backend, checked
+/// exactly like [`run_sim`].
+fn run_native(
+    p: usize,
+    body: impl Fn(&mut CheckedComm<'_, stance_native::NativeComm>) + Send + Sync,
+) {
+    let report = NativeCluster::new(p).run(|comm| {
+        let mut trace = RankTrace::new(comm.rank(), comm.size());
+        body(&mut CheckedComm::attach(comm, &mut trace));
+        trace
+    });
+    expect_protocol_clean("native", &report.into_results());
 }
 
+// The bodies are generic `fn` items, but the launchers want a closure
+// callable at *every* wrapper lifetime (`for<'a> Fn(&mut
+// CheckedComm<'a, _>)`), which a monomorphized fn item cannot provide —
+// hence the `|c| bodies::f(c)` eta-expansion at each call site.
 macro_rules! conformance_suite {
     ($backend:ident, $launch:expr) => {
         mod $backend {
@@ -247,52 +288,52 @@ macro_rules! conformance_suite {
 
             #[test]
             fn send_recv_ordering() {
-                ($launch)(3, bodies::send_recv_ordering);
+                ($launch)(3, |c| bodies::send_recv_ordering(c));
             }
 
             #[test]
             fn tag_isolation() {
-                ($launch)(2, bodies::tag_isolation);
+                ($launch)(2, |c| bodies::tag_isolation(c));
             }
 
             #[test]
             fn barrier_rounds() {
-                ($launch)(4, bodies::barrier_rounds);
+                ($launch)(4, |c| bodies::barrier_rounds(c));
             }
 
             #[test]
             fn allreduce_ops() {
-                ($launch)(4, bodies::allreduce_ops);
+                ($launch)(4, |c| bodies::allreduce_ops(c));
             }
 
             #[test]
             fn exchange_ring() {
-                ($launch)(5, bodies::exchange_ring);
+                ($launch)(5, |c| bodies::exchange_ring(c));
             }
 
             #[test]
             fn bcast_and_gather() {
-                ($launch)(4, bodies::bcast_and_gather);
+                ($launch)(4, |c| bodies::bcast_and_gather(c));
             }
 
             #[test]
             fn irecv_posted_before_send() {
-                ($launch)(3, bodies::irecv_posted_before_send);
+                ($launch)(3, |c| bodies::irecv_posted_before_send(c));
             }
 
             #[test]
             fn mixed_blocking_nonblocking_fifo() {
-                ($launch)(2, bodies::mixed_blocking_nonblocking_fifo);
+                ($launch)(2, |c| bodies::mixed_blocking_nonblocking_fifo(c));
             }
 
             #[test]
             fn outstanding_request_tag_isolation() {
-                ($launch)(2, bodies::outstanding_request_tag_isolation);
+                ($launch)(2, |c| bodies::outstanding_request_tag_isolation(c));
             }
 
             #[test]
             fn wait_after_peer_completion() {
-                ($launch)(2, bodies::wait_after_peer_completion);
+                ($launch)(2, |c| bodies::wait_after_peer_completion(c));
             }
         }
     };
