@@ -17,11 +17,11 @@ use stance_onedim::{
 use stance_sim::{Comm, Payload, Tag};
 
 /// Tag for the load gather (workers → controller).
-const TAG_LOAD: Tag = Tag::reserved(50);
+const TAG_LOAD: Tag = stance_sim::tags::TAG_LOAD;
 /// Tag for the decision broadcast (controller → workers).
-const TAG_DECISION: Tag = Tag::reserved(51);
+const TAG_DECISION: Tag = stance_sim::tags::TAG_DECISION;
 /// Tag for the distributed-mode load allgather.
-const TAG_LOAD_ALLGATHER: Tag = Tag::reserved(52);
+const TAG_LOAD_ALLGATHER: Tag = stance_sim::tags::TAG_LOAD_ALLGATHER;
 
 /// The controller rank (the paper uses a fixed controller processor).
 pub const CONTROLLER: usize = 0;
@@ -81,6 +81,31 @@ pub enum Decision {
     Remap(BlockPartition),
 }
 
+/// Measured remap costs that replace the static hints in the
+/// profitability rule — the full calibration feedback loop: `rebuild`
+/// supersedes `rebuild_cost_hint`, `movement` supersedes `redist_model`.
+/// `None` components leave the corresponding static value in force.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeasuredCosts {
+    /// Measured schedule-rebuild cost (seconds), e.g.
+    /// `LoadMonitor::rebuild_cost`.
+    pub rebuild: Option<f64>,
+    /// Fitted data-movement model, e.g. `LoadMonitor::movement_model`.
+    pub movement: Option<RedistCostModel>,
+}
+
+impl MeasuredCosts {
+    /// No measurements: the static config hints decide alone.
+    pub fn none() -> Self {
+        MeasuredCosts::default()
+    }
+
+    /// Whether neither component carries a measurement.
+    pub fn is_none(&self) -> bool {
+        self.rebuild.is_none() && self.movement.is_none()
+    }
+}
+
 /// One load-balancing check (a collective — all ranks must call it).
 ///
 /// Every rank contributes its measured per-item computation time;
@@ -123,24 +148,46 @@ pub fn load_balance_step_calibrated<C: Comm>(
     config: &BalancerConfig,
     measured_rebuild_cost: Option<f64>,
 ) -> Decision {
+    load_balance_step_measured(
+        env,
+        partition,
+        per_item_time,
+        remaining_iters,
+        config,
+        MeasuredCosts {
+            rebuild: measured_rebuild_cost,
+            movement: None,
+        },
+    )
+}
+
+/// [`load_balance_step_calibrated`] widened to the full set of measured
+/// costs: the rebuild share *and* the fitted per-message/per-element
+/// movement model both replace their static hints in the profitability
+/// rule. Same collective-consistency requirement: remaps are collective,
+/// so every rank passes measurements (or their absence) uniformly.
+pub fn load_balance_step_measured<C: Comm>(
+    env: &mut C,
+    partition: &BlockPartition,
+    per_item_time: f64,
+    remaining_iters: usize,
+    config: &BalancerConfig,
+    measured: MeasuredCosts,
+) -> Decision {
     assert!(
         per_item_time.is_finite() && per_item_time >= 0.0,
         "per-item time must be finite and non-negative, got {per_item_time}"
     );
     match config.mode {
         ControllerMode::Centralized => {
-            // Only the controller's `decide` runs; overriding the hint
+            // Only the controller's `decide` runs; overriding the hints
             // locally is enough (workers' configs never enter a decision).
             let storage;
-            let config = match measured_rebuild_cost {
-                Some(cost) => {
-                    storage = BalancerConfig {
-                        rebuild_cost_hint: cost,
-                        ..config.clone()
-                    };
-                    &storage
-                }
-                None => config,
+            let config = if measured.is_none() {
+                config
+            } else {
+                storage = with_measured(config, measured);
+                &storage
             };
             centralized_step(env, partition, per_item_time, remaining_iters, config)
         }
@@ -150,8 +197,17 @@ pub fn load_balance_step_calibrated<C: Comm>(
             per_item_time,
             remaining_iters,
             config,
-            measured_rebuild_cost,
+            measured,
         ),
+    }
+}
+
+/// `config` with measured costs substituted for their static hints.
+fn with_measured(config: &BalancerConfig, measured: MeasuredCosts) -> BalancerConfig {
+    BalancerConfig {
+        rebuild_cost_hint: measured.rebuild.unwrap_or(config.rebuild_cost_hint),
+        redist_model: measured.movement.unwrap_or(config.redist_model),
+        ..config.clone()
     }
 }
 
@@ -186,43 +242,69 @@ fn centralized_step<C: Comm>(
 
 /// The distributed variant: one all-gather round, then every rank runs the
 /// deterministic decision function on identical inputs — no controller, no
-/// second round, and the decision is provably identical everywhere. A
-/// calibrated rebuild cost rides in the same round (payload of two `f64`s
-/// instead of one); every rank folds the max, so the overridden hint — and
-/// therefore the decision — is identical everywhere.
+/// second round, and the decision is provably identical everywhere.
+///
+/// Measured costs piggyback on the same round. The wire format is
+/// `[per_item]` (nothing measured), `[per_item, rebuild]` (the original
+/// rebuild-only calibration), or `[per_item, rebuild, per_message,
+/// per_element]` with `-1` standing for an absent component. Every rank
+/// folds the per-component **max** over ranks (remaps are collective, so
+/// the slowest rank's costs are what the cluster actually pays), and the
+/// folded values override the static hints identically everywhere — so
+/// the decision stays identical everywhere.
 fn distributed_step<C: Comm>(
     env: &mut C,
     partition: &BlockPartition,
     per_item_time: f64,
     remaining_iters: usize,
     config: &BalancerConfig,
-    measured_rebuild_cost: Option<f64>,
+    measured: MeasuredCosts,
 ) -> Decision {
-    let payload = match measured_rebuild_cost {
-        Some(cost) => vec![per_item_time, cost],
-        None => vec![per_item_time],
+    const ABSENT: f64 = -1.0;
+    let payload = if measured.is_none() {
+        vec![per_item_time]
+    } else {
+        vec![
+            per_item_time,
+            measured.rebuild.unwrap_or(ABSENT),
+            measured.movement.map_or(ABSENT, |m| m.per_message),
+            measured.movement.map_or(ABSENT, |m| m.per_element),
+        ]
     };
     let parts = env.allgather(TAG_LOAD_ALLGATHER, Payload::from_f64(payload));
     let mut times = Vec::with_capacity(parts.len());
-    let mut max_cost: Option<f64> = None;
+    let mut max_rebuild: Option<f64> = None;
+    let mut max_per_message: Option<f64> = None;
+    let mut max_per_element: Option<f64> = None;
+    let fold = |slot: &mut Option<f64>, v: Option<&f64>| {
+        if let Some(&c) = v.filter(|&&c| c >= 0.0) {
+            *slot = Some(slot.unwrap_or(0.0).max(c));
+        }
+    };
     for p in parts {
         let v = p.into_f64();
         times.push(v[0]);
-        if let Some(&c) = v.get(1) {
-            max_cost = Some(max_cost.unwrap_or(0.0).max(c));
-        }
+        fold(&mut max_rebuild, v.get(1));
+        fold(&mut max_per_message, v.get(2));
+        fold(&mut max_per_element, v.get(3));
     }
     env.compute(1.0e-5 * times.len() as f64);
+    let folded = MeasuredCosts {
+        rebuild: max_rebuild,
+        movement: match (max_per_message, max_per_element) {
+            (Some(per_message), Some(per_element)) => Some(RedistCostModel {
+                per_message,
+                per_element,
+            }),
+            _ => None,
+        },
+    };
     let storage;
-    let config = match max_cost {
-        Some(cost) => {
-            storage = BalancerConfig {
-                rebuild_cost_hint: cost,
-                ..config.clone()
-            };
-            &storage
-        }
-        None => config,
+    let config = if folded.is_none() {
+        config
+    } else {
+        storage = with_measured(config, folded);
+        &storage
     };
     decide(partition, &times, remaining_iters, config)
 }
@@ -520,6 +602,61 @@ mod tests {
         let counts: Vec<_> = report.into_results();
         // zero_cost network has multicast=true: one multicast send each.
         assert!(counts.iter().all(|&(s, r)| s == 1 && r == 3), "{counts:?}");
+    }
+
+    #[test]
+    fn measured_movement_model_blocks_unprofitable_remap() {
+        // Static model says movement is free (remap looks profitable);
+        // the measured model says it is ruinously expensive. The measured
+        // model must win in both modes and on every rank.
+        let part = BlockPartition::uniform(120, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let expensive = MeasuredCosts {
+            rebuild: None,
+            movement: Some(RedistCostModel {
+                per_message: 1e6,
+                per_element: 1e6,
+            }),
+        };
+        for mode in [ControllerMode::Centralized, ControllerMode::Distributed] {
+            let part = part.clone();
+            let mut config = config_free_movement();
+            config.mode = mode;
+            let decisions = Cluster::new(spec.clone())
+                .run(move |env| {
+                    let t = if env.rank() == 1 { 5e-3 } else { 1e-3 };
+                    load_balance_step_measured(env, &part, t, 400, &config, expensive)
+                })
+                .into_results();
+            assert!(
+                decisions.iter().all(|d| *d == Decision::Keep),
+                "{mode:?}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_wire_format_folds_component_max() {
+        // Ranks report different measured costs; every rank must fold the
+        // same per-component max and reach the same decision.
+        let part = BlockPartition::uniform(120, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let mut config = config_free_movement();
+        config.mode = ControllerMode::Distributed;
+        let decisions = Cluster::new(spec)
+            .run(move |env| {
+                let measured = MeasuredCosts {
+                    rebuild: Some(1e-4 * (env.rank() + 1) as f64),
+                    movement: (env.rank() == 2).then_some(RedistCostModel {
+                        per_message: 2e-3,
+                        per_element: 1e-5,
+                    }),
+                };
+                let t = if env.rank() == 1 { 5e-3 } else { 1e-3 };
+                load_balance_step_measured(env, &part, t, 400, &config, measured)
+            })
+            .into_results();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
     }
 
     #[test]

@@ -28,9 +28,10 @@ pub mod monitor;
 pub mod redistribute;
 
 pub use controller::{
-    load_balance_step, load_balance_step_calibrated, BalancerConfig, ControllerMode, Decision,
+    load_balance_step, load_balance_step_calibrated, load_balance_step_measured, BalancerConfig,
+    ControllerMode, Decision, MeasuredCosts,
 };
-pub use monitor::{CapabilityEstimator, LoadMonitor};
+pub use monitor::{CapabilityEstimator, LoadMonitor, MonitorSnapshot};
 pub use redistribute::{
     redistribute_adjacency, redistribute_values, redistribute_values_coalesced, RemapScratch,
 };

@@ -45,10 +45,46 @@ const COST_EWMA_ALPHA: f64 = 0.5;
 /// away again; if it recovered, the cluster gets its capacity back.
 const CARRY_CHECK_BUDGET: u32 = 3;
 
+/// Exponential forgetting factor of the movement-cost normal-equation
+/// accumulators: each new redistribution observation discounts history by
+/// this factor, so the fitted per-message/per-element constants track a
+/// drifting network without being dominated by any one remap.
+const MOVEMENT_FORGETTING: f64 = 0.7;
+
+/// Relative determinant threshold below which the movement normal
+/// equations are treated as degenerate (all observations collinear in
+/// (messages, elements) space) and the fit falls back to proportionally
+/// scaling the caller's prior model.
+const MOVEMENT_DEGENERATE: f64 = 1e-6;
+
+/// A bitwise snapshot of the monitor state worth carrying across a
+/// checkpoint/restore: the current per-item estimate and every calibrated
+/// cost statistic. The sample *window* is deliberately not included — its
+/// timing composition describes the pre-checkpoint block layout, and the
+/// restore may land on a different rank count entirely; the estimate is
+/// reinstalled as a carry (exactly as [`LoadMonitor::rollover`] carries
+/// it across a remap) with a fresh check budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSnapshot {
+    /// The per-item estimate at snapshot time (restored as the carry).
+    pub per_item: Option<f64>,
+    /// The rebuild-cost EWMA ([`LoadMonitor::rebuild_cost`]).
+    pub rebuild_cost: Option<f64>,
+    /// The total-remap-cost EWMA ([`LoadMonitor::remap_cost`]).
+    pub remap_cost: Option<f64>,
+    /// Movement-cost normal-equation accumulators, in the order
+    /// `[Σm², Σm·e, Σe², Σm·s, Σe·s]` (exponentially forgotten).
+    pub movement: [f64; 5],
+    /// Number of movement observations folded into the accumulators.
+    pub movement_obs: u32,
+}
+
 /// Sliding-window tracker of per-item computation time on one rank, plus
 /// the rank's **measured remap-cost calibration** (an EWMA over observed
 /// rebuild costs that can replace the controller's static
-/// `rebuild_cost_hint` once at least one remap has been seen).
+/// `rebuild_cost_hint`, and a least-squares fit of per-message /
+/// per-element movement constants that can replace its static
+/// `RedistCostModel`, once remaps have been observed).
 #[derive(Debug, Clone)]
 pub struct LoadMonitor {
     window: usize,
@@ -66,6 +102,12 @@ pub struct LoadMonitor {
     rebuild_cost_ewma: Option<f64>,
     /// EWMA of the measured total remap cost (movement + rebuild, seconds).
     remap_cost_ewma: Option<f64>,
+    /// Movement-cost accumulators `[Σm², Σm·e, Σe², Σm·s, Σe·s]` over
+    /// observed redistributions (m = messages, e = elements, s = seconds),
+    /// exponentially forgotten ([`MOVEMENT_FORGETTING`]).
+    movement: [f64; 5],
+    /// Observations folded into [`LoadMonitor::movement`].
+    movement_obs: u32,
 }
 
 impl LoadMonitor {
@@ -91,6 +133,8 @@ impl LoadMonitor {
             carry_checks_left: 0,
             rebuild_cost_ewma: None,
             remap_cost_ewma: None,
+            movement: [0.0; 5],
+            movement_obs: 0,
         }
     }
 
@@ -259,6 +303,106 @@ impl LoadMonitor {
     pub fn remap_cost(&self) -> Option<f64> {
         self.remap_cost_ewma
     }
+
+    /// Records the measured cost of one redistribution's data movement:
+    /// `seconds` spent moving `elements` elements in `messages` messages.
+    /// Feeds the exponentially-forgotten normal-equation accumulators the
+    /// calibrated [`LoadMonitor::movement_model`] is fitted from. A remap
+    /// that moved nothing teaches nothing and is ignored.
+    pub fn record_movement_cost(&mut self, messages: usize, elements: usize, seconds: f64) {
+        if messages == 0 && elements == 0 {
+            return;
+        }
+        let m = messages as f64;
+        let e = elements as f64;
+        let s = seconds.max(0.0);
+        for acc in &mut self.movement {
+            *acc *= MOVEMENT_FORGETTING;
+        }
+        self.movement[0] += m * m;
+        self.movement[1] += m * e;
+        self.movement[2] += e * e;
+        self.movement[3] += m * s;
+        self.movement[4] += e * s;
+        self.movement_obs = self.movement_obs.saturating_add(1);
+    }
+
+    /// The calibrated movement-cost model: per-message and per-element
+    /// constants least-squares fitted (with exponential forgetting) to
+    /// the redistributions this rank has actually performed, or `None`
+    /// before the first observation.
+    ///
+    /// When the observations are collinear in (messages, elements) space
+    /// — e.g. every remap so far moved the same elements-per-message
+    /// ratio, so the two constants cannot be separated — the fit degrades
+    /// gracefully: `prior` is scaled by the least-squares factor that
+    /// best predicts the observed costs, preserving the prior's *ratio*
+    /// while correcting its *magnitude*.
+    pub fn movement_model(
+        &self,
+        prior: stance_onedim::RedistCostModel,
+    ) -> Option<stance_onedim::RedistCostModel> {
+        if self.movement_obs == 0 {
+            return None;
+        }
+        let [mm, me, ee, ms, es] = self.movement;
+        let det = mm * ee - me * me;
+        if det > MOVEMENT_DEGENERATE * mm * ee {
+            let per_message = (ms * ee - es * me) / det;
+            let per_element = (mm * es - me * ms) / det;
+            // A negative constant means the observations are too noisy to
+            // separate the two terms — fall through to the scaled prior
+            // rather than report a nonsensical model.
+            if per_message >= 0.0 && per_element >= 0.0 && per_message + per_element > 0.0 {
+                return Some(stance_onedim::RedistCostModel {
+                    per_message,
+                    per_element,
+                });
+            }
+        }
+        // Degenerate: scale the prior. The least-squares scale over the
+        // accumulators is α = Σp·s / Σp² with p the prior's prediction —
+        // both sums expand exactly in terms of the stored moments.
+        let pm = prior.per_message;
+        let pe = prior.per_element;
+        let pp = pm * pm * mm + 2.0 * pm * pe * me + pe * pe * ee;
+        let ps = pm * ms + pe * es;
+        if pp > 0.0 && ps > 0.0 {
+            Some(stance_onedim::RedistCostModel {
+                per_message: pm * (ps / pp),
+                per_element: pe * (ps / pp),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// A bitwise snapshot of everything worth checkpointing: the current
+    /// per-item estimate plus all calibrated cost statistics. Restore
+    /// with [`LoadMonitor::restore_snapshot`].
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            per_item: self.per_item_time(),
+            rebuild_cost: self.rebuild_cost_ewma,
+            remap_cost: self.remap_cost_ewma,
+            movement: self.movement,
+            movement_obs: self.movement_obs,
+        }
+    }
+
+    /// Reinstalls a [`MonitorSnapshot`]: the sample window clears, the
+    /// snapshot's per-item estimate becomes the carry (with a fresh check
+    /// budget, exactly as after a [`LoadMonitor::rollover`]), and the
+    /// calibrated cost statistics are restored bit-for-bit.
+    pub fn restore_snapshot(&mut self, snap: &MonitorSnapshot) {
+        self.samples.clear();
+        self.carry = snap.per_item;
+        self.carry_checks_left = CARRY_CHECK_BUDGET;
+        self.rebuild_cost_ewma = snap.rebuild_cost;
+        self.remap_cost_ewma = snap.remap_cost;
+        self.movement = snap.movement;
+        self.movement_obs = snap.movement_obs;
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +523,82 @@ mod tests {
         m.reset();
         m.rollover();
         assert!((m.rebuild_cost().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn movement_model_recovers_exact_constants() {
+        let mut m = LoadMonitor::new(2);
+        let prior = stance_onedim::RedistCostModel {
+            per_message: 1.0,
+            per_element: 1.0,
+        };
+        assert_eq!(m.movement_model(prior), None);
+        // Two independent observations generated by per_message = 2e-3,
+        // per_element = 1e-5: the normal equations recover them.
+        m.record_movement_cost(10, 1000, 10.0 * 2e-3 + 1000.0 * 1e-5);
+        m.record_movement_cost(2, 5000, 2.0 * 2e-3 + 5000.0 * 1e-5);
+        let fit = m.movement_model(prior).expect("fit exists");
+        assert!((fit.per_message - 2e-3).abs() < 1e-9, "{fit:?}");
+        assert!((fit.per_element - 1e-5).abs() < 1e-11, "{fit:?}");
+    }
+
+    #[test]
+    fn movement_model_collinear_observations_scale_the_prior() {
+        let mut m = LoadMonitor::new(2);
+        // Every observation has the same elements-per-message ratio, so
+        // the two constants cannot be separated; costs are exactly 3x
+        // what the prior predicts.
+        let prior = stance_onedim::RedistCostModel {
+            per_message: 1e-3,
+            per_element: 1e-6,
+        };
+        for k in [1usize, 2, 4] {
+            let msgs = 10 * k;
+            let elems = 1000 * k;
+            let true_cost = 3.0 * (msgs as f64 * 1e-3 + elems as f64 * 1e-6);
+            m.record_movement_cost(msgs, elems, true_cost);
+        }
+        let fit = m.movement_model(prior).expect("fit exists");
+        let ratio_msg = fit.per_message / prior.per_message;
+        let ratio_elem = fit.per_element / prior.per_element;
+        assert!((ratio_msg - 3.0).abs() < 1e-6, "{fit:?}");
+        assert!((ratio_elem - 3.0).abs() < 1e-6, "{fit:?}");
+    }
+
+    #[test]
+    fn movement_model_ignores_empty_remaps() {
+        let mut m = LoadMonitor::new(2);
+        m.record_movement_cost(0, 0, 1.0);
+        assert_eq!(
+            m.movement_model(stance_onedim::RedistCostModel::ethernet_f64()),
+            None
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_bitwise() {
+        let mut m = LoadMonitor::new(3);
+        m.record(10.0, 1, 10);
+        m.record(25.0, 1, 10);
+        m.record_remap_cost(0.1, 0.4);
+        m.record_remap_cost(0.3, 0.9);
+        m.record_movement_cost(10, 1000, 0.05);
+        m.record_movement_cost(3, 4000, 0.07);
+        let snap = m.snapshot();
+
+        let mut fresh = LoadMonitor::new(3);
+        fresh.restore_snapshot(&snap);
+        assert_eq!(fresh.per_item_time(), m.per_item_time());
+        assert_eq!(fresh.rebuild_cost(), m.rebuild_cost());
+        assert_eq!(fresh.remap_cost(), m.remap_cost());
+        let prior = stance_onedim::RedistCostModel::ethernet_f64();
+        let (a, b) = (m.movement_model(prior), fresh.movement_model(prior));
+        let (a, b) = (a.expect("fit"), b.expect("fit"));
+        assert_eq!(a.per_message.to_bits(), b.per_message.to_bits());
+        assert_eq!(a.per_element.to_bits(), b.per_element.to_bits());
+        // The restored snapshot behaves like a rollover: estimate answers
+        // a bounded number of checks until fresh samples arrive.
+        assert_eq!(fresh.per_item_for_check(), m.per_item_time());
     }
 
     #[test]

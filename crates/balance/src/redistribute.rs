@@ -40,8 +40,8 @@ use stance_inspector::{LocalAdjacency, ScheduleScratch};
 use stance_onedim::{BlockPartition, RedistributionPlan};
 use stance_sim::{Comm, Element, Payload, Tag};
 
-const TAG_VALUES: Tag = Tag::reserved(48);
-const TAG_ADJ: Tag = Tag::reserved(49);
+const TAG_VALUES: Tag = stance_sim::tags::TAG_REDIST_VALUES;
+const TAG_ADJ: Tag = stance_sim::tags::TAG_REDIST_ADJ;
 
 /// Bound on pooled staging buffers (bytes and words): enough for any
 /// realistic per-remap fan-out, small enough to cap retained memory.

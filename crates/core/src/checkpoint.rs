@@ -1,0 +1,335 @@
+//! Checkpoint/restore: the session's recovery state as a versioned byte
+//! blob.
+//!
+//! A [`SessionCheckpoint`] is everything survivors need to reconstruct the
+//! computation after a rank is lost: the partition (block sizes and
+//! arrangement), every rank's calibrated [`MonitorSnapshot`], the value
+//! array in **global order**, and any auxiliary per-vertex arrays the
+//! application threads through remaps (solver vectors and the like). It is
+//! *replicated*: [`AdaptiveSession::checkpoint`](crate::AdaptiveSession::checkpoint)
+//! is an allgather, so after it returns every rank holds the same
+//! checkpoint and any subset of survivors can restore without talking to
+//! the dead.
+//!
+//! The wire form ([`SessionCheckpoint::to_bytes`]) is a little-endian
+//! blob with a versioned header, so a checkpoint written by one run can be
+//! restored by another (or persisted outside the process entirely):
+//!
+//! ```text
+//! magic   b"STCK"                          4 bytes
+//! version u32 = 1                          4
+//! elem    u32 = E::SIZE_BYTES              4
+//! n       u64  (elements)                  8
+//! p       u32  (ranks at checkpoint time)  4
+//! aux     u32  (aux array count)           4
+//! sizes   p × u64   block sizes, block (left-to-right) order
+//! order   p × u32   arrangement: proc_at(slot) per slot
+//! mon     p × 69 bytes  monitor snapshots (flags byte + 8 f64 + u32)
+//! values  n × elem      the value array, global order
+//! aux     aux × n × elem
+//! ```
+//!
+//! Restoring onto the *same* rank count reinstalls the partition and the
+//! monitor snapshots bit-for-bit. Restoring onto a *different* rank count
+//! (the shrink-onto-survivors path) starts from
+//! [`BlockPartition::uniform`] and fresh monitors — a redistribution plan
+//! cannot cross rank counts, and fresh monitors keep the recovered run
+//! deterministic and identical to a clean start from the same blob.
+
+use stance_balance::MonitorSnapshot;
+use stance_onedim::{Arrangement, BlockPartition};
+use stance_sim::Element;
+
+/// The blob's magic number.
+const MAGIC: &[u8; 4] = b"STCK";
+
+/// The current blob format version.
+const VERSION: u32 = 1;
+
+/// Wire size of one encoded [`MonitorSnapshot`]: a presence-flags byte,
+/// eight `f64`s (three optional costs + five movement moments) and the
+/// observation counter.
+const SNAPSHOT_BYTES: usize = 1 + 8 * 8 + 4;
+
+/// Replicated session recovery state — see the module docs for the role
+/// it plays and the wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint<E: Element> {
+    pub(crate) n: usize,
+    pub(crate) block_sizes: Vec<usize>,
+    pub(crate) arrangement: Vec<usize>,
+    pub(crate) monitors: Vec<MonitorSnapshot>,
+    pub(crate) values: Vec<E>,
+    pub(crate) aux: Vec<Vec<E>>,
+}
+
+impl<E: Element> SessionCheckpoint<E> {
+    /// Total number of elements.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The rank count the checkpoint was taken at.
+    pub fn num_procs(&self) -> usize {
+        self.block_sizes.len()
+    }
+
+    /// The partition at checkpoint time.
+    pub fn partition(&self) -> BlockPartition {
+        BlockPartition::from_sizes_with_arrangement(
+            &self.block_sizes,
+            Arrangement::new(self.arrangement.clone()),
+        )
+    }
+
+    /// Per-rank monitor snapshots (indexed by checkpoint-time rank).
+    pub fn monitors(&self) -> &[MonitorSnapshot] {
+        &self.monitors
+    }
+
+    /// The checkpointed value array, in global order.
+    pub fn values(&self) -> &[E] {
+        &self.values
+    }
+
+    /// The checkpointed auxiliary arrays, each in global order.
+    pub fn aux(&self) -> &[Vec<E>] {
+        &self.aux
+    }
+
+    /// Serializes the checkpoint to its versioned byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let p = self.num_procs();
+        let elem = E::SIZE_BYTES;
+        let mut out = Vec::with_capacity(
+            28 + p * (12 + SNAPSHOT_BYTES) + (1 + self.aux.len()) * self.n * elem,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(elem as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.extend_from_slice(&(p as u32).to_le_bytes());
+        out.extend_from_slice(&(self.aux.len() as u32).to_le_bytes());
+        for &s in &self.block_sizes {
+            out.extend_from_slice(&(s as u64).to_le_bytes());
+        }
+        for &q in &self.arrangement {
+            out.extend_from_slice(&(q as u32).to_le_bytes());
+        }
+        for snap in &self.monitors {
+            write_snapshot(snap, &mut out);
+        }
+        E::pack_into(&self.values, &mut out);
+        for a in &self.aux {
+            E::pack_into(a, &mut out);
+        }
+        out
+    }
+
+    /// Deserializes a checkpoint written by [`SessionCheckpoint::to_bytes`].
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if the blob is truncated, has the
+    /// wrong magic or version, or was written for a different element size
+    /// — a corrupt checkpoint must never restore silently.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut c = Cursor { bytes, at: 0 };
+        assert_eq!(c.take(4), MAGIC, "not a STANCE checkpoint (bad magic)");
+        let version = c.u32();
+        assert_eq!(version, VERSION, "unsupported checkpoint version {version}");
+        let elem = c.u32() as usize;
+        assert_eq!(
+            elem,
+            E::SIZE_BYTES,
+            "checkpoint holds {elem}-byte elements, expected {}",
+            E::SIZE_BYTES
+        );
+        let n = c.u64() as usize;
+        let p = c.u32() as usize;
+        let aux_count = c.u32() as usize;
+        assert!(p > 0, "checkpoint has no ranks");
+        let block_sizes: Vec<usize> = (0..p).map(|_| c.u64() as usize).collect();
+        assert_eq!(
+            block_sizes.iter().sum::<usize>(),
+            n,
+            "checkpoint block sizes do not tile the list"
+        );
+        let arrangement: Vec<usize> = (0..p).map(|_| c.u32() as usize).collect();
+        let monitors: Vec<MonitorSnapshot> = (0..p).map(|_| read_snapshot(&mut c)).collect();
+        let mut values = vec![E::zero(); n];
+        E::unpack_into(c.take(n * elem), &mut values);
+        let aux: Vec<Vec<E>> = (0..aux_count)
+            .map(|_| {
+                let mut a = vec![E::zero(); n];
+                E::unpack_into(c.take(n * elem), &mut a);
+                a
+            })
+            .collect();
+        assert_eq!(c.at, bytes.len(), "checkpoint has trailing garbage");
+        SessionCheckpoint {
+            n,
+            block_sizes,
+            arrangement,
+            monitors,
+            values,
+            aux,
+        }
+    }
+}
+
+/// Appends one snapshot's fixed [`SNAPSHOT_BYTES`]-long wire form.
+pub(crate) fn write_snapshot(snap: &MonitorSnapshot, out: &mut Vec<u8>) {
+    let flags = u8::from(snap.per_item.is_some())
+        | u8::from(snap.rebuild_cost.is_some()) << 1
+        | u8::from(snap.remap_cost.is_some()) << 2;
+    out.push(flags);
+    out.extend_from_slice(&snap.per_item.unwrap_or(0.0).to_le_bytes());
+    out.extend_from_slice(&snap.rebuild_cost.unwrap_or(0.0).to_le_bytes());
+    out.extend_from_slice(&snap.remap_cost.unwrap_or(0.0).to_le_bytes());
+    for m in &snap.movement {
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+    out.extend_from_slice(&snap.movement_obs.to_le_bytes());
+}
+
+/// Reads one snapshot back.
+fn read_snapshot(c: &mut Cursor<'_>) -> MonitorSnapshot {
+    let flags = c.take(1)[0];
+    let per_item = c.f64();
+    let rebuild = c.f64();
+    let remap = c.f64();
+    let movement = [c.f64(), c.f64(), c.f64(), c.f64(), c.f64()];
+    let movement_obs = c.u32();
+    MonitorSnapshot {
+        per_item: (flags & 1 != 0).then_some(per_item),
+        rebuild_cost: (flags & 2 != 0).then_some(rebuild),
+        remap_cost: (flags & 4 != 0).then_some(remap),
+        movement,
+        movement_obs,
+    }
+}
+
+/// Reads one rank's checkpoint contribution (the allgather payload):
+/// a snapshot followed by that rank's slice of the value and aux arrays.
+pub(crate) fn read_contribution(bytes: &[u8]) -> (MonitorSnapshot, &[u8]) {
+    let mut c = Cursor { bytes, at: 0 };
+    let snap = read_snapshot(&mut c);
+    (snap, &bytes[c.at..])
+}
+
+/// A bounds-checked little-endian reader.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> &'a [u8] {
+        assert!(
+            self.at + len <= self.bytes.len(),
+            "checkpoint truncated at byte {} (wanted {len} more of {})",
+            self.at,
+            self.bytes.len()
+        );
+        let s = &self.bytes[self.at..self.at + len];
+        self.at += len;
+        s
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("exact chunk"))
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("exact chunk"))
+    }
+
+    fn f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("exact chunk"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionCheckpoint<f64> {
+        SessionCheckpoint {
+            n: 5,
+            block_sizes: vec![3, 2],
+            arrangement: vec![1, 0],
+            monitors: vec![
+                MonitorSnapshot {
+                    per_item: Some(1.5e-6),
+                    rebuild_cost: None,
+                    remap_cost: Some(0.25),
+                    movement: [1.0, 2.0, 3.0, 4.0, 5.0],
+                    movement_obs: 7,
+                },
+                MonitorSnapshot {
+                    per_item: None,
+                    rebuild_cost: Some(0.125),
+                    remap_cost: None,
+                    movement: [0.0; 5],
+                    movement_obs: 0,
+                },
+            ],
+            values: vec![1.0, -2.0, 3.5, f64::MIN_POSITIVE, 0.0],
+            aux: vec![vec![9.0, 8.0, 7.0, 6.0, 5.0]],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = SessionCheckpoint::<f64>::from_bytes(&bytes);
+        assert_eq!(back, ck);
+        assert_eq!(back.partition().sizes(), ck.partition().sizes());
+    }
+
+    #[test]
+    fn partition_reconstructs_arrangement() {
+        let ck = sample();
+        let part = ck.partition();
+        // Block 0 (3 elements) belongs to proc 1 under arrangement [1, 0].
+        assert_eq!(part.interval_of(1).len(), 3);
+        assert_eq!(part.interval_of(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad magic")]
+    fn rejects_foreign_blobs() {
+        let _ = SessionCheckpoint::<f64>::from_bytes(b"NOPE\0\0\0\0");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported checkpoint version")]
+    fn rejects_future_versions() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        let _ = SessionCheckpoint::<f64>::from_bytes(&bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 16")]
+    fn rejects_wrong_element_size() {
+        let bytes = sample().to_bytes();
+        let _ = SessionCheckpoint::<[f64; 2]>::from_bytes(&bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn rejects_truncation() {
+        let bytes = sample().to_bytes();
+        let _ = SessionCheckpoint::<f64>::from_bytes(&bytes[..bytes.len() - 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing garbage")]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        let _ = SessionCheckpoint::<f64>::from_bytes(&bytes);
+    }
+}

@@ -4,6 +4,70 @@ use stance_balance::{BalancerConfig, CapabilityEstimator};
 use stance_executor::ComputeCostModel;
 use stance_inspector::{InspectorCostModel, ScheduleStrategy};
 
+/// What the runtime does when the failure detector reaches a verdict
+/// that some rank is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Propagate the failure: surviving ranks panic with the verdict.
+    /// The pre-fault behaviour, and the default — recovery is strictly
+    /// opt-in.
+    #[default]
+    FailFast,
+    /// Survivors renumber themselves densely (`SurvivorComm`) and
+    /// continue from their **current** in-memory state, abandoning
+    /// whatever the dead rank owned. Only correct for computations that
+    /// can tolerate losing a block.
+    Shrink,
+    /// Survivors restore the last checkpoint onto the contracted rank
+    /// count and continue — the lost block is reconstructed from the
+    /// checkpoint, nothing is abandoned. Requires the application to
+    /// have taken a checkpoint ([`crate::checkpoint::SessionCheckpoint`]).
+    RestoreAndShrink,
+}
+
+/// Failure-detection tuning: how long a silent peer is waited on before
+/// it is suspected, and how suspicion is retried before the collective
+/// verdict. A dead peer (closed mailbox) is detected immediately
+/// regardless of these settings; the timeout exists for the
+/// wedged-but-alive case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Seconds a single heartbeat receive waits before suspecting the
+    /// peer (wall clock on the native backend, charged virtual time on
+    /// the simulator).
+    pub timeout_secs: f64,
+    /// How many additional bounded waits a suspected peer is granted
+    /// before the suspicion stands.
+    pub retries: u32,
+    /// Multiplier applied to the timeout on each retry (≥ 1.0): a
+    /// transiently slow peer gets geometrically more patience.
+    pub backoff: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            timeout_secs: 0.2,
+            retries: 2,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Total worst-case seconds one peer can be waited on across the
+    /// initial attempt and all retries.
+    pub fn total_patience_secs(&self) -> f64 {
+        let mut total = 0.0;
+        let mut t = self.timeout_secs;
+        for _ in 0..=self.retries {
+            total += t;
+            t *= self.backoff;
+        }
+        total
+    }
+}
+
 /// Configuration for an [`AdaptiveSession`](crate::session::AdaptiveSession).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StanceConfig {
@@ -57,6 +121,14 @@ pub struct StanceConfig {
     /// messages and trace memory, so it is off by default; with it off,
     /// no verification machinery is even constructed.
     pub verify: bool,
+    /// What to do when the failure detector concludes a rank is dead:
+    /// fail fast (default — the pre-fault behaviour), shrink onto the
+    /// survivors, or restore the last checkpoint onto the survivors.
+    pub recovery: RecoveryPolicy,
+    /// Failure-detection timeouts and retry policy (only consulted by
+    /// the recovery paths; a run that never probes membership never
+    /// reads it).
+    pub detector: DetectorConfig,
 }
 
 impl Default for StanceConfig {
@@ -72,6 +144,8 @@ impl Default for StanceConfig {
             overlap_gather: false,
             calibrate_rebuild_cost: false,
             verify: false,
+            recovery: RecoveryPolicy::default(),
+            detector: DetectorConfig::default(),
         }
     }
 }
@@ -92,6 +166,8 @@ impl StanceConfig {
             overlap_gather: false,
             calibrate_rebuild_cost: false,
             verify: false,
+            recovery: RecoveryPolicy::default(),
+            detector: DetectorConfig::default(),
         }
     }
 
@@ -121,6 +197,34 @@ impl StanceConfig {
     /// the first observation).
     pub fn with_calibration(mut self, calibrate: bool) -> Self {
         self.calibrate_rebuild_cost = calibrate;
+        self
+    }
+
+    /// Sets the recovery policy: what survivors do when the failure
+    /// detector concludes a rank is dead. The default
+    /// ([`RecoveryPolicy::FailFast`]) is the pre-fault behaviour.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the failure-detection timeouts and retry policy.
+    ///
+    /// # Panics
+    /// Panics if the timeout is not finite and positive or the backoff
+    /// is below 1.0.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        assert!(
+            detector.timeout_secs.is_finite() && detector.timeout_secs > 0.0,
+            "detector timeout must be finite and positive, got {}",
+            detector.timeout_secs
+        );
+        assert!(
+            detector.backoff >= 1.0,
+            "detector backoff must be at least 1.0, got {}",
+            detector.backoff
+        );
+        self.detector = detector;
         self
     }
 
@@ -190,6 +294,43 @@ mod tests {
         assert!(!StanceConfig::default().verify);
         assert!(!StanceConfig::free().verify);
         assert!(StanceConfig::free().with_verification(true).verify);
+        // Recovery is strictly opt-in: the default is the pre-fault
+        // fail-fast behaviour.
+        assert_eq!(StanceConfig::default().recovery, RecoveryPolicy::FailFast);
+        assert_eq!(StanceConfig::free().recovery, RecoveryPolicy::FailFast);
+        assert_eq!(
+            StanceConfig::free()
+                .with_recovery(RecoveryPolicy::RestoreAndShrink)
+                .recovery,
+            RecoveryPolicy::RestoreAndShrink
+        );
+        let det = DetectorConfig {
+            timeout_secs: 0.05,
+            retries: 1,
+            backoff: 1.5,
+        };
+        assert_eq!(StanceConfig::free().with_detector(det).detector, det);
+    }
+
+    #[test]
+    fn detector_patience_sums_geometric_backoff() {
+        let det = DetectorConfig {
+            timeout_secs: 0.1,
+            retries: 2,
+            backoff: 2.0,
+        };
+        // 0.1 + 0.2 + 0.4
+        assert!((det.total_patience_secs() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff must be at least")]
+    fn sub_unit_backoff_rejected() {
+        let _ = StanceConfig::free().with_detector(DetectorConfig {
+            timeout_secs: 0.1,
+            retries: 0,
+            backoff: 0.5,
+        });
     }
 
     #[test]

@@ -112,13 +112,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod efficiency;
+pub mod recovery;
 pub mod scenarios;
 pub mod session;
 
-pub use config::StanceConfig;
+pub use checkpoint::SessionCheckpoint;
+pub use config::{DetectorConfig, RecoveryPolicy, StanceConfig};
 pub use efficiency::{adaptive_efficiency, static_efficiency};
+pub use recovery::{probe_and_decide, probe_membership, survivors_of, RecoveryAction};
 pub use session::{AdaptiveSession, SessionReport};
 
 /// Re-export: the cluster simulator / messaging substrate.
@@ -179,10 +183,12 @@ pub fn reassemble<E: Element>(partition: &BlockPartition, blocks: Vec<Vec<E>>) -
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use crate::config::StanceConfig;
+    pub use crate::checkpoint::SessionCheckpoint;
+    pub use crate::config::{DetectorConfig, RecoveryPolicy, StanceConfig};
     pub use crate::efficiency::{adaptive_efficiency, static_efficiency};
     pub use crate::prepare_mesh;
     pub use crate::reassemble;
+    pub use crate::recovery::{probe_and_decide, probe_membership, survivors_of, RecoveryAction};
     pub use crate::session::{AdaptiveSession, SessionReport};
     pub use stance_balance::{BalancerConfig, CapabilityEstimator, ControllerMode, Decision};
     pub use stance_executor::{
@@ -194,7 +200,7 @@ pub mod prelude {
     pub use stance_onedim::{Arrangement, BlockPartition, RedistCostModel};
     pub use stance_sim::{
         Cluster, ClusterSpec, Comm, Element, Env, LoadTimeline, MachineSpec, NetworkSpec, Payload,
-        Tag,
+        SurvivorComm, Tag,
     };
 }
 

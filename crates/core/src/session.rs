@@ -47,7 +47,9 @@
 //! identical either way, and with verification off none of the machinery
 //! is constructed.
 
-use stance_balance::{load_balance_step_calibrated, Decision, LoadMonitor, RemapScratch};
+use stance_balance::{
+    load_balance_step_measured, Decision, LoadMonitor, MeasuredCosts, RemapScratch,
+};
 use stance_executor::{GhostedArray, Kernel, LoopRunner, LoopStats, RelaxationKernel};
 use stance_inspector::{
     build_schedule_simple, build_schedule_symmetric_with, CommSchedule, LocalAdjacency,
@@ -55,12 +57,14 @@ use stance_inspector::{
 };
 use stance_locality::Graph;
 use stance_onedim::BlockPartition;
-use stance_sim::{Comm, Element};
+use stance_sim::tags::TAG_CHECKPOINT;
+use stance_sim::{Comm, Element, Payload};
 use stance_verify::{
     analyze_collective, audit_collective, audit_redistribution, expect_clean, Diagnostic,
     MaybeChecked, RankTrace,
 };
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::config::StanceConfig;
 
 /// Aggregate timing of an adaptive run on one rank.
@@ -262,15 +266,23 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         aux: &mut [&mut Vec<E>],
     ) -> (bool, f64, f64) {
         let per_item = self.monitor.per_item_for_check().unwrap_or(0.0);
+        // Calibration (opt-in): charge the profitability rule the costs
+        // this rank has *measured* — the rebuild EWMA and the fitted
+        // movement model — instead of the static hints.
         let measured = if self.config.calibrate_rebuild_cost {
-            self.monitor.rebuild_cost()
+            MeasuredCosts {
+                rebuild: self.monitor.rebuild_cost(),
+                movement: self
+                    .monitor
+                    .movement_model(self.config.balancer.redist_model),
+            }
         } else {
-            None
+            MeasuredCosts::none()
         };
         let t0 = env.now_secs();
         let decision = {
             let mut env = MaybeChecked::new(env, self.verify.as_deref_mut());
-            load_balance_step_calibrated(
+            load_balance_step_measured(
                 &mut env,
                 &self.partition,
                 per_item,
@@ -375,6 +387,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             return;
         }
         let t0 = env.now_secs();
+        let (moved_messages, moved_elements);
         let plan = self.scratch.take_plan(&self.partition, &new_partition);
         // The trace is taken for the duration so the redistribution and
         // rebuild below can wrap `env` while `self` stays borrowable.
@@ -403,6 +416,8 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
                 &plan,
                 &self.adj,
             );
+            moved_messages = plan.num_messages();
+            moved_elements = plan.elements_moved();
             self.scratch.put_plan(plan);
             let old_adj = std::mem::replace(&mut self.adj, new_adj);
             self.scratch.recycle_adjacency(old_adj);
@@ -411,6 +426,11 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
 
         // The schedule-rebuild share: inspector + runner + value buffers.
         let t_rebuild = env.now_secs();
+        // Feed the movement model one (messages, elements, seconds)
+        // observation: the span just measured is exactly the data-movement
+        // share of this remap.
+        self.monitor
+            .record_movement_cost(moved_messages, moved_elements, t_rebuild - t0);
         let schedule = {
             let mut env = MaybeChecked::new(env, trace.as_deref_mut());
             build_schedule(
@@ -442,6 +462,118 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             expect_clean("post-remap schedule audit", &diags);
         }
         self.monitor.rollover();
+    }
+
+    /// Checkpoints the session collectively: allgathers every rank's
+    /// recovery state (monitor snapshot, owned values, the caller's aux
+    /// slices) on the reserved `TAG_CHECKPOINT` and assembles the same
+    /// replicated [`SessionCheckpoint`] on every rank — so any subset of
+    /// survivors can later restore without help from the dead.
+    ///
+    /// Each `aux` slice must hold one element per owned vertex (in
+    /// interval order), exactly like the arrays passed to
+    /// [`AdaptiveSession::check_and_rebalance_with`]. Collective — every
+    /// rank must pass the same number of aux slices.
+    pub fn checkpoint<C: Comm>(&mut self, env: &mut C, aux: &[&[E]]) -> SessionCheckpoint<E> {
+        let iv = self.partition.interval_of(env.rank());
+        for (i, a) in aux.iter().enumerate() {
+            assert_eq!(
+                a.len(),
+                iv.len(),
+                "aux slice {i} has {} elements for a {}-element block",
+                a.len(),
+                iv.len()
+            );
+        }
+        let mut bytes = Vec::new();
+        crate::checkpoint::write_snapshot(&self.monitor.snapshot(), &mut bytes);
+        E::pack_into(self.values.local(), &mut bytes);
+        for a in aux {
+            E::pack_into(a, &mut bytes);
+        }
+        let parts = {
+            let mut env = MaybeChecked::new(env, self.verify.as_deref_mut());
+            env.allgather(TAG_CHECKPOINT, Payload::from_bytes(bytes))
+        };
+        let n = self.partition.n();
+        let p = self.partition.num_procs();
+        let mut monitors = Vec::with_capacity(p);
+        let mut values = vec![E::zero(); n];
+        let mut aux_global: Vec<Vec<E>> = (0..aux.len()).map(|_| vec![E::zero(); n]).collect();
+        for (rank, payload) in parts.into_iter().enumerate() {
+            let b = payload.into_bytes();
+            let (snap, rest) = crate::checkpoint::read_contribution(&b);
+            monitors.push(snap);
+            let riv = self.partition.interval_of(rank);
+            let vb = riv.len() * E::SIZE_BYTES;
+            E::unpack_into(&rest[..vb], &mut values[riv.start..riv.end]);
+            for (k, ag) in aux_global.iter_mut().enumerate() {
+                E::unpack_into(
+                    &rest[(k + 1) * vb..(k + 2) * vb],
+                    &mut ag[riv.start..riv.end],
+                );
+            }
+        }
+        SessionCheckpoint {
+            n,
+            block_sizes: self.partition.block_sizes(),
+            arrangement: self.partition.arrangement().as_slice().to_vec(),
+            monitors,
+            values,
+            aux: aux_global,
+        }
+    }
+
+    /// Collective restore from a [`SessionCheckpoint`], onto **any** rank
+    /// count — this is the recovery entry point for shrink-onto-survivors
+    /// (pass a [`SurvivorComm`](stance_sim::SurvivorComm) wrapping the
+    /// backend) as well as plain same-width restarts.
+    ///
+    /// Restoring onto the checkpoint's own rank count reinstalls the
+    /// partition *and* every rank's monitor snapshot bit-for-bit; a
+    /// different rank count starts from [`BlockPartition::uniform`] and
+    /// fresh monitors (a redistribution plan cannot cross rank counts, and
+    /// fresh monitors keep a recovered run identical to a clean start
+    /// from the same blob). Returns the session and the checkpoint's aux
+    /// arrays localized to this rank's new interval.
+    ///
+    /// # Panics
+    /// Panics if `graph` does not have the checkpoint's element count.
+    pub fn restore<C: Comm>(
+        env: &mut C,
+        graph: &Graph,
+        kernel: K,
+        ckpt: &SessionCheckpoint<E>,
+        config: &StanceConfig,
+    ) -> (Self, Vec<Vec<E>>) {
+        assert_eq!(
+            graph.num_vertices(),
+            ckpt.n(),
+            "checkpoint covers {} elements for a {}-vertex graph",
+            ckpt.n(),
+            graph.num_vertices()
+        );
+        let same_width = env.size() == ckpt.num_procs();
+        let partition = if same_width {
+            ckpt.partition()
+        } else {
+            BlockPartition::uniform(ckpt.n(), env.size())
+        };
+        let values = ckpt.values();
+        let mut session =
+            Self::setup_with_partition(env, graph, partition, kernel, |g| values[g], config);
+        if same_width {
+            session
+                .monitor
+                .restore_snapshot(&ckpt.monitors()[env.rank()]);
+        }
+        let iv = session.partition.interval_of(env.rank());
+        let aux = ckpt
+            .aux()
+            .iter()
+            .map(|a| a[iv.start..iv.end].to_vec())
+            .collect();
+        (session, aux)
     }
 
     /// Analyzes the protocol traces recorded so far: allgathers every
@@ -1070,6 +1202,100 @@ mod tests {
         for (empty, no_trace, no_msgs) in report.results() {
             assert!(*empty && *no_trace && *no_msgs);
         }
+    }
+
+    /// A checkpoint is replicated and restoring it onto the same rank
+    /// count continues bitwise-identically to the uninterrupted run —
+    /// values, aux arrays and monitor state all survive the round trip.
+    #[test]
+    fn checkpoint_restore_same_width_is_bitwise() {
+        let m = mesh();
+        let iters = 10;
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+            let aux: Vec<f64> = s
+                .partition()
+                .interval_of(env.rank())
+                .iter()
+                .map(|g| 2.0 * g as f64)
+                .collect();
+            s.run_block(env, iters);
+            let ckpt = s.checkpoint(env, &[&aux]);
+            // Uninterrupted continuation …
+            s.run_block(env, iters);
+            let uninterrupted = s.local_values().to_vec();
+            // … versus a fresh session restored from the checkpoint.
+            let (mut r, raux) = AdaptiveSession::<f64, RelaxationKernel>::restore(
+                env,
+                &m,
+                RelaxationKernel,
+                &ckpt,
+                &config,
+            );
+            assert_eq!(raux.len(), 1);
+            assert_eq!(raux[0], aux, "aux array must survive the round trip");
+            assert_eq!(
+                r.per_item_estimate().map(f64::to_bits),
+                s.per_item_estimate().map(f64::to_bits),
+                "monitor estimate must be restored bit-for-bit"
+            );
+            r.run_block(env, iters);
+            (uninterrupted, r.local_values().to_vec())
+        });
+        for (uninterrupted, restored) in report.results() {
+            assert_eq!(uninterrupted, restored, "restored run diverged");
+        }
+    }
+
+    /// Restoring onto a *different* rank count (the shrink path) lands on
+    /// the uniform partition and continues correctly: a 2-rank restore of
+    /// a 4-rank checkpoint finishes bitwise-identical to the sequential
+    /// reference.
+    #[test]
+    fn restore_onto_fewer_ranks_matches_sequential() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let (first, rest) = (10, 20);
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, first + rest);
+
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
+        let blob = Cluster::new(spec)
+            .run(|env| {
+                let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+                s.run_block(env, first);
+                s.checkpoint(env, &[]).to_bytes()
+            })
+            .into_results()
+            .pop()
+            .expect("one blob per rank");
+        let ckpt = SessionCheckpoint::<f64>::from_bytes(&blob);
+        assert_eq!(ckpt.num_procs(), 4);
+
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let (mut s, aux) = AdaptiveSession::<f64, RelaxationKernel>::restore(
+                env,
+                &m,
+                RelaxationKernel,
+                &ckpt,
+                &config,
+            );
+            assert!(aux.is_empty());
+            s.run_block(env, rest);
+            (s.local_values().to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        let partition = results[0].1.clone();
+        let blocks = results.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(
+            crate::reassemble(&partition, blocks),
+            expected,
+            "cross-width restore diverged from sequential"
+        );
     }
 
     #[test]

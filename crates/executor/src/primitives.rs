@@ -32,8 +32,8 @@ use crate::cost::ComputeCostModel;
 use crate::ghosted::GhostedArray;
 use crate::kernel::Field;
 
-const TAG_GATHER: Tag = Tag::reserved(32);
-const TAG_SCATTER: Tag = Tag::reserved(33);
+const TAG_GATHER: Tag = stance_sim::tags::TAG_GATHER;
+const TAG_SCATTER: Tag = stance_sim::tags::TAG_SCATTER;
 
 /// Whether an index list is one strictly consecutive ascending run
 /// (`l, l+1, …, l+n−1`). Block-partitioned boundary segments usually are,

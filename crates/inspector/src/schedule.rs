@@ -44,10 +44,11 @@ use crate::cost::{InspectorCostModel, InspectorWork};
 use crate::refhash::RefHashMap;
 use crate::translation::DenseTable;
 
-/// Reserved tags for the simple strategy's protocol rounds.
-const TAG_QUERY: Tag = Tag::reserved(16);
-const TAG_REPLY: Tag = Tag::reserved(17);
-const TAG_REQUEST: Tag = Tag::reserved(18);
+/// Reserved tags for the simple strategy's protocol rounds (registered in
+/// `stance_sim::tags`).
+const TAG_QUERY: Tag = stance_sim::tags::TAG_SCHED_QUERY;
+const TAG_REPLY: Tag = stance_sim::tags::TAG_SCHED_REPLY;
+const TAG_REQUEST: Tag = stance_sim::tags::TAG_SCHED_REQUEST;
 
 /// How to build the communication schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

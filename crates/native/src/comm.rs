@@ -136,6 +136,41 @@ impl Comm for NativeComm {
         self.pending
             .poll_matching(&self.rxs[req.src()], req.src(), req.tag())
     }
+
+    /// Lossy send: a terminated receiver yields `false` instead of the
+    /// panic [`Comm::send`] raises — the failure detector's heartbeats
+    /// must survive a dead peer.
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        assert!(dst < self.size, "post to rank {dst} of {}", self.size);
+        self.txs[dst].send(NativeMsg { tag, payload }).is_ok()
+    }
+
+    /// Genuine wall-clock bounded receive: waits up to `timeout_secs` for
+    /// the matching message, returning `None` on timeout — and `None`
+    /// immediately once the sender is provably gone (closed mailbox), so
+    /// dead peers are detected at mailbox-teardown speed while wedged
+    /// ones take the full timeout. Mismatched tags buffered while waiting
+    /// are preserved in FIFO order.
+    fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let deadline = Instant::now() + std::time::Duration::from_secs_f64(timeout_secs.max(0.0));
+        self.pending
+            .recv_matching_deadline(&self.rxs[src], src, tag, deadline)
+            .ok()
+            .map(|m| m.payload)
+    }
+
+    /// Wall-clock bounded barrier: `false` if the barrier does not
+    /// release within `timeout_secs` (a participant is dead or wedged, or
+    /// the barrier was poisoned), with this rank's arrival withdrawn.
+    fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        self.barrier
+            .wait_deadline(
+                VTime::ZERO,
+                std::time::Duration::from_secs_f64(timeout_secs.max(0.0)),
+            )
+            .is_ok()
+    }
 }
 
 #[cfg(test)]

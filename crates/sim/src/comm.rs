@@ -246,6 +246,54 @@ pub trait Comm {
         false
     }
 
+    /// **Lossy** send: like [`Comm::send`] but, where `send` panics if the
+    /// receiving rank has terminated, `post` reports it by returning
+    /// `false` (and delivers nothing). This is the failure detector's send
+    /// primitive — heartbeats and verdict exchanges must survive a dead
+    /// peer. The default delegates to `send` (correct for any backend on
+    /// which `send` cannot observe peer death); both in-tree backends
+    /// override it with a genuinely non-panicking enqueue.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        self.send(dst, tag, payload);
+        true
+    }
+
+    /// Bounded receive: like [`Comm::recv`] but gives up after
+    /// `timeout_secs`, returning `None` instead of blocking forever — and
+    /// `None` (immediately) if the sender is provably gone. This is the
+    /// failure detector's receive primitive: a wedged-but-alive peer is
+    /// *detected* (timeout) rather than hung on. Messages with other tags
+    /// pulled in while waiting are buffered exactly as `recv` buffers
+    /// them; a timed-out wait loses nothing.
+    ///
+    /// Clock semantics per backend: the simulator charges the full
+    /// `timeout_secs` to its virtual clock on a timeout (deterministic —
+    /// the wait really cost that long); the native backend waits in wall
+    /// time. The default delegates to the blocking `recv` (no timeout) so
+    /// third-party `Comm` impls keep compiling; both in-tree backends
+    /// override it.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range.
+    fn recv_deadline(&mut self, src: usize, tag: Tag, _timeout_secs: f64) -> Option<Payload> {
+        Some(self.recv(src, tag))
+    }
+
+    /// Bounded barrier: like [`Comm::barrier`] but gives up after
+    /// `timeout_secs`, returning `false` if the barrier did not release
+    /// (a participant is dead, wedged, or the barrier was poisoned by a
+    /// panicking peer). On `false` this rank has withdrawn its arrival,
+    /// so the barrier state stays consistent. Collective among the ranks
+    /// that do arrive. The default delegates to the blocking `barrier`
+    /// and returns `true`; both in-tree backends override it.
+    fn barrier_deadline(&mut self, _timeout_secs: f64) -> bool {
+        self.barrier();
+        true
+    }
+
     /// Sends the same payload to several destinations. The default is a
     /// loop of unicast sends; backends with hardware multicast override it.
     fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {

@@ -236,6 +236,96 @@ impl Env {
         self.stats.barrier_time += release - entry;
         self.clock = release;
     }
+
+    /// Lossy send (the failure detector's primitive): identical cost
+    /// accounting to [`Env::send`], but a terminated receiver yields
+    /// `false` instead of a panic. The setup cost is charged either way —
+    /// the sender cannot know the peer is gone until it tries.
+    pub fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        assert!(dst < self.size, "post to rank {dst} of {}", self.size);
+        let bytes = payload.size_bytes();
+        let spec = self.net.spec();
+        self.clock += spec.send_setup;
+        self.stats.send_time += spec.send_setup;
+        let arrival = if dst == self.rank {
+            self.clock
+        } else {
+            self.net.arrival(self.clock, bytes)
+        };
+        match self.txs[dst].send(Msg {
+            tag,
+            arrival,
+            payload,
+        }) {
+            Ok(()) => {
+                self.stats.messages_sent += 1;
+                self.stats.bytes_sent += bytes as u64;
+                true
+            }
+            Err(_undelivered) => false,
+        }
+    }
+
+    /// Bounded receive (the failure detector's primitive). A terminated
+    /// sender yields `None` immediately; otherwise the wait is bounded by
+    /// `timeout_secs` of *host* time (the peer's send must physically
+    /// execute for its virtual arrival stamp to exist — a rank that will
+    /// never send cannot be waited out in virtual time alone). On a
+    /// timeout the full `timeout_secs` is charged to this rank's virtual
+    /// clock as wait time, so a timed-out probe costs in the model what
+    /// it costs on real hardware. A delivered message advances the clock
+    /// exactly as [`Env::recv`] does; mismatched tags buffered while
+    /// waiting are preserved.
+    pub fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_secs_f64(timeout_secs.max(0.0));
+        match self
+            .pending
+            .recv_matching_deadline(&self.rxs[src], src, tag, deadline)
+        {
+            Ok(msg) => {
+                self.stats.wait_time += msg.arrival.saturating_gap(self.clock);
+                self.clock = self.clock.max(msg.arrival);
+                let overhead = self.net.spec().recv_overhead;
+                self.clock += overhead;
+                self.stats.recv_time += overhead;
+                self.stats.messages_received += 1;
+                self.stats.bytes_received += msg.payload.size_bytes() as u64;
+                Some(msg.payload)
+            }
+            Err(crate::mailbox::RecvTimeoutError::Disconnected) => None,
+            Err(crate::mailbox::RecvTimeoutError::TimedOut) => {
+                self.stats.wait_time += timeout_secs.max(0.0);
+                self.clock += timeout_secs.max(0.0);
+                None
+            }
+        }
+    }
+
+    /// Bounded barrier (the failure detector's primitive): `false` if the
+    /// barrier does not release within `timeout_secs` of host time (or
+    /// was poisoned), with this rank's arrival withdrawn and the full
+    /// timeout charged to the virtual clock as wait time.
+    pub fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        let entry = self.clock;
+        match self.barrier.wait_deadline(
+            entry,
+            std::time::Duration::from_secs_f64(timeout_secs.max(0.0)),
+        ) {
+            Ok(release) => {
+                debug_assert!(release >= entry, "barrier released before entry");
+                self.stats.barrier_time += release - entry;
+                self.clock = release;
+                true
+            }
+            Err(crate::launch::BarrierTimeout) => {
+                self.stats.wait_time += timeout_secs.max(0.0);
+                self.clock += timeout_secs.max(0.0);
+                false
+            }
+        }
+    }
 }
 
 /// The simulator backend's [`Comm`] implementation. The primitives
@@ -313,6 +403,18 @@ impl Comm for Env {
             .pending
             .peek_matching(&self.rxs[req.src()], self.rank, req.src(), req.tag());
         msg.arrival <= self.clock
+    }
+
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        Env::post(self, dst, tag, payload)
+    }
+
+    fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        Env::recv_deadline(self, src, tag, timeout_secs)
+    }
+
+    fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        Env::barrier_deadline(self, timeout_secs)
     }
 }
 

@@ -44,6 +44,14 @@ pub struct BarrierShared {
     cost: f64,
 }
 
+/// The error [`BarrierShared::wait_deadline`] returns when the barrier
+/// does not release in time: a participant is missing (dead, wedged, or
+/// merely slow) or the barrier was poisoned by a panicking peer. The
+/// timed-out rank has withdrawn its arrival, so the barrier remains
+/// usable if every participant turns out to be alive after all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierTimeout;
+
 struct BarrierInner {
     arrived: usize,
     generation: u64,
@@ -113,6 +121,62 @@ impl BarrierShared {
                 assert!(!g.poisoned, "barrier poisoned: a peer rank panicked");
             }
             g.release
+        }
+    }
+
+    /// Deadline-bounded variant of [`BarrierShared::wait`], the failure
+    /// detector's entry point: if the barrier does not release within
+    /// `timeout` (a participant is dead or wedged), this rank *withdraws
+    /// its arrival* — leaving the barrier state consistent for any later
+    /// attempt — and returns [`BarrierTimeout`] instead of blocking
+    /// forever. A poisoned barrier also returns `Err` (rather than
+    /// panicking like the blocking variant): the caller is a recovery
+    /// path, and a dead peer is its input, not its crash.
+    pub fn wait_deadline(
+        &self,
+        clock: VTime,
+        timeout: std::time::Duration,
+    ) -> Result<VTime, BarrierTimeout> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if g.poisoned {
+            return Err(BarrierTimeout);
+        }
+        g.max_clock = g.max_clock.max(clock);
+        g.arrived += 1;
+        if g.arrived == self.size {
+            g.release = g.max_clock + self.cost;
+            g.generation = g.generation.wrapping_add(1);
+            g.arrived = 0;
+            g.max_clock = VTime::ZERO;
+            self.cv.notify_all();
+            return Ok(g.release);
+        }
+        let gen = g.generation;
+        loop {
+            if g.generation != gen {
+                return Ok(g.release);
+            }
+            if g.poisoned {
+                g.arrived = g.arrived.saturating_sub(1);
+                return Err(BarrierTimeout);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                g.arrived = g.arrived.saturating_sub(1);
+                return Err(BarrierTimeout);
+            };
+            g = self
+                .cv
+                .wait_timeout(g, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
         }
     }
 
@@ -234,6 +298,47 @@ mod tests {
             |_, result| result,
         );
         assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn wait_deadline_times_out_and_withdraws() {
+        let barrier = BarrierShared::new(2, 0.0);
+        // Alone at a 2-rank barrier: must time out, not hang.
+        let r = barrier.wait_deadline(VTime::ZERO, std::time::Duration::from_millis(10));
+        assert_eq!(r, Err(BarrierTimeout));
+        // The withdrawal left the state clean: a later full barrier works.
+        let b2 = Arc::clone(&barrier);
+        let peer = thread::spawn(move || b2.wait(VTime::ZERO));
+        let mine = barrier.wait_deadline(VTime::ZERO, std::time::Duration::from_secs(10));
+        assert!(mine.is_ok());
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_releases_with_all_present() {
+        let barrier = BarrierShared::new(3, 0.0);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                b.wait_deadline(VTime::ZERO, std::time::Duration::from_secs(10))
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn wait_deadline_errors_on_poison() {
+        let barrier = BarrierShared::new(2, 0.0);
+        let b2 = Arc::clone(&barrier);
+        let waiter = thread::spawn(move || {
+            b2.wait_deadline(VTime::ZERO, std::time::Duration::from_secs(30))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        barrier.poison();
+        assert_eq!(waiter.join().unwrap(), Err(BarrierTimeout));
     }
 
     #[test]

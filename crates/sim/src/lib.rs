@@ -85,6 +85,8 @@ pub mod mailbox;
 pub mod network;
 pub mod payload;
 pub mod stats;
+pub mod survivor;
+pub mod tags;
 pub mod time;
 
 pub use cluster::{Cluster, ClusterSpec, RankReport, RunReport};
@@ -94,4 +96,5 @@ pub use machine::{LoadPhase, LoadTimeline, MachineSpec};
 pub use network::{NetworkKind, NetworkSpec};
 pub use payload::{Element, Payload, Tag};
 pub use stats::EnvStats;
+pub use survivor::SurvivorComm;
 pub use time::VTime;

@@ -25,6 +25,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::payload::Tag;
 
@@ -32,6 +33,19 @@ use crate::payload::Tag;
 /// terminated without ever sending a matching message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Disconnected;
+
+/// Why a deadline-bounded receive returned without a message: the sender
+/// is gone (and the queue drained), or the deadline passed first. The
+/// distinction matters to failure detection — `Disconnected` is *proof*
+/// the peer died, `TimedOut` is only suspicion (the peer may be wedged,
+/// stalled, or slow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    TimedOut,
+    /// The sender hung up and the queue is drained.
+    Disconnected,
+}
 
 /// Messages that carry a [`Tag`] for receive matching.
 pub trait Tagged {
@@ -132,6 +146,34 @@ impl<T: Tagged> TagBuffer<T> {
             .iter()
             .find(|m| m.tag() == tag)
             .expect("a matching message was just ensured")
+    }
+
+    /// Deadline-bounded variant of [`TagBuffer::recv_matching`]: returns
+    /// the next matching message if one arrives before `deadline`, or the
+    /// reason it could not ([`RecvTimeoutError::Disconnected`] the moment
+    /// the sender is provably gone, [`RecvTimeoutError::TimedOut`] when
+    /// the deadline passes). Mismatched tags pulled in while waiting are
+    /// buffered in arrival order, exactly as the blocking variant does —
+    /// a timed-out wait loses nothing.
+    pub fn recv_matching_deadline(
+        &mut self,
+        rx: &MailboxReceiver<T>,
+        src: usize,
+        tag: Tag,
+        deadline: Instant,
+    ) -> Result<T, RecvTimeoutError> {
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag() == tag) {
+            return Ok(self.pending[src]
+                .remove(pos)
+                .expect("position was just found"));
+        }
+        loop {
+            let msg = rx.recv_deadline(deadline)?;
+            if msg.tag() == tag {
+                return Ok(msg);
+            }
+            self.pending[src].push_back(msg);
+        }
     }
 
     /// Nonblocking probe: drains every message currently sitting in `rx`
@@ -263,6 +305,37 @@ impl<T> MailboxReceiver<T> {
         let mut g = self.0.state.lock().expect("mailbox lock poisoned");
         g.queue.pop_front()
     }
+
+    /// Like [`MailboxReceiver::recv`] but bounded by a wall-clock
+    /// `deadline`: returns [`RecvTimeoutError::TimedOut`] once the
+    /// deadline passes with no message, and
+    /// [`RecvTimeoutError::Disconnected`] as soon as the sender is gone
+    /// with the queue drained (dead peers are detected immediately, not
+    /// after the full timeout). Buffered messages are always delivered.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut g = self.0.state.lock().expect("mailbox lock poisoned");
+        loop {
+            if let Some(msg) = g.queue.pop_front() {
+                return Ok(msg);
+            }
+            if g.closed {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::TimedOut);
+            };
+            let (guard, _timed_out) = self
+                .0
+                .cv
+                .wait_timeout(g, remaining)
+                .expect("mailbox lock poisoned");
+            g = guard;
+        }
+    }
 }
 
 impl<T> Drop for MailboxReceiver<T> {
@@ -365,6 +438,61 @@ mod tests {
         // The probe buffered, not consumed: both still arrive in order.
         assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(8)).tag, Tag(8));
         assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(4)).tag, Tag(4));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let (tx, rx) = mailbox::<Msg>();
+        let soon = Instant::now() + std::time::Duration::from_millis(5);
+        assert!(matches!(
+            rx.recv_deadline(soon),
+            Err(RecvTimeoutError::TimedOut)
+        ));
+        tx.send(msg(2)).unwrap();
+        let later = Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(rx.recv_deadline(later).unwrap().tag, Tag(2));
+    }
+
+    #[test]
+    fn recv_deadline_reports_disconnect_immediately() {
+        let (tx, rx) = mailbox::<Msg>();
+        tx.send(msg(1)).unwrap();
+        drop(tx);
+        let far = Instant::now() + std::time::Duration::from_secs(60);
+        // Buffered messages still deliver; then disconnect, not timeout.
+        assert_eq!(rx.recv_deadline(far).unwrap().tag, Tag(1));
+        let t0 = Instant::now();
+        assert!(matches!(
+            rx.recv_deadline(far),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn recv_deadline_wakes_on_cross_thread_send() {
+        let (tx, rx) = mailbox::<Msg>();
+        let handle = std::thread::spawn(move || {
+            let deadline = Instant::now() + std::time::Duration::from_secs(30);
+            rx.recv_deadline(deadline).unwrap().tag
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(msg(6)).unwrap();
+        assert_eq!(handle.join().unwrap(), Tag(6));
+    }
+
+    #[test]
+    fn recv_matching_deadline_buffers_mismatches() {
+        let (tx, rx) = mailbox::<Msg>();
+        let mut buf = TagBuffer::new(1);
+        tx.send(msg(9)).unwrap();
+        let soon = Instant::now() + std::time::Duration::from_millis(5);
+        // Waiting for tag 5 times out, but the tag-9 message is preserved.
+        assert!(matches!(
+            buf.recv_matching_deadline(&rx, 0, Tag(5), soon),
+            Err(RecvTimeoutError::TimedOut)
+        ));
+        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(9)).tag, Tag(9));
     }
 
     #[test]

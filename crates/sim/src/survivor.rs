@@ -1,0 +1,295 @@
+//! Rank-translating [`Comm`] adapter for the shrink-onto-survivors
+//! recovery path.
+//!
+//! After the failure detector reaches a verdict, the surviving ranks
+//! continue as a *smaller* cluster: survivor `i` is the `i`-th live rank
+//! of the original run. [`SurvivorComm`] presents that contracted view —
+//! `rank()`/`size()` are in survivor space and every point-to-point
+//! operation translates survivor ranks to original ranks before touching
+//! the wrapped transport, so all of the runtime's collectives (which are
+//! built from `send`/`recv`) work unmodified on the shrunken cluster.
+//!
+//! The one primitive that cannot be forwarded is [`Comm::barrier`]: the
+//! underlying backend's barrier still counts the dead rank as a
+//! participant and would wait for it forever. `SurvivorComm` therefore
+//! emulates the barrier with point-to-point messages among survivors
+//! only (gather-to-leader + release broadcast on the reserved
+//! [`TAG_SHRINK`](crate::tags::TAG_SHRINK) tag).
+
+use crate::comm::{Comm, RecvRequest, SendRequest};
+use crate::payload::{Payload, Tag};
+use crate::tags::TAG_SHRINK;
+
+/// A contracted view of a cluster after rank failure: borrows a backend
+/// [`Comm`] and renumbers the surviving ranks densely (`0..survivors`).
+///
+/// Construct one on every surviving rank with the *same* survivor list
+/// (the failure detector's collective verdict guarantees agreement), then
+/// run ordinary SPMD code against it — sessions, redistribution and
+/// collectives neither know nor care that rank ids are being translated
+/// underneath. The adapter borrows the backend mutably (the same pattern
+/// as the verifier's `CheckedComm`), so dropping it returns the original
+/// (uncontracted) handle to the caller.
+pub struct SurvivorComm<'a, C: Comm> {
+    inner: &'a mut C,
+    /// `survivors[new_rank] == old_rank`, strictly increasing.
+    survivors: Vec<usize>,
+    /// This rank's position in `survivors`.
+    new_rank: usize,
+}
+
+impl<'a, C: Comm> SurvivorComm<'a, C> {
+    /// Wraps `inner` as survivor-space member of the contracted cluster.
+    ///
+    /// `survivors` lists the original ranks that remain alive, in
+    /// strictly increasing order; `inner.rank()` must be among them.
+    ///
+    /// # Panics
+    /// Panics if `survivors` is empty, not strictly increasing, names a
+    /// rank outside the original cluster, or omits `inner.rank()`.
+    pub fn new(inner: &'a mut C, survivors: Vec<usize>) -> Self {
+        assert!(!survivors.is_empty(), "survivor list is empty");
+        assert!(
+            survivors.windows(2).all(|w| w[0] < w[1]),
+            "survivor list must be strictly increasing: {survivors:?}"
+        );
+        assert!(
+            *survivors.last().expect("non-empty") < inner.size(),
+            "survivor {} outside original cluster of {}",
+            survivors.last().expect("non-empty"),
+            inner.size()
+        );
+        let new_rank = survivors
+            .iter()
+            .position(|&old| old == inner.rank())
+            .unwrap_or_else(|| {
+                panic!(
+                    "rank {} is not in the survivor list {:?}",
+                    inner.rank(),
+                    survivors
+                )
+            });
+        SurvivorComm {
+            inner,
+            survivors,
+            new_rank,
+        }
+    }
+
+    /// The original (pre-failure) rank behind a survivor-space rank.
+    #[inline]
+    fn old(&self, new: usize) -> usize {
+        assert!(
+            new < self.survivors.len(),
+            "rank {new} of {} survivors",
+            self.survivors.len()
+        );
+        self.survivors[new]
+    }
+
+    /// The surviving original ranks, in survivor-rank order.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+}
+
+impl<C: Comm> Comm for SurvivorComm<'_, C> {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.new_rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.survivors.len()
+    }
+
+    #[inline]
+    fn compute(&mut self, work: f64) {
+        self.inner.compute(work);
+    }
+
+    #[inline]
+    fn now_secs(&self) -> f64 {
+        self.inner.now_secs()
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, payload: Payload) {
+        let dst = self.old(dst);
+        self.inner.send(dst, tag, payload);
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Payload {
+        let src = self.old(src);
+        self.inner.recv(src, tag)
+    }
+
+    /// Point-to-point barrier among survivors only: gather-to-leader then
+    /// release broadcast on [`TAG_SHRINK`]. The backend's own barrier is
+    /// *not* used — it would wait for the dead rank forever.
+    fn barrier(&mut self) {
+        let p = self.survivors.len();
+        if p == 1 {
+            return;
+        }
+        let token = Payload::from_u32(Vec::new());
+        if self.new_rank == 0 {
+            for src in 1..p {
+                let _ = self.recv(src, TAG_SHRINK);
+            }
+            for dst in 1..p {
+                self.send(dst, TAG_SHRINK, token.clone());
+            }
+        } else {
+            self.send(0, TAG_SHRINK, token);
+            let _ = self.recv(0, TAG_SHRINK);
+        }
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, payload: Payload) -> SendRequest {
+        let old_dst = self.old(dst);
+        self.inner.isend(old_dst, tag, payload);
+        // The caller's handle stays in survivor space so a later
+        // `wait_send` through this adapter remains consistent.
+        SendRequest::new(dst, tag)
+    }
+
+    fn irecv(&mut self, src: usize, tag: Tag) -> RecvRequest {
+        assert!(
+            src < self.survivors.len(),
+            "irecv from rank {src} of {}",
+            self.survivors.len()
+        );
+        RecvRequest::new(src, tag)
+    }
+
+    fn wait_send(&mut self, req: SendRequest) {
+        self.inner
+            .wait_send(SendRequest::new(self.old(req.dst()), req.tag()));
+    }
+
+    fn wait_recv(&mut self, req: RecvRequest) -> Payload {
+        let src = self.old(req.src());
+        self.inner.wait_recv(RecvRequest::new(src, req.tag()))
+    }
+
+    fn test_recv(&mut self, req: &RecvRequest) -> bool {
+        let translated = RecvRequest::new(self.old(req.src()), req.tag());
+        self.inner.test_recv(&translated)
+    }
+
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        let dst = self.old(dst);
+        self.inner.post(dst, tag, payload)
+    }
+
+    fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        let src = self.old(src);
+        self.inner.recv_deadline(src, tag, timeout_secs)
+    }
+
+    /// Bounded variant of the emulated survivor barrier. Uses
+    /// [`Comm::recv_deadline`] for every internal receive; any timeout
+    /// aborts the emulation with `false`. (Unlike the backend barrier
+    /// there is no shared arrival counter to withdraw from — a `false`
+    /// simply means some survivor's token never came.)
+    fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        let p = self.survivors.len();
+        if p == 1 {
+            return true;
+        }
+        let token = Payload::from_u32(Vec::new());
+        if self.new_rank == 0 {
+            for src in 1..p {
+                if self.recv_deadline(src, TAG_SHRINK, timeout_secs).is_none() {
+                    return false;
+                }
+            }
+            for dst in 1..p {
+                if !self.post(dst, TAG_SHRINK, token.clone()) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            if !self.post(0, TAG_SHRINK, token) {
+                return false;
+            }
+            self.recv_deadline(0, TAG_SHRINK, timeout_secs).is_some()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterSpec};
+
+    /// Three of four ranks wrap themselves as survivors (rank 2 "dies"
+    /// by returning early) and run an allgather in survivor space.
+    #[test]
+    fn survivors_allgather_in_contracted_rank_space() {
+        let report = Cluster::new(ClusterSpec::uniform(4)).run(|env| {
+            if env.rank() == 2 {
+                return Vec::new();
+            }
+            let mut comm = SurvivorComm::new(env, vec![0, 1, 3]);
+            assert_eq!(comm.size(), 3);
+            let me = comm.rank() as u64;
+            let parts = comm.allgather(Tag(7), Payload::from_u64(vec![me]));
+            parts.into_iter().map(|p| p.into_u64()[0]).collect()
+        });
+        for (rank, r) in report.results().enumerate() {
+            if rank != 2 {
+                assert_eq!(r, &vec![0, 1, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn survivor_barrier_synchronizes_without_dead_rank() {
+        let report = Cluster::new(ClusterSpec::uniform(4)).run(|env| {
+            if env.rank() == 1 {
+                return u64::MAX;
+            }
+            let mut comm = SurvivorComm::new(env, vec![0, 2, 3]);
+            comm.barrier();
+            assert!(comm.barrier_deadline(1.0));
+            comm.rank() as u64
+        });
+        let got: Vec<u64> = report.results().copied().collect();
+        assert_eq!(got, vec![0, u64::MAX, 1, 2]);
+    }
+
+    #[test]
+    fn translates_point_to_point_ranks() {
+        let report = Cluster::new(ClusterSpec::uniform(3)).run(|env| {
+            if env.rank() == 0 {
+                return 0u64;
+            }
+            // Survivors are old ranks {1, 2} -> new ranks {0, 1}.
+            let mut comm = SurvivorComm::new(env, vec![1, 2]);
+            if comm.rank() == 0 {
+                comm.send(1, Tag(9), Payload::from_u64(vec![41]));
+                0
+            } else {
+                comm.recv(0, Tag(9)).into_u64()[0]
+            }
+        });
+        assert_eq!(report.ranks[2].result, 41);
+    }
+
+    #[test]
+    fn rejects_wrapping_a_dead_rank() {
+        let err = std::panic::catch_unwind(|| {
+            Cluster::new(ClusterSpec::uniform(2)).run(|env| {
+                if env.rank() == 1 {
+                    let comm = SurvivorComm::new(env, vec![0]);
+                    let _ = comm.survivors();
+                }
+                0u64
+            })
+        });
+        assert!(err.is_err(), "wrapping a non-survivor must panic");
+    }
+}

@@ -7,7 +7,7 @@
 //! them. Each event's barrier epoch is recomputed from the `Barrier`
 //! events preceding it in its trace.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use stance_sim::Comm;
 
@@ -33,9 +33,24 @@ pub fn analyze_traces(traces: &[RankTrace]) -> Vec<Diagnostic> {
     let mut send_posts: BTreeMap<Stream, (usize, usize)> = BTreeMap::new(); // (isends, waits)
     let mut recv_posts: BTreeMap<Stream, (usize, usize)> = BTreeMap::new(); // (irecvs, waits)
     let mut barriers: Vec<(usize, u32)> = Vec::new();
+    // (rank, tag) pairs caught using a reserved tag the runtime does not
+    // register — one diagnostic per pair, not per event.
+    let mut reserved_misuse: BTreeSet<(usize, u32)> = BTreeSet::new();
     for t in traces {
         let mut epoch = 0u32;
         for ev in &t.events {
+            let tag_of = match *ev {
+                TraceEvent::Send { tag, .. }
+                | TraceEvent::Recv { tag, .. }
+                | TraceEvent::RecvPosted { tag, .. }
+                | TraceEvent::SendWaited { tag, .. } => Some(tag),
+                TraceEvent::Barrier => None,
+            };
+            if let Some(tag) = tag_of {
+                if tag.is_reserved() && !stance_sim::tags::is_runtime_tag(tag) {
+                    reserved_misuse.insert((t.rank, tag.0));
+                }
+            }
             match *ev {
                 TraceEvent::Send {
                     dst,
@@ -75,6 +90,24 @@ pub fn analyze_traces(traces: &[RankTrace]) -> Vec<Diagnostic> {
             }
         }
         barriers.push((t.rank, epoch));
+    }
+
+    // Reserved-band hygiene: traffic on a reserved tag that is not a
+    // registered runtime tag can silently collide with a future runtime
+    // protocol — flag it now, while it is still harmless.
+    for &(rank, tag) in &reserved_misuse {
+        diags.push(
+            Diagnostic::new(
+                DiagnosticKind::ReservedTagMisuse,
+                rank,
+                format!(
+                    "traffic on reserved tag {tag} which is not a registered runtime \
+                     tag (reserved band starts at {}; see stance_sim::tags)",
+                    stance_sim::Tag::RESERVED_BASE
+                ),
+            )
+            .with_tag(stance_sim::Tag(tag)),
+        );
     }
 
     // Barrier arity: every rank must have passed the same number of
@@ -313,6 +346,31 @@ mod tests {
         let diags = analyze_traces(&impossible);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].kind, DiagnosticKind::EpochCrossing);
+    }
+
+    #[test]
+    fn reserved_tag_misuse_flags_unregistered_reserved_traffic() {
+        let stray = Tag::reserved(999).0;
+        let ts = traces(vec![send(1, stray, 8)], vec![recv(0, stray, 8)]);
+        let diags = analyze_traces(&ts);
+        let misuses: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::ReservedTagMisuse)
+            .collect();
+        // Both the sender and the receiver are flagged, once each.
+        assert_eq!(misuses.len(), 2, "{diags:?}");
+        assert_eq!(misuses[0].rank, 0);
+        assert_eq!(misuses[1].rank, 1);
+    }
+
+    #[test]
+    fn registered_runtime_tags_are_not_misuse() {
+        let load = stance_sim::tags::TAG_LOAD.0;
+        let ts = traces(
+            vec![send(1, load, 8), recv(1, load, 8)],
+            vec![send(0, load, 8), recv(0, load, 8)],
+        );
+        assert_eq!(analyze_traces(&ts), Vec::new());
     }
 
     #[test]

@@ -13,12 +13,14 @@ use stance_sim::{Comm, Payload, Tag};
 
 use crate::diag::{render, Diagnostic, DiagnosticKind};
 
-/// Reserved tag for the audit's summary allgather.
-pub const TAG_AUDIT: Tag = Tag::reserved(64);
+/// Reserved tag for the audit's summary allgather (re-exported from the
+/// central [`stance_sim::tags`] registry).
+pub const TAG_AUDIT: Tag = stance_sim::tags::TAG_AUDIT;
 
 /// Reserved tag for the protocol checker's trace allgather (see
-/// [`crate::analyze_traces`]).
-pub const TAG_TRACE: Tag = Tag::reserved(65);
+/// [`crate::analyze_traces`]; re-exported from the central
+/// [`stance_sim::tags`] registry).
+pub const TAG_TRACE: Tag = stance_sim::tags::TAG_TRACE;
 
 /// One rank's schedule, flattened to globals for cross-rank comparison:
 /// send lists are translated from block-local indices to global element

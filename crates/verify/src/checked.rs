@@ -331,6 +331,49 @@ impl<C: Comm> Comm for CheckedComm<'_, C> {
         self.inner.test_recv(req)
     }
 
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        // Recorded as an ordinary send only when the transport accepted
+        // it: a post refused because the peer died delivered nothing, so
+        // tracing it would fabricate an `UnmatchedSend` in an otherwise
+        // clean recovered run.
+        let shape = PayloadShape::of(&payload);
+        let delivered = self.inner.post(dst, tag, payload);
+        if delivered {
+            self.trace.events.push(TraceEvent::Send {
+                dst,
+                tag,
+                shape,
+                nonblocking: false,
+            });
+        }
+        delivered
+    }
+
+    fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        // Dual of `post`: only a delivered message becomes a `Recv`
+        // event. A timeout consumed nothing, so recording it would
+        // fabricate a `PhantomRecv`.
+        let payload = self.inner.recv_deadline(src, tag, timeout_secs)?;
+        self.trace.events.push(TraceEvent::Recv {
+            src,
+            tag,
+            shape: PayloadShape::of(&payload),
+            via_wait: false,
+        });
+        Some(payload)
+    }
+
+    fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        // A timed-out barrier withdrew this rank's arrival — nobody was
+        // released by it, so only a successful release is a `Barrier`
+        // epoch boundary.
+        let released = self.inner.barrier_deadline(timeout_secs);
+        if released {
+            self.trace.events.push(TraceEvent::Barrier);
+        }
+        released
+    }
+
     // Collectives delegate untraced (see the module docs): the wrapped
     // backend's own (possibly overridden) implementations run, so a
     // checked run moves exactly the bytes an unchecked run moves.
@@ -442,6 +485,18 @@ impl<C: Comm> Comm for MaybeChecked<'_, C> {
 
     fn test_recv(&mut self, req: &RecvRequest) -> bool {
         forward!(self, c => c.test_recv(req))
+    }
+
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        forward!(self, c => c.post(dst, tag, payload))
+    }
+
+    fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        forward!(self, c => c.recv_deadline(src, tag, timeout_secs))
+    }
+
+    fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        forward!(self, c => c.barrier_deadline(timeout_secs))
     }
 
     fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {

@@ -48,6 +48,11 @@ pub enum DiagnosticKind {
     /// epoch than its send was posted in — physically impossible, so the
     /// trace itself is inconsistent.
     EpochCrossing,
+    /// Application traffic on a reserved tag the runtime does not use:
+    /// the tag is in the reserved band (`Tag::is_reserved`) but is not a
+    /// registered runtime tag (`stance_sim::tags`), so it can silently
+    /// collide with a future runtime protocol.
+    ReservedTagMisuse,
 }
 
 impl DiagnosticKind {
@@ -69,6 +74,7 @@ impl DiagnosticKind {
             DiagnosticKind::LeakedRecvRequest => "leaked-recv-request",
             DiagnosticKind::BarrierArity => "barrier-arity",
             DiagnosticKind::EpochCrossing => "epoch-crossing",
+            DiagnosticKind::ReservedTagMisuse => "reserved-tag-misuse",
         }
     }
 }

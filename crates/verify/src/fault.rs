@@ -1,0 +1,479 @@
+//! Deterministic fault injection: a [`Comm`] wrapper that kills, wedges,
+//! or stalls a rank at a planned operation count.
+//!
+//! [`FaultyComm`] is [`CheckedComm`](crate::CheckedComm)'s destructive
+//! sibling: where the checker records the protocol, the injector breaks
+//! it — on purpose, at a *reproducible* point. Every communication
+//! operation the wrapped rank performs advances an operation counter;
+//! when the counter crosses a planned [`FaultEvent`] the fault fires:
+//!
+//! * [`FaultKind::Kill`] — the rank dies abruptly: an [`InjectedFault`]
+//!   panic unwinds out of the communication call. The SPMD closure
+//!   catches it with [`catch_fault`] and returns early, which closes the
+//!   rank's mailboxes — the *cooperative death* peers then observe as an
+//!   instant `Disconnected` on [`Comm::recv_deadline`] / [`Comm::post`].
+//! * [`FaultKind::Wedge`] — the rank goes silent but stays alive: the
+//!   same panic fires, but the catcher is expected to *hold its comm
+//!   handle open* (sleep past the detection window) before returning, so
+//!   peers see timeouts rather than a closed mailbox — the hard
+//!   detection case.
+//! * [`FaultKind::Stall`] — the rank survives but every subsequent
+//!   operation is delayed by the configured time (charged to the virtual
+//!   clock on the simulator, slept in wall time on native threads). No
+//!   recovery triggers; the run just degrades.
+//!
+//! The plan is pure data ([`FaultPlan`]), keyed by rank and operation
+//! count — not wall time — so the same plan reproduces the same fault at
+//! the same protocol point on both backends, every run.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use stance_sim::{Comm, Payload, RecvRequest, SendRequest, Tag};
+
+/// What an injected fault does to the victim rank. See the [module
+/// docs](self) for the observable consequences of each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Abrupt death: unwind out of the communication call; the catcher
+    /// returns early and the rank's mailboxes close.
+    Kill,
+    /// Silent wedge: unwind out of the call, but the catcher keeps the
+    /// rank alive (mailboxes open) past the detection window.
+    Wedge,
+    /// Slowdown: every operation from the trigger on is delayed by this
+    /// many seconds.
+    Stall {
+        /// Per-operation delay, in seconds.
+        delay_secs: f64,
+    },
+}
+
+/// One planned fault: `kind` fires on `rank`'s first communication
+/// operation *after* it has completed `after_ops` of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The victim rank (in the wrapped comm's rank space).
+    pub rank: usize,
+    /// How many operations the victim completes before the fault fires.
+    pub after_ops: u64,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+/// A reproducible fault schedule: a list of [`FaultEvent`]s plus the seed
+/// that generated it (zero for hand-built plans). Pure data — cloneable,
+/// comparable, and identical in effect on both backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no fault ever fires. A [`FaultyComm`] driven by
+    /// this plan is a pure pass-through (and allocation-free per
+    /// operation — pinned by `tests/alloc_free.rs`).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Plan that kills `rank` after it completes `after_ops` operations.
+    pub fn kill(rank: usize, after_ops: u64) -> Self {
+        FaultPlan::none().with_event(FaultEvent {
+            rank,
+            after_ops,
+            kind: FaultKind::Kill,
+        })
+    }
+
+    /// Plan that wedges `rank` after it completes `after_ops` operations.
+    pub fn wedge(rank: usize, after_ops: u64) -> Self {
+        FaultPlan::none().with_event(FaultEvent {
+            rank,
+            after_ops,
+            kind: FaultKind::Wedge,
+        })
+    }
+
+    /// Plan that stalls `rank`'s every operation by `delay_secs` once it
+    /// has completed `after_ops` of them.
+    pub fn stall(rank: usize, after_ops: u64, delay_secs: f64) -> Self {
+        assert!(
+            delay_secs >= 0.0 && delay_secs.is_finite(),
+            "stall delay must be finite and non-negative, got {delay_secs}"
+        );
+        FaultPlan::none().with_event(FaultEvent {
+            rank,
+            after_ops,
+            kind: FaultKind::Stall { delay_secs },
+        })
+    }
+
+    /// Adds an event to the plan (builder style).
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// A deterministic pseudo-random single-fault plan for a cluster of
+    /// `size` ranks: the victim, trigger point (within `horizon_ops`
+    /// operations), and fault kind all derive from `seed` via a xorshift
+    /// generator — the same seed always produces the same plan.
+    pub fn randomized(seed: u64, size: usize, horizon_ops: u64) -> Self {
+        assert!(size > 0, "cluster must have at least one rank");
+        let mut s = seed | 1; // xorshift state must be nonzero
+        s = xorshift64(s);
+        let rank = (s % size as u64) as usize;
+        s = xorshift64(s);
+        let after_ops = s % horizon_ops.max(1);
+        s = xorshift64(s);
+        let kind = match s % 3 {
+            0 => FaultKind::Kill,
+            1 => FaultKind::Wedge,
+            _ => FaultKind::Stall {
+                delay_secs: 1e-3 * ((s >> 8) % 10 + 1) as f64,
+            },
+        };
+        FaultPlan {
+            seed,
+            events: vec![FaultEvent {
+                rank,
+                after_ops,
+                kind,
+            }],
+        }
+    }
+
+    /// The seed this plan was generated from (zero for hand-built plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The planned events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+fn xorshift64(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
+
+/// The panic payload an injected [`FaultKind::Kill`] or
+/// [`FaultKind::Wedge`] unwinds with. Catch it at the SPMD closure
+/// boundary with [`catch_fault`]; anything else unwinding through that
+/// catch is a genuine bug and is re-raised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedFault {
+    /// The rank the fault fired on.
+    pub rank: usize,
+    /// The victim's operation count when it fired (the fault fired *on*
+    /// this operation; it did not complete).
+    pub op: u64,
+    /// The fault that fired ([`FaultKind::Kill`] or [`FaultKind::Wedge`];
+    /// stalls never unwind).
+    pub kind: FaultKind,
+}
+
+/// Runs `f`, converting an [`InjectedFault`] unwind into `Err(fault)`.
+/// Any other panic is resumed untouched — only *injected* faults are
+/// survivable; real bugs still fail the run (and, on the simulator,
+/// poison the barrier exactly as before).
+pub fn catch_fault<R>(f: impl FnOnce() -> R) -> Result<R, InjectedFault> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<InjectedFault>() {
+            Ok(fault) => Err(*fault),
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+/// A [`Comm`] wrapper that injects the faults a [`FaultPlan`] schedules
+/// for this rank, and otherwise forwards every operation unchanged.
+///
+/// Ranks with no planned events pay one counter increment and one
+/// comparison per operation — no allocation, no behavioural change.
+/// Collectives forward to the backend's own implementations and count as
+/// **one** operation each (matching how `CheckedComm` treats them as
+/// opaque), so a plan's `after_ops` means the same thing whether the
+/// program uses collectives or spells them out.
+pub struct FaultyComm<'a, C: Comm> {
+    inner: &'a mut C,
+    /// Operations completed (or faulted on) so far.
+    ops: u64,
+    /// This rank's planned events, sorted by trigger point, soonest last
+    /// (so the next event is `schedule.last()` and firing is a `pop`).
+    schedule: Vec<FaultEvent>,
+    /// Active per-operation stall, seconds (0 = none).
+    stall_secs: f64,
+}
+
+impl<'a, C: Comm> FaultyComm<'a, C> {
+    /// Wraps `inner`, arming whatever events `plan` schedules for its
+    /// rank.
+    pub fn attach(inner: &'a mut C, plan: &FaultPlan) -> Self {
+        let rank = inner.rank();
+        let mut schedule: Vec<FaultEvent> = plan
+            .events()
+            .iter()
+            .filter(|e| e.rank == rank)
+            .copied()
+            .collect();
+        schedule.sort_by_key(|e| e.after_ops);
+        schedule.reverse();
+        FaultyComm {
+            inner,
+            ops: 0,
+            schedule,
+            stall_secs: 0.0,
+        }
+    }
+
+    /// Operations this rank has performed through the wrapper.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Counts one operation, firing any fault scheduled at this point.
+    /// Kill/Wedge unwind with an [`InjectedFault`]; a stall arms the
+    /// per-operation delay and charges it from this operation on.
+    fn tick(&mut self) {
+        let op = self.ops;
+        self.ops += 1;
+        while let Some(&event) = self.schedule.last() {
+            if op < event.after_ops {
+                break;
+            }
+            self.schedule.pop();
+            match event.kind {
+                FaultKind::Stall { delay_secs } => self.stall_secs = delay_secs,
+                kind @ (FaultKind::Kill | FaultKind::Wedge) => {
+                    std::panic::panic_any(InjectedFault {
+                        rank: self.inner.rank(),
+                        op,
+                        kind,
+                    });
+                }
+            }
+        }
+        if self.stall_secs > 0.0 {
+            // Virtual-clock backends charge the delay; wall-clock
+            // backends live it. (`compute` is a no-op on native, sleep
+            // is invisible to the simulator's clock — both paths are
+            // charged exactly once.)
+            self.inner.compute(self.stall_secs);
+            std::thread::sleep(std::time::Duration::from_secs_f64(self.stall_secs));
+        }
+    }
+}
+
+impl<C: Comm> Comm for FaultyComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn compute(&mut self, work: f64) {
+        // Compute is not a communication operation: faults trigger on
+        // protocol actions, where both backends count identically.
+        self.inner.compute(work);
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.inner.now_secs()
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, payload: Payload) {
+        self.tick();
+        self.inner.send(dst, tag, payload);
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Payload {
+        self.tick();
+        self.inner.recv(src, tag)
+    }
+
+    fn barrier(&mut self) {
+        self.tick();
+        self.inner.barrier();
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, payload: Payload) -> SendRequest {
+        self.tick();
+        self.inner.isend(dst, tag, payload)
+    }
+
+    fn irecv(&mut self, src: usize, tag: Tag) -> RecvRequest {
+        self.tick();
+        self.inner.irecv(src, tag)
+    }
+
+    fn wait_send(&mut self, req: SendRequest) {
+        self.tick();
+        self.inner.wait_send(req);
+    }
+
+    fn wait_recv(&mut self, req: RecvRequest) -> Payload {
+        self.tick();
+        self.inner.wait_recv(req)
+    }
+
+    fn test_recv(&mut self, req: &RecvRequest) -> bool {
+        // Advisory probe: not counted (probing in a poll loop would make
+        // `after_ops` depend on scheduling noise), never faults.
+        self.inner.test_recv(req)
+    }
+
+    fn post(&mut self, dst: usize, tag: Tag, payload: Payload) -> bool {
+        self.tick();
+        self.inner.post(dst, tag, payload)
+    }
+
+    fn recv_deadline(&mut self, src: usize, tag: Tag, timeout_secs: f64) -> Option<Payload> {
+        self.tick();
+        self.inner.recv_deadline(src, tag, timeout_secs)
+    }
+
+    fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
+        self.tick();
+        self.inner.barrier_deadline(timeout_secs)
+    }
+
+    // Collectives count as one operation and then forward to the
+    // backend's own implementations (preserving its cost accounting and
+    // data-movement order), exactly as `CheckedComm` delegates them.
+
+    fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {
+        self.tick();
+        self.inner.multicast(dsts, tag, payload);
+    }
+
+    fn bcast_from(&mut self, root: usize, tag: Tag, payload: Payload) -> Payload {
+        self.tick();
+        self.inner.bcast_from(root, tag, payload)
+    }
+
+    fn gather_to(&mut self, root: usize, tag: Tag, payload: Payload) -> Option<Vec<Payload>> {
+        self.tick();
+        self.inner.gather_to(root, tag, payload)
+    }
+
+    fn allgather(&mut self, tag: Tag, payload: Payload) -> Vec<Payload> {
+        self.tick();
+        self.inner.allgather(tag, payload)
+    }
+
+    fn allreduce_f64(&mut self, tag: Tag, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        self.tick();
+        self.inner.allreduce_f64(tag, value, op)
+    }
+
+    fn exchange(
+        &mut self,
+        sends: Vec<(usize, Payload)>,
+        recv_from: &[usize],
+        tag: Tag,
+    ) -> Vec<(usize, Payload)> {
+        self.tick();
+        self.inner.exchange(sends, recv_from, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stance_sim::cluster::{Cluster, ClusterSpec};
+
+    #[test]
+    fn randomized_plans_are_seed_deterministic() {
+        let a = FaultPlan::randomized(42, 4, 100);
+        let b = FaultPlan::randomized(42, 4, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 1);
+        assert!(a.events()[0].rank < 4);
+        assert!(a.events()[0].after_ops < 100);
+        // Different seeds eventually differ (not a strict requirement,
+        // but these two do — pinning guards against a degenerate mix).
+        assert_ne!(a, FaultPlan::randomized(43, 4, 100));
+    }
+
+    #[test]
+    fn kill_fires_at_the_planned_op_and_is_catchable() {
+        let report = Cluster::new(ClusterSpec::uniform(2)).run(|env| {
+            let plan = FaultPlan::kill(1, 2);
+            let rank = env.rank();
+            let outcome = catch_fault(|| {
+                let mut comm = FaultyComm::attach(env, &plan);
+                // ops 0, 1: survive. Rank 1's op 2 fires.
+                comm.post(rank ^ 1, Tag(5), Payload::from_u64(vec![1]));
+                comm.recv_deadline(rank ^ 1, Tag(5), 1.0);
+                comm.post(rank ^ 1, Tag(5), Payload::from_u64(vec![2]));
+                comm.ops()
+            });
+            match outcome {
+                Ok(ops) => {
+                    assert_eq!(rank, 0, "only rank 0 survives");
+                    assert_eq!(ops, 3);
+                    0u64
+                }
+                Err(fault) => {
+                    assert_eq!(rank, 1);
+                    assert_eq!(fault.rank, 1);
+                    assert_eq!(fault.op, 2);
+                    assert_eq!(fault.kind, FaultKind::Kill);
+                    1u64
+                }
+            }
+        });
+        let outcomes: Vec<u64> = report.results().copied().collect();
+        assert_eq!(outcomes, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_plan_is_a_pass_through() {
+        let report = Cluster::new(ClusterSpec::uniform(2)).run(|env| {
+            let plan = FaultPlan::none();
+            let peer = env.rank() ^ 1;
+            let mut comm = FaultyComm::attach(env, &plan);
+            comm.send(peer, Tag(3), Payload::from_u64(vec![comm.rank() as u64]));
+            let got = comm.recv(peer, Tag(3)).into_u64()[0];
+            comm.barrier();
+            assert_eq!(comm.ops(), 3);
+            got
+        });
+        let got: Vec<u64> = report.results().copied().collect();
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn stall_charges_virtual_time() {
+        let report = Cluster::new(ClusterSpec::uniform(1)).run(|env| {
+            let plan = FaultPlan::stall(0, 1, 0.001);
+            let mut comm = FaultyComm::attach(env, &plan);
+            comm.barrier(); // op 0: clean
+            comm.barrier(); // op 1: stall arms and charges
+            comm.barrier(); // op 2: charged again
+            comm.now_secs()
+        });
+        let t = report.ranks[0].result;
+        assert!(t >= 0.002, "two stalled ops must charge 2ms, got {t}");
+    }
+
+    #[test]
+    fn foreign_panics_pass_through_catch_fault() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            catch_fault(|| panic!("a genuine bug")).ok();
+        }));
+        assert!(caught.is_err(), "non-fault panic must be re-raised");
+    }
+}

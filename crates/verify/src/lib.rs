@@ -41,6 +41,7 @@ mod analyzer;
 mod audit;
 mod checked;
 mod diag;
+mod fault;
 
 pub use analyzer::{analyze_collective, analyze_traces};
 pub use audit::{
@@ -51,3 +52,4 @@ pub use checked::{
     checked_comm_constructions, CheckedComm, MaybeChecked, PayloadShape, RankTrace, TraceEvent,
 };
 pub use diag::{Diagnostic, DiagnosticKind};
+pub use fault::{catch_fault, FaultEvent, FaultKind, FaultPlan, FaultyComm, InjectedFault};

@@ -204,6 +204,59 @@ mod bodies {
         }
     }
 
+    /// `post` delivers like `send` (and reports delivery); `recv_deadline`
+    /// returns the message when one is in flight and `None` once the
+    /// deadline lapses with nothing to receive.
+    pub fn post_and_recv_deadline<C: Comm>(c: &mut C) {
+        if c.rank() == 0 {
+            assert!(
+                c.post(1, Tag(40), Payload::from_u32(vec![99])),
+                "post to a live rank must report delivery"
+            );
+        } else if c.rank() == 1 {
+            let got = c
+                .recv_deadline(0, Tag(40), 5.0)
+                .expect("posted message must arrive within the deadline");
+            assert_eq!(got.into_u32(), vec![99]);
+            // Nothing else is coming on this tag: the deadline lapses.
+            assert!(c.recv_deadline(0, Tag(40), 0.05).is_none());
+        }
+        c.barrier();
+    }
+
+    /// A timed-out `recv_deadline` consumes nothing: traffic sent later
+    /// on the same stream is received intact and in order.
+    pub fn deadline_timeout_preserves_stream<C: Comm>(c: &mut C) {
+        if c.rank() == 1 {
+            assert!(
+                c.recv_deadline(0, Tag(41), 0.05).is_none(),
+                "nothing was sent yet"
+            );
+        }
+        c.barrier();
+        if c.rank() == 0 {
+            c.send(1, Tag(41), Payload::from_u32(vec![1]));
+            c.send(1, Tag(41), Payload::from_u32(vec![2]));
+        } else if c.rank() == 1 {
+            assert_eq!(c.recv(0, Tag(41)).into_u32(), vec![1]);
+            assert_eq!(
+                c.recv_deadline(0, Tag(41), 5.0)
+                    .expect("second message is in flight")
+                    .into_u32(),
+                vec![2]
+            );
+        }
+        c.barrier();
+    }
+
+    /// With every rank arriving, the bounded barrier releases, reports
+    /// success, and composes with plain barriers afterwards.
+    pub fn barrier_deadline_releases<C: Comm>(c: &mut C) {
+        assert!(c.barrier_deadline(5.0), "all ranks arrived");
+        c.barrier();
+        assert!(c.barrier_deadline(5.0));
+    }
+
     /// Broadcast, rooted gather, and allgather deliver rank-ordered data.
     pub fn bcast_and_gather<C: Comm>(c: &mut C) {
         let payload = if c.rank() == 2 {
@@ -334,6 +387,21 @@ macro_rules! conformance_suite {
             #[test]
             fn wait_after_peer_completion() {
                 ($launch)(2, |c| bodies::wait_after_peer_completion(c));
+            }
+
+            #[test]
+            fn post_and_recv_deadline() {
+                ($launch)(2, |c| bodies::post_and_recv_deadline(c));
+            }
+
+            #[test]
+            fn deadline_timeout_preserves_stream() {
+                ($launch)(2, |c| bodies::deadline_timeout_preserves_stream(c));
+            }
+
+            #[test]
+            fn barrier_deadline_releases() {
+                ($launch)(3, |c| bodies::barrier_deadline_releases(c));
             }
         }
     };

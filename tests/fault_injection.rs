@@ -1,0 +1,360 @@
+//! Fault injection and elastic recovery, end to end on both backends.
+//!
+//! The centerpiece is the deterministic recovery scenario the
+//! fault-tolerance work promises: a 4-rank adaptive relaxation
+//! checkpoints after every epoch; a seeded [`FaultPlan`] kills one rank
+//! at a precisely aimed operation; the survivors detect the death
+//! through the bounded membership probe, reach a collective verdict,
+//! restore the last checkpoint onto a [`SurvivorComm`]-contracted
+//! 3-rank world and finish the run — with final values **bitwise
+//! identical** to an uninterrupted 3-rank continuation from the same
+//! checkpoint, and to the sequential reference. The recovered run
+//! executes under full protocol verification, so its traces must also
+//! analyze clean.
+//!
+//! Around the centerpiece: the kill/stall/wedge matrix — a stalled rank
+//! stays *alive* to the detector and numerically harmless, a wedged
+//! (silent-but-running) rank is evicted by timeout exactly like a
+//! crashed one, and seeded plans reproduce run-for-run.
+
+use stance::executor::sequential_relaxation;
+use stance::locality::meshgen;
+use stance::prelude::*;
+use stance_native::NativeCluster;
+use stance_verify::{catch_fault, FaultKind, FaultPlan, FaultyComm};
+
+/// Iterations per epoch.
+const BLOCK: usize = 10;
+/// Epochs in the scenario (each: probe → block → checkpoint).
+const EPOCHS: usize = 4;
+/// The epoch at whose membership probe the victim is killed.
+const FAULT_EPOCH: usize = 2;
+/// The rank the plan kills.
+const VICTIM: usize = 2;
+
+fn mesh() -> Graph {
+    let raw = meshgen::triangulated_grid(12, 10, 0.4, 3);
+    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
+}
+
+fn init(g: usize) -> f64 {
+    (g as f64).cos() * 5.0
+}
+
+/// A detector fast enough for tests but patient enough (0.35 s total)
+/// not to false-positive on a loaded CI host.
+fn detector() -> DetectorConfig {
+    DetectorConfig {
+        timeout_secs: 0.05,
+        retries: 2,
+        backoff: 2.0,
+    }
+}
+
+fn config() -> StanceConfig {
+    StanceConfig::free()
+        .with_recovery(RecoveryPolicy::RestoreAndShrink)
+        .with_detector(detector())
+}
+
+/// Runs the epoch loop fault-free and returns this rank's operation
+/// count at the start of each epoch's membership probe — the aiming
+/// table for a kill that must land exactly on a probe boundary (where
+/// every mailbox is drained, so survivors recover from a clean slate).
+fn epoch_op_marks<C: Comm>(env: &mut C, m: &Graph) -> Vec<u64> {
+    let cfg = config();
+    let plan = FaultPlan::none();
+    let mut faulty = FaultyComm::attach(env, &plan);
+    let mut s = AdaptiveSession::setup(&mut faulty, m, RelaxationKernel, init, &cfg);
+    let _ = s.checkpoint(&mut faulty, &[]);
+    let mut marks = Vec::new();
+    for _ in 0..EPOCHS {
+        marks.push(faulty.ops());
+        assert_eq!(
+            probe_and_decide(&mut faulty, &cfg),
+            RecoveryAction::Continue
+        );
+        s.run_block(&mut faulty, BLOCK);
+        let _ = s.checkpoint(&mut faulty, &[]);
+    }
+    marks
+}
+
+/// The faulted scenario on one rank. Survivors return
+/// `Some((new_rank, final_values, checkpoint_blob))`; the victim
+/// returns `None` after its injected death is caught.
+fn faulted_run<C: Comm>(env: &mut C, m: &Graph, kill_at: u64) -> Option<SurvivorOutcome> {
+    let cfg = config();
+    let plan = FaultPlan::kill(VICTIM, kill_at);
+    let mut faulty = FaultyComm::attach(env, &plan);
+    match catch_fault(|| drive(&mut faulty, m, &cfg)) {
+        Ok(result) => result,
+        Err(fault) => {
+            assert_eq!(fault.rank, VICTIM, "only the planned victim may die");
+            assert_eq!(fault.op, kill_at, "the kill must fire at the aimed op");
+            assert!(matches!(fault.kind, FaultKind::Kill));
+            None
+        }
+    }
+}
+
+/// One survivor's recovery outcome: its new (survivor-space) rank, final
+/// local values, and the serialized checkpoint it restored from.
+type SurvivorOutcome = (usize, Vec<f64>, Vec<u8>);
+
+/// The epoch loop with shrink-onto-survivors recovery. Must mirror
+/// [`epoch_op_marks`] operation-for-operation up to the fault.
+fn drive<C: Comm>(env: &mut C, m: &Graph, cfg: &StanceConfig) -> Option<SurvivorOutcome> {
+    let mut s = AdaptiveSession::setup(env, m, RelaxationKernel, init, cfg);
+    let mut ckpt = s.checkpoint(env, &[]);
+    for e in 0..EPOCHS {
+        match probe_and_decide(env, cfg) {
+            RecoveryAction::Continue => {
+                s.run_block(env, BLOCK);
+                ckpt = s.checkpoint(env, &[]);
+            }
+            RecoveryAction::Shrink { survivors } => {
+                assert_eq!(e, FAULT_EPOCH, "the fault must surface at the aimed epoch");
+                assert_eq!(survivors, vec![0, 1, 3], "exactly the victim is evicted");
+                let mut sc = SurvivorComm::new(env, survivors);
+                // The recovered run re-checks the whole SPMD contract:
+                // audits after setup, every p2p event traced.
+                let vcfg = cfg.clone().with_verification(true);
+                let (mut r, aux) =
+                    AdaptiveSession::restore(&mut sc, m, RelaxationKernel, &ckpt, &vcfg);
+                assert!(aux.is_empty());
+                for _ in e..EPOCHS {
+                    r.run_block(&mut sc, BLOCK);
+                }
+                let diags = r.verify_protocol(&mut sc);
+                assert!(
+                    diags.is_empty(),
+                    "recovered-run protocol diagnostics: {diags:?}"
+                );
+                return Some((sc.rank(), r.local_values().to_vec(), ckpt.to_bytes()));
+            }
+        }
+    }
+    unreachable!("the planned kill fires before the loop completes")
+}
+
+/// Checks a faulted run's outcome against (a) an uninterrupted 3-rank
+/// continuation from the same checkpoint on the same backend and (b) the
+/// sequential reference; `clean` runs that continuation.
+fn check_recovery(
+    m: &Graph,
+    results: Vec<Option<SurvivorOutcome>>,
+    clean: impl FnOnce(SessionCheckpoint<f64>) -> Vec<(Vec<f64>, BlockPartition)>,
+) {
+    assert!(results[VICTIM].is_none(), "the victim must die");
+    let survivors: Vec<_> = results.into_iter().flatten().collect();
+    assert_eq!(survivors.len(), 3, "three survivors must recover");
+    assert!(
+        survivors.windows(2).all(|w| w[0].2 == w[1].2),
+        "the replicated checkpoint must be identical on every survivor"
+    );
+    let ckpt = SessionCheckpoint::<f64>::from_bytes(&survivors[0].2);
+    assert_eq!(ckpt.num_procs(), 4, "the checkpoint predates the loss");
+
+    let clean_results = clean(ckpt);
+    for (new_rank, values, _) in &survivors {
+        assert_eq!(
+            values, &clean_results[*new_rank].0,
+            "survivor {new_rank} diverged from the clean 3-rank continuation"
+        );
+    }
+    let n = m.num_vertices();
+    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    sequential_relaxation(m, &mut expected, EPOCHS * BLOCK);
+    let partition = clean_results[0].1.clone();
+    let blocks = clean_results.into_iter().map(|(v, _)| v).collect();
+    assert_eq!(
+        reassemble(&partition, blocks),
+        expected,
+        "recovered computation diverged from the sequential reference"
+    );
+}
+
+/// The acceptance scenario on the virtual-time simulator.
+#[test]
+fn sim_kill_recovery_matches_uninterrupted_shrink() {
+    let m = mesh();
+    let spec4 = || ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
+    let kill_at = Cluster::new(spec4())
+        .run(|env| epoch_op_marks(env, &m))
+        .into_results()[VICTIM][FAULT_EPOCH];
+
+    let results = Cluster::new(spec4())
+        .run(|env| faulted_run(env, &m, kill_at))
+        .into_results();
+    let cfg = config();
+    check_recovery(&m, results, |ckpt| {
+        Cluster::new(ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost()))
+            .run(|env| {
+                let (mut s, _) = AdaptiveSession::restore(env, &m, RelaxationKernel, &ckpt, &cfg);
+                for _ in FAULT_EPOCH..EPOCHS {
+                    s.run_block(env, BLOCK);
+                }
+                (s.local_values().to_vec(), s.partition().clone())
+            })
+            .into_results()
+    });
+}
+
+/// The same scenario on the native thread-pool backend (wall-clock
+/// timeouts, OS threads, real sleeps).
+#[test]
+fn native_kill_recovery_matches_uninterrupted_shrink() {
+    let m = mesh();
+    let kill_at = NativeCluster::new(4)
+        .run(|comm| epoch_op_marks(comm, &m))
+        .into_results()[VICTIM][FAULT_EPOCH];
+
+    let results = NativeCluster::new(4)
+        .run(|comm| faulted_run(comm, &m, kill_at))
+        .into_results();
+    let cfg = config();
+    check_recovery(&m, results, |ckpt| {
+        NativeCluster::new(3)
+            .run(|comm| {
+                let (mut s, _) = AdaptiveSession::restore(comm, &m, RelaxationKernel, &ckpt, &cfg);
+                for _ in FAULT_EPOCH..EPOCHS {
+                    s.run_block(comm, BLOCK);
+                }
+                (s.local_values().to_vec(), s.partition().clone())
+            })
+            .into_results()
+    });
+}
+
+/// The two backends aim the kill identically: the operation count at
+/// each epoch boundary is a property of the SPMD program, not of the
+/// backend executing it.
+#[test]
+fn epoch_op_marks_agree_across_backends() {
+    let m = mesh();
+    let sim_marks = Cluster::new(ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost()))
+        .run(|env| epoch_op_marks(env, &m))
+        .into_results();
+    let native_marks = NativeCluster::new(4)
+        .run(|comm| epoch_op_marks(comm, &m))
+        .into_results();
+    assert_eq!(
+        sim_marks, native_marks,
+        "op accounting diverged across backends"
+    );
+}
+
+/// A stalled rank is slow, not dead: the membership probe stays
+/// unanimous and the block's values are bitwise unaffected.
+#[test]
+fn stall_is_alive_to_the_detector_and_numerically_free() {
+    let m = mesh();
+    let n = m.num_vertices();
+    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    sequential_relaxation(&m, &mut expected, BLOCK);
+
+    let plan = FaultPlan::stall(1, 8, 2.0e-3);
+    let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+    let report = Cluster::new(spec).run(|env| {
+        let mut faulty = FaultyComm::attach(env, &plan);
+        let cfg = config();
+        let mut s = AdaptiveSession::setup(&mut faulty, &m, RelaxationKernel, init, &cfg);
+        let alive = probe_membership(&mut faulty, &detector());
+        s.run_block(&mut faulty, BLOCK);
+        (alive, s.local_values().to_vec(), s.partition().clone())
+    });
+    let results: Vec<_> = report.into_results();
+    for (alive, _, _) in &results {
+        assert_eq!(
+            alive,
+            &vec![true; 3],
+            "a stalled rank must stay in the group"
+        );
+    }
+    let partition = results[0].2.clone();
+    let blocks = results.into_iter().map(|(_, v, _)| v).collect();
+    assert_eq!(
+        reassemble(&partition, blocks),
+        expected,
+        "stall changed values"
+    );
+}
+
+/// A wedged rank — silent but still running — is evicted by timeout
+/// with the same collective verdict as a crash. This exercises the
+/// "died between rounds" detector path: the victim's heartbeats go out
+/// before the wedge fires, so round 1 sees it alive and round 2's
+/// verdict wait is what times out.
+#[test]
+fn wedge_is_evicted_by_collective_timeout() {
+    let det = detector();
+    // The victim's probe ops: two heartbeat posts (ops 0, 1), then the
+    // wedge fires on its first bounded receive (op 2).
+    let plan = FaultPlan::wedge(1, 2);
+    let report = Cluster::new(ClusterSpec::uniform(3)).run(|env| {
+        let mut faulty = FaultyComm::attach(env, &plan);
+        match catch_fault(|| probe_membership(&mut faulty, &det)) {
+            Ok(alive) => Some(alive),
+            Err(fault) => {
+                assert_eq!(fault.rank, 1);
+                assert!(matches!(fault.kind, FaultKind::Wedge));
+                // Wedged, not dead: hold the mailboxes open past the
+                // survivors' patience window so eviction happens by
+                // timeout, not by disconnection.
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    det.total_patience_secs() * 2.0,
+                ));
+                None
+            }
+        }
+    });
+    for (rank, alive) in report.into_results().into_iter().enumerate() {
+        if rank == 1 {
+            assert_eq!(alive, None, "the victim must wedge");
+        } else {
+            assert_eq!(
+                alive,
+                Some(vec![true, false, true]),
+                "rank {rank} verdict diverged"
+            );
+        }
+    }
+}
+
+/// Seeded plans reproduce: the same seed yields the same fault at the
+/// same operation, run after run, so every red run can be replayed.
+#[test]
+fn seeded_faults_reproduce_run_for_run() {
+    for seed in [3, 17, 0xDEAD_BEEF] {
+        let run_once = || {
+            let plan = FaultPlan::randomized(seed, 4, 64);
+            Cluster::new(ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost()))
+                .run(|env| {
+                    let mut faulty = FaultyComm::attach(env, &plan);
+                    // A bounded all-to-all ring: every wait has a
+                    // deadline, so no fault can deadlock the workload.
+                    let outcome = catch_fault(|| {
+                        let me = faulty.rank();
+                        let p = faulty.size();
+                        let mut received = Vec::new();
+                        for step in 0..8u32 {
+                            let next = (me + 1) % p;
+                            let prev = (me + p - 1) % p;
+                            faulty.post(next, Tag(5), Payload::from_u32(vec![step]));
+                            if let Some(got) = faulty.recv_deadline(prev, Tag(5), 0.3) {
+                                received.extend(got.into_u32());
+                            }
+                        }
+                        received
+                    });
+                    match outcome {
+                        Ok(received) => Ok(received),
+                        Err(fault) => Err((fault.rank, fault.op)),
+                    }
+                })
+                .into_results()
+        };
+        assert_eq!(run_once(), run_once(), "seed {seed} did not reproduce");
+    }
+}
