@@ -1,0 +1,32 @@
+//! Criterion bench for the fused ghost exchange: fused vs per-field
+//! gather messages for a three-field, two-stage graph on the native
+//! backend over the boundary-heavy paper-scale mesh, at 1/2/4/8 ranks.
+//! The per-rank-count medians, deterministic modelled speedups and exact
+//! traffic counts land in `results/BENCH_dag.json` via `repro_all`; this
+//! bench is the interactive/smoke view of the same measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stance_bench::dag::{dag_mesh, time_dag_pass, THREAD_COUNTS};
+
+fn bench_dag_fused_exchange(c: &mut Criterion) {
+    let mesh = dag_mesh();
+    let n = mesh.num_vertices() as u64;
+    let mut group = c.benchmark_group("dag_fused_exchange");
+    group.sample_size(10);
+    // One bench iteration = a full native cluster run of 5 passes of the
+    // two-stage graph (spawn + warm-up included; the steady-state
+    // per-pass seconds are what BENCH_dag.json reports).
+    group.throughput(Throughput::Elements(n * 5));
+    for &threads in &THREAD_COUNTS {
+        group.bench_function(format!("unfused_threads_{threads}"), |b| {
+            b.iter(|| time_dag_pass(&mesh, threads, 5, false));
+        });
+        group.bench_function(format!("fused_threads_{threads}"), |b| {
+            b.iter(|| time_dag_pass(&mesh, threads, 5, true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag_fused_exchange);
+criterion_main!(benches);

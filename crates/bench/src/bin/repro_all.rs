@@ -73,6 +73,12 @@ fn main() {
             start.elapsed().as_secs_f64()
         );
     }
+    {
+        let start = Instant::now();
+        eprintln!(">> BENCH_dag ...");
+        stance_bench::emit_file("BENCH_dag.json", &stance_bench::dag::report_json());
+        eprintln!("   BENCH_dag done in {:.1}s", start.elapsed().as_secs_f64());
+    }
 
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

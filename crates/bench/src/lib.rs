@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 pub mod ablations;
+pub mod dag;
 pub mod figures;
 pub mod fmt;
 pub mod native;

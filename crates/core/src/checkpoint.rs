@@ -1,13 +1,15 @@
 //! Checkpoint/restore: the session's recovery state as a versioned byte
-//! blob.
+//! blob with **named** field records.
 //!
 //! A [`SessionCheckpoint`] is everything survivors need to reconstruct the
 //! computation after a rank is lost: the partition (block sizes and
-//! arrangement), every rank's calibrated [`MonitorSnapshot`], the value
-//! array in **global order**, and any auxiliary per-vertex arrays the
-//! application threads through remaps (solver vectors and the like). It is
-//! *replicated*: [`AdaptiveSession::checkpoint`](crate::AdaptiveSession::checkpoint)
-//! is an allgather, so after it returns every rank holds the same
+//! arrangement), every rank's calibrated [`MonitorSnapshot`], and every
+//! per-vertex field in **global order** — each recorded *under its name*,
+//! so a restore matches fields to the restoring session by name rather
+//! than zipping blobs to arrays by position. It is *replicated*:
+//! [`AdaptiveSession::checkpoint`](crate::AdaptiveSession::checkpoint)
+//! and [`DataflowSession::checkpoint`](crate::DataflowSession::checkpoint)
+//! are allgathers, so after they return every rank holds the same
 //! checkpoint and any subset of survivors can restore without talking to
 //! the dead.
 //!
@@ -17,17 +19,24 @@
 //!
 //! ```text
 //! magic   b"STCK"                          4 bytes
-//! version u32 = 1                          4
+//! version u32 = 2                          4
 //! elem    u32 = E::SIZE_BYTES              4
 //! n       u64  (elements)                  8
 //! p       u32  (ranks at checkpoint time)  4
-//! aux     u32  (aux array count)           4
+//! aux     u32  (auxiliary field count)     4
+//! primary u32 name length + that many utf-8 bytes
 //! sizes   p × u64   block sizes, block (left-to-right) order
 //! order   p × u32   arrangement: proc_at(slot) per slot
 //! mon     p × 69 bytes  monitor snapshots (flags byte + 8 f64 + u32)
-//! values  n × elem      the value array, global order
-//! aux     aux × n × elem
+//! values  n × elem      the primary field, global order
+//! aux     aux × { u32 name length, name bytes, n × elem data }
 //! ```
+//!
+//! Version 1 blobs (unnamed, positional aux arrays) are **rejected**, not
+//! silently adopted: a v1 restore would have to guess names, and a wrong
+//! guess would wire a solver vector to the wrong field. Decoding also
+//! rejects non-UTF-8, empty, or duplicated field names — the name is the
+//! restore key, so it must be well-formed and unambiguous.
 //!
 //! Restoring onto the *same* rank count reinstalls the partition and the
 //! monitor snapshots bit-for-bit. Restoring onto a *different* rank count
@@ -43,8 +52,9 @@ use stance_sim::Element;
 /// The blob's magic number.
 const MAGIC: &[u8; 4] = b"STCK";
 
-/// The current blob format version.
-const VERSION: u32 = 1;
+/// The current blob format version. Bumped 1 → 2 when field records
+/// became name-keyed.
+const VERSION: u32 = 2;
 
 /// Wire size of one encoded [`MonitorSnapshot`]: a presence-flags byte,
 /// eight `f64`s (three optional costs + five movement moments) and the
@@ -59,8 +69,9 @@ pub struct SessionCheckpoint<E: Element> {
     pub(crate) block_sizes: Vec<usize>,
     pub(crate) arrangement: Vec<usize>,
     pub(crate) monitors: Vec<MonitorSnapshot>,
+    pub(crate) primary_name: String,
     pub(crate) values: Vec<E>,
-    pub(crate) aux: Vec<Vec<E>>,
+    pub(crate) aux: Vec<(String, Vec<E>)>,
 }
 
 impl<E: Element> SessionCheckpoint<E> {
@@ -87,22 +98,50 @@ impl<E: Element> SessionCheckpoint<E> {
         &self.monitors
     }
 
-    /// The checkpointed value array, in global order.
+    /// The name of the primary field (the legacy session records its
+    /// value array as `"values"`; a dataflow session uses the graph's
+    /// first registered field name).
+    pub fn primary_name(&self) -> &str {
+        &self.primary_name
+    }
+
+    /// The checkpointed primary field, in global order.
     pub fn values(&self) -> &[E] {
         &self.values
     }
 
-    /// The checkpointed auxiliary arrays, each in global order.
-    pub fn aux(&self) -> &[Vec<E>] {
+    /// The checkpointed auxiliary fields: `(name, global-order data)`
+    /// records, in checkpoint order.
+    pub fn aux(&self) -> &[(String, Vec<E>)] {
         &self.aux
+    }
+
+    /// The names of every recorded field (primary first), in checkpoint
+    /// order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.primary_name.as_str()).chain(self.aux.iter().map(|(n, _)| n.as_str()))
+    }
+
+    /// Looks a field up **by name** (primary or auxiliary); the
+    /// global-order data if recorded.
+    pub fn field(&self, name: &str) -> Option<&[E]> {
+        if name == self.primary_name {
+            return Some(&self.values);
+        }
+        self.aux
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| a.as_slice())
     }
 
     /// Serializes the checkpoint to its versioned byte form.
     pub fn to_bytes(&self) -> Vec<u8> {
         let p = self.num_procs();
         let elem = E::SIZE_BYTES;
+        let name_bytes: usize =
+            4 + self.primary_name.len() + self.aux.iter().map(|(n, _)| 4 + n.len()).sum::<usize>();
         let mut out = Vec::with_capacity(
-            28 + p * (12 + SNAPSHOT_BYTES) + (1 + self.aux.len()) * self.n * elem,
+            28 + name_bytes + p * (12 + SNAPSHOT_BYTES) + (1 + self.aux.len()) * self.n * elem,
         );
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
@@ -110,6 +149,7 @@ impl<E: Element> SessionCheckpoint<E> {
         out.extend_from_slice(&(self.n as u64).to_le_bytes());
         out.extend_from_slice(&(p as u32).to_le_bytes());
         out.extend_from_slice(&(self.aux.len() as u32).to_le_bytes());
+        write_name(&self.primary_name, &mut out);
         for &s in &self.block_sizes {
             out.extend_from_slice(&(s as u64).to_le_bytes());
         }
@@ -120,7 +160,8 @@ impl<E: Element> SessionCheckpoint<E> {
             write_snapshot(snap, &mut out);
         }
         E::pack_into(&self.values, &mut out);
-        for a in &self.aux {
+        for (name, a) in &self.aux {
+            write_name(name, &mut out);
             E::pack_into(a, &mut out);
         }
         out
@@ -130,8 +171,9 @@ impl<E: Element> SessionCheckpoint<E> {
     ///
     /// # Panics
     /// Panics with a descriptive message if the blob is truncated, has the
-    /// wrong magic or version, or was written for a different element size
-    /// — a corrupt checkpoint must never restore silently.
+    /// wrong magic or version, was written for a different element size,
+    /// or carries malformed or duplicated field names — a corrupt
+    /// checkpoint must never restore silently.
     pub fn from_bytes(bytes: &[u8]) -> Self {
         let mut c = Cursor { bytes, at: 0 };
         assert_eq!(c.take(4), MAGIC, "not a STANCE checkpoint (bad magic)");
@@ -148,6 +190,7 @@ impl<E: Element> SessionCheckpoint<E> {
         let p = c.u32() as usize;
         let aux_count = c.u32() as usize;
         assert!(p > 0, "checkpoint has no ranks");
+        let primary_name = read_name(&mut c);
         let block_sizes: Vec<usize> = (0..p).map(|_| c.u64() as usize).collect();
         assert_eq!(
             block_sizes.iter().sum::<usize>(),
@@ -158,23 +201,48 @@ impl<E: Element> SessionCheckpoint<E> {
         let monitors: Vec<MonitorSnapshot> = (0..p).map(|_| read_snapshot(&mut c)).collect();
         let mut values = vec![E::zero(); n];
         E::unpack_into(c.take(n * elem), &mut values);
-        let aux: Vec<Vec<E>> = (0..aux_count)
+        let aux: Vec<(String, Vec<E>)> = (0..aux_count)
             .map(|_| {
+                let name = read_name(&mut c);
                 let mut a = vec![E::zero(); n];
                 E::unpack_into(c.take(n * elem), &mut a);
-                a
+                (name, a)
             })
             .collect();
         assert_eq!(c.at, bytes.len(), "checkpoint has trailing garbage");
+        let names: Vec<&str> = std::iter::once(primary_name.as_str())
+            .chain(aux.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        for (i, name) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(name),
+                "checkpoint field {name:?} appears more than once"
+            );
+        }
         SessionCheckpoint {
             n,
             block_sizes,
             arrangement,
             monitors,
+            primary_name,
             values,
             aux,
         }
     }
+}
+
+/// Appends one length-prefixed field name.
+fn write_name(name: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Reads one length-prefixed field name back, rejecting malformed keys.
+fn read_name(c: &mut Cursor<'_>) -> String {
+    let len = c.u32() as usize;
+    let name = std::str::from_utf8(c.take(len)).expect("checkpoint field name is not UTF-8");
+    assert!(!name.is_empty(), "checkpoint field name is empty");
+    name.to_string()
 }
 
 /// Appends one snapshot's fixed [`SNAPSHOT_BYTES`]-long wire form.
@@ -210,7 +278,7 @@ fn read_snapshot(c: &mut Cursor<'_>) -> MonitorSnapshot {
 }
 
 /// Reads one rank's checkpoint contribution (the allgather payload):
-/// a snapshot followed by that rank's slice of the value and aux arrays.
+/// a snapshot followed by that rank's slice of every field.
 pub(crate) fn read_contribution(bytes: &[u8]) -> (MonitorSnapshot, &[u8]) {
     let mut c = Cursor { bytes, at: 0 };
     let snap = read_snapshot(&mut c);
@@ -274,8 +342,9 @@ mod tests {
                     movement_obs: 0,
                 },
             ],
+            primary_name: "values".to_string(),
             values: vec![1.0, -2.0, 3.5, f64::MIN_POSITIVE, 0.0],
-            aux: vec![vec![9.0, 8.0, 7.0, 6.0, 5.0]],
+            aux: vec![("residual".to_string(), vec![9.0, 8.0, 7.0, 6.0, 5.0])],
         }
     }
 
@@ -286,6 +355,16 @@ mod tests {
         let back = SessionCheckpoint::<f64>::from_bytes(&bytes);
         assert_eq!(back, ck);
         assert_eq!(back.partition().sizes(), ck.partition().sizes());
+    }
+
+    #[test]
+    fn fields_are_looked_up_by_name() {
+        let ck = sample();
+        assert_eq!(ck.field("values"), Some(ck.values()));
+        assert_eq!(ck.field("residual"), Some(ck.aux()[0].1.as_slice()));
+        assert_eq!(ck.field("nope"), None);
+        let names: Vec<&str> = ck.field_names().collect();
+        assert_eq!(names, ["values", "residual"]);
     }
 
     #[test]
@@ -304,6 +383,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unsupported checkpoint version 1")]
+    fn rejects_unnamed_v1_blobs() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 1;
+        let _ = SessionCheckpoint::<f64>::from_bytes(&bytes);
+    }
+
+    #[test]
     #[should_panic(expected = "unsupported checkpoint version")]
     fn rejects_future_versions() {
         let mut bytes = sample().to_bytes();
@@ -316,6 +403,22 @@ mod tests {
     fn rejects_wrong_element_size() {
         let bytes = sample().to_bytes();
         let _ = SessionCheckpoint::<[f64; 2]>::from_bytes(&bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears more than once")]
+    fn rejects_duplicate_field_names() {
+        let mut ck = sample();
+        ck.aux.push(("values".to_string(), vec![0.0; 5]));
+        let _ = SessionCheckpoint::<f64>::from_bytes(&ck.to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "field name is empty")]
+    fn rejects_empty_field_names() {
+        let mut ck = sample();
+        ck.aux[0].0 = String::new();
+        let _ = SessionCheckpoint::<f64>::from_bytes(&ck.to_bytes());
     }
 
     #[test]

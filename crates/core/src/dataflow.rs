@@ -1,0 +1,1440 @@
+//! Multi-field dataflow sessions: named fields + kernel-stage DAGs with
+//! fused ghost exchange.
+//!
+//! [`AdaptiveSession`](crate::AdaptiveSession) drives one kernel over one
+//! array; real adaptive applications (the CG example already) sweep
+//! *several* kernels over *several* per-vertex arrays each outer
+//! iteration. This module is the session API redesigned around that
+//! shape:
+//!
+//! * a [`FieldSet`] — the registry of **named** per-vertex arrays
+//!   (name → [`GhostedArray`]), replacing the positional aux-array
+//!   convention of `check_and_rebalance_with`;
+//! * a [`StageGraph`] — kernel stages declaring which field they read and
+//!   which they write, validated at build time by the
+//!   [`stance_verify`] dataflow audit (duplicate names, undeclared
+//!   accesses, dependency cycles) and scheduled deterministically in
+//!   topological order;
+//! * a [`DataflowSession`] — the runtime that earns the API: ghost
+//!   gathers for fields exchanged at the same dataflow point are **fused
+//!   into one message per neighbor per pass**
+//!   ([`gather_fused`] on `TAG_GATHER_FUSED`), gathers for fields whose
+//!   writers have not run since the last exchange are **skipped**
+//!   (dirty-tracking), and an exchange overlaps the next stage's
+//!   interior sweep through the split-phase
+//!   [`gather_fused_start`]/[`gather_fused_finish`] pair when
+//!   `StanceConfig::with_overlap(true)` is set.
+//!
+//! ## Exchange points, fusion and skipping
+//!
+//! At build time every *gathered* read is assigned an **exchange point**:
+//! immediately after the latest stage (in topological order) that writes
+//! the field — or the start of the pass if no stage writes it before the
+//! reader. Reads assigned to the same point form one **fusion group**; at
+//! runtime the group is filtered by per-field dirty flags (set when a
+//! stage commits a field or the host calls
+//! [`DataflowSession::set_local`], cleared by the gather) and the
+//! surviving fields travel in **one** message per neighbor. A field
+//! nobody re-wrote drops out of its group; a field nobody reads is never
+//! gathered at all.
+//!
+//! All of this is replicated SPMD state — the graph is identical on every
+//! rank and host writes are collective — so the dirty filter agrees
+//! across ranks and the fused wire format (one segment per selected
+//! field, in group order) always matches.
+//!
+//! Fusion changes *message count*, never bytes or values: results are
+//! bitwise identical to per-field gathers
+//! ([`StageGraphBuilder::with_fused_exchange`] keeps the unfused
+//! spelling available as the measurement baseline), and a one-field,
+//! one-stage graph reproduces [`AdaptiveSession`](crate::AdaptiveSession)
+//! bit-for-bit — including its load-balance decisions.
+
+use stance_balance::{
+    load_balance_step_measured, Decision, LoadMonitor, MeasuredCosts, RemapScratch,
+};
+use stance_executor::{
+    gather, gather_fused, gather_fused_finish, gather_fused_start, sweep_phase, CommBuffers,
+    ComputeCostModel, GhostedArray, Kernel, LoopStats,
+};
+use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
+use stance_locality::Graph;
+use stance_onedim::BlockPartition;
+use stance_sim::tags::TAG_CHECKPOINT;
+use stance_sim::{Comm, Element, Payload};
+use stance_verify::{
+    analyze_collective, audit_collective, audit_redistribution, audit_stage_graph, expect_clean,
+    topological_order, Diagnostic, MaybeChecked, RankTrace, StageDecl,
+};
+
+use crate::checkpoint::SessionCheckpoint;
+use crate::config::StanceConfig;
+use crate::session::{build_schedule, SessionReport};
+
+/// The registry of a session's named per-vertex arrays: one
+/// [`GhostedArray`] per field, addressed by name, plus the per-field
+/// dirty flag the fused exchange uses to skip gathers of fields whose
+/// writers have not run. Field 0 is the session's *primary* field (the
+/// first one registered) — the one whose block the remap pipeline moves
+/// in place of the legacy session's `values`.
+pub struct FieldSet<E: Element = f64> {
+    names: Vec<String>,
+    pub(crate) arrays: Vec<GhostedArray<E>>,
+    /// `dirty[f]` — field `f`'s owned block changed since its ghosts were
+    /// last gathered. Starts all-true (initial values were never
+    /// exchanged).
+    pub(crate) dirty: Vec<bool>,
+}
+
+impl<E: Element> FieldSet<E> {
+    /// Number of registered fields.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty (never true for a built session — a
+    /// stage graph requires at least one field).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The field names, in registration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The registration index of `name`, if registered.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// This rank's owned values of field `name` (in interval order).
+    ///
+    /// # Panics
+    /// Panics if no field of that name is registered.
+    pub fn local(&self, name: &str) -> &[E] {
+        self.arrays[self.must_index(name)].local()
+    }
+
+    /// Replaces this rank's owned values of field `name` and marks the
+    /// field dirty, so its next gathered read re-exchanges ghosts. Host
+    /// writes are collective by convention: every rank must update the
+    /// same fields between the same passes, or the replicated dirty
+    /// filter (and with it the fused wire format) diverges.
+    ///
+    /// # Panics
+    /// Panics if no field of that name is registered, or if `values`
+    /// does not match the rank's current interval.
+    pub fn set_local(&mut self, name: &str, values: &[E]) {
+        let i = self.must_index(name);
+        self.arrays[i].set_local(values);
+        self.dirty[i] = true;
+    }
+
+    fn must_index(&self, name: &str) -> usize {
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("no field named {name:?} (fields: {:?})", self.names))
+    }
+}
+
+/// One built stage: the kernel plus its resolved field indices.
+struct Stage<E: Element> {
+    name: String,
+    kernel: Box<dyn Kernel<E>>,
+    /// Index of the field the kernel sweeps over.
+    input: usize,
+    /// Whether the input is read through its ghosts (and therefore needs
+    /// an exchange) or owned entries only.
+    gathered: bool,
+    /// Index of the field the sweep's output commits to.
+    output: usize,
+}
+
+/// A builder-stage before name resolution.
+struct StageSpec<E: Element> {
+    name: String,
+    kernel: Box<dyn Kernel<E>>,
+    input: String,
+    gathered: bool,
+    output: String,
+}
+
+/// Declares a [`StageGraph`]: register fields with
+/// [`StageGraphBuilder::field`], then stages with
+/// [`StageGraphBuilder::stage`] (ghost-reading input) or
+/// [`StageGraphBuilder::stage_local`] (owned-only input).
+/// [`StageGraphBuilder::build`] validates the declaration through the
+/// [`stance_verify`] dataflow audit and computes the deterministic
+/// schedule; [`StageGraphBuilder::validate`] exposes the diagnostics
+/// without panicking.
+pub struct StageGraphBuilder<E: Element = f64> {
+    fields: Vec<String>,
+    stages: Vec<StageSpec<E>>,
+    fused: bool,
+}
+
+impl<E: Element> Default for StageGraphBuilder<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Element> StageGraphBuilder<E> {
+    /// An empty builder with the fused exchange enabled.
+    pub fn new() -> Self {
+        StageGraphBuilder {
+            fields: Vec::new(),
+            stages: Vec::new(),
+            fused: true,
+        }
+    }
+
+    /// Registers a named per-vertex field. Registration order is the
+    /// [`FieldSet`] order; the first field is the session's primary.
+    pub fn field(mut self, name: &str) -> Self {
+        self.fields.push(name.to_string());
+        self
+    }
+
+    /// Declares a stage that sweeps `kernel` over field `reads` —
+    /// through its **ghosts**, so the runtime exchanges the field's
+    /// boundary before the stage runs — and commits the output to field
+    /// `writes`. `reads == writes` declares an in-place update (the
+    /// relaxation pattern) and creates no self-dependency.
+    pub fn stage(
+        mut self,
+        name: &str,
+        kernel: impl Kernel<E> + 'static,
+        reads: &str,
+        writes: &str,
+    ) -> Self {
+        self.stages.push(StageSpec {
+            name: name.to_string(),
+            kernel: Box::new(kernel),
+            input: reads.to_string(),
+            gathered: true,
+            output: writes.to_string(),
+        });
+        self
+    }
+
+    /// Like [`StageGraphBuilder::stage`], but the kernel promises to
+    /// read **owned** entries of `reads` only (e.g. a pointwise
+    /// preconditioner), so the field needs no ghost exchange for this
+    /// stage and never triggers one.
+    pub fn stage_local(
+        mut self,
+        name: &str,
+        kernel: impl Kernel<E> + 'static,
+        reads: &str,
+        writes: &str,
+    ) -> Self {
+        self.stages.push(StageSpec {
+            name: name.to_string(),
+            kernel: Box::new(kernel),
+            input: reads.to_string(),
+            gathered: false,
+            output: writes.to_string(),
+        });
+        self
+    }
+
+    /// Selects the exchange flavour: `true` (the default) fuses every
+    /// dataflow point's gathers into one message per neighbor; `false`
+    /// issues one plain per-field gather per dirty field at the same
+    /// points. Values are bitwise identical either way — the unfused
+    /// spelling exists as the measurement baseline (`bench_dag`).
+    pub fn with_fused_exchange(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// The declaration's dataflow diagnostics (empty means
+    /// [`StageGraphBuilder::build`] will succeed): duplicate field or
+    /// stage names, reads/writes of unregistered fields, dependency
+    /// cycles. See [`stance_verify::audit_stage_graph`].
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        audit_stage_graph(&self.fields, &self.decls())
+    }
+
+    /// Validates the declaration and computes the deterministic stage
+    /// schedule and exchange plan.
+    ///
+    /// # Panics
+    /// Panics with the full diagnostic report if the declaration is
+    /// invalid, or if no field or no stage was registered.
+    pub fn build(self) -> StageGraph<E> {
+        assert!(
+            !self.fields.is_empty(),
+            "a stage graph needs at least one field"
+        );
+        assert!(
+            !self.stages.is_empty(),
+            "a stage graph needs at least one stage"
+        );
+        let diags = self.validate();
+        expect_clean("stage-graph validation", &diags);
+        let decls = self.decls();
+        let order = topological_order(&decls).expect("audit rejected cyclic graphs");
+        let field_index = |name: &str| {
+            self.fields
+                .iter()
+                .position(|f| f == name)
+                .expect("audit resolved every access")
+        };
+        let stages: Vec<Stage<E>> = self
+            .stages
+            .into_iter()
+            .map(|s| Stage {
+                input: field_index(&s.input),
+                output: field_index(&s.output),
+                name: s.name,
+                kernel: s.kernel,
+                gathered: s.gathered,
+            })
+            .collect();
+        // Exchange plan: a gathered read of field f at topological
+        // position r re-exchanges f's ghosts right after f's latest
+        // prior writer — or at the start of the pass if no stage before
+        // r writes f (the read consumes last pass's / the host's
+        // version). Reads sharing a point form one fusion group.
+        let mut plan: Vec<Vec<usize>> = vec![Vec::new(); stages.len()];
+        for (pos_r, &sr) in order.iter().enumerate() {
+            let stage = &stages[sr];
+            if !stage.gathered {
+                continue;
+            }
+            let f = stage.input;
+            let point = (0..pos_r)
+                .rev()
+                .find(|&pos_w| stages[order[pos_w]].output == f)
+                .map_or(0, |pos_w| pos_w + 1);
+            if !plan[point].contains(&f) {
+                plan[point].push(f);
+            }
+        }
+        for group in &mut plan {
+            // Canonical (replicated) segment order within a fused message.
+            group.sort_unstable();
+        }
+        StageGraph {
+            fields: self.fields,
+            stages,
+            order,
+            plan,
+            fused: self.fused,
+        }
+    }
+
+    fn decls(&self) -> Vec<StageDecl> {
+        self.stages
+            .iter()
+            .map(|s| StageDecl {
+                name: s.name.clone(),
+                reads: vec![s.input.clone()],
+                writes: vec![s.output.clone()],
+            })
+            .collect()
+    }
+}
+
+/// A validated stage DAG with its deterministic schedule and exchange
+/// plan, ready to drive a [`DataflowSession`]. Built by
+/// [`StageGraphBuilder::build`]; identical on every rank by construction
+/// (it is plain replicated data).
+pub struct StageGraph<E: Element = f64> {
+    /// Field names, registration order (index = [`FieldSet`] index).
+    fields: Vec<String>,
+    /// Stages, declaration order.
+    stages: Vec<Stage<E>>,
+    /// Execution schedule: `order[pos]` is the declaration index of the
+    /// stage run at topological position `pos`.
+    order: Vec<usize>,
+    /// `plan[pos]` — field indices whose ghosts are exchanged (one fused
+    /// message per neighbor) immediately before the stage at position
+    /// `pos` runs, before dirty filtering. Sorted ascending.
+    plan: Vec<Vec<usize>>,
+    fused: bool,
+}
+
+impl<E: Element> StageGraph<E> {
+    /// The registered field names, registration order.
+    pub fn field_names(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether exchanges are fused (one message per neighbor per
+    /// dataflow point) or issued per field.
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Stage names in execution (topological) order.
+    pub fn execution_order(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|&i| self.stages[i].name.as_str())
+    }
+
+    /// The fields whose ghosts are exchanged immediately before `stage`
+    /// runs (one fused message per neighbor carries all of them), before
+    /// dirty filtering.
+    ///
+    /// # Panics
+    /// Panics if no stage of that name exists.
+    pub fn fields_gathered_before(&self, stage: &str) -> Vec<&str> {
+        let pos = self
+            .order
+            .iter()
+            .position(|&i| self.stages[i].name == stage)
+            .unwrap_or_else(|| panic!("no stage named {stage:?}"));
+        self.plan[pos]
+            .iter()
+            .map(|&f| self.fields[f].as_str())
+            .collect()
+    }
+}
+
+/// One rank's state for a multi-field adaptive computation: the
+/// [`StageGraph`]'s schedule driven over a [`FieldSet`], with the same
+/// load-balance/remap/checkpoint machinery as
+/// [`AdaptiveSession`](crate::AdaptiveSession) — except that *every*
+/// field is named, moves through remaps automatically, and is
+/// checkpointed under its name. All communicating methods are
+/// collectives (the SPMD contract of §2).
+pub struct DataflowSession<E: Element = f64> {
+    partition: BlockPartition,
+    adj: LocalAdjacency,
+    graph: StageGraph<E>,
+    schedule: CommSchedule,
+    tadj: TranslatedAdjacency,
+    fields: FieldSet<E>,
+    /// Recycled dirty-filtered fusion group (field indices).
+    group: Vec<usize>,
+    /// Combined-size sweep scratch shared by all stages: the owned prefix
+    /// receives sweep outputs and commits by swapping storage with the
+    /// output field's array (stale ghost suffixes are rewritten by the
+    /// next gather before any read — the `LoopRunner` argument).
+    sweep_scratch: Vec<E>,
+    bufs: CommBuffers<E>,
+    /// Recycled staging for the non-primary fields' owned blocks during a
+    /// remap (the primary moves through `RemapScratch` directly).
+    aux_staging: Vec<Vec<E>>,
+    monitor: LoadMonitor,
+    config: StanceConfig,
+    scratch: RemapScratch<E>,
+    verify: Option<Box<RankTrace>>,
+}
+
+impl<E: Element> DataflowSession<E> {
+    /// Collective setup with an equal-share initial decomposition.
+    /// `init(name, g)` supplies the initial value of field `name` at
+    /// global element `g`.
+    pub fn setup<C: Comm>(
+        env: &mut C,
+        mesh: &Graph,
+        graph: StageGraph<E>,
+        init: impl Fn(&str, usize) -> E,
+        config: &StanceConfig,
+    ) -> Self {
+        let partition = BlockPartition::uniform(mesh.num_vertices(), env.size());
+        Self::setup_with_partition(env, mesh, partition, graph, init, config)
+    }
+
+    /// Collective setup with an explicit initial partition.
+    pub fn setup_with_partition<C: Comm>(
+        env: &mut C,
+        mesh: &Graph,
+        partition: BlockPartition,
+        graph: StageGraph<E>,
+        init: impl Fn(&str, usize) -> E,
+        config: &StanceConfig,
+    ) -> Self {
+        assert_eq!(
+            partition.num_procs(),
+            env.size(),
+            "partition has {} blocks for {} ranks",
+            partition.num_procs(),
+            env.size()
+        );
+        assert_eq!(
+            partition.n(),
+            mesh.num_vertices(),
+            "partition covers {} elements for a {}-vertex graph",
+            partition.n(),
+            mesh.num_vertices()
+        );
+        let adj = LocalAdjacency::extract(mesh, &partition, env.rank());
+        let mut scratch = RemapScratch::new();
+        let mut verify = config
+            .verify
+            .then(|| Box::new(RankTrace::new(env.rank(), env.size())));
+        let schedule = {
+            let mut env = MaybeChecked::new(env, verify.as_deref_mut());
+            build_schedule(&mut env, &partition, &adj, config, &mut scratch.schedule)
+        };
+        let tadj = schedule.translate_adjacency(&adj);
+        let bufs = CommBuffers::for_schedule(&schedule);
+        if verify.is_some() {
+            let diags = audit_collective(env, partition.n(), &schedule, &adj, &tadj);
+            expect_clean("post-setup schedule audit", &diags);
+        }
+        let iv = partition.interval_of(env.rank());
+        let ghosts = schedule.num_ghosts() as usize;
+        let arrays: Vec<GhostedArray<E>> = graph
+            .fields
+            .iter()
+            .map(|name| {
+                GhostedArray::from_local(iv.iter().map(|g| init(name, g)).collect(), ghosts)
+            })
+            .collect();
+        let k = graph.fields.len();
+        let fields = FieldSet {
+            names: graph.fields.clone(),
+            arrays,
+            dirty: vec![true; k],
+        };
+        let sweep_scratch = vec![E::zero(); tadj.buffer_len()];
+        DataflowSession {
+            partition,
+            adj,
+            graph,
+            schedule,
+            tadj,
+            fields,
+            group: Vec::with_capacity(k),
+            sweep_scratch,
+            bufs,
+            aux_staging: Vec::new(),
+            monitor: LoadMonitor::with_estimator(config.monitor_window, config.estimator),
+            config: config.clone(),
+            scratch,
+            verify,
+        }
+    }
+
+    /// The current partition.
+    pub fn partition(&self) -> &BlockPartition {
+        &self.partition
+    }
+
+    /// The current communication schedule (shared by every field — the
+    /// fields live on one mesh, so one inspector pass serves all).
+    pub fn schedule(&self) -> &CommSchedule {
+        &self.schedule
+    }
+
+    /// The stage graph driving this session.
+    pub fn stage_graph(&self) -> &StageGraph<E> {
+        &self.graph
+    }
+
+    /// The named field registry.
+    pub fn fields(&self) -> &FieldSet<E> {
+        &self.fields
+    }
+
+    /// This rank's owned values of field `name` — see [`FieldSet::local`].
+    pub fn local(&self, name: &str) -> &[E] {
+        self.fields.local(name)
+    }
+
+    /// Replaces this rank's owned values of field `name` and marks it
+    /// dirty — see [`FieldSet::set_local`].
+    pub fn set_local(&mut self, name: &str, values: &[E]) {
+        self.fields.set_local(name, values);
+    }
+
+    /// Runs a block of `passes` full passes — each pass executes every
+    /// stage once, in the graph's topological order, with fused
+    /// (dirty-filtered) exchanges at the planned points — and records
+    /// the load measurement. Collective.
+    pub fn run_block<C: Comm>(&mut self, env: &mut C, passes: usize) -> LoopStats {
+        let DataflowSession {
+            graph,
+            schedule,
+            tadj,
+            fields,
+            group,
+            sweep_scratch,
+            bufs,
+            monitor,
+            config,
+            verify,
+            ..
+        } = self;
+        let mut env = MaybeChecked::new(env, verify.as_deref_mut());
+        let mut stats = LoopStats::default();
+        for _ in 0..passes {
+            stats.compute_time += run_one_pass(
+                &mut env,
+                graph,
+                schedule,
+                tadj,
+                fields,
+                group,
+                sweep_scratch,
+                bufs,
+                &config.compute_cost,
+                config.overlap_gather,
+            );
+            stats.iterations += 1;
+        }
+        monitor.record(
+            stats.compute_time,
+            stats.iterations,
+            fields.arrays[0].local_len(),
+        );
+        stats
+    }
+
+    /// One load-balance check (and remap, if the controller finds it
+    /// profitable) — every registered field moves to the new
+    /// distribution automatically. Returns `(remapped, check_cost,
+    /// rebalance_cost)`. Collective.
+    pub fn check_and_rebalance<C: Comm>(
+        &mut self,
+        env: &mut C,
+        remaining_passes: usize,
+    ) -> (bool, f64, f64) {
+        let per_item = self.monitor.per_item_for_check().unwrap_or(0.0);
+        let measured = if self.config.calibrate_rebuild_cost {
+            MeasuredCosts {
+                rebuild: self.monitor.rebuild_cost(),
+                movement: self
+                    .monitor
+                    .movement_model(self.config.balancer.redist_model),
+            }
+        } else {
+            MeasuredCosts::none()
+        };
+        let t0 = env.now_secs();
+        let decision = {
+            let mut env = MaybeChecked::new(env, self.verify.as_deref_mut());
+            load_balance_step_measured(
+                &mut env,
+                &self.partition,
+                per_item,
+                remaining_passes,
+                &self.config.balancer,
+                measured,
+            )
+        };
+        let check_cost = env.now_secs() - t0;
+        match decision {
+            Decision::Keep => (false, check_cost, 0.0),
+            Decision::Remap(new_partition) => {
+                let t1 = env.now_secs();
+                self.apply_remap(env, new_partition);
+                (true, check_cost, env.now_secs() - t1)
+            }
+        }
+    }
+
+    /// The monitor's current per-item time estimate (seconds per element
+    /// per pass), if any measurement or carried estimate exists.
+    pub fn per_item_estimate(&self) -> Option<f64> {
+        self.monitor.per_item_time()
+    }
+
+    /// Forces a remap to an explicitly chosen partition, moving **every**
+    /// field and rebuilding the schedule, without consulting the
+    /// controller. Collective; an identity remap is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `new_partition` does not cover the same list with the
+    /// same number of ranks.
+    pub fn remap_to<C: Comm>(&mut self, env: &mut C, new_partition: BlockPartition) {
+        assert_eq!(
+            new_partition.num_procs(),
+            self.partition.num_procs(),
+            "partition rank count changed"
+        );
+        assert_eq!(new_partition.n(), self.partition.n(), "list length changed");
+        self.apply_remap(env, new_partition);
+    }
+
+    /// Moves every field and the structure to `new_partition` and
+    /// rebuilds the schedule and transport scratch — the multi-field
+    /// counterpart of the legacy session's remap: the primary field's
+    /// block travels through [`RemapScratch`] directly, the others stage
+    /// through recycled buffers, and all of them ride the same coalesced
+    /// message per destination. After the move every dirty flag is set:
+    /// ghost regions are rebuilt empty, so every field's next gathered
+    /// read re-exchanges.
+    fn apply_remap<C: Comm>(&mut self, env: &mut C, new_partition: BlockPartition) {
+        if new_partition == self.partition {
+            return;
+        }
+        let t0 = env.now_secs();
+        let (moved_messages, moved_elements);
+        let plan = self.scratch.take_plan(&self.partition, &new_partition);
+        let mut trace = self.verify.take();
+        if trace.is_some() {
+            let diags = audit_redistribution(&self.partition, &new_partition, &plan);
+            expect_clean("redistribution-plan audit", &diags);
+        }
+        {
+            let mut env = MaybeChecked::new(env, trace.as_deref_mut());
+            let extra = self.fields.arrays.len() - 1;
+            self.aux_staging.resize_with(extra, Vec::new);
+            for (staged, f) in self.aux_staging.iter_mut().zip(&self.fields.arrays[1..]) {
+                staged.clear();
+                staged.extend_from_slice(f.local());
+            }
+            let mut aux_refs: Vec<&mut Vec<E>> = self.aux_staging.iter_mut().collect();
+            self.scratch.redistribute(
+                &mut env,
+                &self.partition,
+                &new_partition,
+                &plan,
+                self.fields.arrays[0].local(),
+                &mut aux_refs,
+            );
+            let new_adj = self.scratch.redistribute_adjacency(
+                &mut env,
+                &self.partition,
+                &new_partition,
+                &plan,
+                &self.adj,
+            );
+            moved_messages = plan.num_messages();
+            moved_elements = plan.elements_moved();
+            self.scratch.put_plan(plan);
+            let old_adj = std::mem::replace(&mut self.adj, new_adj);
+            self.scratch.recycle_adjacency(old_adj);
+        }
+        self.partition = new_partition;
+
+        let t_rebuild = env.now_secs();
+        self.monitor
+            .record_movement_cost(moved_messages, moved_elements, t_rebuild - t0);
+        let schedule = {
+            let mut env = MaybeChecked::new(env, trace.as_deref_mut());
+            build_schedule(
+                &mut env,
+                &self.partition,
+                &self.adj,
+                &self.config,
+                &mut self.scratch.schedule,
+            )
+        };
+        schedule.translate_adjacency_into(&self.adj, &mut self.tadj);
+        self.bufs.rebuild(&schedule);
+        let retired = std::mem::replace(&mut self.schedule, schedule);
+        self.scratch.schedule.recycle(retired);
+        let ghosts = self.schedule.num_ghosts() as usize;
+        self.fields.arrays[0].rebuild_from(self.scratch.primary_block(), ghosts);
+        for (f, staged) in self.fields.arrays[1..].iter_mut().zip(&self.aux_staging) {
+            f.rebuild_from(staged, ghosts);
+        }
+        self.sweep_scratch.resize(self.tadj.buffer_len(), E::zero());
+        for d in &mut self.fields.dirty {
+            *d = true;
+        }
+        let now = env.now_secs();
+        self.monitor.record_remap_cost(now - t_rebuild, now - t0);
+        self.verify = trace;
+        if self.verify.is_some() {
+            let diags = audit_collective(
+                env,
+                self.partition.n(),
+                &self.schedule,
+                &self.adj,
+                &self.tadj,
+            );
+            expect_clean("post-remap schedule audit", &diags);
+        }
+        self.monitor.rollover();
+    }
+
+    /// Checkpoints the session collectively: allgathers every rank's
+    /// recovery state (monitor snapshot + every field's owned block) on
+    /// `TAG_CHECKPOINT` and assembles the same replicated
+    /// [`SessionCheckpoint`] on every rank. Every field is recorded
+    /// **under its name** — the blob identifies fields by name, not
+    /// position, and [`DataflowSession::restore`] validates the names
+    /// against the restoring graph.
+    pub fn checkpoint<C: Comm>(&mut self, env: &mut C) -> SessionCheckpoint<E> {
+        let mut bytes = Vec::new();
+        crate::checkpoint::write_snapshot(&self.monitor.snapshot(), &mut bytes);
+        for f in &self.fields.arrays {
+            E::pack_into(f.local(), &mut bytes);
+        }
+        let parts = {
+            let mut env = MaybeChecked::new(env, self.verify.as_deref_mut());
+            env.allgather(TAG_CHECKPOINT, Payload::from_bytes(bytes))
+        };
+        let n = self.partition.n();
+        let p = self.partition.num_procs();
+        let k = self.fields.arrays.len();
+        let mut monitors = Vec::with_capacity(p);
+        let mut globals: Vec<Vec<E>> = (0..k).map(|_| vec![E::zero(); n]).collect();
+        for (rank, payload) in parts.into_iter().enumerate() {
+            let b = payload.into_bytes();
+            let (snap, rest) = crate::checkpoint::read_contribution(&b);
+            monitors.push(snap);
+            let riv = self.partition.interval_of(rank);
+            let vb = riv.len() * E::SIZE_BYTES;
+            for (i, g) in globals.iter_mut().enumerate() {
+                E::unpack_into(&rest[i * vb..(i + 1) * vb], &mut g[riv.start..riv.end]);
+            }
+        }
+        let mut globals = globals.into_iter();
+        let values = globals.next().expect("a graph has at least one field");
+        let aux = self.graph.fields[1..]
+            .iter()
+            .cloned()
+            .zip(globals)
+            .collect();
+        SessionCheckpoint {
+            n,
+            block_sizes: self.partition.block_sizes(),
+            arrangement: self.partition.arrangement().as_slice().to_vec(),
+            monitors,
+            primary_name: self.graph.fields[0].clone(),
+            values,
+            aux,
+        }
+    }
+
+    /// Collective restore from a [`SessionCheckpoint`], onto **any** rank
+    /// count (same semantics as the legacy session's restore: same width
+    /// reinstalls partition and monitors bit-for-bit, a different width
+    /// starts uniform with fresh monitors). The checkpoint's field
+    /// records are matched to the graph **by name**: a checkpoint
+    /// missing a graph field, holding an unknown field, or naming a
+    /// different primary is rejected — never zipped by position.
+    ///
+    /// # Panics
+    /// Panics if `mesh` does not have the checkpoint's element count or
+    /// the field names do not match the graph exactly.
+    pub fn restore<C: Comm>(
+        env: &mut C,
+        mesh: &Graph,
+        graph: StageGraph<E>,
+        ckpt: &SessionCheckpoint<E>,
+        config: &StanceConfig,
+    ) -> Self {
+        assert_eq!(
+            mesh.num_vertices(),
+            ckpt.n(),
+            "checkpoint covers {} elements for a {}-vertex graph",
+            ckpt.n(),
+            mesh.num_vertices()
+        );
+        assert_eq!(
+            ckpt.primary_name(),
+            graph.fields[0],
+            "checkpoint primary field {:?} does not match graph field {:?}",
+            ckpt.primary_name(),
+            graph.fields[0]
+        );
+        assert_eq!(
+            ckpt.aux().len(),
+            graph.fields.len() - 1,
+            "checkpoint holds {} auxiliary fields for a {}-field graph",
+            ckpt.aux().len(),
+            graph.fields.len()
+        );
+        for name in &graph.fields[1..] {
+            assert!(
+                ckpt.field(name).is_some(),
+                "checkpoint is missing field {name:?}"
+            );
+        }
+        let same_width = env.size() == ckpt.num_procs();
+        let partition = if same_width {
+            ckpt.partition()
+        } else {
+            BlockPartition::uniform(ckpt.n(), env.size())
+        };
+        let mut session = Self::setup_with_partition(
+            env,
+            mesh,
+            partition,
+            graph,
+            |name, g| ckpt.field(name).expect("names validated above")[g],
+            config,
+        );
+        if same_width {
+            session
+                .monitor
+                .restore_snapshot(&ckpt.monitors()[env.rank()]);
+        }
+        session
+    }
+
+    /// Analyzes the protocol traces recorded so far — identical
+    /// semantics to
+    /// [`AdaptiveSession::verify_protocol`](crate::AdaptiveSession::verify_protocol).
+    pub fn verify_protocol<C: Comm>(&mut self, env: &mut C) -> Vec<Diagnostic> {
+        match self.verify.as_deref() {
+            None => Vec::new(),
+            Some(trace) => analyze_collective(env, trace),
+        }
+    }
+
+    /// The protocol trace recorded so far — `Some` iff the session was
+    /// set up with `StanceConfig::with_verification(true)`.
+    pub fn trace(&self) -> Option<&RankTrace> {
+        self.verify.as_deref()
+    }
+
+    /// The paper's full execution structure over passes: blocks of
+    /// `check_interval` passes separated by load-balance checks, for
+    /// `total_passes` passes. Collective.
+    pub fn run_adaptive<C: Comm>(&mut self, env: &mut C, total_passes: usize) -> SessionReport {
+        let mut report = SessionReport::default();
+        let mut done = 0;
+        while done < total_passes {
+            let block = self.config.check_interval.min(total_passes - done);
+            let stats = self.run_block(env, block);
+            done += block;
+            report.iterations += stats.iterations;
+            report.compute_time += stats.compute_time;
+            if done < total_passes && self.config.load_balancing_enabled() {
+                let (remapped, check, rebalance) =
+                    self.check_and_rebalance(env, total_passes - done);
+                report.checks += 1;
+                report.check_cost += check;
+                if remapped {
+                    report.remaps += 1;
+                    report.rebalance_cost += rebalance;
+                }
+            }
+        }
+        report.total_time = env.now_secs();
+        report
+    }
+}
+
+/// One pass: every stage once, in topological order, with the planned
+/// (dirty-filtered) exchange before each stage. Returns the pass's
+/// compute-sweep seconds (the load monitor's sample). The per-stage
+/// structure mirrors `LoopRunner::apply` exactly — gather (or split
+/// start), charge, sweep, (finish, charge, sweep boundary) — so a
+/// one-field, one-stage graph is bitwise **and** clockwise identical to
+/// the legacy runner.
+#[allow(clippy::too_many_arguments)]
+fn run_one_pass<E: Element, C: Comm>(
+    env: &mut C,
+    graph: &StageGraph<E>,
+    schedule: &CommSchedule,
+    tadj: &TranslatedAdjacency,
+    fields: &mut FieldSet<E>,
+    group: &mut Vec<usize>,
+    sweep_scratch: &mut Vec<E>,
+    bufs: &mut CommBuffers<E>,
+    cost: &ComputeCostModel,
+    overlap: bool,
+) -> f64 {
+    let local_len = tadj.len();
+    let mut compute_time = 0.0;
+    for (pos, &si) in graph.order.iter().enumerate() {
+        let stage = &graph.stages[si];
+        group.clear();
+        group.extend(graph.plan[pos].iter().copied().filter(|&f| fields.dirty[f]));
+        let kernel = stage.kernel.as_ref();
+        if graph.fused && overlap && !group.is_empty() {
+            gather_fused_start(env, schedule, &fields.arrays, group, cost, bufs);
+            if stage.gathered && group.contains(&stage.input) {
+                // The exchange in flight carries this stage's own input:
+                // sweep the interior (no ghost references) while the
+                // bytes travel, land them, sweep the boundary.
+                let interior_work = kernel.cost(cost, tadj.num_interior(), tadj.interior_refs());
+                let boundary_work = kernel.cost(cost, tadj.num_boundary(), tadj.boundary_refs());
+                let t0 = env.now_secs();
+                env.compute(interior_work);
+                sweep_phase(
+                    kernel,
+                    tadj,
+                    fields.arrays[stage.input].combined(),
+                    &mut sweep_scratch[..local_len],
+                    tadj.interior_runs(),
+                );
+                let interior_time = env.now_secs() - t0;
+                gather_fused_finish(env, schedule, &mut fields.arrays, group, cost, bufs);
+                let t1 = env.now_secs();
+                env.compute(boundary_work);
+                sweep_phase(
+                    kernel,
+                    tadj,
+                    fields.arrays[stage.input].combined(),
+                    &mut sweep_scratch[..local_len],
+                    tadj.boundary_runs(),
+                );
+                compute_time += interior_time + env.now_secs() - t1;
+            } else {
+                // The in-flight fields are not read by this stage (its
+                // input's ghosts are already clean, or it reads owned
+                // entries only): the whole sweep overlaps the exchange.
+                let work = kernel.cost(cost, local_len, tadj.num_refs());
+                let t0 = env.now_secs();
+                env.compute(work);
+                kernel.sweep(
+                    tadj,
+                    fields.arrays[stage.input].combined(),
+                    &mut sweep_scratch[..local_len],
+                );
+                compute_time += env.now_secs() - t0;
+                gather_fused_finish(env, schedule, &mut fields.arrays, group, cost, bufs);
+            }
+        } else {
+            if graph.fused {
+                gather_fused(env, schedule, &mut fields.arrays, group, cost, bufs);
+            } else {
+                for &f in group.iter() {
+                    gather(env, schedule, &mut fields.arrays[f], cost, bufs);
+                }
+            }
+            let work = kernel.cost(cost, local_len, tadj.num_refs());
+            let t0 = env.now_secs();
+            env.compute(work);
+            kernel.sweep(
+                tadj,
+                fields.arrays[stage.input].combined(),
+                &mut sweep_scratch[..local_len],
+            );
+            compute_time += env.now_secs() - t0;
+        }
+        for &f in group.iter() {
+            fields.dirty[f] = false;
+        }
+        fields.arrays[stage.output].swap_data(sweep_scratch);
+        fields.dirty[stage.output] = true;
+    }
+    compute_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::session::AdaptiveSession;
+    use stance_executor::{sequential_relaxation, RelaxationKernel};
+    use stance_locality::meshgen;
+
+    fn init(g: usize) -> f64 {
+        (g as f64).cos() * 5.0
+    }
+
+    fn mesh() -> Graph {
+        let raw = meshgen::triangulated_grid(12, 10, 0.4, 3);
+        crate::prepare_mesh(&raw, OrderingMethod::Rcb).0
+    }
+
+    fn test_balancer() -> BalancerConfig {
+        BalancerConfig {
+            redist_model: RedistCostModel {
+                per_message: 1.0e-4,
+                per_element: 1.0e-7,
+            },
+            rebuild_cost_hint: 1.0e-4,
+            profitability_margin: 1.0,
+            use_mcr: true,
+            mode: ControllerMode::Centralized,
+        }
+    }
+
+    /// A one-stage relaxation graph over field `y`.
+    fn relax_graph(fused: bool) -> StageGraph<f64> {
+        StageGraphBuilder::new()
+            .field("y")
+            .stage("relax", RelaxationKernel, "y", "y")
+            .with_fused_exchange(fused)
+            .build()
+    }
+
+    #[test]
+    fn builder_orders_stages_and_plans_exchanges() {
+        let g: StageGraph<f64> = StageGraphBuilder::new()
+            .field("r")
+            .field("u")
+            .field("w")
+            // Declared out of dependency order on purpose.
+            .stage("matvec", RelaxationKernel, "u", "w")
+            .stage_local("precond", RelaxationKernel, "r", "u")
+            .build();
+        let order: Vec<&str> = g.execution_order().collect();
+        assert_eq!(order, ["precond", "matvec"]);
+        // u is written by precond, so its exchange sits between the two
+        // stages; nothing is exchanged before precond (it reads owned
+        // entries only).
+        assert_eq!(g.fields_gathered_before("precond"), Vec::<&str>::new());
+        assert_eq!(g.fields_gathered_before("matvec"), vec!["u"]);
+        assert!(g.fused());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage-graph validation")]
+    fn build_rejects_cycles() {
+        let _ = StageGraphBuilder::<f64>::new()
+            .field("a")
+            .field("b")
+            .stage("fwd", RelaxationKernel, "a", "b")
+            .stage("bwd", RelaxationKernel, "b", "a")
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "stage-graph validation")]
+    fn build_rejects_undeclared_fields() {
+        let _ = StageGraphBuilder::<f64>::new()
+            .field("y")
+            .stage("relax", RelaxationKernel, "ghost", "y")
+            .build();
+    }
+
+    /// A one-field, one-stage dataflow session must reproduce the legacy
+    /// `AdaptiveSession` bit-for-bit — values, partitions, and the
+    /// controller's remap decisions — under forced load.
+    #[test]
+    fn single_stage_graph_is_a_faithful_adapter() {
+        let m = mesh();
+        let iters = 40;
+        let mut config = StanceConfig::default().with_check_interval(10);
+        config.balancer = test_balancer();
+        let spec = || {
+            ClusterSpec::uniform(3)
+                .with_network(NetworkSpec::zero_cost())
+                .with_load(0, LoadTimeline::constant(1.0 / 3.0))
+        };
+        let legacy: Vec<_> = {
+            let (m, config) = (m.clone(), config.clone());
+            Cluster::new(spec())
+                .run(move |env| {
+                    let mut s = AdaptiveSession::setup(env, &m, RelaxationKernel, init, &config);
+                    let rep = s.run_adaptive(env, iters);
+                    (rep, s.local_values().to_vec(), s.partition().sizes())
+                })
+                .into_results()
+        };
+        let dataflow: Vec<_> = Cluster::new(spec())
+            .run(move |env| {
+                let mut s =
+                    DataflowSession::setup(env, &m, relax_graph(true), |_, g| init(g), &config);
+                let rep = s.run_adaptive(env, iters);
+                (rep, s.local("y").to_vec(), s.partition().sizes())
+            })
+            .into_results();
+        assert!(legacy[0].0.remaps >= 1, "load must force a remap");
+        for (l, d) in legacy.iter().zip(&dataflow) {
+            assert_eq!(l.0.remaps, d.0.remaps, "remap decisions diverged");
+            assert_eq!(l.1, d.1, "values diverged");
+            assert_eq!(l.2, d.2, "partitions diverged");
+        }
+    }
+
+    /// Two independent relaxation fields and one inert field: both relax
+    /// fields must match the sequential reference bitwise, the inert
+    /// field must stay untouched — and, fused, each pass moves exactly
+    /// one gather message per neighbor (half the unfused count), while
+    /// the inert field is never gathered at all.
+    #[test]
+    fn multi_field_passes_fuse_skip_and_match_sequential() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let passes = 12;
+        let mut exp_y: Vec<f64> = (0..n).map(init).collect();
+        let mut exp_z: Vec<f64> = (0..n).map(|g| init(g) * 2.0 + 1.0).collect();
+        sequential_relaxation(&m, &mut exp_y, passes);
+        sequential_relaxation(&m, &mut exp_z, passes);
+
+        let run = |fused: bool| {
+            let m = m.clone();
+            let config = StanceConfig::free();
+            let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+            Cluster::new(spec)
+                .run(move |env| {
+                    let graph = StageGraphBuilder::new()
+                        .field("y")
+                        .field("z")
+                        .field("inert")
+                        .stage("relax_y", RelaxationKernel, "y", "y")
+                        .stage("relax_z", RelaxationKernel, "z", "z")
+                        .with_fused_exchange(fused)
+                        .build();
+                    let mut s = DataflowSession::setup(
+                        env,
+                        &m,
+                        graph,
+                        |name, g| match name {
+                            "y" => init(g),
+                            "z" => init(g) * 2.0 + 1.0,
+                            _ => g as f64,
+                        },
+                        &config,
+                    );
+                    s.run_block(env, passes);
+                    (
+                        s.local("y").to_vec(),
+                        s.local("z").to_vec(),
+                        s.local("inert").to_vec(),
+                        env.stats().messages_sent,
+                        s.partition().clone(),
+                    )
+                })
+                .into_results()
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        let part = fused[0].4.clone();
+        let mut got_y = vec![0.0; n];
+        let mut got_z = vec![0.0; n];
+        for (rank, (y, z, inert, _, _)) in fused.iter().enumerate() {
+            let iv = part.interval_of(rank);
+            got_y[iv.start..iv.end].copy_from_slice(y);
+            got_z[iv.start..iv.end].copy_from_slice(z);
+            for (offset, g) in iv.iter().enumerate() {
+                assert_eq!(inert[offset], g as f64, "inert field changed");
+            }
+        }
+        assert_eq!(got_y, exp_y, "field y diverged");
+        assert_eq!(got_z, exp_z, "field z diverged");
+        for ((fy, fz, _, fmsgs, _), (uy, uz, _, umsgs, _)) in fused.iter().zip(&unfused) {
+            assert_eq!(fy, uy, "fused vs unfused y diverged");
+            assert_eq!(fz, uz, "fused vs unfused z diverged");
+            // Both relax fields share the pass-start exchange point, so
+            // fusion halves the gather traffic; setup messages are
+            // identical between the runs and cancel in the comparison.
+            assert!(
+                fmsgs < umsgs,
+                "fusion must reduce message count: {fmsgs} vs {umsgs}"
+            );
+        }
+    }
+
+    /// A field whose writer never runs is gathered once (the initial
+    /// exchange) and then skipped: after the first pass, passes move no
+    /// messages for it.
+    #[test]
+    fn clean_fields_skip_their_gathers() {
+        let m = mesh();
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            // `coeff` is read through its ghosts but never written, so
+            // only the first pass exchanges it.
+            let graph = StageGraphBuilder::new()
+                .field("coeff")
+                .field("out")
+                .stage("apply", RelaxationKernel, "coeff", "out")
+                .build();
+            let mut s = DataflowSession::setup(env, &m, graph, |_, g| init(g), &config);
+            s.run_block(env, 1);
+            let after_first = env.stats().messages_sent;
+            s.run_block(env, 3);
+            let after_rest = env.stats().messages_sent;
+            // Re-dirtying the field by a collective host write brings the
+            // exchange back for exactly one pass.
+            let poked: Vec<f64> = s.local("coeff").iter().map(|v| v + 1.0).collect();
+            s.set_local("coeff", &poked);
+            s.run_block(env, 1);
+            let after_poke = env.stats().messages_sent;
+            s.run_block(env, 1);
+            let after_quiet = env.stats().messages_sent;
+            (
+                after_first,
+                after_rest,
+                after_poke,
+                after_quiet,
+                s.schedule().sends().len(),
+            )
+        });
+        for (first, rest, poke, quiet, neighbors) in report.results() {
+            assert_eq!(first, rest, "clean field must not be re-gathered");
+            if *neighbors > 0 {
+                assert!(poke > rest, "set_local must re-dirty the field");
+            }
+            assert_eq!(poke, quiet, "the poke is worth exactly one exchange");
+        }
+    }
+
+    /// Overlapped multi-field run stays bitwise identical to the
+    /// synchronous one (the split changes when bytes are waited on,
+    /// never what arrives).
+    #[test]
+    fn overlapped_passes_are_bitwise_identical() {
+        let m = mesh();
+        let run = |overlap: bool| {
+            let m = m.clone();
+            let config = StanceConfig::free().with_overlap(overlap);
+            let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+            Cluster::new(spec)
+                .run(move |env| {
+                    let graph = StageGraphBuilder::new()
+                        .field("y")
+                        .field("z")
+                        .stage("relax_y", RelaxationKernel, "y", "y")
+                        .stage("relax_z", RelaxationKernel, "z", "z")
+                        .build();
+                    let mut s = DataflowSession::setup(
+                        env,
+                        &m,
+                        graph,
+                        |name, g| if name == "y" { init(g) } else { -init(g) },
+                        &config,
+                    );
+                    s.run_block(env, 10);
+                    (s.local("y").to_vec(), s.local("z").to_vec())
+                })
+                .into_results()
+        };
+        assert_eq!(run(false), run(true), "overlap changed values");
+    }
+
+    /// Every named field follows a forced remap chain onto the right
+    /// owners, and values keep matching the sequential reference.
+    #[test]
+    fn all_fields_follow_forced_remaps() {
+        let m = mesh();
+        let n = m.num_vertices();
+        let passes = 12;
+        let mut expected: Vec<f64> = (0..n).map(init).collect();
+        sequential_relaxation(&m, &mut expected, passes);
+
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let graph = StageGraphBuilder::new()
+                .field("y")
+                .field("tag")
+                .stage("relax", RelaxationKernel, "y", "y")
+                .build();
+            let mut s = DataflowSession::setup(
+                env,
+                &m,
+                graph,
+                |name, g| if name == "y" { init(g) } else { 3.0 * g as f64 },
+                &config,
+            );
+            for sizes in [[20, 40, 60], [60, 40, 20]] {
+                s.run_block(env, passes / 4);
+                s.remap_to(env, BlockPartition::from_sizes(&sizes));
+                s.run_block(env, passes / 4);
+            }
+            let iv = s.partition().interval_of(env.rank());
+            for (offset, g) in iv.iter().enumerate() {
+                assert_eq!(
+                    s.local("tag")[offset],
+                    3.0 * g as f64,
+                    "field strayed during remap"
+                );
+            }
+            (s.local("y").to_vec(), s.partition().clone())
+        });
+        let results: Vec<_> = report.into_results();
+        let partition = results[0].1.clone();
+        let blocks = results.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(
+            crate::reassemble(&partition, blocks),
+            expected,
+            "remap chain diverged from sequential"
+        );
+    }
+
+    /// Named checkpoint round trip: a restored session continues
+    /// bitwise-identically, and restores against a graph whose field
+    /// names do not match are rejected.
+    #[test]
+    fn named_checkpoint_round_trips_and_validates_names() {
+        let m = mesh();
+        let config = StanceConfig::free();
+        let graph = || {
+            StageGraphBuilder::new()
+                .field("y")
+                .field("z")
+                .stage("relax_y", RelaxationKernel, "y", "y")
+                .stage("relax_z", RelaxationKernel, "z", "z")
+                .build()
+        };
+        let init2 = |name: &str, g: usize| if name == "y" { init(g) } else { -init(g) };
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let mut s = DataflowSession::setup(env, &m, graph(), init2, &config);
+            s.run_block(env, 5);
+            let ckpt = s.checkpoint(env);
+            assert_eq!(ckpt.primary_name(), "y");
+            assert_eq!(ckpt.aux().len(), 1);
+            assert_eq!(ckpt.aux()[0].0, "z");
+            s.run_block(env, 5);
+            let mut r = DataflowSession::restore(env, &m, graph(), &ckpt, &config);
+            r.run_block(env, 5);
+            let same = s.local("y") == r.local("y") && s.local("z") == r.local("z");
+            // The round trip survives the wire form too.
+            let back = SessionCheckpoint::<f64>::from_bytes(&ckpt.to_bytes());
+            (same, back == ckpt)
+        });
+        for (same, wire_same) in report.results() {
+            assert!(same, "restored run diverged");
+            assert!(wire_same, "wire round trip changed the checkpoint");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing field")]
+    fn restore_rejects_mismatched_field_names() {
+        let m = mesh();
+        let config = StanceConfig::free();
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let graph = StageGraphBuilder::new()
+                .field("y")
+                .field("z")
+                .stage("relax", RelaxationKernel, "y", "y")
+                .stage("copy", RelaxationKernel, "z", "z")
+                .build();
+            let mut s = DataflowSession::setup(env, &m, graph, |_, g| init(g), &config);
+            let ckpt = s.checkpoint(env);
+            let renamed = StageGraphBuilder::new()
+                .field("y")
+                .field("w")
+                .stage("relax", RelaxationKernel, "y", "y")
+                .stage("copy", RelaxationKernel, "w", "w")
+                .build();
+            let _ = DataflowSession::restore(env, &m, renamed, &ckpt, &config);
+        });
+    }
+
+    /// Verified multi-field run: audits and protocol analysis stay clean
+    /// with fused exchanges on the new reserved tag.
+    #[test]
+    fn verified_dataflow_run_is_clean() {
+        let m = mesh();
+        let mut config = StanceConfig::default()
+            .with_check_interval(10)
+            .with_verification(true);
+        config.balancer = test_balancer();
+        let spec = ClusterSpec::uniform(3)
+            .with_network(NetworkSpec::zero_cost())
+            .with_load(0, LoadTimeline::constant(1.0 / 3.0));
+        let report = Cluster::new(spec).run(|env| {
+            let graph = StageGraphBuilder::new()
+                .field("y")
+                .field("z")
+                .stage("relax_y", RelaxationKernel, "y", "y")
+                .stage("relax_z", RelaxationKernel, "z", "z")
+                .build();
+            let mut s = DataflowSession::setup(
+                env,
+                &m,
+                graph,
+                |name, g| if name == "y" { init(g) } else { -init(g) },
+                &config,
+            );
+            let rep = s.run_adaptive(env, 40);
+            let diags = s.verify_protocol(env);
+            (rep.remaps, diags, s.trace().map_or(0, |t| t.events.len()))
+        });
+        let results: Vec<_> = report.into_results();
+        assert!(results[0].0 >= 1, "load should force a remap");
+        for (rank, (_, diags, events)) in results.iter().enumerate() {
+            assert!(diags.is_empty(), "rank {rank} diagnostics: {diags:?}");
+            assert!(*events > 0, "rank {rank} recorded no events");
+        }
+    }
+}

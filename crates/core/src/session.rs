@@ -16,7 +16,7 @@
 //! paper's relaxation is `AdaptiveSession<f64, RelaxationKernel>` (the
 //! default parameters); the CG example runs
 //! `AdaptiveSession<f64, LaplacianKernel>` and keeps its solver vectors
-//! consistent across remaps with [`AdaptiveSession::check_and_rebalance_with`].
+//! consistent across remaps with [`AdaptiveSession::check_and_rebalance_named`].
 //!
 //! With `StanceConfig::with_overlap(true)` the session's runner uses the
 //! split-phase gather — the ghost exchange is posted, interior vertices
@@ -250,16 +250,63 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         env: &mut C,
         remaining_iters: usize,
     ) -> (bool, f64, f64) {
-        self.check_and_rebalance_with(env, remaining_iters, &mut [])
+        self.check_and_rebalance_impl(env, remaining_iters, &mut [])
     }
 
     /// Like [`AdaptiveSession::check_and_rebalance`], but also moves the
     /// caller's auxiliary per-vertex arrays to the new distribution when a
-    /// remap happens. Each array must hold one element per owned vertex (in
-    /// interval order) and is resized/refilled in place, so solver state
-    /// like `x` and `r` stays consistent with the session's partition.
-    /// Collective — every rank must pass the same number of arrays.
+    /// remap happens — identified **positionally**, which is why this
+    /// spelling is deprecated: a caller that reorders its aux list silently
+    /// wires solver state to the wrong array. Use
+    /// [`AdaptiveSession::check_and_rebalance_named`] (same semantics,
+    /// name-keyed) or migrate to a
+    /// [`DataflowSession`](crate::DataflowSession), where fields are
+    /// registered by name once and move through remaps automatically.
+    #[deprecated(
+        since = "0.7.0",
+        note = "positional aux arrays are error-prone; use check_and_rebalance_named \
+                (name-keyed) or a DataflowSession with registered fields"
+    )]
     pub fn check_and_rebalance_with<C: Comm>(
+        &mut self,
+        env: &mut C,
+        remaining_iters: usize,
+        aux: &mut [&mut Vec<E>],
+    ) -> (bool, f64, f64) {
+        self.check_and_rebalance_impl(env, remaining_iters, aux)
+    }
+
+    /// Like [`AdaptiveSession::check_and_rebalance`], but also moves the
+    /// caller's **named** auxiliary per-vertex arrays to the new
+    /// distribution when a remap happens. Each array must hold one element
+    /// per owned vertex (in interval order) and is resized/refilled in
+    /// place, so solver state like `x` and `r` stays consistent with the
+    /// session's partition. The names must be pairwise distinct; they are
+    /// the same keys [`AdaptiveSession::checkpoint_named`] records, so a
+    /// caller keeps one name per array across rebalancing and
+    /// checkpointing. Collective — every rank must pass the same arrays
+    /// under the same names in the same order.
+    ///
+    /// # Panics
+    /// Panics if two arrays share a name.
+    pub fn check_and_rebalance_named<C: Comm>(
+        &mut self,
+        env: &mut C,
+        remaining_iters: usize,
+        fields: &mut [(&str, &mut Vec<E>)],
+    ) -> (bool, f64, f64) {
+        for i in 1..fields.len() {
+            let name = fields[i].0;
+            assert!(
+                fields[..i].iter().all(|(n, _)| *n != name),
+                "aux field {name:?} is passed more than once"
+            );
+        }
+        let mut aux: Vec<&mut Vec<E>> = fields.iter_mut().map(|(_, a)| &mut **a).collect();
+        self.check_and_rebalance_impl(env, remaining_iters, &mut aux)
+    }
+
+    fn check_and_rebalance_impl<C: Comm>(
         &mut self,
         env: &mut C,
         remaining_iters: usize,
@@ -472,9 +519,57 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
     ///
     /// Each `aux` slice must hold one element per owned vertex (in
     /// interval order), exactly like the arrays passed to
-    /// [`AdaptiveSession::check_and_rebalance_with`]. Collective — every
+    /// [`AdaptiveSession::check_and_rebalance_named`]. Collective — every
     /// rank must pass the same number of aux slices.
+    ///
+    /// The blob's field records are name-keyed (format v2): the value
+    /// array is recorded as `"values"` and the aux slices under the
+    /// generated names `"aux0"`, `"aux1"`, … in argument order. Callers
+    /// with meaningful names should use
+    /// [`AdaptiveSession::checkpoint_named`] so restores can validate
+    /// them.
     pub fn checkpoint<C: Comm>(&mut self, env: &mut C, aux: &[&[E]]) -> SessionCheckpoint<E> {
+        let names: Vec<String> = (0..aux.len()).map(|i| format!("aux{i}")).collect();
+        self.checkpoint_impl(env, aux, names)
+    }
+
+    /// Like [`AdaptiveSession::checkpoint`], but records each aux slice
+    /// under the caller's **name** — the key
+    /// [`SessionCheckpoint::field`] looks up and
+    /// [`DataflowSession::restore`](crate::DataflowSession::restore)
+    /// validates. Names must be non-empty, pairwise distinct, and not
+    /// `"values"` (the primary's record). Collective — every rank must
+    /// pass the same slices under the same names in the same order.
+    ///
+    /// # Panics
+    /// Panics on an empty, duplicated, or `"values"`-colliding name.
+    pub fn checkpoint_named<C: Comm>(
+        &mut self,
+        env: &mut C,
+        fields: &[(&str, &[E])],
+    ) -> SessionCheckpoint<E> {
+        for (i, (name, _)) in fields.iter().enumerate() {
+            assert!(!name.is_empty(), "checkpoint field name is empty");
+            assert_ne!(
+                *name, "values",
+                "field name \"values\" collides with the primary record"
+            );
+            assert!(
+                fields[..i].iter().all(|(n, _)| n != name),
+                "checkpoint field {name:?} is passed more than once"
+            );
+        }
+        let aux: Vec<&[E]> = fields.iter().map(|(_, a)| *a).collect();
+        let names = fields.iter().map(|(n, _)| (*n).to_string()).collect();
+        self.checkpoint_impl(env, &aux, names)
+    }
+
+    fn checkpoint_impl<C: Comm>(
+        &mut self,
+        env: &mut C,
+        aux: &[&[E]],
+        names: Vec<String>,
+    ) -> SessionCheckpoint<E> {
         let iv = self.partition.interval_of(env.rank());
         for (i, a) in aux.iter().enumerate() {
             assert_eq!(
@@ -519,8 +614,9 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
             block_sizes: self.partition.block_sizes(),
             arrangement: self.partition.arrangement().as_slice().to_vec(),
             monitors,
+            primary_name: "values".to_string(),
             values,
-            aux: aux_global,
+            aux: names.into_iter().zip(aux_global).collect(),
         }
     }
 
@@ -571,7 +667,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
         let aux = ckpt
             .aux()
             .iter()
-            .map(|a| a[iv.start..iv.end].to_vec())
+            .map(|(_, a)| a[iv.start..iv.end].to_vec())
             .collect();
         (session, aux)
     }
@@ -633,7 +729,7 @@ impl<E: Element, K: Kernel<E>> AdaptiveSession<E, K> {
 /// (recycled across remaps); the simple strategy's three communication
 /// rounds allocate as they always did — its cost is dominated by the
 /// messages, not the allocator.
-fn build_schedule<C: Comm>(
+pub(crate) fn build_schedule<C: Comm>(
     env: &mut C,
     partition: &BlockPartition,
     adj: &LocalAdjacency,
@@ -862,7 +958,7 @@ mod tests {
 
     #[test]
     fn aux_arrays_follow_a_forced_remap() {
-        // An auxiliary per-vertex array passed to check_and_rebalance_with
+        // An auxiliary per-vertex array passed to check_and_rebalance_named
         // must land on the same owners as the session's values.
         let m = mesh();
         let mut config = StanceConfig::default().with_check_interval(10);
@@ -882,7 +978,8 @@ mod tests {
             let mut remapped_once = false;
             for _ in 0..4 {
                 s.run_block(env, 10);
-                let (remapped, _, _) = s.check_and_rebalance_with(env, 10, &mut [&mut aux]);
+                let (remapped, _, _) =
+                    s.check_and_rebalance_named(env, 10, &mut [("aux", &mut aux)]);
                 remapped_once |= remapped;
             }
             let iv = s.partition().interval_of(env.rank());

@@ -215,7 +215,7 @@ const MAX_PRECISE_RUNS: usize = 32;
 /// phase, whose span covers every boundary vertex. Both modes therefore
 /// produce bitwise-identical final outputs; the choice depends only on
 /// the schedule, never on timing.
-fn sweep_phase<E, K>(
+pub fn sweep_phase<E, K>(
     kernel: &K,
     tadj: &TranslatedAdjacency,
     combined: &[E],
@@ -223,7 +223,7 @@ fn sweep_phase<E, K>(
     runs: impl Iterator<Item = Range<usize>> + Clone,
 ) where
     E: Element,
-    K: Kernel<E>,
+    K: Kernel<E> + ?Sized,
 {
     if runs.clone().count() <= MAX_PRECISE_RUNS {
         for run in runs {

@@ -34,6 +34,7 @@ use crate::kernel::Field;
 
 const TAG_GATHER: Tag = stance_sim::tags::TAG_GATHER;
 const TAG_SCATTER: Tag = stance_sim::tags::TAG_SCATTER;
+const TAG_GATHER_FUSED: Tag = stance_sim::tags::TAG_GATHER_FUSED;
 
 /// Whether an index list is one strictly consecutive ascending run
 /// (`l, l+1, …, l+n−1`). Block-partitioned boundary segments usually are,
@@ -315,6 +316,206 @@ pub fn gather_coalesced<E: Element, C: Comm>(
     }
 }
 
+/// Gathers ghosts for the fields selected by `which` (indices into
+/// `arrays`) in **one fused message per neighbor**, on the dedicated
+/// [`TAG_GATHER_FUSED`](stance_sim::tags::TAG_GATHER_FUSED) stream. This
+/// is the stage-graph exchange primitive: a dataflow session groups all
+/// fields whose ghosts are due at the same point of the stage schedule
+/// and moves them in a single packet, paying the per-message setup once
+/// instead of once per field.
+///
+/// The selection-by-index signature (rather than `&mut [&mut
+/// GhostedArray<E>]`) lets a caller that owns all its fields in one
+/// `Vec` pick an iteration-dependent subset without building a slice of
+/// mutable borrows — the steady-state loop stays allocation-free.
+///
+/// Wire format per peer: `which.len()` consecutive segments, one per
+/// selected field in `which` order, each in send-list order. All ranks
+/// must pass the same selection (the dirty-tracking that produces
+/// `which` is replicated SPMD state). An empty selection sends nothing.
+///
+/// # Panics
+/// Panics (in debug) if any selected array's shape does not match the
+/// schedule or an index repeats.
+pub fn gather_fused<E: Element, C: Comm>(
+    env: &mut C,
+    schedule: &CommSchedule,
+    arrays: &mut [GhostedArray<E>],
+    which: &[usize],
+    cost: &ComputeCostModel,
+    bufs: &mut CommBuffers<E>,
+) {
+    if which.is_empty() {
+        return;
+    }
+    debug_assert_fused_selection(schedule, arrays, which);
+    let k = which.len();
+    for (peer, locals) in schedule.sends() {
+        env.compute(cost.pack_work(locals.len() * k));
+        let mut bytes = bufs.take_bytes(locals.len() * k * E::SIZE_BYTES);
+        for &w in which {
+            pack_indexed(arrays[w].local(), locals, &mut bytes);
+        }
+        env.send(*peer, TAG_GATHER_FUSED, Payload::from_bytes(bytes));
+    }
+    // Each field's segment of the payload decodes directly into that
+    // field's ghost-region slice.
+    let mut slot = 0usize;
+    for (peer, globals) in schedule.recvs() {
+        let seg = globals.len();
+        let bytes = env.recv(*peer, TAG_GATHER_FUSED).into_bytes();
+        assert_eq!(
+            bytes.len(),
+            seg * k * E::SIZE_BYTES,
+            "fused gather packet from rank {peer} has wrong length"
+        );
+        env.compute(cost.pack_work(seg * k));
+        unpack_fused_segments(&bytes, arrays, which, slot, seg);
+        bufs.recycle(bytes);
+        slot += seg;
+    }
+}
+
+/// Starts a split-phase fused gather for the fields selected by `which`:
+/// posts one nonblocking receive per peer, then packs every selected
+/// field's boundary values into one message per peer and posts the
+/// sends, exactly as [`gather_fused`] would. The caller computes while
+/// the bytes are in flight — legally, anything that reads no ghost of a
+/// selected field — then calls [`gather_fused_finish`] with the **same**
+/// selection to land them.
+///
+/// An empty selection posts nothing (and the matching finish is a
+/// no-op), so callers can drive the pair unconditionally from
+/// dirty-tracking state.
+///
+/// # Panics
+/// Panics (in debug) if a split-phase gather is already in flight on
+/// `bufs`, or if a selected array's shape does not match the schedule.
+pub fn gather_fused_start<E: Element, C: Comm>(
+    env: &mut C,
+    schedule: &CommSchedule,
+    arrays: &[GhostedArray<E>],
+    which: &[usize],
+    cost: &ComputeCostModel,
+    bufs: &mut CommBuffers<E>,
+) {
+    if which.is_empty() {
+        return;
+    }
+    debug_assert!(
+        bufs.recv_reqs.is_empty(),
+        "gather_fused_start while a split-phase gather is already in flight"
+    );
+    #[cfg(debug_assertions)]
+    for (i, &w) in which.iter().enumerate() {
+        debug_assert_eq!(arrays[w].local_len(), schedule.interval().len());
+        debug_assert_eq!(arrays[w].num_ghosts(), schedule.num_ghosts() as usize);
+        debug_assert!(!which[..i].contains(&w), "field {w} selected twice");
+    }
+    let k = which.len();
+    for (peer, _globals) in schedule.recvs() {
+        let req = env.irecv(*peer, TAG_GATHER_FUSED);
+        bufs.recv_reqs.push(req);
+    }
+    for (peer, locals) in schedule.sends() {
+        env.compute(cost.pack_work(locals.len() * k));
+        let mut bytes = bufs.take_bytes(locals.len() * k * E::SIZE_BYTES);
+        for &w in which {
+            pack_indexed(arrays[w].local(), locals, &mut bytes);
+        }
+        let req = env.isend(*peer, TAG_GATHER_FUSED, Payload::from_bytes(bytes));
+        bufs.send_reqs.push(req);
+    }
+}
+
+/// Completes a split-phase fused gather started by
+/// [`gather_fused_start`] with the same selection: waits each posted
+/// receive in schedule order, decodes every field's segment into its
+/// ghost-region slice, then completes the posted sends. A no-op for an
+/// empty selection.
+///
+/// # Panics
+/// Panics if no matching start was issued or a packet's length does not
+/// match the selection.
+pub fn gather_fused_finish<E: Element, C: Comm>(
+    env: &mut C,
+    schedule: &CommSchedule,
+    arrays: &mut [GhostedArray<E>],
+    which: &[usize],
+    cost: &ComputeCostModel,
+    bufs: &mut CommBuffers<E>,
+) {
+    if which.is_empty() {
+        return;
+    }
+    assert_eq!(
+        bufs.recv_reqs.len(),
+        schedule.recvs().len(),
+        "gather_fused_finish without a matching gather_fused_start"
+    );
+    let k = which.len();
+    let mut slot = 0usize;
+    for (i, (peer, globals)) in schedule.recvs().iter().enumerate() {
+        let seg = globals.len();
+        let req = bufs.recv_reqs[i];
+        let bytes = env.wait_recv(req).into_bytes();
+        assert_eq!(
+            bytes.len(),
+            seg * k * E::SIZE_BYTES,
+            "fused gather packet from rank {peer} has wrong length"
+        );
+        env.compute(cost.pack_work(seg * k));
+        unpack_fused_segments(&bytes, arrays, which, slot, seg);
+        bufs.recycle(bytes);
+        slot += seg;
+    }
+    bufs.recv_reqs.clear();
+    for i in 0..bufs.send_reqs.len() {
+        env.wait_send(bufs.send_reqs[i]);
+    }
+    bufs.send_reqs.clear();
+}
+
+/// Decodes one fused packet's `which.len()` segments (each `seg`
+/// elements, starting at ghost `slot`) into the selected arrays.
+#[inline]
+fn unpack_fused_segments<E: Element>(
+    bytes: &[u8],
+    arrays: &mut [GhostedArray<E>],
+    which: &[usize],
+    slot: usize,
+    seg: usize,
+) {
+    let seg_bytes = seg * E::SIZE_BYTES;
+    for (i, &w) in which.iter().enumerate() {
+        E::unpack_into(
+            &bytes[i * seg_bytes..(i + 1) * seg_bytes],
+            &mut arrays[w].ghosts_mut()[slot..slot + seg],
+        );
+    }
+}
+
+#[cfg(debug_assertions)]
+fn debug_assert_fused_selection<E: Element>(
+    schedule: &CommSchedule,
+    arrays: &[GhostedArray<E>],
+    which: &[usize],
+) {
+    for (i, &w) in which.iter().enumerate() {
+        debug_assert_eq!(arrays[w].local_len(), schedule.interval().len());
+        debug_assert_eq!(arrays[w].num_ghosts(), schedule.num_ghosts() as usize);
+        debug_assert!(!which[..i].contains(&w), "field {w} selected twice");
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_assert_fused_selection<E: Element>(
+    _schedule: &CommSchedule,
+    _arrays: &[GhostedArray<E>],
+    _which: &[usize],
+) {
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +791,118 @@ mod tests {
                 &ComputeCostModel::zero(),
                 &mut CommBuffers::new(),
             );
+            assert_eq!(env.stats().messages_sent, 0);
+        });
+    }
+
+    /// Fused gather of a selection must deliver exactly what separate
+    /// gathers of those fields would — bitwise — in one message per
+    /// neighbor, and the blocking and split-phase flavours must agree.
+    #[test]
+    fn fused_gather_equivalent_to_separate_and_single_message() {
+        let g = meshgen::triangulated_grid(9, 7, 0.3, 2);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 3);
+        let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+        let report = Cluster::new(spec).run(|env| {
+            let rank = env.rank();
+            let adj = LocalAdjacency::extract(&g, &part, rank);
+            let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+            let iv = part.interval_of(rank);
+            let ghosts = sched.num_ghosts() as usize;
+            let mk =
+                |f: fn(usize) -> f64| GhostedArray::from_local(iv.iter().map(f).collect(), ghosts);
+            // Three registered fields; the selection gathers only two.
+            let mut fields = vec![
+                mk(|g| g as f64),
+                mk(|g| (g * g) as f64),
+                mk(|g| -(g as f64)),
+            ];
+            let mut split = fields.clone();
+            let mut bufs = CommBuffers::for_schedule(&sched);
+
+            // Reference: separate gathers of the selected fields.
+            let mut a_ref = fields[0].clone();
+            let mut c_ref = fields[2].clone();
+            gather(
+                env,
+                &sched,
+                &mut a_ref,
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+            gather(
+                env,
+                &sched,
+                &mut c_ref,
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+            let msgs_separate = env.stats().messages_sent;
+
+            gather_fused(
+                env,
+                &sched,
+                &mut fields,
+                &[0, 2],
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+            let msgs_fused = env.stats().messages_sent - msgs_separate;
+
+            gather_fused_start(
+                env,
+                &sched,
+                &split,
+                &[0, 2],
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+            env.compute(0.0);
+            gather_fused_finish(
+                env,
+                &sched,
+                &mut split,
+                &[0, 2],
+                &ComputeCostModel::zero(),
+                &mut bufs,
+            );
+
+            assert_eq!(fields[0], a_ref);
+            assert_eq!(fields[2], c_ref);
+            // The unselected field's ghosts were never touched.
+            assert!(fields[1].ghosts().iter().all(|&x| x == 0.0));
+            assert_eq!(split[0], fields[0]);
+            assert_eq!(split[2], fields[2]);
+            (msgs_separate, msgs_fused)
+        });
+        for (separate, fused) in report.results() {
+            assert_eq!(
+                *separate,
+                2 * fused,
+                "fusing 2 fields must halve messages ({separate} vs {fused})"
+            );
+        }
+    }
+
+    /// An empty selection is a complete no-op for all three fused
+    /// entry points.
+    #[test]
+    fn fused_gather_empty_selection_is_noop() {
+        let g = meshgen::triangulated_grid(4, 4, 0.0, 1);
+        let part = BlockPartition::uniform(16, 2);
+        let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+        Cluster::new(spec).run(|env| {
+            let adj = LocalAdjacency::extract(&g, &part, env.rank());
+            let (sched, _) =
+                build_schedule_symmetric(&part, &adj, env.rank(), ScheduleStrategy::Sort2);
+            let mut fields: Vec<GhostedArray<f64>> =
+                vec![GhostedArray::zeros(8, sched.num_ghosts() as usize)];
+            let mut bufs = CommBuffers::new();
+            let cost = ComputeCostModel::zero();
+            gather_fused(env, &sched, &mut fields, &[], &cost, &mut bufs);
+            gather_fused_start(env, &sched, &fields, &[], &cost, &mut bufs);
+            gather_fused_finish(env, &sched, &mut fields, &[], &cost, &mut bufs);
             assert_eq!(env.stats().messages_sent, 0);
         });
     }

@@ -14,6 +14,7 @@
 //! | 18 | [`TAG_SCHED_REQUEST`] | inspector: send-list requests |
 //! | 32 | [`TAG_GATHER`] | executor: ghost-value gather |
 //! | 33 | [`TAG_SCATTER`] | executor: accumulation scatter |
+//! | 34 | [`TAG_GATHER_FUSED`] | executor: fused multi-field ghost gather |
 //! | 48 | [`TAG_REDIST_VALUES`] | redistribution: coalesced value blocks |
 //! | 49 | [`TAG_REDIST_ADJ`] | redistribution: adjacency rows |
 //! | 50 | [`TAG_LOAD`] | load balancing: per-item time gather |
@@ -42,6 +43,11 @@ pub const TAG_GATHER: Tag = Tag::reserved(32);
 
 /// Executor: the accumulation scatter (transpose of the gather).
 pub const TAG_SCATTER: Tag = Tag::reserved(33);
+
+/// Executor: the fused multi-field ghost gather — one message per
+/// neighbor carrying the concatenated ghost segments of every field a
+/// stage graph exchanges at the same dataflow point.
+pub const TAG_GATHER_FUSED: Tag = Tag::reserved(34);
 
 /// Redistribution: coalesced value-block messages (`RemapScratch`).
 pub const TAG_REDIST_VALUES: Tag = Tag::reserved(48);
@@ -85,6 +91,7 @@ pub const RUNTIME_TAGS: &[Tag] = &[
     TAG_SCHED_REQUEST,
     TAG_GATHER,
     TAG_SCATTER,
+    TAG_GATHER_FUSED,
     TAG_REDIST_VALUES,
     TAG_REDIST_ADJ,
     TAG_LOAD,

@@ -1,0 +1,209 @@
+//! Static audit of a stage graph: the dataflow half of the SPMD
+//! contract.
+//!
+//! A multi-field session declares its per-iteration computation as a set
+//! of named fields plus a list of kernel stages, each naming the fields
+//! it reads and the fields it writes. Like the communication schedule,
+//! that declaration is plain *data* — so before the first pass runs, the
+//! whole dataflow can be checked: every access must resolve to a
+//! registered field, names must be unambiguous, and the writer→reader
+//! dependencies must admit a topological order. The audit here is
+//! deliberately free of any kernel or array types: callers describe
+//! their graph as [`StageDecl`] records and receive [`Diagnostic`]s,
+//! the same currency as the schedule audit and the trace analyzer.
+
+use crate::diag::{Diagnostic, DiagnosticKind};
+
+/// One stage of a dataflow graph, reduced to the names the audit needs:
+/// the stage's own name plus the field names it reads and writes. A
+/// field appearing in both `reads` and `writes` is an in-place update
+/// and creates **no** self-dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageDecl {
+    /// The stage's unique name.
+    pub name: String,
+    /// Names of the fields the stage reads (gathered or owned-only —
+    /// the distinction is a runtime concern, not a dataflow one).
+    pub reads: Vec<String>,
+    /// Names of the fields the stage writes.
+    pub writes: Vec<String>,
+}
+
+/// Audits a stage graph declaration: `fields` is the registered field
+/// set, `stages` the kernel stages in declaration order. Returns every
+/// violation found — duplicate field or stage names, reads/writes of
+/// unregistered fields, and writer→reader cycles — as [`Diagnostic`]s.
+/// An empty result means a deterministic topological stage schedule
+/// exists (see [`topological_order`]).
+///
+/// The graph is replicated data, identical on every rank, so the
+/// diagnostics carry rank 0 by convention.
+pub fn audit_stage_graph(fields: &[String], stages: &[StageDecl]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    for (i, f) in fields.iter().enumerate() {
+        if fields[..i].contains(f) {
+            diags.push(Diagnostic::new(
+                DiagnosticKind::DuplicateFieldName,
+                0,
+                format!("field {f:?} is registered more than once"),
+            ));
+        }
+    }
+    for (i, s) in stages.iter().enumerate() {
+        if stages[..i].iter().any(|t| t.name == s.name) {
+            diags.push(Diagnostic::new(
+                DiagnosticKind::DuplicateStageName,
+                0,
+                format!("stage {:?} is declared more than once", s.name),
+            ));
+        }
+        for (what, names) in [("reads", &s.reads), ("writes", &s.writes)] {
+            for f in names {
+                if !fields.contains(f) {
+                    diags.push(Diagnostic::new(
+                        DiagnosticKind::UndeclaredFieldAccess,
+                        0,
+                        format!("stage {:?} {what} unregistered field {f:?}", s.name),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Cycle detection only makes sense on a graph whose names resolve.
+    if diags.is_empty() && topological_order(stages).is_none() {
+        let cyclic = cycle_members(stages);
+        let names: Vec<&str> = cyclic.iter().map(|&i| stages[i].name.as_str()).collect();
+        diags.push(Diagnostic::new(
+            DiagnosticKind::StageCycle,
+            0,
+            format!(
+                "stage dependencies contain a cycle through {}",
+                names.join(" -> ")
+            ),
+        ));
+    }
+    diags
+}
+
+/// The deterministic topological order of `stages` under writer→reader
+/// dependencies (stage A precedes stage B whenever A writes a field B
+/// reads; in-place self-updates create no edge), or `None` if the
+/// dependencies are cyclic. Ties break by declaration order, so the
+/// schedule is identical on every rank and across runs.
+pub fn topological_order(stages: &[StageDecl]) -> Option<Vec<usize>> {
+    let m = stages.len();
+    let edge =
+        |a: usize, b: usize| a != b && stages[a].writes.iter().any(|f| stages[b].reads.contains(f));
+    let mut indegree: Vec<usize> = (0..m)
+        .map(|b| (0..m).filter(|&a| edge(a, b)).count())
+        .collect();
+    let mut placed = vec![false; m];
+    let mut order = Vec::with_capacity(m);
+    while order.len() < m {
+        // Deterministic tie-break: the lowest-numbered ready stage.
+        let next = (0..m).find(|&i| !placed[i] && indegree[i] == 0)?;
+        placed[next] = true;
+        order.push(next);
+        for (b, deg) in indegree.iter_mut().enumerate() {
+            if edge(next, b) {
+                *deg -= 1;
+            }
+        }
+    }
+    Some(order)
+}
+
+/// The declaration indices of the stages left over by Kahn's algorithm —
+/// the members of (at least one) dependency cycle.
+fn cycle_members(stages: &[StageDecl]) -> Vec<usize> {
+    let m = stages.len();
+    let edge =
+        |a: usize, b: usize| a != b && stages[a].writes.iter().any(|f| stages[b].reads.contains(f));
+    let mut indegree: Vec<usize> = (0..m)
+        .map(|b| (0..m).filter(|&a| edge(a, b)).count())
+        .collect();
+    let mut placed = vec![false; m];
+    while let Some(next) = (0..m).find(|&i| !placed[i] && indegree[i] == 0) {
+        placed[next] = true;
+        for (b, deg) in indegree.iter_mut().enumerate() {
+            if edge(next, b) {
+                *deg -= 1;
+            }
+        }
+    }
+    (0..m).filter(|&i| !placed[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decl(name: &str, reads: &[&str], writes: &[&str]) -> StageDecl {
+        StageDecl {
+            name: name.to_string(),
+            reads: reads.iter().map(ToString::to_string).collect(),
+            writes: writes.iter().map(ToString::to_string).collect(),
+        }
+    }
+
+    fn fields(names: &[&str]) -> Vec<String> {
+        names.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn clean_graph_produces_no_diagnostics_and_a_dependency_order() {
+        let stages = vec![
+            decl("matvec", &["u"], &["w"]),
+            decl("precond", &["r"], &["u"]),
+        ];
+        let diags = audit_stage_graph(&fields(&["r", "u", "w"]), &stages);
+        assert!(diags.is_empty(), "{diags:?}");
+        // precond writes u, matvec reads u: precond must come first even
+        // though it is declared second.
+        assert_eq!(topological_order(&stages), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn in_place_update_is_not_a_self_cycle() {
+        let stages = vec![decl("relax", &["y"], &["y"])];
+        assert!(audit_stage_graph(&fields(&["y"]), &stages).is_empty());
+        assert_eq!(topological_order(&stages), Some(vec![0]));
+    }
+
+    #[test]
+    fn cycle_is_reported_with_its_members() {
+        let stages = vec![decl("a", &["f"], &["g"]), decl("b", &["g"], &["f"])];
+        let diags = audit_stage_graph(&fields(&["f", "g"]), &stages);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::StageCycle);
+        assert!(diags[0].detail.contains('a') && diags[0].detail.contains('b'));
+        assert_eq!(topological_order(&stages), None);
+    }
+
+    #[test]
+    fn undeclared_access_names_the_stage_and_field() {
+        let stages = vec![decl("relax", &["ghost"], &["y"])];
+        let diags = audit_stage_graph(&fields(&["y"]), &stages);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::UndeclaredFieldAccess);
+        assert!(diags[0].detail.contains("ghost"), "{}", diags[0].detail);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let stages = vec![decl("s", &["y"], &["y"]), decl("s", &["y"], &["y"])];
+        let diags = audit_stage_graph(&fields(&["y", "y"]), &stages);
+        let kinds: Vec<_> = diags.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DiagnosticKind::DuplicateFieldName));
+        assert!(kinds.contains(&DiagnosticKind::DuplicateStageName));
+    }
+
+    #[test]
+    fn ties_break_by_declaration_order() {
+        // Two independent stages: declaration order is the schedule.
+        let stages = vec![decl("z2", &["b"], &["b"]), decl("a1", &["a"], &["a"])];
+        assert_eq!(topological_order(&stages), Some(vec![0, 1]));
+    }
+}

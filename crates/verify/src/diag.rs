@@ -53,6 +53,18 @@ pub enum DiagnosticKind {
     /// registered runtime tag (`stance_sim::tags`), so it can silently
     /// collide with a future runtime protocol.
     ReservedTagMisuse,
+    /// A stage graph's writer→reader dependencies contain a cycle, so no
+    /// topological stage schedule exists.
+    StageCycle,
+    /// A stage reads or writes a field name that was never registered in
+    /// the graph's field set.
+    UndeclaredFieldAccess,
+    /// Two stages in one graph share a name, making the schedule and its
+    /// diagnostics ambiguous.
+    DuplicateStageName,
+    /// Two fields in one registry share a name, so accesses cannot be
+    /// resolved to a unique array.
+    DuplicateFieldName,
 }
 
 impl DiagnosticKind {
@@ -75,6 +87,10 @@ impl DiagnosticKind {
             DiagnosticKind::BarrierArity => "barrier-arity",
             DiagnosticKind::EpochCrossing => "epoch-crossing",
             DiagnosticKind::ReservedTagMisuse => "reserved-tag-misuse",
+            DiagnosticKind::StageCycle => "stage-cycle",
+            DiagnosticKind::UndeclaredFieldAccess => "undeclared-field-access",
+            DiagnosticKind::DuplicateStageName => "duplicate-stage-name",
+            DiagnosticKind::DuplicateFieldName => "duplicate-field-name",
         }
     }
 }

@@ -21,6 +21,11 @@
 //!   receives exactly tile the new interval, and the blocking send/recv
 //!   order cannot deadlock (cycle detection on the cross-rank wait-for
 //!   graph).
+//! * **Dataflow audit** ([`audit_stage_graph`]): given a stage graph's
+//!   declared field set and per-stage read/write sets, verify the names
+//!   resolve unambiguously and the writer→reader dependencies admit a
+//!   deterministic topological schedule (cycle detection), before any
+//!   kernel runs.
 //! * **Dynamic checker** ([`CheckedComm`] + [`analyze_traces`]): a
 //!   wrapper recording every point-to-point and barrier event into a
 //!   per-rank [`RankTrace`]; the offline analyzer then detects unmatched
@@ -40,6 +45,7 @@
 mod analyzer;
 mod audit;
 mod checked;
+mod dataflow;
 mod diag;
 mod fault;
 
@@ -51,5 +57,6 @@ pub use audit::{
 pub use checked::{
     checked_comm_constructions, CheckedComm, MaybeChecked, PayloadShape, RankTrace, TraceEvent,
 };
+pub use dataflow::{audit_stage_graph, topological_order, StageDecl};
 pub use diag::{Diagnostic, DiagnosticKind};
 pub use fault::{catch_fault, FaultEvent, FaultKind, FaultPlan, FaultyComm, InjectedFault};

@@ -1,16 +1,29 @@
-//! A distributed conjugate-gradient solver — a second application class on
-//! the same runtime, running *through* the session API: the solver supplies
-//! [`LaplacianKernel`] as its `Kernel`, and the session supplies
-//! partitioning, ghost gathers, and the paper's adaptive load balancing.
+//! A distributed preconditioned conjugate-gradient solver — a second
+//! application class on the same runtime, running through the
+//! **multi-field dataflow session**: the solver registers its vectors as
+//! named fields (`x`, `r`, `u`, `Au`, `p`, `Ap`) and declares a two-stage
+//! kernel graph, and the session supplies partitioning, fused ghost
+//! exchange, and the paper's adaptive load balancing for *all* of them at
+//! once.
 //!
-//! Each CG iteration pushes the search direction `p` into the session,
-//! applies the kernel once (`Ap = (L + I) p` — gather + local sweep), and
-//! combines it with two global dot products (allreduce). Every
-//! `check_interval` iterations the session runs a load-balance check; when
-//! a competing job on workstation 0 makes a remap profitable, the session
-//! moves its own values *and* the solver's `x`/`r`/`p` vectors to the new
-//! distribution (`check_and_rebalance_with`), and the iteration continues
-//! seamlessly.
+//! The iteration is the Chronopoulos–Gear form of Jacobi-preconditioned
+//! CG, which folds the preconditioner solve and the matvec into one
+//! session pass:
+//!
+//! ```text
+//! stage "precond" (local):    u  = M⁻¹ r        M = diag(L + I)
+//! stage "matvec"  (gathered): Au = (L + I) u
+//! ```
+//!
+//! `precond` reads owned entries only, so the only ghost exchange per
+//! iteration is `u`'s — one fused message per neighbor, between the two
+//! stages. The host combines the pass's outputs with two dot products
+//! (allreduce) and updates `p`, `Ap`, `x`, `r` through named
+//! `set_local` writes. Every `check_interval` iterations the session runs
+//! a load-balance check; when a competing job on workstation 0 makes a
+//! remap profitable, **every registered field moves to the new
+//! distribution automatically** — no positional aux-array bookkeeping —
+//! and the iteration continues seamlessly.
 //!
 //! Solves `(L + I) x = b` where `L` is the mesh Laplacian and `b` is chosen
 //! so the exact solution is `x*[i] = sin(0.01 i)`; reports convergence,
@@ -22,11 +35,25 @@
 
 use stance::balance::BalancerConfig;
 use stance::executor::sequential_laplacian_matvec;
+use stance::inspector::TranslatedAdjacency;
 use stance::onedim::RedistCostModel;
 use stance::prelude::*;
 
 const SHIFT: f64 = 1.0;
 const MAX_ITERS: usize = 200;
+
+/// The Jacobi preconditioner as a stage kernel: `u[i] = r[i] / (deg(i) +
+/// SHIFT)` — the inverse of `diag(L + I)`. Pointwise, so the stage reads
+/// owned entries only (`stage_local`) and never needs a ghost exchange.
+struct JacobiKernel;
+
+impl Kernel<f64> for JacobiKernel {
+    fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[f64], out: &mut [f64]) {
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = combined[l] / (tadj.neighbors_of(l).len() as f64 + SHIFT);
+        }
+    }
+}
 
 fn main() {
     let raw = stance::locality::meshgen::triangulated_grid(40, 40, 0.4, 19);
@@ -64,66 +91,109 @@ fn main() {
     let mesh_ref = &mesh;
     let b_ref = &b;
     let report = Cluster::new(spec).run(move |env| {
-        let mut session = AdaptiveSession::setup(
+        // The solver's whole state, registered by name; `x` first makes it
+        // the checkpoint's primary field. One pass = precond then matvec,
+        // with u's fused exchange between them.
+        let graph = StageGraphBuilder::new()
+            .field("x")
+            .field("r")
+            .field("u")
+            .field("Au")
+            .field("p")
+            .field("Ap")
+            .stage_local("precond", JacobiKernel, "r", "u")
+            .stage("matvec", LaplacianKernel { shift: SHIFT }, "u", "Au")
+            .build();
+        let mut session = DataflowSession::setup(
             env,
             mesh_ref,
-            LaplacianKernel { shift: SHIFT },
-            |_| 0.0f64,
+            graph,
+            // x = 0, r = b - A·0 = b; the rest starts zero and is
+            // overwritten before first use.
+            |name, g| if name == "r" { b_ref[g] } else { 0.0 },
             &config,
         );
-
-        // Distributed CG state (local blocks over the session's partition).
-        let iv = session.partition().interval_of(env.rank());
-        let mut x = vec![0.0f64; iv.len()];
-        let mut r: Vec<f64> = iv.iter().map(|g| b_ref[g]).collect(); // r = b - A·0
-        let mut p = r.clone();
 
         let dot = |env: &mut Env, a: &[f64], c: &[f64]| -> f64 {
             let local: f64 = a.iter().zip(c).map(|(x, y)| x * y).sum();
             env.allreduce_f64(Tag(1), local, |u, v| u + v)
         };
 
-        let mut rho = dot(env, &r, &r);
-        let rho0 = rho;
+        let rr0 = {
+            let r = session.local("r").to_vec();
+            dot(env, &r, &r)
+        };
+
+        // First pass: u0 = M⁻¹ r0, Au0 = A u0; then p0 = u0, Ap0 = Au0,
+        // α0 = γ0/δ0.
+        session.run_block(env, 1);
+        let (mut gamma, mut alpha) = {
+            let r = session.local("r").to_vec();
+            let u = session.local("u").to_vec();
+            let au = session.local("Au").to_vec();
+            let gamma = dot(env, &r, &u);
+            let delta = dot(env, &au, &u);
+            session.set_local("p", &u);
+            session.set_local("Ap", &au);
+            (gamma, gamma / delta)
+        };
+
+        let mut rr = rr0;
         let mut iterations = 0;
         let mut remaps = 0;
         for k in 0..MAX_ITERS {
-            // Ap = (L + I) p: the session gathers p's ghosts and sweeps.
-            session.set_local_values(&p);
-            let ap = session.apply_kernel(env).to_vec();
-
-            let alpha = rho / dot(env, &p, &ap);
-            for i in 0..x.len() {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
+            // x += α p, r -= α Ap.
+            {
+                let mut x = session.local("x").to_vec();
+                let mut r = session.local("r").to_vec();
+                let p = session.local("p").to_vec();
+                let ap = session.local("Ap").to_vec();
+                for i in 0..x.len() {
+                    x[i] += alpha * p[i];
+                    r[i] -= alpha * ap[i];
+                }
+                session.set_local("x", &x);
+                session.set_local("r", &r);
+                rr = dot(env, &r, &r);
             }
-            let rho_next = dot(env, &r, &r);
             iterations = k + 1;
             if env.rank() == 0 && k % 10 == 0 {
-                println!(
-                    "  iter {k:>3}: relative residual {:.3e}",
-                    (rho_next / rho0).sqrt()
-                );
+                println!("  iter {k:>3}: relative residual {:.3e}", (rr / rr0).sqrt());
             }
-            if rho_next <= rho0 * 1e-20 {
-                rho = rho_next;
+            if rr <= rr0 * 1e-20 {
                 break;
             }
-            let beta = rho_next / rho;
-            for i in 0..p.len() {
-                p[i] = r[i] + beta * p[i];
+
+            // One pass: u = M⁻¹ r (local), fused exchange of u, Au = A u.
+            session.run_block(env, 1);
+
+            // The Chronopoulos–Gear recurrences: both dots come from the
+            // same pass, then the search directions fold in.
+            {
+                let r = session.local("r").to_vec();
+                let u = session.local("u").to_vec();
+                let au = session.local("Au").to_vec();
+                let gamma_new = dot(env, &r, &u);
+                let delta = dot(env, &au, &u);
+                let beta = gamma_new / gamma;
+                alpha = gamma_new / (delta - beta * gamma_new / alpha);
+                gamma = gamma_new;
+                let mut p = session.local("p").to_vec();
+                let mut ap = session.local("Ap").to_vec();
+                for i in 0..p.len() {
+                    p[i] = u[i] + beta * p[i];
+                    ap[i] = au[i] + beta * ap[i];
+                }
+                session.set_local("p", &p);
+                session.set_local("Ap", &ap);
             }
-            rho = rho_next;
 
             // Periodic load-balance check (collective; the residual test
             // above is identical on every rank, so all ranks get here
-            // together). On a remap the session moves x, r and p with it.
+            // together). On a remap every named field — x, r, u, Au, p,
+            // Ap — moves with the session.
             if (k + 1) % config.check_interval == 0 {
-                let (remapped, _, _) = session.check_and_rebalance_with(
-                    env,
-                    MAX_ITERS - (k + 1),
-                    &mut [&mut x, &mut r, &mut p],
-                );
+                let (remapped, _, _) = session.check_and_rebalance(env, MAX_ITERS - (k + 1));
                 if remapped {
                     remaps += 1;
                     if env.rank() == 0 {
@@ -138,9 +208,9 @@ fn main() {
         }
         let partition = session.partition().clone();
         (
-            x,
+            session.local("x").to_vec(),
             iterations,
-            (rho / rho0).sqrt(),
+            (rr / rr0).sqrt(),
             remaps,
             partition,
             env.now().as_secs(),

@@ -212,7 +212,7 @@ fn oscillating_load_churn_stays_bitwise_correct() {
                 if b + 1 < blocks {
                     let remaining = iters - (b + 1) * per_block;
                     let (remapped, _, _) =
-                        s.check_and_rebalance_with(env, remaining, &mut [&mut aux]);
+                        s.check_and_rebalance_named(env, remaining, &mut [("aux", &mut aux)]);
                     remaps += usize::from(remapped);
                 }
             }

@@ -279,6 +279,82 @@ where
         .collect()
 }
 
+/// Steady-state passes of a **multi-field dataflow session** — two
+/// relaxation stages over three named fields, fused (dirty-filtered)
+/// exchange, synchronous or split-phase — must be allocation-free too:
+/// the fused gather packs every selected field into the same recycled
+/// `CommBuffers` staging as the single-field path, the dirty-filtered
+/// fusion group lives in a recycled index `Vec`, and each stage commits
+/// by swapping the shared sweep scratch into the output field's storage.
+fn dataflow_steady_state_body<C: Comm>(comm: &mut C, g: &Graph, overlap: bool) -> u64 {
+    let rank = comm.rank();
+    let config = StanceConfig::free()
+        .without_load_balancing()
+        .with_overlap(overlap);
+    let graph = StageGraphBuilder::new()
+        .field("y")
+        .field("z")
+        .field("inert")
+        .stage("relax_y", RelaxationKernel, "y", "y")
+        .stage("relax_z", RelaxationKernel, "z", "z")
+        .build();
+    let mut s = DataflowSession::setup(
+        comm,
+        g,
+        graph,
+        |name, v| {
+            if name == "z" {
+                -(v as f64)
+            } else {
+                (v as f64).sin()
+            }
+        },
+        &config,
+    );
+
+    s.run_block(comm, 12);
+
+    comm.barrier();
+    if rank == 0 {
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+    }
+    comm.barrier();
+
+    s.run_block(comm, 8);
+
+    comm.barrier();
+    let counted = if rank == 0 {
+        let counted = ALLOCATIONS.load(Ordering::SeqCst);
+        ARMED.store(false, Ordering::SeqCst);
+        counted
+    } else {
+        0
+    };
+    comm.barrier();
+    counted
+}
+
+fn dataflow_steady_state_allocations(overlap: bool) -> u64 {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
+    let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+    let report = Cluster::new(spec).run(|env| dataflow_steady_state_body(env, &g, overlap));
+    report.into_results().into_iter().max().unwrap()
+}
+
+fn native_dataflow_steady_state_allocations(overlap: bool) -> u64 {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let g = meshgen::triangulated_grid(16, 12, 0.3, 5);
+    let report = stance_native::NativeCluster::new(3)
+        .run(|comm| dataflow_steady_state_body(comm, &g, overlap));
+    report.into_results().into_iter().max().unwrap()
+}
+
 /// Remap allocations must be *bounded and converge to zero*: the first
 /// oscillation pairs warm the `RemapScratch` (pools, plan, CSR storage,
 /// schedule scratch, runner storage) with a strictly shrinking allocation
@@ -402,6 +478,42 @@ fn steady_state_under_armed_fault_injection_is_allocation_free() {
     );
     // Sanity: the wrapper really was in the path (every op ticked it).
     assert!(ops.iter().all(|&o| o > 0), "FaultyComm saw no operations");
+}
+
+#[test]
+fn dataflow_steady_state_is_allocation_free() {
+    let allocations = dataflow_steady_state_allocations(false);
+    assert_eq!(
+        allocations, 0,
+        "steady-state multi-field passes performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn overlapped_dataflow_steady_state_is_allocation_free() {
+    let allocations = dataflow_steady_state_allocations(true);
+    assert_eq!(
+        allocations, 0,
+        "overlapped multi-field passes performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_dataflow_steady_state_is_allocation_free() {
+    let allocations = native_dataflow_steady_state_allocations(false);
+    assert_eq!(
+        allocations, 0,
+        "native steady-state multi-field passes performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_overlapped_dataflow_steady_state_is_allocation_free() {
+    let allocations = native_dataflow_steady_state_allocations(true);
+    assert_eq!(
+        allocations, 0,
+        "native overlapped multi-field passes performed {allocations} heap allocations"
+    );
 }
 
 #[test]

@@ -112,7 +112,8 @@ proptest! {
         prop_assert_eq!(back.num_procs(), ck.num_procs());
         prop_assert_eq!(back.partition().intervals(), ck.partition().intervals());
         assert_bits_eq(back.values(), ck.values());
-        for (a, b) in back.aux().iter().zip(ck.aux()) {
+        for ((an, a), (bn, b)) in back.aux().iter().zip(ck.aux()) {
+            prop_assert_eq!(an, bn, "aux field name changed across the wire");
             assert_bits_eq(a, b);
         }
         for (a, b) in back.monitors().iter().zip(ck.monitors()) {
@@ -134,16 +135,22 @@ fn rebuild_checkpoint(
     values: &[f64],
     aux_count: usize,
 ) -> SessionCheckpoint<f64> {
-    // Assemble the blob by hand, following the documented wire format.
+    // Assemble the blob by hand, following the documented v2 wire format
+    // (name-keyed field records).
     let p = block_sizes.len();
     let n = values.len();
+    let write_name = |name: &str, out: &mut Vec<u8>| {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    };
     let mut out = Vec::new();
     out.extend_from_slice(b"STCK");
-    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&2u32.to_le_bytes());
     out.extend_from_slice(&(f64::SIZE_BYTES as u32).to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     out.extend_from_slice(&(p as u32).to_le_bytes());
     out.extend_from_slice(&(aux_count as u32).to_le_bytes());
+    write_name("values", &mut out);
     for &s in block_sizes {
         out.extend_from_slice(&(s as u64).to_le_bytes());
     }
@@ -165,6 +172,7 @@ fn rebuild_checkpoint(
     }
     f64::pack_into(values, &mut out);
     for k in 0..aux_count {
+        write_name(&format!("aux{k}"), &mut out);
         let aux: Vec<f64> = values.iter().map(|v| v * (k as f64 + 2.0)).collect();
         f64::pack_into(&aux, &mut out);
     }
@@ -224,7 +232,7 @@ fn collective_checkpoint_restores_across_widths() {
                 aux[iv.start..iv.end].copy_from_slice(a);
             }
             assert_bits_eq(&values, ckpt.values());
-            assert_bits_eq(&aux, &ckpt.aux()[0]);
+            assert_bits_eq(&aux, &ckpt.aux()[0].1);
         }
     }
 }
