@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Sanity-check the freshly regenerated BENCH_native.json on the CI runner.
+"""Sanity-check the freshly regenerated BENCH_native.json — and, when
+given, BENCH_team.json — on the CI runner.
 
-Usage: check_native_scaling.py <fresh.json>
+Usage: check_native_scaling.py <fresh_native.json> [fresh_team.json]
 
 The committed BENCH_native.json entry was historically produced on a
 1-vCPU container, whose scaling curve is flat *by construction* — useless
@@ -21,54 +22,97 @@ produced:
 On hosts with fewer than 4 threads the speedup check is skipped with a
 warning — a flat curve there is the expected artifact, and failing would
 just punish the infrastructure.
+
+The optional second argument applies the same grading to the worker-team
+curve: BENCH_team.json's single-rank ``ranks_1_team_2`` / ``ranks_1_team_4``
+cells must show ``speedup_vs_team_1`` at or above a conservative 1.1x when
+the runner has >= 4 hardware threads (the interior sweep is embarrassingly
+parallel across lanes, so a flat curve on real cores means the team — not
+the host — has a scaling bug). Hosts below 4 threads emit
+``ratio_vs_team_1`` instead, which is informational and never graded —
+the same honesty convention the overlap entry uses.
 """
 
 import json
 import sys
 
 MIN_SPEEDUP = 1.15  # conservative floor for threads_2 / threads_4 on >=4 cores
+MIN_TEAM_SPEEDUP = 1.1  # conservative floor for ranks_1_team_{2,4} on >=4 cores
 
 
-def main():
-    if len(sys.argv) != 2:
-        sys.exit(f"usage: {sys.argv[0]} <fresh.json>")
-    with open(sys.argv[1]) as f:
-        fresh = json.load(f)
-
+def host_threads_of(fresh, name):
     workload = fresh.get("workload", {})
     host_threads = workload.get("host_threads")
     if not isinstance(host_threads, int) or host_threads < 1:
-        sys.exit("BENCH_native.json does not record host_threads — refusing to trust it")
+        sys.exit(f"{name} does not record host_threads — refusing to trust it")
+    return host_threads
+
+
+def grade_curve(fresh, keys, field, floor, what):
+    """Checks ``field`` >= ``floor`` for every entry named in ``keys``;
+    returns the failure messages (empty = healthy)."""
+    failures = []
+    for key in keys:
+        entry = fresh.get(key)
+        if not isinstance(entry, dict) or field not in entry:
+            failures.append(f"{key}: missing {field} entry")
+            continue
+        s = entry[field]
+        verdict = "ok" if s >= floor else "TOO FLAT"
+        print(f"{key}: {field} = {s:.2f} (floor {floor}) — {verdict}")
+        if verdict == "TOO FLAT":
+            failures.append(f"{key}: {field} = {s:.2f} ({what}; floor: {floor})")
+    return failures
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(f"usage: {sys.argv[0]} <fresh_native.json> [fresh_team.json]")
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+
+    host_threads = host_threads_of(fresh, "BENCH_native.json")
     print(f"runner host_threads: {host_threads}")
 
+    failures = []
     if host_threads < 4:
         print(
-            "fewer than 4 hardware threads: scaling check skipped "
+            "fewer than 4 hardware threads: native scaling check skipped "
             "(a flat curve here is a property of the host, not the backend)"
         )
-        return
+    else:
+        failures += grade_curve(
+            fresh,
+            ("threads_2", "threads_4"),
+            "speedup_vs_1",
+            MIN_SPEEDUP,
+            f"on a {host_threads}-thread host",
+        )
 
-    failures = []
-    for key in ("threads_2", "threads_4"):
-        entry = fresh.get(key)
-        if not isinstance(entry, dict) or "speedup_vs_1" not in entry:
-            failures.append(f"{key}: missing speedup_vs_1 entry")
-            continue
-        s = entry["speedup_vs_1"]
-        verdict = "ok" if s >= MIN_SPEEDUP else "TOO FLAT"
-        print(f"{key}: speedup_vs_1 = {s:.2f} (floor {MIN_SPEEDUP}) — {verdict}")
-        if verdict == "TOO FLAT":
-            failures.append(
-                f"{key}: speedup_vs_1 = {s:.2f} on a {host_threads}-thread host "
-                f"(floor: {MIN_SPEEDUP})"
+    if len(sys.argv) == 3:
+        with open(sys.argv[2]) as f:
+            team = json.load(f)
+        team_threads = host_threads_of(team, "BENCH_team.json")
+        if team_threads < 4:
+            print(
+                "fewer than 4 hardware threads: team scaling check skipped "
+                "(such hosts emit informational ratio_vs_team_1, never graded)"
+            )
+        else:
+            failures += grade_curve(
+                team,
+                ("ranks_1_team_2", "ranks_1_team_4"),
+                "speedup_vs_team_1",
+                MIN_TEAM_SPEEDUP,
+                f"on a {team_threads}-thread host",
             )
 
     if failures:
-        print("\nnative backend failed to scale on real parallel hardware:")
+        print("\nscaling failure on real parallel hardware:")
         for f in failures:
             print(f"  - {f}")
         sys.exit(1)
-    print("\nnative scaling curve is healthy on this runner")
+    print("\nscaling curves are healthy on this runner")
 
 
 if __name__ == "__main__":

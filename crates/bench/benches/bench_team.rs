@@ -1,0 +1,50 @@
+//! Criterion bench for worker teams: executor iterations on the native
+//! backend over the interior-heavy paper-scale mesh at 1/2 ranks ×
+//! 1/2/4/8 team lanes, plus the single-threaded chunked-vs-scalar sweep
+//! comparison. The per-cell medians, team speedups and the
+//! chunked/scalar ratio land in `results/BENCH_team.json` via
+//! `repro_all`; this bench is the interactive/smoke view of the same
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stance::executor::RelaxationKernel;
+use stance_bench::team::{
+    team_mesh, time_full_sweeps, time_team_iters, ScalarRelaxation, RANK_COUNTS, TEAM_SIZES,
+};
+
+fn bench_team_sweep(c: &mut Criterion) {
+    let mesh = team_mesh();
+    let n = mesh.num_vertices() as u64;
+    let mut group = c.benchmark_group("team_sweep");
+    group.sample_size(10);
+    // One bench iteration = a full native cluster run of 5 executor
+    // iterations (spawn + warm-up included; the steady-state
+    // per-iteration seconds are what BENCH_team.json reports).
+    group.throughput(Throughput::Elements(n * 5));
+    for &ranks in &RANK_COUNTS {
+        for &team in &TEAM_SIZES {
+            group.bench_function(format!("ranks_{ranks}_team_{team}"), |b| {
+                b.iter(|| time_team_iters(&mesh, ranks, team, 5));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_chunked_vs_scalar(c: &mut Criterion) {
+    let mesh = team_mesh();
+    let n = mesh.num_vertices() as u64;
+    let mut group = c.benchmark_group("chunked_vs_scalar");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n * 3));
+    group.bench_function("scalar_sweep", |b| {
+        b.iter(|| time_full_sweeps(&mesh, &ScalarRelaxation, 3));
+    });
+    group.bench_function("chunked_sweep", |b| {
+        b.iter(|| time_full_sweeps(&mesh, &RelaxationKernel, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_team_sweep, bench_chunked_vs_scalar);
+criterion_main!(benches);

@@ -75,6 +75,15 @@ fn main() {
     }
     {
         let start = Instant::now();
+        eprintln!(">> BENCH_team ...");
+        stance_bench::emit_file("BENCH_team.json", &stance_bench::team::report_json());
+        eprintln!(
+            "   BENCH_team done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+    }
+    {
+        let start = Instant::now();
         eprintln!(">> BENCH_dag ...");
         stance_bench::emit_file("BENCH_dag.json", &stance_bench::dag::report_json());
         eprintln!("   BENCH_dag done in {:.1}s", start.elapsed().as_secs_f64());

@@ -129,6 +129,14 @@ pub struct StanceConfig {
     /// the recovery paths; a run that never probes membership never
     /// reads it).
     pub detector: DetectorConfig,
+    /// Compute lanes per rank — the intra-rank worker-team size. `1` (the
+    /// default) keeps the paper's one-processor-per-rank model: every
+    /// sweep runs on the rank thread and no worker threads exist. Larger
+    /// values make each rank split its sweeps across a persistent team of
+    /// parked threads (`stance_executor::SweepTeam`), with **bitwise
+    /// identical** results for any value — set it via
+    /// [`StanceConfig::with_team`] so the cost model stays in step.
+    pub team_threads: usize,
 }
 
 impl Default for StanceConfig {
@@ -146,6 +154,7 @@ impl Default for StanceConfig {
             verify: false,
             recovery: RecoveryPolicy::default(),
             detector: DetectorConfig::default(),
+            team_threads: 1,
         }
     }
 }
@@ -168,6 +177,7 @@ impl StanceConfig {
             verify: false,
             recovery: RecoveryPolicy::default(),
             detector: DetectorConfig::default(),
+            team_threads: 1,
         }
     }
 
@@ -187,6 +197,24 @@ impl StanceConfig {
     /// free — results are bitwise identical either way.
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap_gather = overlap;
+        self
+    }
+
+    /// Sets the intra-rank worker-team size: each rank splits its sweeps
+    /// across `lanes` compute lanes (the rank thread plus `lanes - 1`
+    /// persistent worker threads). Numerically free — results are bitwise
+    /// identical for any `lanes`, with either gather flavour, on both
+    /// backends. The compute cost model's `team_lanes` is set in tandem so
+    /// the simulated clock and the load balancer see the rank's effective
+    /// speed; combine with `with_overlap` freely (the team accelerates the
+    /// interior phase, the boundary phase stays on the rank thread).
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn with_team(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a rank has at least one compute lane");
+        self.team_threads = lanes;
+        self.compute_cost = self.compute_cost.with_team(lanes);
         self
     }
 
@@ -310,6 +338,19 @@ mod tests {
             backoff: 1.5,
         };
         assert_eq!(StanceConfig::free().with_detector(det).detector, det);
+        // Teams are strictly opt-in (paper model: one processor per
+        // rank), and with_team keeps the cost model in step.
+        assert_eq!(StanceConfig::default().team_threads, 1);
+        assert_eq!(StanceConfig::free().team_threads, 1);
+        let teamed = StanceConfig::free().with_team(4);
+        assert_eq!(teamed.team_threads, 4);
+        assert_eq!(teamed.compute_cost.team_lanes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute lane")]
+    fn zero_team_rejected() {
+        let _ = StanceConfig::default().with_team(0);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use stance_balance::{
 };
 use stance_executor::{
     gather, gather_fused, gather_fused_finish, gather_fused_start, sweep_phase, CommBuffers,
-    ComputeCostModel, GhostedArray, Kernel, LoopStats,
+    ComputeCostModel, GhostedArray, Kernel, LoopStats, SweepTeam,
 };
 use stance_inspector::{CommSchedule, LocalAdjacency, TranslatedAdjacency};
 use stance_locality::Graph;
@@ -427,6 +427,9 @@ pub struct DataflowSession<E: Element = f64> {
     config: StanceConfig,
     scratch: RemapScratch<E>,
     verify: Option<Box<RankTrace>>,
+    /// The rank's worker team (`StanceConfig::with_team`), shared by all
+    /// stages; `None` for the single-lane default.
+    team: Option<SweepTeam<E>>,
 }
 
 impl<E: Element> DataflowSession<E> {
@@ -498,6 +501,11 @@ impl<E: Element> DataflowSession<E> {
             dirty: vec![true; k],
         };
         let sweep_scratch = vec![E::zero(); tadj.buffer_len()];
+        let team = (config.team_threads > 1).then(|| {
+            let mut team = SweepTeam::new(config.team_threads);
+            team.rebuild_splits(&tadj);
+            team
+        });
         DataflowSession {
             partition,
             adj,
@@ -513,6 +521,7 @@ impl<E: Element> DataflowSession<E> {
             config: config.clone(),
             scratch,
             verify,
+            team,
         }
     }
 
@@ -564,6 +573,7 @@ impl<E: Element> DataflowSession<E> {
             monitor,
             config,
             verify,
+            team,
             ..
         } = self;
         let mut env = MaybeChecked::new(env, verify.as_deref_mut());
@@ -580,6 +590,7 @@ impl<E: Element> DataflowSession<E> {
                 bufs,
                 &config.compute_cost,
                 config.overlap_gather,
+                team.as_mut(),
             );
             stats.iterations += 1;
         }
@@ -732,6 +743,11 @@ impl<E: Element> DataflowSession<E> {
             f.rebuild_from(staged, ghosts);
         }
         self.sweep_scratch.resize(self.tadj.buffer_len(), E::zero());
+        // Lane splits derive from the new run classification; the team's
+        // threads and staging capacity are recycled.
+        if let Some(team) = &mut self.team {
+            team.rebuild_splits(&self.tadj);
+        }
         for d in &mut self.fields.dirty {
             *d = true;
         }
@@ -931,6 +947,7 @@ fn run_one_pass<E: Element, C: Comm>(
     bufs: &mut CommBuffers<E>,
     cost: &ComputeCostModel,
     overlap: bool,
+    mut team: Option<&mut SweepTeam<E>>,
 ) -> f64 {
     let local_len = tadj.len();
     let mut compute_time = 0.0;
@@ -949,13 +966,21 @@ fn run_one_pass<E: Element, C: Comm>(
                 let boundary_work = kernel.cost(cost, tadj.num_boundary(), tadj.boundary_refs());
                 let t0 = env.now_secs();
                 env.compute(interior_work);
-                sweep_phase(
-                    kernel,
-                    tadj,
-                    fields.arrays[stage.input].combined(),
-                    &mut sweep_scratch[..local_len],
-                    tadj.interior_runs(),
-                );
+                match team.as_deref_mut() {
+                    Some(t) => t.sweep_interior(
+                        kernel,
+                        tadj,
+                        fields.arrays[stage.input].combined(),
+                        &mut sweep_scratch[..local_len],
+                    ),
+                    None => sweep_phase(
+                        kernel,
+                        tadj,
+                        fields.arrays[stage.input].combined(),
+                        &mut sweep_scratch[..local_len],
+                        tadj.interior_runs(),
+                    ),
+                }
                 let interior_time = env.now_secs() - t0;
                 gather_fused_finish(env, schedule, &mut fields.arrays, group, cost, bufs);
                 let t1 = env.now_secs();
@@ -975,11 +1000,19 @@ fn run_one_pass<E: Element, C: Comm>(
                 let work = kernel.cost(cost, local_len, tadj.num_refs());
                 let t0 = env.now_secs();
                 env.compute(work);
-                kernel.sweep(
-                    tadj,
-                    fields.arrays[stage.input].combined(),
-                    &mut sweep_scratch[..local_len],
-                );
+                match team.as_deref_mut() {
+                    Some(t) => t.sweep_full(
+                        kernel,
+                        tadj,
+                        fields.arrays[stage.input].combined(),
+                        &mut sweep_scratch[..local_len],
+                    ),
+                    None => kernel.sweep(
+                        tadj,
+                        fields.arrays[stage.input].combined(),
+                        &mut sweep_scratch[..local_len],
+                    ),
+                }
                 compute_time += env.now_secs() - t0;
                 gather_fused_finish(env, schedule, &mut fields.arrays, group, cost, bufs);
             }
@@ -994,11 +1027,19 @@ fn run_one_pass<E: Element, C: Comm>(
             let work = kernel.cost(cost, local_len, tadj.num_refs());
             let t0 = env.now_secs();
             env.compute(work);
-            kernel.sweep(
-                tadj,
-                fields.arrays[stage.input].combined(),
-                &mut sweep_scratch[..local_len],
-            );
+            match team.as_deref_mut() {
+                Some(t) => t.sweep_full(
+                    kernel,
+                    tadj,
+                    fields.arrays[stage.input].combined(),
+                    &mut sweep_scratch[..local_len],
+                ),
+                None => kernel.sweep(
+                    tadj,
+                    fields.arrays[stage.input].combined(),
+                    &mut sweep_scratch[..local_len],
+                ),
+            }
             compute_time += env.now_secs() - t0;
         }
         for &f in group.iter() {
@@ -1285,6 +1326,50 @@ mod tests {
                 .into_results()
         };
         assert_eq!(run(false), run(true), "overlap changed values");
+    }
+
+    /// A worker team must not change any dataflow value: all four
+    /// team × gather-flavour combinations produce identical bits, across
+    /// a forced remap (which recomputes the lane splits).
+    #[test]
+    fn teamed_passes_are_bitwise_identical() {
+        let m = mesh();
+        let run = |team: usize, overlap: bool| {
+            let m = m.clone();
+            let config = StanceConfig::free().with_overlap(overlap).with_team(team);
+            let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+            Cluster::new(spec)
+                .run(move |env| {
+                    let graph = StageGraphBuilder::new()
+                        .field("y")
+                        .field("z")
+                        .stage("relax_y", RelaxationKernel, "y", "y")
+                        .stage("relax_z", RelaxationKernel, "z", "z")
+                        .build();
+                    let mut s = DataflowSession::setup(
+                        env,
+                        &m,
+                        graph,
+                        |name, g| if name == "y" { init(g) } else { -init(g) },
+                        &config,
+                    );
+                    s.run_block(env, 5);
+                    s.remap_to(env, BlockPartition::from_sizes(&[50, 30, 40]));
+                    s.run_block(env, 5);
+                    (s.local("y").to_vec(), s.local("z").to_vec())
+                })
+                .into_results()
+        };
+        let reference = run(1, false);
+        for team in [2usize, 4] {
+            for overlap in [false, true] {
+                assert_eq!(
+                    run(team, overlap),
+                    reference,
+                    "team = {team}, overlap = {overlap} changed values"
+                );
+            }
+        }
     }
 
     /// Every named field follows a forced remap chain onto the right

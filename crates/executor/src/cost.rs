@@ -15,7 +15,25 @@ pub struct ComputeCostModel {
     pub per_vertex: f64,
     /// Per element packed into / unpacked from a message buffer.
     pub per_pack: f64,
+    /// Compute lanes per rank — the intra-rank worker-team size (rank =
+    /// address space, team = cores). `1` (the default, and every
+    /// calibration constructor) models the paper's one-processor ranks;
+    /// the session sets it from `StanceConfig::with_team`, and
+    /// [`ComputeCostModel::sweep_work`] divides by the effective speedup
+    /// so the load monitor (and therefore the remap controller) sees the
+    /// rank's *effective* per-item speed.
+    pub team_lanes: usize,
+    /// Marginal efficiency of each lane beyond the first, in `(0, 1]`:
+    /// the effective speedup of a `T`-lane team is
+    /// `1 + (T − 1) · team_efficiency` (static chunking splits the sweep
+    /// near-perfectly, but the serial commit of worker fragments and the
+    /// wake/join handshake tax every extra lane).
+    pub team_efficiency: f64,
 }
+
+/// Default marginal efficiency of additional team lanes (see
+/// [`ComputeCostModel::team_efficiency`]).
+pub const DEFAULT_TEAM_EFFICIENCY: f64 = 0.85;
 
 impl ComputeCostModel {
     /// SUN4-class calibration (see module docs): reproduces T(1) ≈ 97.6 s
@@ -25,6 +43,8 @@ impl ComputeCostModel {
             per_reference: 1.84e-6,
             per_vertex: 1.0e-6,
             per_pack: 0.4e-6,
+            team_lanes: 1,
+            team_efficiency: DEFAULT_TEAM_EFFICIENCY,
         }
     }
 
@@ -34,16 +54,45 @@ impl ComputeCostModel {
             per_reference: 0.0,
             per_vertex: 0.0,
             per_pack: 0.0,
+            team_lanes: 1,
+            team_efficiency: DEFAULT_TEAM_EFFICIENCY,
+        }
+    }
+
+    /// The same model with `lanes` compute lanes per rank (see
+    /// [`ComputeCostModel::team_lanes`]).
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn with_team(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a rank has at least one compute lane");
+        self.team_lanes = lanes;
+        self
+    }
+
+    /// Effective sweep speedup of this model's worker team:
+    /// `1 + (team_lanes − 1) · team_efficiency`, i.e. exactly `1.0` for
+    /// the single-lane default.
+    pub fn team_speedup(&self) -> f64 {
+        if self.team_lanes <= 1 {
+            1.0
+        } else {
+            1.0 + (self.team_lanes as f64 - 1.0) * self.team_efficiency
         }
     }
 
     /// Work (reference seconds) of one relaxation sweep over `vertices`
-    /// owned vertices with `references` total neighbor references.
+    /// owned vertices with `references` total neighbor references,
+    /// divided by the worker team's effective speedup (a no-op at the
+    /// single-lane default — the calibrated tables are untouched).
     pub fn sweep_work(&self, vertices: usize, references: usize) -> f64 {
-        vertices as f64 * self.per_vertex + references as f64 * self.per_reference
+        (vertices as f64 * self.per_vertex + references as f64 * self.per_reference)
+            / self.team_speedup()
     }
 
-    /// Work of packing or unpacking `elements` values.
+    /// Work of packing or unpacking `elements` values. Deliberately *not*
+    /// team-scaled: staging runs on the rank thread, serial with respect
+    /// to the worker team.
     pub fn pack_work(&self, elements: usize) -> f64 {
         elements as f64 * self.per_pack
     }
@@ -82,10 +131,35 @@ mod tests {
     #[test]
     fn pack_work_linear() {
         let m = ComputeCostModel {
-            per_reference: 0.0,
-            per_vertex: 0.0,
             per_pack: 2.0,
+            ..ComputeCostModel::zero()
         };
         assert_eq!(m.pack_work(3), 6.0);
+    }
+
+    #[test]
+    fn single_lane_team_is_identity() {
+        let m = ComputeCostModel::sun4();
+        assert_eq!(m.team_speedup(), 1.0);
+        assert_eq!(m, m.with_team(1));
+    }
+
+    #[test]
+    fn team_scales_sweep_but_not_pack() {
+        let serial = ComputeCostModel::sun4();
+        let team = serial.with_team(4);
+        let speedup = 1.0 + 3.0 * DEFAULT_TEAM_EFFICIENCY;
+        assert_eq!(team.team_speedup(), speedup);
+        assert_eq!(
+            team.sweep_work(1000, 4000),
+            serial.sweep_work(1000, 4000) / speedup
+        );
+        assert_eq!(team.pack_work(1000), serial.pack_work(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute lane")]
+    fn zero_lane_team_rejected() {
+        let _ = ComputeCostModel::sun4().with_team(0);
     }
 }

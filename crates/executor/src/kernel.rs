@@ -41,6 +41,7 @@ use crate::buffers::CommBuffers;
 use crate::cost::ComputeCostModel;
 use crate::ghosted::GhostedArray;
 use crate::primitives::{gather, gather_finish, gather_start};
+use crate::team::SweepTeam;
 
 /// Elements with the componentwise arithmetic the built-in kernels need.
 ///
@@ -133,7 +134,14 @@ impl<const K: usize> Field for [f64; K] {
 /// The [`Kernel::cost`] hook prices one sweep in reference seconds so the
 /// simulator's virtual clock (and therefore the load monitor feeding the
 /// paper's remap controller) stays honest for non-default kernels.
-pub trait Kernel<E: Element> {
+///
+/// `Sync` is a supertrait so a rank's worker team ([`crate::SweepTeam`])
+/// can share one `&Kernel` across its lanes. Kernels are plain parameter
+/// records in practice (every kernel in this repository is `Copy`), so the
+/// bound costs nothing: a type only fails it by holding un-synchronized
+/// interior mutability, which would make the sweep order-dependent and
+/// break the bitwise-reproducibility contract anyway.
+pub trait Kernel<E: Element>: Sync {
     /// One sweep: reads the combined (owned ++ ghost) buffer through the
     /// translated adjacency, writes owned outputs.
     ///
@@ -176,6 +184,35 @@ pub trait Kernel<E: Element> {
         self.sweep(tadj, combined, out);
     }
 
+    /// The throughput-tuned variant of [`Kernel::sweep_range`]: identical
+    /// contract (write exactly `out[range]` from `combined`, bitwise equal
+    /// to what `sweep_range` would write), but the *preferred* entry point
+    /// for every sweep the runner issues — full, interior and boundary
+    /// phases alike all funnel through it via [`sweep_phase`].
+    ///
+    /// The default delegates to [`Kernel::sweep_range`], so user kernels
+    /// need not know this hook exists. The built-in kernels point the
+    /// delegation the other way: their `sweep_chunked` is the real
+    /// implementation — a cache-blocked loop over the CSR window
+    /// ([`TranslatedAdjacency::csr_window`]) that walks the slot array as
+    /// one moving slice, eliminating the per-vertex row-pointer bounds
+    /// checks so rustc keeps the accumulation loop tight enough to
+    /// autovectorize the componentwise arithmetic of `[f64; K]` fields —
+    /// and their `sweep_range`/`sweep` delegate to it. Override this (and
+    /// make `sweep_range` delegate to it) only when your kernel has a
+    /// blocked formulation whose *per-vertex accumulation order* is
+    /// unchanged; otherwise bitwise reproducibility across team sizes and
+    /// gather flavours is lost.
+    fn sweep_chunked(
+        &self,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        range: Range<usize>,
+    ) {
+        self.sweep_range(tadj, combined, out, range);
+    }
+
     /// Reference-seconds of work one sweep over `vertices` owned vertices
     /// with `references` total neighbor references performs. The default is
     /// the paper's relaxation pricing; override it if your kernel does
@@ -204,8 +241,9 @@ const MAX_PRECISE_RUNS: usize = 32;
 
 /// Sweeps one split-phase phase (the interior or the boundary runs).
 ///
-/// Precise mode calls `sweep_range` once per run — no redundant work for
-/// range-honoring kernels. Fragmented phases (more than
+/// Precise mode calls `sweep_chunked` once per run (which defaults to the
+/// kernel's `sweep_range`) — no redundant work for range-honoring
+/// kernels. Fragmented phases (more than
 /// [`MAX_PRECISE_RUNS`] runs) use one call spanning first-run start to
 /// last-run end instead. The bounding span also sweeps vertices of the
 /// *other* class, which is harmless for any conforming kernel: per-vertex
@@ -227,16 +265,23 @@ pub fn sweep_phase<E, K>(
 {
     if runs.clone().count() <= MAX_PRECISE_RUNS {
         for run in runs {
-            kernel.sweep_range(tadj, combined, out, run);
+            kernel.sweep_chunked(tadj, combined, out, run);
         }
     } else {
         // Runs are ascending and disjoint: the bounding span is
         // first-start .. last-end.
         let start = runs.clone().next().expect("count > cap > 0").start;
         let end = runs.last().expect("count > cap > 0").end;
-        kernel.sweep_range(tadj, combined, out, start..end);
+        kernel.sweep_chunked(tadj, combined, out, start..end);
     }
 }
+
+/// Vertices per cache block of the built-in chunked sweeps. With the
+/// meshes' ~6 references per vertex this bounds one block's working set
+/// (row pointers + slots + outputs) to a few tens of KiB — comfortably L1/L2
+/// resident — while keeping the per-block setup (one CSR window, two slice
+/// bounds proofs) amortized over hundreds of vertices.
+const SWEEP_BLOCK: usize = 512;
 
 /// The paper's Fig. 8 relaxation: each vertex becomes the average of its
 /// neighbors (zero-degree vertices keep their value). Works on any
@@ -246,16 +291,9 @@ pub struct RelaxationKernel;
 
 impl<E: Field> Kernel<E> for RelaxationKernel {
     fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
-        self.sweep_range(tadj, combined, out, 0..tadj.len());
+        self.sweep_chunked(tadj, combined, out, 0..tadj.len());
     }
 
-    // One machine-code copy per element type, shared by the synchronous
-    // full sweep and the split-phase per-run calls: letting each call
-    // site inline its own copy hands the two gather flavours differently
-    // laid-out hot loops, and measured sync-vs-split deltas then track
-    // code placement instead of communication (observed at ±60% on this
-    // ~4 ns/vertex loop).
-    #[inline(never)]
     fn sweep_range(
         &self,
         tadj: &TranslatedAdjacency,
@@ -263,19 +301,55 @@ impl<E: Field> Kernel<E> for RelaxationKernel {
         out: &mut [E],
         range: std::ops::Range<usize>,
     ) {
+        self.sweep_chunked(tadj, combined, out, range);
+    }
+
+    // One machine-code copy per element type, shared by the synchronous
+    // full sweep and the split-phase per-run calls (`sweep` and
+    // `sweep_range` are trivial delegations, so every path lands here):
+    // letting each call site inline its own copy hands the two gather
+    // flavours differently laid-out hot loops, and measured sync-vs-split
+    // deltas then track code placement instead of communication (observed
+    // at ±60% on this ~4 ns/vertex loop).
+    //
+    // The loop is cache-blocked over the CSR window: per block, the row
+    // pointers are one local slice and the block's slots are consumed as a
+    // moving `split_at` slice, so the inner accumulation runs with no
+    // per-vertex row-pointer indexing and a single slice-length bound —
+    // tight enough for rustc to autovectorize the componentwise arithmetic
+    // of `[f64; K]` fields. The per-vertex accumulation order is exactly
+    // CSR (ascending-neighbor) order, so outputs stay bitwise identical to
+    // the scalar formulation.
+    #[inline(never)]
+    fn sweep_chunked(
+        &self,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        range: std::ops::Range<usize>,
+    ) {
         assert_eq!(out.len(), tadj.len(), "output length mismatch");
-        for (l, o) in out[range.clone()].iter_mut().enumerate() {
-            let l = range.start + l;
-            let nbrs = tadj.neighbors_of(l);
-            if nbrs.is_empty() {
-                *o = combined[l];
-                continue;
+        let mut block_start = range.start;
+        while block_start < range.end {
+            let block_end = range.end.min(block_start + SWEEP_BLOCK);
+            let (xadj, slots) = tadj.csr_window(block_start..block_end);
+            let mut rest = &slots[xadj[0]..xadj[block_end - block_start]];
+            let mut prev = xadj[0];
+            for (i, o) in out[block_start..block_end].iter_mut().enumerate() {
+                let (nbrs, tail) = rest.split_at(xadj[i + 1] - prev);
+                prev = xadj[i + 1];
+                rest = tail;
+                if nbrs.is_empty() {
+                    *o = combined[block_start + i];
+                    continue;
+                }
+                let mut t = E::zero();
+                for &s in nbrs {
+                    t = t.add(combined[s as usize]);
+                }
+                *o = t.div(nbrs.len() as f64);
             }
-            let mut t = E::zero();
-            for &s in nbrs {
-                t = t.add(combined[s as usize]);
-            }
-            *o = t.div(nbrs.len() as f64);
+            block_start = block_end;
         }
     }
 
@@ -297,12 +371,9 @@ pub struct LaplacianKernel {
 
 impl<E: Field> Kernel<E> for LaplacianKernel {
     fn sweep(&self, tadj: &TranslatedAdjacency, combined: &[E], out: &mut [E]) {
-        self.sweep_range(tadj, combined, out, 0..tadj.len());
+        self.sweep_chunked(tadj, combined, out, 0..tadj.len());
     }
 
-    // See RelaxationKernel::sweep_range: one shared copy keeps the two
-    // gather flavours on identical machine code.
-    #[inline(never)]
     fn sweep_range(
         &self,
         tadj: &TranslatedAdjacency,
@@ -310,15 +381,39 @@ impl<E: Field> Kernel<E> for LaplacianKernel {
         out: &mut [E],
         range: std::ops::Range<usize>,
     ) {
+        self.sweep_chunked(tadj, combined, out, range);
+    }
+
+    // See RelaxationKernel::sweep_chunked: one shared cache-blocked copy
+    // keeps the two gather flavours on identical machine code, and the
+    // moving-slice CSR walk keeps the inner loop free of per-vertex
+    // row-pointer bounds checks without changing the accumulation order.
+    #[inline(never)]
+    fn sweep_chunked(
+        &self,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        range: std::ops::Range<usize>,
+    ) {
         assert_eq!(out.len(), tadj.len(), "output length mismatch");
-        for (l, o) in out[range.clone()].iter_mut().enumerate() {
-            let l = range.start + l;
-            let nbrs = tadj.neighbors_of(l);
-            let mut acc = combined[l].scale(nbrs.len() as f64 + self.shift);
-            for &s in nbrs {
-                acc = acc.sub(combined[s as usize]);
+        let mut block_start = range.start;
+        while block_start < range.end {
+            let block_end = range.end.min(block_start + SWEEP_BLOCK);
+            let (xadj, slots) = tadj.csr_window(block_start..block_end);
+            let mut rest = &slots[xadj[0]..xadj[block_end - block_start]];
+            let mut prev = xadj[0];
+            for (i, o) in out[block_start..block_end].iter_mut().enumerate() {
+                let (nbrs, tail) = rest.split_at(xadj[i + 1] - prev);
+                prev = xadj[i + 1];
+                rest = tail;
+                let mut acc = combined[block_start + i].scale(nbrs.len() as f64 + self.shift);
+                for &s in nbrs {
+                    acc = acc.sub(combined[s as usize]);
+                }
+                *o = acc;
             }
-            *o = acc;
+            block_start = block_end;
         }
     }
 
@@ -440,6 +535,10 @@ pub struct LoopRunner<E: Element = f64, K: Kernel<E> = RelaxationKernel> {
     bufs: CommBuffers<E>,
     /// Whether [`LoopRunner::apply`] uses the split-phase gather.
     overlap: bool,
+    /// The rank's worker team, present when [`LoopRunner::with_team`] was
+    /// given more than one lane. `None` means every sweep runs on the rank
+    /// thread exactly as before teams existed.
+    team: Option<SweepTeam<E>>,
 }
 
 impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
@@ -463,6 +562,7 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
             scratch,
             bufs,
             overlap: false,
+            team: None,
         }
     }
 
@@ -478,6 +578,35 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
     /// Whether this runner overlaps communication with computation.
     pub fn overlap(&self) -> bool {
         self.overlap
+    }
+
+    /// Attaches a persistent worker team of `lanes` compute lanes (lane 0
+    /// is the rank thread itself; `lanes - 1` parked worker threads are
+    /// spawned now and recycled across every iteration and remap). `1`
+    /// detaches the team. Outputs are **bitwise identical** for every
+    /// `lanes` value — the team splits sweeps by deterministic static
+    /// chunking and commits lane results in fixed lane order — so the team
+    /// size is purely a throughput knob. The cost model is updated in
+    /// tandem (see [`ComputeCostModel::with_team`]) so the simulator's
+    /// clock, and through it the load balancer, sees the rank's effective
+    /// speed.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn with_team(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a rank has at least one compute lane");
+        self.cost = self.cost.with_team(lanes);
+        self.team = (lanes > 1).then(|| {
+            let mut team = SweepTeam::new(lanes);
+            team.rebuild_splits(&self.tadj);
+            team
+        });
+        self
+    }
+
+    /// The number of compute lanes sweeps run on (`1` without a team).
+    pub fn team_lanes(&self) -> usize {
+        self.team.as_ref().map_or(1, SweepTeam::lanes)
     }
 
     /// The schedule in use.
@@ -512,6 +641,12 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
         // sweep and the ghost suffix is rewritten by every gather before
         // any read (the same argument as `GhostedArray::swap_data`).
         self.scratch.resize(self.tadj.buffer_len(), E::zero());
+        // The lane splits derive from the run classification, so a remap
+        // invalidates them; the team itself (threads, staging capacity)
+        // is recycled.
+        if let Some(team) = &mut self.team {
+            team.rebuild_splits(&self.tadj);
+        }
         retired
     }
 
@@ -561,11 +696,19 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
         gather(env, &self.schedule, values, &self.cost, &mut self.bufs);
         let t0 = env.now_secs();
         env.compute(work);
-        self.kernel.sweep(
-            &self.tadj,
-            values.combined(),
-            &mut self.scratch[..self.tadj.len()],
-        );
+        match &mut self.team {
+            Some(team) => team.sweep_full(
+                &self.kernel,
+                &self.tadj,
+                values.combined(),
+                &mut self.scratch[..self.tadj.len()],
+            ),
+            None => self.kernel.sweep(
+                &self.tadj,
+                values.combined(),
+                &mut self.scratch[..self.tadj.len()],
+            ),
+        }
         LoopStats {
             iterations: 1,
             compute_time: env.now_secs() - t0,
@@ -600,13 +743,21 @@ impl<E: Element, K: Kernel<E>> LoopRunner<E, K> {
 
         let t0 = env.now_secs();
         env.compute(interior_work);
-        sweep_phase(
-            &self.kernel,
-            &self.tadj,
-            values.combined(),
-            &mut self.scratch[..local_len],
-            self.tadj.interior_runs(),
-        );
+        match &mut self.team {
+            Some(team) => team.sweep_interior(
+                &self.kernel,
+                &self.tadj,
+                values.combined(),
+                &mut self.scratch[..local_len],
+            ),
+            None => sweep_phase(
+                &self.kernel,
+                &self.tadj,
+                values.combined(),
+                &mut self.scratch[..local_len],
+                self.tadj.interior_runs(),
+            ),
+        }
         let interior_time = env.now_secs() - t0;
 
         gather_finish(env, &self.schedule, values, &self.cost, &mut self.bufs);
@@ -1264,5 +1415,199 @@ mod tests {
         };
         assert_eq!(s2.avg_time_per_item(0), 0.0);
         assert_eq!(s2.avg_time_per_item(2), 1.0);
+    }
+
+    /// Team size is purely a throughput knob: any `T`, with either gather
+    /// flavour, must reproduce the sequential reference bitwise — worker
+    /// lanes sweep private staging and commit in fixed lane order, so the
+    /// accumulation order never changes.
+    #[test]
+    fn team_runner_matches_sequential_bitwise() {
+        let g = meshgen::triangulated_grid(11, 9, 0.4, 6);
+        let n = g.num_vertices();
+        let iters = 12;
+        let mut expected = initial_values(n);
+        sequential_relaxation(&g, &mut expected, iters);
+
+        for team in [1usize, 2, 3, 4] {
+            for overlap in [false, true] {
+                let part = BlockPartition::uniform(n, 2);
+                let g2 = g.clone();
+                let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+                let report = Cluster::new(spec).run(move |env| {
+                    let rank = env.rank();
+                    let adj = LocalAdjacency::extract(&g2, &part, rank);
+                    let (sched, _) =
+                        build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+                    let mut runner =
+                        LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel)
+                            .with_overlap(overlap)
+                            .with_team(team);
+                    assert_eq!(runner.team_lanes(), team);
+                    let iv = part.interval_of(rank);
+                    let init = initial_values(n);
+                    let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
+                    runner.run(env, &mut values, iters);
+                    values.local().to_vec()
+                });
+                let mut got = Vec::with_capacity(n);
+                for r in report.into_results() {
+                    got.extend(r);
+                }
+                let bits_got: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                let bits_exp: Vec<u64> = expected.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    bits_got, bits_exp,
+                    "team = {team}, overlap = {overlap} diverged from sequential"
+                );
+            }
+        }
+    }
+
+    /// The fragmented fixture of `fragmented_classification_correct_under_overlap`,
+    /// with a team: run splitting must stay exact when runs outnumber
+    /// lanes by an order of magnitude and lane fragments cut runs.
+    #[test]
+    fn team_runner_correct_on_fragmented_classification() {
+        let n = 200;
+        let edges: Vec<(u32, u32)> = (0..50u32).map(|i| (2 * i, 100 + i)).collect();
+        let g = Graph::from_edges(n, &edges, vec![[0.0; 3]; n], 2);
+        let iters = 6;
+        let mut expected = initial_values(n);
+        sequential_relaxation(&g, &mut expected, iters);
+
+        for team in [2usize, 4] {
+            for overlap in [false, true] {
+                let part = BlockPartition::uniform(n, 2);
+                let g2 = g.clone();
+                let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+                let report = Cluster::new(spec).run(move |env| {
+                    let rank = env.rank();
+                    let adj = LocalAdjacency::extract(&g2, &part, rank);
+                    let (sched, _) =
+                        build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+                    let mut runner =
+                        LoopRunner::new(sched, &adj, ComputeCostModel::zero(), RelaxationKernel)
+                            .with_overlap(overlap)
+                            .with_team(team);
+                    let iv = part.interval_of(rank);
+                    let init = initial_values(n);
+                    let mut values = runner.make_values(init[iv.start..iv.end].to_vec());
+                    runner.run(env, &mut values, iters);
+                    values.local().to_vec()
+                });
+                let mut got = Vec::with_capacity(n);
+                for r in report.into_results() {
+                    got.extend(r);
+                }
+                assert_eq!(
+                    got, expected,
+                    "fragmented team = {team}, overlap = {overlap} diverged"
+                );
+            }
+        }
+    }
+
+    /// A rebuilt team runner (remap) must match a fresh one bitwise —
+    /// the lane splits are recomputed from the new classification.
+    #[test]
+    fn rebuilt_team_runner_matches_fresh_bitwise() {
+        let g = meshgen::triangulated_grid(11, 9, 0.4, 6);
+        let n = g.num_vertices();
+        let phases = [
+            BlockPartition::from_sizes(&[40, 30, 29]),
+            BlockPartition::from_sizes(&[20, 50, 29]),
+        ];
+        let iters = 5;
+        let run = |team: usize, recycle: bool| {
+            let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
+            Cluster::new(spec)
+                .run(|env| {
+                    let rank = env.rank();
+                    let init = initial_values(n);
+                    let mut runner: Option<LoopRunner<f64, RelaxationKernel>> = None;
+                    let mut out = Vec::new();
+                    for part in &phases {
+                        let adj = LocalAdjacency::extract(&g, part, rank);
+                        let (sched, _) =
+                            build_schedule_symmetric(part, &adj, rank, ScheduleStrategy::Sort2);
+                        match &mut runner {
+                            Some(r) if recycle => {
+                                r.rebuild(sched, &adj);
+                            }
+                            _ => {
+                                runner = Some(
+                                    LoopRunner::new(
+                                        sched,
+                                        &adj,
+                                        ComputeCostModel::zero(),
+                                        RelaxationKernel,
+                                    )
+                                    .with_overlap(true)
+                                    .with_team(team),
+                                );
+                            }
+                        }
+                        let r = runner.as_mut().expect("runner built");
+                        let iv = part.interval_of(rank);
+                        let mut values = r.make_values(init[iv.start..iv.end].to_vec());
+                        r.run(env, &mut values, iters);
+                        out.push(values.local().to_vec());
+                    }
+                    out
+                })
+                .into_results()
+        };
+        for team in [2usize, 4] {
+            assert_eq!(
+                run(team, true),
+                run(team, false),
+                "team = {team}: rebuilt runner diverged from fresh"
+            );
+            assert_eq!(
+                run(team, true),
+                run(1, true),
+                "team = {team}: teamed runner diverged from single-lane"
+            );
+        }
+    }
+
+    /// The simulator's clock must see the team: a 4-lane rank charges
+    /// `sweep_work / team_speedup` per iteration, so the load monitor
+    /// (and the balancer) observes the effective per-item speed.
+    #[test]
+    fn team_aware_cost_speeds_virtual_clock() {
+        let g = meshgen::triangulated_grid(8, 8, 0.0, 0);
+        let n = g.num_vertices();
+        let part = BlockPartition::uniform(n, 2);
+        let cost = ComputeCostModel::sun4();
+        let run = |team: usize| {
+            let part = part.clone();
+            let g = g.clone();
+            let spec = ClusterSpec::uniform(2).with_network(NetworkSpec::zero_cost());
+            Cluster::new(spec)
+                .run(move |env| {
+                    let rank = env.rank();
+                    let adj = LocalAdjacency::extract(&g, &part, rank);
+                    let owned = adj.len();
+                    let (sched, _) =
+                        build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
+                    let mut runner =
+                        LoopRunner::new(sched, &adj, cost, RelaxationKernel).with_team(team);
+                    let mut values = runner.make_values(vec![0.0; owned]);
+                    runner.run(env, &mut values, 4).compute_time
+                })
+                .into_results()
+        };
+        let serial = run(1);
+        let teamed = run(4);
+        let speedup = cost.with_team(4).team_speedup();
+        for (rank, (t1, t4)) in serial.iter().zip(teamed.iter()).enumerate() {
+            assert!(
+                (t1 / t4 - speedup).abs() < 1e-9,
+                "rank {rank}: clock speedup {} != modelled {speedup}",
+                t1 / t4
+            );
+        }
     }
 }

@@ -1,0 +1,484 @@
+//! Intra-rank worker teams: a persistent pool of parked threads that
+//! splits one rank's sweeps across cores.
+//!
+//! The paper's model is one rank per processor; on a modern manycore host
+//! that maps one rank per *core* and pays ghost exchange between every
+//! pair of cores. The hierarchical alternative keeps ranks = address
+//! spaces (few, communicating) and adds teams = cores (many, sharing the
+//! rank's memory): a [`SweepTeam`] owns `lanes - 1` worker threads that
+//! sleep on a condvar between sweeps and split each sweep by
+//! *deterministic static chunking* of the existing run classification.
+//!
+//! # Bitwise reproducibility
+//!
+//! Team size is purely a throughput knob — outputs are bitwise identical
+//! for every lane count, both backends, sync and overlapped gathers:
+//!
+//! * every committed output slot is produced by a `sweep_chunked` call
+//!   over a range containing it, reading the same immutable `combined`
+//!   buffer, so the per-vertex accumulation order never changes;
+//! * the lane splits are a pure function of the run classification (never
+//!   of timing), so the same schedule always yields the same splits;
+//! * workers write disjoint *private* staging buffers and the caller
+//!   merges them in fixed lane order after all lanes finish — no
+//!   concurrent writes, no order dependence.
+//!
+//! # Steady-state allocation freedom
+//!
+//! Threads are spawned once, the staging buffers and split tables are
+//! recycled across iterations (resized only on
+//! [`SweepTeam::rebuild_splits`], i.e. on remap), and dispatching a sweep
+//! publishes one borrowed closure under a mutex — no boxing, no channels.
+//! `tests/alloc_free.rs` pins the team-mode steady state at zero
+//! allocations on both backends.
+
+// The one unsafe block in this crate lives here (the lifetime erasure in
+// `TeamCore::run`); everything else stays checked.
+#![allow(unsafe_code)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use stance_inspector::TranslatedAdjacency;
+use stance_sim::Element;
+
+use crate::kernel::{sweep_phase, Kernel};
+
+/// One published sweep dispatch: the job closure runs once per worker
+/// lane, with the lane index as its argument.
+///
+/// The reference is type-erased to `'static` by [`TeamCore::run`], which
+/// guarantees the underlying closure outlives the job (it blocks until
+/// every worker has retired the epoch before returning).
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+}
+
+/// State shared between the rank thread and its parked workers.
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled by the publisher when a new epoch (or shutdown) is posted.
+    work: Condvar,
+    /// Signalled by the last worker to retire the current epoch.
+    done: Condvar,
+}
+
+struct State {
+    /// Monotonic dispatch counter; a worker runs one job per observed
+    /// increment, so a spurious condvar wakeup can never re-run a job.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current epoch's job.
+    remaining: usize,
+    /// Set when any worker's job panicked; re-raised on the rank thread.
+    panicked: bool,
+    shutdown: bool,
+}
+
+/// The element-type-independent thread pool: worker threads + handshake.
+struct TeamCore {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TeamCore {
+    /// Spawns `workers` parked worker threads (lanes `1..=workers`).
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..=workers)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stance-team-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn sweep-team worker")
+            })
+            .collect();
+        TeamCore {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Runs `worker_job(lane)` on every worker lane while `lane0` runs on
+    /// the calling thread, returning only after **all** lanes finished.
+    /// A panic on any lane is re-raised here (after the join, so the
+    /// borrowed closure is never outlived).
+    fn run(&self, worker_job: &(dyn Fn(usize) + Sync), lane0: impl FnOnce()) {
+        // SAFETY: the only unsafe in the crate. We erase `worker_job`'s
+        // lifetime so the parked threads (whose loop is necessarily
+        // `'static`) can call it. The borrow cannot be outlived: this
+        // function publishes the job, then unconditionally blocks — even
+        // when `lane0` panics — until `remaining` drops to zero, i.e.
+        // until every worker has finished calling the closure and will
+        // never touch it again (the epoch check stops re-runs).
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                    worker_job,
+                )
+            },
+        };
+        {
+            let mut st = self.shared.state.lock().expect("team state poisoned");
+            st.job = Some(job);
+            st.remaining = self.workers.len();
+            st.epoch += 1;
+        }
+        self.shared.work.notify_all();
+
+        let lane0_result = catch_unwind(AssertUnwindSafe(lane0));
+
+        let worker_panicked = {
+            let mut st = self.shared.state.lock().expect("team state poisoned");
+            while st.remaining != 0 {
+                st = self.shared.done.wait(st).expect("team state poisoned");
+            }
+            st.job = None;
+            std::mem::take(&mut st.panicked)
+        };
+        if let Err(payload) = lane0_result {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a sweep-team worker lane panicked");
+    }
+}
+
+impl Drop for TeamCore {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("team state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("published epoch carries a job");
+                }
+                st = shared.work.wait(st).expect("team state poisoned");
+            }
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| (job.f)(lane))).is_ok();
+        let mut st = shared.state.lock().expect("team state poisoned");
+        if !ok {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Which precomputed lane split a sweep uses.
+#[derive(Clone, Copy)]
+enum Split {
+    /// The whole owned range `0..len` (synchronous full sweeps).
+    Full,
+    /// The interior runs only (the overlapped gather's hidden phase).
+    Interior,
+}
+
+/// A rank's persistent worker team for splitting sweeps across cores.
+///
+/// Construct once per rank (or let [`LoopRunner::with_team`] do it), call
+/// [`SweepTeam::rebuild_splits`] whenever the translated adjacency
+/// changes, then dispatch [`SweepTeam::sweep_full`] /
+/// [`SweepTeam::sweep_interior`] every iteration. See the module docs for
+/// the reproducibility and allocation arguments.
+///
+/// The boundary phase of an overlapped gather is deliberately *not*
+/// team-split: boundary runs are short (block edges), and the phase sits
+/// between `gather_finish` and the commit where dispatch overhead would
+/// dominate.
+///
+/// [`LoopRunner::with_team`]: crate::LoopRunner::with_team
+pub struct SweepTeam<E: Element> {
+    lanes: usize,
+    /// `None` when `lanes == 1`: no threads, every sweep runs inline.
+    core: Option<TeamCore>,
+    /// One private full-length output buffer per worker lane (index
+    /// `lane - 1`). The mutex is uncontended by construction — each worker
+    /// locks only its own buffer, the caller only after the join — and
+    /// exists to make the sharing visible to the type system without
+    /// unsafe slice splitting.
+    staging: Vec<Mutex<Vec<E>>>,
+    /// `full_splits[lane]` = the fragments of `0..len` lane `lane` sweeps.
+    full_splits: Vec<Vec<Range<usize>>>,
+    /// `interior_splits[lane]` = the interior-run fragments of lane
+    /// `lane`.
+    interior_splits: Vec<Vec<Range<usize>>>,
+}
+
+impl<E: Element> SweepTeam<E> {
+    /// Creates a team with `lanes` compute lanes: the calling rank thread
+    /// (lane 0) plus `lanes - 1` spawned worker threads, parked until a
+    /// sweep is dispatched. Call [`SweepTeam::rebuild_splits`] before the
+    /// first sweep.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes >= 1, "a sweep team has at least one lane");
+        SweepTeam {
+            lanes,
+            core: (lanes > 1).then(|| TeamCore::new(lanes - 1)),
+            staging: (1..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+            full_splits: vec![Vec::new(); lanes],
+            interior_splits: vec![Vec::new(); lanes],
+        }
+    }
+
+    /// The number of compute lanes (including the calling thread).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Recomputes the deterministic static lane splits from the run
+    /// classification and resizes the staging buffers — call after every
+    /// (re)translation of the adjacency. Storage is recycled; steady-state
+    /// iterations between calls allocate nothing.
+    pub fn rebuild_splits(&mut self, tadj: &TranslatedAdjacency) {
+        let len = tadj.len();
+        for buf in &self.staging {
+            buf.lock().expect("staging poisoned").resize(len, E::zero());
+        }
+        split_runs(std::iter::once(0..len), len, &mut self.full_splits);
+        split_runs(
+            tadj.interior_runs(),
+            tadj.num_interior(),
+            &mut self.interior_splits,
+        );
+    }
+
+    /// Sweeps all owned vertices (`0..len`) split across the team,
+    /// writing `out` exactly as `kernel.sweep` would.
+    pub fn sweep_full<K: Kernel<E> + ?Sized>(
+        &mut self,
+        kernel: &K,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+    ) {
+        self.sweep_split(kernel, tadj, combined, out, Split::Full);
+    }
+
+    /// Sweeps the interior runs split across the team, writing the
+    /// interior slots of `out` exactly as a single-lane
+    /// [`sweep_phase`] over [`TranslatedAdjacency::interior_runs`] would.
+    pub fn sweep_interior<K: Kernel<E> + ?Sized>(
+        &mut self,
+        kernel: &K,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+    ) {
+        self.sweep_split(kernel, tadj, combined, out, Split::Interior);
+    }
+
+    fn sweep_split<K: Kernel<E> + ?Sized>(
+        &mut self,
+        kernel: &K,
+        tadj: &TranslatedAdjacency,
+        combined: &[E],
+        out: &mut [E],
+        which: Split,
+    ) {
+        let splits = match which {
+            Split::Full => &self.full_splits,
+            Split::Interior => &self.interior_splits,
+        };
+        let Some(core) = &self.core else {
+            // Single lane: sweep inline, no staging, no handshake.
+            sweep_phase(kernel, tadj, combined, out, splits[0].iter().cloned());
+            return;
+        };
+        if splits.iter().all(Vec::is_empty) {
+            return; // nothing classified into this phase
+        }
+        let staging = &self.staging;
+        let worker = move |lane: usize| {
+            let mut buf = staging[lane - 1].lock().expect("staging poisoned");
+            sweep_phase(
+                kernel,
+                tadj,
+                combined,
+                &mut buf[..],
+                splits[lane].iter().cloned(),
+            );
+        };
+        core.run(&worker, || {
+            sweep_phase(kernel, tadj, combined, out, splits[0].iter().cloned());
+        });
+        // Commit worker fragments in fixed lane order. The copies are of
+        // *identical-value* slots only where fragments touch a bounding
+        // span (see `sweep_phase`); disjointness of the lane fragments
+        // makes the order immaterial for values, and fixing it anyway
+        // keeps the write sequence reproducible.
+        for (lane, frags) in splits.iter().enumerate().skip(1) {
+            let buf = staging[lane - 1].lock().expect("staging poisoned");
+            for r in frags {
+                out[r.clone()].copy_from_slice(&buf[r.clone()]);
+            }
+        }
+    }
+}
+
+/// Splits `runs` (ascending, disjoint, totalling `total` vertices) into
+/// `splits.len()` fragment lists: lane `w` receives the flattened vertex
+/// positions `[w·total/L, (w+1)·total/L)` mapped back onto the runs, so
+/// lane loads differ by at most one vertex and a run straddling a quota
+/// boundary is cut, never duplicated. Pure function of its inputs —
+/// identical schedules always produce identical splits.
+fn split_runs(
+    runs: impl Iterator<Item = Range<usize>>,
+    total: usize,
+    splits: &mut [Vec<Range<usize>>],
+) {
+    for s in splits.iter_mut() {
+        s.clear();
+    }
+    let lanes = splits.len();
+    let mut lane = 0usize;
+    let mut taken = 0usize;
+    for mut run in runs {
+        while !run.is_empty() {
+            let lane_end = (lane + 1) * total / lanes;
+            if taken >= lane_end && lane + 1 < lanes {
+                lane += 1;
+                continue;
+            }
+            let take = run.len().min(lane_end - taken).max(1);
+            splits[lane].push(run.start..run.start + take);
+            run.start += take;
+            taken += take;
+        }
+    }
+    debug_assert_eq!(taken, total, "splits must cover every vertex");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten(splits: &[Vec<Range<usize>>]) -> Vec<usize> {
+        splits
+            .iter()
+            .flat_map(|frags| frags.iter().cloned().flatten())
+            .collect()
+    }
+
+    #[test]
+    fn split_balances_single_run() {
+        let mut splits = vec![Vec::new(); 4];
+        split_runs(std::iter::once(0..10), 10, &mut splits);
+        assert_eq!(splits[0], vec![0..2]);
+        assert_eq!(splits[1], vec![2..5]);
+        assert_eq!(splits[2], vec![5..7]);
+        assert_eq!(splits[3], vec![7..10]);
+    }
+
+    #[test]
+    fn split_covers_fragmented_runs_exactly_once() {
+        let runs = [2..5usize, 8..9, 12..20, 31..36];
+        let total: usize = runs.iter().map(ExactSizeIterator::len).sum();
+        for lanes in 1..=6 {
+            let mut splits = vec![Vec::new(); lanes];
+            split_runs(runs.iter().cloned(), total, &mut splits);
+            let expected: Vec<usize> = runs.iter().cloned().flatten().collect();
+            assert_eq!(flatten(&splits), expected, "lanes = {lanes}");
+            // Near-equal loads: max and min lane differ by at most one.
+            let loads: Vec<usize> = splits
+                .iter()
+                .map(|f| f.iter().map(ExactSizeIterator::len).sum())
+                .collect();
+            let (lo, hi) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+            assert!(hi - lo <= 1, "lanes = {lanes}, loads = {loads:?}");
+        }
+    }
+
+    #[test]
+    fn split_handles_empty_and_tiny_totals() {
+        let mut splits = vec![Vec::new(); 3];
+        split_runs(std::iter::empty(), 0, &mut splits);
+        assert!(splits.iter().all(Vec::is_empty));
+        // Fewer vertices than lanes: every vertex still lands exactly once.
+        split_runs(std::iter::once(5..7), 2, &mut splits);
+        assert_eq!(flatten(&splits), vec![5, 6]);
+    }
+
+    #[test]
+    fn core_runs_every_lane_and_recycles() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let core = TeamCore::new(3);
+        let hits = AtomicUsize::new(0);
+        for round in 1..=5usize {
+            let job = |lane: usize| {
+                hits.fetch_add(lane, Ordering::Relaxed);
+            };
+            core.run(&job, || {
+                hits.fetch_add(100, Ordering::Relaxed);
+            });
+            // Lanes 1+2+3 plus lane 0's 100, every round.
+            assert_eq!(hits.load(Ordering::Relaxed), round * 106);
+        }
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_rank_thread() {
+        let team = TeamCore::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            team.run(
+                &|lane| {
+                    if lane == 1 {
+                        panic!("lane 1 exploded");
+                    }
+                },
+                || {},
+            );
+        }));
+        assert!(result.is_err(), "worker panic must propagate");
+        // The team must still be usable afterwards.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        team.run(
+            &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+            || {},
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -385,6 +385,19 @@ impl TranslatedAdjacency {
         self.xadj[local + 1] - self.xadj[local]
     }
 
+    /// The raw CSR window backing vertices `range`: the row-pointer slice
+    /// `xadj[range.start..=range.end]` (so `window.0[i + 1] - window.0[i]`
+    /// is the degree of local vertex `range.start + i`) together with the
+    /// full combined-index slot array it indexes into. This is what a
+    /// cache-blocked kernel wants — one slice-bounds proof per block
+    /// instead of two indexed loads per vertex — while
+    /// [`TranslatedAdjacency::neighbors_of`] stays the convenient
+    /// per-vertex view.
+    #[inline]
+    pub fn csr_window(&self, range: std::ops::Range<usize>) -> (&[usize], &[u32]) {
+        (&self.xadj[range.start..=range.end], &self.slots)
+    }
+
     /// Total references.
     #[inline]
     pub fn num_refs(&self) -> usize {

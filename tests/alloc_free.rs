@@ -25,6 +25,12 @@
 //! between two partitions and pin that per-remap allocation counts
 //! converge to **zero** on both backends (the first pairs warm the pools;
 //! everything after is allocation-free).
+//!
+//! **Worker teams** join the same discipline: with `with_team(T)` the
+//! rank's sweeps split across parked worker threads writing recycled
+//! staging buffers, dispatched through a borrowed-closure handshake (no
+//! boxing, no channels) — so teamed steady-state iterations allocate
+//! exactly as much as single-lane ones: nothing.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,7 +79,12 @@ static ALLOC: CountingAllocator = CountingAllocator;
 /// The counter is process-global, so tests that arm it must not overlap.
 static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-fn steady_state_allocations<E, K>(kernel: K, overlap: bool, init: impl Fn(usize) -> E + Sync) -> u64
+fn steady_state_allocations<E, K>(
+    kernel: K,
+    overlap: bool,
+    team: usize,
+    init: impl Fn(usize) -> E + Sync,
+) -> u64
 where
     E: Field,
     K: Kernel<E> + Copy + Send + Sync,
@@ -90,8 +101,9 @@ where
         let rank = env.rank();
         let adj = LocalAdjacency::extract(&g, &part, rank);
         let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-        let mut runner =
-            LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel).with_overlap(overlap);
+        let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel)
+            .with_overlap(overlap)
+            .with_team(team);
         let iv = part.interval_of(rank);
         let mut values = runner.make_values(iv.iter().map(&init).collect());
 
@@ -133,6 +145,7 @@ where
 fn native_steady_state_allocations<E, K>(
     kernel: K,
     overlap: bool,
+    team: usize,
     init: impl Fn(usize) -> E + Sync,
 ) -> u64
 where
@@ -150,8 +163,9 @@ where
         let rank = comm.rank();
         let adj = LocalAdjacency::extract(&g, &part, rank);
         let (sched, _) = build_schedule_symmetric(&part, &adj, rank, ScheduleStrategy::Sort2);
-        let mut runner =
-            LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel).with_overlap(overlap);
+        let mut runner = LoopRunner::new(sched, &adj, ComputeCostModel::zero(), kernel)
+            .with_overlap(overlap)
+            .with_team(team);
         let iv = part.interval_of(rank);
         let mut values = runner.make_values(iv.iter().map(&init).collect());
 
@@ -551,7 +565,7 @@ fn native_remap_allocations_bounded_f64x4() {
 #[test]
 fn steady_state_loop_is_allocation_free_f64() {
     let allocations =
-        steady_state_allocations::<f64, _>(RelaxationKernel, false, |g| (g as f64).sin());
+        steady_state_allocations::<f64, _>(RelaxationKernel, false, 1, |g| (g as f64).sin());
     assert_eq!(
         allocations, 0,
         "steady-state f64 iterations performed {allocations} heap allocations"
@@ -560,7 +574,7 @@ fn steady_state_loop_is_allocation_free_f64() {
 
 #[test]
 fn steady_state_loop_is_allocation_free_f64x4() {
-    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, false, |g| {
+    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, false, 1, |g| {
         [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
     });
     assert_eq!(
@@ -572,7 +586,7 @@ fn steady_state_loop_is_allocation_free_f64x4() {
 #[test]
 fn native_steady_state_loop_is_allocation_free_f64() {
     let allocations =
-        native_steady_state_allocations::<f64, _>(RelaxationKernel, false, |g| (g as f64).sin());
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, false, 1, |g| (g as f64).sin());
     assert_eq!(
         allocations, 0,
         "native steady-state f64 iterations performed {allocations} heap allocations"
@@ -582,7 +596,7 @@ fn native_steady_state_loop_is_allocation_free_f64() {
 #[test]
 fn native_steady_state_loop_is_allocation_free_f64x4() {
     let allocations =
-        native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, false, |g| {
+        native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, false, 1, |g| {
             [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
         });
     assert_eq!(
@@ -594,7 +608,7 @@ fn native_steady_state_loop_is_allocation_free_f64x4() {
 #[test]
 fn overlapped_steady_state_loop_is_allocation_free_f64() {
     let allocations =
-        steady_state_allocations::<f64, _>(RelaxationKernel, true, |g| (g as f64).sin());
+        steady_state_allocations::<f64, _>(RelaxationKernel, true, 1, |g| (g as f64).sin());
     assert_eq!(
         allocations, 0,
         "overlapped steady-state f64 iterations performed {allocations} heap allocations"
@@ -603,7 +617,7 @@ fn overlapped_steady_state_loop_is_allocation_free_f64() {
 
 #[test]
 fn overlapped_steady_state_loop_is_allocation_free_f64x4() {
-    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, true, |g| {
+    let allocations = steady_state_allocations::<[f64; 4], _>(RelaxationKernel, true, 1, |g| {
         [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
     });
     assert_eq!(
@@ -615,7 +629,7 @@ fn overlapped_steady_state_loop_is_allocation_free_f64x4() {
 #[test]
 fn native_overlapped_steady_state_loop_is_allocation_free_f64() {
     let allocations =
-        native_steady_state_allocations::<f64, _>(RelaxationKernel, true, |g| (g as f64).sin());
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, true, 1, |g| (g as f64).sin());
     assert_eq!(
         allocations, 0,
         "native overlapped steady-state f64 iterations performed {allocations} heap allocations"
@@ -624,11 +638,52 @@ fn native_overlapped_steady_state_loop_is_allocation_free_f64() {
 
 #[test]
 fn native_overlapped_steady_state_loop_is_allocation_free_f64x4() {
-    let allocations = native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, true, |g| {
-        [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
-    });
+    let allocations =
+        native_steady_state_allocations::<[f64; 4], _>(RelaxationKernel, true, 1, |g| {
+            [g as f64, -(g as f64), 0.5 * g as f64, 1.0]
+        });
     assert_eq!(
         allocations, 0,
         "native overlapped steady-state [f64; 4] iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn teamed_steady_state_loop_is_allocation_free() {
+    let allocations =
+        steady_state_allocations::<f64, _>(RelaxationKernel, false, 3, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "teamed steady-state iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn teamed_overlapped_steady_state_loop_is_allocation_free() {
+    let allocations =
+        steady_state_allocations::<f64, _>(RelaxationKernel, true, 3, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "teamed overlapped steady-state iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_teamed_steady_state_loop_is_allocation_free() {
+    let allocations =
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, false, 3, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "native teamed steady-state iterations performed {allocations} heap allocations"
+    );
+}
+
+#[test]
+fn native_teamed_overlapped_steady_state_loop_is_allocation_free() {
+    let allocations =
+        native_steady_state_allocations::<f64, _>(RelaxationKernel, true, 3, |g| (g as f64).sin());
+    assert_eq!(
+        allocations, 0,
+        "native teamed overlapped steady-state iterations performed {allocations} heap allocations"
     );
 }

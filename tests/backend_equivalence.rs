@@ -24,6 +24,12 @@
 //! inputs, which both orders deliver unchanged — on both backends, at
 //! every rank count. This is the cross-path half of the equivalence
 //! story: backend × gather-flavour, all four combinations, one answer.
+//!
+//! Each workload additionally runs with **worker teams**
+//! (`StanceConfig::with_team` / `LoopRunner::with_team`) at sizes 2 and
+//! 4: splitting a rank's sweeps across a team of threads must be bitwise
+//! identical to the single-lane run — deterministic static chunking plus
+//! fixed-order commits — on both backends, with both gather flavours.
 
 //! Both workloads run **fully verified**: the session enables
 //! `StanceConfig::with_verification(true)` (schedule audits + protocol
@@ -61,11 +67,13 @@ fn relaxation_body<C: Comm>(
     mesh: &Graph,
     iters: usize,
     overlap: bool,
+    team: usize,
 ) -> (Vec<f64>, BlockPartition) {
     let config = StanceConfig::free()
         .without_load_balancing()
         .with_overlap(overlap)
-        .with_verification(true);
+        .with_verification(true)
+        .with_team(team);
     let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, init, &config);
     session.run_adaptive(env, iters);
     let diags = session.verify_protocol(env);
@@ -73,16 +81,23 @@ fn relaxation_body<C: Comm>(
     (session.local_values().to_vec(), session.partition().clone())
 }
 
-fn relaxation_on_sim(mesh: &Graph, p: usize, iters: usize, overlap: bool) -> Vec<f64> {
+fn relaxation_on_sim(mesh: &Graph, p: usize, iters: usize, overlap: bool, team: usize) -> Vec<f64> {
     let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
-    let report = Cluster::new(spec).run(|env| relaxation_body(env, mesh, iters, overlap));
+    let report = Cluster::new(spec).run(|env| relaxation_body(env, mesh, iters, overlap, team));
     let results: Vec<_> = report.into_results();
     let partition = results[0].1.clone();
     stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
 }
 
-fn relaxation_on_native(mesh: &Graph, p: usize, iters: usize, overlap: bool) -> Vec<f64> {
-    let report = NativeCluster::new(p).run(|comm| relaxation_body(comm, mesh, iters, overlap));
+fn relaxation_on_native(
+    mesh: &Graph,
+    p: usize,
+    iters: usize,
+    overlap: bool,
+    team: usize,
+) -> Vec<f64> {
+    let report =
+        NativeCluster::new(p).run(|comm| relaxation_body(comm, mesh, iters, overlap, team));
     let results: Vec<_> = report.into_results();
     let partition = results[0].1.clone();
     stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
@@ -96,8 +111,8 @@ fn relaxation_bitwise_identical_across_backends_and_paths() {
     sequential_relaxation(&m, &mut reference, iters);
 
     for p in [1usize, 2, 4] {
-        let sim = relaxation_on_sim(&m, p, iters, false);
-        let native = relaxation_on_native(&m, p, iters, false);
+        let sim = relaxation_on_sim(&m, p, iters, false, 1);
+        let native = relaxation_on_native(&m, p, iters, false, 1);
         assert_eq!(sim, reference, "sim diverged from sequential at p = {p}");
         assert_eq!(
             bits(&sim),
@@ -106,8 +121,8 @@ fn relaxation_bitwise_identical_across_backends_and_paths() {
         );
         // The split-phase gather is numerically free: bitwise identical to
         // the synchronous path on both backends.
-        let sim_split = relaxation_on_sim(&m, p, iters, true);
-        let native_split = relaxation_on_native(&m, p, iters, true);
+        let sim_split = relaxation_on_sim(&m, p, iters, true, 1);
+        let native_split = relaxation_on_native(&m, p, iters, true, 1);
         assert_eq!(
             bits(&sim),
             bits(&sim_split),
@@ -118,6 +133,36 @@ fn relaxation_bitwise_identical_across_backends_and_paths() {
             bits(&native_split),
             "native split-phase diverged from synchronous at p = {p}"
         );
+    }
+}
+
+/// Worker teams are numerically free: team sizes 2 and 4 must match the
+/// single-lane (T = 1) run bitwise on both backends, with both gather
+/// flavours, at every rank count — and the protocol traces (the session
+/// runs fully verified) must stay clean.
+#[test]
+fn relaxation_bitwise_identical_across_team_sizes() {
+    let m = mesh();
+    let iters = 25;
+    for p in [1usize, 2, 4] {
+        let sim_serial = relaxation_on_sim(&m, p, iters, false, 1);
+        let native_serial = relaxation_on_native(&m, p, iters, false, 1);
+        for team in [2usize, 4] {
+            for overlap in [false, true] {
+                let sim = relaxation_on_sim(&m, p, iters, overlap, team);
+                assert_eq!(
+                    bits(&sim_serial),
+                    bits(&sim),
+                    "sim team = {team} diverged from T = 1 at p = {p}, overlap = {overlap}"
+                );
+                let native = relaxation_on_native(&m, p, iters, overlap, team);
+                assert_eq!(
+                    bits(&native_serial),
+                    bits(&native),
+                    "native team = {team} diverged from T = 1 at p = {p}, overlap = {overlap}"
+                );
+            }
+        }
     }
 }
 
@@ -137,6 +182,7 @@ fn cg_body<C: Comm>(
     shift: f64,
     max_iters: usize,
     overlap: bool,
+    team: usize,
 ) -> (Vec<f64>, RankTrace) {
     // Hand-driven (no session), so the protocol checker is attached
     // directly; the recorded trace rides back with the result for the
@@ -160,7 +206,8 @@ fn cg_body<C: Comm>(
         ComputeCostModel::zero(),
         LaplacianKernel { shift },
     )
-    .with_overlap(overlap);
+    .with_overlap(overlap)
+    .with_team(team);
     let iv = part.interval_of(rank);
     let mut x = vec![0.0f64; iv.len()];
     let mut r: Vec<f64> = iv.iter().map(|g| b[g]).collect();
@@ -221,23 +268,23 @@ fn cg_solver_bitwise_identical_across_backends() {
             assert!(diags.is_empty(), "CG protocol diagnostics: {diags:?}");
             stance::reassemble(&part, blocks)
         };
-        let run_sim = |overlap: bool| {
+        let run_sim = |overlap: bool, team: usize| {
             let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
             check(
                 Cluster::new(spec)
-                    .run(|env| cg_body(env, m2, b2, shift, 120, overlap))
+                    .run(|env| cg_body(env, m2, b2, shift, 120, overlap, team))
                     .into_results(),
             )
         };
-        let run_native = |overlap: bool| {
+        let run_native = |overlap: bool, team: usize| {
             check(
                 NativeCluster::new(p)
-                    .run(|comm| cg_body(comm, m2, b2, shift, 120, overlap))
+                    .run(|comm| cg_body(comm, m2, b2, shift, 120, overlap, team))
                     .into_results(),
             )
         };
-        let sim = run_sim(false);
-        let native = run_native(false);
+        let sim = run_sim(false, 1);
+        let native = run_native(false, 1);
         assert_eq!(
             bits(&sim),
             bits(&native),
@@ -247,14 +294,32 @@ fn cg_solver_bitwise_identical_across_backends() {
         // compounds every rounding decision — must not change one bit.
         assert_eq!(
             bits(&sim),
-            bits(&run_sim(true)),
+            bits(&run_sim(true, 1)),
             "sim split-phase CG diverged at p = {p}"
         );
         assert_eq!(
             bits(&native),
-            bits(&run_native(true)),
+            bits(&run_native(true, 1)),
             "native split-phase CG diverged at p = {p}"
         );
+        // Neither may a worker team: the matvec splits across lanes but
+        // commits in fixed order, so 120 compounding CG iterations stay
+        // bitwise identical at T = 2 and 4 on both backends and both
+        // gather flavours.
+        for team in [2usize, 4] {
+            for overlap in [false, true] {
+                assert_eq!(
+                    bits(&sim),
+                    bits(&run_sim(overlap, team)),
+                    "sim team = {team} CG diverged at p = {p}, overlap = {overlap}"
+                );
+                assert_eq!(
+                    bits(&native),
+                    bits(&run_native(overlap, team)),
+                    "native team = {team} CG diverged at p = {p}, overlap = {overlap}"
+                );
+            }
+        }
         // And the answer is actually the solution.
         let max_err = sim
             .iter()

@@ -3,10 +3,12 @@
 //! (load balancing, forced remaps) with non-`f64` elements and custom
 //! kernels.
 
+use std::collections::BTreeSet;
+
 use proptest::prelude::*;
 use stance::balance::BalancerConfig;
 use stance::executor::sequential_relaxation;
-use stance::inspector::TranslatedAdjacency;
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency, TranslatedAdjacency};
 use stance::onedim::RedistCostModel;
 use stance::prelude::*;
 use stance::reassemble;
@@ -283,4 +285,140 @@ fn user_kernel_runs_adaptively_and_matches_sequential() {
     let part = results[0].2.clone();
     let got = reassemble(&part, results.into_iter().map(|(_, v, _)| v).collect());
     assert_eq!(got, expected, "user kernel diverged from its reference");
+}
+
+// ---------------------------------------------------------------------------
+// Chunked sweeps: `sweep_chunked` must be bitwise identical to the frozen
+// per-vertex scalar formulation, for arbitrary graphs, arbitrary sweep-range
+// fragmentation, and arbitrary payload bits — NaN and subnormal included.
+// The built-ins' `sweep`/`sweep_range` now *delegate* to `sweep_chunked`,
+// so the reference loops below are written out longhand (the pre-blocking
+// formulation), not routed through the trait.
+// ---------------------------------------------------------------------------
+
+/// The frozen scalar relaxation sweep: `out[l] = Σ combined[s] / deg(l)`
+/// accumulated in CSR order from `0.0`, isolated vertices copied through.
+fn relaxation_reference(tadj: &TranslatedAdjacency, combined: &[f64], out: &mut [f64]) {
+    for (l, o) in out.iter_mut().enumerate() {
+        let nbrs = tadj.neighbors_of(l);
+        if nbrs.is_empty() {
+            *o = combined[l];
+            continue;
+        }
+        let mut t = 0.0f64;
+        for &s in nbrs {
+            t += combined[s as usize];
+        }
+        *o = t / nbrs.len() as f64;
+    }
+}
+
+/// The frozen scalar shifted-Laplacian sweep:
+/// `out[l] = (deg(l) + shift) · combined[l] − Σ combined[s]`, subtractions
+/// in CSR order.
+fn laplacian_reference(tadj: &TranslatedAdjacency, combined: &[f64], out: &mut [f64], shift: f64) {
+    for (l, o) in out.iter_mut().enumerate() {
+        let nbrs = tadj.neighbors_of(l);
+        let mut acc = combined[l] * (nbrs.len() as f64 + shift);
+        for &s in nbrs {
+            acc -= combined[s as usize];
+        }
+        *o = acc;
+    }
+}
+
+/// Single-rank translated adjacency for an arbitrary edge list (the whole
+/// graph is owned, so the combined buffer is exactly the value array).
+fn single_rank_tadj(n: usize, raw_edges: &[(usize, usize)]) -> TranslatedAdjacency {
+    let edges: Vec<(u32, u32)> = raw_edges
+        .iter()
+        .filter(|&&(a, b)| a != b)
+        .map(|&(a, b)| (a.min(b) as u32, a.max(b) as u32))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let g = Graph::from_edges(n, &edges, vec![[0.0; 3]; n], 2);
+    let part = BlockPartition::uniform(n, 1);
+    let adj = LocalAdjacency::extract(&g, &part, 0);
+    let (sched, _) = build_schedule_symmetric(&part, &adj, 0, ScheduleStrategy::Sort2);
+    sched.translate_adjacency(&adj)
+}
+
+/// Split `0..n` at the given (arbitrary, possibly duplicated) cut points
+/// into consecutive fragments — the run fragmentation a split-phase sweep
+/// or a team lane hands `sweep_chunked`.
+fn fragments(n: usize, cuts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut points: Vec<usize> = cuts.iter().map(|&c| c % (n + 1)).collect();
+    points.push(0);
+    points.push(n);
+    points.sort_unstable();
+    points.dedup();
+    points.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `RelaxationKernel::sweep_chunked`, driven over an arbitrary
+    /// fragmentation of the vertex range, reproduces the frozen scalar
+    /// loop bit for bit — every bit pattern allowed, NaNs compared as bits.
+    #[test]
+    fn chunked_relaxation_matches_scalar_reference_bitwise(
+        n in 2usize..560,
+        raw_edges in proptest::collection::vec((0usize..560, 0usize..560), 0..1200),
+        value_bits in proptest::collection::vec(0u64..u64::MAX, 560),
+        cuts in proptest::collection::vec(0usize..560, 0..10),
+    ) {
+        let raw_edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let tadj = single_rank_tadj(n, &raw_edges);
+        let combined: Vec<f64> = value_bits[..n].iter().map(|&b| f64::from_bits(b)).collect();
+
+        let mut expected = vec![0.0f64; n];
+        relaxation_reference(&tadj, &combined, &mut expected);
+
+        let mut got = vec![f64::from_bits(0x7ff8_dead_beef_0000); n];
+        for r in fragments(n, &cuts) {
+            Kernel::<f64>::sweep_chunked(&RelaxationKernel, &tadj, &combined, &mut got, r);
+        }
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(),
+                e.to_bits(),
+                "relaxation diverged at vertex {} ({:e} vs {:e})", i, g, e
+            );
+        }
+    }
+
+    /// Same contract for `LaplacianKernel::sweep_chunked`, including the
+    /// diagonal shift (itself an arbitrary finite payload).
+    #[test]
+    fn chunked_laplacian_matches_scalar_reference_bitwise(
+        n in 2usize..560,
+        raw_edges in proptest::collection::vec((0usize..560, 0usize..560), 0..1200),
+        value_bits in proptest::collection::vec(0u64..u64::MAX, 560),
+        cuts in proptest::collection::vec(0usize..560, 0..10),
+        shift in -1.0e3f64..1.0e3,
+    ) {
+        let raw_edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let tadj = single_rank_tadj(n, &raw_edges);
+        let combined: Vec<f64> = value_bits[..n].iter().map(|&b| f64::from_bits(b)).collect();
+
+        let mut expected = vec![0.0f64; n];
+        laplacian_reference(&tadj, &combined, &mut expected, shift);
+
+        let mut got = vec![f64::from_bits(0x7ff8_dead_beef_0000); n];
+        let kernel = LaplacianKernel { shift };
+        for r in fragments(n, &cuts) {
+            Kernel::<f64>::sweep_chunked(&kernel, &tadj, &combined, &mut got, r);
+        }
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(),
+                e.to_bits(),
+                "laplacian diverged at vertex {} ({:e} vs {:e})", i, g, e
+            );
+        }
+    }
 }
