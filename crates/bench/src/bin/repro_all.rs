@@ -9,6 +9,11 @@
 use std::time::Instant;
 
 fn main() {
+    // When a `TcpCluster` spawned this very binary as a rank worker (the
+    // rendezvous environment is set), become that rank and exit; the
+    // BENCH_tcp measurement below launches its process clusters this way.
+    stance_tcp::maybe_rank_main(stance_bench::tcp::BENCH_SCENARIOS);
+
     let t0 = Instant::now();
     let run = |name: &str, f: &dyn Fn() -> String| {
         let start = Instant::now();
@@ -54,6 +59,13 @@ fn main() {
             "   BENCH_native done in {:.1}s",
             start.elapsed().as_secs_f64()
         );
+    }
+    {
+        let start = Instant::now();
+        eprintln!(">> BENCH_tcp ...");
+        let me = std::env::current_exe().expect("own executable path");
+        stance_bench::emit_file("BENCH_tcp.json", &stance_bench::tcp::report_json(&me));
+        eprintln!("   BENCH_tcp done in {:.1}s", start.elapsed().as_secs_f64());
     }
     {
         let start = Instant::now();

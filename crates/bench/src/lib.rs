@@ -22,6 +22,7 @@ pub mod native;
 pub mod overlap;
 pub mod remap;
 pub mod tables;
+pub mod tcp;
 pub mod team;
 pub mod transport;
 

@@ -111,7 +111,7 @@ impl Comm for NativeComm {
     fn recv(&mut self, src: usize, tag: Tag) -> Payload {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         self.pending
-            .recv_matching(&self.rxs[src], self.rank, src, tag)
+            .recv_matching(&mut self.rxs[src], self.rank, src, tag)
             .payload
     }
 
@@ -134,7 +134,7 @@ impl Comm for NativeComm {
     /// message is among it. Never blocks, never consumes.
     fn test_recv(&mut self, req: &RecvRequest) -> bool {
         self.pending
-            .poll_matching(&self.rxs[req.src()], req.src(), req.tag())
+            .poll_matching(&mut self.rxs[req.src()], req.src(), req.tag())
     }
 
     /// Lossy send: a terminated receiver yields `false` instead of the
@@ -155,7 +155,7 @@ impl Comm for NativeComm {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         let deadline = Instant::now() + std::time::Duration::from_secs_f64(timeout_secs.max(0.0));
         self.pending
-            .recv_matching_deadline(&self.rxs[src], src, tag, deadline)
+            .recv_matching_deadline(&mut self.rxs[src], src, tag, deadline)
             .ok()
             .map(|m| m.payload)
     }

@@ -282,6 +282,17 @@ pub trait Comm {
         Some(self.recv(src, tag))
     }
 
+    /// Terminates this rank as abruptly as the backend can manage — the
+    /// fault injector's "kill" hook. In-process backends cannot die
+    /// abruptly (every rank shares one OS process with its peers), so
+    /// the default returns `false` and the injector falls back to a
+    /// panic-unwind kill. A process-per-rank backend overrides this to
+    /// terminate its whole OS process (SIGKILL — no unwinding, no drop
+    /// glue, no goodbye on the wire) and therefore never returns.
+    fn crash(&mut self) -> bool {
+        false
+    }
+
     /// Bounded barrier: like [`Comm::barrier`] but gives up after
     /// `timeout_secs`, returning `false` if the barrier did not release
     /// (a participant is dead, wedged, or the barrier was poisoned by a

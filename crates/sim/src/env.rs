@@ -216,7 +216,7 @@ impl Env {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         let msg = self
             .pending
-            .recv_matching(&self.rxs[src], self.rank, src, tag);
+            .recv_matching(&mut self.rxs[src], self.rank, src, tag);
         self.stats.wait_time += msg.arrival.saturating_gap(self.clock);
         self.clock = self.clock.max(msg.arrival);
         let overhead = self.net.spec().recv_overhead;
@@ -282,7 +282,7 @@ impl Env {
             std::time::Instant::now() + std::time::Duration::from_secs_f64(timeout_secs.max(0.0));
         match self
             .pending
-            .recv_matching_deadline(&self.rxs[src], src, tag, deadline)
+            .recv_matching_deadline(&mut self.rxs[src], src, tag, deadline)
         {
             Ok(msg) => {
                 self.stats.wait_time += msg.arrival.saturating_gap(self.clock);
@@ -399,9 +399,9 @@ impl Comm for Env {
     /// Panics if the sender terminates without ever sending a matching
     /// message, exactly as [`Env::recv`] does.
     fn test_recv(&mut self, req: &RecvRequest) -> bool {
-        let msg = self
-            .pending
-            .peek_matching(&self.rxs[req.src()], self.rank, req.src(), req.tag());
+        let msg =
+            self.pending
+                .peek_matching(&mut self.rxs[req.src()], self.rank, req.src(), req.tag());
         msg.arrival <= self.clock
     }
 

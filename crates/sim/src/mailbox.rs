@@ -53,6 +53,38 @@ pub trait Tagged {
     fn tag(&self) -> Tag;
 }
 
+/// A stream of messages from one source — the transport half a
+/// [`TagBuffer`] matches over. [`MailboxReceiver`] is the in-process
+/// implementation; the TCP backend implements it over a framed socket, so
+/// the tag-isolation semantics the conformance suite pins stay one copy.
+pub trait MsgSource<T> {
+    /// Blocks until the next message arrives; `Err` once the source is
+    /// provably gone with nothing left buffered.
+    fn recv_msg(&mut self) -> Result<T, Disconnected>;
+
+    /// Deadline-bounded receive, distinguishing a passed deadline from a
+    /// provably-dead source.
+    fn recv_msg_deadline(&mut self, deadline: Instant) -> Result<T, RecvTimeoutError>;
+
+    /// Nonblocking probe: the next message if one is ready right now,
+    /// `None` otherwise (a probe treats "gone" and "not yet" alike).
+    fn try_recv_msg(&mut self) -> Option<T>;
+}
+
+impl<T> MsgSource<T> for MailboxReceiver<T> {
+    fn recv_msg(&mut self) -> Result<T, Disconnected> {
+        self.recv()
+    }
+
+    fn recv_msg_deadline(&mut self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(deadline)
+    }
+
+    fn try_recv_msg(&mut self) -> Option<T> {
+        self.try_recv()
+    }
+}
+
 /// Per-source tag-matched receive buffering, shared by both backends: a
 /// receive for tag `t` skips (and preserves, in order) earlier messages
 /// with other tags, so per-tag FIFO order survives out-of-order receives.
@@ -81,9 +113,9 @@ impl<T: Tagged> TagBuffer<T> {
     /// # Panics
     /// Panics if `src`'s mailbox disconnects before a matching message
     /// arrives — a deadlocked protocol is a bug.
-    pub fn recv_matching(
+    pub fn recv_matching<S: MsgSource<T>>(
         &mut self,
-        rx: &MailboxReceiver<T>,
+        rx: &mut S,
         rank: usize,
         src: usize,
         tag: Tag,
@@ -94,7 +126,7 @@ impl<T: Tagged> TagBuffer<T> {
                 .expect("position was just found");
         }
         loop {
-            let msg = rx.recv().unwrap_or_else(|_disconnected| {
+            let msg = rx.recv_msg().unwrap_or_else(|_disconnected| {
                 panic!("rank {rank} waiting on tag {tag:?} from rank {src}, but the sender exited")
             });
             if msg.tag() == tag {
@@ -121,16 +153,16 @@ impl<T: Tagged> TagBuffer<T> {
     /// Panics if `src`'s mailbox disconnects before a matching message
     /// arrives — probing for a message that can never come is a protocol
     /// bug, exactly as with a blocking receive.
-    pub fn peek_matching(
+    pub fn peek_matching<S: MsgSource<T>>(
         &mut self,
-        rx: &MailboxReceiver<T>,
+        rx: &mut S,
         rank: usize,
         src: usize,
         tag: Tag,
     ) -> &T {
         if self.pending[src].iter().all(|m| m.tag() != tag) {
             loop {
-                let msg = rx.recv().unwrap_or_else(|_disconnected| {
+                let msg = rx.recv_msg().unwrap_or_else(|_disconnected| {
                     panic!(
                         "rank {rank} probing for tag {tag:?} from rank {src}, but the sender exited"
                     )
@@ -155,9 +187,9 @@ impl<T: Tagged> TagBuffer<T> {
     /// the deadline passes). Mismatched tags pulled in while waiting are
     /// buffered in arrival order, exactly as the blocking variant does —
     /// a timed-out wait loses nothing.
-    pub fn recv_matching_deadline(
+    pub fn recv_matching_deadline<S: MsgSource<T>>(
         &mut self,
-        rx: &MailboxReceiver<T>,
+        rx: &mut S,
         src: usize,
         tag: Tag,
         deadline: Instant,
@@ -168,7 +200,7 @@ impl<T: Tagged> TagBuffer<T> {
                 .expect("position was just found"));
         }
         loop {
-            let msg = rx.recv_deadline(deadline)?;
+            let msg = rx.recv_msg_deadline(deadline)?;
             if msg.tag() == tag {
                 return Ok(msg);
             }
@@ -181,8 +213,8 @@ impl<T: Tagged> TagBuffer<T> {
     /// whether one from `src` carrying `tag` is available. Never blocks and
     /// never consumes — a following `recv_matching` delivers the message.
     /// This is the wall-clock backend's `Comm::test_recv`.
-    pub fn poll_matching(&mut self, rx: &MailboxReceiver<T>, src: usize, tag: Tag) -> bool {
-        while let Some(msg) = rx.try_recv() {
+    pub fn poll_matching<S: MsgSource<T>>(&mut self, rx: &mut S, src: usize, tag: Tag) -> bool {
+        while let Some(msg) = rx.try_recv_msg() {
             self.pending[src].push_back(msg);
         }
         self.pending[src].iter().any(|m| m.tag() == tag)
@@ -411,33 +443,33 @@ mod tests {
 
     #[test]
     fn peek_matching_does_not_consume() {
-        let (tx, rx) = mailbox::<Msg>();
+        let (tx, mut rx) = mailbox::<Msg>();
         let mut buf = TagBuffer::new(1);
         tx.send(msg(9)).unwrap();
         tx.send(msg(5)).unwrap();
         // Peeking for tag 5 buffers the tag-9 message ahead of it.
-        assert_eq!(buf.peek_matching(&rx, 0, 0, Tag(5)).tag, Tag(5));
-        assert_eq!(buf.peek_matching(&rx, 0, 0, Tag(5)).tag, Tag(5));
+        assert_eq!(buf.peek_matching(&mut rx, 0, 0, Tag(5)).tag, Tag(5));
+        assert_eq!(buf.peek_matching(&mut rx, 0, 0, Tag(5)).tag, Tag(5));
         // Both messages are still deliverable, in per-tag FIFO order.
-        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(5)).tag, Tag(5));
-        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(9)).tag, Tag(9));
+        assert_eq!(buf.recv_matching(&mut rx, 0, 0, Tag(5)).tag, Tag(5));
+        assert_eq!(buf.recv_matching(&mut rx, 0, 0, Tag(9)).tag, Tag(9));
     }
 
     #[test]
     fn poll_matching_probes_without_blocking() {
-        let (tx, rx) = mailbox::<Msg>();
+        let (tx, mut rx) = mailbox::<Msg>();
         let mut buf = TagBuffer::new(1);
-        assert!(!buf.poll_matching(&rx, 0, Tag(4)));
+        assert!(!buf.poll_matching(&mut rx, 0, Tag(4)));
         tx.send(msg(8)).unwrap();
         assert!(
-            !buf.poll_matching(&rx, 0, Tag(4)),
+            !buf.poll_matching(&mut rx, 0, Tag(4)),
             "wrong tag is not a match"
         );
         tx.send(msg(4)).unwrap();
-        assert!(buf.poll_matching(&rx, 0, Tag(4)));
+        assert!(buf.poll_matching(&mut rx, 0, Tag(4)));
         // The probe buffered, not consumed: both still arrive in order.
-        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(8)).tag, Tag(8));
-        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(4)).tag, Tag(4));
+        assert_eq!(buf.recv_matching(&mut rx, 0, 0, Tag(8)).tag, Tag(8));
+        assert_eq!(buf.recv_matching(&mut rx, 0, 0, Tag(4)).tag, Tag(4));
     }
 
     #[test]
@@ -483,16 +515,16 @@ mod tests {
 
     #[test]
     fn recv_matching_deadline_buffers_mismatches() {
-        let (tx, rx) = mailbox::<Msg>();
+        let (tx, mut rx) = mailbox::<Msg>();
         let mut buf = TagBuffer::new(1);
         tx.send(msg(9)).unwrap();
         let soon = Instant::now() + std::time::Duration::from_millis(5);
         // Waiting for tag 5 times out, but the tag-9 message is preserved.
         assert!(matches!(
-            buf.recv_matching_deadline(&rx, 0, Tag(5), soon),
+            buf.recv_matching_deadline(&mut rx, 0, Tag(5), soon),
             Err(RecvTimeoutError::TimedOut)
         ));
-        assert_eq!(buf.recv_matching(&rx, 0, 0, Tag(9)).tag, Tag(9));
+        assert_eq!(buf.recv_matching(&mut rx, 0, 0, Tag(9)).tag, Tag(9));
     }
 
     #[test]

@@ -188,6 +188,10 @@ impl<C: Comm> Comm for SurvivorComm<'_, C> {
         self.inner.recv_deadline(src, tag, timeout_secs)
     }
 
+    fn crash(&mut self) -> bool {
+        self.inner.crash()
+    }
+
     /// Bounded variant of the emulated survivor barrier. Uses
     /// [`Comm::recv_deadline`] for every internal receive; any timeout
     /// aborts the emulation with `false`. (Unlike the backend barrier

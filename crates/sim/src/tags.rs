@@ -26,6 +26,7 @@
 //! | 67 | [`TAG_VERDICT`] | failure detection: suspicion exchange |
 //! | 68 | [`TAG_CHECKPOINT`] | checkpoint: replicated state allgather |
 //! | 69 | [`TAG_SHRINK`] | survivor communicator: emulated barrier |
+//! | 70 | [`TAG_TCP_BARRIER`] | TCP backend: barrier arrive/release protocol |
 
 use crate::payload::Tag;
 
@@ -84,6 +85,12 @@ pub const TAG_CHECKPOINT: Tag = Tag::reserved(68);
 /// surviving ranks (the shared-memory barrier would hang on the dead).
 pub const TAG_SHRINK: Tag = Tag::reserved(69);
 
+/// TCP process backend: the centralized barrier protocol (arrive /
+/// withdraw / release / abort control messages between every rank and
+/// rank 0). Rides the ordinary framed message stream so data-vs-barrier
+/// FIFO order per peer pair is the socket's own order.
+pub const TAG_TCP_BARRIER: Tag = Tag::reserved(70);
+
 /// All registered runtime tags (the full contents of the table above).
 pub const RUNTIME_TAGS: &[Tag] = &[
     TAG_SCHED_QUERY,
@@ -103,6 +110,7 @@ pub const RUNTIME_TAGS: &[Tag] = &[
     TAG_VERDICT,
     TAG_CHECKPOINT,
     TAG_SHRINK,
+    TAG_TCP_BARRIER,
 ];
 
 /// Whether `tag` is a **registered** runtime-internal tag. Reserved-band

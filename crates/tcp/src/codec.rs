@@ -1,0 +1,202 @@
+//! Byte codec for scenario arguments and rank results.
+//!
+//! Worker processes receive their scenario's arguments and return their
+//! result as plain bytes; this module is the (internal, harness-grade)
+//! encoding both sides share. It is *not* the peer-facing wire format —
+//! that is [`crate::wire`], which never trusts its input. Here both ends
+//! are the same build of the same workspace, so a malformed buffer is a
+//! harness bug and `take` panics with a diagnostic instead of threading
+//! `Result`s through every test.
+//!
+//! Numbers are little-endian; `f64` travels as its bit pattern, so
+//! results compared bitwise by the equivalence suite survive the trip
+//! exactly.
+
+/// Types that can cross the parent↔worker boundary as bytes.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it.
+    ///
+    /// # Panics
+    /// Panics on malformed input — both ends are the same build, so this
+    /// is a harness bug, not a peer misbehaving.
+    fn take(input: &mut &[u8]) -> Self;
+
+    /// Encodes `self` as a standalone buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.put(&mut out);
+        out
+    }
+
+    /// Decodes a standalone buffer, asserting it is fully consumed.
+    fn from_wire(mut input: &[u8]) -> Self {
+        let v = Self::take(&mut input);
+        assert!(
+            input.is_empty(),
+            "codec: {} trailing bytes after decode",
+            input.len()
+        );
+        v
+    }
+}
+
+fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> &'a [u8] {
+    assert!(input.len() >= n, "codec: truncated input");
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    head
+}
+
+macro_rules! int_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn take(input: &mut &[u8]) -> Self {
+                <$t>::from_le_bytes(
+                    take_bytes(input, std::mem::size_of::<$t>())
+                        .try_into()
+                        .expect("exact slice"),
+                )
+            }
+        }
+    )*};
+}
+
+int_wire!(u8, u16, u32, u64);
+
+impl Wire for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        usize::try_from(u64::take(input)).expect("usize fits")
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        match u8::take(input) {
+            0 => false,
+            1 => true,
+            other => panic!("codec: bool byte {other}"),
+        }
+    }
+}
+
+impl Wire for f64 {
+    /// Bit-pattern transport: NaNs, signed zeros and subnormals all round
+    /// trip exactly, which the bitwise equivalence gates require.
+    fn put(&self, out: &mut Vec<u8>) {
+        self.to_bits().put(out);
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        f64::from_bits(u64::take(input))
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.len().put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        let n = usize::take(input);
+        String::from_utf8(take_bytes(input, n).to_vec()).expect("codec: utf8 string")
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.len().put(out);
+        for item in self {
+            item.put(out);
+        }
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        let n = usize::take(input);
+        (0..n).map(|_| T::take(input)).collect()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        match u8::take(input) {
+            0 => None,
+            1 => Some(T::take(input)),
+            other => panic!("codec: option byte {other}"),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        (A::take(input), B::take(input))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+    }
+    fn take(input: &mut &[u8]) -> Self {
+        (A::take(input), B::take(input), C::take(input))
+    }
+}
+
+impl Wire for () {
+    fn put(&self, _out: &mut Vec<u8>) {}
+    fn take(_input: &mut &[u8]) -> Self {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let v: (u64, Vec<f64>, Option<String>) =
+            (7, vec![1.5, -0.0, f64::NAN], Some("hello".into()));
+        let decoded = <(u64, Vec<f64>, Option<String>)>::from_wire(&v.to_wire());
+        assert_eq!(decoded.0, 7);
+        let bits: Vec<u64> = decoded.1.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u64> = v.1.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits, want);
+        assert_eq!(decoded.2.as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn nested_vectors_and_tuples() {
+        let v: Vec<(usize, Vec<u8>)> = vec![(1, vec![9, 8]), (2, vec![])];
+        assert_eq!(Vec::<(usize, Vec<u8>)>::from_wire(&v.to_wire()), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncation_is_loud() {
+        let bytes = 12345u64.to_wire();
+        let _ = u64::from_wire(&bytes[..4]);
+    }
+}

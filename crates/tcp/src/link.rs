@@ -1,0 +1,425 @@
+//! One live connection to a peer rank: framing, short-read/short-write
+//! handling, deadline-bounded receives, and broken-link bookkeeping.
+//!
+//! A [`PeerLink`] owns the socket plus an accumulator of
+//! partially-received bytes, so a deadline expiring mid-frame never tears
+//! the frame: whatever arrived stays buffered and the next receive picks
+//! up exactly where the wire left off. Write-side short writes are
+//! handled by `write_all` (which also retries `EINTR`), so a frame is
+//! either fully on the wire or the link is broken — never half a frame.
+//!
+//! Failure surfaces exactly like the in-process mailbox: EOF, reset, or a
+//! wire-format violation marks the link broken and every subsequent
+//! operation reports [`Disconnected`] — *proof* the peer is unusable —
+//! while a deadline that merely passes reports
+//! [`RecvTimeoutError::TimedOut`], which is only suspicion. That is the
+//! distinction the failure detector's `probe_membership` consumes, and it
+//! is why a SIGKILLed peer produces a clean "dead" verdict instead of a
+//! hang.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use stance_sim::mailbox::{Disconnected, MsgSource, RecvTimeoutError, Tagged};
+use stance_sim::{Payload, Tag};
+
+use crate::wire::{self, WireError};
+
+/// A tagged message as carried by the TCP transport.
+#[derive(Debug)]
+pub struct TcpMsg {
+    /// The message's tag.
+    pub tag: Tag,
+    /// The message's payload.
+    pub payload: Payload,
+}
+
+impl Tagged for TcpMsg {
+    fn tag(&self) -> Tag {
+        self.tag
+    }
+}
+
+/// Read chunk size: one kernel `read` per pump keeps syscall count low
+/// without a large per-link resident buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One framed, fault-tracking connection to a peer rank.
+#[derive(Debug)]
+pub struct PeerLink {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into a complete frame. A frame
+    /// is extracted only once all its bytes are here — partial reads
+    /// (deadline mid-frame, short socket reads) accumulate losslessly.
+    acc: Vec<u8>,
+    /// Recycled scratch for outgoing frames.
+    wbuf: Vec<u8>,
+    /// Set once the link is unusable, with the first error observed;
+    /// every later operation reports `Disconnected` without touching the
+    /// socket again.
+    fault: Option<WireError>,
+}
+
+impl PeerLink {
+    /// Wraps an established, handshaken stream. Enables `TCP_NODELAY`:
+    /// the runtime's protocol messages are small and latency-bound.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(PeerLink {
+            stream,
+            acc: Vec::new(),
+            wbuf: Vec::new(),
+            fault: None,
+        })
+    }
+
+    /// The first error that broke this link, if it is broken.
+    pub fn fault(&self) -> Option<&WireError> {
+        self.fault.as_ref()
+    }
+
+    /// Direct access to the underlying socket, for the rendezvous steps
+    /// that happen outside framing (handshake records, shutdown drains).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn break_link(&mut self, err: WireError) -> WireError {
+        if self.fault.is_none() {
+            self.fault = Some(err.clone());
+        }
+        err
+    }
+
+    /// Sends one complete frame, or reports why the peer can no longer
+    /// receive. Short writes and `EINTR` are absorbed by `write_all`;
+    /// `EPIPE`/reset break the link.
+    pub fn send(&mut self, tag: Tag, payload: &Payload) -> Result<(), WireError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
+        self.wbuf.clear();
+        wire::encode_frame(tag, payload, &mut self.wbuf);
+        match self.stream.write_all(&self.wbuf) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.break_link(io_to_wire(&e))),
+        }
+    }
+
+    /// Parses a complete frame out of the accumulator if one is fully
+    /// present. A malformed header or body breaks the link.
+    fn try_extract(&mut self) -> Result<Option<TcpMsg>, WireError> {
+        if self.acc.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.acc[0..4].try_into().expect("fixed slice"));
+        // Validated before any reservation: an absurd prefix breaks the
+        // link here, with the accumulator still tiny.
+        let body_len = match wire::check_frame_len(len) {
+            Ok(n) => n,
+            Err(e) => return Err(self.break_link(e)),
+        };
+        if self.acc.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let msg = match wire::decode_frame_body(&self.acc[4..4 + body_len]) {
+            Ok((tag, payload)) => TcpMsg { tag, payload },
+            Err(e) => return Err(self.break_link(e)),
+        };
+        self.acc.drain(..4 + body_len);
+        Ok(Some(msg))
+    }
+
+    /// One socket read into the accumulator. `Ok(true)` means bytes
+    /// arrived; `Ok(false)` means the operation would block / timed out.
+    fn fill_once(&mut self) -> Result<bool, WireError> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(self.break_link(WireError::Disconnected)),
+                Ok(n) => {
+                    self.acc.extend_from_slice(&chunk[..n]);
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(self.break_link(io_to_wire(&e))),
+            }
+        }
+    }
+
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        // `set_read_timeout(Some(0))` is an invalid argument; a zero
+        // remaining budget is expressed as an (arbitrary small) nonzero
+        // timeout by the callers.
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| self.break_link(io_to_wire(&e)))
+    }
+
+    /// Blocking receive of the next frame. `Err(Disconnected)` once the
+    /// peer is provably gone (EOF/reset/garbage) with no complete frame
+    /// buffered.
+    pub fn recv(&mut self) -> Result<TcpMsg, Disconnected> {
+        loop {
+            if self.fault.is_some() {
+                return self.drain_after_fault().ok_or(Disconnected);
+            }
+            match self.try_extract() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(_) => return Err(Disconnected),
+            }
+            if self.set_timeout(None).is_err() {
+                return Err(Disconnected);
+            }
+            match self.fill_once() {
+                Ok(_) => {}
+                Err(_) => {
+                    // The peer is gone — but a complete frame may already
+                    // be buffered; deliver it first, exactly as a mailbox
+                    // drains its queue after the sender hangs up.
+                    // (`try_extract` at the top of the loop would miss it
+                    // because `fault` is now set, so check here.)
+                    return self.drain_after_fault().ok_or(Disconnected);
+                }
+            }
+        }
+    }
+
+    /// After the link broke, hand out any complete frames that made it
+    /// into the accumulator before the failure.
+    fn drain_after_fault(&mut self) -> Option<TcpMsg> {
+        if self.acc.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.acc[0..4].try_into().expect("fixed slice"));
+        let body_len = wire::check_frame_len(len).ok()?;
+        if self.acc.len() < 4 + body_len {
+            return None;
+        }
+        let (tag, payload) = wire::decode_frame_body(&self.acc[4..4 + body_len]).ok()?;
+        self.acc.drain(..4 + body_len);
+        Some(TcpMsg { tag, payload })
+    }
+
+    /// Deadline-bounded receive: the next frame if it completes before
+    /// `deadline`, `TimedOut` when the clock wins (partial bytes stay
+    /// buffered — nothing tears), `Disconnected` the moment the peer is
+    /// provably gone.
+    pub fn recv_deadline(&mut self, deadline: Instant) -> Result<TcpMsg, RecvTimeoutError> {
+        loop {
+            if self.fault.is_some() {
+                return self
+                    .drain_after_fault()
+                    .ok_or(RecvTimeoutError::Disconnected);
+            }
+            match self.try_extract() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(_) => return Err(RecvTimeoutError::Disconnected),
+            }
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::TimedOut);
+            };
+            if self.set_timeout(Some(remaining)).is_err() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            match self.fill_once() {
+                Ok(_) => {}
+                Err(_) => {
+                    return self
+                        .drain_after_fault()
+                        .ok_or(RecvTimeoutError::Disconnected)
+                }
+            }
+        }
+    }
+
+    /// Nonblocking probe: the next frame if its bytes are already here
+    /// (or arrive during one nonblocking drain), `None` otherwise —
+    /// including on a broken link with nothing complete buffered (a probe
+    /// treats "gone" and "not yet" alike, exactly as the mailbox does).
+    pub fn try_recv(&mut self) -> Option<TcpMsg> {
+        if self.fault.is_some() {
+            return self.drain_after_fault();
+        }
+        loop {
+            match self.try_extract() {
+                Ok(Some(msg)) => return Some(msg),
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+            if self.stream.set_nonblocking(true).is_err() {
+                return None;
+            }
+            let filled = self.fill_once();
+            let _ = self.stream.set_nonblocking(false);
+            match filled {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(_) => return self.drain_after_fault(),
+            }
+        }
+    }
+}
+
+impl MsgSource<TcpMsg> for PeerLink {
+    fn recv_msg(&mut self) -> Result<TcpMsg, Disconnected> {
+        self.recv()
+    }
+
+    fn recv_msg_deadline(&mut self, deadline: Instant) -> Result<TcpMsg, RecvTimeoutError> {
+        self.recv_deadline(deadline)
+    }
+
+    fn try_recv_msg(&mut self) -> Option<TcpMsg> {
+        self.try_recv()
+    }
+}
+
+fn io_to_wire(e: &std::io::Error) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted
+        | std::io::ErrorKind::BrokenPipe
+        | std::io::ErrorKind::UnexpectedEof => WireError::Disconnected,
+        kind => WireError::Io(kind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let (a, b) = pair();
+        let mut tx = PeerLink::new(a).unwrap();
+        let mut rx = PeerLink::new(b).unwrap();
+        tx.send(Tag(5), &Payload::from_u64(vec![1, 2, 3])).unwrap();
+        tx.send(Tag(6), &Payload::Empty).unwrap();
+        let m = rx.recv().unwrap();
+        assert_eq!(m.tag, Tag(5));
+        assert_eq!(m.payload.into_u64(), vec![1, 2, 3]);
+        assert_eq!(rx.recv().unwrap().tag, Tag(6));
+    }
+
+    #[test]
+    fn deadline_mid_frame_never_tears() {
+        let (mut raw, b) = pair();
+        let mut rx = PeerLink::new(b).unwrap();
+
+        // Hand-craft a frame and send only half of it.
+        let mut frame = Vec::new();
+        wire::encode_frame(Tag(9), &Payload::from_u64(vec![7, 8, 9, 10]), &mut frame);
+        let split = frame.len() / 2;
+        raw.write_all(&frame[..split]).unwrap();
+
+        // The deadline expires mid-frame: a clean timeout, nothing torn.
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_millis(150);
+        assert!(matches!(
+            rx.recv_deadline(deadline),
+            Err(RecvTimeoutError::TimedOut)
+        ));
+        assert!(rx.fault().is_none(), "a timeout is not a link fault");
+
+        // The rest arrives: the same receive path completes the frame
+        // from the buffered half.
+        raw.write_all(&frame[split..]).unwrap();
+        let m = rx
+            .recv_deadline(Instant::now() + Duration::from_secs(20))
+            .expect("second half completes the frame");
+        assert_eq!(m.tag, Tag(9));
+        assert_eq!(m.payload.into_u64(), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn peer_death_beats_deadline() {
+        let (raw, b) = pair();
+        let mut rx = PeerLink::new(b).unwrap();
+        // Peer dies: the bounded receive must report Disconnected well
+        // before the (generous) deadline — death is proof, not suspicion.
+        drop(raw);
+        let t0 = Instant::now();
+        assert!(matches!(
+            rx.recv_deadline(t0 + Duration::from_secs(30)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "death detected at socket speed, not deadline speed"
+        );
+    }
+
+    #[test]
+    fn buffered_frames_survive_peer_death() {
+        let (a, b) = pair();
+        let mut tx = PeerLink::new(a).unwrap();
+        let mut rx = PeerLink::new(b).unwrap();
+        tx.send(Tag(3), &Payload::from_u32(vec![42])).unwrap();
+        drop(tx);
+        // The frame written before death still delivers — mailbox
+        // semantics ("buffered messages are still delivered").
+        let m = rx.recv().expect("pre-death frame delivers");
+        assert_eq!(m.payload.into_u32(), vec![42]);
+        assert!(rx.recv().is_err(), "then the disconnect is reported");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_breaks_link_without_allocation() {
+        let (mut raw, b) = pair();
+        let mut rx = PeerLink::new(b).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        assert!(rx.recv().is_err(), "absurd prefix is a clean disconnect");
+        assert_eq!(
+            rx.fault(),
+            Some(&WireError::FrameTooLarge {
+                len: u32::MAX,
+                max: wire::MAX_FRAME
+            })
+        );
+        // The accumulator never grew toward the announced length.
+        assert!(rx.acc.capacity() < 1024 * 1024);
+    }
+
+    #[test]
+    fn send_to_dead_peer_reports_broken_link() {
+        let (a, b) = pair();
+        let mut tx = PeerLink::new(a).unwrap();
+        drop(b);
+        // The first write may land in the kernel buffer before the RST
+        // is processed; a short retry loop observes the break without
+        // sleeping arbitrarily long.
+        let t0 = Instant::now();
+        let mut broke = false;
+        while t0.elapsed() < Duration::from_secs(20) {
+            if tx.send(Tag(1), &Payload::from_u64(vec![0; 4096])).is_err() {
+                broke = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(broke, "writes to a dead peer eventually surface the break");
+        assert!(tx.fault().is_some());
+    }
+}

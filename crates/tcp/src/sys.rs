@@ -1,0 +1,59 @@
+//! Abrupt self-termination, for the fault injector's "kill" semantics.
+//!
+//! A killed rank must vanish the way a crashed workstation does: no
+//! unwinding, no destructors, no FIN handshake courtesy beyond what the
+//! kernel does on process exit. `SIGKILL` is the only signal that
+//! guarantees that — it cannot be caught or ignored — so the process
+//! backend raises it against itself via a raw syscall (this workspace
+//! deliberately carries no libc binding). On targets without the inline
+//! syscall, `std::process::abort` (SIGABRT) is the closest stand-in:
+//! still death-by-signal, still no unwinding.
+
+// The one unsafe block in this crate lives here (two inline syscalls:
+// getpid + kill); everything else stays checked.
+#![allow(unsafe_code)]
+
+/// Terminates the calling process with `SIGKILL`. Never returns: the
+/// kernel removes the process before the syscall does.
+pub fn die_hard() -> ! {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    unsafe {
+        let pid: i64;
+        // getpid = 39
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 39i64 => pid,
+            out("rcx") _, out("r11") _,
+            options(nostack),
+        );
+        // kill = 62, SIGKILL = 9
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 62i64 => _,
+            in("rdi") pid, in("rsi") 9i64,
+            out("rcx") _, out("r11") _,
+            options(nostack),
+        );
+    }
+    #[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+    unsafe {
+        let pid: i64;
+        // getpid = 172
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x8") 172i64 => _,
+            lateout("x0") pid,
+            options(nostack),
+        );
+        // kill = 129, SIGKILL = 9
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x8") 129i64 => _,
+            inlateout("x0") pid => _, in("x1") 9i64,
+            options(nostack),
+        );
+    }
+    // Unreachable on the targets above; the fallback elsewhere. SIGABRT
+    // is still uncatchable-by-default death with no unwinding.
+    std::process::abort()
+}

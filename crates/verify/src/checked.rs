@@ -374,6 +374,12 @@ impl<C: Comm> Comm for CheckedComm<'_, C> {
         released
     }
 
+    fn crash(&mut self) -> bool {
+        // Untraced: a rank that dies abruptly leaves no trace event (and
+        // on a process backend this call never returns at all).
+        self.inner.crash()
+    }
+
     // Collectives delegate untraced (see the module docs): the wrapped
     // backend's own (possibly overridden) implementations run, so a
     // checked run moves exactly the bytes an unchecked run moves.
@@ -497,6 +503,10 @@ impl<C: Comm> Comm for MaybeChecked<'_, C> {
 
     fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
         forward!(self, c => c.barrier_deadline(timeout_secs))
+    }
+
+    fn crash(&mut self) -> bool {
+        forward!(self, c => c.crash())
     }
 
     fn multicast(&mut self, dsts: &[usize], tag: Tag, payload: Payload) {

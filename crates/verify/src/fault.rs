@@ -255,6 +255,13 @@ impl<'a, C: Comm> FaultyComm<'a, C> {
             match event.kind {
                 FaultKind::Stall { delay_secs } => self.stall_secs = delay_secs,
                 kind @ (FaultKind::Kill | FaultKind::Wedge) => {
+                    if kind == FaultKind::Kill {
+                        // A backend that can die for real (one OS process
+                        // per rank) does so here and never returns; the
+                        // in-process backends report `false` and the kill
+                        // falls back to the panic-unwind below.
+                        let _ = self.inner.crash();
+                    }
                     std::panic::panic_any(InjectedFault {
                         rank: self.inner.rank(),
                         op,
@@ -347,6 +354,13 @@ impl<C: Comm> Comm for FaultyComm<'_, C> {
     fn barrier_deadline(&mut self, timeout_secs: f64) -> bool {
         self.tick();
         self.inner.barrier_deadline(timeout_secs)
+    }
+
+    fn crash(&mut self) -> bool {
+        // Not an application operation — `crash` is how an injected kill
+        // reaches the backend, so it must not itself advance the op
+        // counter.
+        self.inner.crash()
     }
 
     // Collectives count as one operation and then forward to the

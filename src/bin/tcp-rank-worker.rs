@@ -1,0 +1,13 @@
+//! The rank-process binary behind every `TcpCluster` integration test:
+//! one OS process per rank, dispatched to a named scenario from
+//! [`stance_repro::scenarios::TCP_SCENARIOS`]. Not meant to be run by
+//! hand — `TcpCluster` spawns it with the rendezvous environment set.
+
+fn main() {
+    stance_tcp::maybe_rank_main(stance_repro::scenarios::TCP_SCENARIOS);
+    eprintln!(
+        "tcp-rank-worker is a cluster worker; launch it through \
+         stance_tcp::TcpCluster, which sets the rendezvous environment"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,301 @@
+//! The backend-conformance bodies, written once against the [`Comm`]
+//! trait and instantiated by `tests/comm_conformance.rs` against **all
+//! three** backends: the virtual-time simulator, the native thread pool,
+//! and the process-per-rank TCP cluster (where each body becomes a named
+//! worker scenario). A backend that buffers, orders, or folds differently
+//! fails the same body everywhere, which is the point of keeping exactly
+//! one copy here.
+//!
+//! Covered contract points: per-(source, tag) FIFO ordering, tag
+//! isolation (mismatched tags are buffered, not dropped or misdelivered),
+//! repeated barriers, rank-order `allreduce_f64` folding, personalized
+//! `exchange`, and the broadcast/gather/allgather collectives — plus the
+//! nonblocking request API: a receive posted before the matching send
+//! exists, FIFO order across interleaved blocking and nonblocking sends
+//! on one (source, destination, tag) stream, tag isolation across
+//! outstanding requests, and `wait`/`test` long after the peer completed.
+
+use stance::prelude::*;
+use stance_verify::{analyze_traces, RankTrace};
+
+/// Analyzer gate shared by every launcher: a conformance body must not
+/// only produce the right data, its recorded traffic must satisfy the
+/// protocol checker — matched sends, no leaked requests, agreeing
+/// barrier counts.
+pub fn expect_protocol_clean(backend: &str, traces: &[RankTrace]) {
+    let diags = analyze_traces(traces);
+    assert!(
+        diags.is_empty(),
+        "{backend} conformance traffic violated the protocol: {diags:?}"
+    );
+}
+
+/// Messages between one (source, destination) pair with one tag are
+/// received in send order, from every source at once. Run with 3 ranks.
+pub fn send_recv_ordering<C: Comm>(c: &mut C) {
+    const MSGS: u32 = 10;
+    let me = c.rank() as u32;
+    for dst in 0..c.size() {
+        if dst != c.rank() {
+            for seq in 0..MSGS {
+                c.send(dst, Tag(7), Payload::from_u32(vec![me, seq]));
+            }
+        }
+    }
+    for src in 0..c.size() {
+        if src != c.rank() {
+            for seq in 0..MSGS {
+                let words = c.recv(src, Tag(7)).into_u32();
+                assert_eq!(words, vec![src as u32, seq], "out-of-order from {src}");
+            }
+        }
+    }
+}
+
+/// A receive for tag B must skip (and preserve) earlier tag-A traffic;
+/// per-tag FIFO order survives the buffering. Run with 2 ranks.
+pub fn tag_isolation<C: Comm>(c: &mut C) {
+    if c.rank() == 0 {
+        // Interleave two tag streams.
+        c.send(1, Tag(1), Payload::from_u32(vec![10]));
+        c.send(1, Tag(2), Payload::from_u32(vec![20]));
+        c.send(1, Tag(1), Payload::from_u32(vec![11]));
+        c.send(1, Tag(2), Payload::from_u32(vec![21]));
+    } else if c.rank() == 1 {
+        // Drain tag 2 first, then tag 1: both streams stay FIFO.
+        assert_eq!(c.recv(0, Tag(2)).into_u32(), vec![20]);
+        assert_eq!(c.recv(0, Tag(2)).into_u32(), vec![21]);
+        assert_eq!(c.recv(0, Tag(1)).into_u32(), vec![10]);
+        assert_eq!(c.recv(0, Tag(1)).into_u32(), vec![11]);
+    }
+}
+
+/// Repeated barriers separate communication rounds: a ring exchange
+/// per round, with the round number as the tag, never cross-talks.
+/// Run with 4 ranks.
+pub fn barrier_rounds<C: Comm>(c: &mut C) {
+    let p = c.size();
+    for round in 0..20u32 {
+        let next = (c.rank() + 1) % p;
+        let prev = (c.rank() + p - 1) % p;
+        c.send(next, Tag(round), Payload::from_u32(vec![round]));
+        let got = c.recv(prev, Tag(round)).into_u32();
+        assert_eq!(got, vec![round]);
+        c.barrier();
+    }
+}
+
+/// `allreduce_f64` folds in rank order on every backend, so even
+/// non-commutative floating-point effects are reproducible. Run with 4
+/// ranks.
+pub fn allreduce_ops<C: Comm>(c: &mut C) {
+    let p = c.size();
+    let sum = c.allreduce_f64(Tag(1), (c.rank() + 1) as f64, |a, b| a + b);
+    assert_eq!(sum, (p * (p + 1)) as f64 / 2.0);
+    let max = c.allreduce_f64(Tag(2), c.rank() as f64, f64::max);
+    assert_eq!(max, (p - 1) as f64);
+    // A deliberately order-sensitive fold: rank-order means every rank
+    // and every backend computes exactly this sequential reference.
+    let folded = c.allreduce_f64(Tag(3), 1.0 + c.rank() as f64 * 0.1, |a, b| a / 3.0 + b);
+    let expected = (0..p)
+        .map(|r| 1.0 + r as f64 * 0.1)
+        .reduce(|a, b| a / 3.0 + b)
+        .unwrap();
+    assert_eq!(folded.to_bits(), expected.to_bits());
+}
+
+/// Personalized all-to-all: each rank sends a distinct payload to every
+/// other rank and receives one from each, in the order it asked for.
+/// Run with 5 ranks.
+pub fn exchange_ring<C: Comm>(c: &mut C) {
+    let p = c.size();
+    let me = c.rank();
+    let sends: Vec<(usize, Payload)> = (0..p)
+        .filter(|&dst| dst != me)
+        .map(|dst| (dst, Payload::from_u32(vec![me as u32, dst as u32])))
+        .collect();
+    let recv_from: Vec<usize> = (0..p).filter(|&src| src != me).rev().collect();
+    let got = c.exchange(sends, &recv_from, Tag(4));
+    assert_eq!(got.len(), p - 1);
+    for ((src, payload), &expected_src) in got.into_iter().zip(&recv_from) {
+        assert_eq!(src, expected_src, "exchange must follow recv_from order");
+        assert_eq!(payload.into_u32(), vec![src as u32, me as u32]);
+    }
+}
+
+/// A receive posted before the matching send even exists must
+/// complete once the send lands: the barrier guarantees rank 0 has
+/// not sent when rank 1 posts. Run with 3 ranks.
+pub fn irecv_posted_before_send<C: Comm>(c: &mut C) {
+    if c.rank() == 1 {
+        let req = c.irecv(0, Tag(3));
+        c.barrier();
+        assert_eq!(c.wait_recv(req).into_u32(), vec![99]);
+    } else {
+        c.barrier();
+        if c.rank() == 0 {
+            let req = c.isend(1, Tag(3), Payload::from_u32(vec![99]));
+            c.wait_send(req);
+        }
+    }
+}
+
+/// Blocking and nonblocking sends interleaved on one (source,
+/// destination, tag) stream form a single FIFO stream, however the
+/// receiver mixes blocking receives and posted requests. Run with 2
+/// ranks.
+pub fn mixed_blocking_nonblocking_fifo<C: Comm>(c: &mut C) {
+    const MSGS: u32 = 12;
+    if c.rank() == 0 {
+        let mut pending = Vec::new();
+        for seq in 0..MSGS {
+            if seq % 2 == 0 {
+                c.send(1, Tag(5), Payload::from_u32(vec![seq]));
+            } else {
+                pending.push(c.isend(1, Tag(5), Payload::from_u32(vec![seq])));
+            }
+        }
+        for req in pending {
+            c.wait_send(req);
+        }
+    } else if c.rank() == 1 {
+        for seq in 0..MSGS {
+            let got = if seq % 3 == 0 {
+                c.recv(0, Tag(5))
+            } else {
+                let req = c.irecv(0, Tag(5));
+                c.wait_recv(req)
+            };
+            assert_eq!(got.into_u32(), vec![seq], "stream broke FIFO at {seq}");
+        }
+    }
+}
+
+/// Outstanding requests on different tags are isolated: waits may
+/// complete in any order relative to arrival order, each draining its
+/// own tag's FIFO stream. Run with 2 ranks.
+pub fn outstanding_request_tag_isolation<C: Comm>(c: &mut C) {
+    if c.rank() == 0 {
+        // Tag-2 traffic brackets the tag-1 message.
+        c.send(1, Tag(2), Payload::from_u32(vec![22]));
+        let req = c.isend(1, Tag(1), Payload::from_u32(vec![11]));
+        c.send(1, Tag(2), Payload::from_u32(vec![23]));
+        c.wait_send(req);
+    } else if c.rank() == 1 {
+        let a = c.irecv(0, Tag(1));
+        let b1 = c.irecv(0, Tag(2));
+        let b2 = c.irecv(0, Tag(2));
+        // Wait in an order unrelated to the send order.
+        assert_eq!(c.wait_recv(a).into_u32(), vec![11]);
+        assert_eq!(c.wait_recv(b1).into_u32(), vec![22]);
+        assert_eq!(c.wait_recv(b2).into_u32(), vec![23]);
+    }
+}
+
+/// `wait` (and `test`) long after the peer finished sending: the
+/// message is buffered, the probe reports ready, and the wait returns
+/// without a peer in sight. Run with 2 ranks.
+pub fn wait_after_peer_completion<C: Comm>(c: &mut C) {
+    if c.rank() == 0 {
+        let req = c.isend(1, Tag(8), Payload::from_u64(vec![77]));
+        c.wait_send(req);
+        c.barrier();
+        c.barrier();
+    } else {
+        let req = c.irecv(0, Tag(8));
+        // Two barriers: the sender completed its send strictly before
+        // the first, and has nothing left to do by the second.
+        c.barrier();
+        c.barrier();
+        assert!(
+            c.test_recv(&req),
+            "probe must report ready after the peer completed"
+        );
+        assert_eq!(c.wait_recv(req).into_u64(), vec![77]);
+    }
+}
+
+/// `post` delivers like `send` (and reports delivery); `recv_deadline`
+/// returns the message when one is in flight and `None` once the
+/// deadline lapses with nothing to receive. Run with 2 ranks.
+pub fn post_and_recv_deadline<C: Comm>(c: &mut C) {
+    if c.rank() == 0 {
+        assert!(
+            c.post(1, Tag(40), Payload::from_u32(vec![99])),
+            "post to a live rank must report delivery"
+        );
+    } else if c.rank() == 1 {
+        let got = c
+            .recv_deadline(0, Tag(40), 5.0)
+            .expect("posted message must arrive within the deadline");
+        assert_eq!(got.into_u32(), vec![99]);
+        // Nothing else is coming on this tag: the deadline lapses.
+        assert!(c.recv_deadline(0, Tag(40), 0.05).is_none());
+    }
+    c.barrier();
+}
+
+/// A timed-out `recv_deadline` consumes nothing: traffic sent later
+/// on the same stream is received intact and in order. Run with 2
+/// ranks.
+pub fn deadline_timeout_preserves_stream<C: Comm>(c: &mut C) {
+    if c.rank() == 1 {
+        assert!(
+            c.recv_deadline(0, Tag(41), 0.05).is_none(),
+            "nothing was sent yet"
+        );
+    }
+    c.barrier();
+    if c.rank() == 0 {
+        c.send(1, Tag(41), Payload::from_u32(vec![1]));
+        c.send(1, Tag(41), Payload::from_u32(vec![2]));
+    } else if c.rank() == 1 {
+        assert_eq!(c.recv(0, Tag(41)).into_u32(), vec![1]);
+        assert_eq!(
+            c.recv_deadline(0, Tag(41), 5.0)
+                .expect("second message is in flight")
+                .into_u32(),
+            vec![2]
+        );
+    }
+    c.barrier();
+}
+
+/// With every rank arriving, the bounded barrier releases, reports
+/// success, and composes with plain barriers afterwards. Run with 3
+/// ranks.
+pub fn barrier_deadline_releases<C: Comm>(c: &mut C) {
+    assert!(c.barrier_deadline(5.0), "all ranks arrived");
+    c.barrier();
+    assert!(c.barrier_deadline(5.0));
+}
+
+/// Broadcast, rooted gather, and allgather deliver rank-ordered data.
+/// Run with 4 ranks.
+pub fn bcast_and_gather<C: Comm>(c: &mut C) {
+    let payload = if c.rank() == 2 {
+        Payload::from_f64(vec![3.25])
+    } else {
+        Payload::Empty
+    };
+    assert_eq!(c.bcast_from(2, Tag(9), payload).into_f64(), vec![3.25]);
+
+    let mine = Payload::from_u32(vec![c.rank() as u32 * 10]);
+    let gathered = c.gather_to(1, Tag(5), mine);
+    if c.rank() == 1 {
+        let ids: Vec<u32> = gathered
+            .expect("root receives the gather")
+            .into_iter()
+            .flat_map(Payload::into_u32)
+            .collect();
+        let expected: Vec<u32> = (0..c.size() as u32).map(|r| r * 10).collect();
+        assert_eq!(ids, expected);
+    } else {
+        assert!(gathered.is_none());
+    }
+
+    let all = c.allgather(Tag(6), Payload::from_u64(vec![c.rank() as u64]));
+    let ids: Vec<u64> = all.into_iter().flat_map(Payload::into_u64).collect();
+    let expected: Vec<u64> = (0..c.size() as u64).collect();
+    assert_eq!(ids, expected);
+}

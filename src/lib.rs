@@ -12,3 +12,6 @@ pub use stance;
 /// Re-export of [`stance::reassemble`], kept so older callers of the shim
 /// crate keep working; new code should call it through `stance` directly.
 pub use stance::reassemble;
+
+pub mod conformance;
+pub mod scenarios;

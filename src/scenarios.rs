@@ -1,0 +1,528 @@
+//! Shared end-to-end scenario bodies — fault-injection drivers and the
+//! cross-backend equivalence workloads — written once, generic over
+//! [`Comm`], plus the **TCP worker registry** that exposes each of them
+//! (and every conformance body) as a named scenario a
+//! [`TcpCluster`](stance_tcp::TcpCluster) rank process can run.
+//!
+//! The integration suites (`tests/fault_injection.rs`,
+//! `tests/backend_equivalence.rs`, `tests/comm_conformance.rs`)
+//! instantiate these against the simulator and the native thread pool
+//! in-process, and against real OS processes through
+//! `src/bin/tcp-rank-worker.rs` — three backends, one copy of every
+//! workload, so a divergence is always the backend's fault and never a
+//! drifted test.
+
+use stance::executor::sequential_laplacian_matvec;
+use stance::inspector::{build_schedule_symmetric, LocalAdjacency};
+use stance::locality::meshgen;
+use stance::prelude::*;
+use stance_verify::{catch_fault, CheckedComm, FaultKind, FaultPlan, FaultyComm, RankTrace};
+
+// ---------------------------------------------------------------------
+// Fault-injection scenario (the kill / stall / wedge matrix).
+// ---------------------------------------------------------------------
+
+/// Iterations per epoch of the fault scenario.
+pub const BLOCK: usize = 10;
+/// Epochs in the fault scenario (each: probe → block → checkpoint).
+pub const EPOCHS: usize = 4;
+/// The epoch at whose membership probe the victim is killed.
+pub const FAULT_EPOCH: usize = 2;
+/// The rank the kill plan targets.
+pub const VICTIM: usize = 2;
+
+/// The mesh every fault-injection leg computes on.
+pub fn fault_mesh() -> Graph {
+    let raw = meshgen::triangulated_grid(12, 10, 0.4, 3);
+    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
+}
+
+/// Initial value of global vertex `g` in the fault scenario.
+pub fn fault_init(g: usize) -> f64 {
+    (g as f64).cos() * 5.0
+}
+
+/// A detector fast enough for tests but patient enough (0.35 s total)
+/// not to false-positive on a loaded CI host.
+pub fn detector() -> DetectorConfig {
+    DetectorConfig {
+        timeout_secs: 0.05,
+        retries: 2,
+        backoff: 2.0,
+    }
+}
+
+/// The fault scenario's session configuration: restore-and-shrink
+/// recovery under the test detector.
+pub fn fault_config() -> StanceConfig {
+    StanceConfig::free()
+        .with_recovery(RecoveryPolicy::RestoreAndShrink)
+        .with_detector(detector())
+}
+
+/// One survivor's recovery outcome: its new (survivor-space) rank, final
+/// local values, and the serialized checkpoint it restored from.
+pub type SurvivorOutcome = (usize, Vec<f64>, Vec<u8>);
+
+/// Runs the epoch loop fault-free and returns this rank's operation
+/// count at the start of each epoch's membership probe — the aiming
+/// table for a kill that must land exactly on a probe boundary (where
+/// every mailbox is drained, so survivors recover from a clean slate).
+pub fn epoch_op_marks<C: Comm>(env: &mut C, m: &Graph) -> Vec<u64> {
+    let cfg = fault_config();
+    let plan = FaultPlan::none();
+    let mut faulty = FaultyComm::attach(env, &plan);
+    let mut s = AdaptiveSession::setup(&mut faulty, m, RelaxationKernel, fault_init, &cfg);
+    let _ = s.checkpoint(&mut faulty, &[]);
+    let mut marks = Vec::new();
+    for _ in 0..EPOCHS {
+        marks.push(faulty.ops());
+        assert_eq!(
+            probe_and_decide(&mut faulty, &cfg),
+            RecoveryAction::Continue
+        );
+        s.run_block(&mut faulty, BLOCK);
+        let _ = s.checkpoint(&mut faulty, &[]);
+    }
+    marks
+}
+
+/// The faulted scenario on one rank. Survivors return
+/// `Some((new_rank, final_values, checkpoint_blob))`; the victim
+/// returns `None` after its injected death is caught — on the
+/// in-process backends, that is; on the process backend the injected
+/// kill is a real SIGKILL and the victim never returns at all.
+pub fn faulted_run<C: Comm>(env: &mut C, m: &Graph, kill_at: u64) -> Option<SurvivorOutcome> {
+    let cfg = fault_config();
+    let plan = FaultPlan::kill(VICTIM, kill_at);
+    let mut faulty = FaultyComm::attach(env, &plan);
+    match catch_fault(|| drive(&mut faulty, m, &cfg)) {
+        Ok(result) => result,
+        Err(fault) => {
+            assert_eq!(fault.rank, VICTIM, "only the planned victim may die");
+            assert_eq!(fault.op, kill_at, "the kill must fire at the aimed op");
+            assert!(matches!(fault.kind, FaultKind::Kill));
+            None
+        }
+    }
+}
+
+/// The epoch loop with shrink-onto-survivors recovery. Must mirror
+/// [`epoch_op_marks`] operation-for-operation up to the fault.
+pub fn drive<C: Comm>(env: &mut C, m: &Graph, cfg: &StanceConfig) -> Option<SurvivorOutcome> {
+    let mut s = AdaptiveSession::setup(env, m, RelaxationKernel, fault_init, cfg);
+    let mut ckpt = s.checkpoint(env, &[]);
+    for e in 0..EPOCHS {
+        match probe_and_decide(env, cfg) {
+            RecoveryAction::Continue => {
+                s.run_block(env, BLOCK);
+                ckpt = s.checkpoint(env, &[]);
+            }
+            RecoveryAction::Shrink { survivors } => {
+                assert_eq!(e, FAULT_EPOCH, "the fault must surface at the aimed epoch");
+                assert_eq!(survivors, vec![0, 1, 3], "exactly the victim is evicted");
+                let mut sc = SurvivorComm::new(env, survivors);
+                // The recovered run re-checks the whole SPMD contract:
+                // audits after setup, every p2p event traced.
+                let vcfg = cfg.clone().with_verification(true);
+                let (mut r, aux) =
+                    AdaptiveSession::restore(&mut sc, m, RelaxationKernel, &ckpt, &vcfg);
+                assert!(aux.is_empty());
+                for _ in e..EPOCHS {
+                    r.run_block(&mut sc, BLOCK);
+                }
+                let diags = r.verify_protocol(&mut sc);
+                assert!(
+                    diags.is_empty(),
+                    "recovered-run protocol diagnostics: {diags:?}"
+                );
+                return Some((sc.rank(), r.local_values().to_vec(), ckpt.to_bytes()));
+            }
+        }
+    }
+    unreachable!("the planned kill fires before the loop completes")
+}
+
+/// Checks a faulted run's outcome against (a) an uninterrupted 3-rank
+/// continuation from the same checkpoint on the same backend and (b) the
+/// sequential reference; `clean` runs that continuation.
+pub fn check_recovery(
+    m: &Graph,
+    results: Vec<Option<SurvivorOutcome>>,
+    clean: impl FnOnce(SessionCheckpoint<f64>) -> Vec<(Vec<f64>, BlockPartition)>,
+) {
+    assert!(results[VICTIM].is_none(), "the victim must die");
+    let survivors: Vec<_> = results.into_iter().flatten().collect();
+    assert_eq!(survivors.len(), 3, "three survivors must recover");
+    assert!(
+        survivors.windows(2).all(|w| w[0].2 == w[1].2),
+        "the replicated checkpoint must be identical on every survivor"
+    );
+    let ckpt = SessionCheckpoint::<f64>::from_bytes(&survivors[0].2);
+    assert_eq!(ckpt.num_procs(), 4, "the checkpoint predates the loss");
+
+    let clean_results = clean(ckpt);
+    for (new_rank, values, _) in &survivors {
+        assert_eq!(
+            values, &clean_results[*new_rank].0,
+            "survivor {new_rank} diverged from the clean 3-rank continuation"
+        );
+    }
+    let n = m.num_vertices();
+    let mut expected: Vec<f64> = (0..n).map(fault_init).collect();
+    stance::executor::sequential_relaxation(m, &mut expected, EPOCHS * BLOCK);
+    let partition = clean_results[0].1.clone();
+    let blocks = clean_results.into_iter().map(|(v, _)| v).collect();
+    assert_eq!(
+        reassemble(&partition, blocks),
+        expected,
+        "recovered computation diverged from the sequential reference"
+    );
+}
+
+/// The uninterrupted 3-rank continuation from a checkpoint: the clean
+/// half of [`check_recovery`], written once for every backend's `clean`
+/// closure (and for the TCP `fault_continue` worker scenario).
+pub fn continue_from_checkpoint<C: Comm>(
+    env: &mut C,
+    m: &Graph,
+    ckpt: &SessionCheckpoint<f64>,
+) -> (Vec<f64>, BlockPartition) {
+    let cfg = fault_config();
+    let (mut s, _) = AdaptiveSession::restore(env, m, RelaxationKernel, ckpt, &cfg);
+    for _ in FAULT_EPOCH..EPOCHS {
+        s.run_block(env, BLOCK);
+    }
+    (s.local_values().to_vec(), s.partition().clone())
+}
+
+// ---------------------------------------------------------------------
+// Equivalence workloads (relaxation + conjugate gradient).
+// ---------------------------------------------------------------------
+
+/// The mesh both equivalence workloads compute on.
+pub fn equiv_mesh() -> Graph {
+    let raw = meshgen::triangulated_grid(14, 11, 0.4, 5);
+    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
+}
+
+/// Initial value of global vertex `g` in the equivalence workloads.
+pub fn equiv_init(g: usize) -> f64 {
+    (g as f64 * 0.01).sin() * 5.0
+}
+
+/// One rank's share of the quickstart relaxation, generic over the
+/// backend. Load balancing is disabled so every backend runs the
+/// identical static schedule (remaps would not change the numbers —
+/// relaxation is partition-invariant — but a wall-clock-driven remap
+/// decision would make the *communication pattern* differ between runs
+/// for no test value).
+pub fn relaxation_body<C: Comm>(
+    env: &mut C,
+    mesh: &Graph,
+    iters: usize,
+    overlap: bool,
+    team: usize,
+) -> (Vec<f64>, BlockPartition) {
+    let config = StanceConfig::free()
+        .without_load_balancing()
+        .with_overlap(overlap)
+        .with_verification(true)
+        .with_team(team);
+    let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, equiv_init, &config);
+    session.run_adaptive(env, iters);
+    let diags = session.verify_protocol(env);
+    assert!(diags.is_empty(), "protocol diagnostics: {diags:?}");
+    (session.local_values().to_vec(), session.partition().clone())
+}
+
+/// The manufactured CG problem: `(L + shift·I) x* = b` on
+/// [`equiv_mesh`], with `x*` the reference every backend's solve is
+/// checked against. Built identically in test launchers and TCP workers.
+pub fn cg_problem() -> (Graph, Vec<f64>, Vec<f64>, f64) {
+    let m = equiv_mesh();
+    let n = m.num_vertices();
+    let shift = 1.0;
+    let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut b = vec![0.0; n];
+    sequential_laplacian_matvec(&m, &x_star, shift, &mut b);
+    (m, b, x_star, shift)
+}
+
+/// One rank's share of a fixed-iteration CG solve of `(L + shift·I)x =
+/// b`, generic over the backend: `LoopRunner` does the gather + matvec,
+/// `allreduce_f64` the dot products. Every branch depends only on
+/// allreduced values, which are bitwise identical everywhere — so all
+/// ranks and every backend walk the same path. The recorded trace rides
+/// back with the result for cross-rank protocol analysis.
+pub fn cg_body<C: Comm>(
+    env: &mut C,
+    mesh: &Graph,
+    b: &[f64],
+    shift: f64,
+    max_iters: usize,
+    overlap: bool,
+    team: usize,
+) -> (Vec<f64>, RankTrace) {
+    // Hand-driven (no session), so the protocol checker is attached
+    // directly.
+    let mut trace = RankTrace::new(env.rank(), env.size());
+    let mut checked = CheckedComm::attach(env, &mut trace);
+    let env = &mut checked;
+    let n = mesh.num_vertices();
+    let part = BlockPartition::uniform(n, env.size());
+    let rank = env.rank();
+    let adj = LocalAdjacency::extract(mesh, &part, rank);
+    let (sched, _) = build_schedule_symmetric(
+        &part,
+        &adj,
+        rank,
+        stance::inspector::ScheduleStrategy::Sort2,
+    );
+    let mut runner = LoopRunner::new(
+        sched,
+        &adj,
+        ComputeCostModel::zero(),
+        LaplacianKernel { shift },
+    )
+    .with_overlap(overlap)
+    .with_team(team);
+    let iv = part.interval_of(rank);
+    let mut x = vec![0.0f64; iv.len()];
+    let mut r: Vec<f64> = iv.iter().map(|g| b[g]).collect();
+    let mut p = r.clone();
+    let mut values = runner.make_values(p.clone());
+
+    let mut rho = {
+        let local: f64 = r.iter().map(|v| v * v).sum();
+        env.allreduce_f64(Tag(1), local, |a, b| a + b)
+    };
+    let rho0 = rho;
+    for _ in 0..max_iters {
+        values.set_local(&p);
+        runner.apply(env, &mut values);
+        let ap = runner.scratch().to_vec();
+        let p_dot_ap = {
+            let local: f64 = p.iter().zip(&ap).map(|(a, c)| a * c).sum();
+            env.allreduce_f64(Tag(2), local, |a, b| a + b)
+        };
+        let alpha = rho / p_dot_ap;
+        for i in 0..x.len() {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rho_next = {
+            let local: f64 = r.iter().map(|v| v * v).sum();
+            env.allreduce_f64(Tag(3), local, |a, b| a + b)
+        };
+        if rho_next <= rho0 * 1e-24 {
+            break;
+        }
+        let beta = rho_next / rho;
+        for i in 0..p.len() {
+            p[i] = r[i] + beta * p[i];
+        }
+        rho = rho_next;
+    }
+    (x, trace)
+}
+
+/// f64 slices compared as raw bit patterns (catches -0.0 vs 0.0 and NaN
+/// payload differences that `==` would hide or over-reject).
+pub fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+// ---------------------------------------------------------------------
+// The TCP worker registry.
+// ---------------------------------------------------------------------
+
+/// Every scenario `src/bin/tcp-rank-worker.rs` can run by name: the 13
+/// conformance bodies (each under [`CheckedComm`], returning its trace
+/// for parent-side analysis), the two equivalence workloads, and the
+/// fault-injection legs — including `fault_kill`, where the injected
+/// kill is a real SIGKILL and the victim's "result" is its exit status.
+pub const TCP_SCENARIOS: stance_tcp::ScenarioRegistry = &[
+    ("conformance:send_recv_ordering", tcp::send_recv_ordering),
+    ("conformance:tag_isolation", tcp::tag_isolation),
+    ("conformance:barrier_rounds", tcp::barrier_rounds),
+    ("conformance:allreduce_ops", tcp::allreduce_ops),
+    ("conformance:exchange_ring", tcp::exchange_ring),
+    ("conformance:bcast_and_gather", tcp::bcast_and_gather),
+    (
+        "conformance:irecv_posted_before_send",
+        tcp::irecv_posted_before_send,
+    ),
+    (
+        "conformance:mixed_blocking_nonblocking_fifo",
+        tcp::mixed_blocking_nonblocking_fifo,
+    ),
+    (
+        "conformance:outstanding_request_tag_isolation",
+        tcp::outstanding_request_tag_isolation,
+    ),
+    (
+        "conformance:wait_after_peer_completion",
+        tcp::wait_after_peer_completion,
+    ),
+    (
+        "conformance:post_and_recv_deadline",
+        tcp::post_and_recv_deadline,
+    ),
+    (
+        "conformance:deadline_timeout_preserves_stream",
+        tcp::deadline_timeout_preserves_stream,
+    ),
+    (
+        "conformance:barrier_deadline_releases",
+        tcp::barrier_deadline_releases,
+    ),
+    ("equiv_relax", tcp::equiv_relax),
+    ("equiv_cg", tcp::equiv_cg),
+    ("fault_marks", tcp::fault_marks),
+    ("fault_kill", tcp::fault_kill),
+    ("fault_continue", tcp::fault_continue),
+    ("fault_wedge", tcp::fault_wedge),
+    ("fault_stall", tcp::fault_stall),
+];
+
+/// Decodes the trace words a TCP conformance worker returns.
+pub fn trace_from_result(bytes: &[u8]) -> RankTrace {
+    use stance_tcp::codec::Wire;
+    RankTrace::from_payload(Payload::from_u32(Vec::<u32>::from_wire(bytes)))
+}
+
+/// The worker-side wrappers: each adapts one generic body to the
+/// `fn(&mut TcpComm, &[u8]) -> Vec<u8>` scenario shape.
+mod tcp {
+    use super::*;
+    use stance_tcp::codec::Wire;
+    use stance_tcp::TcpComm;
+
+    fn with_trace(c: &mut TcpComm, body: fn(&mut CheckedComm<'_, TcpComm>)) -> Vec<u8> {
+        let mut trace = RankTrace::new(c.rank(), c.size());
+        body(&mut CheckedComm::attach(c, &mut trace));
+        trace.to_payload().into_u32().to_wire()
+    }
+
+    macro_rules! conformance_scenarios {
+        ($($name:ident),* $(,)?) => {$(
+            pub fn $name(c: &mut TcpComm, _args: &[u8]) -> Vec<u8> {
+                with_trace(c, |c| crate::conformance::$name(c))
+            }
+        )*};
+    }
+
+    conformance_scenarios!(
+        send_recv_ordering,
+        tag_isolation,
+        barrier_rounds,
+        allreduce_ops,
+        exchange_ring,
+        bcast_and_gather,
+        irecv_posted_before_send,
+        mixed_blocking_nonblocking_fifo,
+        outstanding_request_tag_isolation,
+        wait_after_peer_completion,
+        post_and_recv_deadline,
+        deadline_timeout_preserves_stream,
+        barrier_deadline_releases,
+    );
+
+    pub fn equiv_relax(c: &mut TcpComm, args: &[u8]) -> Vec<u8> {
+        let (iters, overlap, team) = <(usize, bool, usize)>::from_wire(args);
+        let m = equiv_mesh();
+        let (values, part) = relaxation_body(c, &m, iters, overlap, team);
+        (values, part.block_sizes()).to_wire()
+    }
+
+    pub fn equiv_cg(c: &mut TcpComm, args: &[u8]) -> Vec<u8> {
+        let (max_iters, overlap, team) = <(usize, bool, usize)>::from_wire(args);
+        let (m, b, _x_star, shift) = cg_problem();
+        let (x, trace) = cg_body(c, &m, &b, shift, max_iters, overlap, team);
+        (x, trace.to_payload().into_u32()).to_wire()
+    }
+
+    pub fn fault_marks(c: &mut TcpComm, _args: &[u8]) -> Vec<u8> {
+        let m = fault_mesh();
+        epoch_op_marks(c, &m).to_wire()
+    }
+
+    pub fn fault_kill(c: &mut TcpComm, args: &[u8]) -> Vec<u8> {
+        let kill_at = u64::from_wire(args);
+        let m = fault_mesh();
+        // On this backend the victim SIGKILLs itself inside `faulted_run`
+        // and never reaches the encode below; the coordinator sees its
+        // death as `RankOutcome::Died { signal: Some(9), .. }`.
+        faulted_run(c, &m, kill_at).to_wire()
+    }
+
+    pub fn fault_continue(c: &mut TcpComm, args: &[u8]) -> Vec<u8> {
+        let ckpt_bytes = Vec::<u8>::from_wire(args);
+        let m = fault_mesh();
+        let ckpt = SessionCheckpoint::<f64>::from_bytes(&ckpt_bytes);
+        let (values, part) = continue_from_checkpoint(c, &m, &ckpt);
+        (values, part.block_sizes()).to_wire()
+    }
+
+    /// Runs `f` with a panic hook that stays silent for injected-fault
+    /// payloads. Injected faults unwind through [`catch_fault`] by
+    /// design; without this, the worker process's default hook would
+    /// splatter an expected unwind's backtrace across the parent test's
+    /// stderr. Real panics still report message and location.
+    fn with_quiet_injected_faults<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            if info
+                .payload()
+                .downcast_ref::<stance_verify::InjectedFault>()
+                .is_none()
+            {
+                eprintln!("{info}");
+            }
+        }));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    pub fn fault_wedge(c: &mut TcpComm, _args: &[u8]) -> Vec<u8> {
+        let det = detector();
+        let plan = FaultPlan::wedge(1, 2);
+        let mut faulty = FaultyComm::attach(c, &plan);
+        let verdict = match with_quiet_injected_faults(|| {
+            catch_fault(|| probe_membership(&mut faulty, &det))
+        }) {
+            Ok(alive) => Some(alive),
+            Err(fault) => {
+                assert_eq!(fault.rank, 1);
+                assert!(matches!(fault.kind, FaultKind::Wedge));
+                // Wedged, not dead: this process stays alive with every
+                // socket open but silent, past the survivors' patience
+                // window — so eviction must happen by timeout, never by
+                // disconnection.
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    det.total_patience_secs() * 2.0,
+                ));
+                None
+            }
+        };
+        verdict.to_wire()
+    }
+
+    pub fn fault_stall(c: &mut TcpComm, _args: &[u8]) -> Vec<u8> {
+        let m = fault_mesh();
+        let plan = FaultPlan::stall(1, 8, 2.0e-3);
+        let mut faulty = FaultyComm::attach(c, &plan);
+        let cfg = fault_config();
+        let mut s = AdaptiveSession::setup(&mut faulty, &m, RelaxationKernel, fault_init, &cfg);
+        let alive = probe_membership(&mut faulty, &detector());
+        s.run_block(&mut faulty, BLOCK);
+        (
+            alive,
+            s.local_values().to_vec(),
+            s.partition().block_sizes(),
+        )
+            .to_wire()
+    }
+}

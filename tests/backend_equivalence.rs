@@ -1,11 +1,12 @@
-//! Cross-backend equivalence: the simulator and the native thread-pool
-//! backend must produce **bitwise-identical numeric results** for the same
-//! SPMD program at every rank count.
+//! Cross-backend equivalence: the simulator, the native thread-pool
+//! backend, and the TCP process backend must produce **bitwise-identical
+//! numeric results** for the same SPMD program at every rank count.
 //!
 //! This is the payoff of the `Comm` abstraction's determinism contract:
-//! data flows in rank order on both backends (messages, gathers,
+//! data flows in rank order on every backend (messages, gathers,
 //! reductions), so the only thing that differs is what a second of time
-//! means. Two workloads are checked, each at 1, 2 and 4 ranks:
+//! means — virtual clocks, shared-memory channels, or framed bytes on a
+//! loopback socket. Two workloads are checked, each at 1, 2 and 4 ranks:
 //!
 //! * the quickstart relaxation (the paper's Fig. 8 loop, run through
 //!   `AdaptiveSession` exactly as `examples/quickstart.rs` does);
@@ -14,72 +15,34 @@
 //!   the numerically touchiest path, since CG compounds every rounding
 //!   decision across iterations).
 //!
-//! Both are also compared against the sequential reference, so "identical"
-//! can never mean "identically wrong".
+//! Both are also compared against the sequential reference, so
+//! "identical" can never mean "identically wrong". The bodies live in
+//! [`stance_repro::scenarios`] — one copy for the in-process launchers
+//! here and for the worker processes behind the TCP legs.
 //!
 //! Each workload additionally runs with the **split-phase gather**
-//! (`overlap = true`): posting the ghost exchange and sweeping interior
-//! vertices while bytes are in flight must be bitwise identical to the
-//! synchronous path — per-vertex outputs depend only on the referenced
-//! inputs, which both orders deliver unchanged — on both backends, at
-//! every rank count. This is the cross-path half of the equivalence
-//! story: backend × gather-flavour, all four combinations, one answer.
+//! (`overlap = true`) and with **worker teams** at sizes 2 and 4 (the
+//! in-process backends): posting the ghost exchange and sweeping interior
+//! vertices while bytes are in flight, or splitting a rank's sweeps
+//! across a team of threads, must be bitwise identical to the plain run.
 //!
-//! Each workload additionally runs with **worker teams**
-//! (`StanceConfig::with_team` / `LoopRunner::with_team`) at sizes 2 and
-//! 4: splitting a rank's sweeps across a team of threads must be bitwise
-//! identical to the single-lane run — deterministic static chunking plus
-//! fixed-order commits — on both backends, with both gather flavours.
+//! Both workloads run **fully verified**: sessions enable
+//! `StanceConfig::with_verification(true)`, the hand-driven CG wraps its
+//! backend in [`CheckedComm`](stance_verify::CheckedComm) directly, and
+//! every run's traces must analyze clean — including traces recorded
+//! inside TCP worker processes and shipped back as bytes.
 
-//! Both workloads run **fully verified**: the session enables
-//! `StanceConfig::with_verification(true)` (schedule audits + protocol
-//! trace), the hand-driven CG wraps its backend in
-//! [`CheckedComm`](stance_verify::CheckedComm) directly, and every run's
-//! traces must analyze clean — so this file also pins that verification
-//! never costs a bit of numeric equivalence.
-
-use stance::executor::{sequential_laplacian_matvec, sequential_relaxation};
-use stance::inspector::{build_schedule_symmetric, LocalAdjacency};
+use stance::executor::sequential_relaxation;
 use stance::prelude::*;
 use stance_native::NativeCluster;
-use stance_verify::{analyze_traces, CheckedComm, RankTrace};
-
-fn mesh() -> Graph {
-    let raw = stance::locality::meshgen::triangulated_grid(14, 11, 0.4, 5);
-    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
-}
-
-fn init(g: usize) -> f64 {
-    (g as f64 * 0.01).sin() * 5.0
-}
+use stance_repro::scenarios::{bits, cg_body, cg_problem, equiv_init, equiv_mesh, relaxation_body};
+use stance_tcp::codec::Wire;
+use stance_tcp::TcpCluster;
+use stance_verify::{analyze_traces, RankTrace};
 
 // ---------------------------------------------------------------------
 // Workload 1: quickstart relaxation through the session API.
 // ---------------------------------------------------------------------
-
-/// One rank's share of the relaxation, generic over the backend. Load
-/// balancing is disabled so both backends run the identical static
-/// schedule (remaps would not change the numbers — relaxation is
-/// partition-invariant — but a wall-clock-driven remap decision would make
-/// the *communication pattern* differ between runs for no test value).
-fn relaxation_body<C: Comm>(
-    env: &mut C,
-    mesh: &Graph,
-    iters: usize,
-    overlap: bool,
-    team: usize,
-) -> (Vec<f64>, BlockPartition) {
-    let config = StanceConfig::free()
-        .without_load_balancing()
-        .with_overlap(overlap)
-        .with_verification(true)
-        .with_team(team);
-    let mut session = AdaptiveSession::setup(env, mesh, RelaxationKernel, init, &config);
-    session.run_adaptive(env, iters);
-    let diags = session.verify_protocol(env);
-    assert!(diags.is_empty(), "protocol diagnostics: {diags:?}");
-    (session.local_values().to_vec(), session.partition().clone())
-}
 
 fn relaxation_on_sim(mesh: &Graph, p: usize, iters: usize, overlap: bool, team: usize) -> Vec<f64> {
     let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
@@ -103,11 +66,26 @@ fn relaxation_on_native(
     stance::reassemble(&partition, results.into_iter().map(|(v, _)| v).collect())
 }
 
+/// The same relaxation on `p` OS processes over loopback TCP; each
+/// worker returns `(values, block_sizes)` and the partition is
+/// reconstructed parent-side for reassembly.
+fn relaxation_on_tcp(p: usize, iters: usize, overlap: bool, team: usize) -> Vec<f64> {
+    let cluster = TcpCluster::new(p, env!("CARGO_BIN_EXE_tcp-rank-worker"));
+    let args = (iters, overlap, team).to_wire();
+    let results = cluster.run_scenario("equiv_relax", &args).into_results();
+    let decoded: Vec<(Vec<f64>, Vec<usize>)> = results
+        .iter()
+        .map(|bytes| <(Vec<f64>, Vec<usize>)>::from_wire(bytes))
+        .collect();
+    let partition = BlockPartition::from_sizes(&decoded[0].1);
+    stance::reassemble(&partition, decoded.into_iter().map(|(v, _)| v).collect())
+}
+
 #[test]
 fn relaxation_bitwise_identical_across_backends_and_paths() {
-    let m = mesh();
+    let m = equiv_mesh();
     let iters = 25;
-    let mut reference: Vec<f64> = (0..m.num_vertices()).map(init).collect();
+    let mut reference: Vec<f64> = (0..m.num_vertices()).map(equiv_init).collect();
     sequential_relaxation(&m, &mut reference, iters);
 
     for p in [1usize, 2, 4] {
@@ -136,13 +114,33 @@ fn relaxation_bitwise_identical_across_backends_and_paths() {
     }
 }
 
+/// The process backend closes the loop: values crossing real sockets as
+/// framed bytes must land bitwise identical to the simulator's, at every
+/// rank count and with both gather flavours.
+#[test]
+fn relaxation_bitwise_identical_on_tcp_processes() {
+    let m = equiv_mesh();
+    let iters = 25;
+    for p in [1usize, 2, 4] {
+        let sim = relaxation_on_sim(&m, p, iters, false, 1);
+        for overlap in [false, true] {
+            let tcp = relaxation_on_tcp(p, iters, overlap, 1);
+            assert_eq!(
+                bits(&sim),
+                bits(&tcp),
+                "tcp diverged from sim at p = {p}, overlap = {overlap}"
+            );
+        }
+    }
+}
+
 /// Worker teams are numerically free: team sizes 2 and 4 must match the
 /// single-lane (T = 1) run bitwise on both backends, with both gather
 /// flavours, at every rank count — and the protocol traces (the session
 /// runs fully verified) must stay clean.
 #[test]
 fn relaxation_bitwise_identical_across_team_sizes() {
-    let m = mesh();
+    let m = equiv_mesh();
     let iters = 25;
     for p in [1usize, 2, 4] {
         let sim_serial = relaxation_on_sim(&m, p, iters, false, 1);
@@ -170,93 +168,10 @@ fn relaxation_bitwise_identical_across_team_sizes() {
 // Workload 2: conjugate gradient (the cg_solver example's iteration).
 // ---------------------------------------------------------------------
 
-/// One rank's share of a fixed-iteration CG solve of `(L + shift·I)x = b`,
-/// generic over the backend: `LoopRunner` does the gather + matvec,
-/// `allreduce_f64` the dot products. Every branch depends only on
-/// allreduced values, which are bitwise identical everywhere — so all
-/// ranks and both backends walk the same path.
-fn cg_body<C: Comm>(
-    env: &mut C,
-    mesh: &Graph,
-    b: &[f64],
-    shift: f64,
-    max_iters: usize,
-    overlap: bool,
-    team: usize,
-) -> (Vec<f64>, RankTrace) {
-    // Hand-driven (no session), so the protocol checker is attached
-    // directly; the recorded trace rides back with the result for the
-    // cross-rank analysis in the launcher.
-    let mut trace = RankTrace::new(env.rank(), env.size());
-    let mut checked = CheckedComm::attach(env, &mut trace);
-    let env = &mut checked;
-    let n = mesh.num_vertices();
-    let part = BlockPartition::uniform(n, env.size());
-    let rank = env.rank();
-    let adj = LocalAdjacency::extract(mesh, &part, rank);
-    let (sched, _) = build_schedule_symmetric(
-        &part,
-        &adj,
-        rank,
-        stance::inspector::ScheduleStrategy::Sort2,
-    );
-    let mut runner = LoopRunner::new(
-        sched,
-        &adj,
-        ComputeCostModel::zero(),
-        LaplacianKernel { shift },
-    )
-    .with_overlap(overlap)
-    .with_team(team);
-    let iv = part.interval_of(rank);
-    let mut x = vec![0.0f64; iv.len()];
-    let mut r: Vec<f64> = iv.iter().map(|g| b[g]).collect();
-    let mut p = r.clone();
-    let mut values = runner.make_values(p.clone());
-
-    let mut rho = {
-        let local: f64 = r.iter().map(|v| v * v).sum();
-        env.allreduce_f64(Tag(1), local, |a, b| a + b)
-    };
-    let rho0 = rho;
-    for _ in 0..max_iters {
-        values.set_local(&p);
-        runner.apply(env, &mut values);
-        let ap = runner.scratch().to_vec();
-        let p_dot_ap = {
-            let local: f64 = p.iter().zip(&ap).map(|(a, c)| a * c).sum();
-            env.allreduce_f64(Tag(2), local, |a, b| a + b)
-        };
-        let alpha = rho / p_dot_ap;
-        for i in 0..x.len() {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        let rho_next = {
-            let local: f64 = r.iter().map(|v| v * v).sum();
-            env.allreduce_f64(Tag(3), local, |a, b| a + b)
-        };
-        if rho_next <= rho0 * 1e-24 {
-            break;
-        }
-        let beta = rho_next / rho;
-        for i in 0..p.len() {
-            p[i] = r[i] + beta * p[i];
-        }
-        rho = rho_next;
-    }
-    (x, trace)
-}
-
 #[test]
 fn cg_solver_bitwise_identical_across_backends() {
-    let m = mesh();
+    let (m, b, x_star, shift) = cg_problem();
     let n = m.num_vertices();
-    let shift = 1.0;
-    // Manufactured solution, like the cg_solver example.
-    let x_star: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
-    let mut b = vec![0.0; n];
-    sequential_laplacian_matvec(&m, &x_star, shift, &mut b);
 
     for p in [1usize, 2, 4] {
         let m2 = &m;
@@ -330,8 +245,43 @@ fn cg_solver_bitwise_identical_across_backends() {
     }
 }
 
-/// f64 slices compared as raw bit patterns (catches -0.0 vs 0.0 and NaN
-/// payload differences that `==` would hide or over-reject).
-fn bits(v: &[f64]) -> Vec<u64> {
-    v.iter().map(|x| x.to_bits()).collect()
+/// CG on real processes: 120 compounding iterations of dot products and
+/// ghost exchanges crossing framed loopback sockets, bitwise against the
+/// simulator — with every worker's protocol trace shipped back and
+/// analyzed parent-side.
+#[test]
+fn cg_solver_bitwise_identical_on_tcp_processes() {
+    let (m, b, _x_star, shift) = cg_problem();
+    let n = m.num_vertices();
+
+    for p in [1usize, 2, 4] {
+        let part = BlockPartition::uniform(n, p);
+        let spec = ClusterSpec::uniform(p).with_network(NetworkSpec::zero_cost());
+        let sim_blocks: Vec<_> = Cluster::new(spec)
+            .run(|env| cg_body(env, &m, &b, shift, 120, false, 1))
+            .into_results()
+            .into_iter()
+            .map(|(x, _)| x)
+            .collect();
+        let sim = stance::reassemble(&part, sim_blocks);
+
+        let cluster = TcpCluster::new(p, env!("CARGO_BIN_EXE_tcp-rank-worker"));
+        let args = (120usize, false, 1usize).to_wire();
+        let results = cluster.run_scenario("equiv_cg", &args).into_results();
+        let (blocks, traces): (Vec<_>, Vec<_>) = results
+            .iter()
+            .map(|bytes| {
+                let (x, words) = <(Vec<f64>, Vec<u32>)>::from_wire(bytes);
+                (x, RankTrace::from_payload(Payload::from_u32(words)))
+            })
+            .unzip();
+        let diags = analyze_traces(&traces);
+        assert!(diags.is_empty(), "tcp CG protocol diagnostics: {diags:?}");
+        let tcp = stance::reassemble(&part, blocks);
+        assert_eq!(
+            bits(&sim),
+            bits(&tcp),
+            "CG over real sockets diverged bitwise at p = {p}"
+        );
+    }
 }

@@ -1,4 +1,5 @@
-//! Fault injection and elastic recovery, end to end on both backends.
+//! Fault injection and elastic recovery, end to end on all three
+//! backends — including the one where "kill" means a real SIGKILL.
 //!
 //! The centerpiece is the deterministic recovery scenario the
 //! fault-tolerance work promises: a 4-rank adaptive relaxation
@@ -10,175 +11,38 @@
 //! identical** to an uninterrupted 3-rank continuation from the same
 //! checkpoint, and to the sequential reference. The recovered run
 //! executes under full protocol verification, so its traces must also
-//! analyze clean.
+//! analyze clean. The scenario bodies live in
+//! [`stance_repro::scenarios`], shared by every backend's leg here and
+//! by the TCP worker binary.
+//!
+//! On the TCP process backend the same scenario runs with nothing
+//! simulated: the victim SIGKILLs its own OS process mid-run (the
+//! coordinator observes `Died { signal: Some(9) }`), the survivors see
+//! its sockets reset, evict it through the same detector verdict, and
+//! continue — bitwise identical to a clean 3-process continuation from
+//! the replicated checkpoint.
 //!
 //! Around the centerpiece: the kill/stall/wedge matrix — a stalled rank
 //! stays *alive* to the detector and numerically harmless, a wedged
-//! (silent-but-running) rank is evicted by timeout exactly like a
-//! crashed one, and seeded plans reproduce run-for-run.
+//! (silent-but-running) rank holds open-but-silent sockets and is
+//! evicted by timeout exactly like a crashed one, and seeded plans
+//! reproduce run-for-run.
 
 use stance::executor::sequential_relaxation;
-use stance::locality::meshgen;
 use stance::prelude::*;
 use stance_native::NativeCluster;
+use stance_repro::scenarios::{
+    check_recovery, continue_from_checkpoint, detector, epoch_op_marks, fault_config, fault_init,
+    fault_mesh, faulted_run, SurvivorOutcome, BLOCK, FAULT_EPOCH, VICTIM,
+};
+use stance_tcp::codec::Wire;
+use stance_tcp::{RankOutcome, TcpCluster};
 use stance_verify::{catch_fault, FaultKind, FaultPlan, FaultyComm};
-
-/// Iterations per epoch.
-const BLOCK: usize = 10;
-/// Epochs in the scenario (each: probe → block → checkpoint).
-const EPOCHS: usize = 4;
-/// The epoch at whose membership probe the victim is killed.
-const FAULT_EPOCH: usize = 2;
-/// The rank the plan kills.
-const VICTIM: usize = 2;
-
-fn mesh() -> Graph {
-    let raw = meshgen::triangulated_grid(12, 10, 0.4, 3);
-    stance::prepare_mesh(&raw, OrderingMethod::Rcb).0
-}
-
-fn init(g: usize) -> f64 {
-    (g as f64).cos() * 5.0
-}
-
-/// A detector fast enough for tests but patient enough (0.35 s total)
-/// not to false-positive on a loaded CI host.
-fn detector() -> DetectorConfig {
-    DetectorConfig {
-        timeout_secs: 0.05,
-        retries: 2,
-        backoff: 2.0,
-    }
-}
-
-fn config() -> StanceConfig {
-    StanceConfig::free()
-        .with_recovery(RecoveryPolicy::RestoreAndShrink)
-        .with_detector(detector())
-}
-
-/// Runs the epoch loop fault-free and returns this rank's operation
-/// count at the start of each epoch's membership probe — the aiming
-/// table for a kill that must land exactly on a probe boundary (where
-/// every mailbox is drained, so survivors recover from a clean slate).
-fn epoch_op_marks<C: Comm>(env: &mut C, m: &Graph) -> Vec<u64> {
-    let cfg = config();
-    let plan = FaultPlan::none();
-    let mut faulty = FaultyComm::attach(env, &plan);
-    let mut s = AdaptiveSession::setup(&mut faulty, m, RelaxationKernel, init, &cfg);
-    let _ = s.checkpoint(&mut faulty, &[]);
-    let mut marks = Vec::new();
-    for _ in 0..EPOCHS {
-        marks.push(faulty.ops());
-        assert_eq!(
-            probe_and_decide(&mut faulty, &cfg),
-            RecoveryAction::Continue
-        );
-        s.run_block(&mut faulty, BLOCK);
-        let _ = s.checkpoint(&mut faulty, &[]);
-    }
-    marks
-}
-
-/// The faulted scenario on one rank. Survivors return
-/// `Some((new_rank, final_values, checkpoint_blob))`; the victim
-/// returns `None` after its injected death is caught.
-fn faulted_run<C: Comm>(env: &mut C, m: &Graph, kill_at: u64) -> Option<SurvivorOutcome> {
-    let cfg = config();
-    let plan = FaultPlan::kill(VICTIM, kill_at);
-    let mut faulty = FaultyComm::attach(env, &plan);
-    match catch_fault(|| drive(&mut faulty, m, &cfg)) {
-        Ok(result) => result,
-        Err(fault) => {
-            assert_eq!(fault.rank, VICTIM, "only the planned victim may die");
-            assert_eq!(fault.op, kill_at, "the kill must fire at the aimed op");
-            assert!(matches!(fault.kind, FaultKind::Kill));
-            None
-        }
-    }
-}
-
-/// One survivor's recovery outcome: its new (survivor-space) rank, final
-/// local values, and the serialized checkpoint it restored from.
-type SurvivorOutcome = (usize, Vec<f64>, Vec<u8>);
-
-/// The epoch loop with shrink-onto-survivors recovery. Must mirror
-/// [`epoch_op_marks`] operation-for-operation up to the fault.
-fn drive<C: Comm>(env: &mut C, m: &Graph, cfg: &StanceConfig) -> Option<SurvivorOutcome> {
-    let mut s = AdaptiveSession::setup(env, m, RelaxationKernel, init, cfg);
-    let mut ckpt = s.checkpoint(env, &[]);
-    for e in 0..EPOCHS {
-        match probe_and_decide(env, cfg) {
-            RecoveryAction::Continue => {
-                s.run_block(env, BLOCK);
-                ckpt = s.checkpoint(env, &[]);
-            }
-            RecoveryAction::Shrink { survivors } => {
-                assert_eq!(e, FAULT_EPOCH, "the fault must surface at the aimed epoch");
-                assert_eq!(survivors, vec![0, 1, 3], "exactly the victim is evicted");
-                let mut sc = SurvivorComm::new(env, survivors);
-                // The recovered run re-checks the whole SPMD contract:
-                // audits after setup, every p2p event traced.
-                let vcfg = cfg.clone().with_verification(true);
-                let (mut r, aux) =
-                    AdaptiveSession::restore(&mut sc, m, RelaxationKernel, &ckpt, &vcfg);
-                assert!(aux.is_empty());
-                for _ in e..EPOCHS {
-                    r.run_block(&mut sc, BLOCK);
-                }
-                let diags = r.verify_protocol(&mut sc);
-                assert!(
-                    diags.is_empty(),
-                    "recovered-run protocol diagnostics: {diags:?}"
-                );
-                return Some((sc.rank(), r.local_values().to_vec(), ckpt.to_bytes()));
-            }
-        }
-    }
-    unreachable!("the planned kill fires before the loop completes")
-}
-
-/// Checks a faulted run's outcome against (a) an uninterrupted 3-rank
-/// continuation from the same checkpoint on the same backend and (b) the
-/// sequential reference; `clean` runs that continuation.
-fn check_recovery(
-    m: &Graph,
-    results: Vec<Option<SurvivorOutcome>>,
-    clean: impl FnOnce(SessionCheckpoint<f64>) -> Vec<(Vec<f64>, BlockPartition)>,
-) {
-    assert!(results[VICTIM].is_none(), "the victim must die");
-    let survivors: Vec<_> = results.into_iter().flatten().collect();
-    assert_eq!(survivors.len(), 3, "three survivors must recover");
-    assert!(
-        survivors.windows(2).all(|w| w[0].2 == w[1].2),
-        "the replicated checkpoint must be identical on every survivor"
-    );
-    let ckpt = SessionCheckpoint::<f64>::from_bytes(&survivors[0].2);
-    assert_eq!(ckpt.num_procs(), 4, "the checkpoint predates the loss");
-
-    let clean_results = clean(ckpt);
-    for (new_rank, values, _) in &survivors {
-        assert_eq!(
-            values, &clean_results[*new_rank].0,
-            "survivor {new_rank} diverged from the clean 3-rank continuation"
-        );
-    }
-    let n = m.num_vertices();
-    let mut expected: Vec<f64> = (0..n).map(init).collect();
-    sequential_relaxation(m, &mut expected, EPOCHS * BLOCK);
-    let partition = clean_results[0].1.clone();
-    let blocks = clean_results.into_iter().map(|(v, _)| v).collect();
-    assert_eq!(
-        reassemble(&partition, blocks),
-        expected,
-        "recovered computation diverged from the sequential reference"
-    );
-}
 
 /// The acceptance scenario on the virtual-time simulator.
 #[test]
 fn sim_kill_recovery_matches_uninterrupted_shrink() {
-    let m = mesh();
+    let m = fault_mesh();
     let spec4 = || ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost());
     let kill_at = Cluster::new(spec4())
         .run(|env| epoch_op_marks(env, &m))
@@ -187,16 +51,9 @@ fn sim_kill_recovery_matches_uninterrupted_shrink() {
     let results = Cluster::new(spec4())
         .run(|env| faulted_run(env, &m, kill_at))
         .into_results();
-    let cfg = config();
     check_recovery(&m, results, |ckpt| {
         Cluster::new(ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost()))
-            .run(|env| {
-                let (mut s, _) = AdaptiveSession::restore(env, &m, RelaxationKernel, &ckpt, &cfg);
-                for _ in FAULT_EPOCH..EPOCHS {
-                    s.run_block(env, BLOCK);
-                }
-                (s.local_values().to_vec(), s.partition().clone())
-            })
+            .run(|env| continue_from_checkpoint(env, &m, &ckpt))
             .into_results()
     });
 }
@@ -205,7 +62,7 @@ fn sim_kill_recovery_matches_uninterrupted_shrink() {
 /// timeouts, OS threads, real sleeps).
 #[test]
 fn native_kill_recovery_matches_uninterrupted_shrink() {
-    let m = mesh();
+    let m = fault_mesh();
     let kill_at = NativeCluster::new(4)
         .run(|comm| epoch_op_marks(comm, &m))
         .into_results()[VICTIM][FAULT_EPOCH];
@@ -213,26 +70,78 @@ fn native_kill_recovery_matches_uninterrupted_shrink() {
     let results = NativeCluster::new(4)
         .run(|comm| faulted_run(comm, &m, kill_at))
         .into_results();
-    let cfg = config();
     check_recovery(&m, results, |ckpt| {
         NativeCluster::new(3)
-            .run(|comm| {
-                let (mut s, _) = AdaptiveSession::restore(comm, &m, RelaxationKernel, &ckpt, &cfg);
-                for _ in FAULT_EPOCH..EPOCHS {
-                    s.run_block(comm, BLOCK);
-                }
-                (s.local_values().to_vec(), s.partition().clone())
-            })
+            .run(|comm| continue_from_checkpoint(comm, &m, &ckpt))
             .into_results()
     });
 }
 
-/// The two backends aim the kill identically: the operation count at
+fn tcp_cluster(p: usize) -> TcpCluster {
+    TcpCluster::new(p, env!("CARGO_BIN_EXE_tcp-rank-worker"))
+}
+
+/// The acceptance scenario with nothing simulated: 4 OS processes over
+/// loopback sockets; the victim SIGKILLs itself mid-run; the survivors
+/// detect the death through socket resets feeding the same detector
+/// verdict, restore the replicated checkpoint onto a 3-rank
+/// `SurvivorComm` world, and finish — bitwise identical to a clean
+/// 3-process continuation and to the sequential reference.
+#[test]
+fn tcp_sigkill_recovery_matches_uninterrupted_shrink() {
+    let m = fault_mesh();
+
+    // Aim the kill using the TCP backend's own op marks.
+    let marks: Vec<Vec<u64>> = tcp_cluster(4)
+        .run_scenario("fault_marks", &[])
+        .into_results()
+        .iter()
+        .map(|bytes| Vec::<u64>::from_wire(bytes))
+        .collect();
+    let kill_at = marks[VICTIM][FAULT_EPOCH];
+
+    // The faulted run: one real process dies by SIGKILL.
+    let report = tcp_cluster(4).run_scenario("fault_kill", &kill_at.to_wire());
+    let mut results: Vec<Option<SurvivorOutcome>> = Vec::new();
+    for (rank, outcome) in report.outcomes().iter().enumerate() {
+        match outcome {
+            RankOutcome::Died { signal, code } => {
+                assert_eq!(rank, VICTIM, "only the victim may die");
+                assert_eq!(
+                    (*signal, *code),
+                    (Some(9), None),
+                    "the victim must die by SIGKILL, not exit"
+                );
+                results.push(None);
+            }
+            RankOutcome::Completed(bytes) => {
+                results.push(Option::<SurvivorOutcome>::from_wire(bytes));
+            }
+            RankOutcome::Panicked(msg) => panic!("rank {rank} panicked: {msg}"),
+        }
+    }
+
+    check_recovery(&m, results, |ckpt| {
+        // The clean continuation also runs on real processes, restoring
+        // from the same checkpoint bytes the survivors replicated.
+        tcp_cluster(3)
+            .run_scenario("fault_continue", &ckpt.to_bytes().to_wire())
+            .into_results()
+            .iter()
+            .map(|bytes| {
+                let (values, sizes) = <(Vec<f64>, Vec<usize>)>::from_wire(bytes);
+                (values, BlockPartition::from_sizes(&sizes))
+            })
+            .collect()
+    });
+}
+
+/// All three backends aim the kill identically: the operation count at
 /// each epoch boundary is a property of the SPMD program, not of the
 /// backend executing it.
 #[test]
 fn epoch_op_marks_agree_across_backends() {
-    let m = mesh();
+    let m = fault_mesh();
     let sim_marks = Cluster::new(ClusterSpec::uniform(4).with_network(NetworkSpec::zero_cost()))
         .run(|env| epoch_op_marks(env, &m))
         .into_results();
@@ -243,23 +152,33 @@ fn epoch_op_marks_agree_across_backends() {
         sim_marks, native_marks,
         "op accounting diverged across backends"
     );
+    let tcp_marks: Vec<Vec<u64>> = tcp_cluster(4)
+        .run_scenario("fault_marks", &[])
+        .into_results()
+        .iter()
+        .map(|bytes| Vec::<u64>::from_wire(bytes))
+        .collect();
+    assert_eq!(
+        sim_marks, tcp_marks,
+        "op accounting diverged on the process backend"
+    );
 }
 
 /// A stalled rank is slow, not dead: the membership probe stays
 /// unanimous and the block's values are bitwise unaffected.
 #[test]
 fn stall_is_alive_to_the_detector_and_numerically_free() {
-    let m = mesh();
+    let m = fault_mesh();
     let n = m.num_vertices();
-    let mut expected: Vec<f64> = (0..n).map(init).collect();
+    let mut expected: Vec<f64> = (0..n).map(fault_init).collect();
     sequential_relaxation(&m, &mut expected, BLOCK);
 
     let plan = FaultPlan::stall(1, 8, 2.0e-3);
     let spec = ClusterSpec::uniform(3).with_network(NetworkSpec::zero_cost());
     let report = Cluster::new(spec).run(|env| {
         let mut faulty = FaultyComm::attach(env, &plan);
-        let cfg = config();
-        let mut s = AdaptiveSession::setup(&mut faulty, &m, RelaxationKernel, init, &cfg);
+        let cfg = fault_config();
+        let mut s = AdaptiveSession::setup(&mut faulty, &m, RelaxationKernel, fault_init, &cfg);
         let alive = probe_membership(&mut faulty, &detector());
         s.run_block(&mut faulty, BLOCK);
         (alive, s.local_values().to_vec(), s.partition().clone())
@@ -278,6 +197,39 @@ fn stall_is_alive_to_the_detector_and_numerically_free() {
         reassemble(&partition, blocks),
         expected,
         "stall changed values"
+    );
+}
+
+/// The stall leg on real processes: a rank that sleeps mid-protocol is
+/// late bytes on a socket, not a dead socket — the probe stays
+/// unanimous and the values stay bitwise equal to the sequential
+/// reference.
+#[test]
+fn tcp_stall_is_alive_to_the_detector_and_numerically_free() {
+    let m = fault_mesh();
+    let n = m.num_vertices();
+    let mut expected: Vec<f64> = (0..n).map(fault_init).collect();
+    sequential_relaxation(&m, &mut expected, BLOCK);
+
+    let results: Vec<(Vec<bool>, Vec<f64>, Vec<usize>)> = tcp_cluster(3)
+        .run_scenario("fault_stall", &[])
+        .into_results()
+        .iter()
+        .map(|bytes| <(Vec<bool>, Vec<f64>, Vec<usize>)>::from_wire(bytes))
+        .collect();
+    for (alive, _, _) in &results {
+        assert_eq!(
+            alive,
+            &vec![true; 3],
+            "a stalled process must stay in the group"
+        );
+    }
+    let partition = BlockPartition::from_sizes(&results[0].2);
+    let blocks = results.into_iter().map(|(_, v, _)| v).collect();
+    assert_eq!(
+        reassemble(&partition, blocks),
+        expected,
+        "stall changed values on the process backend"
     );
 }
 
@@ -315,6 +267,31 @@ fn wedge_is_evicted_by_collective_timeout() {
         } else {
             assert_eq!(
                 alive,
+                Some(vec![true, false, true]),
+                "rank {rank} verdict diverged"
+            );
+        }
+    }
+}
+
+/// The wedge leg on real processes: the victim's sockets stay **open
+/// but silent** — connected at the TCP level, never writing another
+/// frame — so the survivors cannot lean on a reset and must evict it
+/// purely by detector timeout, exactly like the in-process backends.
+#[test]
+fn tcp_wedge_is_evicted_by_collective_timeout() {
+    let report = tcp_cluster(3).run_scenario("fault_wedge", &[]);
+    for (rank, outcome) in report.outcomes().iter().enumerate() {
+        let bytes = match outcome {
+            RankOutcome::Completed(bytes) => bytes,
+            other => panic!("rank {rank} did not complete: {other:?}"),
+        };
+        let verdict = Option::<Vec<bool>>::from_wire(bytes);
+        if rank == 1 {
+            assert_eq!(verdict, None, "the victim must wedge");
+        } else {
+            assert_eq!(
+                verdict,
                 Some(vec![true, false, true]),
                 "rank {rank} verdict diverged"
             );

@@ -1,0 +1,305 @@
+//! Wire-format negative tests for the TCP process backend, run against
+//! **live loopback sockets** through the transport's public API.
+//!
+//! The robustness contract under test: any garbage a socket can carry —
+//! wrong magic, wrong protocol version, truncated handshakes, absurd or
+//! impossible length prefixes, unknown payload kinds, torn payloads —
+//! produces a *structured* [`WireError`] and a clean disconnect. Never a
+//! panic, never a hang, and never an allocation sized by attacker-chosen
+//! bytes (the length prefix is validated **before** any buffer is
+//! reserved). The same tests pin down the timing edges: a deadline
+//! expiring mid-frame is suspicion (the partial bytes stay buffered and
+//! the frame is delivered intact later), peer death mid-frame is proof,
+//! and the connect-phase backoff is capped so rendezvous polling can
+//! neither spin nor sleep unboundedly.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use stance::prelude::{Payload, Tag};
+use stance_tcp::wire::{
+    self, Backoff, WireError, FRAME_OVERHEAD, HANDSHAKE_LEN, KIND_HELLO, KIND_PEER, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use stance_tcp::{PeerLink, RecvTimeoutError};
+
+/// One connected loopback socket pair.
+fn pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let client = TcpStream::connect(addr).expect("connect loopback");
+    let (server, _) = listener.accept().expect("accept loopback");
+    (client, server)
+}
+
+/// Writes raw bytes from a rogue peer, closes the connection, and
+/// returns the fault a [`PeerLink`] reports for them. Asserts the
+/// structured-failure contract along the way: the first receive reports
+/// `Disconnected` (proof, not suspicion), the link records the *first*
+/// error it saw, every later receive keeps failing without touching the
+/// socket, and the whole exchange is prompt — no hang, no retry spin.
+fn fault_from_rogue_bytes(bytes: &[u8]) -> WireError {
+    let (attacker, victim) = pair();
+    let mut link = PeerLink::new(victim).expect("wrap victim socket");
+    let mut attacker = attacker;
+    attacker.write_all(bytes).expect("rogue write");
+    drop(attacker);
+
+    let started = Instant::now();
+    assert!(link.recv().is_err(), "garbage must not decode to a message");
+    let fault = link
+        .fault()
+        .expect("broken link must record a fault")
+        .clone();
+    // Sticky: the link is dead for good, and says so immediately.
+    assert!(link.recv().is_err(), "fault must be sticky");
+    assert_eq!(link.fault(), Some(&fault), "first error must be preserved");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "rejection must be prompt, not a hang"
+    );
+    fault
+}
+
+#[test]
+fn bad_magic_is_a_structured_rejection() {
+    let mut hs = wire::encode_handshake(KIND_HELLO, 0, 2, 0);
+    hs[0] ^= 0xFF;
+    let got = u32::from_le_bytes(hs[0..4].try_into().expect("fixed slice"));
+    assert_eq!(
+        wire::decode_handshake(&hs, 2),
+        Err(WireError::BadMagic { got }),
+        "an HTTP client, a port scanner, or line noise must be named as such"
+    );
+}
+
+#[test]
+fn version_mismatch_is_a_structured_rejection() {
+    let mut hs = wire::encode_handshake(KIND_PEER, 1, 4, 0);
+    let future = PROTOCOL_VERSION + 1;
+    hs[4..6].copy_from_slice(&future.to_le_bytes());
+    assert_eq!(
+        wire::decode_handshake(&hs, 4),
+        Err(WireError::VersionMismatch {
+            got: future,
+            expected: PROTOCOL_VERSION
+        }),
+        "a newer worker must be turned away by name, not by garbled frames"
+    );
+}
+
+#[test]
+fn alien_universe_and_rank_are_structured_rejections() {
+    let hs = wire::encode_handshake(KIND_HELLO, 0, 8, 0);
+    assert_eq!(
+        wire::decode_handshake(&hs, 4),
+        Err(WireError::UniverseMismatch {
+            got: 8,
+            expected: 4
+        }),
+        "a worker from another launch must not join this one"
+    );
+    let hs = wire::encode_handshake(KIND_PEER, 7, 4, 0);
+    assert_eq!(
+        wire::decode_handshake(&hs, 4),
+        Err(WireError::RankOutOfRange { rank: 7, size: 4 }),
+    );
+    let hs = wire::encode_handshake(9, 0, 4, 0);
+    assert_eq!(
+        wire::decode_handshake(&hs, 4),
+        Err(WireError::BadHandshakeKind { got: 9 }),
+    );
+}
+
+/// A peer that dies mid-handshake (or a client that sends a short blurb
+/// and hangs up) must cost the acceptor one bounded read, not a stall.
+#[test]
+fn truncated_handshake_never_hangs_the_acceptor() {
+    let (mut rogue, mut acceptor) = pair();
+    acceptor
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("bound the read");
+    rogue.write_all(&[0x53, 0x54, 0x4E]).expect("partial write");
+    drop(rogue); // hang up mid-handshake
+
+    let started = Instant::now();
+    let mut buf = [0u8; HANDSHAKE_LEN];
+    let err = acceptor
+        .read_exact(&mut buf)
+        .expect_err("a truncated handshake must not decode");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(started.elapsed() < Duration::from_secs(5), "must not hang");
+}
+
+/// The attacker claims a 4 GiB frame is coming. The length check runs
+/// before any buffer is reserved, so the link breaks with the prefix
+/// named in the error and process memory never moves.
+#[test]
+fn absurd_length_prefix_is_rejected_before_allocation() {
+    let fault = fault_from_rogue_bytes(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        fault,
+        WireError::FrameTooLarge {
+            len: u32::MAX,
+            max: MAX_FRAME
+        }
+    );
+}
+
+/// One past the cap is as dead as 4 GiB: the bound is exact.
+#[test]
+fn just_past_max_frame_is_rejected() {
+    let fault = fault_from_rogue_bytes(&(MAX_FRAME + 1).to_le_bytes());
+    assert_eq!(
+        fault,
+        WireError::FrameTooLarge {
+            len: MAX_FRAME + 1,
+            max: MAX_FRAME
+        }
+    );
+}
+
+/// A length too short to even hold the frame header is impossible, not
+/// merely empty — accepting it would desynchronize the stream forever.
+#[test]
+fn impossible_short_length_prefix_is_rejected() {
+    let fault = fault_from_rogue_bytes(&2u32.to_le_bytes());
+    assert_eq!(fault, WireError::FrameTooShort { len: 2 });
+}
+
+/// A well-framed message of an unknown payload kind breaks the link with
+/// the kind named — the receiver must not guess at bytes it cannot type.
+#[test]
+fn unknown_payload_kind_is_rejected() {
+    let mut frame = FRAME_OVERHEAD.to_le_bytes().to_vec();
+    frame.push(200); // no such payload kind
+    frame.extend_from_slice(&7u32.to_le_bytes()); // tag
+    let fault = fault_from_rogue_bytes(&frame);
+    assert_eq!(fault, WireError::BadPayloadKind { got: 200 });
+}
+
+/// An `F64` payload whose byte count is not a multiple of eight cannot
+/// be reassembled into the values the sender meant — torn, by name.
+#[test]
+fn torn_payload_is_rejected() {
+    let body = 12u32; // one-and-a-half f64s
+    let mut frame = (FRAME_OVERHEAD + body).to_le_bytes().to_vec();
+    frame.push(1); // kind: F64
+    frame.extend_from_slice(&3u32.to_le_bytes()); // tag
+    frame.extend_from_slice(&[0xAB; 12]);
+    let fault = fault_from_rogue_bytes(&frame);
+    assert_eq!(fault, WireError::TornPayload { kind: 1, bytes: 12 });
+}
+
+/// Valid traffic already buffered ahead of the garbage is still
+/// delivered — death never destroys evidence that arrived intact.
+#[test]
+fn valid_frames_ahead_of_garbage_are_still_delivered() {
+    let (mut attacker, victim) = pair();
+    let mut link = PeerLink::new(victim).expect("wrap victim socket");
+    let mut good = Vec::new();
+    wire::encode_frame(Tag(9), &Payload::from_u32(vec![1, 2, 3]), &mut good);
+    good.extend_from_slice(&u32::MAX.to_le_bytes()); // then the lie
+    attacker.write_all(&good).expect("write frame + garbage");
+    drop(attacker);
+
+    let msg = link.recv().expect("the intact frame must be delivered");
+    assert_eq!(msg.tag, Tag(9));
+    assert_eq!(msg.payload.into_u32(), vec![1, 2, 3]);
+    assert!(link.recv().is_err(), "then the link is dead");
+    assert_eq!(
+        link.fault(),
+        Some(&WireError::FrameTooLarge {
+            len: u32::MAX,
+            max: MAX_FRAME
+        })
+    );
+}
+
+/// A deadline expiring mid-frame is *suspicion*: the link stays healthy,
+/// the partial bytes stay buffered, and when the rest of the frame
+/// arrives it is delivered intact. This is the edge the accumulator
+/// exists for — a slow sender straddling a deadline must never tear.
+#[test]
+fn deadline_mid_frame_is_suspicion_and_the_frame_survives() {
+    let (mut sender, receiver) = pair();
+    let mut link = PeerLink::new(receiver).expect("wrap receiver socket");
+    let mut frame = Vec::new();
+    wire::encode_frame(Tag(4), &Payload::from_f64(vec![1.5, -2.5]), &mut frame);
+    let split = frame.len() / 2;
+    sender.write_all(&frame[..split]).expect("first half");
+
+    let verdict = link.recv_deadline(Instant::now() + Duration::from_millis(50));
+    assert!(
+        matches!(verdict, Err(RecvTimeoutError::TimedOut)),
+        "mid-frame deadline must be TimedOut (suspicion), got {verdict:?}"
+    );
+    assert!(link.fault().is_none(), "a timeout must not break the link");
+
+    sender.write_all(&frame[split..]).expect("second half");
+    let msg = link
+        .recv_deadline(Instant::now() + Duration::from_secs(5))
+        .expect("completed frame must arrive intact");
+    assert_eq!(msg.tag, Tag(4));
+    assert_eq!(msg.payload.into_f64(), vec![1.5, -2.5]);
+}
+
+/// Peer death mid-frame is *proof*: the half-frame can never complete,
+/// so the receive reports `Disconnected` — the verdict the failure
+/// detector consumes — rather than timing out forever.
+#[test]
+fn peer_death_mid_frame_is_proof() {
+    let (mut sender, receiver) = pair();
+    let mut link = PeerLink::new(receiver).expect("wrap receiver socket");
+    let mut frame = Vec::new();
+    wire::encode_frame(Tag(2), &Payload::from_u64(vec![42]), &mut frame);
+    sender
+        .write_all(&frame[..frame.len() - 3])
+        .expect("almost all of it");
+    drop(sender); // SIGKILL's view from the other end: reset, mid-frame
+
+    let verdict = link.recv_deadline(Instant::now() + Duration::from_secs(5));
+    assert!(
+        matches!(verdict, Err(RecvTimeoutError::Disconnected)),
+        "death mid-frame must be Disconnected (proof), got {verdict:?}"
+    );
+    assert!(link.fault().is_some(), "the link must record the death");
+}
+
+/// The rendezvous backoff is clamped on both sides: never below `base`
+/// (a retry loop cannot busy-spin) and never above `cap` (a late peer is
+/// polled at a fixed polite rate, not slept past). Huge attempt numbers
+/// must not overflow into panic or zero.
+#[test]
+fn backoff_is_clamped_at_both_ends() {
+    let b = Backoff::default();
+    let mut last = Duration::ZERO;
+    for attempt in 0..40 {
+        let d = b.delay(attempt);
+        assert!(d >= b.base, "attempt {attempt}: below base");
+        assert!(d <= b.cap, "attempt {attempt}: above cap");
+        assert!(d >= last, "attempt {attempt}: delays must not shrink");
+        last = d;
+    }
+    assert_eq!(b.delay(10_000), b.cap, "huge attempts must pin at the cap");
+}
+
+/// Dialing a port nobody listens on gives up within the stated budget —
+/// with an error, not a panic, and without sleeping far past it.
+#[test]
+fn connect_backoff_gives_up_within_budget() {
+    // Bind-then-drop yields a port that was just proven unoccupied.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        listener.local_addr().expect("local addr")
+    };
+    let budget = Duration::from_millis(300);
+    let started = Instant::now();
+    let res = wire::connect_with_backoff(addr, budget, Backoff::default());
+    assert!(res.is_err(), "nobody listens there");
+    assert!(
+        started.elapsed() < budget + Duration::from_secs(5),
+        "give-up must track the budget"
+    );
+}
